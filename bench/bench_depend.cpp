@@ -1,0 +1,141 @@
+// Extended dependability machinery: event-driven simulation throughput and
+// convergence, responsiveness estimators, importance ranking cost.
+//
+// Expected shapes: simulation cost is linear in component events (hence in
+// horizon and in failure rates); exact responsiveness explodes with the
+// path count like inclusion-exclusion does; importance ranking costs two
+// factoring runs per component.
+#include <benchmark/benchmark.h>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/importance.hpp"
+#include "depend/responsiveness.hpp"
+#include "depend/simulator.hpp"
+#include "netgen/generators.hpp"
+
+namespace {
+
+using namespace upsim;
+
+/// The t1 -> p2 printing UPSIM of the case study, shared by the benches.
+struct CaseStudyUpsim {
+  casestudy::UsiCaseStudy cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator{*cs.infrastructure};
+  core::UpsimResult result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "bench");
+};
+
+void BM_SimulateHorizon(benchmark::State& state) {
+  CaseStudyUpsim fixture;
+  const auto model = depend::SimulationModel::from_attributes(
+      fixture.result.upsim_graph, fixture.result.terminal_pairs());
+  depend::SimulationOptions options;
+  options.horizon_hours = static_cast<double>(state.range(0)) * 24.0 * 365.0;
+  options.seed = 5;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    auto sim = depend::simulate(model, options);
+    events = sim.component_events;
+    benchmark::DoNotOptimize(sim);
+  }
+  state.counters["years"] = static_cast<double>(state.range(0));
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_SimulateHorizon)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SimulateTopologySize(benchmark::State& state) {
+  netgen::DefaultAttributes attrs;
+  attrs.node_mtbf = 2000.0;  // frequent events to stress the engine
+  attrs.node_mttr = 10.0;
+  netgen::CampusSpec spec;
+  spec.distribution = static_cast<std::size_t>(state.range(0));
+  const auto g = netgen::campus(spec, attrs);
+  const auto model = depend::SimulationModel::from_attributes(
+      g, {{g.vertex_by_name("t0"), g.vertex_by_name("srv0")}});
+  depend::SimulationOptions options;
+  options.horizon_hours = 24.0 * 365.0;
+  options.seed = 5;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    auto sim = depend::simulate(model, options);
+    events = sim.component_events;
+    benchmark::DoNotOptimize(sim);
+  }
+  state.counters["components"] = static_cast<double>(g.vertex_count());
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_SimulateTopologySize)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SimulationConvergence(benchmark::State& state) {
+  // Gap between measured and analytic availability versus horizon — the
+  // "how long must monitoring run" question, reported as a counter.
+  CaseStudyUpsim fixture;
+  const auto model = depend::SimulationModel::from_attributes(
+      fixture.result.upsim_graph, fixture.result.terminal_pairs());
+  const double analytic =
+      depend::exact_availability(model.steady_state_problem());
+  depend::SimulationOptions options;
+  options.horizon_hours = static_cast<double>(state.range(0)) * 24.0 * 365.0;
+  double gap = 0.0;
+  for (auto _ : state) {
+    // Average over seeds inside the timing loop for a stable estimate.
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      options.seed = seed;
+      total += depend::simulate(model, options).availability();
+    }
+    gap = std::abs(total / 8.0 - analytic);
+    benchmark::DoNotOptimize(gap);
+  }
+  state.counters["years"] = static_cast<double>(state.range(0));
+  state.counters["abs_gap"] = gap;
+}
+BENCHMARK(BM_SimulationConvergence)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ResponsivenessExact(benchmark::State& state) {
+  CaseStudyUpsim fixture;
+  const auto problem = depend::ReliabilityProblem::from_attributes(
+      fixture.result.upsim_graph, {fixture.result.terminal_pairs()[0]});
+  const std::vector<double> deadlines{0.5, 1.0, 2.0, 5.0};
+  for (auto _ : state) {
+    auto r = depend::exact_responsiveness(problem, {}, deadlines);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ResponsivenessExact);
+
+void BM_ResponsivenessMonteCarlo(benchmark::State& state) {
+  CaseStudyUpsim fixture;
+  const auto problem = depend::ReliabilityProblem::from_attributes(
+      fixture.result.upsim_graph, {fixture.result.terminal_pairs()[0]});
+  const std::vector<double> deadlines{0.5, 1.0, 2.0, 5.0};
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r =
+        depend::monte_carlo_responsiveness(problem, {}, deadlines, samples, 7);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_ResponsivenessMonteCarlo)->Arg(1000)->Arg(10000);
+
+void BM_ImportanceRanking(benchmark::State& state) {
+  CaseStudyUpsim fixture;
+  const auto problem = depend::ReliabilityProblem::from_attributes(
+      fixture.result.upsim_graph, fixture.result.terminal_pairs());
+  depend::ImportanceOptions options;
+  options.include_edges = state.range(0) == 1;
+  std::size_t ranked = 0;
+  for (auto _ : state) {
+    auto ranking = depend::importance_ranking(problem, options);
+    ranked = ranking.size();
+    benchmark::DoNotOptimize(ranking);
+  }
+  state.SetLabel(options.include_edges ? "vertices+edges" : "vertices-only");
+  state.counters["components"] = static_cast<double>(ranked);
+}
+BENCHMARK(BM_ImportanceRanking)->Arg(0)->Arg(1);
+
+}  // namespace

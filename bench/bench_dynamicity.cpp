@@ -1,0 +1,127 @@
+// E9 — the dynamicity argument of Sec. V-A3, quantified.
+//
+// The methodology separates infrastructure model, service description and
+// mapping precisely so that each change class touches as little as
+// possible.  Expected shape: a mapping-only perspective change is orders of
+// magnitude cheaper than rebuilding and re-importing the whole model, and
+// re-import cost scales with topology size while per-perspective cost does
+// not (on tree-like networks).
+#include <benchmark/benchmark.h>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "netgen/generators.hpp"
+
+namespace {
+
+using namespace upsim;
+
+void BM_UserMoves_MappingOnly(benchmark::State& state) {
+  // The user moves between two clients; regenerate by re-mapping only.
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto m1 = cs.printing_mapping("t1", "p2");
+  const auto m2 = cs.printing_mapping("t15", "p3");
+  bool flip = false;
+  for (auto _ : state) {
+    auto result = generator.generate(printing, flip ? m1 : m2, "view");
+    flip = !flip;
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_UserMoves_MappingOnly);
+
+void BM_UserMoves_FullRebuild(benchmark::State& state) {
+  // The naive alternative: rebuild the models and re-import everything for
+  // every perspective change.
+  bool flip = false;
+  for (auto _ : state) {
+    const auto cs = casestudy::make_usi_case_study();
+    const auto& printing =
+        cs.services->get_composite(casestudy::printing_service_name());
+    core::UpsimGenerator generator(*cs.infrastructure);
+    auto result = generator.generate(
+        printing,
+        flip ? cs.printing_mapping("t1", "p2")
+             : cs.printing_mapping("t15", "p3"),
+        "view");
+    flip = !flip;
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_UserMoves_FullRebuild);
+
+void BM_ServiceMigration_MappingOnly(benchmark::State& state) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto on_printS = cs.mapping_t1_p2();
+  auto on_file1 = on_printS;
+  for (const auto& pair : on_file1.pairs()) {
+    const auto swap = [](const std::string& id) {
+      return id == "printS" ? std::string("file1") : id;
+    };
+    on_file1.map(pair.atomic_service, swap(pair.requester),
+                 swap(pair.provider));
+  }
+  bool flip = false;
+  for (auto _ : state) {
+    auto result =
+        generator.generate(printing, flip ? on_printS : on_file1, "view");
+    flip = !flip;
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ServiceMigration_MappingOnly);
+
+void BM_PerspectiveChange_ScalesWithTopology(benchmark::State& state) {
+  // Mapping-only regeneration cost versus campus size: stays flat-ish
+  // because discovery touches only the user's region plus the core.
+  netgen::CampusSpec spec;
+  spec.distribution = static_cast<std::size_t>(state.range(0));
+  const auto net = netgen::uml_campus(spec);
+  service::ServiceCatalog services;
+  services.define_atomic("request");
+  services.define_atomic("respond");
+  const auto& svc = services.define_sequence("echo", {"request", "respond"});
+  mapping::ServiceMapping m1;
+  m1.map("request", "t0", "srv0");
+  m1.map("respond", "srv0", "t0");
+  mapping::ServiceMapping m2;
+  m2.map("request", "t1", "srv0");
+  m2.map("respond", "srv0", "t1");
+  core::UpsimGenerator generator(*net.infrastructure);
+  bool flip = false;
+  for (auto _ : state) {
+    auto result = generator.generate(svc, flip ? m1 : m2, "view");
+    flip = !flip;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["components"] =
+      static_cast<double>(net.infrastructure->instance_count());
+}
+BENCHMARK(BM_PerspectiveChange_ScalesWithTopology)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128);
+
+void BM_TopologyChange_RequiresReimport(benchmark::State& state) {
+  // The change class that DOES require a new import: measure it for scale
+  // comparison against the mapping-only path above.
+  netgen::CampusSpec spec;
+  spec.distribution = static_cast<std::size_t>(state.range(0));
+  const auto net = netgen::uml_campus(spec);
+  for (auto _ : state) {
+    core::UpsimGenerator generator(*net.infrastructure);
+    benchmark::DoNotOptimize(generator.infrastructure_graph().vertex_count());
+  }
+  state.counters["components"] =
+      static_cast<double>(net.infrastructure->instance_count());
+}
+BENCHMARK(BM_TopologyChange_RequiresReimport)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,151 @@
+// E8 — scalability of all-paths discovery (Sec. V-D of the paper).
+//
+// Expected shapes:
+//   * trees/campus: near-linear in vertex count (one or few paths);
+//   * Erdős–Rényi: cost grows with edge density;
+//   * complete graphs: factorial blow-up — the O(n!) worst case the paper
+//     names; n is capped accordingly;
+//   * recursive vs iterative DFS: same visits, different constant;
+//   * serial vs thread-pool multi-pair: parallel wins once pairs >> cores.
+#include <benchmark/benchmark.h>
+
+#include "netgen/generators.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace upsim;
+using graph::VertexId;
+
+void BM_Tree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = netgen::tree(n, 2);
+  const VertexId s{static_cast<std::uint32_t>(n / 2)};
+  const VertexId t{static_cast<std::uint32_t>(n - 1)};
+  for (auto _ : state) {
+    auto set = pathdisc::discover(g, s, t);
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Tree)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Campus(benchmark::State& state) {
+  netgen::CampusSpec spec;
+  spec.distribution = static_cast<std::size_t>(state.range(0));
+  const auto g = netgen::campus(spec);
+  const auto endpoints = netgen::campus_endpoints(spec);
+  const VertexId s = g.vertex_by_name(endpoints.client);
+  const VertexId t = g.vertex_by_name(endpoints.server);
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    auto set = pathdisc::discover(g, s, t);
+    paths = set.count();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertex_count());
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_Campus)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ErdosRenyiDensity(benchmark::State& state) {
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  const auto g = netgen::erdos_renyi(12, p, 7);
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    auto set = pathdisc::discover(g, VertexId{0}, VertexId{11});
+    paths = set.count();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["density_pct"] = static_cast<double>(state.range(0));
+  state.counters["edges"] = static_cast<double>(g.edge_count());
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_ErdosRenyiDensity)->Arg(0)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_CompleteGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = netgen::complete(n);
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    auto set = pathdisc::discover(
+        g, VertexId{0}, VertexId{static_cast<std::uint32_t>(n - 1)});
+    paths = set.count();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["paths"] = static_cast<double>(paths);  // ~ (n-2)! * e
+}
+BENCHMARK(BM_CompleteGraph)->DenseRange(4, 11);
+
+void BM_FatTree(benchmark::State& state) {
+  // Data-center redundancy: inter-pod host pairs in a k-ary fat tree.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto g = netgen::fat_tree(k);
+  const VertexId s = g.vertex_by_name("h0");
+  const VertexId t =
+      g.vertex_by_name("h" + std::to_string(k * k * k / 4 - 1));
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    auto set = pathdisc::discover(g, s, t);
+    paths = set.count();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertex_count());
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_FatTree)->Arg(2)->Arg(4);
+
+void BM_Algorithm(benchmark::State& state) {
+  const auto algorithm = state.range(0) == 0
+                             ? pathdisc::Algorithm::RecursiveDfs
+                             : pathdisc::Algorithm::IterativeDfs;
+  const auto g = netgen::erdos_renyi(16, 0.3, 3);
+  pathdisc::Options options;
+  options.algorithm = algorithm;
+  for (auto _ : state) {
+    auto set = pathdisc::discover(g, VertexId{0}, VertexId{15}, options);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetLabel(state.range(0) == 0 ? "recursive" : "iterative");
+}
+BENCHMARK(BM_Algorithm)->Arg(0)->Arg(1);
+
+void BM_MultiPair(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  netgen::CampusSpec spec;
+  spec.distribution = 16;
+  spec.clients_per_edge = 4;
+  const auto g = netgen::campus(spec);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  const VertexId server = g.vertex_by_name("srv0");
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    pairs.emplace_back(g.vertex_by_name("t" + std::to_string(i)), server);
+  }
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+  for (auto _ : state) {
+    auto sets = pathdisc::discover_all(g, pairs, {}, pool.get());
+    benchmark::DoNotOptimize(sets);
+  }
+  state.SetLabel(threads == 0 ? "serial" : std::to_string(threads) + "T");
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_MultiPair)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BoundedLength(benchmark::State& state) {
+  // k-hop bounded discovery keeps dense cores tractable.
+  const auto g = netgen::complete(12);
+  pathdisc::Options options;
+  options.max_path_length = static_cast<std::size_t>(state.range(0));
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    auto set = pathdisc::discover(g, VertexId{0}, VertexId{11}, options);
+    paths = set.count();
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_BoundedLength)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+}  // namespace

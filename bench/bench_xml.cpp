@@ -1,0 +1,75 @@
+// Supporting micro-bench — mapping-file XML parse/serialise throughput
+// (Step 4/6 of the methodology exchange mappings on disk).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "mapping/mapping.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace upsim;
+
+std::string synthetic_mapping_xml(std::size_t pairs) {
+  std::string xml = "<servicemapping>";
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::string n = std::to_string(i);
+    xml += "<atomicservice id=\"service_" + n + "\"><requester id=\"rq_" + n +
+           "\"/><provider id=\"pr_" + n + "\"/></atomicservice>";
+  }
+  xml += "</servicemapping>";
+  return xml;
+}
+
+void BM_ParseMappingXml(benchmark::State& state) {
+  const auto xml = synthetic_mapping_xml(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto doc = xml::parse(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseMappingXml)->Arg(5)->Arg(100)->Arg(2000);
+
+void BM_MappingFromXml(benchmark::State& state) {
+  // Parse + semantic construction (duplicate-key checks, identifiers).
+  const auto xml = synthetic_mapping_xml(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto mapping = mapping::ServiceMapping::from_xml(xml);
+    benchmark::DoNotOptimize(mapping);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MappingFromXml)->Arg(5)->Arg(100)->Arg(2000);
+
+void BM_MappingToXml(benchmark::State& state) {
+  mapping::ServiceMapping mapping;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const std::string n = std::to_string(i);
+    mapping.map("service_" + n, "rq_" + n, "pr_" + n);
+  }
+  for (auto _ : state) {
+    auto xml = mapping.to_xml();
+    benchmark::DoNotOptimize(xml);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MappingToXml)->Arg(5)->Arg(100)->Arg(2000);
+
+void BM_EntityHeavyDocument(benchmark::State& state) {
+  // Text with many escaped entities stresses the entity decoder.
+  std::string xml = "<doc>";
+  for (int i = 0; i < 500; ++i) xml += "x &amp; y &lt;z&gt; ";
+  xml += "</doc>";
+  for (auto _ : state) {
+    auto doc = xml::parse(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_EntityHeavyDocument);
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Experiment report: regenerates every table and figure of the paper's
+// evaluation (DESIGN.md experiments E1-E7) and prints them next to the
+// published ground truth so the reproduction can be checked line by line.
+//
+//   E1  Table I        service mapping pairs
+//   E2  Sec. VI-G      path listing for (t1, printS)
+//   E3  Figs. 5/9      infrastructure census
+//   E4  Fig. 11        UPSIM node set for t1 -> p2
+//   E5  Fig. 12        UPSIM node set for t15 -> p3 (mapping-only change)
+//   E6  Formula 1/VII  component and service availabilities
+//   E7  Fig. 8         component class catalog
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "casestudy/usi.hpp"
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/availability.hpp"
+#include "depend/importance.hpp"
+#include "depend/performability.hpp"
+#include "depend/reliability.hpp"
+#include "depend/responsiveness.hpp"
+#include "depend/sensitivity.hpp"
+#include "depend/simulator.hpp"
+#include "depend/sla.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace upsim;
+
+std::string node_set_string(const uml::ObjectModel& m) {
+  std::vector<std::string> names;
+  for (const auto* inst : m.instances()) names.push_back(inst->name());
+  std::sort(names.begin(), names.end());
+  return util::join(names, " ");
+}
+
+std::string sorted_join(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  return util::join(names, " ");
+}
+
+void header(const char* id, const char* title) {
+  std::cout << "\n=== " << id << " — " << title << " ===\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  core::UpsimGenerator generator(*cs.infrastructure);
+
+  std::cout << "upsim case-study reproduction report\n"
+            << "paper: A Model for Evaluation of User-Perceived Service "
+               "Properties (Dittrich et al., 2013)\n";
+
+  // -- E7 / Fig. 8 ----------------------------------------------------------
+  header("E7", "Fig. 8 component classes");
+  {
+    util::TextTable table({"class", "stereotypes", "MTBF [h]", "MTTR [h]",
+                           "A (exact)", "A (Formula 1)"});
+    for (const uml::Class* cls : cs.classes->classes()) {
+      std::string stereotypes;
+      for (const auto& app : cls->applications()) {
+        if (!stereotypes.empty()) stereotypes += ";";
+        stereotypes += util::to_lower(app.stereotype().name());
+      }
+      const double mtbf = cls->stereotype_value("MTBF")->as_real();
+      const double mttr = cls->stereotype_value("MTTR")->as_real();
+      table.add_row({cls->name(), "<<" + stereotypes + ">>",
+                     util::format_sig(mtbf, 6), util::format_sig(mttr, 3),
+                     util::format_sig(depend::availability_exact(mtbf, mttr), 8),
+                     util::format_sig(depend::availability_linear(mtbf, mttr),
+                                      8)});
+    }
+    std::cout << table.render(2)
+              << "  (link values are the documented substitution: MTBF=500000,"
+                 " MTTR=0.5)\n";
+  }
+
+  // -- E3 / Figs. 5 and 9 ---------------------------------------------------
+  header("E3", "Figs. 5/9 infrastructure object diagram");
+  {
+    std::cout << "  components: " << cs.infrastructure->instance_count()
+              << " (paper: 32)   links: " << cs.infrastructure->link_count()
+              << " (reconstruction: 34)\n";
+    util::TextTable table({"class", "instances"});
+    for (const auto& [cls, count] : cs.infrastructure->census()) {
+      table.add_row({cls, std::to_string(count)});
+    }
+    std::cout << table.render(2);
+    const auto problems = cs.infrastructure->validate();
+    std::cout << "  model validation: "
+              << (problems.empty() ? "clean" : util::join(problems, "; "))
+              << "\n";
+  }
+
+  // -- E1 / Table I ---------------------------------------------------------
+  header("E1", "Table I service mapping pairs");
+  {
+    util::TextTable table({"AS", "RQ (ours)", "PR (ours)", "RQ (paper)",
+                           "PR (paper)", "match"});
+    const auto mapping = cs.mapping_t1_p2();
+    const std::vector<std::array<const char*, 3>> published = {
+        {"request_printing", "t1", "printS"},
+        {"login_to_printer", "p2", "printS"},
+        {"send_document_list", "printS", "p2"},
+        {"select_documents", "p2", "printS"},
+        {"send_documents", "printS", "p2"},
+    };
+    for (const auto& [atomic, rq, pr] : published) {
+      const auto pair = mapping.get(atomic);
+      const bool match = pair.requester == rq && pair.provider == pr;
+      table.add_row({atomic, pair.requester, pair.provider, rq, pr,
+                     match ? "yes" : "NO"});
+    }
+    std::cout << table.render(2);
+  }
+
+  // -- E2 / Sec. VI-G -------------------------------------------------------
+  header("E2", "Sec. VI-G path discovery for pair (t1, printS)");
+  const auto t1_p2 = generator.generate(printing, cs.mapping_t1_p2(), "t1_p2");
+  {
+    const auto& paths = t1_p2.path_names(0);
+    std::cout << "  discovered " << paths.size()
+              << " redundant paths (discovery order):\n";
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      std::cout << "    " << i + 1 << ". " << util::join(paths[i], " - ")
+                << "\n";
+    }
+    const auto& expected = casestudy::expected_first_paths_t1_printS();
+    const bool match = paths.size() >= 2 && paths[0] == expected[0] &&
+                       paths[1] == expected[1];
+    std::cout << "  paper prints the first two paths; match: "
+              << (match ? "yes" : "NO") << "\n";
+  }
+
+  // -- E4 / Fig. 11 ---------------------------------------------------------
+  header("E4", "Fig. 11 UPSIM for printing t1 -> p2 via printS");
+  {
+    const std::string ours = node_set_string(t1_p2.upsim);
+    const std::string published =
+        sorted_join(casestudy::expected_upsim_t1_p2());
+    std::cout << "  ours:  " << ours << "\n  paper: " << published
+              << "\n  match: " << (ours == published ? "yes" : "NO") << "\n";
+  }
+
+  // -- E5 / Fig. 12 ---------------------------------------------------------
+  header("E5", "Fig. 12 UPSIM for printing t15 -> p3 (mapping-only change)");
+  const auto t15_p3 =
+      generator.generate(printing, cs.mapping_t15_p3(), "t15_p3");
+  {
+    const std::string ours = node_set_string(t15_p3.upsim);
+    const std::string published =
+        sorted_join(casestudy::expected_upsim_t15_p3());
+    std::cout << "  ours:  " << ours << "\n  paper: " << published
+              << "\n  match: " << (ours == published ? "yes" : "NO") << "\n";
+  }
+
+  // -- E6 / Formula 1 + Sec. VII -------------------------------------------
+  header("E6", "user-perceived steady-state availability (Sec. VII)");
+  {
+    core::AnalysisOptions options;
+    options.monte_carlo_samples = 500000;
+    util::TextTable table({"perspective", "exact", "Formula-1 exact",
+                           "indep. pairs", "RBD [20]", "Monte Carlo"});
+    for (const auto& [label, result] :
+         {std::pair<const char*, const core::UpsimResult*>{"t1 -> p2",
+                                                            &t1_p2},
+          {"t15 -> p3", &t15_p3}}) {
+      const auto report = core::analyze_availability(*result, options);
+      table.add_row(
+          {label, util::format_sig(report.exact, 8),
+           util::format_sig(report.exact_linear, 8),
+           util::format_sig(report.independent_pairs, 8),
+           util::format_sig(report.rbd, 12),
+           util::format_sig(report.monte_carlo.estimate, 8) + " +/- " +
+               util::format_sig(report.monte_carlo.std_error, 2)});
+    }
+    std::cout << table.render(2);
+    std::cout
+        << "  shapes to check: RBD >= exact >= independent-pairs product;\n"
+           "  Formula-1 variant within ~1e-4 of exact; Monte Carlo within a\n"
+           "  few standard errors of exact.\n";
+  }
+
+  // -- E6b: the wider Sec. VII property suite on the t1 -> p2 UPSIM --------
+  header("E6b", "component importance and repair-time sensitivity");
+  {
+    const auto problem = depend::ReliabilityProblem::from_attributes(
+        t1_p2.upsim_graph, t1_p2.terminal_pairs());
+    depend::ImportanceOptions ioptions;
+    ioptions.include_edges = false;
+    util::TextTable table({"component", "Birnbaum", "A if down", "SPOF",
+                           "downtime saved per MTTR hour [h/yr]"});
+    const auto importance = depend::importance_ranking(problem, ioptions);
+    depend::SensitivityOptions soptions;
+    soptions.include_edges = false;
+    const auto sensitivity = depend::sensitivity_analysis(problem, soptions);
+    auto saved_of = [&](const std::string& name) {
+      for (const auto& r : sensitivity) {
+        if (r.component == name) return r.downtime_saved_per_mttr_hour;
+      }
+      return 0.0;
+    };
+    for (const auto& record : importance) {
+      table.add_row({record.component, util::format_sig(record.birnbaum, 4),
+                     util::format_sig(record.system_when_down, 4),
+                     record.single_point_of_failure() ? "yes" : "no",
+                     util::format_sig(saved_of(record.component), 4)});
+    }
+    std::cout << table.render(2);
+    std::cout << "  shape: the fragile endpoints (t1, p2) dominate; the\n"
+                 "  redundant core switches are the only non-SPOFs and\n"
+                 "  contribute negligibly.\n";
+  }
+
+  header("E6c", "SLA classification, performability and responsiveness");
+  {
+    const auto problem = depend::ReliabilityProblem::from_attributes(
+        t1_p2.upsim_graph, t1_p2.terminal_pairs());
+    const double a = depend::exact_availability(problem);
+    std::cout << "  service class: " << depend::availability_class(a)
+              << ", expected downtime "
+              << util::format_sig(depend::downtime_hours_per_year(a), 4)
+              << " h/year; meets 99% SLA: "
+              << (depend::meets_sla(a, 0.99) ? "yes" : "no")
+              << ", meets 99.9%: "
+              << (depend::meets_sla(a, 0.999) ? "yes" : "no") << "\n";
+
+    // Performability of the request_printing pair (Fig. 7 throughput).
+    depend::ReliabilityProblem pair0 = problem;
+    pair0.terminal_pairs = {t1_p2.terminal_pairs()[0]};
+    const auto perf = depend::exact_performability(pair0);
+    std::cout << "  performability (t1 -> printS): nominal "
+              << util::format_sig(perf.nominal_throughput, 4)
+              << " Mbps, expected "
+              << util::format_sig(perf.expected_throughput, 6) << " Mbps\n";
+
+    // Responsiveness with per-hop default latencies.
+    const auto resp =
+        depend::exact_responsiveness(pair0, {}, {0.86, 1.01, 2.0});
+    std::cout << "  responsiveness (t1 -> printS): best case "
+              << util::format_sig(resp.best_case_ms, 3) << " ms; P(<=0.86ms)="
+              << util::format_sig(resp.probability[0], 6) << ", P(<=2ms)="
+              << util::format_sig(resp.probability[2], 6) << "\n";
+  }
+
+  header("E6d", "simulated operation versus analytic steady state");
+  {
+    const auto model = depend::SimulationModel::from_attributes(
+        t1_p2.upsim_graph, t1_p2.terminal_pairs());
+    const double analytic =
+        depend::exact_availability(model.steady_state_problem());
+    util::TextTable table(
+        {"simulated years", "measured A", "analytic A", "outages"});
+    for (const double years : {1.0, 10.0, 100.0}) {
+      depend::SimulationOptions options;
+      options.horizon_hours = years * 365.0 * 24.0;
+      options.seed = 2013;
+      const auto sim = depend::simulate(model, options);
+      table.add_row({util::format_sig(years, 3),
+                     util::format_sig(sim.availability(), 6),
+                     util::format_sig(analytic, 6),
+                     std::to_string(sim.outages)});
+    }
+    std::cout << table.render(2)
+              << "  shape: the measured value converges to the analytic one "
+                 "as ~1/sqrt(T).\n";
+  }
+
+  std::cout << "\nreport complete.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The operator's wall chart: user-perceived printing availability for
+// every (client, printer) combination — thirteen clients x three printers,
+// each cell a full UPSIM generation + exact analysis.  This is the paper's
+// core message rendered as one table: a single system-wide figure cannot
+// express this matrix.  The example closes with the transient curve after
+// a maintenance window (everything starts fresh) for the worst cell.
+#include <iostream>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/reduction.hpp"
+#include "depend/transient.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace upsim;
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  core::UpsimGenerator generator(*cs.infrastructure);
+
+  const std::vector<const char*> clients{"t1", "t2", "t3", "t6", "t7", "t8",
+                                         "t9", "t10", "t11", "t12", "t13",
+                                         "t14", "t15"};
+  const std::vector<const char*> printers{"p1", "p2", "p3"};
+
+  double worst = 1.0;
+  std::string worst_client;
+  std::string worst_printer;
+  util::TextTable table({"client", "p1", "p2", "p3"});
+  for (const char* client : clients) {
+    std::vector<std::string> row{client};
+    for (const char* printer : printers) {
+      const auto result = generator.generate(
+          printing, cs.printing_mapping(client, printer), "matrix");
+      const auto problem = depend::ReliabilityProblem::from_attributes(
+          result.upsim_graph, result.terminal_pairs());
+      const double a = depend::exact_availability_reduced(problem);
+      row.push_back(util::format_sig(a, 8));
+      if (a < worst) {
+        worst = a;
+        worst_client = client;
+        worst_printer = printer;
+      }
+    }
+    table.add_row(row);
+  }
+  std::cout << "printing-service availability, every user perspective\n"
+            << "(39 UPSIM generations, exact reduced factoring per cell):\n"
+            << table.render(2);
+
+  // Transient behaviour of the worst perspective after maintenance.
+  const auto result = generator.generate(
+      printing, cs.printing_mapping(worst_client, worst_printer), "matrix");
+  const auto model = depend::SimulationModel::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  const auto curve = depend::transient_availability(
+      model, {0.0, 6.0, 24.0, 72.0, 168.0, 720.0, 8760.0});
+  std::cout << "\ntransient availability for the worst perspective ("
+            << worst_client << " -> " << worst_printer
+            << "), all components fresh at t=0:\n";
+  util::TextTable tcurve({"t [h]", "A(t)"});
+  for (const auto& point : curve) {
+    tcurve.add_row({util::format_sig(point.t_hours, 4),
+                    util::format_sig(point.availability, 8)});
+  }
+  std::cout << tcurve.render(2)
+            << "  (decays from 1 toward the steady-state value within a few\n"
+               "  multiples of the dominant MTTR, here the client's 24 h)\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// User mobility (Sec. V-A3): one person, one printing service, thirteen
+// possible positions in the campus network.  For every client position the
+// example regenerates the UPSIM with a mapping-only change and ranks the
+// positions by user-perceived availability — the per-user view a network
+// operator cannot get from system-wide availability figures.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace upsim;
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+
+  // The printer nearest to each client position (same edge switch when
+  // possible, else the default p2).
+  const auto nearest_printer = [](const std::string& client) -> const char* {
+    if (client == "t6" || client == "t7" || client == "t8") return "p1";
+    if (client == "t13" || client == "t14" || client == "t15") return "p3";
+    return "p2";
+  };
+
+  core::UpsimGenerator generator(*cs.infrastructure);
+  core::AnalysisOptions options;
+  options.monte_carlo_samples = 0;  // exact only; fast enough per position
+
+  struct Row {
+    std::string client;
+    std::string printer;
+    std::size_t upsim_size;
+    std::size_t paths;
+    double availability;
+  };
+  std::vector<Row> rows;
+  for (const char* client : {"t1", "t2", "t3", "t6", "t7", "t8", "t9", "t10",
+                             "t11", "t12", "t13", "t14", "t15"}) {
+    const char* printer = nearest_printer(client);
+    const auto result = generator.generate(
+        printing, cs.printing_mapping(client, printer), "mobility");
+    const auto report = core::analyze_availability(result, options);
+    rows.push_back(Row{client, printer, result.upsim.instance_count(),
+                       result.total_paths(), report.exact});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) {
+              return a.availability > b.availability;
+            });
+
+  std::cout << "printing-service availability by user position "
+               "(mapping-only regeneration):\n";
+  util::TextTable table(
+      {"rank", "client", "printer", "|UPSIM|", "paths", "availability"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({std::to_string(i + 1), rows[i].client, rows[i].printer,
+                   std::to_string(rows[i].upsim_size),
+                   std::to_string(rows[i].paths),
+                   util::format_sig(rows[i].availability, 8)});
+  }
+  std::cout << table.render(2);
+  std::cout << "\nspread between best and worst position: "
+            << util::format_sig(rows.front().availability -
+                                    rows.back().availability, 3)
+            << " — invisible to any single system-wide availability figure.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Service migration (Sec. V-A3): moving the print-queue service from
+// printS to another server is a mapping-only edit — the network model and
+// the service description stay untouched.  The example writes the mapping
+// to the paper's XML format, edits it the way an operator would, reloads
+// it, and compares the perceived infrastructure before and after.
+#include <iostream>
+#include <set>
+
+#include "casestudy/usi.hpp"
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "mapping/mapping.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+std::set<std::string> upsim_nodes(const upsim::core::UpsimResult& result) {
+  std::set<std::string> out;
+  for (const auto* inst : result.upsim.instances()) out.insert(inst->name());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace upsim;
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  core::UpsimGenerator generator(*cs.infrastructure);
+  core::AnalysisOptions analysis;
+  analysis.monte_carlo_samples = 0;
+
+  // Before: the Table I mapping, serialised to the Fig. 3 XML format.
+  const auto before_mapping = cs.mapping_t1_p2();
+  std::cout << "mapping file before migration:\n"
+            << before_mapping.to_xml() << "\n";
+  const auto before = generator.generate(printing, before_mapping, "view");
+  const double a_before = core::analyze_availability(before, analysis).exact;
+
+  // Migrate: every occurrence of printS becomes file1 — a pure mapping
+  // edit, exercised through the XML round trip like a real operator change.
+  auto migrated = mapping::ServiceMapping::from_xml(before_mapping.to_xml());
+  for (const auto& pair : migrated.pairs()) {
+    const auto swap = [](const std::string& id) {
+      return id == "printS" ? std::string("file1") : id;
+    };
+    migrated.map(pair.atomic_service, swap(pair.requester),
+                 swap(pair.provider));
+  }
+  const auto after = generator.generate(printing, migrated, "view");
+  const double a_after = core::analyze_availability(after, analysis).exact;
+
+  const auto removed = [&] {
+    std::set<std::string> out;
+    const auto b = upsim_nodes(before);
+    const auto a = upsim_nodes(after);
+    for (const auto& n : b) {
+      if (!a.contains(n)) out.insert(n);
+    }
+    return out;
+  }();
+  const auto added = [&] {
+    std::set<std::string> out;
+    const auto b = upsim_nodes(before);
+    const auto a = upsim_nodes(after);
+    for (const auto& n : a) {
+      if (!b.contains(n)) out.insert(n);
+    }
+    return out;
+  }();
+
+  std::cout << "UPSIM delta after migrating the queue server printS -> "
+               "file1:\n  removed:";
+  for (const auto& n : removed) std::cout << " " << n;
+  std::cout << "\n  added:  ";
+  for (const auto& n : added) std::cout << " " << n;
+  std::cout << "\n\nuser-perceived availability (t1 -> p2):\n"
+            << "  before: " << util::format_sig(a_before, 8) << "\n"
+            << "  after:  " << util::format_sig(a_after, 8) << "\n"
+            << "\nonly the mapping changed; the UML network model and the "
+               "printing-service\ndescription were reused verbatim "
+               "(Sec. V-A3).\n";
+  return 0;
+}

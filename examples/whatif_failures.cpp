@@ -1,0 +1,70 @@
+// What-if analysis on the UPSIM (Sec. VII: "a quick overview on which ICT
+// components can be the cause" of a service problem).  For every component
+// of the t1 -> p2 printing UPSIM the example computes the availability
+// birnbaum-style: service availability given the component is forced down
+// versus forced up.  The difference ranks the components by criticality;
+// single points of failure drop the service to zero when down.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/reliability.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace upsim;
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result =
+      generator.generate(printing, cs.mapping_t1_p2(), "whatif");
+
+  const auto problem = depend::ReliabilityProblem::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  const double baseline = depend::exact_availability(problem);
+  std::cout << "baseline user-perceived availability (t1 -> p2): "
+            << util::format_sig(baseline, 8) << "\n\n";
+
+  struct Row {
+    std::string component;
+    std::string type;
+    double when_down;
+    double importance;  // Birnbaum: A(up) - A(down)
+  };
+  std::vector<Row> rows;
+  for (std::size_t v = 0; v < result.upsim_graph.vertex_count(); ++v) {
+    const auto id = graph::VertexId{static_cast<std::uint32_t>(v)};
+    auto down = problem;
+    down.vertex_availability[v] = 0.0;
+    auto up = problem;
+    up.vertex_availability[v] = 1.0;
+    const double a_down = depend::exact_availability(down);
+    const double a_up = depend::exact_availability(up);
+    rows.push_back(Row{result.upsim_graph.vertex(id).name,
+                       result.upsim_graph.vertex(id).type, a_down,
+                       a_up - a_down});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.importance > b.importance;
+  });
+
+  util::TextTable table(
+      {"component", "type", "service A if down", "Birnbaum importance"});
+  for (const auto& row : rows) {
+    table.add_row({row.component, row.type,
+                   util::format_sig(row.when_down, 6),
+                   util::format_sig(row.importance, 6)});
+  }
+  std::cout << "component criticality for this user perspective:\n"
+            << table.render(2);
+  std::cout << "\ncomponents with 'service A if down' = 0 are single points "
+               "of failure for THIS user;\nthe redundant core switches "
+               "barely matter — exactly the insight a UPSIM exists to "
+               "surface.\n";
+  return 0;
+}

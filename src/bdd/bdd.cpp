@@ -1,0 +1,135 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace upsim::bdd {
+
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Manager::Manager(std::size_t variable_count)
+    : variable_count_(variable_count) {
+  // Terminals: ids 0 (false) and 1 (true); their var sorts below every
+  // real variable.
+  const auto terminal_var = static_cast<std::uint32_t>(variable_count_);
+  nodes_.push_back(Node{terminal_var, kFalse, kFalse});
+  nodes_.push_back(Node{terminal_var, kTrue, kTrue});
+  unique_by_var_.resize(variable_count_);
+}
+
+Manager::Ref Manager::make_node(std::uint32_t var, Ref low, Ref high) {
+  if (low == high) return low;  // reduction rule
+  auto& table = unique_by_var_[var];
+  const auto [it, inserted] = table.try_emplace(pair_key(low, high), 0);
+  if (!inserted) return it->second;
+  const Ref id = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  it->second = id;
+  return id;
+}
+
+Manager::Ref Manager::variable(std::size_t index) {
+  if (index >= variable_count_) {
+    throw NotFoundError("bdd: variable index out of range");
+  }
+  return make_node(static_cast<std::uint32_t>(index), kFalse, kTrue);
+}
+
+Manager::Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  auto& by_h = computed_[pair_key(f, g)];
+  if (const auto it = by_h.find(h); it != by_h.end()) return it->second;
+
+  const std::uint32_t top =
+      std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  auto cofactor = [&](Ref r, bool positive) {
+    const Node& node = nodes_[r];
+    if (node.var != top) return r;
+    return positive ? node.high : node.low;
+  };
+  const Ref high = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Ref low =
+      ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const Ref result = make_node(top, low, high);
+  computed_[pair_key(f, g)].emplace(h, result);
+  return result;
+}
+
+double Manager::probability(Ref f, const std::vector<double>& probability) {
+  if (probability.size() != variable_count_) {
+    throw ModelError("bdd: probability vector size mismatch");
+  }
+  for (const double p : probability) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw ModelError("bdd: probability outside [0,1]");
+    }
+  }
+  probability_memo_.clear();
+  probability_memo_.emplace(kFalse, 0.0);
+  probability_memo_.emplace(kTrue, 1.0);
+  // Iterative post-order to avoid deep recursion on tall diagrams.
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    if (probability_memo_.contains(r)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& node = nodes_[r];
+    const auto low_it = probability_memo_.find(node.low);
+    const auto high_it = probability_memo_.find(node.high);
+    if (low_it != probability_memo_.end() &&
+        high_it != probability_memo_.end()) {
+      const double p = probability[node.var];
+      probability_memo_.emplace(
+          r, p * high_it->second + (1.0 - p) * low_it->second);
+      stack.pop_back();
+    } else {
+      if (low_it == probability_memo_.end()) stack.push_back(node.low);
+      if (high_it == probability_memo_.end()) stack.push_back(node.high);
+    }
+  }
+  return probability_memo_.at(f);
+}
+
+std::size_t Manager::size(Ref f) const {
+  std::vector<Ref> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (r <= kTrue || seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    stack.push_back(nodes_[r].low);
+    stack.push_back(nodes_[r].high);
+  }
+  return count;
+}
+
+bool Manager::evaluate(Ref f, const std::vector<bool>& assignment) const {
+  if (assignment.size() != variable_count_) {
+    throw ModelError("bdd: assignment size mismatch");
+  }
+  Ref cur = f;
+  while (cur > kTrue) {
+    const Node& node = nodes_[cur];
+    cur = assignment[node.var] ? node.high : node.low;
+  }
+  return cur == kTrue;
+}
+
+}  // namespace upsim::bdd

@@ -1,0 +1,89 @@
+// Reduced ordered binary decision diagrams (ROBDDs), from scratch.
+//
+// The structure function of "requester can reach provider" is a monotone
+// boolean function of the component states; representing it as an ROBDD
+// gives an exact availability evaluation in time linear in the diagram
+// size, independent of the number of minimal paths — the classical
+// alternative to both factoring and inclusion–exclusion (which dies at
+// ~25 paths).  depend/bdd_availability.hpp builds the connectivity
+// function; this header is the generic BDD kernel:
+//
+//   * unique table (hash-consing) so equal subfunctions share one node,
+//   * ite(f, g, h) with a computed table (memoisation),
+//   * probability evaluation P(f = 1) for independent variables.
+//
+// Variables are dense indices [0, variable_count) with the fixed ordering
+// var 0 at the top.  References are plain node ids; terminals are kFalse
+// and kTrue.  No complement edges and no garbage collection — managers are
+// built per analysis and discarded, which keeps the kernel small and the
+// behaviour predictable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace upsim::bdd {
+
+class Manager {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  /// Creates a manager for `variable_count` variables (may be 0).
+  explicit Manager(std::size_t variable_count);
+
+  [[nodiscard]] std::size_t variable_count() const noexcept {
+    return variable_count_;
+  }
+
+  /// The function "variable i is true".  Throws NotFoundError for an
+  /// out-of-range index.
+  [[nodiscard]] Ref variable(std::size_t index);
+
+  /// If-then-else: f ? g : h, the universal connective.
+  [[nodiscard]] Ref ite(Ref f, Ref g, Ref h);
+
+  [[nodiscard]] Ref bdd_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  [[nodiscard]] Ref bdd_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  [[nodiscard]] Ref bdd_not(Ref f) { return ite(f, kFalse, kTrue); }
+
+  /// P(f = 1) when variable i is true with probability `probability[i]`,
+  /// independently.  Throws ModelError on size mismatch or out-of-range
+  /// probabilities.
+  [[nodiscard]] double probability(Ref f,
+                                   const std::vector<double>& probability);
+
+  /// Nodes reachable from f (excluding terminals) — the diagram size.
+  [[nodiscard]] std::size_t size(Ref f) const;
+
+  /// Total live nodes in the manager (including terminals).
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Evaluates f under a complete assignment (for tests).
+  [[nodiscard]] bool evaluate(Ref f, const std::vector<bool>& assignment) const;
+
+ private:
+  struct Node {
+    std::uint32_t var;  ///< variable_count_ for terminals
+    Ref low;
+    Ref high;
+  };
+
+  [[nodiscard]] Ref make_node(std::uint32_t var, Ref low, Ref high);
+
+  std::size_t variable_count_;
+  std::vector<Node> nodes_;
+  // Unique tables, one per variable, keyed by (low, high) packed exactly
+  // into 64 bits — hash-consing without collision risk.
+  std::vector<std::unordered_map<std::uint64_t, Ref>> unique_by_var_;
+  // Computed table for ite: (f, g) -> h -> result, exact keys.
+  std::unordered_map<std::uint64_t, std::unordered_map<Ref, Ref>> computed_;
+  // Probability memo (cleared per probability() call).
+  std::unordered_map<Ref, double> probability_memo_;
+};
+
+}  // namespace upsim::bdd

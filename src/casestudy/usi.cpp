@@ -1,0 +1,323 @@
+#include "casestudy/usi.hpp"
+
+#include "util/error.hpp"
+
+namespace upsim::casestudy {
+
+std::unique_ptr<uml::Profile> make_availability_profile() {
+  auto profile = std::make_unique<uml::Profile>("availability");
+  uml::Stereotype& component = profile->define(
+      "Component", uml::Metaclass::Class, nullptr, /*is_abstract=*/true);
+  component.declare_attribute("MTBF", uml::ValueType::Real);
+  component.declare_attribute("MTTR", uml::ValueType::Real);
+  component.declare_attribute("redundantComponents", uml::ValueType::Integer,
+                              uml::Value(0));
+  profile->define("Device", uml::Metaclass::Class, &component);
+  // «Connector» extends Association; UML profiles cannot share one
+  // stereotype across metaclasses, so Connector redeclares the Component
+  // attribute set (the paper draws the inheritance; the subset semantics
+  // are identical).
+  uml::Stereotype& connector =
+      profile->define("Connector", uml::Metaclass::Association);
+  connector.declare_attribute("MTBF", uml::ValueType::Real);
+  connector.declare_attribute("MTTR", uml::ValueType::Real);
+  connector.declare_attribute("redundantComponents", uml::ValueType::Integer,
+                              uml::Value(0));
+  return profile;
+}
+
+std::unique_ptr<uml::Profile> make_network_profile() {
+  auto profile = std::make_unique<uml::Profile>("network");
+  uml::Stereotype& network_device = profile->define(
+      "NetworkDevice", uml::Metaclass::Class, nullptr, /*is_abstract=*/true);
+  network_device.declare_attribute("manufacturer", uml::ValueType::String);
+  network_device.declare_attribute("model", uml::ValueType::String);
+  profile->define("Router", uml::Metaclass::Class, &network_device);
+  profile->define("Switch", uml::Metaclass::Class, &network_device);
+  profile->define("Printer", uml::Metaclass::Class, &network_device);
+  uml::Stereotype& computer =
+      profile->define("Computer", uml::Metaclass::Class, &network_device,
+                      /*is_abstract=*/true);
+  computer.declare_attribute("processor", uml::ValueType::String);
+  profile->define("Client", uml::Metaclass::Class, &computer);
+  profile->define("Server", uml::Metaclass::Class, &computer);
+  uml::Stereotype& communication =
+      profile->define("Communication", uml::Metaclass::Association);
+  communication.declare_attribute("channel", uml::ValueType::String);
+  communication.declare_attribute("throughput", uml::ValueType::Real);
+  return profile;
+}
+
+namespace {
+
+/// Fig. 8 dependability values, hours.
+struct DeviceSpec {
+  const char* class_name;
+  const char* network_stereotype;
+  double mtbf;
+  double mttr;
+  const char* manufacturer;
+  const char* model;
+};
+
+constexpr DeviceSpec kDeviceSpecs[] = {
+    {"Server", "Server", 60000.0, 0.1, "Generic", "Rack server"},
+    {"C6500", "Switch", 183498.0, 0.5, "Cisco", "Catalyst 6500"},
+    {"C2960", "Switch", 61320.0, 0.5, "Cisco", "Catalyst 2960"},
+    {"HP2650", "Switch", 199000.0, 0.5, "HP", "ProCurve 2650"},
+    {"C3750", "Switch", 188575.0, 0.5, "Cisco", "Catalyst 3750"},
+    {"Comp", "Client", 3000.0, 24.0, "Generic", "Desktop PC"},
+    {"Printer", "Printer", 2880.0, 1.0, "HP", "LaserJet"},
+};
+
+/// Substituted link values (see file header).
+constexpr double kLinkMtbf = 500000.0;
+constexpr double kLinkMttr = 0.5;
+
+}  // namespace
+
+UsiCaseStudy make_usi_case_study() {
+  UsiCaseStudy cs;
+  cs.availability_profile = make_availability_profile();
+  cs.network_profile = make_network_profile();
+  const uml::Profile& avail = *cs.availability_profile;
+  const uml::Profile& net = *cs.network_profile;
+
+  // -- Step 1 (Sec. VI-A): component classes, Fig. 8 -----------------------
+  cs.classes = std::make_unique<uml::ClassModel>("usi_classes");
+  uml::ClassModel& classes = *cs.classes;
+  for (const DeviceSpec& spec : kDeviceSpecs) {
+    uml::Class& cls = classes.define_class(spec.class_name);
+    auto& component = cls.apply(avail.get("Device"));
+    component.set("MTBF", spec.mtbf);
+    component.set("MTTR", spec.mttr);
+    component.set("redundantComponents", 0);
+    auto& network = cls.apply(net.get(spec.network_stereotype));
+    network.set("manufacturer", spec.manufacturer);
+    network.set("model", spec.model);
+    if (std::string_view(spec.network_stereotype) == "Client" ||
+        std::string_view(spec.network_stereotype) == "Server") {
+      network.set("processor", "x86_64");
+    }
+  }
+
+  // Associations: one per admissible link kind, stereotyped «Connector» and
+  // «Communication» (Sec. VI-A).
+  struct LinkSpec {
+    const char* name;
+    const char* a;
+    const char* b;
+    double throughput_mbps;
+  };
+  constexpr LinkSpec kLinkSpecs[] = {
+      {"trunk_6500_6500", "C6500", "C6500", 10000.0},
+      {"uplink_3750_6500", "C3750", "C6500", 10000.0},
+      {"uplink_2960_6500", "C2960", "C6500", 1000.0},
+      {"uplink_2650_3750", "HP2650", "C3750", 1000.0},
+      {"access_comp_2650", "Comp", "HP2650", 1000.0},
+      {"access_printer_2650", "Printer", "HP2650", 100.0},
+      {"access_server_2960", "Server", "C2960", 1000.0},
+  };
+  for (const LinkSpec& spec : kLinkSpecs) {
+    uml::Association& assoc = classes.define_association(
+        spec.name, classes.get_class(spec.a), classes.get_class(spec.b));
+    auto& connector = assoc.apply(avail.get("Connector"));
+    connector.set("MTBF", kLinkMtbf);
+    connector.set("MTTR", kLinkMttr);
+    connector.set("redundantComponents", 0);
+    auto& comm = assoc.apply(net.get("Communication"));
+    comm.set("channel", "ethernet");
+    comm.set("throughput", spec.throughput_mbps);
+  }
+
+  // -- Step 2 (Sec. VI-B): infrastructure object diagram, Figs. 5/9 --------
+  cs.infrastructure =
+      std::make_unique<uml::ObjectModel>("usi_network", classes);
+  uml::ObjectModel& infra = *cs.infrastructure;
+  auto add = [&](const char* name, const char* cls) {
+    infra.instantiate(name, cls);
+  };
+  add("c1", "C6500");
+  add("c2", "C6500");
+  add("d1", "C3750");
+  add("d2", "C3750");
+  add("d3", "C2960");
+  add("d4", "C2960");
+  add("e1", "HP2650");
+  add("e2", "HP2650");
+  add("e3", "HP2650");
+  add("e4", "HP2650");
+  for (const char* t : {"t1", "t2", "t3", "t6", "t7", "t8", "t9", "t10", "t11",
+                        "t12", "t13", "t14", "t15"}) {
+    add(t, "Comp");
+  }
+  add("p1", "Printer");
+  add("p2", "Printer");
+  add("p3", "Printer");
+  for (const char* s : {"db", "backup", "email", "file1", "file2", "printS"}) {
+    add(s, "Server");
+  }
+
+  // Link insertion order is load-bearing: depth-first discovery explores
+  // incident links in this order, which reproduces the Sec. VI-G listing.
+  auto link = [&](const char* a, const char* b, const char* assoc) {
+    infra.link(a, b, assoc);
+  };
+  // Core and distribution (redundant core, dual-homed d1/d2/d4, single d3).
+  link("d1", "c1", "uplink_3750_6500");
+  link("d1", "c2", "uplink_3750_6500");
+  link("d4", "c1", "uplink_2960_6500");
+  link("d4", "c2", "uplink_2960_6500");
+  link("c1", "c2", "trunk_6500_6500");
+  link("d2", "c1", "uplink_3750_6500");
+  link("d2", "c2", "uplink_3750_6500");
+  link("d3", "c1", "uplink_2960_6500");
+  // Edge-switch uplinks.
+  link("e1", "d1", "uplink_2650_3750");
+  link("e2", "d1", "uplink_2650_3750");
+  link("e3", "d2", "uplink_2650_3750");
+  link("e4", "d2", "uplink_2650_3750");
+  // Clients.
+  for (const auto& [t, e] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"t1", "e1"}, {"t2", "e1"}, {"t3", "e1"},
+           {"t6", "e2"}, {"t7", "e2"}, {"t8", "e2"},
+           {"t9", "e3"}, {"t10", "e3"}, {"t11", "e3"}, {"t12", "e3"},
+           {"t13", "e4"}, {"t14", "e4"}, {"t15", "e4"}}) {
+    link(t, e, "access_comp_2650");
+  }
+  // Printers.
+  link("p1", "e2", "access_printer_2650");
+  link("p2", "e3", "access_printer_2650");
+  link("p3", "e4", "access_printer_2650");
+  // Servers.
+  link("db", "d3", "access_server_2960");
+  link("backup", "d3", "access_server_2960");
+  link("email", "d3", "access_server_2960");
+  link("file1", "d4", "access_server_2960");
+  link("file2", "d4", "access_server_2960");
+  link("printS", "d4", "access_server_2960");
+
+  // -- Step 3 (Sec. VI-C): services, Fig. 10 -------------------------------
+  cs.services = std::make_unique<service::ServiceCatalog>();
+  service::ServiceCatalog& services = *cs.services;
+  services.define_atomic("request_printing",
+                         "client login to print server and send documents");
+  services.define_atomic("login_to_printer",
+                         "user login at the printer; credentials forwarded "
+                         "to the print server");
+  services.define_atomic("send_document_list",
+                         "print server sends the user's queued documents");
+  services.define_atomic("select_documents",
+                         "user selects documents; printer requests them");
+  services.define_atomic("send_documents",
+                         "print server sends the selected documents");
+  services.define_sequence(printing_service_name(),
+                           printing_atomic_services());
+
+  // A secondary composite (not in the paper's figures but in its service
+  // examples, Sec. VI: "atomic services (e.g.: authenticate, print
+  // document, request backup) ... composite services (e.g. printing,
+  // backup)") used by the multi-service examples and tests.
+  services.define_atomic("authenticate", "credential check against db");
+  services.define_atomic("request_backup", "client asks the backup server");
+  services.define_atomic("transfer_data", "data stream to the backup server");
+  services.define_sequence("backup",
+                           {"authenticate", "request_backup", "transfer_data"});
+
+  // A fork/join composite (the Fig. 2 shape): after authentication the
+  // notification and the data transfer proceed in parallel.
+  services.define_atomic("notify_owner", "email the mailbox owner");
+  uml::Activity mirrored("mirrored_backup_flow");
+  const auto init = mirrored.add_initial();
+  const auto auth = mirrored.add_action("authenticate");
+  const auto request = mirrored.add_action("request_backup");
+  const auto fork = mirrored.add_fork();
+  const auto transfer = mirrored.add_action("transfer_data");
+  const auto notify = mirrored.add_action("notify_owner");
+  const auto join = mirrored.add_join();
+  const auto fin = mirrored.add_final();
+  mirrored.flow(init, auth);
+  mirrored.flow(auth, request);
+  mirrored.flow(request, fork);
+  mirrored.flow(fork, transfer);
+  mirrored.flow(fork, notify);
+  mirrored.flow(transfer, join);
+  mirrored.flow(notify, join);
+  mirrored.flow(join, fin);
+  services.define_composite("mirrored_backup", std::move(mirrored));
+  return cs;
+}
+
+mapping::ServiceMapping UsiCaseStudy::printing_mapping(
+    const std::string& client, const std::string& printer) const {
+  if (infrastructure->find_instance(client) == nullptr ||
+      infrastructure->find_instance(printer) == nullptr) {
+    throw NotFoundError("printing_mapping: unknown component '" + client +
+                        "' or '" + printer + "'");
+  }
+  mapping::ServiceMapping m;
+  m.map("request_printing", client, "printS");
+  m.map("login_to_printer", printer, "printS");
+  m.map("send_document_list", "printS", printer);
+  m.map("select_documents", printer, "printS");
+  m.map("send_documents", "printS", printer);
+  return m;
+}
+
+mapping::ServiceMapping UsiCaseStudy::mapping_t1_p2() const {
+  return printing_mapping("t1", "p2");
+}
+
+mapping::ServiceMapping UsiCaseStudy::mapping_t15_p3() const {
+  return printing_mapping("t15", "p3");
+}
+
+mapping::ServiceMapping UsiCaseStudy::backup_mapping(
+    const std::string& client) const {
+  if (infrastructure->find_instance(client) == nullptr) {
+    throw NotFoundError("backup_mapping: unknown component '" + client + "'");
+  }
+  mapping::ServiceMapping m;
+  m.map("authenticate", client, "db");
+  m.map("request_backup", client, "backup");
+  m.map("transfer_data", client, "backup");
+  // Pairs for the fork/join composite; unused entries are ignored by the
+  // sequential "backup" composite (Sec. VI-D).
+  m.map("notify_owner", "backup", "email");
+  return m;
+}
+
+const std::vector<std::vector<std::string>>& expected_first_paths_t1_printS() {
+  static const std::vector<std::vector<std::string>> kPaths = {
+      {"t1", "e1", "d1", "c1", "d4", "printS"},
+      {"t1", "e1", "d1", "c1", "c2", "d4", "printS"},
+  };
+  return kPaths;
+}
+
+const std::vector<std::string>& expected_upsim_t1_p2() {
+  static const std::vector<std::string> kNodes = {
+      "t1", "e1", "d1", "d2", "c1", "c2", "d4", "printS", "e3", "p2"};
+  return kNodes;
+}
+
+const std::vector<std::string>& expected_upsim_t15_p3() {
+  static const std::vector<std::string> kNodes = {
+      "t15", "e4", "d1", "d2", "c1", "c2", "d4", "printS", "p3"};
+  return kNodes;
+}
+
+const std::string& printing_service_name() {
+  static const std::string kName = "printing";
+  return kName;
+}
+
+const std::vector<std::string>& printing_atomic_services() {
+  static const std::vector<std::string> kAtomics = {
+      "request_printing", "login_to_printer", "send_document_list",
+      "select_documents", "send_documents"};
+  return kAtomics;
+}
+
+}  // namespace upsim::casestudy

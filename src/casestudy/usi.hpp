@@ -1,0 +1,75 @@
+// The University of Lugano (USI) case study of Sec. VI: the campus network
+// of Figs. 5/9, the availability and network profiles of Figs. 6/7, the
+// component classes with their dependability values of Fig. 8, the printing
+// service of Fig. 10, and the Table I service mapping.
+//
+// Topology reconstruction notes (the source scan of Figs. 5/9 is partially
+// garbled) are in DESIGN.md §3; the reconstruction reproduces the exact
+// path listing of Sec. VI-G and the UPSIM node sets of Figs. 11/12.
+//
+// Substitution (documented in DESIGN.md): the paper's Connector stereotype
+// values are unreadable in the scan; links use MTBF=500000 h, MTTR=0.5 h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "service/service.hpp"
+#include "uml/object_model.hpp"
+#include "uml/profile.hpp"
+
+namespace upsim::casestudy {
+
+/// Fig. 6: «Component» (abstract; MTBF, MTTR, redundantComponents) with
+/// «Device» extending Class and «Connector» extending Association.
+[[nodiscard]] std::unique_ptr<uml::Profile> make_availability_profile();
+
+/// Fig. 7: «Network Device» (abstract; manufacturer, model) specialised by
+/// Router/Switch/Printer/Computer, «Computer» (abstract; processor)
+/// specialised by Client/Server, and «Communication» (channel, throughput)
+/// extending Association.
+[[nodiscard]] std::unique_ptr<uml::Profile> make_network_profile();
+
+/// Everything the case study needs, owned in dependency order.
+struct UsiCaseStudy {
+  std::unique_ptr<uml::Profile> availability_profile;
+  std::unique_ptr<uml::Profile> network_profile;
+  std::unique_ptr<uml::ClassModel> classes;        ///< Fig. 8
+  std::unique_ptr<uml::ObjectModel> infrastructure;  ///< Figs. 5/9
+  std::unique_ptr<service::ServiceCatalog> services;  ///< Fig. 10 (+ backup)
+
+  /// Table I: the printing service requested from client t1, printed on
+  /// printer p2, through server printS.
+  [[nodiscard]] mapping::ServiceMapping mapping_t1_p2() const;
+  /// The second perspective of Sec. VI-H: client t15, printer p3.
+  [[nodiscard]] mapping::ServiceMapping mapping_t15_p3() const;
+  /// A printing-service mapping for an arbitrary client/printer pair (used
+  /// by the mobility example); both must be instances of the infrastructure.
+  [[nodiscard]] mapping::ServiceMapping printing_mapping(
+      const std::string& client, const std::string& printer) const;
+  /// Mapping for the secondary "backup" composite (requester client,
+  /// provider chain backup/db servers) — exercises multi-service analysis.
+  [[nodiscard]] mapping::ServiceMapping backup_mapping(
+      const std::string& client) const;
+};
+
+/// Builds the full case study.
+[[nodiscard]] UsiCaseStudy make_usi_case_study();
+
+/// Ground truth from the paper, used by tests and EXPERIMENTS.md:
+/// the first two discovered paths of Sec. VI-G ...
+[[nodiscard]] const std::vector<std::vector<std::string>>&
+expected_first_paths_t1_printS();
+/// ... the Fig. 11 UPSIM node set (t1 -> p2 via printS) ...
+[[nodiscard]] const std::vector<std::string>& expected_upsim_t1_p2();
+/// ... and the Fig. 12 UPSIM node set (t15 -> p3 via printS).
+[[nodiscard]] const std::vector<std::string>& expected_upsim_t15_p3();
+
+/// Name of the printing composite service ("printing") and its five atomic
+/// services in execution order (Fig. 10 / Table I).
+[[nodiscard]] const std::string& printing_service_name();
+[[nodiscard]] const std::vector<std::string>& printing_atomic_services();
+
+}  // namespace upsim::casestudy

@@ -1,0 +1,89 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace upsim::core {
+
+namespace {
+
+std::string link_key(const uml::Link& link) {
+  std::string a = link.end_a().name();
+  std::string b = link.end_b().name();
+  if (b < a) std::swap(a, b);
+  return a + "--" + b;
+}
+
+/// Multiset of endpoint pairs (parallel links count separately).
+std::map<std::string, std::size_t> link_census(const uml::ObjectModel& m) {
+  std::map<std::string, std::size_t> out;
+  for (const auto& link : m.links()) ++out[link_key(*link)];
+  return out;
+}
+
+}  // namespace
+
+std::string ModelDiff::summary() const {
+  std::string out;
+  auto append = [&](char sign, const std::vector<std::string>& items) {
+    for (const std::string& item : items) {
+      if (!out.empty()) out += " ";
+      out += sign + item;
+    }
+  };
+  append('+', added_instances);
+  append('-', removed_instances);
+  append('+', added_links);
+  append('-', removed_links);
+  append('~', retyped_instances);
+  return out.empty() ? "(no changes)" : out;
+}
+
+ModelDiff diff_models(const uml::ObjectModel& before,
+                      const uml::ObjectModel& after) {
+  ModelDiff diff;
+  std::set<std::string> before_names;
+  for (const auto* inst : before.instances()) {
+    before_names.insert(inst->name());
+  }
+  for (const auto* inst : after.instances()) {
+    const auto* old = before.find_instance(inst->name());
+    if (old == nullptr) {
+      diff.added_instances.push_back(inst->name());
+    } else if (old->classifier().name() != inst->classifier().name()) {
+      diff.retyped_instances.push_back(inst->name());
+    }
+  }
+  for (const std::string& name : before_names) {
+    if (after.find_instance(name) == nullptr) {
+      diff.removed_instances.push_back(name);
+    }
+  }
+
+  const auto before_links = link_census(before);
+  const auto after_links = link_census(after);
+  for (const auto& [key, count] : after_links) {
+    const auto it = before_links.find(key);
+    const std::size_t old_count = it == before_links.end() ? 0 : it->second;
+    for (std::size_t i = old_count; i < count; ++i) {
+      diff.added_links.push_back(key);
+    }
+  }
+  for (const auto& [key, count] : before_links) {
+    const auto it = after_links.find(key);
+    const std::size_t new_count = it == after_links.end() ? 0 : it->second;
+    for (std::size_t i = new_count; i < count; ++i) {
+      diff.removed_links.push_back(key);
+    }
+  }
+
+  std::sort(diff.added_instances.begin(), diff.added_instances.end());
+  std::sort(diff.removed_instances.begin(), diff.removed_instances.end());
+  std::sort(diff.added_links.begin(), diff.added_links.end());
+  std::sort(diff.removed_links.begin(), diff.removed_links.end());
+  std::sort(diff.retyped_instances.begin(), diff.retyped_instances.end());
+  return diff;
+}
+
+}  // namespace upsim::core

@@ -1,0 +1,35 @@
+// Structural comparison of object models — "what changed in my perceived
+// infrastructure" after a mapping/topology/migration event (the dynamicity
+// scenarios of Sec. V-A3 all end with exactly this question).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uml/object_model.hpp"
+
+namespace upsim::core {
+
+struct ModelDiff {
+  std::vector<std::string> added_instances;    ///< sorted
+  std::vector<std::string> removed_instances;  ///< sorted
+  std::vector<std::string> added_links;        ///< "a--b" endpoint form, sorted
+  std::vector<std::string> removed_links;
+  /// Instances present in both but with a different classifier.
+  std::vector<std::string> retyped_instances;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return added_instances.empty() && removed_instances.empty() &&
+           added_links.empty() && removed_links.empty() &&
+           retyped_instances.empty();
+  }
+  /// "+a +b -c" style one-line summary for logs and reports.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Diffs `after` against `before`.  Links are compared by unordered
+/// endpoint pair (the link's own name is an artefact of generation order).
+[[nodiscard]] ModelDiff diff_models(const uml::ObjectModel& before,
+                                    const uml::ObjectModel& after);
+
+}  // namespace upsim::core

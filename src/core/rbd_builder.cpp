@@ -1,0 +1,64 @@
+#include "core/rbd_builder.hpp"
+
+#include <unordered_map>
+
+#include "core/analysis.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+
+namespace upsim::core {
+
+PairDependabilityModels build_pair_models(const UpsimResult& result,
+                                          std::size_t pair_index) {
+  if (pair_index >= result.pairs.size()) {
+    throw NotFoundError("build_pair_models: pair index out of range");
+  }
+  const graph::Graph& g = result.upsim_graph;
+  const auto& pair = result.pairs[pair_index];
+  const auto set = pathdisc::discover(g, pair.requester, pair.provider);
+  if (set.empty()) {
+    throw ModelError("build_pair_models: requester '" + pair.requester +
+                     "' and provider '" + pair.provider +
+                     "' are disconnected in the UPSIM");
+  }
+
+  PairDependabilityModels models;
+  std::unordered_map<std::string, double> availability;
+  models.component_paths.reserve(set.count());
+  for (const auto& path : set.paths) {
+    std::vector<std::string> blocks;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const graph::Vertex& v = g.vertex(path[i]);
+      blocks.push_back(v.name);
+      availability.emplace(v.name, component_availability(v.attributes));
+      if (i + 1 < path.size()) {
+        // Parallel links collapse to the most available representative.
+        const graph::Edge* best = nullptr;
+        double best_a = -1.0;
+        for (const graph::EdgeId e : g.incident_edges(path[i])) {
+          if (g.opposite(e, path[i]) != path[i + 1]) continue;
+          const double a = component_availability(g.edge(e).attributes);
+          if (a > best_a) {
+            best_a = a;
+            best = &g.edge(e);
+          }
+        }
+        UPSIM_ASSERT(best != nullptr);
+        blocks.push_back(best->name);
+        availability.emplace(best->name, best_a);
+      }
+    }
+    models.component_paths.push_back(std::move(blocks));
+  }
+
+  const auto availability_of = [&](const std::string& name) {
+    return availability.at(name);
+  };
+  models.rbd = depend::rbd_from_paths(models.component_paths, availability_of);
+  models.fault_tree = depend::fault_tree_from_paths(
+      models.component_paths,
+      [&](const std::string& name) { return 1.0 - availability.at(name); });
+  return models;
+}
+
+}  // namespace upsim::core

@@ -1,0 +1,34 @@
+// The UPSIM -> RBD / fault-tree transformation of the paper's companion
+// work [20] ("Model-driven evaluation of user-perceived service
+// availability"), as a public API: for one atomic service's pair, each
+// discovered path becomes a series arrangement of its devices and links,
+// the redundant paths go in parallel, and the dual fault tree is AND over
+// paths of OR over path components.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/upsim_generator.hpp"
+#include "depend/fault_tree.hpp"
+#include "depend/rbd.hpp"
+
+namespace upsim::core {
+
+/// Both dependability views of one pair, plus the block inventory.
+struct PairDependabilityModels {
+  depend::BlockPtr rbd;             ///< parallel-of-series availability view
+  depend::FaultTreePtr fault_tree;  ///< AND-of-OR failure view
+  /// Component names per path (vertices and the chosen edge per hop), the
+  /// block inventory of both models.
+  std::vector<std::vector<std::string>> component_paths;
+};
+
+/// Builds both models for the pair at `pair_index` of `result` (the order
+/// of UpsimResult::pairs).  Paths are re-discovered on the UPSIM graph so
+/// every edge block is identified exactly; parallel links collapse to the
+/// most available representative.  Throws NotFoundError on a bad index.
+[[nodiscard]] PairDependabilityModels build_pair_models(
+    const UpsimResult& result, std::size_t pair_index);
+
+}  // namespace upsim::core

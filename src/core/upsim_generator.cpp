@@ -1,0 +1,159 @@
+#include "core/upsim_generator.hpp"
+
+#include "transform/mapping_importer.hpp"
+#include "transform/space_discovery.hpp"
+#include "transform/uml_importer.hpp"
+#include "transform/upsim_emitter.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::core {
+
+const std::vector<std::vector<std::string>>& UpsimResult::path_names(
+    std::size_t i) const {
+  if (i >= named_paths.size()) {
+    throw NotFoundError("UpsimResult: pair index out of range");
+  }
+  return named_paths[i];
+}
+
+std::size_t UpsimResult::total_paths() const noexcept {
+  std::size_t n = 0;
+  for (const auto& set : path_sets) n += set.paths.size();
+  return n;
+}
+
+std::vector<std::pair<graph::VertexId, graph::VertexId>>
+UpsimResult::terminal_pairs() const {
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    out.emplace_back(upsim_graph.vertex_by_name(pair.requester),
+                     upsim_graph.vertex_by_name(pair.provider));
+  }
+  return out;
+}
+
+UpsimGenerator::UpsimGenerator(const uml::ObjectModel& infrastructure,
+                               GeneratorOptions options)
+    : infrastructure_(&infrastructure), options_(options) {
+  const auto problems = infrastructure.validate();
+  if (!problems.empty()) {
+    throw ModelError("UpsimGenerator: invalid infrastructure: " +
+                     util::join(problems, "; "));
+  }
+  // Step 5: native import of class + object models.
+  transform::import_class_model(space_, infrastructure.class_model());
+  transform::import_object_model(space_, infrastructure);
+  graph_ = transform::project_from_space(space_, infrastructure,
+                                         options_.projection);
+}
+
+UpsimResult UpsimGenerator::generate(const service::CompositeService& composite,
+                                     const mapping::ServiceMapping& mapping,
+                                     std::string upsim_name) {
+  const auto problems = mapping.validate(*infrastructure_, &composite);
+  if (!problems.empty()) {
+    throw ModelError("UpsimGenerator: invalid mapping for '" +
+                     composite.name() + "': " + util::join(problems, "; "));
+  }
+
+  util::Stopwatch watch;
+  StepTimings timings;
+
+  // Step 6: custom mapping import (replacing any previous run of this name).
+  transform::remove_mapping(space_, upsim_name);
+  transform::clear_paths(space_, upsim_name);
+  transform::import_mapping(space_, upsim_name, mapping, *infrastructure_);
+  timings.import_mapping_ms = watch.millis();
+
+  // Step 7: path discovery per pair, stored in the model space.
+  watch.reset();
+  const std::vector<mapping::ServiceMappingPair> pairs =
+      mapping.pairs_for(composite);
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> endpoint_ids;
+  endpoint_ids.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    endpoint_ids.emplace_back(graph_.vertex_by_name(pair.requester),
+                              graph_.vertex_by_name(pair.provider));
+  }
+  std::vector<pathdisc::PathSet> raw_sets;
+  if (options_.engine == DiscoveryEngine::GraphProjection) {
+    raw_sets = pathdisc::discover_all(graph_, endpoint_ids,
+                                      options_.discovery, options_.pool);
+  } else {
+    // The paper's design point: walk the "link" relations of the model
+    // space itself, then translate the name sequences back to graph ids so
+    // the rest of the pipeline is engine-agnostic.
+    const std::string instances_ns =
+        "models." + infrastructure_->name() + ".instances";
+    raw_sets.resize(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto in_space = transform::discover_in_space(
+          space_, instances_ns, pairs[i].requester, pairs[i].provider);
+      raw_sets[i].source = endpoint_ids[i].first;
+      raw_sets[i].target = endpoint_ids[i].second;
+      raw_sets[i].nodes_expanded = in_space.nodes_expanded;
+      raw_sets[i].paths.reserve(in_space.paths.size());
+      for (const auto& names : in_space.paths) {
+        pathdisc::Path path;
+        path.reserve(names.size());
+        for (const std::string& name : names) {
+          path.push_back(graph_.vertex_by_name(name));
+        }
+        raw_sets[i].paths.push_back(std::move(path));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (raw_sets[i].empty()) {
+      throw ModelError("UpsimGenerator: no path between requester '" +
+                       pairs[i].requester + "' and provider '" +
+                       pairs[i].provider + "' of atomic service '" +
+                       pairs[i].atomic_service + "'");
+    }
+    transform::store_paths(space_, upsim_name,
+                           "pair" + std::to_string(i) + "_" +
+                               pairs[i].atomic_service,
+                           graph_, raw_sets[i], *infrastructure_);
+  }
+  timings.discovery_ms = watch.millis();
+
+  // Step 8: merge stored paths and emit the UPSIM object diagram.
+  watch.reset();
+  const auto stored = transform::load_paths(space_, upsim_name);
+  const auto kept = transform::merge_instances(stored);
+  uml::ObjectModel upsim =
+      transform::emit_upsim(*infrastructure_, upsim_name, kept);
+  graph::Graph upsim_graph = transform::project(upsim, options_.projection);
+  timings.merge_emit_ms = watch.millis();
+
+  UpsimResult result{std::move(upsim), std::move(upsim_graph), pairs,
+                     std::move(raw_sets), {}, timings};
+  result.named_paths.reserve(result.path_sets.size());
+  for (const auto& set : result.path_sets) {
+    std::vector<std::vector<std::string>> names;
+    names.reserve(set.paths.size());
+    for (const auto& path : set.paths) {
+      names.push_back(pathdisc::path_names(graph_, path));
+    }
+    result.named_paths.push_back(std::move(names));
+  }
+  return result;
+}
+
+std::vector<UpsimResult> UpsimGenerator::generate_batch(
+    const service::CompositeService& composite,
+    const std::vector<mapping::ServiceMapping>& mappings,
+    std::string_view name_prefix) {
+  std::vector<UpsimResult> out;
+  out.reserve(mappings.size());
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    out.push_back(generate(composite, mappings[i],
+                           std::string(name_prefix) + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace upsim::core

@@ -1,0 +1,45 @@
+#include "depend/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+namespace {
+void check(double mtbf, double mttr) {
+  if (!(mtbf > 0.0)) {
+    throw ModelError("availability: MTBF must be positive, got " +
+                     std::to_string(mtbf));
+  }
+  if (!(mttr >= 0.0)) {
+    throw ModelError("availability: MTTR must be non-negative, got " +
+                     std::to_string(mttr));
+  }
+}
+}  // namespace
+
+double availability_exact(double mtbf_hours, double mttr_hours) {
+  check(mtbf_hours, mttr_hours);
+  return mtbf_hours / (mtbf_hours + mttr_hours);
+}
+
+double availability_linear(double mtbf_hours, double mttr_hours) {
+  check(mtbf_hours, mttr_hours);
+  return std::max(0.0, 1.0 - mttr_hours / mtbf_hours);
+}
+
+double availability_redundant(double a, int redundant_components) {
+  if (!(a >= 0.0 && a <= 1.0)) {
+    throw ModelError("availability must be within [0,1], got " +
+                     std::to_string(a));
+  }
+  if (redundant_components < 0) {
+    throw ModelError("redundantComponents must be >= 0");
+  }
+  // 1 - P(all 1 + r copies down)
+  return 1.0 - std::pow(1.0 - a, redundant_components + 1);
+}
+
+}  // namespace upsim::depend

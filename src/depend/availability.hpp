@@ -1,0 +1,26 @@
+// Steady-state component availability (Formula 1 of the paper).
+//
+// The paper computes A = 1 - MTTR/MTBF, the first-order approximation of
+// the exact steady-state availability A = MTBF / (MTBF + MTTR).  Both are
+// provided: `linear` reproduces the paper's numbers, `exact` is the default
+// everywhere else in the library.  The two agree to O((MTTR/MTBF)^2), i.e.
+// to ~1e-8 for the case-study components, and EXPERIMENTS.md reports both.
+#pragma once
+
+namespace upsim::depend {
+
+/// Exact steady-state availability MTBF / (MTBF + MTTR).
+/// Requires mtbf > 0 and mttr >= 0; throws ModelError otherwise.
+[[nodiscard]] double availability_exact(double mtbf_hours, double mttr_hours);
+
+/// The paper's linearised Formula 1: A = 1 - MTTR / MTBF, clamped to >= 0
+/// (the approximation goes negative once MTTR > MTBF).
+/// Requires mtbf > 0 and mttr >= 0; throws ModelError otherwise.
+[[nodiscard]] double availability_linear(double mtbf_hours, double mttr_hours);
+
+/// Availability of 1-out-of-(1+r) identical redundant components, each with
+/// availability `a` — models the redundantComponents stereotype attribute:
+/// the component set fails only when the primary and all r spares are down.
+[[nodiscard]] double availability_redundant(double a, int redundant_components);
+
+}  // namespace upsim::depend

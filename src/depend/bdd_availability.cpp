@@ -1,0 +1,83 @@
+#include "depend/bdd_availability.hpp"
+
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+BddAvailabilityResult bdd_availability(const ReliabilityProblem& problem,
+                                       const BddOptions& options) {
+  problem.validate();
+  if (problem.terminal_pairs.size() != 1) {
+    throw ModelError("bdd_availability: exactly one terminal pair expected");
+  }
+  const Graph& g = *problem.g;
+  const auto [s, t] = problem.terminal_pairs[0];
+  const auto set = pathdisc::discover(g, s, t);
+  BddAvailabilityResult result;
+  result.paths = set.count();
+  if (set.empty()) return result;
+  if (set.count() > options.max_paths) {
+    throw Error("bdd_availability: " + std::to_string(set.count()) +
+                " paths exceed max_paths");
+  }
+
+  // Assign BDD variables to components in first-appearance order along the
+  // paths (vertices and edges interleaved as encountered) — a natural
+  // ordering heuristic for unions of path functions.
+  bdd::Manager manager(g.vertex_count() + g.edge_count());
+  std::vector<std::int64_t> vertex_var(g.vertex_count(), -1);
+  std::vector<std::int64_t> edge_var(g.edge_count(), -1);
+  std::vector<double> probabilities(manager.variable_count(), 1.0);
+  std::size_t next_var = 0;
+  auto var_of_vertex = [&](VertexId v) {
+    if (vertex_var[index(v)] < 0) {
+      vertex_var[index(v)] = static_cast<std::int64_t>(next_var);
+      probabilities[next_var] = problem.vertex_availability[index(v)];
+      ++next_var;
+    }
+    return manager.variable(
+        static_cast<std::size_t>(vertex_var[index(v)]));
+  };
+  auto var_of_edge = [&](EdgeId e) {
+    if (edge_var[index(e)] < 0) {
+      edge_var[index(e)] = static_cast<std::int64_t>(next_var);
+      probabilities[next_var] = problem.edge_availability[index(e)];
+      ++next_var;
+    }
+    return manager.variable(static_cast<std::size_t>(edge_var[index(e)]));
+  };
+
+  bdd::Manager::Ref connected = bdd::Manager::kFalse;
+  for (const auto& path : set.paths) {
+    bdd::Manager::Ref path_up = bdd::Manager::kTrue;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      path_up = manager.bdd_and(path_up, var_of_vertex(path[i]));
+      if (i + 1 < path.size()) {
+        // Hop works iff ANY parallel edge between the endpoints works —
+        // exact treatment of redundant links.
+        bdd::Manager::Ref hop = bdd::Manager::kFalse;
+        for (const EdgeId e : g.incident_edges(path[i])) {
+          if (g.opposite(e, path[i]) != path[i + 1]) continue;
+          hop = manager.bdd_or(hop, var_of_edge(e));
+        }
+        path_up = manager.bdd_and(path_up, hop);
+      }
+    }
+    connected = manager.bdd_or(connected, path_up);
+  }
+
+  result.bdd_nodes = manager.size(connected);
+  result.availability = manager.probability(connected, probabilities);
+  return result;
+}
+
+}  // namespace upsim::depend

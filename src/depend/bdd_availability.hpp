@@ -1,0 +1,36 @@
+// Exact two-terminal availability via an ROBDD of the connectivity
+// structure function — the third exact engine next to factoring and
+// inclusion–exclusion (E6 ablation).
+//
+// The structure function is built as OR over the pair's simple paths of
+// AND over the path's components, where each hop contributes OR over the
+// parallel edges joining the two vertices — so unlike the
+// inclusion–exclusion and RBD construction, parallel links are handled
+// exactly rather than collapsed to a best representative.  Once the BDD is
+// built, P(connected) evaluates in one pass over the (shared) diagram, so
+// the method scales with diagram size, not with 2^paths.
+#pragma once
+
+#include "depend/reliability.hpp"
+
+namespace upsim::depend {
+
+struct BddOptions {
+  /// Abort when the path set exceeds this (the BDD build is linear per
+  /// path, but pathological path sets still mean pathological build time).
+  std::size_t max_paths = 100000;
+};
+
+struct BddAvailabilityResult {
+  double availability = 0.0;
+  std::size_t paths = 0;
+  std::size_t bdd_nodes = 0;  ///< final diagram size (shared nodes)
+};
+
+/// Exact single-pair availability via the structure-function BDD.
+/// Variable order: vertices and edges in the order they first appear along
+/// the discovered paths (a good heuristic for path-union functions).
+[[nodiscard]] BddAvailabilityResult bdd_availability(
+    const ReliabilityProblem& problem, const BddOptions& options = {});
+
+}  // namespace upsim::depend

@@ -1,0 +1,98 @@
+#include "depend/bounds.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "depend/fault_tree.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+AvailabilityBounds esary_proschan_bounds(const ReliabilityProblem& problem,
+                                         const BoundsOptions& options) {
+  problem.validate();
+  if (problem.terminal_pairs.size() != 1) {
+    throw ModelError("esary_proschan_bounds: exactly one terminal pair "
+                     "expected");
+  }
+  const Graph& g = *problem.g;
+  const auto [s, t] = problem.terminal_pairs[0];
+  const auto set = pathdisc::discover(g, s, t);
+
+  AvailabilityBounds bounds;
+  if (set.empty()) {
+    bounds.upper = 0.0;
+    return bounds;  // disconnected: A == 0, both bounds trivially 0
+  }
+
+  // Component name -> availability, and the per-path component lists
+  // (vertices plus the most available edge per hop).
+  std::unordered_map<std::string, double> availability;
+  std::vector<std::vector<std::string>> component_paths;
+  component_paths.reserve(set.count());
+  for (const auto& path : set.paths) {
+    std::vector<std::string> components;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const graph::Vertex& v = g.vertex(path[i]);
+      components.push_back(v.name);
+      availability.emplace(v.name,
+                           problem.vertex_availability[index(path[i])]);
+      if (i + 1 < path.size()) {
+        const graph::Edge* best = nullptr;
+        double best_a = -1.0;
+        for (const EdgeId e : g.incident_edges(path[i])) {
+          if (g.opposite(e, path[i]) != path[i + 1]) continue;
+          const double a = problem.edge_availability[index(e)];
+          if (a > best_a) {
+            best_a = a;
+            best = &g.edge(e);
+          }
+        }
+        UPSIM_ASSERT(best != nullptr);
+        components.push_back(best->name);
+        availability.emplace(best->name, best_a);
+      }
+    }
+    component_paths.push_back(std::move(components));
+  }
+  bounds.path_sets = component_paths.size();
+
+  // Upper bound: 1 - prod over paths (1 - prod a_i).
+  double product_of_path_failures = 1.0;
+  for (const auto& path : component_paths) {
+    double path_up = 1.0;
+    for (const std::string& component : path) {
+      path_up *= availability.at(component);
+    }
+    product_of_path_failures *= 1.0 - path_up;
+  }
+  bounds.upper = 1.0 - product_of_path_failures;
+
+  // Lower bound: cut sets from the dual fault tree.
+  const auto tree = fault_tree_from_paths(
+      component_paths, [&](const std::string& component) {
+        return 1.0 - availability.at(component);
+      });
+  CutSetOptions cut_options;
+  cut_options.max_working_sets = options.max_working_sets;
+  const auto cuts = minimal_cut_sets(tree, cut_options);
+  bounds.cut_sets = cuts.size();
+  double product_over_cuts = 1.0;
+  for (const CutSet& cut : cuts) {
+    double all_down = 1.0;
+    for (const std::string& component : cut) {
+      all_down *= 1.0 - availability.at(component);
+    }
+    product_over_cuts *= 1.0 - all_down;
+  }
+  bounds.lower = product_over_cuts;
+  return bounds;
+}
+
+}  // namespace upsim::depend

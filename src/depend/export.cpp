@@ -1,0 +1,94 @@
+#include "depend/export.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::depend {
+
+std::string to_dot(const BlockPtr& rbd, std::string_view graph_name) {
+  if (rbd == nullptr) throw ModelError("to_dot: null RBD");
+  std::string out = "digraph " + std::string(graph_name) + " {\n";
+  std::size_t counter = 0;
+  const std::function<std::size_t(const BlockPtr&)> emit =
+      [&](const BlockPtr& node) -> std::size_t {
+    const std::size_t id = counter++;
+    std::string label;
+    std::string shape = "ellipse";
+    switch (node->kind()) {
+      case BlockKind::Basic:
+        shape = "box";
+        label = node->block_name() + "\\nA=" +
+                util::format_sig(node->availability(), 6);
+        break;
+      case BlockKind::Series:
+        label = "series\\nA=" + util::format_sig(node->availability(), 6);
+        break;
+      case BlockKind::Parallel:
+        label = "parallel\\nA=" + util::format_sig(node->availability(), 6);
+        break;
+      case BlockKind::KofN:
+        label = std::to_string(node->threshold()) + "-of-" +
+                std::to_string(node->children().size()) + "\\nA=" +
+                util::format_sig(node->availability(), 6);
+        break;
+    }
+    out += "  n" + std::to_string(id) + " [shape=" + shape + ", label=\"" +
+           label + "\"];\n";
+    for (const BlockPtr& child : node->children()) {
+      const std::size_t child_id = emit(child);
+      out += "  n" + std::to_string(id) + " -> n" + std::to_string(child_id) +
+             ";\n";
+    }
+    return id;
+  };
+  emit(rbd);
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const FaultTreePtr& tree, std::string_view graph_name) {
+  if (tree == nullptr) throw ModelError("to_dot: null fault tree");
+  std::string out = "digraph " + std::string(graph_name) + " {\n";
+  std::size_t counter = 0;
+  const std::function<std::size_t(const FaultTreePtr&)> emit =
+      [&](const FaultTreePtr& node) -> std::size_t {
+    const std::size_t id = counter++;
+    std::string label;
+    std::string shape;
+    switch (node->kind()) {
+      case GateKind::Basic:
+        shape = "circle";
+        label = node->event_name() + "\\nq=" +
+                util::format_sig(node->probability(), 4);
+        break;
+      case GateKind::And:
+        shape = "box";
+        label = "AND";
+        break;
+      case GateKind::Or:
+        shape = "box";
+        label = "OR";
+        break;
+      case GateKind::KofN:
+        shape = "box";
+        label = std::to_string(node->threshold()) + "-of-" +
+                std::to_string(node->children().size());
+        break;
+    }
+    out += "  n" + std::to_string(id) + " [shape=" + shape + ", label=\"" +
+           label + "\"];\n";
+    for (const FaultTreePtr& child : node->children()) {
+      const std::size_t child_id = emit(child);
+      out += "  n" + std::to_string(id) + " -> n" + std::to_string(child_id) +
+             ";\n";
+    }
+    return id;
+  };
+  emit(tree);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace upsim::depend

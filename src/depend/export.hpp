@@ -1,0 +1,23 @@
+// GraphViz export of the dependability models (RBDs and fault trees), the
+// artefact form of the paper's ref. [20] companion transformation.
+#pragma once
+
+#include <string>
+
+#include "depend/fault_tree.hpp"
+#include "depend/rbd.hpp"
+
+namespace upsim::depend {
+
+/// Renders an RBD expression tree as a GraphViz digraph: basic blocks are
+/// boxes labelled with name and availability, series/parallel/k-of-n nodes
+/// are labelled operators.
+[[nodiscard]] std::string to_dot(const BlockPtr& rbd,
+                                 std::string_view graph_name = "rbd");
+
+/// Renders a fault tree: basic events are circles labelled with name and
+/// probability, gates are labelled AND/OR/k-of-n boxes.
+[[nodiscard]] std::string to_dot(const FaultTreePtr& tree,
+                                 std::string_view graph_name = "fault_tree");
+
+}  // namespace upsim::depend

@@ -1,0 +1,273 @@
+#include "depend/fault_tree.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::depend {
+
+namespace {
+
+const std::vector<FaultTreePtr> kNoChildren;
+const std::string kNoName;
+
+class BasicEvent final : public FaultTreeNode {
+ public:
+  BasicEvent(std::string name, double q) : name_(std::move(name)), q_(q) {
+    if (!(q_ >= 0.0 && q_ <= 1.0)) {
+      throw ModelError("fault tree event '" + name_ +
+                       "': probability must be within [0,1]");
+    }
+  }
+  [[nodiscard]] GateKind kind() const noexcept override {
+    return GateKind::Basic;
+  }
+  [[nodiscard]] double probability() const override { return q_; }
+  [[nodiscard]] std::string to_string() const override { return name_; }
+  [[nodiscard]] const std::vector<FaultTreePtr>& children() const override {
+    return kNoChildren;
+  }
+  [[nodiscard]] const std::string& event_name() const override { return name_; }
+  [[nodiscard]] std::size_t threshold() const noexcept override { return 0; }
+
+ private:
+  std::string name_;
+  double q_;
+};
+
+class Gate final : public FaultTreeNode {
+ public:
+  Gate(GateKind kind, std::size_t k, std::vector<FaultTreePtr> children)
+      : kind_(kind), k_(k), children_(std::move(children)) {
+    if (children_.empty()) throw ModelError("fault tree gate: no children");
+    for (const FaultTreePtr& c : children_) {
+      if (c == nullptr) throw ModelError("fault tree gate: null child");
+    }
+    if (kind_ == GateKind::KofN && (k_ == 0 || k_ > children_.size())) {
+      throw ModelError("fault tree k-of-n gate: k must be within [1, n]");
+    }
+  }
+  [[nodiscard]] GateKind kind() const noexcept override { return kind_; }
+  [[nodiscard]] double probability() const override {
+    switch (kind_) {
+      case GateKind::And: {
+        double p = 1.0;
+        for (const FaultTreePtr& c : children_) p *= c->probability();
+        return p;
+      }
+      case GateKind::Or: {
+        double q = 1.0;
+        for (const FaultTreePtr& c : children_) q *= 1.0 - c->probability();
+        return 1.0 - q;
+      }
+      case GateKind::KofN: {
+        std::vector<double> dp(children_.size() + 1, 0.0);
+        dp[0] = 1.0;
+        std::size_t processed = 0;
+        for (const FaultTreePtr& c : children_) {
+          const double p = c->probability();
+          ++processed;
+          for (std::size_t j = processed; j-- > 0;) {
+            dp[j + 1] += dp[j] * p;
+            dp[j] *= 1.0 - p;
+          }
+        }
+        double total = 0.0;
+        for (std::size_t j = k_; j <= children_.size(); ++j) total += dp[j];
+        return total;
+      }
+      case GateKind::Basic: break;
+    }
+    throw InvariantError("unreachable fault-tree gate kind");
+  }
+  [[nodiscard]] std::string to_string() const override {
+    std::vector<std::string> parts;
+    parts.reserve(children_.size());
+    for (const FaultTreePtr& c : children_) parts.push_back(c->to_string());
+    switch (kind_) {
+      case GateKind::And: return "AND(" + util::join(parts, ",") + ")";
+      case GateKind::Or: return "OR(" + util::join(parts, ",") + ")";
+      case GateKind::KofN:
+        return std::to_string(k_) + "ofN(" + util::join(parts, ",") + ")";
+      case GateKind::Basic: break;
+    }
+    throw InvariantError("unreachable fault-tree gate kind");
+  }
+  [[nodiscard]] const std::vector<FaultTreePtr>& children() const override {
+    return children_;
+  }
+  [[nodiscard]] const std::string& event_name() const override {
+    return kNoName;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept override {
+    return kind_ == GateKind::KofN ? k_ : 0;
+  }
+
+ private:
+  GateKind kind_;
+  std::size_t k_;
+  std::vector<FaultTreePtr> children_;
+};
+
+}  // namespace
+
+FaultTreePtr failure_event(std::string name, double q) {
+  return std::make_shared<BasicEvent>(std::move(name), q);
+}
+
+FaultTreePtr and_gate(std::vector<FaultTreePtr> children) {
+  return std::make_shared<Gate>(GateKind::And, 0, std::move(children));
+}
+
+FaultTreePtr or_gate(std::vector<FaultTreePtr> children) {
+  return std::make_shared<Gate>(GateKind::Or, 0, std::move(children));
+}
+
+FaultTreePtr k_of_n_gate(std::size_t k, std::vector<FaultTreePtr> children) {
+  return std::make_shared<Gate>(GateKind::KofN, k, std::move(children));
+}
+
+FaultTreePtr fault_tree_from_paths(
+    const std::vector<std::vector<std::string>>& component_paths,
+    const std::function<double(const std::string&)>& unavailability_of) {
+  if (component_paths.empty()) {
+    throw ModelError("fault_tree_from_paths: no paths");
+  }
+  std::vector<FaultTreePtr> path_failures;
+  path_failures.reserve(component_paths.size());
+  for (const auto& path : component_paths) {
+    if (path.empty()) throw ModelError("fault_tree_from_paths: empty path");
+    std::vector<FaultTreePtr> events;
+    events.reserve(path.size());
+    for (const std::string& component : path) {
+      events.push_back(failure_event(component, unavailability_of(component)));
+    }
+    path_failures.push_back(or_gate(std::move(events)));
+  }
+  return and_gate(std::move(path_failures));
+}
+
+namespace {
+
+using CutSets = std::vector<CutSet>;
+
+/// Removes non-minimal sets (absorption: drop any superset of another set).
+CutSets absorb(CutSets sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const CutSet& a, const CutSet& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  CutSets minimal;
+  for (CutSet& candidate : sets) {
+    bool dominated = false;
+    for (const CutSet& kept : minimal) {
+      if (std::includes(candidate.begin(), candidate.end(), kept.begin(),
+                        kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(std::move(candidate));
+  }
+  return minimal;
+}
+
+CutSets expand(const FaultTreePtr& node, const CutSetOptions& options) {
+  auto guard = [&](const CutSets& sets) {
+    if (options.max_working_sets != 0 &&
+        sets.size() > options.max_working_sets) {
+      throw Error("minimal_cut_sets: working set exceeded " +
+                  std::to_string(options.max_working_sets) +
+                  " cut sets; raise max_working_sets or bound max_order");
+    }
+  };
+  switch (node->kind()) {
+    case GateKind::Basic:
+      return CutSets{CutSet{node->event_name()}};
+    case GateKind::Or: {
+      CutSets out;
+      for (const FaultTreePtr& c : node->children()) {
+        CutSets sub = expand(c, options);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+        guard(out);
+      }
+      return absorb(std::move(out));
+    }
+    case GateKind::And: {
+      CutSets out{CutSet{}};
+      for (const FaultTreePtr& c : node->children()) {
+        const CutSets sub = expand(c, options);
+        CutSets next;
+        next.reserve(out.size() * sub.size());
+        for (const CutSet& left : out) {
+          for (const CutSet& right : sub) {
+            CutSet merged = left;
+            merged.insert(right.begin(), right.end());
+            if (options.max_order != 0 && merged.size() > options.max_order) {
+              continue;
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+        guard(next);
+        out = absorb(std::move(next));
+      }
+      return out;
+    }
+    case GateKind::KofN: {
+      // k-of-n = OR over all k-subsets of AND over the subset members, so
+      // expand each subset as a synthetic AND gate and union the results.
+      const auto& children = node->children();
+      const std::size_t n = children.size();
+      const std::size_t k = node->threshold();
+      CutSets out;
+      std::vector<std::size_t> pick(k);
+      for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+      for (;;) {
+        std::vector<FaultTreePtr> subset;
+        subset.reserve(k);
+        for (const std::size_t i : pick) subset.push_back(children[i]);
+        CutSets sub = expand(and_gate(std::move(subset)), options);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+        guard(out);
+        // Next combination in lexicographic order.
+        std::size_t pos = k;
+        while (pos-- > 0) {
+          if (pick[pos] != pos + n - k) break;
+          if (pos == 0) {
+            return absorb(std::move(out));
+          }
+        }
+        if (pick[pos] == pos + n - k) return absorb(std::move(out));
+        ++pick[pos];
+        for (std::size_t j = pos + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+      }
+    }
+  }
+  throw InvariantError("unreachable fault-tree expansion");
+}
+
+}  // namespace
+
+std::vector<CutSet> minimal_cut_sets(const FaultTreePtr& top,
+                                     const CutSetOptions& options) {
+  if (top == nullptr) throw ModelError("minimal_cut_sets: null tree");
+  return expand(top, options);
+}
+
+double cut_set_upper_bound(
+    const std::vector<CutSet>& cut_sets,
+    const std::function<double(const std::string&)>& unavailability_of) {
+  double total = 0.0;
+  for (const CutSet& cs : cut_sets) {
+    double p = 1.0;
+    for (const std::string& component : cs) p *= unavailability_of(component);
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace upsim::depend

@@ -1,0 +1,82 @@
+// Fault trees (the second analysis formalism named in Sec. VII).
+//
+// A fault tree expresses the *failure* of the service as a boolean function
+// of basic component-failure events.  For a UPSIM pair the canonical tree
+// is: TOP = AND over discovered paths (every path must fail) of OR over the
+// path's components (one failed component kills a path).  The module
+// provides construction from path sets, top-event probability under
+// independence, and minimal cut sets via bottom-up expansion with
+// absorption (a small MOCUS) — a cut set of the service is a minimal set of
+// components whose joint failure disconnects requester from provider.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace upsim::depend {
+
+class FaultTreeNode;
+using FaultTreePtr = std::shared_ptr<const FaultTreeNode>;
+
+enum class GateKind : std::uint8_t { Basic, And, Or, KofN };
+
+class FaultTreeNode {
+ public:
+  virtual ~FaultTreeNode() = default;
+  [[nodiscard]] virtual GateKind kind() const noexcept = 0;
+  /// Probability of the failure event under independent basic events.
+  [[nodiscard]] virtual double probability() const = 0;
+  [[nodiscard]] virtual std::string to_string() const = 0;
+  [[nodiscard]] virtual const std::vector<FaultTreePtr>& children() const = 0;
+  /// Basic-event name ("" for gates).
+  [[nodiscard]] virtual const std::string& event_name() const = 0;
+  /// Threshold for k-of-n gates; 0 for every other node kind.
+  [[nodiscard]] virtual std::size_t threshold() const noexcept = 0;
+};
+
+/// Basic failure event with probability q (component unavailability).
+[[nodiscard]] FaultTreePtr failure_event(std::string name, double q);
+/// AND gate: occurs iff every child occurs.
+[[nodiscard]] FaultTreePtr and_gate(std::vector<FaultTreePtr> children);
+/// OR gate: occurs iff any child occurs.
+[[nodiscard]] FaultTreePtr or_gate(std::vector<FaultTreePtr> children);
+/// k-of-n gate: occurs iff at least k children occur.
+[[nodiscard]] FaultTreePtr k_of_n_gate(std::size_t k,
+                                       std::vector<FaultTreePtr> children);
+
+/// Builds the service-failure tree from the component-name paths of one
+/// requester/provider pair: AND over paths of OR over components.
+/// `unavailability_of` maps component names to failure probabilities.
+/// NOTE: evaluating this tree under independence is the dual of the RBD
+/// approximation; exact numbers come from depend/reliability.hpp.
+[[nodiscard]] FaultTreePtr fault_tree_from_paths(
+    const std::vector<std::vector<std::string>>& component_paths,
+    const std::function<double(const std::string&)>& unavailability_of);
+
+/// A cut set: component names whose joint failure triggers the top event.
+using CutSet = std::set<std::string>;
+
+struct CutSetOptions {
+  /// Drop cut sets larger than this during expansion; 0 = keep all.
+  std::size_t max_order = 0;
+  /// Abort with Error when the working set exceeds this many cut sets
+  /// (guards exponential blow-up); 0 = unlimited.
+  std::size_t max_working_sets = 100000;
+};
+
+/// Minimal cut sets of the tree (after absorption).  Deterministic order
+/// (sorted).  k-of-n gates are expanded combinatorially.
+[[nodiscard]] std::vector<CutSet> minimal_cut_sets(
+    const FaultTreePtr& top, const CutSetOptions& options = {});
+
+/// Rare-event upper bound on the top probability from minimal cut sets:
+/// sum over cut sets of the product of basic probabilities.
+[[nodiscard]] double cut_set_upper_bound(
+    const std::vector<CutSet>& cut_sets,
+    const std::function<double(const std::string&)>& unavailability_of);
+
+}  // namespace upsim::depend

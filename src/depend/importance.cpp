@@ -1,0 +1,64 @@
+#include "depend/importance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+std::vector<ImportanceRecord> importance_ranking(
+    const ReliabilityProblem& problem, const ImportanceOptions& options) {
+  problem.validate();
+  const graph::Graph& g = *problem.g;
+  const double baseline = exact_availability(problem, options.exact);
+  const double baseline_risk = 1.0 - baseline;
+
+  std::vector<ImportanceRecord> records;
+  const std::size_t edge_count = options.include_edges ? g.edge_count() : 0;
+  records.reserve(g.vertex_count() + edge_count);
+
+  auto evaluate = [&](bool is_vertex, std::size_t i) {
+    ImportanceRecord record;
+    record.is_vertex = is_vertex;
+    if (is_vertex) {
+      const auto id = graph::VertexId{static_cast<std::uint32_t>(i)};
+      record.component = g.vertex(id).name;
+      record.availability = problem.vertex_availability[i];
+    } else {
+      const auto id = graph::EdgeId{static_cast<std::uint32_t>(i)};
+      record.component = g.edge(id).name;
+      record.availability = problem.edge_availability[i];
+    }
+    auto conditioned = problem;
+    auto& slot = record.is_vertex ? conditioned.vertex_availability[i]
+                                  : conditioned.edge_availability[i];
+    slot = 0.0;
+    record.system_when_down = exact_availability(conditioned, options.exact);
+    slot = 1.0;
+    record.system_when_up = exact_availability(conditioned, options.exact);
+
+    record.birnbaum = record.system_when_up - record.system_when_down;
+    record.improvement_potential = record.system_when_up - baseline;
+    record.risk_achievement_worth =
+        baseline_risk > 0.0 ? (1.0 - record.system_when_down) / baseline_risk
+                            : 1.0;
+    const double residual_risk = 1.0 - record.system_when_up;
+    record.risk_reduction_worth =
+        residual_risk > 0.0 ? baseline_risk / residual_risk
+                            : std::numeric_limits<double>::infinity();
+    records.push_back(std::move(record));
+  };
+
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) evaluate(true, v);
+  for (std::size_t e = 0; e < edge_count; ++e) evaluate(false, e);
+
+  std::sort(records.begin(), records.end(),
+            [](const ImportanceRecord& a, const ImportanceRecord& b) {
+              if (a.birnbaum != b.birnbaum) return a.birnbaum > b.birnbaum;
+              return a.component < b.component;
+            });
+  return records;
+}
+
+}  // namespace upsim::depend

@@ -1,0 +1,52 @@
+// Component importance measures on a reliability problem (Sec. VII: the
+// UPSIM "provides a quick overview on which ICT components can be the
+// cause" of a service problem — these measures rank that overview).
+//
+// All measures condition the exact factoring computation on one component
+// being forced Up or Down:
+//   Birnbaum          B_i  = A(1_i) - A(0_i)       (structural criticality)
+//   improvement       IP_i = A(1_i) - A            (what a perfect i buys)
+//   risk achievement  RAW_i = U(0_i) / U           (how much worse if i dies)
+//   risk reduction    RRW_i = U / U(1_i)           (how much better if i is
+//                                                   perfect; inf for single
+//                                                   points of failure)
+// with A the system availability, U = 1 - A, and A(x_i) the availability
+// with component i forced to state x.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depend/reliability.hpp"
+
+namespace upsim::depend {
+
+struct ImportanceRecord {
+  std::string component;   ///< vertex or edge name
+  bool is_vertex = true;
+  double availability = 0.0;      ///< the component's own availability
+  double system_when_down = 0.0;  ///< A(0_i)
+  double system_when_up = 0.0;    ///< A(1_i)
+  double birnbaum = 0.0;
+  double improvement_potential = 0.0;
+  double risk_achievement_worth = 0.0;  ///< >= 1
+  double risk_reduction_worth = 0.0;    ///< >= 1; infinity() for SPOFs
+
+  /// True if the service cannot work without this component.
+  [[nodiscard]] bool single_point_of_failure() const noexcept {
+    return system_when_down == 0.0;
+  }
+};
+
+struct ImportanceOptions {
+  bool include_edges = true;  ///< also rank links, not only devices
+  ExactOptions exact;
+};
+
+/// Computes all measures for every component, sorted by descending
+/// Birnbaum importance (ties broken by name).  Cost: two exact
+/// evaluations per component.
+[[nodiscard]] std::vector<ImportanceRecord> importance_ranking(
+    const ReliabilityProblem& problem, const ImportanceOptions& options = {});
+
+}  // namespace upsim::depend

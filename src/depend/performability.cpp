@@ -1,0 +1,228 @@
+#include "depend/performability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "graph/widest_path.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim::depend {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+namespace {
+
+double edge_capacity(const Graph& g, EdgeId e, const ThroughputModel& model) {
+  const auto& attrs = g.edge(e).attributes;
+  const auto it = attrs.find(model.attribute);
+  return it == attrs.end() ? model.edge_default : it->second;
+}
+
+void check_single_pair(const ReliabilityProblem& problem) {
+  problem.validate();
+  if (problem.terminal_pairs.size() != 1) {
+    throw ModelError(
+        "performability: exactly one terminal pair expected (analyse atomic "
+        "services separately)");
+  }
+}
+
+}  // namespace
+
+PerformabilityResult exact_performability(const ReliabilityProblem& problem,
+                                          const ThroughputModel& throughput) {
+  check_single_pair(problem);
+  const Graph& g = *problem.g;
+  const auto [s, t] = problem.terminal_pairs[0];
+
+  const auto set = pathdisc::discover(g, s, t);
+  if (set.count() > 25) {
+    throw Error("exact_performability: " + std::to_string(set.count()) +
+                " paths exceed the 2^25 budget; use "
+                "monte_carlo_performability");
+  }
+
+  // Per path: bottleneck (using the best parallel edge per hop) plus the
+  // component sets of its up-event.
+  struct PathEvent {
+    double bottleneck;
+    std::vector<std::uint32_t> vertices;
+    std::vector<std::uint32_t> edges;
+  };
+  std::vector<PathEvent> events;
+  events.reserve(set.count());
+  for (const auto& path : set.paths) {
+    PathEvent event;
+    event.bottleneck = std::numeric_limits<double>::infinity();
+    for (const VertexId v : path) event.vertices.push_back(index(v));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      double best_capacity = -1.0;
+      EdgeId best_edge{0};
+      for (const EdgeId e : g.incident_edges(path[i])) {
+        if (g.opposite(e, path[i]) != path[i + 1]) continue;
+        const double c = edge_capacity(g, e, throughput);
+        if (c > best_capacity) {
+          best_capacity = c;
+          best_edge = e;
+        }
+      }
+      UPSIM_ASSERT(best_capacity >= 0.0);
+      event.edges.push_back(index(best_edge));
+      event.bottleneck = std::min(event.bottleneck, best_capacity);
+    }
+    if (path.size() == 1) event.bottleneck = 0.0;  // co-located pair: no link
+    events.push_back(std::move(event));
+  }
+
+  PerformabilityResult result;
+  if (events.empty()) return result;
+
+  // P(union of the events with bottleneck >= level up), by
+  // inclusion-exclusion over the qualifying subset.
+  auto union_probability = [&](double level) {
+    std::vector<const PathEvent*> qualifying;
+    for (const PathEvent& e : events) {
+      if (e.bottleneck >= level) qualifying.push_back(&e);
+    }
+    if (qualifying.empty()) return 0.0;
+    std::vector<bool> vertex_in(g.vertex_count());
+    std::vector<bool> edge_in(g.edge_count());
+    double total = 0.0;
+    const std::size_t k = qualifying.size();
+    for (std::uint64_t mask = 1; mask < (1ULL << k); ++mask) {
+      std::fill(vertex_in.begin(), vertex_in.end(), false);
+      std::fill(edge_in.begin(), edge_in.end(), false);
+      int bits = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if ((mask >> i & 1ULL) == 0) continue;
+        ++bits;
+        for (const std::uint32_t v : qualifying[i]->vertices) {
+          vertex_in[v] = true;
+        }
+        for (const std::uint32_t e : qualifying[i]->edges) edge_in[e] = true;
+      }
+      double p = 1.0;
+      for (std::size_t v = 0; v < vertex_in.size(); ++v) {
+        if (vertex_in[v]) p *= problem.vertex_availability[v];
+      }
+      for (std::size_t e = 0; e < edge_in.size(); ++e) {
+        if (edge_in[e]) p *= problem.edge_availability[e];
+      }
+      total += (bits % 2 == 1) ? p : -p;
+    }
+    return total;
+  };
+
+  // Distinct levels, descending.
+  std::vector<double> levels;
+  for (const PathEvent& e : events) levels.push_back(e.bottleneck);
+  std::sort(levels.begin(), levels.end(), std::greater<>());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  result.nominal_throughput = levels.front();
+  double previous_probability = 0.0;
+  for (const double level : levels) {
+    const double p = union_probability(level);
+    result.distribution.emplace_back(level, p);
+    // E[T] = sum over levels of level * P(T == level); P(T == level_k) =
+    // P(T >= level_k) - P(T >= level_{k-1}) with levels descending.
+    result.expected_throughput += level * (p - previous_probability);
+    previous_probability = p;
+  }
+  result.availability = previous_probability;  // P(T >= smallest level > 0)
+  return result;
+}
+
+PerformabilityResult monte_carlo_performability(
+    const ReliabilityProblem& problem, const ThroughputModel& throughput,
+    std::size_t samples, std::uint64_t seed, util::ThreadPool* pool) {
+  check_single_pair(problem);
+  if (samples == 0) throw ModelError("performability: 0 samples");
+  const Graph& g = *problem.g;
+  const auto [s, t] = problem.terminal_pairs[0];
+  const auto capacity = [&](EdgeId e) {
+    return edge_capacity(g, e, throughput);
+  };
+
+  PerformabilityResult result;
+  {
+    const auto nominal = graph::widest_path(g, s, t, capacity);
+    result.nominal_throughput = nominal.reachable() ? nominal.width : 0.0;
+  }
+
+  struct Tally {
+    std::map<double, std::size_t> level_counts;  // delivered == level
+    double sum = 0.0;
+    std::size_t connected = 0;
+  };
+  auto run_block = [&](util::Rng rng, std::size_t n) {
+    Tally tally;
+    std::vector<bool> vertex_up(g.vertex_count());
+    std::vector<bool> edge_up(g.edge_count());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < vertex_up.size(); ++v) {
+        vertex_up[v] = rng.bernoulli(problem.vertex_availability[v]);
+      }
+      for (std::size_t e = 0; e < edge_up.size(); ++e) {
+        edge_up[e] = rng.bernoulli(problem.edge_availability[e]);
+      }
+      const auto wp = graph::widest_path(
+          g, s, t, capacity,
+          [&](VertexId v) { return vertex_up[index(v)]; },
+          [&](EdgeId e) { return edge_up[index(e)]; });
+      if (!wp.reachable()) continue;
+      ++tally.connected;
+      tally.sum += wp.width;
+      ++tally.level_counts[wp.width];
+    }
+    return tally;
+  };
+
+  util::Rng master(seed);
+  Tally total;
+  if (pool == nullptr) {
+    total = run_block(master.fork(), samples);
+  } else {
+    const std::size_t blocks = std::max<std::size_t>(1, pool->thread_count());
+    const std::size_t per_block = samples / blocks;
+    std::vector<util::Rng> rngs;
+    rngs.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) rngs.push_back(master.fork());
+    std::vector<Tally> partial(blocks);
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t n =
+          b + 1 == blocks ? samples - per_block * (blocks - 1) : per_block;
+      partial[b] = run_block(std::move(rngs[b]), n);
+    });
+    for (const Tally& tally : partial) {
+      total.connected += tally.connected;
+      total.sum += tally.sum;
+      for (const auto& [level, count] : tally.level_counts) {
+        total.level_counts[level] += count;
+      }
+    }
+  }
+
+  result.availability =
+      static_cast<double>(total.connected) / static_cast<double>(samples);
+  result.expected_throughput = total.sum / static_cast<double>(samples);
+  // P(delivered >= level), accumulated from the highest level down.
+  std::size_t at_least = 0;
+  for (auto it = total.level_counts.rbegin(); it != total.level_counts.rend();
+       ++it) {
+    at_least += it->second;
+    result.distribution.emplace_back(
+        it->first, static_cast<double>(at_least) /
+                       static_cast<double>(samples));
+  }
+  return result;
+}
+
+}  // namespace upsim::depend

@@ -1,0 +1,56 @@
+// User-perceived performability (Sec. VII names performability [6] among
+// the properties a UPSIM enables; Eusgeld et al. define it as performance
+// weighted by the degraded states the system can be in).
+//
+// Model: every link carries a capacity ("throughput_mbps" graph attribute —
+// the network profile's throughput of Fig. 7, carried over by the default
+// projection).  In a random up/down state the pair's delivered throughput
+// is the bottleneck capacity of the widest surviving path (capacity-aware
+// routing), zero when disconnected.  The analysis reports
+//
+//   * the throughput distribution P(delivered >= level) per capacity level,
+//   * the performability E[delivered throughput] — availability-weighted
+//     capacity, collapsing to A * nominal when all paths have equal width.
+//
+// Evaluators mirror responsiveness: exact path enumeration (single pair,
+// <= 25 paths) and Monte Carlo via widest-path queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depend/reliability.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::depend {
+
+struct ThroughputModel {
+  /// Edge attribute holding capacity; vertices are assumed to forward at
+  /// line rate (devices are not capacity bottlenecks in this model).
+  std::string attribute = "throughput_mbps";
+  double edge_default = 1000.0;
+};
+
+struct PerformabilityResult {
+  /// Distinct achievable throughput levels, descending, with
+  /// P(delivered >= level).
+  std::vector<std::pair<double, double>> distribution;
+  double expected_throughput = 0.0;  ///< the performability measure
+  double nominal_throughput = 0.0;   ///< all components up
+  double availability = 0.0;         ///< P(delivered > 0)
+};
+
+/// Exact computation from the pair's complete simple-path set.  The
+/// problem must have exactly one terminal pair; throws Error beyond 25
+/// paths (use the Monte-Carlo variant).
+[[nodiscard]] PerformabilityResult exact_performability(
+    const ReliabilityProblem& problem, const ThroughputModel& throughput = {});
+
+/// Monte-Carlo estimate (widest-path query per sample).
+[[nodiscard]] PerformabilityResult monte_carlo_performability(
+    const ReliabilityProblem& problem, const ThroughputModel& throughput,
+    std::size_t samples, std::uint64_t seed,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace upsim::depend

@@ -1,0 +1,210 @@
+#include "depend/rbd.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::depend {
+
+namespace {
+
+const std::vector<BlockPtr> kNoChildren;
+const std::string kNoName;
+
+class BasicBlock final : public Block {
+ public:
+  BasicBlock(std::string name, double availability)
+      : name_(std::move(name)), availability_(availability) {
+    if (!(availability_ >= 0.0 && availability_ <= 1.0)) {
+      throw ModelError("RBD basic block '" + name_ +
+                       "': availability must be within [0,1]");
+    }
+  }
+  [[nodiscard]] BlockKind kind() const noexcept override {
+    return BlockKind::Basic;
+  }
+  [[nodiscard]] double availability() const override { return availability_; }
+  [[nodiscard]] std::size_t basic_count() const override { return 1; }
+  [[nodiscard]] std::string to_string() const override { return name_; }
+  [[nodiscard]] const std::vector<BlockPtr>& children() const override {
+    return kNoChildren;
+  }
+  [[nodiscard]] const std::string& block_name() const override {
+    return name_;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept override { return 0; }
+
+ private:
+  std::string name_;
+  double availability_;
+};
+
+class SeriesBlock final : public Block {
+ public:
+  explicit SeriesBlock(std::vector<BlockPtr> children)
+      : children_(std::move(children)) {
+    if (children_.empty()) throw ModelError("RBD series: no children");
+  }
+  [[nodiscard]] BlockKind kind() const noexcept override {
+    return BlockKind::Series;
+  }
+  [[nodiscard]] const std::vector<BlockPtr>& children() const override {
+    return children_;
+  }
+  [[nodiscard]] const std::string& block_name() const override {
+    return kNoName;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept override { return 0; }
+  [[nodiscard]] double availability() const override {
+    double a = 1.0;
+    for (const BlockPtr& c : children_) a *= c->availability();
+    return a;
+  }
+  [[nodiscard]] std::size_t basic_count() const override {
+    std::size_t n = 0;
+    for (const BlockPtr& c : children_) n += c->basic_count();
+    return n;
+  }
+  [[nodiscard]] std::string to_string() const override {
+    std::vector<std::string> parts;
+    parts.reserve(children_.size());
+    for (const BlockPtr& c : children_) parts.push_back(c->to_string());
+    return "(" + util::join(parts, "*") + ")";
+  }
+
+ private:
+  std::vector<BlockPtr> children_;
+};
+
+class ParallelBlock final : public Block {
+ public:
+  explicit ParallelBlock(std::vector<BlockPtr> children)
+      : children_(std::move(children)) {
+    if (children_.empty()) throw ModelError("RBD parallel: no children");
+  }
+  [[nodiscard]] BlockKind kind() const noexcept override {
+    return BlockKind::Parallel;
+  }
+  [[nodiscard]] const std::vector<BlockPtr>& children() const override {
+    return children_;
+  }
+  [[nodiscard]] const std::string& block_name() const override {
+    return kNoName;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept override { return 0; }
+  [[nodiscard]] double availability() const override {
+    double q = 1.0;
+    for (const BlockPtr& c : children_) q *= 1.0 - c->availability();
+    return 1.0 - q;
+  }
+  [[nodiscard]] std::size_t basic_count() const override {
+    std::size_t n = 0;
+    for (const BlockPtr& c : children_) n += c->basic_count();
+    return n;
+  }
+  [[nodiscard]] std::string to_string() const override {
+    std::vector<std::string> parts;
+    parts.reserve(children_.size());
+    for (const BlockPtr& c : children_) parts.push_back(c->to_string());
+    return "(" + util::join(parts, "+") + ")";
+  }
+
+ private:
+  std::vector<BlockPtr> children_;
+};
+
+class KofNBlock final : public Block {
+ public:
+  KofNBlock(std::size_t k, std::vector<BlockPtr> children)
+      : k_(k), children_(std::move(children)) {
+    if (children_.empty()) throw ModelError("RBD k-of-n: no children");
+    if (k_ == 0 || k_ > children_.size()) {
+      throw ModelError("RBD k-of-n: k must be within [1, n]");
+    }
+  }
+  [[nodiscard]] BlockKind kind() const noexcept override {
+    return BlockKind::KofN;
+  }
+  [[nodiscard]] const std::vector<BlockPtr>& children() const override {
+    return children_;
+  }
+  [[nodiscard]] const std::string& block_name() const override {
+    return kNoName;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept override { return k_; }
+  [[nodiscard]] double availability() const override {
+    // dp[j] = P(exactly j of the children processed so far are up)
+    std::vector<double> dp(children_.size() + 1, 0.0);
+    dp[0] = 1.0;
+    std::size_t processed = 0;
+    for (const BlockPtr& c : children_) {
+      const double a = c->availability();
+      ++processed;
+      for (std::size_t j = processed; j-- > 0;) {
+        dp[j + 1] += dp[j] * a;
+        dp[j] *= 1.0 - a;
+      }
+    }
+    double p = 0.0;
+    for (std::size_t j = k_; j <= children_.size(); ++j) p += dp[j];
+    return p;
+  }
+  [[nodiscard]] std::size_t basic_count() const override {
+    std::size_t n = 0;
+    for (const BlockPtr& c : children_) n += c->basic_count();
+    return n;
+  }
+  [[nodiscard]] std::string to_string() const override {
+    std::vector<std::string> parts;
+    parts.reserve(children_.size());
+    for (const BlockPtr& c : children_) parts.push_back(c->to_string());
+    return "(" + std::to_string(k_) + "of" +
+           std::to_string(children_.size()) + ":" + util::join(parts, ",") +
+           ")";
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<BlockPtr> children_;
+};
+
+}  // namespace
+
+BlockPtr basic(std::string name, double availability) {
+  return std::make_shared<BasicBlock>(std::move(name), availability);
+}
+
+BlockPtr series(std::vector<BlockPtr> children) {
+  return std::make_shared<SeriesBlock>(std::move(children));
+}
+
+BlockPtr parallel(std::vector<BlockPtr> children) {
+  return std::make_shared<ParallelBlock>(std::move(children));
+}
+
+BlockPtr k_of_n(std::size_t k, std::vector<BlockPtr> children) {
+  return std::make_shared<KofNBlock>(k, std::move(children));
+}
+
+BlockPtr rbd_from_paths(
+    const std::vector<std::vector<std::string>>& component_paths,
+    const std::function<double(const std::string&)>& availability_of) {
+  if (component_paths.empty()) {
+    throw ModelError("rbd_from_paths: no paths (requester and provider are "
+                     "disconnected)");
+  }
+  std::vector<BlockPtr> branches;
+  branches.reserve(component_paths.size());
+  for (const auto& path : component_paths) {
+    std::vector<BlockPtr> blocks;
+    blocks.reserve(path.size());
+    for (const std::string& component : path) {
+      blocks.push_back(basic(component, availability_of(component)));
+    }
+    branches.push_back(series(std::move(blocks)));
+  }
+  return parallel(std::move(branches));
+}
+
+}  // namespace upsim::depend

@@ -1,0 +1,67 @@
+// Reliability block diagrams (Sec. VII / ref. [20] of the paper).
+//
+// The outlook of the paper transforms a UPSIM into an RBD whose blocks are
+// the UPSIM components: each discovered requester-provider path becomes a
+// series arrangement, and the redundant paths are placed in parallel.  RBD
+// evaluation assumes *independent* blocks; when paths share components (as
+// they do in any real core network) this is an approximation whose error
+// the library quantifies against the exact factoring computation in
+// reliability.hpp (bench_availability, experiment E6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace upsim::depend {
+
+enum class BlockKind : std::uint8_t { Basic, Series, Parallel, KofN };
+
+class Block;
+using BlockPtr = std::shared_ptr<const Block>;
+
+/// A node of an RBD expression tree.
+class Block {
+ public:
+  virtual ~Block() = default;
+  [[nodiscard]] virtual BlockKind kind() const noexcept = 0;
+  /// Probability the block is operational under block independence.
+  [[nodiscard]] virtual double availability() const = 0;
+  /// Number of basic blocks in the subtree (with multiplicity).
+  [[nodiscard]] virtual std::size_t basic_count() const = 0;
+  /// Compact textual rendering, e.g. "(t1*e1*d1*c1*d4*printS)".
+  [[nodiscard]] virtual std::string to_string() const = 0;
+  /// Children (empty for basic blocks).
+  [[nodiscard]] virtual const std::vector<BlockPtr>& children() const = 0;
+  /// Component name ("" for composite blocks).
+  [[nodiscard]] virtual const std::string& block_name() const = 0;
+  /// Threshold for k-of-n blocks; 0 otherwise.
+  [[nodiscard]] virtual std::size_t threshold() const noexcept = 0;
+};
+
+/// A basic block: one component with a fixed availability.
+[[nodiscard]] BlockPtr basic(std::string name, double availability);
+
+/// Series arrangement: operational iff every child is.
+[[nodiscard]] BlockPtr series(std::vector<BlockPtr> children);
+
+/// Parallel arrangement: operational iff at least one child is.
+[[nodiscard]] BlockPtr parallel(std::vector<BlockPtr> children);
+
+/// k-out-of-n arrangement over identical-or-not children: operational iff
+/// at least `k` children are.  Evaluated exactly via dynamic programming
+/// over children (no identical-block assumption).
+[[nodiscard]] BlockPtr k_of_n(std::size_t k, std::vector<BlockPtr> children);
+
+/// Builds the paper's UPSIM->RBD transformation for one requester/provider
+/// pair: parallel over paths, series over each path's components.
+/// `component_paths` holds component names per discovered path and
+/// `availability_of` maps names to block availabilities.
+[[nodiscard]] BlockPtr rbd_from_paths(
+    const std::vector<std::vector<std::string>>& component_paths,
+    const std::function<double(const std::string&)>& availability_of);
+
+}  // namespace upsim::depend

@@ -1,0 +1,182 @@
+#include "depend/reduction.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+namespace {
+
+/// Mutable working copy during reduction.
+struct Work {
+  struct Edge {
+    std::size_t a;
+    std::size_t b;
+    double availability;
+    bool alive = true;
+  };
+  std::vector<bool> vertex_alive;
+  std::vector<double> vertex_availability;
+  std::vector<bool> is_terminal;
+  std::vector<Edge> edges;
+  std::vector<std::set<std::size_t>> incident;  // vertex -> edge indices
+
+  std::size_t degree(std::size_t v) const { return incident[v].size(); }
+
+  std::size_t opposite(std::size_t e, std::size_t v) const {
+    return edges[e].a == v ? edges[e].b : edges[e].a;
+  }
+
+  void kill_edge(std::size_t e) {
+    if (!edges[e].alive) return;
+    edges[e].alive = false;
+    incident[edges[e].a].erase(e);
+    incident[edges[e].b].erase(e);
+  }
+
+  void kill_vertex(std::size_t v) {
+    vertex_alive[v] = false;
+    const auto incident_copy = incident[v];
+    for (const std::size_t e : incident_copy) kill_edge(e);
+  }
+
+  std::size_t add_edge(std::size_t a, std::size_t b, double availability) {
+    const std::size_t e = edges.size();
+    edges.push_back(Edge{a, b, availability, true});
+    incident[a].insert(e);
+    incident[b].insert(e);
+    return e;
+  }
+};
+
+}  // namespace
+
+ReducedProblem reduce(const ReliabilityProblem& problem) {
+  problem.validate();
+  const Graph& g = *problem.g;
+
+  Work work;
+  work.vertex_alive.assign(g.vertex_count(), true);
+  work.vertex_availability = problem.vertex_availability;
+  work.is_terminal.assign(g.vertex_count(), false);
+  for (const auto& [s, t] : problem.terminal_pairs) {
+    work.is_terminal[index(s)] = true;
+    work.is_terminal[index(t)] = true;
+  }
+  work.incident.resize(g.vertex_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(graph::EdgeId{static_cast<std::uint32_t>(e)});
+    work.add_edge(index(edge.a), index(edge.b), problem.edge_availability[e]);
+  }
+
+  ReducedProblem out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // 1. Dangling non-terminal vertices.
+    for (std::size_t v = 0; v < work.vertex_alive.size(); ++v) {
+      if (!work.vertex_alive[v] || work.is_terminal[v]) continue;
+      if (work.degree(v) <= 1) {
+        work.kill_vertex(v);
+        ++out.removed_vertices;
+        changed = true;
+      }
+    }
+    // 2. Parallel edges.
+    for (std::size_t v = 0; v < work.vertex_alive.size(); ++v) {
+      if (!work.vertex_alive[v]) continue;
+      // Group incident edges by the opposite endpoint.
+      std::vector<std::size_t> incident(work.incident[v].begin(),
+                                        work.incident[v].end());
+      std::sort(incident.begin(), incident.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return work.opposite(x, v) < work.opposite(y, v);
+                });
+      for (std::size_t i = 0; i + 1 < incident.size();) {
+        const std::size_t e1 = incident[i];
+        const std::size_t e2 = incident[i + 1];
+        if (work.opposite(e1, v) != work.opposite(e2, v)) {
+          ++i;
+          continue;
+        }
+        // Merge e2 into e1 (process each unordered pair once: when v is
+        // the smaller endpoint, or always — merging twice is prevented by
+        // the kill).
+        work.edges[e1].availability =
+            1.0 - (1.0 - work.edges[e1].availability) *
+                      (1.0 - work.edges[e2].availability);
+        work.kill_edge(e2);
+        incident.erase(incident.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        ++out.merged_edges;
+        changed = true;
+      }
+    }
+    // 3. Series contraction of non-terminal degree-2 vertices.
+    for (std::size_t v = 0; v < work.vertex_alive.size(); ++v) {
+      if (!work.vertex_alive[v] || work.is_terminal[v]) continue;
+      if (work.degree(v) != 2) continue;
+      const auto it = work.incident[v].begin();
+      const std::size_t e1 = *it;
+      const std::size_t e2 = *std::next(it);
+      const std::size_t x = work.opposite(e1, v);
+      const std::size_t y = work.opposite(e2, v);
+      if (x == y) {
+        // A pendant cycle through v adds no s-t connectivity: drop it.
+        work.kill_vertex(v);
+        ++out.removed_vertices;
+        changed = true;
+        continue;
+      }
+      const double merged = work.edges[e1].availability *
+                            work.vertex_availability[v] *
+                            work.edges[e2].availability;
+      work.kill_vertex(v);
+      work.add_edge(x, y, merged);
+      ++out.removed_vertices;
+      changed = true;
+    }
+  }
+
+  // Materialise the reduced graph and problem.
+  out.graph = std::make_unique<Graph>();
+  std::vector<std::int64_t> new_id(work.vertex_alive.size(), -1);
+  ReliabilityProblem reduced;
+  for (std::size_t v = 0; v < work.vertex_alive.size(); ++v) {
+    if (!work.vertex_alive[v]) continue;
+    const auto& src = g.vertex(VertexId{static_cast<std::uint32_t>(v)});
+    new_id[v] = static_cast<std::int64_t>(
+        index(out.graph->add_vertex(src.name, src.type)));
+    reduced.vertex_availability.push_back(work.vertex_availability[v]);
+  }
+  for (const Work::Edge& e : work.edges) {
+    if (!e.alive) continue;
+    out.graph->add_edge(
+        VertexId{static_cast<std::uint32_t>(new_id[e.a])},
+        VertexId{static_cast<std::uint32_t>(new_id[e.b])});
+    reduced.edge_availability.push_back(e.availability);
+  }
+  for (const auto& [s, t] : problem.terminal_pairs) {
+    reduced.terminal_pairs.emplace_back(
+        VertexId{static_cast<std::uint32_t>(new_id[index(s)])},
+        VertexId{static_cast<std::uint32_t>(new_id[index(t)])});
+  }
+  reduced.g = out.graph.get();
+  reduced.validate();
+  out.problem = std::move(reduced);
+  return out;
+}
+
+double exact_availability_reduced(const ReliabilityProblem& problem,
+                                  const ExactOptions& options) {
+  const ReducedProblem reduced = reduce(problem);
+  return exact_availability(reduced.problem, options);
+}
+
+}  // namespace upsim::depend

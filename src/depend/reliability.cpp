@@ -1,0 +1,399 @@
+#include "depend/reliability.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <deque>
+
+#include "depend/availability.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+ReliabilityProblem ReliabilityProblem::from_attributes(
+    const Graph& g,
+    std::vector<std::pair<VertexId, VertexId>> terminal_pairs,
+    bool linear_formula) {
+  ReliabilityProblem problem;
+  problem.g = &g;
+  problem.terminal_pairs = std::move(terminal_pairs);
+  auto availability_from = [linear_formula](const graph::AttributeMap& attrs,
+                                            const std::string& what) {
+    const auto mtbf = attrs.find("mtbf");
+    const auto mttr = attrs.find("mttr");
+    if (mtbf == attrs.end() || mttr == attrs.end()) {
+      throw NotFoundError(what + " lacks mtbf/mttr attributes");
+    }
+    double a = linear_formula ? availability_linear(mtbf->second, mttr->second)
+                              : availability_exact(mtbf->second, mttr->second);
+    const auto redundant = attrs.find("redundant");
+    if (redundant != attrs.end()) {
+      a = availability_redundant(a, static_cast<int>(redundant->second));
+    }
+    return a;
+  };
+  problem.vertex_availability.reserve(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const graph::Vertex& vertex = g.vertex(VertexId{static_cast<std::uint32_t>(v)});
+    problem.vertex_availability.push_back(
+        availability_from(vertex.attributes, "vertex '" + vertex.name + "'"));
+  }
+  problem.edge_availability.reserve(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& edge = g.edge(EdgeId{static_cast<std::uint32_t>(e)});
+    problem.edge_availability.push_back(
+        availability_from(edge.attributes, "edge '" + edge.name + "'"));
+  }
+  problem.validate();
+  return problem;
+}
+
+void ReliabilityProblem::validate() const {
+  if (g == nullptr) throw ModelError("reliability problem: no graph");
+  if (vertex_availability.size() != g->vertex_count()) {
+    throw ModelError("reliability problem: vertex availability size mismatch");
+  }
+  if (edge_availability.size() != g->edge_count()) {
+    throw ModelError("reliability problem: edge availability size mismatch");
+  }
+  for (const double a : vertex_availability) {
+    if (!(a >= 0.0 && a <= 1.0)) {
+      throw ModelError("reliability problem: vertex availability outside [0,1]");
+    }
+  }
+  for (const double a : edge_availability) {
+    if (!(a >= 0.0 && a <= 1.0)) {
+      throw ModelError("reliability problem: edge availability outside [0,1]");
+    }
+  }
+  if (terminal_pairs.empty()) {
+    throw ModelError("reliability problem: no terminal pairs");
+  }
+  for (const auto& [a, b] : terminal_pairs) {
+    (void)g->vertex(a);
+    (void)g->vertex(b);
+  }
+}
+
+namespace {
+
+enum class State : std::uint8_t { Undecided, Up, Down };
+
+/// Mutable factoring state: one State per vertex and per edge.
+struct FactoringState {
+  std::vector<State> vertex;
+  std::vector<State> edge;
+};
+
+/// Connectivity of (s, t) treating Undecided as `optimistic ? Up : Down`.
+/// A terminal that is Down (or, pessimistically, Undecided) disconnects the
+/// pair immediately.
+bool pair_connected(const Graph& g, const FactoringState& st, VertexId s,
+                    VertexId t, bool optimistic) {
+  auto vertex_ok = [&](VertexId v) {
+    const State state = st.vertex[index(v)];
+    return state == State::Up || (optimistic && state == State::Undecided);
+  };
+  auto edge_ok = [&](EdgeId e) {
+    const State state = st.edge[index(e)];
+    return state == State::Up || (optimistic && state == State::Undecided);
+  };
+  if (!vertex_ok(s) || !vertex_ok(t)) return false;
+  if (s == t) return true;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::deque<VertexId> queue{s};
+  seen[index(s)] = true;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : g.incident_edges(v)) {
+      if (!edge_ok(e)) continue;
+      const VertexId w = g.opposite(e, v);
+      if (seen[index(w)] || !vertex_ok(w)) continue;
+      if (w == t) return true;
+      seen[index(w)] = true;
+      queue.push_back(w);
+    }
+  }
+  return false;
+}
+
+bool all_connected(const Graph& g, const FactoringState& st,
+                   const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                   bool optimistic) {
+  for (const auto& [s, t] : pairs) {
+    if (!pair_connected(g, st, s, t, optimistic)) return false;
+  }
+  return true;
+}
+
+/// Picks the next component to condition on: an undecided vertex or edge
+/// lying on an optimistic BFS path of the first not-yet-certain pair.
+/// Branching on components that actually matter keeps the recursion close
+/// to the number of genuinely redundant structures.
+struct Pivot {
+  bool is_vertex = false;
+  std::uint32_t id = 0;
+  bool found = false;
+};
+
+Pivot pick_pivot(const Graph& g, const FactoringState& st,
+                 const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  for (const auto& [s, t] : pairs) {
+    if (pair_connected(g, st, s, t, /*optimistic=*/false)) continue;
+    // Undecided terminals are always valid pivots (covers s == t, where no
+    // BFS edge ever "reaches" the target).
+    if (st.vertex[index(s)] == State::Undecided) {
+      return Pivot{true, index(s), true};
+    }
+    if (st.vertex[index(t)] == State::Undecided) {
+      return Pivot{true, index(t), true};
+    }
+    if (s == t) continue;  // terminals decided; nothing to factor here
+    // BFS over optimistic states recording parents; then walk the s->t path
+    // and return its first undecided component.
+    if (st.vertex[index(s)] == State::Down || st.vertex[index(t)] == State::Down) {
+      continue;  // pair already impossible; caller's optimism check handles
+    }
+    std::vector<std::int64_t> parent_edge(g.vertex_count(), -1);
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::deque<VertexId> queue{s};
+    seen[index(s)] = true;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const EdgeId e : g.incident_edges(v)) {
+        if (st.edge[index(e)] == State::Down) continue;
+        const VertexId w = g.opposite(e, v);
+        if (seen[index(w)] || st.vertex[index(w)] == State::Down) continue;
+        seen[index(w)] = true;
+        parent_edge[index(w)] = static_cast<std::int64_t>(index(e));
+        if (w == t) {
+          reached = true;
+          break;
+        }
+        queue.push_back(w);
+      }
+    }
+    if (!reached) continue;
+    // Walk back from t to s over parent edges.
+    std::vector<std::pair<bool, std::uint32_t>> on_path;  // (is_vertex, id)
+    VertexId cur = t;
+    while (cur != s) {
+      const auto e = EdgeId{static_cast<std::uint32_t>(parent_edge[index(cur)])};
+      on_path.emplace_back(false, index(e));
+      on_path.emplace_back(true, index(cur));
+      cur = g.opposite(e, cur);
+    }
+    // Prefer components closer to the source (stable, depth-first flavour).
+    for (auto it = on_path.rbegin(); it != on_path.rend(); ++it) {
+      const auto [is_vertex, id] = *it;
+      const State state = is_vertex ? st.vertex[id] : st.edge[id];
+      if (state == State::Undecided) return Pivot{is_vertex, id, true};
+    }
+  }
+  return Pivot{};
+}
+
+class FactoringEvaluator {
+ public:
+  FactoringEvaluator(const ReliabilityProblem& problem,
+                     const ExactOptions& options)
+      : problem_(problem), options_(options) {
+    state_.vertex.assign(problem.g->vertex_count(), State::Undecided);
+    state_.edge.assign(problem.g->edge_count(), State::Undecided);
+  }
+
+  double run() { return recurse(); }
+
+  [[nodiscard]] std::size_t expansions() const noexcept { return expansions_; }
+
+ private:
+  double recurse() {
+    if (options_.max_expansions != 0 && expansions_ > options_.max_expansions) {
+      throw Error("exact_availability: expansion budget exceeded (" +
+                  std::to_string(options_.max_expansions) +
+                  "); the topology is too dense for exact factoring");
+    }
+    ++expansions_;
+    const Graph& g = *problem_.g;
+    // Pessimistic success: everything needed is already Up.
+    if (all_connected(g, state_, problem_.terminal_pairs, false)) return 1.0;
+    // Optimistic failure: even with every undecided component Up, some pair
+    // cannot connect.
+    if (!all_connected(g, state_, problem_.terminal_pairs, true)) return 0.0;
+
+    const Pivot pivot = pick_pivot(g, state_, problem_.terminal_pairs);
+    UPSIM_ASSERT(pivot.found);  // otherwise one of the two cuts above fired
+    State& slot = pivot.is_vertex ? state_.vertex[pivot.id]
+                                  : state_.edge[pivot.id];
+    const double a = pivot.is_vertex
+                         ? problem_.vertex_availability[pivot.id]
+                         : problem_.edge_availability[pivot.id];
+    slot = State::Up;
+    const double up = recurse();
+    slot = State::Down;
+    const double down = recurse();
+    slot = State::Undecided;
+    return a * up + (1.0 - a) * down;
+  }
+
+  const ReliabilityProblem& problem_;
+  ExactOptions options_;
+  FactoringState state_;
+  std::size_t expansions_ = 0;
+};
+
+}  // namespace
+
+double exact_availability(const ReliabilityProblem& problem,
+                          const ExactOptions& options) {
+  problem.validate();
+  FactoringEvaluator evaluator(problem, options);
+  return evaluator.run();
+}
+
+double path_inclusion_exclusion(
+    const ReliabilityProblem& problem,
+    const std::vector<std::vector<VertexId>>& paths) {
+  problem.validate();
+  if (paths.empty()) {
+    throw ModelError("path_inclusion_exclusion: empty path set");
+  }
+  if (paths.size() > 25) {
+    throw Error("path_inclusion_exclusion: " + std::to_string(paths.size()) +
+                " paths exceed the 2^25 term budget; use exact_availability");
+  }
+  const Graph& g = *problem.g;
+
+  // Components per path: vertex ids and, between consecutive vertices, the
+  // single most-available connecting edge (parallel links collapse to their
+  // best representative, which upper-bounds per-link availability — the
+  // case study has no parallel links so this is exact there).
+  struct PathComponents {
+    std::vector<std::uint32_t> vertices;
+    std::vector<std::uint32_t> edges;
+  };
+  std::vector<PathComponents> sets(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& path = paths[i];
+    if (path.empty()) throw ModelError("path_inclusion_exclusion: empty path");
+    for (const VertexId v : path) sets[i].vertices.push_back(index(v));
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      std::optional<EdgeId> best;
+      for (const EdgeId e : g.incident_edges(path[k])) {
+        if (g.opposite(e, path[k]) != path[k + 1]) continue;
+        if (!best || problem.edge_availability[index(e)] >
+                         problem.edge_availability[index(*best)]) {
+          best = e;
+        }
+      }
+      if (!best) {
+        throw ModelError("path_inclusion_exclusion: consecutive path "
+                         "vertices are not adjacent");
+      }
+      sets[i].edges.push_back(index(*best));
+    }
+  }
+
+  // Inclusion-exclusion over path subsets; P(union of paths all-up events).
+  const std::size_t p = paths.size();
+  double total = 0.0;
+  std::vector<bool> vertex_in(g.vertex_count());
+  std::vector<bool> edge_in(g.edge_count());
+  for (std::uint64_t mask = 1; mask < (1ULL << p); ++mask) {
+    std::fill(vertex_in.begin(), vertex_in.end(), false);
+    std::fill(edge_in.begin(), edge_in.end(), false);
+    int bits = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      if ((mask >> i & 1ULL) == 0) continue;
+      ++bits;
+      for (const std::uint32_t v : sets[i].vertices) vertex_in[v] = true;
+      for (const std::uint32_t e : sets[i].edges) edge_in[e] = true;
+    }
+    double prob = 1.0;
+    for (std::size_t v = 0; v < vertex_in.size(); ++v) {
+      if (vertex_in[v]) prob *= problem.vertex_availability[v];
+    }
+    for (std::size_t e = 0; e < edge_in.size(); ++e) {
+      if (edge_in[e]) prob *= problem.edge_availability[e];
+    }
+    total += (bits % 2 == 1) ? prob : -prob;
+  }
+  return total;
+}
+
+MonteCarloResult monte_carlo_availability(const ReliabilityProblem& problem,
+                                          std::size_t samples,
+                                          std::uint64_t seed,
+                                          util::ThreadPool* pool) {
+  problem.validate();
+  if (samples == 0) throw ModelError("monte_carlo_availability: 0 samples");
+  const Graph& g = *problem.g;
+
+  auto run_block = [&](util::Rng rng, std::size_t n) -> std::size_t {
+    FactoringState st;
+    st.vertex.resize(g.vertex_count());
+    st.edge.resize(g.edge_count());
+    std::size_t up = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < st.vertex.size(); ++v) {
+        st.vertex[v] = rng.bernoulli(problem.vertex_availability[v])
+                           ? State::Up
+                           : State::Down;
+      }
+      for (std::size_t e = 0; e < st.edge.size(); ++e) {
+        st.edge[e] = rng.bernoulli(problem.edge_availability[e]) ? State::Up
+                                                                 : State::Down;
+      }
+      if (all_connected(g, st, problem.terminal_pairs, false)) ++up;
+    }
+    return up;
+  };
+
+  util::Rng master(seed);
+  std::size_t up_total = 0;
+  if (pool == nullptr) {
+    up_total = run_block(master.fork(), samples);
+  } else {
+    const std::size_t blocks = std::max<std::size_t>(1, pool->thread_count());
+    const std::size_t per_block = samples / blocks;
+    std::vector<util::Rng> rngs;
+    std::vector<std::size_t> counts(blocks, 0);
+    rngs.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) rngs.push_back(master.fork());
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t n =
+          b + 1 == blocks ? samples - per_block * (blocks - 1) : per_block;
+      counts[b] = run_block(std::move(rngs[b]), n);
+    });
+    for (const std::size_t c : counts) up_total += c;
+  }
+
+  MonteCarloResult result;
+  result.samples = samples;
+  result.estimate = static_cast<double>(up_total) / static_cast<double>(samples);
+  result.std_error = std::sqrt(result.estimate * (1.0 - result.estimate) /
+                               static_cast<double>(samples));
+  return result;
+}
+
+double independent_pairs_approximation(const ReliabilityProblem& problem,
+                                       const ExactOptions& options) {
+  problem.validate();
+  double product = 1.0;
+  for (const auto& pair : problem.terminal_pairs) {
+    ReliabilityProblem single = problem;
+    single.terminal_pairs = {pair};
+    product *= exact_availability(single, options);
+  }
+  return product;
+}
+
+}  // namespace upsim::depend

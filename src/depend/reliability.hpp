@@ -1,0 +1,94 @@
+// Network availability with failing devices AND failing links.
+//
+// This is the analysis the UPSIM enables (Sec. VII): given the user-
+// perceived sub-network, the probability that requester and provider can
+// still communicate when every component fails independently with its
+// steady-state unavailability.  Three evaluators are provided:
+//
+//   * exact_availability        — complete enumeration by factoring
+//     (conditioning on one undecided component at a time) with optimistic/
+//     pessimistic connectivity pruning; exact for arbitrary topologies and
+//     multiple terminal pairs (a composite service is up only if EVERY
+//     atomic service's pair is connected — shared components are handled
+//     exactly, not assumed independent).
+//   * path_inclusion_exclusion — exact for a single pair given its
+//     complete simple-path set (2^p terms; feasible for p <~ 25).
+//   * monte_carlo_availability — sampling cross-check, parallelisable.
+//
+// Terminal components are ordinary components: a service whose requester
+// machine is down is down, matching the RBD construction in ref. [20].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::depend {
+
+/// The probabilistic model over a graph: availability per vertex and per
+/// edge, plus the terminal pairs that must all be connected.
+struct ReliabilityProblem {
+  const graph::Graph* g = nullptr;
+  std::vector<double> vertex_availability;  ///< indexed by VertexId
+  std::vector<double> edge_availability;    ///< indexed by EdgeId
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> terminal_pairs;
+
+  /// Builds the availability vectors from graph attributes: every vertex
+  /// and edge must carry "mtbf" and "mttr" attributes (hours); an optional
+  /// "redundant" attribute adds spares.  Set `linear_formula` to use the
+  /// paper's Formula 1 instead of the exact form.
+  [[nodiscard]] static ReliabilityProblem from_attributes(
+      const graph::Graph& g,
+      std::vector<std::pair<graph::VertexId, graph::VertexId>> terminal_pairs,
+      bool linear_formula = false);
+
+  /// Sanity checks (sizes match the graph, probabilities in [0,1], at
+  /// least one terminal pair).  Throws ModelError on violation.
+  void validate() const;
+};
+
+struct ExactOptions {
+  /// Abort and throw Error once this many factoring recursions have been
+  /// expanded (guards against accidental exponential blow-up on dense
+  /// graphs).  0 = unlimited.
+  std::size_t max_expansions = 0;
+};
+
+/// Exact probability that every terminal pair is connected.  Complexity is
+/// exponential in the number of "undecided" components in the worst case
+/// but the connectivity pruning collapses tree-like regions immediately.
+[[nodiscard]] double exact_availability(const ReliabilityProblem& problem,
+                                        const ExactOptions& options = {});
+
+/// Exact single-pair availability from the complete set of simple paths
+/// between the pair (vertex sequences).  Edge availabilities are folded in
+/// by locating, for consecutive path vertices, the *most available* edge
+/// between them (parallel links).  Throws ModelError when given no paths.
+[[nodiscard]] double path_inclusion_exclusion(
+    const ReliabilityProblem& problem,
+    const std::vector<std::vector<graph::VertexId>>& paths);
+
+struct MonteCarloResult {
+  double estimate = 0.0;
+  double std_error = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Monte-Carlo estimate of the same probability.  Deterministic for a
+/// fixed (seed, samples, thread count).
+[[nodiscard]] MonteCarloResult monte_carlo_availability(
+    const ReliabilityProblem& problem, std::size_t samples,
+    std::uint64_t seed, util::ThreadPool* pool = nullptr);
+
+/// The independence approximation used by the RBD transformation: the
+/// product over terminal pairs of each pair's exact availability.  Exact
+/// for a single pair; an approximation (reported by E6) when pairs share
+/// components.
+[[nodiscard]] double independent_pairs_approximation(
+    const ReliabilityProblem& problem, const ExactOptions& options = {});
+
+}  // namespace upsim::depend

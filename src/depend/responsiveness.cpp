@@ -1,0 +1,257 @@
+#include "depend/responsiveness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim::depend {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+namespace {
+
+double attribute_or(const graph::AttributeMap& attrs, const std::string& key,
+                    double fallback) {
+  const auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second;
+}
+
+void check_single_pair(const ReliabilityProblem& problem) {
+  problem.validate();
+  if (problem.terminal_pairs.size() != 1) {
+    throw ModelError(
+        "responsiveness: exactly one terminal pair expected (analyse atomic "
+        "services separately)");
+  }
+}
+
+std::vector<double> sorted_deadlines(std::vector<double> deadlines) {
+  if (deadlines.empty()) {
+    throw ModelError("responsiveness: no deadlines given");
+  }
+  for (const double d : deadlines) {
+    if (!(d >= 0.0)) {
+      throw ModelError("responsiveness: deadlines must be non-negative");
+    }
+  }
+  std::sort(deadlines.begin(), deadlines.end());
+  return deadlines;
+}
+
+}  // namespace
+
+double path_latency_ms(const Graph& g, const std::vector<VertexId>& path,
+                       const LatencyModel& latency) {
+  if (path.empty()) throw ModelError("path_latency_ms: empty path");
+  double total = 0.0;
+  for (const VertexId v : path) {
+    total += attribute_or(g.vertex(v).attributes, latency.attribute,
+                          latency.vertex_default_ms);
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const EdgeId e : g.incident_edges(path[i])) {
+      if (g.opposite(e, path[i]) != path[i + 1]) continue;
+      best = std::min(best, attribute_or(g.edge(e).attributes,
+                                         latency.attribute,
+                                         latency.edge_default_ms));
+    }
+    if (!std::isfinite(best)) {
+      throw ModelError("path_latency_ms: non-adjacent hop in path");
+    }
+    total += best;
+  }
+  return total;
+}
+
+ResponsivenessResult monte_carlo_responsiveness(
+    const ReliabilityProblem& problem, const LatencyModel& latency,
+    std::vector<double> deadlines_ms, std::size_t samples, std::uint64_t seed,
+    util::ThreadPool* pool) {
+  check_single_pair(problem);
+  if (samples == 0) throw ModelError("responsiveness: 0 samples");
+  const Graph& g = *problem.g;
+  const auto [s, t] = problem.terminal_pairs[0];
+
+  ResponsivenessResult result;
+  result.deadlines_ms = sorted_deadlines(std::move(deadlines_ms));
+  const auto weights =
+      graph::attribute_weights(g, latency.attribute, latency.vertex_default_ms,
+                               latency.attribute, latency.edge_default_ms);
+  {
+    const auto baseline = graph::shortest_path(g, s, t, weights);
+    result.best_case_ms = baseline.reachable()
+                              ? baseline.cost
+                              : std::numeric_limits<double>::infinity();
+  }
+
+  struct Counts {
+    std::vector<std::size_t> within;  // per deadline
+    std::size_t connected = 0;
+  };
+  auto run_block = [&](util::Rng rng, std::size_t n) {
+    Counts counts;
+    counts.within.assign(result.deadlines_ms.size(), 0);
+    std::vector<bool> vertex_up(g.vertex_count());
+    std::vector<bool> edge_up(g.edge_count());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < vertex_up.size(); ++v) {
+        vertex_up[v] = rng.bernoulli(problem.vertex_availability[v]);
+      }
+      for (std::size_t e = 0; e < edge_up.size(); ++e) {
+        edge_up[e] = rng.bernoulli(problem.edge_availability[e]);
+      }
+      const auto sp = graph::shortest_path(
+          g, s, t, weights,
+          [&](VertexId v) { return vertex_up[index(v)]; },
+          [&](EdgeId e) { return edge_up[index(e)]; });
+      if (!sp.reachable()) continue;
+      ++counts.connected;
+      for (std::size_t d = 0; d < result.deadlines_ms.size(); ++d) {
+        if (sp.cost <= result.deadlines_ms[d]) ++counts.within[d];
+      }
+    }
+    return counts;
+  };
+
+  util::Rng master(seed);
+  Counts total;
+  total.within.assign(result.deadlines_ms.size(), 0);
+  if (pool == nullptr) {
+    total = run_block(master.fork(), samples);
+  } else {
+    const std::size_t blocks = std::max<std::size_t>(1, pool->thread_count());
+    const std::size_t per_block = samples / blocks;
+    std::vector<util::Rng> rngs;
+    rngs.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) rngs.push_back(master.fork());
+    std::vector<Counts> partial(blocks);
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t n =
+          b + 1 == blocks ? samples - per_block * (blocks - 1) : per_block;
+      partial[b] = run_block(std::move(rngs[b]), n);
+    });
+    for (const Counts& c : partial) {
+      total.connected += c.connected;
+      for (std::size_t d = 0; d < total.within.size(); ++d) {
+        total.within[d] += c.within[d];
+      }
+    }
+  }
+
+  result.availability =
+      static_cast<double>(total.connected) / static_cast<double>(samples);
+  result.probability.reserve(result.deadlines_ms.size());
+  for (const std::size_t hits : total.within) {
+    result.probability.push_back(static_cast<double>(hits) /
+                                 static_cast<double>(samples));
+  }
+  return result;
+}
+
+ResponsivenessResult exact_responsiveness(const ReliabilityProblem& problem,
+                                          const LatencyModel& latency,
+                                          std::vector<double> deadlines_ms) {
+  check_single_pair(problem);
+  const Graph& g = *problem.g;
+  const auto [s, t] = problem.terminal_pairs[0];
+
+  const auto set = pathdisc::discover(g, s, t);
+  if (set.count() > 25) {
+    throw Error("exact_responsiveness: " + std::to_string(set.count()) +
+                " paths exceed the 2^25 inclusion-exclusion budget; use "
+                "monte_carlo_responsiveness");
+  }
+
+  ResponsivenessResult result;
+  result.deadlines_ms = sorted_deadlines(std::move(deadlines_ms));
+
+  // Per path: latency and the component index sets of its up-event.
+  struct PathEvent {
+    double latency_ms;
+    std::vector<std::uint32_t> vertices;
+    std::vector<std::uint32_t> edges;
+  };
+  std::vector<PathEvent> events;
+  events.reserve(set.count());
+  for (const auto& path : set.paths) {
+    PathEvent event;
+    event.latency_ms = path_latency_ms(g, path, latency);
+    for (const VertexId v : path) event.vertices.push_back(index(v));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // The minimum-latency edge per hop defines the routed path; parallel
+      // higher-latency links are ignored, a documented approximation that
+      // is exact on graphs without parallel edges.
+      std::optional<EdgeId> best;
+      double best_latency = std::numeric_limits<double>::infinity();
+      for (const EdgeId e : g.incident_edges(path[i])) {
+        if (g.opposite(e, path[i]) != path[i + 1]) continue;
+        const double l = attribute_or(g.edge(e).attributes, latency.attribute,
+                                      latency.edge_default_ms);
+        if (l < best_latency) {
+          best_latency = l;
+          best = e;
+        }
+      }
+      UPSIM_ASSERT(best.has_value());
+      event.edges.push_back(index(*best));
+    }
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const PathEvent& a, const PathEvent& b) {
+              return a.latency_ms < b.latency_ms;
+            });
+  result.best_case_ms = events.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : events.front().latency_ms;
+
+  // P(union of the first k path-up events) by inclusion-exclusion.
+  auto union_probability = [&](std::size_t k) {
+    if (k == 0) return 0.0;
+    std::vector<bool> vertex_in(g.vertex_count());
+    std::vector<bool> edge_in(g.edge_count());
+    double total = 0.0;
+    for (std::uint64_t mask = 1; mask < (1ULL << k); ++mask) {
+      std::fill(vertex_in.begin(), vertex_in.end(), false);
+      std::fill(edge_in.begin(), edge_in.end(), false);
+      int bits = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if ((mask >> i & 1ULL) == 0) continue;
+        ++bits;
+        for (const std::uint32_t v : events[i].vertices) vertex_in[v] = true;
+        for (const std::uint32_t e : events[i].edges) edge_in[e] = true;
+      }
+      double p = 1.0;
+      for (std::size_t v = 0; v < vertex_in.size(); ++v) {
+        if (vertex_in[v]) p *= problem.vertex_availability[v];
+      }
+      for (std::size_t e = 0; e < edge_in.size(); ++e) {
+        if (edge_in[e]) p *= problem.edge_availability[e];
+      }
+      total += (bits % 2 == 1) ? p : -p;
+    }
+    return total;
+  };
+
+  // Response time <= d iff some path with latency <= d is fully up
+  // (the router always picks the cheapest working path, and any working
+  // path with latency <= d witnesses the event).
+  result.probability.reserve(result.deadlines_ms.size());
+  for (const double deadline : result.deadlines_ms) {
+    std::size_t k = 0;
+    while (k < events.size() && events[k].latency_ms <= deadline) ++k;
+    result.probability.push_back(union_probability(k));
+  }
+  result.availability = union_probability(events.size());
+  return result;
+}
+
+}  // namespace upsim::depend

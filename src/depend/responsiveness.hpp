@@ -1,0 +1,68 @@
+// User-perceived responsiveness (Sec. VII lists responsiveness [7] among
+// the dependability properties a UPSIM enables; Dittrich & Salfner define
+// it as the probability of a correct response within a deadline).
+//
+// Model: every vertex carries a processing latency and every edge a
+// transmission latency (graph attributes "latency_ms"; defaults apply for
+// components that do not declare one).  When components fail, traffic
+// re-routes over the best *working* path, so the user-perceived response
+// time of one requester/provider pair is the cheapest-path latency in the
+// random up/down state — infinite when the pair is disconnected.
+// Responsiveness(d) = P(response time <= d), which folds availability and
+// latency into one user-perceived figure.
+//
+// Two evaluators:
+//   * exact_responsiveness — enumerates over the component-state space by
+//     factoring on latency-relevant components (exact, small UPSIMs);
+//   * monte_carlo_responsiveness — samples states, Dijkstra per sample.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "depend/reliability.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::depend {
+
+struct LatencyModel {
+  /// Attribute name holding per-component latency (milliseconds).
+  std::string attribute = "latency_ms";
+  double vertex_default_ms = 0.1;  ///< per-hop processing latency
+  double edge_default_ms = 0.05;   ///< per-link transmission latency
+};
+
+/// Distribution of the user-perceived response time of ONE terminal pair:
+/// P(T <= d) for each requested deadline, plus the always-up baseline.
+struct ResponsivenessResult {
+  std::vector<double> deadlines_ms;      ///< as requested, sorted ascending
+  std::vector<double> probability;       ///< P(response within deadline)
+  double availability = 0.0;             ///< P(any path works) == limit d->inf
+  double best_case_ms = 0.0;             ///< latency with everything up
+};
+
+/// Monte-Carlo estimate.  The problem must have exactly one terminal pair.
+[[nodiscard]] ResponsivenessResult monte_carlo_responsiveness(
+    const ReliabilityProblem& problem, const LatencyModel& latency,
+    std::vector<double> deadlines_ms, std::size_t samples, std::uint64_t seed,
+    util::ThreadPool* pool = nullptr);
+
+/// Exact computation via enumeration of the simple-path set: the response
+/// time is min over working paths of the path latency, so
+/// P(T <= d) = P(union of {path p fully up} for paths with latency <= d),
+/// evaluated by inclusion-exclusion.  Feasible for <= 25 paths; throws
+/// Error beyond that (use the Monte-Carlo variant).  The problem must have
+/// exactly one terminal pair.
+[[nodiscard]] ResponsivenessResult exact_responsiveness(
+    const ReliabilityProblem& problem, const LatencyModel& latency,
+    std::vector<double> deadlines_ms);
+
+/// Latency of a concrete vertex path under the model (helper shared by the
+/// evaluators and the examples).
+[[nodiscard]] double path_latency_ms(const graph::Graph& g,
+                                     const std::vector<graph::VertexId>& path,
+                                     const LatencyModel& latency);
+
+}  // namespace upsim::depend

@@ -1,0 +1,76 @@
+#include "depend/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "depend/importance.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+std::vector<SensitivityRecord> sensitivity_analysis(
+    const ReliabilityProblem& problem, const SensitivityOptions& options) {
+  problem.validate();
+  const graph::Graph& g = *problem.g;
+
+  ImportanceOptions importance_options;
+  importance_options.include_edges = options.include_edges;
+  importance_options.exact = options.exact;
+  const auto ranking = importance_ranking(problem, importance_options);
+
+  auto rates_of = [&](const SensitivityRecord& record)
+      -> std::pair<double, double> {
+    const graph::AttributeMap* attrs = nullptr;
+    if (record.is_vertex) {
+      attrs = &g.vertex(g.vertex_by_name(record.component)).attributes;
+    } else {
+      // Edges have no name lookup; scan (sensitivity is an offline report).
+      for (std::size_t e = 0; e < g.edge_count(); ++e) {
+        const auto& edge = g.edge(graph::EdgeId{static_cast<std::uint32_t>(e)});
+        if (edge.name == record.component) {
+          attrs = &edge.attributes;
+          break;
+        }
+      }
+    }
+    if (attrs == nullptr) {
+      throw NotFoundError("sensitivity: component '" + record.component +
+                          "' not found");
+    }
+    const auto mtbf = attrs->find("mtbf");
+    const auto mttr = attrs->find("mttr");
+    if (mtbf == attrs->end() || mttr == attrs->end()) {
+      throw NotFoundError("sensitivity: component '" + record.component +
+                          "' lacks mtbf/mttr attributes");
+    }
+    return {mtbf->second, mttr->second};
+  };
+
+  std::vector<SensitivityRecord> records;
+  records.reserve(ranking.size());
+  for (const ImportanceRecord& importance : ranking) {
+    SensitivityRecord record;
+    record.component = importance.component;
+    record.is_vertex = importance.is_vertex;
+    record.birnbaum = importance.birnbaum;
+    const auto [mtbf, mttr] = rates_of(record);
+    record.mtbf_hours = mtbf;
+    record.mttr_hours = mttr;
+    const double denom = (mtbf + mttr) * (mtbf + mttr);
+    record.dA_dMTBF = importance.birnbaum * mttr / denom;
+    record.dA_dMTTR = -importance.birnbaum * mtbf / denom;
+    record.downtime_saved_per_mttr_hour =
+        -record.dA_dMTTR * 365.0 * 24.0;  // hours of downtime per year
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const SensitivityRecord& a, const SensitivityRecord& b) {
+              const double da = std::abs(a.dA_dMTTR);
+              const double db = std::abs(b.dA_dMTTR);
+              if (da != db) return da > db;
+              return a.component < b.component;
+            });
+  return records;
+}
+
+}  // namespace upsim::depend

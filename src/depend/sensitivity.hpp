@@ -1,0 +1,50 @@
+// Parametric sensitivity of the user-perceived service availability to the
+// underlying MTBF/MTTR figures (the knobs an operator can actually buy:
+// better hardware raises MTBF, faster on-site support lowers MTTR).
+//
+// By the availability decomposition A = a_i * A(1_i) + (1 - a_i) * A(0_i),
+// the derivative of the system availability with respect to component i's
+// own availability is the Birnbaum importance B_i, and the chain rule
+// through a_i = MTBF_i / (MTBF_i + MTTR_i) gives
+//
+//   dA/dMTBF_i =  B_i * MTTR_i / (MTBF_i + MTTR_i)^2
+//   dA/dMTTR_i = -B_i * MTBF_i / (MTBF_i + MTTR_i)^2
+//
+// The report also converts these to operational units: availability gained
+// per hour of MTTR reduction, and the projected downtime change per year.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depend/reliability.hpp"
+
+namespace upsim::depend {
+
+struct SensitivityRecord {
+  std::string component;
+  bool is_vertex = true;
+  double mtbf_hours = 0.0;
+  double mttr_hours = 0.0;
+  double birnbaum = 0.0;
+  double dA_dMTBF = 0.0;          ///< per hour of MTBF
+  double dA_dMTTR = 0.0;          ///< per hour of MTTR (negative)
+  /// System downtime saved per year by shaving one hour off this
+  /// component's MTTR (hours/year, non-negative).
+  double downtime_saved_per_mttr_hour = 0.0;
+};
+
+struct SensitivityOptions {
+  bool include_edges = true;
+  ExactOptions exact;
+};
+
+/// Computes the sensitivities for every component carrying mtbf/mttr
+/// attributes on the graph (the availabilities in `problem` must have been
+/// derived from those same attributes — use
+/// ReliabilityProblem::from_attributes).  Sorted by descending
+/// |dA/dMTTR| — the most effective repair-time investments first.
+[[nodiscard]] std::vector<SensitivityRecord> sensitivity_analysis(
+    const ReliabilityProblem& problem, const SensitivityOptions& options = {});
+
+}  // namespace upsim::depend

@@ -1,0 +1,244 @@
+#include "depend/simulator.hpp"
+
+#include <deque>
+#include <queue>
+
+#include "depend/availability.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim::depend {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+SimulationModel SimulationModel::from_attributes(
+    const Graph& g,
+    std::vector<std::pair<VertexId, VertexId>> terminal_pairs) {
+  SimulationModel model;
+  model.g = &g;
+  model.terminal_pairs = std::move(terminal_pairs);
+  auto rates_from = [](const graph::AttributeMap& attrs,
+                       const std::string& what) {
+    const auto mtbf = attrs.find("mtbf");
+    const auto mttr = attrs.find("mttr");
+    if (mtbf == attrs.end() || mttr == attrs.end()) {
+      throw NotFoundError(what + " lacks mtbf/mttr attributes");
+    }
+    return ComponentRates{mtbf->second, mttr->second};
+  };
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vertex = g.vertex(VertexId{static_cast<std::uint32_t>(v)});
+    model.vertex_rates.push_back(
+        rates_from(vertex.attributes, "vertex '" + vertex.name + "'"));
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(EdgeId{static_cast<std::uint32_t>(e)});
+    model.edge_rates.push_back(
+        rates_from(edge.attributes, "edge '" + edge.name + "'"));
+  }
+  model.validate();
+  return model;
+}
+
+ReliabilityProblem SimulationModel::steady_state_problem() const {
+  validate();
+  ReliabilityProblem problem;
+  problem.g = g;
+  problem.terminal_pairs = terminal_pairs;
+  for (const ComponentRates& r : vertex_rates) {
+    problem.vertex_availability.push_back(availability_exact(r.mtbf, r.mttr));
+  }
+  for (const ComponentRates& r : edge_rates) {
+    problem.edge_availability.push_back(availability_exact(r.mtbf, r.mttr));
+  }
+  return problem;
+}
+
+void SimulationModel::validate() const {
+  if (g == nullptr) throw ModelError("simulation model: no graph");
+  if (vertex_rates.size() != g->vertex_count() ||
+      edge_rates.size() != g->edge_count()) {
+    throw ModelError("simulation model: rate vector size mismatch");
+  }
+  for (const auto* rates : {&vertex_rates, &edge_rates}) {
+    for (const ComponentRates& r : *rates) {
+      if (!(r.mtbf > 0.0) || !(r.mttr > 0.0)) {
+        throw ModelError(
+            "simulation model: MTBF and MTTR must be positive (a component "
+            "that never fails or repairs instantly has no renewal process)");
+      }
+    }
+  }
+  if (terminal_pairs.empty()) {
+    throw ModelError("simulation model: no terminal pairs");
+  }
+  for (const auto& [a, b] : terminal_pairs) {
+    (void)g->vertex(a);
+    (void)g->vertex(b);
+  }
+}
+
+double SimulationResult::service_mtbf_hours() const noexcept {
+  if (outages == 0) return 0.0;
+  return uptime_hours / static_cast<double>(outages);
+}
+
+double SimulationResult::service_mttr_hours() const noexcept {
+  if (outage_log.empty()) return 0.0;
+  double total = 0.0;
+  for (const OutageRecord& o : outage_log) total += o.duration_hours;
+  return total / static_cast<double>(outage_log.size());
+}
+
+namespace {
+
+/// Live component states during a run; vertices first, then edges.
+struct LiveState {
+  std::vector<bool> vertex_up;
+  std::vector<bool> edge_up;
+};
+
+bool service_up(const Graph& g, const LiveState& st,
+                const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  for (const auto& [s, t] : pairs) {
+    if (!st.vertex_up[index(s)] || !st.vertex_up[index(t)]) return false;
+    if (s == t) continue;
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::deque<VertexId> queue{s};
+    seen[index(s)] = true;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const EdgeId e : g.incident_edges(v)) {
+        if (!st.edge_up[index(e)]) continue;
+        const VertexId w = g.opposite(e, v);
+        if (seen[index(w)] || !st.vertex_up[index(w)]) continue;
+        if (w == t) {
+          reached = true;
+          break;
+        }
+        seen[index(w)] = true;
+        queue.push_back(w);
+      }
+    }
+    if (!reached) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SimulationResult simulate(const SimulationModel& model,
+                          const SimulationOptions& options) {
+  model.validate();
+  if (!(options.horizon_hours > 0.0)) {
+    throw ModelError("simulate: horizon must be positive");
+  }
+  if (options.warmup_hours < 0.0 ||
+      options.warmup_hours >= options.horizon_hours) {
+    throw ModelError("simulate: warmup must be within [0, horizon)");
+  }
+  const Graph& g = *model.g;
+  const std::size_t vertices = g.vertex_count();
+  const std::size_t components = vertices + g.edge_count();
+  util::Rng rng(options.seed);
+
+  const auto rates_of = [&](std::size_t c) -> const ComponentRates& {
+    return c < vertices ? model.vertex_rates[c]
+                        : model.edge_rates[c - vertices];
+  };
+
+  LiveState state;
+  state.vertex_up.assign(vertices, true);
+  state.edge_up.assign(g.edge_count(), true);
+
+  // Event queue: (time, component index).  Every component starts Up with
+  // an exponential time-to-failure.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  for (std::size_t c = 0; c < components; ++c) {
+    events.emplace(rng.exponential(1.0 / rates_of(c).mtbf), c);
+  }
+
+  SimulationResult result;
+  result.measured_hours = options.horizon_hours - options.warmup_hours;
+
+  double now = 0.0;
+  bool up = true;  // all components start Up, so the service starts up
+  double last_change = 0.0;
+  double outage_started = 0.0;
+
+  auto measured_span = [&](double from, double to) {
+    // Clips [from, to) to the measurement window.
+    const double lo = std::max(from, options.warmup_hours);
+    const double hi = std::min(to, options.horizon_hours);
+    return std::max(0.0, hi - lo);
+  };
+
+  while (!events.empty()) {
+    const auto [when, component] = events.top();
+    events.pop();
+    if (when >= options.horizon_hours) break;
+    now = when;
+    ++result.component_events;
+
+    // Toggle the component and schedule its next transition.
+    const bool was_up = component < vertices
+                            ? state.vertex_up[component]
+                            : state.edge_up[component - vertices];
+    const bool is_up = !was_up;
+    if (component < vertices) {
+      state.vertex_up[component] = is_up;
+    } else {
+      state.edge_up[component - vertices] = is_up;
+    }
+    const ComponentRates& rates = rates_of(component);
+    const double sojourn =
+        rng.exponential(1.0 / (is_up ? rates.mtbf : rates.mttr));
+    events.emplace(now + sojourn, component);
+
+    // Re-evaluate the service only when its state can actually change:
+    // repairs while up and failures of non-UPSIM-relevant parts are
+    // filtered by the connectivity check itself.
+    const bool now_up = service_up(g, state, model.terminal_pairs);
+    if (now_up == up) continue;
+    if (up) {
+      // Service just failed.
+      result.uptime_hours += measured_span(last_change, now);
+      outage_started = now;
+    } else {
+      // Service just recovered; log the outage if it intersects the
+      // measurement window.
+      const double measured_outage = measured_span(outage_started, now);
+      if (measured_outage > 0.0) {
+        ++result.outages;
+        result.outage_log.push_back(
+            OutageRecord{std::max(outage_started, options.warmup_hours),
+                         measured_outage});
+      }
+    }
+    up = now_up;
+    last_change = now;
+  }
+
+  // Close the final interval at the horizon.
+  if (up) {
+    result.uptime_hours += measured_span(last_change, options.horizon_hours);
+  } else {
+    const double measured_outage =
+        measured_span(outage_started, options.horizon_hours);
+    if (measured_outage > 0.0) {
+      ++result.outages;
+      result.outage_log.push_back(
+          OutageRecord{std::max(outage_started, options.warmup_hours),
+                       measured_outage});
+    }
+  }
+  return result;
+}
+
+}  // namespace upsim::depend

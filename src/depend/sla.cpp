@@ -1,0 +1,53 @@
+#include "depend/sla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+namespace {
+void check_probability(double a, const char* what) {
+  if (!(a >= 0.0 && a <= 1.0)) {
+    throw ModelError(std::string(what) + " must be within [0,1], got " +
+                     std::to_string(a));
+  }
+}
+}  // namespace
+
+double downtime_hours_per_year(double a) {
+  check_probability(a, "availability");
+  return (1.0 - a) * 8760.0;
+}
+
+double downtime_minutes_per_month(double a) {
+  check_probability(a, "availability");
+  return (1.0 - a) * 30.0 * 24.0 * 60.0;
+}
+
+int nines(double a) {
+  check_probability(a, "availability");
+  if (a >= 1.0) return 9;
+  if (a < 0.9) return 0;
+  const int n = static_cast<int>(std::floor(-std::log10(1.0 - a) + 1e-12));
+  return std::min(n, 9);
+}
+
+std::string availability_class(double a) {
+  check_probability(a, "availability");
+  const int n = nines(a);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g%% (%d nine%s)", a * 100.0, n,
+                n == 1 ? "" : "s");
+  return buf;
+}
+
+bool meets_sla(double a, double target) {
+  check_probability(a, "availability");
+  check_probability(target, "SLA target");
+  return a >= target;
+}
+
+}  // namespace upsim::depend

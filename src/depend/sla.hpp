@@ -1,0 +1,27 @@
+// Operational translations of an availability figure — the units service
+// level agreements are written in.
+#pragma once
+
+#include <string>
+
+namespace upsim::depend {
+
+/// Expected downtime per year (8760 h) for steady-state availability `a`.
+/// Throws ModelError unless a is within [0, 1].
+[[nodiscard]] double downtime_hours_per_year(double a);
+
+/// Expected downtime per 30-day month, minutes.
+[[nodiscard]] double downtime_minutes_per_month(double a);
+
+/// The "number of nines" of an availability: floor(-log10(1 - a)), capped
+/// at 9 for display; a == 1 reports 9.  Throws outside [0, 1].
+[[nodiscard]] int nines(double a);
+
+/// Human-readable availability class, e.g. "99.99% (4 nines)".
+[[nodiscard]] std::string availability_class(double a);
+
+/// True if availability `a` satisfies an SLA target (e.g. target = 0.999).
+/// Both must be within [0, 1].
+[[nodiscard]] bool meets_sla(double a, double target);
+
+}  // namespace upsim::depend

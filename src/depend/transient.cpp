@@ -1,0 +1,63 @@
+#include "depend/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "depend/reduction.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+
+double component_transient_availability(double mtbf_hours, double mttr_hours,
+                                        double t_hours) {
+  if (!(mtbf_hours > 0.0) || !(mttr_hours > 0.0)) {
+    throw ModelError("transient availability: MTBF and MTTR must be positive");
+  }
+  if (!(t_hours >= 0.0)) {
+    throw ModelError("transient availability: t must be non-negative");
+  }
+  const double lambda = 1.0 / mtbf_hours;
+  const double mu = 1.0 / mttr_hours;
+  const double rate = lambda + mu;
+  // mu/rate + lambda/rate can round to 1 + epsilon at t = 0; clamp so the
+  // result is a valid probability.
+  return std::min(1.0,
+                  mu / rate + (lambda / rate) * std::exp(-rate * t_hours));
+}
+
+std::vector<TransientPoint> transient_availability(
+    const SimulationModel& model, std::vector<double> times_hours,
+    const ExactOptions& options) {
+  model.validate();
+  if (times_hours.empty()) {
+    throw ModelError("transient availability: no time points");
+  }
+  std::sort(times_hours.begin(), times_hours.end());
+  if (times_hours.front() < 0.0) {
+    throw ModelError("transient availability: negative time point");
+  }
+
+  ReliabilityProblem problem;
+  problem.g = model.g;
+  problem.terminal_pairs = model.terminal_pairs;
+  problem.vertex_availability.resize(model.vertex_rates.size());
+  problem.edge_availability.resize(model.edge_rates.size());
+
+  std::vector<TransientPoint> out;
+  out.reserve(times_hours.size());
+  for (const double t : times_hours) {
+    for (std::size_t v = 0; v < model.vertex_rates.size(); ++v) {
+      problem.vertex_availability[v] = component_transient_availability(
+          model.vertex_rates[v].mtbf, model.vertex_rates[v].mttr, t);
+    }
+    for (std::size_t e = 0; e < model.edge_rates.size(); ++e) {
+      problem.edge_availability[e] = component_transient_availability(
+          model.edge_rates[e].mtbf, model.edge_rates[e].mttr, t);
+    }
+    out.push_back(
+        TransientPoint{t, exact_availability_reduced(problem, options)});
+  }
+  return out;
+}
+
+}  // namespace upsim::depend

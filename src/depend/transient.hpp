@@ -1,0 +1,42 @@
+// Transient (point-in-time) availability — what a user perceives in the
+// hours after a maintenance window, before the steady state of Formula 1
+// is reached.
+//
+// Each component alternates Up/Down with exponential rates lambda = 1/MTBF
+// and mu = 1/MTTR.  Starting Up at t = 0 (all components fresh, e.g. after
+// maintenance), the instantaneous availability of one component is the
+// classic alternating-renewal solution
+//
+//   A_i(t) = mu/(lambda+mu) + lambda/(lambda+mu) * exp(-(lambda+mu) t),
+//
+// which decays from 1 to the steady-state value.  Components stay
+// independent, so the system-level curve is the exact (reduced factoring)
+// availability evaluated with the per-time component vectors.  A(0) = 1
+// whenever the pair is connected, A(inf) equals the steady-state value —
+// both property-tested, along with the closed form itself.
+#pragma once
+
+#include <vector>
+
+#include "depend/simulator.hpp"
+
+namespace upsim::depend {
+
+/// Instantaneous availability of one component starting Up at t = 0.
+/// Requires mtbf > 0, mttr > 0, t >= 0.
+[[nodiscard]] double component_transient_availability(double mtbf_hours,
+                                                      double mttr_hours,
+                                                      double t_hours);
+
+struct TransientPoint {
+  double t_hours = 0.0;
+  double availability = 0.0;
+};
+
+/// System transient availability at each requested time (sorted copies of
+/// `times_hours`), via series-parallel-reduced exact factoring per point.
+[[nodiscard]] std::vector<TransientPoint> transient_availability(
+    const SimulationModel& model, std::vector<double> times_hours,
+    const ExactOptions& options = {});
+
+}  // namespace upsim::depend

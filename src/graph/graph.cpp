@@ -1,0 +1,209 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::graph {
+
+VertexId Graph::add_vertex(std::string name, std::string type,
+                           AttributeMap attributes) {
+  if (!util::is_identifier(name)) {
+    throw ModelError("invalid vertex name: '" + name + "'");
+  }
+  if (by_name_.contains(name)) {
+    throw ModelError("duplicate vertex name: '" + name + "'");
+  }
+  const auto id = VertexId{static_cast<std::uint32_t>(vertices_.size())};
+  by_name_.emplace(name, id);
+  vertices_.push_back(
+      Vertex{std::move(name), std::move(type), std::move(attributes)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::add_edge(VertexId a, VertexId b, std::string name,
+                       AttributeMap attributes) {
+  if (index(a) >= vertices_.size() || index(b) >= vertices_.size()) {
+    throw ModelError("add_edge: endpoint out of range");
+  }
+  if (a == b) {
+    throw ModelError("add_edge: self-loop on vertex '" + vertices_[index(a)].name +
+                     "' (a Connector must join two distinct Devices)");
+  }
+  if (name.empty()) {
+    name = vertices_[index(a)].name + "--" + vertices_[index(b)].name + "#" +
+           std::to_string(edges_.size());
+  }
+  if (edge_by_name_.contains(name)) {
+    throw ModelError("duplicate edge name: '" + name + "'");
+  }
+  const auto id = EdgeId{static_cast<std::uint32_t>(edges_.size())};
+  edge_by_name_.emplace(name, id);
+  edges_.push_back(Edge{a, b, std::move(name), std::move(attributes)});
+  adjacency_[index(a)].push_back(id);
+  adjacency_[index(b)].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_edge(std::string_view a, std::string_view b,
+                       std::string name, AttributeMap attributes) {
+  return add_edge(vertex_by_name(a), vertex_by_name(b), std::move(name),
+                  std::move(attributes));
+}
+
+const Vertex& Graph::vertex(VertexId v) const {
+  if (index(v) >= vertices_.size()) throw NotFoundError("vertex id out of range");
+  return vertices_[index(v)];
+}
+
+Vertex& Graph::vertex(VertexId v) {
+  if (index(v) >= vertices_.size()) throw NotFoundError("vertex id out of range");
+  return vertices_[index(v)];
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  if (index(e) >= edges_.size()) throw NotFoundError("edge id out of range");
+  return edges_[index(e)];
+}
+
+Edge& Graph::edge(EdgeId e) {
+  if (index(e) >= edges_.size()) throw NotFoundError("edge id out of range");
+  return edges_[index(e)];
+}
+
+std::optional<VertexId> Graph::find_vertex(std::string_view name) const
+    noexcept {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+VertexId Graph::vertex_by_name(std::string_view name) const {
+  const auto v = find_vertex(name);
+  if (!v) throw NotFoundError("unknown vertex: '" + std::string(name) + "'");
+  return *v;
+}
+
+const std::vector<EdgeId>& Graph::incident_edges(VertexId v) const {
+  if (index(v) >= adjacency_.size()) {
+    throw NotFoundError("vertex id out of range");
+  }
+  return adjacency_[index(v)];
+}
+
+VertexId Graph::opposite(EdgeId e, VertexId v) const {
+  const Edge& ed = edge(e);
+  if (ed.a == v) return ed.b;
+  if (ed.b == v) return ed.a;
+  throw ModelError("vertex '" + vertex(v).name + "' is not an endpoint of edge '" +
+                   ed.name + "'");
+}
+
+std::size_t Graph::degree(VertexId v) const { return incident_edges(v).size(); }
+
+bool Graph::connected(VertexId a, VertexId b) const {
+  if (index(a) >= vertices_.size() || index(b) >= vertices_.size()) {
+    throw NotFoundError("vertex id out of range");
+  }
+  if (a == b) return true;
+  std::vector<bool> seen(vertices_.size(), false);
+  std::deque<VertexId> queue{a};
+  seen[index(a)] = true;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : adjacency_[index(v)]) {
+      const VertexId w = opposite(e, v);
+      if (w == b) return true;
+      if (!seen[index(w)]) {
+        seen[index(w)] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t Graph::component_count() const {
+  std::vector<bool> seen(vertices_.size(), false);
+  std::size_t components = 0;
+  for (std::size_t start = 0; start < vertices_.size(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::deque<std::size_t> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      for (const EdgeId e : adjacency_[v]) {
+        const std::size_t w = index(opposite(e, VertexId{static_cast<std::uint32_t>(v)}));
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<VertexId> Graph::reachable_from(VertexId v) const {
+  if (index(v) >= vertices_.size()) throw NotFoundError("vertex id out of range");
+  std::vector<bool> seen(vertices_.size(), false);
+  std::vector<VertexId> out;
+  std::deque<VertexId> queue{v};
+  seen[index(v)] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    for (const EdgeId e : adjacency_[index(u)]) {
+      const VertexId w = opposite(e, u);
+      if (!seen[index(w)]) {
+        seen[index(w)] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+Graph Graph::induced_subgraph(const std::vector<VertexId>& keep) const {
+  Graph out;
+  std::vector<bool> kept(vertices_.size(), false);
+  for (const VertexId v : keep) {
+    const Vertex& src = vertex(v);
+    if (kept[index(v)]) continue;  // multiple occurrences are ignored
+    kept[index(v)] = true;
+    out.add_vertex(src.name, src.type, src.attributes);
+  }
+  for (const Edge& e : edges_) {
+    if (kept[index(e.a)] && kept[index(e.b)]) {
+      out.add_edge(vertices_[index(e.a)].name, vertices_[index(e.b)].name,
+                   e.name, e.attributes);
+    }
+  }
+  return out;
+}
+
+std::string Graph::to_dot(std::string_view graph_name) const {
+  std::string out = "graph " + std::string(graph_name) + " {\n";
+  for (const Vertex& v : vertices_) {
+    out += "  \"" + v.name + "\"";
+    if (!v.type.empty()) {
+      out += " [label=\"" + v.name + ":" + v.type + "\"]";
+    }
+    out += ";\n";
+  }
+  for (const Edge& e : edges_) {
+    out += "  \"" + vertices_[index(e.a)].name + "\" -- \"" +
+           vertices_[index(e.b)].name + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace upsim::graph

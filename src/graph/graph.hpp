@@ -1,0 +1,118 @@
+// Undirected multigraph with stable integer ids and string-keyed vertices.
+//
+// This is the shared substrate under path discovery (Sec. V-D of the paper),
+// topology generation, and the reliability algorithms.  Vertices and edges
+// carry an opaque name plus a numeric attribute map (used for MTBF/MTTR and
+// availability annotations); the higher-level UML/VPM layers own the rich
+// property model and project into this structure for algorithmic work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace upsim::graph {
+
+/// Strongly-typed vertex index.  Valid ids are dense [0, vertex_count).
+enum class VertexId : std::uint32_t {};
+/// Strongly-typed edge index.  Valid ids are dense [0, edge_count).
+enum class EdgeId : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t index(VertexId v) noexcept {
+  return static_cast<std::uint32_t>(v);
+}
+[[nodiscard]] constexpr std::uint32_t index(EdgeId e) noexcept {
+  return static_cast<std::uint32_t>(e);
+}
+
+/// Numeric attributes attached to a vertex or edge (e.g. "mtbf", "mttr",
+/// "availability").  Missing keys are simply absent; algorithms that need a
+/// key state so and throw NotFoundError when it is missing.
+using AttributeMap = std::unordered_map<std::string, double>;
+
+struct Vertex {
+  std::string name;        ///< unique within the graph, non-empty
+  std::string type;        ///< free-form type label (e.g. "C6500", "Server")
+  AttributeMap attributes;
+};
+
+struct Edge {
+  VertexId a;
+  VertexId b;
+  std::string name;        ///< unique within the graph; may be auto-derived
+  AttributeMap attributes;
+};
+
+/// Undirected multigraph.  Self-loops are rejected (a network link never
+/// connects a device to itself — the paper's Connector joins two Devices);
+/// parallel edges are allowed (redundant links between the same devices).
+class Graph {
+ public:
+  Graph() = default;
+
+  // -- construction --------------------------------------------------------
+  /// Adds a vertex; `name` must be a unique non-empty identifier.
+  VertexId add_vertex(std::string name, std::string type = {},
+                      AttributeMap attributes = {});
+  /// Adds an undirected edge between existing vertices.  `name` must be
+  /// unique if given; empty derives "a--b#k".  Throws ModelError on
+  /// self-loops or unknown endpoints.
+  EdgeId add_edge(VertexId a, VertexId b, std::string name = {},
+                  AttributeMap attributes = {});
+  /// Convenience: adds an edge between vertices looked up by name.
+  EdgeId add_edge(std::string_view a, std::string_view b, std::string name = {},
+                  AttributeMap attributes = {});
+
+  // -- lookup --------------------------------------------------------------
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return vertices_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] const Vertex& vertex(VertexId v) const;
+  [[nodiscard]] Vertex& vertex(VertexId v);
+  [[nodiscard]] const Edge& edge(EdgeId e) const;
+  [[nodiscard]] Edge& edge(EdgeId e);
+  /// Vertex id by name, or nullopt.
+  [[nodiscard]] std::optional<VertexId> find_vertex(
+      std::string_view name) const noexcept;
+  /// Vertex id by name, or throws NotFoundError.
+  [[nodiscard]] VertexId vertex_by_name(std::string_view name) const;
+  /// Edges incident to `v`, in insertion order.
+  [[nodiscard]] const std::vector<EdgeId>& incident_edges(VertexId v) const;
+  /// The endpoint of `e` opposite to `v`.  Throws ModelError if `v` is not
+  /// an endpoint of `e`.
+  [[nodiscard]] VertexId opposite(EdgeId e, VertexId v) const;
+  /// Degree counting parallel edges.
+  [[nodiscard]] std::size_t degree(VertexId v) const;
+
+  // -- algorithms used across modules ---------------------------------------
+  /// True if a path exists between `a` and `b` (BFS).
+  [[nodiscard]] bool connected(VertexId a, VertexId b) const;
+  /// Number of connected components.
+  [[nodiscard]] std::size_t component_count() const;
+  /// Vertices reachable from `v`, including `v` itself.
+  [[nodiscard]] std::vector<VertexId> reachable_from(VertexId v) const;
+
+  /// Vertex-induced subgraph: keeps exactly the vertices in `keep` and every
+  /// edge whose both endpoints are kept.  Names, types and attributes are
+  /// preserved — this is the "filter on the complete topology" that
+  /// generates a UPSIM (Sec. VI-H).
+  [[nodiscard]] Graph induced_subgraph(const std::vector<VertexId>& keep) const;
+
+  /// GraphViz DOT rendering (undirected).  Types become node labels.
+  [[nodiscard]] std::string to_dot(std::string_view graph_name = "G") const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+  std::unordered_map<std::string, VertexId> by_name_;
+  std::unordered_map<std::string, EdgeId> edge_by_name_;
+};
+
+}  // namespace upsim::graph

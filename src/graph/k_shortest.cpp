@@ -1,0 +1,110 @@
+#include "graph/k_shortest.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace upsim::graph {
+
+namespace {
+
+std::vector<std::uint32_t> path_ids(const std::vector<VertexId>& path) {
+  std::vector<std::uint32_t> out;
+  out.reserve(path.size());
+  for (const VertexId v : path) out.push_back(index(v));
+  return out;
+}
+
+}  // namespace
+
+std::vector<ShortestPathResult> k_shortest_paths(
+    const Graph& g, VertexId source, VertexId target, std::size_t k,
+    const WeightFunctions& weights) {
+  if (k == 0) throw ModelError("k_shortest_paths: k must be >= 1");
+
+  std::vector<ShortestPathResult> accepted;
+  {
+    auto first = shortest_path(g, source, target, weights);
+    if (!first.reachable()) return accepted;
+    accepted.push_back(std::move(first));
+  }
+
+  // Candidate pool, ordered by (cost, vertex sequence) for determinism.
+  auto candidate_less = [](const ShortestPathResult& a,
+                           const ShortestPathResult& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return path_ids(a.path) < path_ids(b.path);
+  };
+  std::vector<ShortestPathResult> candidates;
+  std::set<std::vector<std::uint32_t>> seen;
+  seen.insert(path_ids(accepted[0].path));
+
+  while (accepted.size() < k) {
+    const auto& previous = accepted.back().path;
+    // Spur from every prefix of the last accepted path.
+    for (std::size_t i = 0; i + 1 < previous.size(); ++i) {
+      const VertexId spur = previous[i];
+      const std::vector<VertexId> root(previous.begin(),
+                                       previous.begin() +
+                                           static_cast<std::ptrdiff_t>(i) + 1);
+
+      // Edges leaving the spur node along any accepted path sharing this
+      // root are banned; root-interior vertices are banned entirely.
+      std::set<std::uint32_t> banned_edges;
+      for (const auto& result : accepted) {
+        if (result.path.size() <= i) continue;
+        if (!std::equal(root.begin(), root.end(), result.path.begin())) {
+          continue;
+        }
+        // Ban every edge from spur to the next vertex of this path
+        // (parallel edges included, else Yen re-finds the same sequence).
+        const VertexId next = result.path[i + 1];
+        for (const EdgeId e : g.incident_edges(spur)) {
+          if (g.opposite(e, spur) == next) banned_edges.insert(index(e));
+        }
+      }
+      std::set<std::uint32_t> banned_vertices;
+      for (std::size_t j = 0; j < i; ++j) {
+        banned_vertices.insert(index(previous[j]));
+      }
+
+      const auto spur_result = shortest_path(
+          g, spur, target, weights,
+          [&](VertexId v) { return !banned_vertices.contains(index(v)); },
+          [&](EdgeId e) { return !banned_edges.contains(index(e)); });
+      if (!spur_result.reachable()) continue;
+
+      // Total = root + spur path (spur vertex shared).
+      ShortestPathResult total;
+      total.path = root;
+      total.path.insert(total.path.end(), spur_result.path.begin() + 1,
+                        spur_result.path.end());
+      // Cost: recompute root cost (vertex costs of root interior + edges
+      // along the root) + spur cost minus the double-counted spur vertex.
+      double root_cost = 0.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        root_cost += weights.vertex_cost(previous[j]);
+        // cheapest edge between consecutive root vertices
+        double best = -1.0;
+        for (const EdgeId e : g.incident_edges(previous[j])) {
+          if (g.opposite(e, previous[j]) != previous[j + 1]) continue;
+          const double c = weights.edge_cost(e);
+          if (best < 0.0 || c < best) best = c;
+        }
+        root_cost += best;
+      }
+      total.cost = root_cost + spur_result.cost;
+      if (!seen.insert(path_ids(total.path)).second) continue;
+      candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    const auto best =
+        std::min_element(candidates.begin(), candidates.end(), candidate_less);
+    accepted.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return accepted;
+}
+
+}  // namespace upsim::graph

@@ -1,0 +1,23 @@
+// Yen's algorithm: the k cheapest loopless s-t paths.
+//
+// The all-paths enumeration of pathdisc is exhaustive by design (every
+// redundant path belongs in the UPSIM); when only the best few routes
+// matter — latency percentile estimates, restoration planning — Yen gives
+// them without paying for the full factorial path set.
+#pragma once
+
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+
+namespace upsim::graph {
+
+/// The up-to-k cheapest simple paths from `source` to `target`, sorted by
+/// ascending cost (ties broken deterministically by the vertex sequence).
+/// Fewer than k results means the pair has fewer simple paths.  Throws
+/// ModelError for k == 0 or negative weights.
+[[nodiscard]] std::vector<ShortestPathResult> k_shortest_paths(
+    const Graph& g, VertexId source, VertexId target, std::size_t k,
+    const WeightFunctions& weights = {});
+
+}  // namespace upsim::graph

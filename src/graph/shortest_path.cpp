@@ -1,0 +1,96 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace upsim::graph {
+
+ShortestPathResult shortest_path(
+    const Graph& g, VertexId source, VertexId target,
+    const WeightFunctions& weights,
+    const std::function<bool(VertexId)>& usable_vertex,
+    const std::function<bool(EdgeId)>& usable_edge) {
+  (void)g.vertex(source);
+  (void)g.vertex(target);
+  auto vertex_ok = [&](VertexId v) {
+    return usable_vertex == nullptr || usable_vertex(v);
+  };
+  auto edge_ok = [&](EdgeId e) {
+    return usable_edge == nullptr || usable_edge(e);
+  };
+  auto checked_cost = [](double c, const char* what) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      throw ModelError(std::string("shortest_path: ") + what +
+                       " weight must be finite and non-negative");
+    }
+    return c;
+  };
+
+  ShortestPathResult result;
+  if (!vertex_ok(source) || !vertex_ok(target)) return result;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.vertex_count(), kInf);
+  std::vector<std::int64_t> parent_edge(g.vertex_count(), -1);
+  using Item = std::pair<double, std::uint32_t>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+
+  dist[index(source)] = checked_cost(weights.vertex_cost(source), "vertex");
+  queue.emplace(dist[index(source)], index(source));
+  while (!queue.empty()) {
+    const auto [d, vi] = queue.top();
+    queue.pop();
+    if (d > dist[vi]) continue;  // stale entry
+    const VertexId v{vi};
+    if (v == target) break;
+    for (const EdgeId e : g.incident_edges(v)) {
+      if (!edge_ok(e)) continue;
+      const VertexId w = g.opposite(e, v);
+      if (!vertex_ok(w)) continue;
+      const double candidate = d + checked_cost(weights.edge_cost(e), "edge") +
+                               checked_cost(weights.vertex_cost(w), "vertex");
+      if (candidate < dist[index(w)]) {
+        dist[index(w)] = candidate;
+        parent_edge[index(w)] = static_cast<std::int64_t>(index(e));
+        queue.emplace(candidate, index(w));
+      }
+    }
+  }
+
+  if (dist[index(target)] == kInf) return result;  // unreachable
+  result.cost = dist[index(target)];
+  VertexId cur = target;
+  result.path.push_back(cur);
+  while (cur != source) {
+    const auto e = EdgeId{static_cast<std::uint32_t>(parent_edge[index(cur)])};
+    cur = g.opposite(e, cur);
+    result.path.push_back(cur);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+WeightFunctions attribute_weights(const Graph& g,
+                                  const std::string& vertex_attr,
+                                  double vertex_default,
+                                  const std::string& edge_attr,
+                                  double edge_default) {
+  WeightFunctions weights;
+  weights.vertex_cost = [&g, vertex_attr, vertex_default](VertexId v) {
+    const auto& attrs = g.vertex(v).attributes;
+    const auto it = attrs.find(vertex_attr);
+    return it == attrs.end() ? vertex_default : it->second;
+  };
+  weights.edge_cost = [&g, edge_attr, edge_default](EdgeId e) {
+    const auto& attrs = g.edge(e).attributes;
+    const auto it = attrs.find(edge_attr);
+    return it == attrs.end() ? edge_default : it->second;
+  };
+  return weights;
+}
+
+}  // namespace upsim::graph

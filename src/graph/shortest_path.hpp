@@ -1,0 +1,50 @@
+// Weighted shortest paths on the graph substrate (Dijkstra).
+//
+// Used by the responsiveness analysis (Sec. VII names responsiveness as one
+// of the user-perceived properties a UPSIM enables): the latency a user
+// sees is the cost of the best currently-working path, so the analysis
+// needs cheapest-path queries under arbitrary per-component weights.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace upsim::graph {
+
+/// Weight callbacks; both must return non-negative finite costs.  Vertex
+/// weights model per-hop processing cost and are charged for every vertex
+/// on the path including the endpoints.
+struct WeightFunctions {
+  std::function<double(VertexId)> vertex_cost = [](VertexId) { return 0.0; };
+  std::function<double(EdgeId)> edge_cost = [](EdgeId) { return 1.0; };
+};
+
+struct ShortestPathResult {
+  std::vector<VertexId> path;  ///< empty when unreachable
+  double cost = 0.0;           ///< total cost; meaningless when empty
+
+  [[nodiscard]] bool reachable() const noexcept { return !path.empty(); }
+};
+
+/// Cheapest s-t path under the given weights.  `usable_vertex`/`usable_edge`
+/// (optional) restrict the search to a sub-state of the graph — the
+/// responsiveness analysis passes the Up/Down sample here.  Throws
+/// ModelError on negative weights.
+[[nodiscard]] ShortestPathResult shortest_path(
+    const Graph& g, VertexId source, VertexId target,
+    const WeightFunctions& weights = {},
+    const std::function<bool(VertexId)>& usable_vertex = nullptr,
+    const std::function<bool(EdgeId)>& usable_edge = nullptr);
+
+/// Reads a named numeric attribute as a weight, with a default for
+/// components that do not carry it.
+[[nodiscard]] WeightFunctions attribute_weights(const Graph& g,
+                                                const std::string& vertex_attr,
+                                                double vertex_default,
+                                                const std::string& edge_attr,
+                                                double edge_default);
+
+}  // namespace upsim::graph

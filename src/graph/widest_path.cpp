@@ -1,0 +1,79 @@
+#include "graph/widest_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace upsim::graph {
+
+WidestPathResult widest_path(
+    const Graph& g, VertexId source, VertexId target,
+    const std::function<double(EdgeId)>& capacity,
+    const std::function<bool(VertexId)>& usable_vertex,
+    const std::function<bool(EdgeId)>& usable_edge) {
+  (void)g.vertex(source);
+  (void)g.vertex(target);
+  auto vertex_ok = [&](VertexId v) {
+    return usable_vertex == nullptr || usable_vertex(v);
+  };
+  auto edge_ok = [&](EdgeId e) {
+    return usable_edge == nullptr || usable_edge(e);
+  };
+  auto checked = [](double c) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      throw ModelError("widest_path: capacity must be finite and "
+                       "non-negative");
+    }
+    return c;
+  };
+
+  WidestPathResult result;
+  if (!vertex_ok(source) || !vertex_ok(target)) return result;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (source == target) {
+    result.path = {source};
+    result.width = kInf;
+    return result;
+  }
+
+  std::vector<double> width(g.vertex_count(), -1.0);
+  std::vector<std::int64_t> parent_edge(g.vertex_count(), -1);
+  using Item = std::pair<double, std::uint32_t>;  // (width so far, vertex)
+  std::priority_queue<Item> queue;                // max-heap
+  width[index(source)] = kInf;
+  queue.emplace(kInf, index(source));
+  while (!queue.empty()) {
+    const auto [w, vi] = queue.top();
+    queue.pop();
+    if (w < width[vi]) continue;  // stale
+    const VertexId v{vi};
+    if (v == target) break;
+    for (const EdgeId e : g.incident_edges(v)) {
+      if (!edge_ok(e)) continue;
+      const VertexId next = g.opposite(e, v);
+      if (!vertex_ok(next)) continue;
+      const double candidate = std::min(w, checked(capacity(e)));
+      if (candidate > width[index(next)]) {
+        width[index(next)] = candidate;
+        parent_edge[index(next)] = static_cast<std::int64_t>(index(e));
+        queue.emplace(candidate, index(next));
+      }
+    }
+  }
+  if (width[index(target)] < 0.0) return result;  // unreachable
+  result.width = width[index(target)];
+  VertexId cur = target;
+  result.path.push_back(cur);
+  while (cur != source) {
+    const auto e = EdgeId{static_cast<std::uint32_t>(parent_edge[index(cur)])};
+    cur = g.opposite(e, cur);
+    result.path.push_back(cur);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+}  // namespace upsim::graph

@@ -1,0 +1,31 @@
+// Widest (maximum-bottleneck) paths: the route a capacity-aware network
+// would pick, used by the performability analysis.  The width of a path is
+// the minimum edge capacity along it; widest_path maximises that minimum.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace upsim::graph {
+
+struct WidestPathResult {
+  std::vector<VertexId> path;  ///< empty when unreachable
+  /// Bottleneck capacity of the widest path; +infinity for the trivial
+  /// source == target path, meaningless when unreachable.
+  double width = 0.0;
+
+  [[nodiscard]] bool reachable() const noexcept { return !path.empty(); }
+};
+
+/// Maximum-bottleneck s-t path (modified Dijkstra).  `capacity` must return
+/// non-negative finite values; `usable_vertex`/`usable_edge` optionally
+/// restrict the search to the surviving components of a failure state.
+[[nodiscard]] WidestPathResult widest_path(
+    const Graph& g, VertexId source, VertexId target,
+    const std::function<double(EdgeId)>& capacity,
+    const std::function<bool(VertexId)>& usable_vertex = nullptr,
+    const std::function<bool(EdgeId)>& usable_edge = nullptr);
+
+}  // namespace upsim::graph

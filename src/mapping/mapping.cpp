@@ -1,0 +1,173 @@
+#include "mapping/mapping.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+
+namespace upsim::mapping {
+
+void ServiceMapping::map(std::string atomic_service, std::string requester,
+                         std::string provider) {
+  for (const std::string* id : {&atomic_service, &requester, &provider}) {
+    if (!util::is_identifier(*id)) {
+      throw ModelError("service mapping: invalid identifier '" + *id + "'");
+    }
+  }
+  ServiceMappingPair pair{atomic_service, std::move(requester),
+                          std::move(provider)};
+  pairs_.insert_or_assign(std::move(atomic_service), std::move(pair));
+}
+
+std::optional<ServiceMappingPair> ServiceMapping::find(
+    std::string_view atomic_service) const {
+  const auto it = pairs_.find(atomic_service);
+  if (it == pairs_.end()) return std::nullopt;
+  return it->second;
+}
+
+const ServiceMappingPair& ServiceMapping::get(
+    std::string_view atomic_service) const {
+  const auto it = pairs_.find(atomic_service);
+  if (it == pairs_.end()) {
+    throw NotFoundError("service mapping has no pair for atomic service '" +
+                        std::string(atomic_service) + "'");
+  }
+  return it->second;
+}
+
+bool ServiceMapping::contains(std::string_view atomic_service) const noexcept {
+  return pairs_.find(atomic_service) != pairs_.end();
+}
+
+void ServiceMapping::erase(std::string_view atomic_service) {
+  const auto it = pairs_.find(atomic_service);
+  if (it != pairs_.end()) pairs_.erase(it);
+}
+
+std::vector<ServiceMappingPair> ServiceMapping::pairs() const {
+  std::vector<ServiceMappingPair> out;
+  out.reserve(pairs_.size());
+  for (const auto& [_, p] : pairs_) out.push_back(p);
+  return out;
+}
+
+std::vector<ServiceMappingPair> ServiceMapping::pairs_for(
+    const service::CompositeService& composite) const {
+  std::vector<ServiceMappingPair> out;
+  out.reserve(composite.atomic_services().size());
+  for (const std::string& atomic : composite.atomic_services()) {
+    const auto it = pairs_.find(atomic);
+    if (it == pairs_.end()) {
+      throw NotFoundError("composite service '" + composite.name() +
+                          "': atomic service '" + atomic +
+                          "' has no service mapping pair");
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> ServiceMapping::validate(
+    const uml::ObjectModel& infrastructure,
+    const service::CompositeService* composite) const {
+  std::vector<std::string> problems;
+  for (const auto& [atomic, pair] : pairs_) {
+    if (infrastructure.find_instance(pair.requester) == nullptr) {
+      problems.push_back("pair '" + atomic + "': requester '" +
+                         pair.requester +
+                         "' is not an instance of the infrastructure");
+    }
+    if (infrastructure.find_instance(pair.provider) == nullptr) {
+      problems.push_back("pair '" + atomic + "': provider '" + pair.provider +
+                         "' is not an instance of the infrastructure");
+    }
+    if (pair.requester == pair.provider) {
+      problems.push_back("pair '" + atomic +
+                         "': requester and provider are the same component '" +
+                         pair.requester + "'");
+    }
+  }
+  if (composite != nullptr) {
+    for (const std::string& atomic : composite->atomic_services()) {
+      if (!contains(atomic)) {
+        problems.push_back("composite '" + composite->name() +
+                           "': atomic service '" + atomic + "' is unmapped");
+      }
+    }
+  }
+  return problems;
+}
+
+std::string ServiceMapping::to_xml() const {
+  auto root = std::make_unique<xml::Element>("servicemapping");
+  for (const auto& [atomic, pair] : pairs_) {
+    xml::Element& as = root->append_child("atomicservice");
+    as.set_attribute("id", atomic);
+    as.append_child("requester").set_attribute("id", pair.requester);
+    as.append_child("provider").set_attribute("id", pair.provider);
+  }
+  return xml::Document(std::move(root)).to_string();
+}
+
+void ServiceMapping::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write mapping file: " + path);
+  out << to_xml();
+}
+
+namespace {
+
+/// Accepts <requester id="x"/> (Fig. 3) as well as <requester>x</requester>.
+std::string read_endpoint(const xml::Element& as, std::string_view role) {
+  const xml::Element& endpoint = as.required_child(role);
+  if (const auto id = endpoint.attribute("id")) return std::string(*id);
+  const auto text = endpoint.trimmed_text();
+  if (!text.empty()) return std::string(text);
+  throw ModelError("mapping: <" + std::string(role) + "> of atomic service '" +
+                   std::string(as.attribute("id").value_or("?")) +
+                   "' has neither an id attribute nor text content");
+}
+
+}  // namespace
+
+ServiceMapping ServiceMapping::from_xml(std::string_view raw) {
+  const xml::Document doc = xml::parse(raw);
+  const xml::Element& root = doc.root();
+  // The paper's fragment shows bare <atomicservice> elements; a wrapping
+  // <servicemapping> root is what a whole file needs.  Accept both: a root
+  // that *is* an atomicservice, or a root containing them.
+  std::vector<const xml::Element*> entries;
+  if (root.name() == "atomicservice") {
+    entries.push_back(&root);
+  } else {
+    entries = root.children_named("atomicservice");
+  }
+  if (entries.empty()) {
+    throw ModelError("mapping: no <atomicservice> entries under root <" +
+                     root.name() + ">");
+  }
+  ServiceMapping mapping;
+  for (const xml::Element* as : entries) {
+    const std::string id = as->required_attribute("id");
+    if (mapping.contains(id)) {
+      throw ModelError("mapping: duplicate atomic service '" + id +
+                       "' (the atomic service is the unique key)");
+    }
+    mapping.map(id, read_endpoint(*as, "requester"),
+                read_endpoint(*as, "provider"));
+  }
+  return mapping;
+}
+
+ServiceMapping ServiceMapping::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read mapping file: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return from_xml(content);
+}
+
+}  // namespace upsim::mapping

@@ -1,0 +1,87 @@
+// Service mapping pairs (Sec. V-A3, Fig. 3 and Table I of the paper).
+//
+// A mapping binds each atomic service to the ICT components acting as its
+// requester and provider for one user perspective.  It is deliberately a
+// separate artefact from the infrastructure and service models so that
+// dynamic changes (user mobility, migration, substitution) touch only this
+// file.  The on-disk format is the paper's XML:
+//
+//   <servicemapping>
+//     <atomicservice id="request_printing">
+//       <requester id="t1"/>
+//       <provider id="printS"/>
+//     </atomicservice>
+//     ...
+//   </servicemapping>
+//
+// Both the Fig. 3 style (requester/provider as child elements with an id
+// attribute) and id-as-text-content are accepted on input; output always
+// uses the attribute form.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/service.hpp"
+#include "uml/object_model.hpp"
+
+namespace upsim::mapping {
+
+/// One (atomic service, requester, provider) triple — a row of Table I.
+struct ServiceMappingPair {
+  std::string atomic_service;  ///< unique key within a mapping
+  std::string requester;       ///< instance name in the infrastructure model
+  std::string provider;        ///< instance name in the infrastructure model
+};
+
+/// The mapping for one user perspective: at most one pair per atomic
+/// service.  Pairs for atomic services irrelevant to an analysed composite
+/// are allowed and simply ignored during UPSIM generation (Sec. VI-D).
+class ServiceMapping {
+ public:
+  ServiceMapping() = default;
+
+  /// Adds or replaces the pair for an atomic service.  Replacement (not
+  /// error) is intentional: changing requesters/providers with minimal
+  /// effort is the mapping's purpose.
+  void map(std::string atomic_service, std::string requester,
+           std::string provider);
+
+  [[nodiscard]] std::optional<ServiceMappingPair> find(
+      std::string_view atomic_service) const;
+  [[nodiscard]] const ServiceMappingPair& get(
+      std::string_view atomic_service) const;
+  [[nodiscard]] bool contains(std::string_view atomic_service) const noexcept;
+  void erase(std::string_view atomic_service);
+
+  [[nodiscard]] std::size_t size() const noexcept { return pairs_.size(); }
+  /// All pairs ordered by atomic-service name.
+  [[nodiscard]] std::vector<ServiceMappingPair> pairs() const;
+
+  /// The pairs a composite service needs, in execution order.  Throws
+  /// NotFoundError when an atomic service of the composite has no pair.
+  [[nodiscard]] std::vector<ServiceMappingPair> pairs_for(
+      const service::CompositeService& composite) const;
+
+  /// Checks this mapping against an infrastructure and (optionally) a
+  /// composite service: requesters/providers must name instances of the
+  /// object model; when a composite is given, each of its atomic services
+  /// must be mapped.  Returns human-readable problems; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate(
+      const uml::ObjectModel& infrastructure,
+      const service::CompositeService* composite = nullptr) const;
+
+  // -- XML (Fig. 3) ---------------------------------------------------------
+  [[nodiscard]] std::string to_xml() const;
+  void save(const std::string& path) const;
+  [[nodiscard]] static ServiceMapping from_xml(std::string_view xml);
+  [[nodiscard]] static ServiceMapping load(const std::string& path);
+
+ private:
+  std::map<std::string, ServiceMappingPair, std::less<>> pairs_;
+};
+
+}  // namespace upsim::mapping

@@ -1,0 +1,304 @@
+#include "netgen/generators.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim::netgen {
+
+namespace {
+
+graph::AttributeMap node_attrs(const DefaultAttributes& a) {
+  return {{"mtbf", a.node_mtbf}, {"mttr", a.node_mttr}};
+}
+
+graph::AttributeMap link_attrs(const DefaultAttributes& a) {
+  return {{"mtbf", a.link_mtbf}, {"mttr", a.link_mttr}};
+}
+
+graph::Graph make_vertices(std::size_t n, const DefaultAttributes& attrs,
+                           const char* type) {
+  graph::Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_vertex("v" + std::to_string(i), type, node_attrs(attrs));
+  }
+  return g;
+}
+
+}  // namespace
+
+graph::Graph tree(std::size_t n, std::size_t branching,
+                  const DefaultAttributes& attrs) {
+  if (n == 0) throw ModelError("tree: n must be >= 1");
+  if (branching == 0) throw ModelError("tree: branching must be >= 1");
+  graph::Graph g = make_vertices(n, attrs, "Node");
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent = (i - 1) / branching;
+    g.add_edge(graph::VertexId{static_cast<std::uint32_t>(parent)},
+               graph::VertexId{static_cast<std::uint32_t>(i)}, {},
+               link_attrs(attrs));
+  }
+  return g;
+}
+
+graph::Graph ring(std::size_t n, const DefaultAttributes& attrs) {
+  if (n < 3) throw ModelError("ring: n must be >= 3");
+  graph::Graph g = make_vertices(n, attrs, "Node");
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(graph::VertexId{static_cast<std::uint32_t>(i)},
+               graph::VertexId{static_cast<std::uint32_t>((i + 1) % n)}, {},
+               link_attrs(attrs));
+  }
+  return g;
+}
+
+graph::Graph grid(std::size_t rows, std::size_t cols,
+                  const DefaultAttributes& attrs) {
+  if (rows == 0 || cols == 0) throw ModelError("grid: empty dimension");
+  graph::Graph g;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_vertex("v" + std::to_string(r) + "_" + std::to_string(c), "Node",
+                   node_attrs(attrs));
+    }
+  }
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return graph::VertexId{static_cast<std::uint32_t>(r * cols + c)};
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), {}, link_attrs(attrs));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), {}, link_attrs(attrs));
+    }
+  }
+  return g;
+}
+
+graph::Graph complete(std::size_t n, const DefaultAttributes& attrs) {
+  if (n == 0) throw ModelError("complete: n must be >= 1");
+  graph::Graph g = make_vertices(n, attrs, "Node");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(graph::VertexId{static_cast<std::uint32_t>(i)},
+                 graph::VertexId{static_cast<std::uint32_t>(j)}, {},
+                 link_attrs(attrs));
+    }
+  }
+  return g;
+}
+
+graph::Graph erdos_renyi(std::size_t n, double p, std::uint64_t seed,
+                         const DefaultAttributes& attrs) {
+  if (n == 0) throw ModelError("erdos_renyi: n must be >= 1");
+  if (!(p >= 0.0 && p <= 1.0)) throw ModelError("erdos_renyi: p outside [0,1]");
+  graph::Graph g = make_vertices(n, attrs, "Node");
+  // Spanning path first: guarantees connectivity.
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(graph::VertexId{static_cast<std::uint32_t>(i - 1)},
+               graph::VertexId{static_cast<std::uint32_t>(i)}, {},
+               link_attrs(attrs));
+  }
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (j == i + 1) continue;  // already linked by the spanning path
+      if (rng.bernoulli(p)) {
+        g.add_edge(graph::VertexId{static_cast<std::uint32_t>(i)},
+                   graph::VertexId{static_cast<std::uint32_t>(j)}, {},
+                   link_attrs(attrs));
+      }
+    }
+  }
+  return g;
+}
+
+graph::Graph campus(const CampusSpec& spec, const DefaultAttributes& attrs) {
+  if (spec.core == 0 || spec.distribution == 0) {
+    throw ModelError("campus: needs at least one core and one distribution "
+                     "switch");
+  }
+  graph::Graph g;
+  std::vector<graph::VertexId> cores;
+  std::vector<graph::VertexId> dists;
+  for (std::size_t i = 0; i < spec.core; ++i) {
+    cores.push_back(
+        g.add_vertex("core" + std::to_string(i), "CoreSwitch", node_attrs(attrs)));
+  }
+  for (std::size_t i = 0; i < spec.distribution; ++i) {
+    dists.push_back(g.add_vertex("dist" + std::to_string(i), "DistSwitch",
+                                 node_attrs(attrs)));
+  }
+  // Full core mesh.
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = i + 1; j < cores.size(); ++j) {
+      g.add_edge(cores[i], cores[j], {}, link_attrs(attrs));
+    }
+  }
+  // Distribution uplinks.
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (spec.redundant_uplinks) {
+      for (const graph::VertexId core : cores) {
+        g.add_edge(dists[i], core, {}, link_attrs(attrs));
+      }
+    } else {
+      g.add_edge(dists[i], cores[i % cores.size()], {}, link_attrs(attrs));
+    }
+  }
+  // Edge switches + clients.
+  std::size_t edge_counter = 0;
+  std::size_t client_counter = 0;
+  for (std::size_t d = 0; d < dists.size(); ++d) {
+    for (std::size_t e = 0; e < spec.edge_per_distribution; ++e) {
+      const graph::VertexId edge_switch = g.add_vertex(
+          "edge" + std::to_string(edge_counter++), "EdgeSwitch",
+          node_attrs(attrs));
+      g.add_edge(dists[d], edge_switch, {}, link_attrs(attrs));
+      for (std::size_t c = 0; c < spec.clients_per_edge; ++c) {
+        const graph::VertexId client = g.add_vertex(
+            "t" + std::to_string(client_counter++), "Client", node_attrs(attrs));
+        g.add_edge(edge_switch, client, {}, link_attrs(attrs));
+      }
+    }
+  }
+  // Servers behind the last distribution switch.
+  for (std::size_t s = 0; s < spec.servers; ++s) {
+    const graph::VertexId server =
+        g.add_vertex("srv" + std::to_string(s), "Server", node_attrs(attrs));
+    g.add_edge(dists.back(), server, {}, link_attrs(attrs));
+  }
+  return g;
+}
+
+graph::Graph fat_tree(std::size_t k, const DefaultAttributes& attrs) {
+  if (k < 2 || k % 2 != 0) {
+    throw ModelError("fat_tree: k must be even and >= 2");
+  }
+  const std::size_t half = k / 2;
+  graph::Graph g;
+  std::vector<graph::VertexId> cores;
+  for (std::size_t i = 0; i < half * half; ++i) {
+    cores.push_back(g.add_vertex("core" + std::to_string(i), "CoreSwitch",
+                                 node_attrs(attrs)));
+  }
+  std::size_t host_counter = 0;
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<graph::VertexId> aggs;
+    std::vector<graph::VertexId> edges;
+    for (std::size_t i = 0; i < half; ++i) {
+      aggs.push_back(g.add_vertex(
+          "agg" + std::to_string(pod) + "_" + std::to_string(i), "AggSwitch",
+          node_attrs(attrs)));
+      edges.push_back(g.add_vertex(
+          "edge" + std::to_string(pod) + "_" + std::to_string(i),
+          "EdgeSwitch", node_attrs(attrs)));
+    }
+    // Aggregation i connects to cores [i*half, (i+1)*half).
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = 0; j < half; ++j) {
+        g.add_edge(aggs[i], cores[i * half + j], {}, link_attrs(attrs));
+      }
+    }
+    // Full bipartite agg <-> edge inside the pod.
+    for (const graph::VertexId agg : aggs) {
+      for (const graph::VertexId edge : edges) {
+        g.add_edge(agg, edge, {}, link_attrs(attrs));
+      }
+    }
+    // Hosts.
+    for (const graph::VertexId edge : edges) {
+      for (std::size_t h = 0; h < half; ++h) {
+        const graph::VertexId host = g.add_vertex(
+            "h" + std::to_string(host_counter++), "Host", node_attrs(attrs));
+        g.add_edge(edge, host, {}, link_attrs(attrs));
+      }
+    }
+  }
+  return g;
+}
+
+CampusEndpoints campus_endpoints(const CampusSpec& spec) {
+  if (spec.edge_per_distribution == 0 || spec.clients_per_edge == 0 ||
+      spec.servers == 0) {
+    throw ModelError("campus_endpoints: spec has no clients or servers");
+  }
+  return CampusEndpoints{"t0", "srv0"};
+}
+
+UmlNetwork uml_campus(const CampusSpec& spec, const DefaultAttributes& attrs) {
+  UmlNetwork net;
+  net.availability_profile = std::make_unique<uml::Profile>("availability");
+  uml::Profile& profile = *net.availability_profile;
+  uml::Stereotype& component =
+      profile.define("Component", uml::Metaclass::Class, nullptr, true);
+  component.declare_attribute("MTBF", uml::ValueType::Real);
+  component.declare_attribute("MTTR", uml::ValueType::Real);
+  component.declare_attribute("redundantComponents", uml::ValueType::Integer,
+                              uml::Value(0));
+  const uml::Stereotype& device =
+      profile.define("Device", uml::Metaclass::Class, &component, false);
+  uml::Stereotype& connector =
+      profile.define("Connector", uml::Metaclass::Association);
+  connector.declare_attribute("MTBF", uml::ValueType::Real);
+  connector.declare_attribute("MTTR", uml::ValueType::Real);
+  connector.declare_attribute("redundantComponents", uml::ValueType::Integer,
+                              uml::Value(0));
+
+  net.classes = std::make_unique<uml::ClassModel>("campus_classes");
+  uml::ClassModel& classes = *net.classes;
+  auto define_device = [&](const char* name) -> uml::Class& {
+    uml::Class& cls = classes.define_class(name);
+    auto& app = cls.apply(device);
+    app.set("MTBF", attrs.node_mtbf);
+    app.set("MTTR", attrs.node_mttr);
+    return cls;
+  };
+  uml::Class& switch_cls = define_device("Switch");
+  uml::Class& client_cls = define_device("Client");
+  uml::Class& server_cls = define_device("Server");
+  auto define_link = [&](const char* name, const uml::Class& a,
+                         const uml::Class& b) -> uml::Association& {
+    uml::Association& assoc = classes.define_association(name, a, b);
+    auto& app = assoc.apply(connector);
+    app.set("MTBF", attrs.link_mtbf);
+    app.set("MTTR", attrs.link_mttr);
+    return assoc;
+  };
+  define_link("trunk", switch_cls, switch_cls);
+  define_link("access", switch_cls, client_cls);
+  define_link("server_link", switch_cls, server_cls);
+
+  net.infrastructure =
+      std::make_unique<uml::ObjectModel>("campus", classes);
+  uml::ObjectModel& model = *net.infrastructure;
+  // Reuse the graph generator for the shape, then mirror it as UML.
+  const graph::Graph shape = campus(spec, attrs);
+  for (std::size_t v = 0; v < shape.vertex_count(); ++v) {
+    const graph::Vertex& vertex =
+        shape.vertex(graph::VertexId{static_cast<std::uint32_t>(v)});
+    const uml::Class& cls = vertex.type == "Client"   ? client_cls
+                            : vertex.type == "Server" ? server_cls
+                                                      : switch_cls;
+    model.instantiate(vertex.name, cls);
+  }
+  for (std::size_t e = 0; e < shape.edge_count(); ++e) {
+    const graph::Edge& edge =
+        shape.edge(graph::EdgeId{static_cast<std::uint32_t>(e)});
+    const graph::Vertex& a = shape.vertex(edge.a);
+    const graph::Vertex& b = shape.vertex(edge.b);
+    const bool a_switch = a.type != "Client" && a.type != "Server";
+    const bool b_switch = b.type != "Client" && b.type != "Server";
+    const char* assoc = nullptr;
+    if (a_switch && b_switch) {
+      assoc = "trunk";
+    } else if (a.type == "Client" || b.type == "Client") {
+      assoc = "access";
+    } else {
+      assoc = "server_link";
+    }
+    model.link(a.name, b.name, assoc);
+  }
+  return net;
+}
+
+}  // namespace upsim::netgen

@@ -1,0 +1,105 @@
+// Synthetic topology generators for the scalability experiments (E8/E9).
+//
+// The paper argues (Sec. V-D, VIII) that all-paths discovery is factorial
+// on dense graphs but cheap on the tree-like access networks services
+// actually run on.  These generators produce the whole spectrum:
+// trees and campus networks (the realistic case, shaped like Fig. 5),
+// rings/grids (few redundant paths), Erdős–Rényi graphs (tunable density)
+// and complete graphs (the adversarial O(n!) case).
+//
+// Every generated vertex/edge carries "mtbf"/"mttr" attributes so that
+// reliability analysis runs on synthetic topologies out of the box; the
+// defaults mirror the case study's orders of magnitude.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "uml/object_model.hpp"
+#include "uml/profile.hpp"
+
+#include <memory>
+
+namespace upsim::netgen {
+
+/// Default dependability attributes attached to generated components.
+struct DefaultAttributes {
+  double node_mtbf = 100000.0;
+  double node_mttr = 1.0;
+  double link_mtbf = 500000.0;
+  double link_mttr = 0.5;
+};
+
+/// Balanced tree with `n` vertices and the given branching factor.
+/// Vertex names are "v0".."v<n-1>", root "v0".
+[[nodiscard]] graph::Graph tree(std::size_t n, std::size_t branching = 2,
+                                const DefaultAttributes& attrs = {});
+
+/// Cycle of `n` >= 3 vertices.
+[[nodiscard]] graph::Graph ring(std::size_t n,
+                                const DefaultAttributes& attrs = {});
+
+/// rows x cols grid (4-neighbourhood).
+[[nodiscard]] graph::Graph grid(std::size_t rows, std::size_t cols,
+                                const DefaultAttributes& attrs = {});
+
+/// Complete graph on n vertices — the factorial worst case of Sec. V-D.
+[[nodiscard]] graph::Graph complete(std::size_t n,
+                                    const DefaultAttributes& attrs = {});
+
+/// Erdős–Rényi G(n, p), then augmented with a spanning path so the graph
+/// is always connected (benchmarks need s-t pairs that can communicate).
+[[nodiscard]] graph::Graph erdos_renyi(std::size_t n, double p,
+                                       std::uint64_t seed,
+                                       const DefaultAttributes& attrs = {});
+
+/// Campus network in the shape of the paper's Fig. 5: a redundant core
+/// pair, distribution switches (dual-homed when `redundant_uplinks`), edge
+/// switches, client leaves, and a server block behind the last
+/// distribution switch (named "printS-like": "srv0" hosts services).
+struct CampusSpec {
+  std::size_t core = 2;               ///< fully meshed core switches
+  std::size_t distribution = 4;       ///< distribution switches
+  std::size_t edge_per_distribution = 2;
+  std::size_t clients_per_edge = 3;
+  std::size_t servers = 4;            ///< attached to the last distribution
+  bool redundant_uplinks = true;      ///< distribution dual-homed to core
+};
+
+[[nodiscard]] graph::Graph campus(const CampusSpec& spec,
+                                  const DefaultAttributes& attrs = {});
+
+/// k-ary fat tree (the canonical data-center topology; the "complex
+/// infrastructures such as cloud computing" the paper's conclusion points
+/// at): (k/2)^2 core switches, k pods of k/2 aggregation + k/2 edge
+/// switches, k/2 hosts per edge switch.  k must be even and >= 2.  Host
+/// names are "h<i>", and inter-pod host pairs see (k/2)^2 * ... redundant
+/// paths — far more than a campus, stressing discovery and analysis.
+[[nodiscard]] graph::Graph fat_tree(std::size_t k,
+                                    const DefaultAttributes& attrs = {});
+
+/// Names of a far-apart client/server pair of a campus topology (first
+/// client of the first edge switch, first server) — the canonical
+/// requester/provider for scalability runs.
+struct CampusEndpoints {
+  std::string client;
+  std::string server;
+};
+[[nodiscard]] CampusEndpoints campus_endpoints(const CampusSpec& spec);
+
+/// A full UML-level network (profile, class model, object diagram) for
+/// end-to-end pipeline benchmarks.  Owns everything in dependency order.
+struct UmlNetwork {
+  std::unique_ptr<uml::Profile> availability_profile;
+  std::unique_ptr<uml::ClassModel> classes;
+  std::unique_ptr<uml::ObjectModel> infrastructure;
+};
+
+/// Builds the campus topology as a UML object model: classes Switch /
+/// Client / Server with «Component» availability stereotypes, one
+/// association per admissible link kind, instances and links mirroring
+/// campus().  The projected graph equals campus() structurally.
+[[nodiscard]] UmlNetwork uml_campus(const CampusSpec& spec,
+                                    const DefaultAttributes& attrs = {});
+
+}  // namespace upsim::netgen

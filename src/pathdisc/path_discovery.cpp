@@ -1,0 +1,230 @@
+#include "pathdisc/path_discovery.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace upsim::pathdisc {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+std::size_t PathSet::shortest() const noexcept {
+  std::size_t best = 0;
+  for (const Path& p : paths) {
+    if (best == 0 || p.size() < best) best = p.size();
+  }
+  return best;
+}
+
+std::size_t PathSet::longest() const noexcept {
+  std::size_t best = 0;
+  for (const Path& p : paths) best = std::max(best, p.size());
+  return best;
+}
+
+namespace {
+
+struct Limits {
+  std::size_t max_len;    // SIZE_MAX when unbounded
+  std::size_t max_paths;  // SIZE_MAX when unbounded
+};
+
+Limits limits_of(const Options& o) {
+  return Limits{o.max_path_length == 0 ? SIZE_MAX : o.max_path_length,
+                o.max_paths == 0 ? SIZE_MAX : o.max_paths};
+}
+
+/// Recursive DFS with on-path tracking (the paper's algorithm).
+class RecursiveSearch {
+ public:
+  RecursiveSearch(const Graph& g, VertexId target, const Limits& lim,
+                  PathSet& out)
+      : g_(g), target_(target), lim_(lim), out_(out),
+        on_path_(g.vertex_count(), false) {}
+
+  void run(VertexId source) {
+    path_.push_back(source);
+    on_path_[index(source)] = true;
+    visit(source);
+  }
+
+ private:
+  void visit(VertexId v) {
+    ++out_.nodes_expanded;
+    if (v == target_) {
+      out_.paths.push_back(path_);
+      if (out_.paths.size() >= lim_.max_paths) out_.truncated = true;
+      return;
+    }
+    if (path_.size() >= lim_.max_len) {
+      out_.truncated = true;  // a longer path may have existed
+      return;
+    }
+    for (const EdgeId e : g_.incident_edges(v)) {
+      if (out_.truncated && out_.paths.size() >= lim_.max_paths) return;
+      const VertexId w = g_.opposite(e, v);
+      if (on_path_[index(w)]) continue;  // path tracking: no revisits
+      on_path_[index(w)] = true;
+      path_.push_back(w);
+      visit(w);
+      path_.pop_back();
+      on_path_[index(w)] = false;
+    }
+  }
+
+  const Graph& g_;
+  VertexId target_;
+  Limits lim_;
+  PathSet& out_;
+  std::vector<bool> on_path_;
+  Path path_;
+};
+
+/// Iterative DFS over an explicit stack of (vertex, next-incident-index)
+/// frames.  Visits neighbours in exactly the same order as the recursive
+/// variant, so both produce identical path lists.
+void iterative_search(const Graph& g, VertexId source, VertexId target,
+                      const Limits& lim, PathSet& out) {
+  struct Frame {
+    VertexId v;
+    std::size_t next_edge;
+  };
+  std::vector<bool> on_path(g.vertex_count(), false);
+  Path path{source};
+  std::vector<Frame> stack{{source, 0}};
+  on_path[index(source)] = true;
+  ++out.nodes_expanded;
+  if (source == target) {
+    out.paths.push_back(path);
+    if (out.paths.size() >= lim.max_paths) out.truncated = true;
+    return;
+  }
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& incident = g.incident_edges(frame.v);
+    const bool depth_cut = path.size() >= lim.max_len;
+    if (depth_cut && frame.next_edge < incident.size()) {
+      out.truncated = true;
+    }
+    if (depth_cut || frame.next_edge >= incident.size()) {
+      on_path[index(frame.v)] = false;
+      path.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const EdgeId e = incident[frame.next_edge++];
+    const VertexId w = g.opposite(e, frame.v);
+    if (on_path[index(w)]) continue;
+    ++out.nodes_expanded;
+    if (w == target) {
+      path.push_back(w);
+      out.paths.push_back(path);
+      path.pop_back();
+      if (out.paths.size() >= lim.max_paths) {
+        out.truncated = true;
+        return;
+      }
+      continue;
+    }
+    on_path[index(w)] = true;
+    path.push_back(w);
+    stack.push_back(Frame{w, 0});
+  }
+}
+
+}  // namespace
+
+PathSet discover(const Graph& g, VertexId source, VertexId target,
+                 const Options& options) {
+  // Range checks via accessors.
+  (void)g.vertex(source);
+  (void)g.vertex(target);
+  PathSet out;
+  out.source = source;
+  out.target = target;
+  const Limits lim = limits_of(options);
+  if (lim.max_paths == 0) return out;
+  if (options.algorithm == Algorithm::RecursiveDfs) {
+    if (source == target) {
+      out.nodes_expanded = 1;
+      out.paths.push_back(Path{source});
+      return out;
+    }
+    RecursiveSearch search(g, target, lim, out);
+    search.run(source);
+    // Recursive search sets truncated eagerly when the last allowed path is
+    // found; normalise: truncated only matters if limits actually cut work.
+    if (out.paths.size() < lim.max_paths &&
+        options.max_path_length == 0) {
+      out.truncated = false;
+    }
+  } else {
+    iterative_search(g, source, target, lim, out);
+    if (out.paths.size() < lim.max_paths && options.max_path_length == 0) {
+      out.truncated = false;
+    }
+  }
+  return out;
+}
+
+PathSet discover(const Graph& g, std::string_view source,
+                 std::string_view target, const Options& options) {
+  return discover(g, g.vertex_by_name(source), g.vertex_by_name(target),
+                  options);
+}
+
+std::vector<PathSet> discover_all(
+    const Graph& g,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    const Options& options, util::ThreadPool* pool) {
+  std::vector<PathSet> out(pairs.size());
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = discover(g, pairs[i].first, pairs[i].second, options);
+    }
+  } else {
+    pool->parallel_for(pairs.size(), [&](std::size_t i) {
+      out[i] = discover(g, pairs[i].first, pairs[i].second, options);
+    });
+  }
+  return out;
+}
+
+std::vector<VertexId> merge_path_vertices(const Graph& g,
+                                          const std::vector<PathSet>& sets) {
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::vector<VertexId> out;
+  for (const PathSet& set : sets) {
+    for (const Path& path : set.paths) {
+      for (const VertexId v : path) {
+        if (!seen[index(v)]) {
+          seen[index(v)] = true;
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Graph& g, const Path& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += " - ";
+    out += g.vertex(path[i]).name;
+  }
+  return out;
+}
+
+std::vector<std::string> path_names(const Graph& g, const Path& path) {
+  std::vector<std::string> out;
+  out.reserve(path.size());
+  for (const VertexId v : path) out.push_back(g.vertex(v).name);
+  return out;
+}
+
+}  // namespace upsim::pathdisc

@@ -1,0 +1,91 @@
+// Path discovery between service requester and provider (Sec. V-D/VI-G).
+//
+// The service mapping pair gives the boundary components of an atomic
+// service; this module enumerates *all* simple paths between them, because
+// every redundant path contributes to the user-perceived infrastructure
+// (and to its availability).  The paper uses depth-first search with a
+// path-tracking mechanism to avoid live-locks within cycles; worst-case
+// cost is factorial in n on a complete graph, but real access networks are
+// tree-like with few loops, which the benchmarks in bench/ demonstrate.
+//
+// Two interchangeable implementations are provided (an ablation the
+// benches measure): plain recursion, and an explicit-stack iterative DFS
+// that is immune to stack exhaustion on deep topologies.  Both visit
+// neighbours in edge-insertion order, so discovery order is deterministic
+// and reproduces the path listing of Sec. VI-G on the case-study network.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::pathdisc {
+
+/// A simple path as the sequence of visited vertices, source first.
+using Path = std::vector<graph::VertexId>;
+
+enum class Algorithm { RecursiveDfs, IterativeDfs };
+
+struct Options {
+  Algorithm algorithm = Algorithm::IterativeDfs;
+  /// Maximum number of vertices per path; 0 = unbounded.  Bounding turns
+  /// the exhaustive search into k-hop discovery for very dense cores.
+  std::size_t max_path_length = 0;
+  /// Stop after this many paths; 0 = unbounded.  When the limit triggers,
+  /// PathSet::truncated is set.
+  std::size_t max_paths = 0;
+};
+
+/// The result of discovering one requester/provider pair.
+struct PathSet {
+  graph::VertexId source{};
+  graph::VertexId target{};
+  std::vector<Path> paths;          ///< in discovery order
+  std::size_t nodes_expanded = 0;   ///< DFS tree size (work measure)
+  bool truncated = false;           ///< a limit in Options cut the search
+
+  [[nodiscard]] bool empty() const noexcept { return paths.empty(); }
+  [[nodiscard]] std::size_t count() const noexcept { return paths.size(); }
+  /// Length (vertex count) of the shortest / longest discovered path;
+  /// 0 when empty.
+  [[nodiscard]] std::size_t shortest() const noexcept;
+  [[nodiscard]] std::size_t longest() const noexcept;
+};
+
+/// Enumerates all simple paths from `source` to `target`.  A trivial pair
+/// (source == target) yields the single one-vertex path — the requester and
+/// provider run on the same component.  Throws NotFoundError on invalid ids.
+[[nodiscard]] PathSet discover(const graph::Graph& g, graph::VertexId source,
+                               graph::VertexId target,
+                               const Options& options = {});
+
+/// Convenience overload resolving endpoints by name.
+[[nodiscard]] PathSet discover(const graph::Graph& g, std::string_view source,
+                               std::string_view target,
+                               const Options& options = {});
+
+/// Discovers several pairs; when `pool` is non-null the pairs are processed
+/// in parallel (the graph is shared read-only).  Result order matches the
+/// input order either way.
+[[nodiscard]] std::vector<PathSet> discover_all(
+    const graph::Graph& g,
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+    const Options& options = {}, util::ThreadPool* pool = nullptr);
+
+/// Union of all vertices on all paths across `sets`, in first-occurrence
+/// order ("multiple occurrences are ignored", Sec. VI-H).  This is the
+/// vertex set of the UPSIM.
+[[nodiscard]] std::vector<graph::VertexId> merge_path_vertices(
+    const graph::Graph& g, const std::vector<PathSet>& sets);
+
+/// Renders a path in the paper's notation: "t1 - e1 - d1 - c1 - d4 - printS".
+[[nodiscard]] std::string to_string(const graph::Graph& g, const Path& path);
+
+/// Renders a path as a name vector for structural assertions in tests.
+[[nodiscard]] std::vector<std::string> path_names(const graph::Graph& g,
+                                                  const Path& path);
+
+}  // namespace upsim::pathdisc

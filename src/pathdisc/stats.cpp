@@ -1,0 +1,50 @@
+#include "pathdisc/stats.hpp"
+
+#include <algorithm>
+
+namespace upsim::pathdisc {
+
+std::vector<std::string> PathSetStats::articulation_components() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fraction] : participation) {
+    if (fraction >= 1.0) out.push_back(name);
+  }
+  return out;
+}
+
+PathSetStats analyze_all(const graph::Graph& g,
+                         const std::vector<PathSet>& sets) {
+  PathSetStats stats;
+  std::map<std::string, std::size_t> appearances;
+  std::size_t total_length = 0;
+  for (const PathSet& set : sets) {
+    for (const Path& path : set.paths) {
+      ++stats.path_count;
+      total_length += path.size();
+      ++stats.length_histogram[path.size()];
+      if (stats.shortest == 0 || path.size() < stats.shortest) {
+        stats.shortest = path.size();
+      }
+      stats.longest = std::max(stats.longest, path.size());
+      for (const graph::VertexId v : path) {
+        ++appearances[g.vertex(v).name];
+      }
+    }
+  }
+  if (stats.path_count > 0) {
+    stats.mean_length = static_cast<double>(total_length) /
+                        static_cast<double>(stats.path_count);
+    for (const auto& [name, count] : appearances) {
+      stats.participation.emplace(
+          name, static_cast<double>(count) /
+                    static_cast<double>(stats.path_count));
+    }
+  }
+  return stats;
+}
+
+PathSetStats analyze(const graph::Graph& g, const PathSet& set) {
+  return analyze_all(g, {set});
+}
+
+}  // namespace upsim::pathdisc

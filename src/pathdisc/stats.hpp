@@ -1,0 +1,40 @@
+// Descriptive statistics over discovered path sets: how redundant is a
+// perspective, how long are its routes, and which components carry how many
+// of the redundant paths (the "participation" a load or criticality
+// analysis starts from).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pathdisc/path_discovery.hpp"
+
+namespace upsim::pathdisc {
+
+struct PathSetStats {
+  std::size_t path_count = 0;
+  std::size_t shortest = 0;  ///< vertices on the shortest path (0 if none)
+  std::size_t longest = 0;
+  double mean_length = 0.0;
+  /// Histogram: path length (vertices) -> number of paths.
+  std::map<std::size_t, std::size_t> length_histogram;
+  /// Per vertex name: fraction of paths it appears on, within (0, 1].
+  /// A participation of 1.0 marks a component every route depends on —
+  /// a single point of failure of this perspective.
+  std::map<std::string, double> participation;
+
+  /// Names with participation 1.0 (excluding nothing; terminals included).
+  [[nodiscard]] std::vector<std::string> articulation_components() const;
+};
+
+/// Computes statistics for one path set discovered on `g`.
+[[nodiscard]] PathSetStats analyze(const graph::Graph& g, const PathSet& set);
+
+/// Merges several pairs' sets (e.g. every atomic service of a composite):
+/// participation then counts the fraction of ALL paths.
+[[nodiscard]] PathSetStats analyze_all(const graph::Graph& g,
+                                       const std::vector<PathSet>& sets);
+
+}  // namespace upsim::pathdisc

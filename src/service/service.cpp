@@ -1,0 +1,138 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::service {
+
+AtomicService::AtomicService(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description)) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid atomic-service name: '" + name_ + "'");
+  }
+}
+
+CompositeService::CompositeService(std::string name, uml::Activity activity)
+    : name_(std::move(name)), activity_(std::move(activity)) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid composite-service name: '" + name_ + "'");
+  }
+  const auto problems = activity_.validate();
+  if (!problems.empty()) {
+    throw ModelError("composite service '" + name_ + "': " +
+                     util::join(problems, "; "));
+  }
+  atomics_ = activity_.atomic_services();
+  if (atomics_.size() < 2) {
+    throw ModelError(
+        "composite service '" + name_ +
+        "' must compose at least two atomic services (Definition 1)");
+  }
+}
+
+bool CompositeService::uses(std::string_view atomic_service) const noexcept {
+  return std::find(atomics_.begin(), atomics_.end(), atomic_service) !=
+         atomics_.end();
+}
+
+const AtomicService& ServiceCatalog::define_atomic(std::string name,
+                                                   std::string description) {
+  if (atomics_.contains(name)) {
+    throw ModelError("duplicate atomic service '" + name + "'");
+  }
+  AtomicService svc(name, std::move(description));
+  const auto [it, inserted] = atomics_.emplace(std::move(name), std::move(svc));
+  UPSIM_ASSERT(inserted);
+  return it->second;
+}
+
+const CompositeService& ServiceCatalog::define_composite(
+    std::string name, uml::Activity activity) {
+  if (composites_.contains(name)) {
+    throw ModelError("duplicate composite service '" + name + "'");
+  }
+  auto composite =
+      std::make_unique<CompositeService>(name, std::move(activity));
+  for (const std::string& atomic : composite->atomic_services()) {
+    if (!atomics_.contains(atomic)) {
+      throw ModelError("composite service '" + name +
+                       "' uses unregistered atomic service '" + atomic + "'");
+    }
+  }
+  const auto [it, inserted] =
+      composites_.emplace(std::move(name), std::move(composite));
+  UPSIM_ASSERT(inserted);
+  return *it->second;
+}
+
+const CompositeService& ServiceCatalog::define_sequence(
+    std::string name, const std::vector<std::string>& atomic_names) {
+  uml::Activity activity(name + "_flow");
+  const auto initial = activity.add_initial();
+  uml::ActivityNodeId prev = initial;
+  for (const std::string& atomic : atomic_names) {
+    const auto action = activity.add_action(atomic);
+    activity.flow(prev, action);
+    prev = action;
+  }
+  const auto final_node = activity.add_final();
+  activity.flow(prev, final_node);
+  return define_composite(std::move(name), std::move(activity));
+}
+
+const AtomicService* ServiceCatalog::find_atomic(std::string_view name) const
+    noexcept {
+  const auto it = atomics_.find(name);
+  return it == atomics_.end() ? nullptr : &it->second;
+}
+
+const AtomicService& ServiceCatalog::get_atomic(std::string_view name) const {
+  const AtomicService* svc = find_atomic(name);
+  if (svc == nullptr) {
+    throw NotFoundError("unknown atomic service: '" + std::string(name) + "'");
+  }
+  return *svc;
+}
+
+const CompositeService* ServiceCatalog::find_composite(
+    std::string_view name) const noexcept {
+  const auto it = composites_.find(name);
+  return it == composites_.end() ? nullptr : it->second.get();
+}
+
+const CompositeService& ServiceCatalog::get_composite(
+    std::string_view name) const {
+  const CompositeService* svc = find_composite(name);
+  if (svc == nullptr) {
+    throw NotFoundError("unknown composite service: '" + std::string(name) +
+                        "'");
+  }
+  return *svc;
+}
+
+std::vector<const AtomicService*> ServiceCatalog::atomics() const {
+  std::vector<const AtomicService*> out;
+  out.reserve(atomics_.size());
+  for (const auto& [_, svc] : atomics_) out.push_back(&svc);
+  return out;
+}
+
+std::vector<const CompositeService*> ServiceCatalog::composites() const {
+  std::vector<const CompositeService*> out;
+  out.reserve(composites_.size());
+  for (const auto& [_, svc] : composites_) out.push_back(svc.get());
+  return out;
+}
+
+std::vector<const CompositeService*> ServiceCatalog::composites_using(
+    std::string_view atomic_service) const {
+  std::vector<const CompositeService*> out;
+  for (const auto& [_, svc] : composites_) {
+    if (svc->uses(atomic_service)) out.push_back(svc.get());
+  }
+  return out;
+}
+
+}  // namespace upsim::service

@@ -1,0 +1,122 @@
+// Service model (Sec. II and V-A2 of the paper).
+//
+// An *atomic service* is an indivisible abstraction of infrastructure,
+// application or business functionality (Definition 1, after Milanovic et
+// al.).  A *composite service* combines two or more atomic services behind a
+// single interface; its control flow is a UML activity diagram whose Action
+// nodes name the atomic services.  Decision nodes are excluded by
+// construction — alternative branches are separate services — so every
+// atomic service in the flow executes on every invocation (in series or in
+// parallel), which is exactly the property the availability analysis in
+// src/depend relies on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uml/activity.hpp"
+
+namespace upsim::service {
+
+/// An indivisible unit of functionality, e.g. "authenticate" or
+/// "send_documents".  Granularity is chosen by re-usability within the
+/// business process (Sec. II).
+class AtomicService {
+ public:
+  explicit AtomicService(std::string name, std::string description = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+};
+
+/// A composite service: a named activity over registered atomic services.
+class CompositeService {
+ public:
+  /// Takes ownership of the activity describing the flow.  The activity
+  /// must validate cleanly and contain at least two actions; every action
+  /// must name an atomic service known to the catalog that creates this
+  /// composite (checked by ServiceCatalog::define_composite).
+  CompositeService(std::string name, uml::Activity activity);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const uml::Activity& activity() const noexcept {
+    return activity_;
+  }
+
+  /// Atomic services in topological execution order.
+  [[nodiscard]] const std::vector<std::string>& atomic_services() const
+      noexcept {
+    return atomics_;
+  }
+
+  [[nodiscard]] bool uses(std::string_view atomic_service) const noexcept;
+
+ private:
+  std::string name_;
+  uml::Activity activity_;
+  std::vector<std::string> atomics_;
+};
+
+/// Registry of atomic and composite services for one business process model.
+/// Guarantees referential integrity: composites may only use registered
+/// atomic services, and names are unique across each kind.
+class ServiceCatalog {
+ public:
+  ServiceCatalog() = default;
+  ServiceCatalog(const ServiceCatalog&) = delete;
+  ServiceCatalog& operator=(const ServiceCatalog&) = delete;
+  ServiceCatalog(ServiceCatalog&&) = default;
+  ServiceCatalog& operator=(ServiceCatalog&&) = default;
+
+  const AtomicService& define_atomic(std::string name,
+                                     std::string description = {});
+
+  /// Validates the activity, checks that every action names a registered
+  /// atomic service, and registers the composite.  Throws ModelError with
+  /// the full problem list otherwise.
+  const CompositeService& define_composite(std::string name,
+                                           uml::Activity activity);
+
+  /// Convenience for the common purely sequential flow (like the paper's
+  /// printing service, Fig. 10): initial -> a1 -> a2 -> ... -> final.
+  const CompositeService& define_sequence(
+      std::string name, const std::vector<std::string>& atomic_names);
+
+  [[nodiscard]] const AtomicService* find_atomic(std::string_view name) const
+      noexcept;
+  [[nodiscard]] const AtomicService& get_atomic(std::string_view name) const;
+  [[nodiscard]] const CompositeService* find_composite(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const CompositeService& get_composite(
+      std::string_view name) const;
+
+  [[nodiscard]] std::size_t atomic_count() const noexcept {
+    return atomics_.size();
+  }
+  [[nodiscard]] std::size_t composite_count() const noexcept {
+    return composites_.size();
+  }
+  [[nodiscard]] std::vector<const AtomicService*> atomics() const;
+  [[nodiscard]] std::vector<const CompositeService*> composites() const;
+
+  /// Composite services that use the given atomic service (an atomic
+  /// service can be part of any number of composites, Sec. II).
+  [[nodiscard]] std::vector<const CompositeService*> composites_using(
+      std::string_view atomic_service) const;
+
+ private:
+  std::map<std::string, AtomicService, std::less<>> atomics_;
+  std::map<std::string, std::unique_ptr<CompositeService>, std::less<>>
+      composites_;
+};
+
+}  // namespace upsim::service

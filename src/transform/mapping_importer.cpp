@@ -1,0 +1,59 @@
+#include "transform/mapping_importer.hpp"
+
+#include "transform/uml_importer.hpp"
+#include "util/error.hpp"
+
+namespace upsim::transform {
+
+using vpm::EntityId;
+using vpm::ModelSpace;
+
+EntityId ensure_mapping_metamodel(ModelSpace& space) {
+  const EntityId mm = space.ensure_path("metamodel.mapping");
+  space.ensure_entity(mm, "Pair");
+  return mm;
+}
+
+EntityId import_mapping(ModelSpace& space, std::string mapping_name,
+                        const mapping::ServiceMapping& mapping,
+                        const uml::ObjectModel& infrastructure) {
+  ensure_mapping_metamodel(space);
+  const EntityId mappings = space.ensure_path("mappings");
+  if (space.child(mappings, mapping_name)) {
+    throw ModelError("import_mapping: mapping '" + mapping_name +
+                     "' already imported");
+  }
+  const EntityId root = space.create_entity(mappings, std::move(mapping_name));
+  const EntityId pair_type = space.get("metamodel.mapping.Pair");
+
+  for (const mapping::ServiceMappingPair& pair : mapping.pairs()) {
+    auto resolve = [&](const std::string& component_id,
+                       const char* role) -> EntityId {
+      const auto entity =
+          space.find(instance_entity_fqn(infrastructure, component_id));
+      if (!entity) {
+        throw ModelError("import_mapping: " + std::string(role) + " '" +
+                         component_id + "' of atomic service '" +
+                         pair.atomic_service +
+                         "' does not resolve to an imported instance of '" +
+                         infrastructure.name() + "'");
+      }
+      return *entity;
+    };
+    const EntityId requester = resolve(pair.requester, "requester");
+    const EntityId provider = resolve(pair.provider, "provider");
+    const EntityId entry = space.create_entity(root, pair.atomic_service);
+    space.set_instance_of(entry, pair_type);
+    space.create_relation("requester", entry, requester);
+    space.create_relation("provider", entry, provider);
+  }
+  return root;
+}
+
+void remove_mapping(ModelSpace& space, std::string_view mapping_name) {
+  const auto mapping =
+      space.find("mappings." + std::string(mapping_name));
+  if (mapping) space.delete_entity(*mapping);
+}
+
+}  // namespace upsim::transform

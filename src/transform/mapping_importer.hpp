@@ -1,0 +1,40 @@
+// The custom service-mapping importer (Fig. 4, Step 6; Sec. V-C).
+//
+// Mirrors the paper's Eclipse plug-in: it parses the mapping (already a
+// ServiceMapping after xml load), traverses its entries and creates VPM
+// entities conforming to a small mapping metamodel:
+//
+//   metamodel.mapping.Pair
+//   mappings.<mappingName>.<atomicService>   instanceOf metamodel.mapping.Pair
+//   relations: pair --requester--> instance entity
+//              pair --provider--->  instance entity
+//
+// Requester/provider must resolve to instances of an already-imported
+// object model; unresolved ids raise ModelError (the paper's importer
+// "finds appropriate VPM entities ... corresponding to the type of each
+// element").
+#pragma once
+
+#include <string>
+
+#include "mapping/mapping.hpp"
+#include "uml/object_model.hpp"
+#include "vpm/model_space.hpp"
+
+namespace upsim::transform {
+
+/// Ensures the mapping metamodel namespace; idempotent.
+vpm::EntityId ensure_mapping_metamodel(vpm::ModelSpace& space);
+
+/// Imports `mapping` under "mappings.<mapping_name>", resolving component
+/// ids against `infrastructure` (which must already be imported).
+vpm::EntityId import_mapping(vpm::ModelSpace& space, std::string mapping_name,
+                             const mapping::ServiceMapping& mapping,
+                             const uml::ObjectModel& infrastructure);
+
+/// Removes a previously imported mapping subtree (used when regenerating a
+/// UPSIM after a mapping-only change — the cheap dynamicity path of
+/// Sec. V-A3).  No-op when absent.
+void remove_mapping(vpm::ModelSpace& space, std::string_view mapping_name);
+
+}  // namespace upsim::transform

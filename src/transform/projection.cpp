@@ -1,0 +1,112 @@
+#include "transform/projection.hpp"
+
+#include <algorithm>
+
+#include "transform/uml_importer.hpp"
+#include "util/error.hpp"
+
+namespace upsim::transform {
+
+namespace {
+
+/// Reads the dependability attributes of a stereotyped element into a
+/// graph attribute map.
+graph::AttributeMap dependability_attributes(
+    const uml::StereotypedElement& element, const ProjectionOptions& options,
+    const std::string& what) {
+  graph::AttributeMap attrs;
+  const auto mtbf = element.stereotype_value(options.mtbf_attribute);
+  const auto mttr = element.stereotype_value(options.mttr_attribute);
+  if (mtbf && mttr) {
+    attrs.emplace("mtbf", mtbf->as_real());
+    attrs.emplace("mttr", mttr->as_real());
+    if (const auto red = element.stereotype_value(options.redundant_attribute)) {
+      attrs.emplace("redundant", static_cast<double>(red->as_integer()));
+    }
+  } else if (options.require_dependability_attributes) {
+    throw ModelError("projection: " + what + " lacks stereotype attributes '" +
+                     options.mtbf_attribute + "'/'" + options.mttr_attribute +
+                     "' required for dependability analysis");
+  }
+  for (const auto& [stereotype_attr, graph_attr] : options.extra_attributes) {
+    if (const auto value = element.stereotype_value(stereotype_attr)) {
+      attrs.emplace(graph_attr, value->as_real());
+    }
+  }
+  return attrs;
+}
+
+}  // namespace
+
+graph::Graph project(const uml::ObjectModel& objects,
+                     const ProjectionOptions& options) {
+  graph::Graph g;
+  for (const uml::InstanceSpecification* inst : objects.instances()) {
+    g.add_vertex(inst->name(), inst->classifier().name(),
+                 dependability_attributes(inst->classifier(), options,
+                                          "class '" +
+                                              inst->classifier().name() + "'"));
+  }
+  for (const auto& link : objects.links()) {
+    g.add_edge(link->end_a().name(), link->end_b().name(), link->name(),
+               dependability_attributes(link->association(), options,
+                                        "association '" +
+                                            link->association().name() + "'"));
+  }
+  return g;
+}
+
+graph::Graph project_from_space(const vpm::ModelSpace& space,
+                                const uml::ObjectModel& objects,
+                                const ProjectionOptions& options) {
+  const auto instances_ns =
+      space.find("models." + objects.name() + ".instances");
+  if (!instances_ns) {
+    throw NotFoundError("project_from_space: object model '" + objects.name() +
+                        "' is not imported");
+  }
+  graph::Graph g;
+  const std::vector<vpm::EntityId> instance_entities =
+      space.children(*instances_ns);
+  for (const vpm::EntityId e : instance_entities) {
+    const uml::InstanceSpecification& inst =
+        objects.get_instance(space.name(e));
+    g.add_vertex(inst.name(), inst.classifier().name(),
+                 dependability_attributes(inst.classifier(), options,
+                                          "class '" +
+                                              inst.classifier().name() + "'"));
+  }
+  // Each undirected UML link was imported as two directed "link"
+  // relations.  Emit edges in the object model's original link order —
+  // edge-insertion order is observable (it pins DFS discovery order, which
+  // reproduces the Sec. VI-G listing), so both projections and the
+  // model-space discovery engine must agree on it.  The model space is
+  // still authoritative: a link whose relation image is missing raises an
+  // invariant failure.
+  for (const auto& link : objects.links()) {
+    const auto a = space.child(*instances_ns, link->end_a().name());
+    const auto b = space.child(*instances_ns, link->end_b().name());
+    bool found = false;
+    if (a && b) {
+      for (const vpm::RelationId r : space.relations_from(*a, "link")) {
+        if (space.target(r) == *b) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      throw InvariantError(
+          "project_from_space: UML link '" + link->name() +
+          "' has no model-space image");
+    }
+    g.add_edge(link->end_a().name(), link->end_b().name(), link->name(),
+               dependability_attributes(link->association(), options,
+                                        "association '" +
+                                            link->association().name() +
+                                            "'"));
+  }
+  return g;
+}
+
+}  // namespace upsim::transform

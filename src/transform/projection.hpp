@@ -1,0 +1,55 @@
+// Projections between the modeling layers and the algorithmic graph layer.
+//
+// The UML object diagram (or its imported image in the VPM model space) is
+// the authoritative topology; path discovery and reliability analysis run
+// on a graph::Graph projection of it.  Vertex/edge attributes carry the
+// dependability properties read from the availability profile (Fig. 6):
+// "mtbf", "mttr" and "redundant" — inherited by every instance from its
+// classifier, as the paper's static-attribute rule guarantees.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "uml/object_model.hpp"
+#include "vpm/model_space.hpp"
+
+namespace upsim::transform {
+
+struct ProjectionOptions {
+  /// Stereotype attribute names to read (availability profile, Fig. 6).
+  std::string mtbf_attribute = "MTBF";
+  std::string mttr_attribute = "MTTR";
+  std::string redundant_attribute = "redundantComponents";
+  /// When true, an instance/link whose classifier lacks the attributes is a
+  /// ModelError; when false it is projected without them (pure topology).
+  bool require_dependability_attributes = true;
+  /// Additional numeric stereotype attributes to carry over when present:
+  /// (stereotype attribute, graph attribute).  The default projects the
+  /// network profile's throughput (Fig. 7) for performability analysis.
+  std::vector<std::pair<std::string, std::string>> extra_attributes = {
+      {"throughput", "throughput_mbps"},
+      {"latency", "latency_ms"},
+  };
+};
+
+/// Projects an object model to a graph: one vertex per instance (vertex
+/// name = instance name, vertex type = classifier name), one edge per link.
+/// Vertex attributes come from the instance classifier's stereotype values,
+/// edge attributes from the link association's stereotype values.
+[[nodiscard]] graph::Graph project(const uml::ObjectModel& objects,
+                                   const ProjectionOptions& options = {});
+
+/// Projects the imported image of an object model out of the VPM model
+/// space (entities under "models.<name>.instances" plus their "link"
+/// relations).  Attributes are recovered from `objects`' class model via
+/// the instance names — the paper keeps properties on classes, so the
+/// model-space image stores structure only.  Both projections agree on the
+/// same model; tests assert that.
+[[nodiscard]] graph::Graph project_from_space(
+    const vpm::ModelSpace& space, const uml::ObjectModel& objects,
+    const ProjectionOptions& options = {});
+
+}  // namespace upsim::transform

@@ -1,0 +1,79 @@
+#include "transform/space_discovery.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace upsim::transform {
+
+using vpm::EntityId;
+using vpm::ModelSpace;
+using vpm::RelationId;
+
+namespace {
+
+class SpaceDfs {
+ public:
+  SpaceDfs(const ModelSpace& space, EntityId target,
+           SpaceDiscoveryResult& out)
+      : space_(space), target_(target), out_(out) {}
+
+  void run(EntityId source) {
+    on_path_.insert(vpm::index(source));
+    path_.push_back(source);
+    visit(source);
+  }
+
+ private:
+  void visit(EntityId entity) {
+    ++out_.nodes_expanded;
+    if (entity == target_) {
+      std::vector<std::string> names;
+      names.reserve(path_.size());
+      for (const EntityId e : path_) names.push_back(space_.name(e));
+      out_.paths.push_back(std::move(names));
+      return;
+    }
+    for (const RelationId r : space_.relations_from(entity, "link")) {
+      const EntityId next = space_.target(r);
+      if (on_path_.contains(vpm::index(next))) continue;
+      on_path_.insert(vpm::index(next));
+      path_.push_back(next);
+      visit(next);
+      path_.pop_back();
+      on_path_.erase(vpm::index(next));
+    }
+  }
+
+  const ModelSpace& space_;
+  EntityId target_;
+  SpaceDiscoveryResult& out_;
+  std::vector<EntityId> path_;
+  std::unordered_set<std::uint32_t> on_path_;
+};
+
+}  // namespace
+
+SpaceDiscoveryResult discover_in_space(const ModelSpace& space,
+                                       const std::string& instances_ns,
+                                       const std::string& requester,
+                                       const std::string& provider) {
+  const auto ns = space.find(instances_ns);
+  if (!ns) {
+    throw NotFoundError("discover_in_space: no namespace '" + instances_ns +
+                        "'");
+  }
+  const auto source = space.child(*ns, requester);
+  const auto target = space.child(*ns, provider);
+  if (!source || !target) {
+    throw NotFoundError("discover_in_space: unknown instance '" +
+                        (source ? provider : requester) + "' in '" +
+                        instances_ns + "'");
+  }
+  SpaceDiscoveryResult out;
+  SpaceDfs dfs(space, *target, out);
+  dfs.run(*source);
+  return out;
+}
+
+}  // namespace upsim::transform

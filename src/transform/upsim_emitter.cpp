@@ -1,0 +1,108 @@
+#include "transform/upsim_emitter.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "transform/uml_importer.hpp"
+#include "util/error.hpp"
+
+namespace upsim::transform {
+
+using vpm::EntityId;
+using vpm::ModelSpace;
+
+EntityId store_paths(ModelSpace& space, std::string_view run_name,
+                     std::string_view pair_key, const graph::Graph& g,
+                     const pathdisc::PathSet& paths,
+                     const uml::ObjectModel& infrastructure) {
+  const EntityId runs = space.ensure_path("paths");
+  const EntityId run = space.ensure_entity(runs, std::string(run_name));
+  if (space.child(run, std::string(pair_key))) {
+    throw ModelError("store_paths: run '" + std::string(run_name) +
+                     "' already has paths for pair '" + std::string(pair_key) +
+                     "'");
+  }
+  const EntityId pair_node =
+      space.create_entity(run, std::string(pair_key));
+  for (std::size_t i = 0; i < paths.paths.size(); ++i) {
+    const EntityId path_node =
+        space.create_entity(pair_node, "p" + std::to_string(i));
+    for (const graph::VertexId v : paths.paths[i]) {
+      const std::string& instance_name = g.vertex(v).name;
+      const EntityId instance = space.get(
+          instance_entity_fqn(infrastructure, instance_name));
+      // Ordered hops: the relation name encodes the position so the path
+      // can be reconstructed exactly.
+      space.create_relation("hop", path_node, instance);
+    }
+  }
+  return pair_node;
+}
+
+std::vector<std::vector<std::string>> load_paths(const ModelSpace& space,
+                                                 std::string_view run_name) {
+  const auto run = space.find("paths." + std::string(run_name));
+  if (!run) {
+    throw NotFoundError("load_paths: no stored run '" + std::string(run_name) +
+                        "'");
+  }
+  std::vector<std::vector<std::string>> out;
+  for (const EntityId pair_node : space.children(*run)) {
+    // Children are name-ordered ("p0", "p1", ... "p10" sorts awkwardly);
+    // sort numerically by the index suffix.
+    std::vector<EntityId> path_nodes = space.children(pair_node);
+    std::sort(path_nodes.begin(), path_nodes.end(),
+              [&](EntityId a, EntityId b) {
+                return std::stoul(space.name(a).substr(1)) <
+                       std::stoul(space.name(b).substr(1));
+              });
+    for (const EntityId path_node : path_nodes) {
+      std::vector<std::string> path;
+      for (const vpm::RelationId hop : space.relations_from(path_node, "hop")) {
+        path.push_back(space.name(space.target(hop)));
+      }
+      out.push_back(std::move(path));
+    }
+  }
+  return out;
+}
+
+void clear_paths(ModelSpace& space, std::string_view run_name) {
+  const auto run = space.find("paths." + std::string(run_name));
+  if (run) space.delete_entity(*run);
+}
+
+std::vector<std::string> merge_instances(
+    const std::vector<std::vector<std::string>>& paths) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const auto& path : paths) {
+    for (const std::string& name : path) {
+      if (seen.insert(name).second) out.push_back(name);
+    }
+  }
+  return out;
+}
+
+uml::ObjectModel emit_upsim(const uml::ObjectModel& infrastructure,
+                            std::string upsim_name,
+                            const std::vector<std::string>& keep) {
+  uml::ObjectModel upsim(std::move(upsim_name), infrastructure.class_model());
+  std::unordered_set<std::string> kept;
+  for (const std::string& name : keep) {
+    if (!kept.insert(name).second) continue;  // multiple occurrences ignored
+    const uml::InstanceSpecification& inst =
+        infrastructure.get_instance(name);
+    upsim.instantiate(inst.name(), inst.classifier());
+  }
+  for (const auto& link : infrastructure.links()) {
+    if (kept.contains(link->end_a().name()) &&
+        kept.contains(link->end_b().name())) {
+      upsim.link(link->end_a().name(), link->end_b().name(),
+                 link->association().name(), link->name());
+    }
+  }
+  return upsim;
+}
+
+}  // namespace upsim::transform

@@ -1,0 +1,54 @@
+// UPSIM generation (Fig. 4, Steps 7-8; Sec. V-E and VI-H).
+//
+// Step 7 stores every discovered path in a reserved subtree of the model
+// space ("paths.<runName>.<pairKey>.p<i>" with ordered "hop" relations to
+// the instance entities).  Step 8 merges all stored paths of a run into a
+// single node set and emits the UPSIM as a fresh UML object diagram: a
+// filter over the complete topology where only instances appearing on at
+// least one path survive (multiple occurrences ignored), together with
+// every link whose both endpoints survive.  Emitted instanceSpecifications
+// share the classifiers of the input model, so all stereotype properties
+// (MTBF, MTTR, ...) carry over automatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "uml/object_model.hpp"
+#include "vpm/model_space.hpp"
+
+namespace upsim::transform {
+
+/// Stores the discovered paths of one service mapping pair in the model
+/// space under "paths.<run_name>.<pair_key>".  `g` must be the projection
+/// the paths were discovered on (vertex names resolve instance entities).
+/// Returns the subtree entity.
+vpm::EntityId store_paths(vpm::ModelSpace& space, std::string_view run_name,
+                          std::string_view pair_key,
+                          const graph::Graph& g,
+                          const pathdisc::PathSet& paths,
+                          const uml::ObjectModel& infrastructure);
+
+/// Reads every stored path of a run back as instance-name sequences, in
+/// (pair key, path index) order.
+[[nodiscard]] std::vector<std::vector<std::string>> load_paths(
+    const vpm::ModelSpace& space, std::string_view run_name);
+
+/// Deletes a run's stored paths.  No-op when absent.
+void clear_paths(vpm::ModelSpace& space, std::string_view run_name);
+
+/// Step 8 proper: the union of instance names across the given paths, in
+/// first-occurrence order.
+[[nodiscard]] std::vector<std::string> merge_instances(
+    const std::vector<std::vector<std::string>>& paths);
+
+/// Emits the UPSIM object diagram named `upsim_name`: exactly the
+/// instances in `keep` (which must exist in `infrastructure`) and every
+/// link of `infrastructure` joining two kept instances.
+[[nodiscard]] uml::ObjectModel emit_upsim(
+    const uml::ObjectModel& infrastructure, std::string upsim_name,
+    const std::vector<std::string>& keep);
+
+}  // namespace upsim::transform

@@ -1,0 +1,254 @@
+#include "uml/activity.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::uml {
+
+Activity::Activity(std::string name) : name_(std::move(name)) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid activity name: '" + name_ + "'");
+  }
+}
+
+ActivityNodeId Activity::add_node(ActivityNodeKind kind, std::string name) {
+  const auto id = ActivityNodeId{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(ActivityNode{kind, std::move(name)});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+ActivityNodeId Activity::add_initial(std::string name) {
+  return add_node(ActivityNodeKind::Initial, std::move(name));
+}
+
+ActivityNodeId Activity::add_final(std::string name) {
+  return add_node(ActivityNodeKind::Final, std::move(name));
+}
+
+ActivityNodeId Activity::add_action(std::string atomic_service) {
+  if (!util::is_identifier(atomic_service)) {
+    throw ModelError("activity '" + name_ + "': invalid atomic-service name '" +
+                     atomic_service + "'");
+  }
+  if (actions_by_name_.contains(atomic_service)) {
+    throw ModelError("activity '" + name_ + "': duplicate action '" +
+                     atomic_service + "'");
+  }
+  const ActivityNodeId id = add_node(ActivityNodeKind::Action, atomic_service);
+  actions_by_name_.emplace(std::move(atomic_service), id);
+  return id;
+}
+
+ActivityNodeId Activity::add_fork(std::string name) {
+  if (name.empty()) name = "fork" + std::to_string(nodes_.size());
+  return add_node(ActivityNodeKind::Fork, std::move(name));
+}
+
+ActivityNodeId Activity::add_join(std::string name) {
+  if (name.empty()) name = "join" + std::to_string(nodes_.size());
+  return add_node(ActivityNodeKind::Join, std::move(name));
+}
+
+void Activity::flow(ActivityNodeId from, ActivityNodeId to) {
+  if (index(from) >= nodes_.size() || index(to) >= nodes_.size()) {
+    throw ModelError("activity '" + name_ + "': flow endpoint out of range");
+  }
+  if (from == to) {
+    throw ModelError("activity '" + name_ + "': self-flow on node '" +
+                     nodes_[index(from)].name + "'");
+  }
+  out_[index(from)].push_back(to);
+  in_[index(to)].push_back(from);
+}
+
+const ActivityNode& Activity::node(ActivityNodeId id) const {
+  if (index(id) >= nodes_.size()) {
+    throw NotFoundError("activity node id out of range");
+  }
+  return nodes_[index(id)];
+}
+
+const std::vector<ActivityNodeId>& Activity::successors(
+    ActivityNodeId id) const {
+  if (index(id) >= nodes_.size()) {
+    throw NotFoundError("activity node id out of range");
+  }
+  return out_[index(id)];
+}
+
+const std::vector<ActivityNodeId>& Activity::predecessors(
+    ActivityNodeId id) const {
+  if (index(id) >= nodes_.size()) {
+    throw NotFoundError("activity node id out of range");
+  }
+  return in_[index(id)];
+}
+
+std::optional<ActivityNodeId> Activity::find_action(
+    std::string_view atomic_service) const noexcept {
+  const auto it = actions_by_name_.find(atomic_service);
+  if (it == actions_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::vector<ActivityNodeId>> Activity::topo_order() const {
+  std::vector<std::size_t> indegree(nodes_.size());
+  for (std::size_t v = 0; v < nodes_.size(); ++v) indegree[v] = in_[v].size();
+  // Deterministic Kahn: always pop the smallest ready id.
+  std::vector<ActivityNodeId> ready;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (indegree[v] == 0) {
+      ready.push_back(ActivityNodeId{static_cast<std::uint32_t>(v)});
+    }
+  }
+  std::vector<ActivityNodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const auto it = std::min_element(
+        ready.begin(), ready.end(),
+        [](ActivityNodeId a, ActivityNodeId b) { return index(a) < index(b); });
+    const ActivityNodeId v = *it;
+    ready.erase(it);
+    order.push_back(v);
+    for (const ActivityNodeId w : out_[index(v)]) {
+      if (--indegree[index(w)] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != nodes_.size()) return std::nullopt;  // cycle
+  return order;
+}
+
+std::vector<std::string> Activity::atomic_services() const {
+  const auto order = topo_order();
+  if (!order) {
+    throw ModelError("activity '" + name_ + "': control flow has a cycle");
+  }
+  std::vector<std::string> out;
+  for (const ActivityNodeId id : *order) {
+    const ActivityNode& n = nodes_[index(id)];
+    if (n.kind == ActivityNodeKind::Action) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Activity::validate() const {
+  std::vector<std::string> problems;
+  const std::string prefix = "activity '" + name_ + "': ";
+
+  std::size_t initials = 0;
+  std::size_t finals = 0;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    const ActivityNode& n = nodes_[v];
+    const std::size_t din = in_[v].size();
+    const std::size_t dout = out_[v].size();
+    switch (n.kind) {
+      case ActivityNodeKind::Initial:
+        ++initials;
+        if (din != 0) {
+          problems.push_back(prefix + "initial node has incoming flow");
+        }
+        if (dout != 1) {
+          problems.push_back(prefix + "initial node must have exactly one "
+                                      "outgoing flow");
+        }
+        break;
+      case ActivityNodeKind::Final:
+        ++finals;
+        if (dout != 0) {
+          problems.push_back(prefix + "final node '" + n.name +
+                             "' has outgoing flow");
+        }
+        if (din == 0) {
+          problems.push_back(prefix + "final node '" + n.name +
+                             "' is unreachable (no incoming flow)");
+        }
+        break;
+      case ActivityNodeKind::Action:
+        if (din != 1 || dout != 1) {
+          problems.push_back(prefix + "action '" + n.name +
+                             "' must have exactly one incoming and one "
+                             "outgoing flow");
+        }
+        break;
+      case ActivityNodeKind::Fork:
+        if (din != 1 || dout < 2) {
+          problems.push_back(prefix + "fork '" + n.name +
+                             "' must have one incoming and at least two "
+                             "outgoing flows");
+        }
+        break;
+      case ActivityNodeKind::Join:
+        if (din < 2 || dout != 1) {
+          problems.push_back(prefix + "join '" + n.name +
+                             "' must have at least two incoming and one "
+                             "outgoing flow");
+        }
+        break;
+    }
+  }
+  if (initials != 1) {
+    problems.push_back(prefix + "must have exactly one initial node (has " +
+                       std::to_string(initials) + ")");
+  }
+  if (finals == 0) {
+    problems.push_back(prefix + "must have at least one final node");
+  }
+
+  if (!topo_order()) {
+    problems.push_back(prefix + "control flow has a cycle");
+    return problems;  // reachability below assumes acyclic
+  }
+
+  // Every node must lie on some initial -> final path: reachable from the
+  // initial node and co-reachable from some final node.
+  if (initials == 1 && !nodes_.empty()) {
+    std::size_t initial = 0;
+    for (std::size_t v = 0; v < nodes_.size(); ++v) {
+      if (nodes_[v].kind == ActivityNodeKind::Initial) initial = v;
+    }
+    std::vector<bool> fwd(nodes_.size(), false);
+    std::deque<std::size_t> queue{initial};
+    fwd[initial] = true;
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      for (const ActivityNodeId w : out_[v]) {
+        if (!fwd[index(w)]) {
+          fwd[index(w)] = true;
+          queue.push_back(index(w));
+        }
+      }
+    }
+    std::vector<bool> bwd(nodes_.size(), false);
+    for (std::size_t v = 0; v < nodes_.size(); ++v) {
+      if (nodes_[v].kind == ActivityNodeKind::Final) {
+        bwd[v] = true;
+        queue.push_back(v);
+      }
+    }
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      for (const ActivityNodeId w : in_[v]) {
+        if (!bwd[index(w)]) {
+          bwd[index(w)] = true;
+          queue.push_back(index(w));
+        }
+      }
+    }
+    for (std::size_t v = 0; v < nodes_.size(); ++v) {
+      if (!fwd[v] || !bwd[v]) {
+        problems.push_back(prefix + "node '" + nodes_[v].name +
+                           "' is not on any initial->final path");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace upsim::uml

@@ -1,0 +1,99 @@
+// UML activity diagram subset for service descriptions (Sec. V-A2, Figs. 2
+// and 10 of the paper).
+//
+// A composite service is a flow of Actions (atomic services) between one
+// initial and one or more final nodes, with fork/join for parallel
+// execution.  The paper deliberately excludes decision nodes — alternative
+// branches are modelled as separate services — so this subset has none.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::uml {
+
+enum class ActivityNodeKind : std::uint8_t { Initial, Final, Action, Fork, Join };
+
+[[nodiscard]] constexpr const char* to_string(ActivityNodeKind k) noexcept {
+  switch (k) {
+    case ActivityNodeKind::Initial: return "initial";
+    case ActivityNodeKind::Final: return "final";
+    case ActivityNodeKind::Action: return "action";
+    case ActivityNodeKind::Fork: return "fork";
+    case ActivityNodeKind::Join: return "join";
+  }
+  return "?";
+}
+
+enum class ActivityNodeId : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t index(ActivityNodeId n) noexcept {
+  return static_cast<std::uint32_t>(n);
+}
+
+struct ActivityNode {
+  ActivityNodeKind kind;
+  std::string name;  ///< for Actions this is the atomic-service name
+};
+
+/// An activity diagram.  Build with the add_* methods and flow(); check
+/// well-formedness with validate() before analysis.
+class Activity {
+ public:
+  explicit Activity(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  ActivityNodeId add_initial(std::string name = "initial");
+  ActivityNodeId add_final(std::string name = "final");
+  /// Adds an Action node naming an atomic service.  Action names must be
+  /// unique within the activity (they key the service mapping).
+  ActivityNodeId add_action(std::string atomic_service);
+  ActivityNodeId add_fork(std::string name = {});
+  ActivityNodeId add_join(std::string name = {});
+
+  /// Adds a control-flow edge from `from` to `to`.
+  void flow(ActivityNodeId from, ActivityNodeId to);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const ActivityNode& node(ActivityNodeId id) const;
+  [[nodiscard]] const std::vector<ActivityNodeId>& successors(
+      ActivityNodeId id) const;
+  [[nodiscard]] const std::vector<ActivityNodeId>& predecessors(
+      ActivityNodeId id) const;
+
+  /// Action node for an atomic-service name, if present.
+  [[nodiscard]] std::optional<ActivityNodeId> find_action(
+      std::string_view atomic_service) const noexcept;
+
+  /// Atomic-service names in a topological execution order (parallel
+  /// branches interleaved deterministically by node id).  Requires a valid
+  /// acyclic diagram; throws ModelError on cycles.
+  [[nodiscard]] std::vector<std::string> atomic_services() const;
+
+  /// Structural well-formedness report; empty means valid:
+  ///   exactly one initial (no incoming), >=1 final (no outgoing),
+  ///   actions have exactly one incoming and one outgoing flow,
+  ///   forks have one incoming and >=2 outgoing, joins the mirror image,
+  ///   every node lies on a path initial -> final, and the flow is acyclic.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  ActivityNodeId add_node(ActivityNodeKind kind, std::string name);
+  /// Topological order of all node ids; nullopt when the flow has a cycle.
+  [[nodiscard]] std::optional<std::vector<ActivityNodeId>> topo_order() const;
+
+  std::string name_;
+  std::vector<ActivityNode> nodes_;
+  std::vector<std::vector<ActivityNodeId>> out_;
+  std::vector<std::vector<ActivityNodeId>> in_;
+  std::map<std::string, ActivityNodeId, std::less<>> actions_by_name_;
+};
+
+}  // namespace upsim::uml

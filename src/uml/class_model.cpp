@@ -1,0 +1,253 @@
+#include "uml/class_model.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::uml {
+
+// ---------------------------------------------------------------------------
+// StereotypeApplication
+
+void StereotypeApplication::set(std::string_view name, Value value) {
+  const AttributeDecl* decl = stereotype_->find_attribute(name);
+  if (decl == nullptr) {
+    throw ModelError("stereotype '" + stereotype_->name() +
+                     "' declares no attribute '" + std::string(name) + "'");
+  }
+  if (!value.conforms_to(decl->type)) {
+    throw ModelError("value for '" + stereotype_->name() + "." + decl->name +
+                     "' does not conform to " +
+                     std::string(to_string(decl->type)));
+  }
+  values_.insert_or_assign(std::string(name), std::move(value));
+}
+
+std::optional<Value> StereotypeApplication::value(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  const AttributeDecl* decl = stereotype_->find_attribute(name);
+  if (decl != nullptr && decl->default_value) return decl->default_value;
+  return std::nullopt;
+}
+
+Value StereotypeApplication::required_value(std::string_view name) const {
+  auto v = value(name);
+  if (!v) {
+    throw NotFoundError("no value for attribute '" + std::string(name) +
+                        "' of stereotype '" + stereotype_->name() + "'");
+  }
+  return *v;
+}
+
+std::vector<std::string> StereotypeApplication::missing_values() const {
+  std::vector<std::string> missing;
+  for (const AttributeDecl& decl : stereotype_->effective_attributes()) {
+    if (!values_.contains(decl.name) && !decl.default_value) {
+      missing.push_back(decl.name);
+    }
+  }
+  return missing;
+}
+
+// ---------------------------------------------------------------------------
+// StereotypedElement
+
+StereotypedElement::StereotypedElement(std::string name)
+    : name_(std::move(name)) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid element name: '" + name_ + "'");
+  }
+}
+
+StereotypeApplication& StereotypedElement::apply(const Stereotype& stereotype) {
+  if (stereotype.is_abstract()) {
+    throw ModelError("cannot apply abstract stereotype '" + stereotype.name() +
+                     "' to '" + name_ + "'");
+  }
+  if (stereotype.extends() != metaclass()) {
+    throw ModelError("stereotype '" + stereotype.name() + "' extends " +
+                     to_string(stereotype.extends()) +
+                     " and cannot be applied to " + to_string(metaclass()) +
+                     " '" + name_ + "'");
+  }
+  if (application_of(stereotype) != nullptr) {
+    throw ModelError("stereotype '" + stereotype.name() +
+                     "' already applied to '" + name_ + "'");
+  }
+  applications_.emplace_back(stereotype);
+  return applications_.back();
+}
+
+const StereotypeApplication* StereotypedElement::application_of(
+    const Stereotype& stereotype) const noexcept {
+  for (const StereotypeApplication& app : applications_) {
+    if (&app.stereotype() == &stereotype) return &app;
+  }
+  return nullptr;
+}
+
+const StereotypeApplication* StereotypedElement::application_kind_of(
+    const Stereotype& stereotype) const noexcept {
+  for (const StereotypeApplication& app : applications_) {
+    if (app.stereotype().is_kind_of(stereotype)) return &app;
+  }
+  return nullptr;
+}
+
+std::optional<Value> StereotypedElement::stereotype_value(
+    std::string_view attribute) const {
+  for (const StereotypeApplication& app : applications_) {
+    if (app.stereotype().find_attribute(attribute) != nullptr) {
+      if (auto v = app.value(attribute)) return v;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Class
+
+Class::Class(std::string name, const ClassModel* owner, const Class* parent,
+             bool is_abstract)
+    : StereotypedElement(std::move(name)),
+      owner_(owner),
+      parent_(parent),
+      is_abstract_(is_abstract) {}
+
+void Class::set_static(std::string name, Value value) {
+  if (!util::is_identifier(name)) {
+    throw ModelError("class '" + this->name() + "': invalid attribute name '" +
+                     name + "'");
+  }
+  statics_.insert_or_assign(std::move(name), std::move(value));
+}
+
+std::optional<Value> Class::static_value(std::string_view name) const {
+  const auto it = statics_.find(name);
+  if (it != statics_.end()) return it->second;
+  return parent_ != nullptr ? parent_->static_value(name) : std::nullopt;
+}
+
+bool Class::is_kind_of(const Class& other) const noexcept {
+  for (const Class* c = this; c != nullptr; c = c->parent_) {
+    if (c == &other) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Association
+
+Association::Association(std::string name, const Class& end_a,
+                         const Class& end_b)
+    : StereotypedElement(std::move(name)), end_a_(&end_a), end_b_(&end_b) {}
+
+bool Association::admits(const Class& a, const Class& b) const noexcept {
+  return (a.is_kind_of(*end_a_) && b.is_kind_of(*end_b_)) ||
+         (a.is_kind_of(*end_b_) && b.is_kind_of(*end_a_));
+}
+
+// ---------------------------------------------------------------------------
+// ClassModel
+
+ClassModel::ClassModel(std::string name) : name_(std::move(name)) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid class-model name: '" + name_ + "'");
+  }
+}
+
+Class& ClassModel::define_class(std::string name, const Class* parent,
+                                bool is_abstract) {
+  if (classes_.contains(name)) {
+    throw ModelError("class model '" + name_ + "': duplicate class '" + name +
+                     "'");
+  }
+  if (parent != nullptr && find_class(parent->name()) != parent) {
+    throw ModelError("class model '" + name_ + "': parent class '" +
+                     parent->name() + "' belongs to a different model");
+  }
+  auto cls = std::make_unique<Class>(name, this, parent, is_abstract);
+  Class& ref = *cls;
+  classes_.emplace(std::move(name), std::move(cls));
+  return ref;
+}
+
+Association& ClassModel::define_association(std::string name,
+                                            const Class& end_a,
+                                            const Class& end_b) {
+  if (associations_.contains(name)) {
+    throw ModelError("class model '" + name_ + "': duplicate association '" +
+                     name + "'");
+  }
+  if (find_class(end_a.name()) != &end_a || find_class(end_b.name()) != &end_b) {
+    throw ModelError("class model '" + name_ + "': association '" + name +
+                     "' references classes from a different model");
+  }
+  auto assoc = std::make_unique<Association>(name, end_a, end_b);
+  Association& ref = *assoc;
+  associations_.emplace(std::move(name), std::move(assoc));
+  return ref;
+}
+
+const Class* ClassModel::find_class(std::string_view name) const noexcept {
+  const auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+const Class& ClassModel::get_class(std::string_view name) const {
+  const Class* c = find_class(name);
+  if (c == nullptr) {
+    throw NotFoundError("class model '" + name_ + "' has no class '" +
+                        std::string(name) + "'");
+  }
+  return *c;
+}
+
+const Association* ClassModel::find_association(std::string_view name) const
+    noexcept {
+  const auto it = associations_.find(name);
+  return it == associations_.end() ? nullptr : it->second.get();
+}
+
+const Association& ClassModel::get_association(std::string_view name) const {
+  const Association* a = find_association(name);
+  if (a == nullptr) {
+    throw NotFoundError("class model '" + name_ + "' has no association '" +
+                        std::string(name) + "'");
+  }
+  return *a;
+}
+
+std::vector<const Class*> ClassModel::classes() const {
+  std::vector<const Class*> out;
+  out.reserve(classes_.size());
+  for (const auto& [_, c] : classes_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Association*> ClassModel::associations() const {
+  std::vector<const Association*> out;
+  out.reserve(associations_.size());
+  for (const auto& [_, a] : associations_) out.push_back(a.get());
+  return out;
+}
+
+std::vector<std::string> ClassModel::validate() const {
+  std::vector<std::string> problems;
+  auto check_element = [&problems](const StereotypedElement& element,
+                                   std::string_view kind) {
+    for (const StereotypeApplication& app : element.applications()) {
+      for (const std::string& missing : app.missing_values()) {
+        problems.push_back(std::string(kind) + " '" + element.name() +
+                           "': stereotype '" + app.stereotype().name() +
+                           "' attribute '" + missing +
+                           "' has no value and no default");
+      }
+    }
+  };
+  for (const auto& [_, c] : classes_) check_element(*c, "class");
+  for (const auto& [_, a] : associations_) check_element(*a, "association");
+  return problems;
+}
+
+}  // namespace upsim::uml

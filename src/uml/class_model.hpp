@@ -1,0 +1,203 @@
+// UML class diagram subset: classes with static attributes, binary
+// associations, generalisation, and stereotype applications (Sec. V-A1 and
+// Fig. 8 of the paper).
+//
+// The paper restricts classes to static attributes so that every instance
+// of a class has exactly the properties of its class; this module enforces
+// that by storing attribute *values* on the class and none on instances.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uml/profile.hpp"
+#include "uml/value.hpp"
+
+namespace upsim::uml {
+
+/// One applied stereotype with its attribute values.  Values for declared
+/// attributes without an explicit value fall back to the declaration
+/// default; a missing value without a default is a validation error.
+class StereotypeApplication {
+ public:
+  explicit StereotypeApplication(const Stereotype& stereotype)
+      : stereotype_(&stereotype) {}
+
+  [[nodiscard]] const Stereotype& stereotype() const noexcept {
+    return *stereotype_;
+  }
+
+  /// Sets the value of a declared (own or inherited) attribute.  Throws
+  /// ModelError for undeclared names or non-conforming types.
+  void set(std::string_view name, Value value);
+
+  /// Explicit value, or declaration default, or nullopt.
+  [[nodiscard]] std::optional<Value> value(std::string_view name) const;
+
+  /// Like value() but throws NotFoundError when no value is derivable.
+  [[nodiscard]] Value required_value(std::string_view name) const;
+
+  /// Names (own + inherited) that still lack both a value and a default.
+  [[nodiscard]] std::vector<std::string> missing_values() const;
+
+ private:
+  const Stereotype* stereotype_;
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+/// Base for stereotypable named elements (Class and Association).
+class StereotypedElement {
+ public:
+  explicit StereotypedElement(std::string name);
+  virtual ~StereotypedElement() = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The metaclass this element is an instance of; stereotype applications
+  /// are checked against it.
+  [[nodiscard]] virtual Metaclass metaclass() const noexcept = 0;
+
+  /// Applies `stereotype` and returns the application for value assignment.
+  /// Throws ModelError if the stereotype is abstract, extends a different
+  /// metaclass, or is already applied.
+  StereotypeApplication& apply(const Stereotype& stereotype);
+
+  [[nodiscard]] const std::vector<StereotypeApplication>& applications() const
+      noexcept {
+    return applications_;
+  }
+  [[nodiscard]] std::vector<StereotypeApplication>& applications() noexcept {
+    return applications_;
+  }
+
+  /// The application of `stereotype` (exact match), or nullptr.
+  [[nodiscard]] const StereotypeApplication* application_of(
+      const Stereotype& stereotype) const noexcept;
+
+  /// The first application whose stereotype is-a `stereotype`, or nullptr.
+  /// Used to read e.g. Component.MTBF off a class stereotyped Device.
+  [[nodiscard]] const StereotypeApplication* application_kind_of(
+      const Stereotype& stereotype) const noexcept;
+
+  /// True if some applied stereotype is-a `stereotype`.
+  [[nodiscard]] bool has_stereotype(const Stereotype& stereotype) const
+      noexcept {
+    return application_kind_of(stereotype) != nullptr;
+  }
+
+  /// Searches every application (and its inherited declarations) for the
+  /// attribute and returns its effective value; nullopt if no application
+  /// declares it.
+  [[nodiscard]] std::optional<Value> stereotype_value(
+      std::string_view attribute) const;
+
+ private:
+  std::string name_;
+  std::vector<StereotypeApplication> applications_;
+};
+
+class ClassModel;
+
+/// A UML class.  May be abstract, may specialise one parent class, and
+/// carries static attribute values shared by all its instances.
+class Class final : public StereotypedElement {
+ public:
+  Class(std::string name, const ClassModel* owner, const Class* parent,
+        bool is_abstract);
+
+  [[nodiscard]] Metaclass metaclass() const noexcept override {
+    return Metaclass::Class;
+  }
+  [[nodiscard]] const Class* parent() const noexcept { return parent_; }
+  [[nodiscard]] bool is_abstract() const noexcept { return is_abstract_; }
+
+  /// Sets a static attribute value (plain class attribute, not a
+  /// stereotype attribute).
+  void set_static(std::string name, Value value);
+
+  /// Own or inherited static attribute value.
+  [[nodiscard]] std::optional<Value> static_value(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, Value, std::less<>>&
+  own_statics() const noexcept {
+    return statics_;
+  }
+
+  /// True if this class is `other` or specialises it transitively.
+  [[nodiscard]] bool is_kind_of(const Class& other) const noexcept;
+
+ private:
+  const ClassModel* owner_;
+  const Class* parent_;
+  bool is_abstract_;
+  std::map<std::string, Value, std::less<>> statics_;
+};
+
+/// A binary association between two classes.  Instances of it are Links in
+/// the object diagram; the paper stereotypes associations as
+/// Connector/Communication.
+class Association final : public StereotypedElement {
+ public:
+  Association(std::string name, const Class& end_a, const Class& end_b);
+
+  [[nodiscard]] Metaclass metaclass() const noexcept override {
+    return Metaclass::Association;
+  }
+  [[nodiscard]] const Class& end_a() const noexcept { return *end_a_; }
+  [[nodiscard]] const Class& end_b() const noexcept { return *end_b_; }
+
+  /// True if instances of (a, b) — in either order — can be linked by this
+  /// association (each instance class must conform to one distinct end).
+  [[nodiscard]] bool admits(const Class& a, const Class& b) const noexcept;
+
+ private:
+  const Class* end_a_;
+  const Class* end_b_;
+};
+
+/// The class diagram: owns classes and associations.  Element addresses are
+/// stable for the lifetime of the model (node-based storage), so object
+/// diagrams may hold plain pointers into it.
+class ClassModel {
+ public:
+  explicit ClassModel(std::string name);
+
+  ClassModel(const ClassModel&) = delete;
+  ClassModel& operator=(const ClassModel&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Defines a class; `parent` must belong to this model when given.
+  Class& define_class(std::string name, const Class* parent = nullptr,
+                      bool is_abstract = false);
+
+  /// Defines an association between two classes of this model.
+  Association& define_association(std::string name, const Class& end_a,
+                                  const Class& end_b);
+
+  [[nodiscard]] const Class* find_class(std::string_view name) const noexcept;
+  [[nodiscard]] const Class& get_class(std::string_view name) const;
+  [[nodiscard]] const Association* find_association(std::string_view name) const
+      noexcept;
+  [[nodiscard]] const Association& get_association(std::string_view name) const;
+
+  [[nodiscard]] std::vector<const Class*> classes() const;
+  [[nodiscard]] std::vector<const Association*> associations() const;
+
+  /// Checks well-formedness: every stereotype application is complete (no
+  /// missing mandatory values).  Returns a list of human-readable problems;
+  /// empty means valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Class>, std::less<>> classes_;
+  std::map<std::string, std::unique_ptr<Association>, std::less<>>
+      associations_;
+};
+
+}  // namespace upsim::uml

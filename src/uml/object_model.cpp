@@ -1,0 +1,152 @@
+#include "uml/object_model.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::uml {
+
+InstanceSpecification::InstanceSpecification(std::string name,
+                                             const Class& classifier)
+    : name_(std::move(name)), classifier_(&classifier) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid instance name: '" + name_ + "'");
+  }
+}
+
+Link::Link(std::string name, const Association& association,
+           const InstanceSpecification& end_a,
+           const InstanceSpecification& end_b)
+    : name_(std::move(name)),
+      association_(&association),
+      end_a_(&end_a),
+      end_b_(&end_b) {}
+
+ObjectModel::ObjectModel(std::string name, const ClassModel& classes)
+    : name_(std::move(name)), classes_(&classes) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid object-model name: '" + name_ + "'");
+  }
+}
+
+InstanceSpecification& ObjectModel::instantiate(std::string name,
+                                                const Class& classifier) {
+  if (classes_->find_class(classifier.name()) != &classifier) {
+    throw ModelError("object model '" + name_ + "': class '" +
+                     classifier.name() + "' belongs to a different model");
+  }
+  if (classifier.is_abstract()) {
+    throw ModelError("object model '" + name_ +
+                     "': cannot instantiate abstract class '" +
+                     classifier.name() + "'");
+  }
+  if (instances_.contains(name)) {
+    throw ModelError("object model '" + name_ + "': duplicate instance '" +
+                     name + "'");
+  }
+  auto inst = std::make_unique<InstanceSpecification>(name, classifier);
+  InstanceSpecification& ref = *inst;
+  instances_.emplace(std::move(name), std::move(inst));
+  return ref;
+}
+
+InstanceSpecification& ObjectModel::instantiate(std::string name,
+                                                std::string_view class_name) {
+  return instantiate(std::move(name), classes_->get_class(class_name));
+}
+
+Link& ObjectModel::link(const InstanceSpecification& a,
+                        const InstanceSpecification& b,
+                        const Association& association,
+                        std::string link_name) {
+  if (find_instance(a.name()) != &a || find_instance(b.name()) != &b) {
+    throw ModelError("object model '" + name_ +
+                     "': link endpoint from a different model");
+  }
+  if (&a == &b) {
+    throw ModelError("object model '" + name_ + "': self-link on instance '" +
+                     a.name() + "'");
+  }
+  if (classes_->find_association(association.name()) != &association) {
+    throw ModelError("object model '" + name_ + "': association '" +
+                     association.name() + "' belongs to a different model");
+  }
+  if (!association.admits(a.classifier(), b.classifier())) {
+    throw ModelError("object model '" + name_ + "': association '" +
+                     association.name() + "' (" + association.end_a().name() +
+                     "--" + association.end_b().name() +
+                     ") does not admit link " + a.signature() + " -- " +
+                     b.signature());
+  }
+  if (link_name.empty()) link_name = a.name() + "--" + b.name();
+  if (links_by_name_.contains(link_name)) {
+    throw ModelError("object model '" + name_ + "': duplicate link '" +
+                     link_name + "'");
+  }
+  links_.push_back(std::make_unique<Link>(link_name, association, a, b));
+  links_by_name_.emplace(std::move(link_name), links_.back().get());
+  return *links_.back();
+}
+
+Link& ObjectModel::link(std::string_view instance_a, std::string_view instance_b,
+                        std::string_view association_name,
+                        std::string link_name) {
+  return link(get_instance(instance_a), get_instance(instance_b),
+              classes_->get_association(association_name),
+              std::move(link_name));
+}
+
+const InstanceSpecification* ObjectModel::find_instance(
+    std::string_view name) const noexcept {
+  const auto it = instances_.find(name);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+const InstanceSpecification& ObjectModel::get_instance(
+    std::string_view name) const {
+  const InstanceSpecification* inst = find_instance(name);
+  if (inst == nullptr) {
+    throw NotFoundError("object model '" + name_ + "' has no instance '" +
+                        std::string(name) + "'");
+  }
+  return *inst;
+}
+
+std::vector<const InstanceSpecification*> ObjectModel::instances() const {
+  std::vector<const InstanceSpecification*> out;
+  out.reserve(instances_.size());
+  for (const auto& [_, inst] : instances_) out.push_back(inst.get());
+  return out;
+}
+
+std::vector<const InstanceSpecification*> ObjectModel::instances_of(
+    const Class& cls) const {
+  std::vector<const InstanceSpecification*> out;
+  for (const auto& [_, inst] : instances_) {
+    if (inst->classifier().is_kind_of(cls)) out.push_back(inst.get());
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> ObjectModel::census() const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& [_, inst] : instances_) {
+    ++out[inst->classifier().name()];
+  }
+  return out;
+}
+
+std::vector<std::string> ObjectModel::validate() const {
+  std::vector<std::string> problems = classes_->validate();
+  // Links are validated at construction; re-check here so models mutated
+  // through future APIs still get a full report.
+  for (const auto& l : links_) {
+    if (!l->association().admits(l->end_a().classifier(),
+                                 l->end_b().classifier())) {
+      problems.push_back("link '" + l->name() + "' violates association '" +
+                         l->association().name() + "'");
+    }
+  }
+  return problems;
+}
+
+}  // namespace upsim::uml

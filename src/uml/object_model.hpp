@@ -1,0 +1,148 @@
+// UML object diagram subset: instanceSpecifications and links (Sec. V-A1).
+//
+// An ObjectModel instantiates exactly one ClassModel: every instance names a
+// concrete class, and every link instantiates an association whose ends
+// admit the linked instances' classes.  Because classes carry only static
+// attributes, instances hold no values of their own — "two different
+// instances of the same class have also the same properties" (paper,
+// Sec. V-A1).  The complete network topology (Fig. 9) and every generated
+// UPSIM (Figs. 11/12) are ObjectModels.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uml/class_model.hpp"
+
+namespace upsim::uml {
+
+class ObjectModel;
+
+/// An object: a named instance of a concrete class.
+class InstanceSpecification {
+ public:
+  InstanceSpecification(std::string name, const Class& classifier);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Class& classifier() const noexcept { return *classifier_; }
+
+  /// Static attribute value inherited from the classifier (and its parents).
+  [[nodiscard]] std::optional<Value> static_value(std::string_view attr) const {
+    return classifier_->static_value(attr);
+  }
+
+  /// Stereotype attribute value inherited from the classifier, e.g.
+  /// "MTBF" when the classifier is stereotyped «Component».
+  [[nodiscard]] std::optional<Value> stereotype_value(
+      std::string_view attr) const {
+    return classifier_->stereotype_value(attr);
+  }
+
+  /// "name:Class" rendering used in the paper's object diagrams.
+  [[nodiscard]] std::string signature() const {
+    return name_ + ":" + classifier_->name();
+  }
+
+ private:
+  std::string name_;
+  const Class* classifier_;
+};
+
+/// A link: a named instance of an association between two instances.
+class Link {
+ public:
+  Link(std::string name, const Association& association,
+       const InstanceSpecification& end_a, const InstanceSpecification& end_b);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Association& association() const noexcept {
+    return *association_;
+  }
+  [[nodiscard]] const InstanceSpecification& end_a() const noexcept {
+    return *end_a_;
+  }
+  [[nodiscard]] const InstanceSpecification& end_b() const noexcept {
+    return *end_b_;
+  }
+
+ private:
+  std::string name_;
+  const Association* association_;
+  const InstanceSpecification* end_a_;
+  const InstanceSpecification* end_b_;
+};
+
+/// The object diagram.  Owns instances and links; the referenced ClassModel
+/// must outlive it.
+class ObjectModel {
+ public:
+  ObjectModel(std::string name, const ClassModel& classes);
+
+  ObjectModel(const ObjectModel&) = delete;
+  ObjectModel& operator=(const ObjectModel&) = delete;
+  ObjectModel(ObjectModel&&) = default;
+  ObjectModel& operator=(ObjectModel&&) = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ClassModel& class_model() const noexcept {
+    return *classes_;
+  }
+
+  /// Instantiates `classifier` (must be concrete and belong to the bound
+  /// class model) under a unique instance name.
+  InstanceSpecification& instantiate(std::string name, const Class& classifier);
+  /// Convenience: classifier looked up by name.
+  InstanceSpecification& instantiate(std::string name,
+                                     std::string_view class_name);
+
+  /// Links two instances via `association`; the association's ends must
+  /// admit the instances' classes (in either order).  `link_name` empty
+  /// derives "a--b".
+  Link& link(const InstanceSpecification& a, const InstanceSpecification& b,
+             const Association& association, std::string link_name = {});
+  /// Convenience: everything looked up by name.
+  Link& link(std::string_view instance_a, std::string_view instance_b,
+             std::string_view association_name, std::string link_name = {});
+
+  [[nodiscard]] const InstanceSpecification* find_instance(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const InstanceSpecification& get_instance(
+      std::string_view name) const;
+
+  [[nodiscard]] std::size_t instance_count() const noexcept {
+    return instances_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] std::vector<const InstanceSpecification*> instances() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const
+      noexcept {
+    return links_;
+  }
+
+  /// Instances whose classifier is-a `cls`.
+  [[nodiscard]] std::vector<const InstanceSpecification*> instances_of(
+      const Class& cls) const;
+
+  /// Count of instances per concrete classifier name (report helper).
+  [[nodiscard]] std::map<std::string, std::size_t> census() const;
+
+  /// Well-formedness report; empty means valid.  Includes the underlying
+  /// class-model problems.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  const ClassModel* classes_;
+  std::map<std::string, std::unique_ptr<InstanceSpecification>, std::less<>>
+      instances_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::map<std::string, const Link*, std::less<>> links_by_name_;
+};
+
+}  // namespace upsim::uml

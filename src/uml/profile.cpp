@@ -1,0 +1,112 @@
+#include "uml/profile.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::uml {
+
+Stereotype::Stereotype(std::string name, Metaclass extends,
+                       const Profile* owner, const Stereotype* parent,
+                       bool is_abstract)
+    : name_(std::move(name)),
+      extends_(extends),
+      owner_(owner),
+      parent_(parent),
+      is_abstract_(is_abstract) {}
+
+void Stereotype::declare_attribute(std::string name, ValueType type,
+                                   std::optional<Value> default_value) {
+  if (!util::is_identifier(name)) {
+    throw ModelError("stereotype '" + name_ + "': invalid attribute name '" +
+                     name + "'");
+  }
+  if (find_attribute(name) != nullptr) {
+    throw ModelError("stereotype '" + name_ + "': attribute '" + name +
+                     "' already declared (possibly inherited)");
+  }
+  if (default_value && !default_value->conforms_to(type)) {
+    throw ModelError("stereotype '" + name_ + "': default for '" + name +
+                     "' does not conform to " + std::string(to_string(type)));
+  }
+  attributes_.push_back(AttributeDecl{std::move(name), type,
+                                      std::move(default_value)});
+}
+
+std::vector<AttributeDecl> Stereotype::effective_attributes() const {
+  std::vector<AttributeDecl> out;
+  if (parent_ != nullptr) out = parent_->effective_attributes();
+  out.insert(out.end(), attributes_.begin(), attributes_.end());
+  return out;
+}
+
+const AttributeDecl* Stereotype::find_attribute(std::string_view name) const
+    noexcept {
+  for (const AttributeDecl& a : attributes_) {
+    if (a.name == name) return &a;
+  }
+  return parent_ != nullptr ? parent_->find_attribute(name) : nullptr;
+}
+
+bool Stereotype::is_kind_of(const Stereotype& other) const noexcept {
+  for (const Stereotype* s = this; s != nullptr; s = s->parent_) {
+    if (s == &other) return true;
+  }
+  return false;
+}
+
+Profile::Profile(std::string name) : name_(std::move(name)) {
+  if (!util::is_identifier(name_)) {
+    throw ModelError("invalid profile name: '" + name_ + "'");
+  }
+}
+
+Stereotype& Profile::define(std::string name, Metaclass extends,
+                            const Stereotype* parent, bool is_abstract) {
+  if (!util::is_identifier(name)) {
+    throw ModelError("profile '" + name_ + "': invalid stereotype name '" +
+                     name + "'");
+  }
+  if (stereotypes_.contains(name)) {
+    throw ModelError("profile '" + name_ + "': duplicate stereotype '" + name +
+                     "'");
+  }
+  if (parent != nullptr) {
+    if (&parent->profile() != this) {
+      throw ModelError("profile '" + name_ + "': parent stereotype '" +
+                       parent->name() + "' belongs to a different profile");
+    }
+    if (parent->extends() != extends) {
+      throw ModelError("profile '" + name_ + "': stereotype '" + name +
+                       "' extends " + to_string(extends) + " but parent '" +
+                       parent->name() + "' extends " +
+                       to_string(parent->extends()));
+    }
+  }
+  auto [it, inserted] = stereotypes_.emplace(
+      name, Stereotype(name, extends, this, parent, is_abstract));
+  UPSIM_ASSERT(inserted);
+  return it->second;
+}
+
+const Stereotype* Profile::find(std::string_view name) const noexcept {
+  const auto it = stereotypes_.find(name);
+  return it == stereotypes_.end() ? nullptr : &it->second;
+}
+
+const Stereotype& Profile::get(std::string_view name) const {
+  const Stereotype* s = find(name);
+  if (s == nullptr) {
+    throw NotFoundError("profile '" + name_ + "' has no stereotype '" +
+                        std::string(name) + "'");
+  }
+  return *s;
+}
+
+std::vector<const Stereotype*> Profile::stereotypes() const {
+  std::vector<const Stereotype*> out;
+  out.reserve(stereotypes_.size());
+  for (const auto& [_, s] : stereotypes_) out.push_back(&s);
+  return out;
+}
+
+}  // namespace upsim::uml

@@ -1,0 +1,113 @@
+// UML profiles and stereotypes (Sec. II and Figs. 6/7 of the paper).
+//
+// A Profile owns a set of Stereotypes.  Each stereotype extends exactly one
+// UML metaclass (Class or Association in the subset the methodology uses),
+// may specialise a parent stereotype within the same profile (inheriting its
+// attribute declarations, e.g. Device/Connector inherit Component's MTBF,
+// MTTR and redundantComponents), may be abstract (Computer, Network Device),
+// and declares typed attributes with optional defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uml/value.hpp"
+
+namespace upsim::uml {
+
+/// The UML metaclasses a stereotype can extend in this subset.
+enum class Metaclass { Class, Association };
+
+[[nodiscard]] constexpr const char* to_string(Metaclass m) noexcept {
+  return m == Metaclass::Class ? "Class" : "Association";
+}
+
+/// A typed attribute declared by a stereotype.
+struct AttributeDecl {
+  std::string name;
+  ValueType type = ValueType::Real;
+  std::optional<Value> default_value;  ///< used when an application omits it
+};
+
+class Profile;
+
+class Stereotype {
+ public:
+  Stereotype(std::string name, Metaclass extends, const Profile* owner,
+             const Stereotype* parent, bool is_abstract);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Metaclass extends() const noexcept { return extends_; }
+  [[nodiscard]] const Stereotype* parent() const noexcept { return parent_; }
+  [[nodiscard]] bool is_abstract() const noexcept { return is_abstract_; }
+  [[nodiscard]] const Profile& profile() const noexcept { return *owner_; }
+
+  /// Declares an attribute on this stereotype.  Throws ModelError if the
+  /// name collides with an own or inherited declaration, or if the default
+  /// does not conform to the declared type.
+  void declare_attribute(std::string name, ValueType type,
+                         std::optional<Value> default_value = std::nullopt);
+
+  /// Own declarations only (excludes inherited ones), in declaration order.
+  [[nodiscard]] const std::vector<AttributeDecl>& own_attributes() const
+      noexcept {
+    return attributes_;
+  }
+
+  /// Own plus inherited declarations, base-most first.  This is the full
+  /// attribute set an application of this stereotype must provide values
+  /// for (modulo defaults).
+  [[nodiscard]] std::vector<AttributeDecl> effective_attributes() const;
+
+  /// Finds an (own or inherited) declaration by name.
+  [[nodiscard]] const AttributeDecl* find_attribute(std::string_view name) const
+      noexcept;
+
+  /// True if this stereotype is `other` or specialises it transitively.
+  [[nodiscard]] bool is_kind_of(const Stereotype& other) const noexcept;
+
+ private:
+  std::string name_;
+  Metaclass extends_;
+  const Profile* owner_;
+  const Stereotype* parent_;
+  bool is_abstract_;
+  std::vector<AttributeDecl> attributes_;
+};
+
+/// A named collection of stereotypes, mirroring a UML profile package.
+/// Stereotypes are owned by the profile and referenced by stable pointer;
+/// a Profile must therefore outlive any model that applies it.
+class Profile {
+ public:
+  explicit Profile(std::string name);
+
+  Profile(const Profile&) = delete;
+  Profile& operator=(const Profile&) = delete;
+  Profile(Profile&&) = delete;
+  Profile& operator=(Profile&&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Defines a stereotype.  `parent`, when given, must already belong to
+  /// this profile and extend the same metaclass.  Throws ModelError on
+  /// duplicates or cross-metaclass specialisation.
+  Stereotype& define(std::string name, Metaclass extends,
+                     const Stereotype* parent = nullptr,
+                     bool is_abstract = false);
+
+  [[nodiscard]] const Stereotype* find(std::string_view name) const noexcept;
+  [[nodiscard]] const Stereotype& get(std::string_view name) const;
+  [[nodiscard]] std::vector<const Stereotype*> stereotypes() const;
+
+ private:
+  std::string name_;
+  // std::map keeps iteration deterministic; node-based so Stereotype
+  // addresses stay stable across inserts.
+  std::map<std::string, Stereotype, std::less<>> stereotypes_;
+};
+
+}  // namespace upsim::uml

@@ -1,0 +1,17 @@
+#include "uml/value.hpp"
+
+#include "util/strings.hpp"
+
+namespace upsim::uml {
+
+std::string Value::to_text() const {
+  switch (type()) {
+    case ValueType::Real: return util::format_sig(as_real(), 10);
+    case ValueType::Integer: return std::to_string(as_integer());
+    case ValueType::String: return as_string();
+    case ValueType::Boolean: return as_boolean() ? "true" : "false";
+  }
+  return "?";
+}
+
+}  // namespace upsim::uml

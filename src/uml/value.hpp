@@ -1,0 +1,92 @@
+// Typed attribute values for UML stereotype and class attributes.
+//
+// The paper's profiles use Real (MTBF, MTTR, throughput), Integer
+// (redundantComponents), String (manufacturer, model, channel) and Boolean
+// attributes; this variant covers exactly those.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace upsim::uml {
+
+enum class ValueType { Real, Integer, String, Boolean };
+
+[[nodiscard]] constexpr const char* to_string(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::Real: return "Real";
+    case ValueType::Integer: return "Integer";
+    case ValueType::String: return "String";
+    case ValueType::Boolean: return "Boolean";
+  }
+  return "?";
+}
+
+/// A UML attribute value.  Construction is implicit from the natural C++
+/// types; typed access throws ModelError on mismatch so profile violations
+/// surface with context instead of silently coercing.
+class Value {
+ public:
+  Value() : data_(0.0) {}
+  Value(double v) : data_(v) {}                       // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v) : data_(v) {}                 // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}       // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}     // NOLINT(google-explicit-constructor)
+  Value(bool v) : data_(v) {}                         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] ValueType type() const noexcept {
+    switch (data_.index()) {
+      case 0: return ValueType::Real;
+      case 1: return ValueType::Integer;
+      case 2: return ValueType::String;
+      default: return ValueType::Boolean;
+    }
+  }
+
+  [[nodiscard]] double as_real() const {
+    if (const auto* d = std::get_if<double>(&data_)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+      return static_cast<double>(*i);  // Integer widens to Real
+    }
+    throw ModelError("attribute value is not numeric");
+  }
+
+  [[nodiscard]] std::int64_t as_integer() const {
+    if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+    throw ModelError("attribute value is not an Integer");
+  }
+
+  [[nodiscard]] const std::string& as_string() const {
+    if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+    throw ModelError("attribute value is not a String");
+  }
+
+  [[nodiscard]] bool as_boolean() const {
+    if (const auto* b = std::get_if<bool>(&data_)) return *b;
+    throw ModelError("attribute value is not a Boolean");
+  }
+
+  /// True if this value can be assigned to an attribute declared with type
+  /// `declared` (Integer is assignable to Real).
+  [[nodiscard]] bool conforms_to(ValueType declared) const noexcept {
+    const ValueType t = type();
+    if (t == declared) return true;
+    return declared == ValueType::Real && t == ValueType::Integer;
+  }
+
+  /// Human-readable rendering for reports and error messages.
+  [[nodiscard]] std::string to_text() const;
+
+  [[nodiscard]] bool operator==(const Value& other) const noexcept {
+    return data_ == other.data_;
+  }
+
+ private:
+  std::variant<double, std::int64_t, std::string, bool> data_;
+};
+
+}  // namespace upsim::uml

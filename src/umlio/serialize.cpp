@@ -1,0 +1,447 @@
+#include "umlio/serialize.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+
+namespace upsim::umlio {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value encoding
+
+const char* type_name(uml::ValueType t) { return uml::to_string(t); }
+
+uml::ValueType type_from(const std::string& name) {
+  if (name == "Real") return uml::ValueType::Real;
+  if (name == "Integer") return uml::ValueType::Integer;
+  if (name == "String") return uml::ValueType::String;
+  if (name == "Boolean") return uml::ValueType::Boolean;
+  throw ModelError("umlio: unknown value type '" + name + "'");
+}
+
+std::string value_text(const uml::Value& v) {
+  switch (v.type()) {
+    case uml::ValueType::Real: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_real());
+      return buf;
+    }
+    default:
+      return v.to_text();
+  }
+}
+
+uml::Value value_from(uml::ValueType type, const std::string& text) {
+  try {
+    switch (type) {
+      case uml::ValueType::Real: return uml::Value(std::stod(text));
+      case uml::ValueType::Integer:
+        return uml::Value(static_cast<std::int64_t>(std::stoll(text)));
+      case uml::ValueType::String: return uml::Value(text);
+      case uml::ValueType::Boolean:
+        if (text == "true") return uml::Value(true);
+        if (text == "false") return uml::Value(false);
+        throw ModelError("umlio: boolean value must be true/false, got '" +
+                         text + "'");
+    }
+  } catch (const std::invalid_argument&) {
+    throw ModelError("umlio: cannot parse '" + text + "' as " +
+                     type_name(type));
+  } catch (const std::out_of_range&) {
+    throw ModelError("umlio: value '" + text + "' out of range for " +
+                     type_name(type));
+  }
+  throw InvariantError("unreachable value type");
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+
+void write_applications(xml::Element& parent,
+                        const uml::StereotypedElement& element) {
+  for (const uml::StereotypeApplication& app : element.applications()) {
+    xml::Element& apply = parent.append_child("apply");
+    apply.set_attribute("stereotype", app.stereotype().profile().name() + "." +
+                                          app.stereotype().name());
+    for (const uml::AttributeDecl& decl :
+         app.stereotype().effective_attributes()) {
+      const auto value = app.value(decl.name);
+      if (!value) continue;
+      xml::Element& set = apply.append_child("set");
+      set.set_attribute("name", decl.name);
+      set.set_attribute("type", type_name(value->type()));
+      set.set_attribute("value", value_text(*value));
+    }
+  }
+}
+
+void write_profile(xml::Element& root, const uml::Profile& profile) {
+  xml::Element& p = root.append_child("profile");
+  p.set_attribute("name", profile.name());
+  for (const uml::Stereotype* s : profile.stereotypes()) {
+    xml::Element& st = p.append_child("stereotype");
+    st.set_attribute("name", s->name());
+    st.set_attribute("extends", uml::to_string(s->extends()));
+    if (s->is_abstract()) st.set_attribute("abstract", "true");
+    if (s->parent() != nullptr) st.set_attribute("parent", s->parent()->name());
+    for (const uml::AttributeDecl& decl : s->own_attributes()) {
+      xml::Element& attr = st.append_child("attribute");
+      attr.set_attribute("name", decl.name);
+      attr.set_attribute("type", type_name(decl.type));
+      if (decl.default_value) {
+        attr.set_attribute("default", value_text(*decl.default_value));
+      }
+    }
+  }
+}
+
+void write_class_model(xml::Element& root, const uml::ClassModel& classes) {
+  xml::Element& cm = root.append_child("classmodel");
+  cm.set_attribute("name", classes.name());
+  for (const uml::Class* cls : classes.classes()) {
+    xml::Element& c = cm.append_child("class");
+    c.set_attribute("name", cls->name());
+    if (cls->is_abstract()) c.set_attribute("abstract", "true");
+    if (cls->parent() != nullptr) {
+      c.set_attribute("parent", cls->parent()->name());
+    }
+    for (const auto& [name, value] : cls->own_statics()) {
+      xml::Element& st = c.append_child("static");
+      st.set_attribute("name", name);
+      st.set_attribute("type", type_name(value.type()));
+      st.set_attribute("value", value_text(value));
+    }
+    write_applications(c, *cls);
+  }
+  for (const uml::Association* assoc : classes.associations()) {
+    xml::Element& a = cm.append_child("association");
+    a.set_attribute("name", assoc->name());
+    a.set_attribute("endA", assoc->end_a().name());
+    a.set_attribute("endB", assoc->end_b().name());
+    write_applications(a, *assoc);
+  }
+}
+
+void write_object_model(xml::Element& root, const uml::ObjectModel& objects) {
+  xml::Element& om = root.append_child("objectmodel");
+  om.set_attribute("name", objects.name());
+  for (const uml::InstanceSpecification* inst : objects.instances()) {
+    xml::Element& i = om.append_child("instance");
+    i.set_attribute("name", inst->name());
+    i.set_attribute("class", inst->classifier().name());
+  }
+  for (const auto& link : objects.links()) {
+    xml::Element& l = om.append_child("link");
+    l.set_attribute("name", link->name());
+    l.set_attribute("a", link->end_a().name());
+    l.set_attribute("b", link->end_b().name());
+    l.set_attribute("association", link->association().name());
+  }
+}
+
+void write_services(xml::Element& root,
+                    const service::ServiceCatalog& services) {
+  xml::Element& sv = root.append_child("services");
+  for (const service::AtomicService* atomic : services.atomics()) {
+    xml::Element& a = sv.append_child("atomic");
+    a.set_attribute("name", atomic->name());
+    if (!atomic->description().empty()) {
+      a.set_attribute("description", atomic->description());
+    }
+  }
+  for (const service::CompositeService* composite : services.composites()) {
+    xml::Element& c = sv.append_child("composite");
+    c.set_attribute("name", composite->name());
+    const uml::Activity& activity = composite->activity();
+    c.set_attribute("activity", activity.name());
+    for (std::size_t i = 0; i < activity.node_count(); ++i) {
+      const auto id = uml::ActivityNodeId{static_cast<std::uint32_t>(i)};
+      const uml::ActivityNode& node = activity.node(id);
+      xml::Element& n = c.append_child("node");
+      n.set_attribute("id", std::to_string(i));
+      n.set_attribute("kind", uml::to_string(node.kind));
+      n.set_attribute("name", node.name);
+    }
+    for (std::size_t i = 0; i < activity.node_count(); ++i) {
+      const auto id = uml::ActivityNodeId{static_cast<std::uint32_t>(i)};
+      for (const uml::ActivityNodeId succ : activity.successors(id)) {
+        xml::Element& f = c.append_child("flow");
+        f.set_attribute("from", std::to_string(i));
+        f.set_attribute("to", std::to_string(uml::index(succ)));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialisation
+
+/// Orders elements so that every "parent" reference points at an earlier
+/// element; throws on cycles or unknown parents.
+std::vector<const xml::Element*> parent_order(
+    const std::vector<const xml::Element*>& elements, const char* what) {
+  std::map<std::string, const xml::Element*> by_name;
+  for (const xml::Element* e : elements) {
+    const std::string& name = e->required_attribute("name");
+    if (!by_name.emplace(name, e).second) {
+      throw ModelError(std::string("umlio: duplicate ") + what + " '" + name +
+                       "'");
+    }
+  }
+  std::vector<const xml::Element*> ordered;
+  std::set<std::string> done;
+  std::set<std::string> in_progress;
+  std::function<void(const xml::Element*)> visit =
+      [&](const xml::Element* e) {
+        const std::string& name = e->required_attribute("name");
+        if (done.contains(name)) return;
+        if (!in_progress.insert(name).second) {
+          throw ModelError(std::string("umlio: cyclic ") + what +
+                           " inheritance involving '" + name + "'");
+        }
+        if (const auto parent = e->attribute("parent")) {
+          const auto it = by_name.find(std::string(*parent));
+          if (it == by_name.end()) {
+            throw ModelError(std::string("umlio: ") + what + " '" + name +
+                             "' names unknown parent '" + std::string(*parent) +
+                             "'");
+          }
+          visit(it->second);
+        }
+        in_progress.erase(name);
+        done.insert(name);
+        ordered.push_back(e);
+      };
+  for (const xml::Element* e : elements) visit(e);
+  return ordered;
+}
+
+std::unique_ptr<uml::Profile> read_profile(const xml::Element& p) {
+  auto profile = std::make_unique<uml::Profile>(p.required_attribute("name"));
+  for (const xml::Element* st :
+       parent_order(p.children_named("stereotype"), "stereotype")) {
+    const std::string& name = st->required_attribute("name");
+    const std::string& extends = st->required_attribute("extends");
+    uml::Metaclass metaclass;
+    if (extends == "Class") {
+      metaclass = uml::Metaclass::Class;
+    } else if (extends == "Association") {
+      metaclass = uml::Metaclass::Association;
+    } else {
+      throw ModelError("umlio: stereotype '" + name +
+                       "' extends unknown metaclass '" + extends + "'");
+    }
+    const uml::Stereotype* parent = nullptr;
+    if (const auto parent_name = st->attribute("parent")) {
+      parent = &profile->get(*parent_name);
+    }
+    const bool is_abstract = st->attribute("abstract") == "true";
+    uml::Stereotype& stereotype =
+        profile->define(name, metaclass, parent, is_abstract);
+    for (const xml::Element* attr : st->children_named("attribute")) {
+      const uml::ValueType type = type_from(attr->required_attribute("type"));
+      std::optional<uml::Value> default_value;
+      if (const auto d = attr->attribute("default")) {
+        default_value = value_from(type, std::string(*d));
+      }
+      stereotype.declare_attribute(attr->required_attribute("name"), type,
+                                   std::move(default_value));
+    }
+  }
+  return profile;
+}
+
+const uml::Stereotype& resolve_stereotype(const UmlBundle& bundle,
+                                          const std::string& qualified) {
+  const auto dot = qualified.find('.');
+  if (dot == std::string::npos) {
+    throw ModelError("umlio: stereotype reference '" + qualified +
+                     "' must be profile-qualified (profile.Stereotype)");
+  }
+  return bundle.profile(qualified.substr(0, dot)).get(qualified.substr(dot + 1));
+}
+
+void read_applications(const UmlBundle& bundle, const xml::Element& parent,
+                       uml::StereotypedElement& element) {
+  for (const xml::Element* apply : parent.children_named("apply")) {
+    const uml::Stereotype& stereotype =
+        resolve_stereotype(bundle, apply->required_attribute("stereotype"));
+    uml::StereotypeApplication& app = element.apply(stereotype);
+    for (const xml::Element* set : apply->children_named("set")) {
+      const uml::ValueType type = type_from(set->required_attribute("type"));
+      app.set(set->required_attribute("name"),
+              value_from(type, set->required_attribute("value")));
+    }
+  }
+}
+
+std::unique_ptr<uml::ClassModel> read_class_model(const UmlBundle& bundle,
+                                                  const xml::Element& cm) {
+  auto classes =
+      std::make_unique<uml::ClassModel>(cm.required_attribute("name"));
+  for (const xml::Element* c :
+       parent_order(cm.children_named("class"), "class")) {
+    const uml::Class* parent = nullptr;
+    if (const auto parent_name = c->attribute("parent")) {
+      parent = &classes->get_class(*parent_name);
+    }
+    uml::Class& cls =
+        classes->define_class(c->required_attribute("name"), parent,
+                              c->attribute("abstract") == "true");
+    for (const xml::Element* st : c->children_named("static")) {
+      const uml::ValueType type = type_from(st->required_attribute("type"));
+      cls.set_static(st->required_attribute("name"),
+                     value_from(type, st->required_attribute("value")));
+    }
+    read_applications(bundle, *c, cls);
+  }
+  for (const xml::Element* a : cm.children_named("association")) {
+    uml::Association& assoc = classes->define_association(
+        a->required_attribute("name"),
+        classes->get_class(a->required_attribute("endA")),
+        classes->get_class(a->required_attribute("endB")));
+    read_applications(bundle, *a, assoc);
+  }
+  return classes;
+}
+
+std::unique_ptr<uml::ObjectModel> read_object_model(
+    const uml::ClassModel& classes, const xml::Element& om) {
+  auto objects = std::make_unique<uml::ObjectModel>(
+      om.required_attribute("name"), classes);
+  for (const xml::Element* i : om.children_named("instance")) {
+    objects->instantiate(i->required_attribute("name"),
+                         i->required_attribute("class"));
+  }
+  for (const xml::Element* l : om.children_named("link")) {
+    objects->link(l->required_attribute("a"), l->required_attribute("b"),
+                  l->required_attribute("association"),
+                  std::string(l->attribute("name").value_or("")));
+  }
+  return objects;
+}
+
+std::unique_ptr<service::ServiceCatalog> read_services(const xml::Element& sv) {
+  auto services = std::make_unique<service::ServiceCatalog>();
+  for (const xml::Element* a : sv.children_named("atomic")) {
+    services->define_atomic(
+        a->required_attribute("name"),
+        std::string(a->attribute("description").value_or("")));
+  }
+  for (const xml::Element* c : sv.children_named("composite")) {
+    const std::string& name = c->required_attribute("name");
+    uml::Activity activity(
+        std::string(c->attribute("activity").value_or(name + "_flow")));
+    std::map<std::string, uml::ActivityNodeId> node_by_id;
+    for (const xml::Element* n : c->children_named("node")) {
+      const std::string& kind = n->required_attribute("kind");
+      const std::string& node_name = n->required_attribute("name");
+      uml::ActivityNodeId id;
+      if (kind == "initial") {
+        id = activity.add_initial(node_name);
+      } else if (kind == "final") {
+        id = activity.add_final(node_name);
+      } else if (kind == "action") {
+        id = activity.add_action(node_name);
+      } else if (kind == "fork") {
+        id = activity.add_fork(node_name);
+      } else if (kind == "join") {
+        id = activity.add_join(node_name);
+      } else {
+        throw ModelError("umlio: composite '" + name +
+                         "': unknown node kind '" + kind + "'");
+      }
+      if (!node_by_id.emplace(n->required_attribute("id"), id).second) {
+        throw ModelError("umlio: composite '" + name + "': duplicate node id");
+      }
+    }
+    for (const xml::Element* f : c->children_named("flow")) {
+      const auto from = node_by_id.find(f->required_attribute("from"));
+      const auto to = node_by_id.find(f->required_attribute("to"));
+      if (from == node_by_id.end() || to == node_by_id.end()) {
+        throw ModelError("umlio: composite '" + name +
+                         "': flow references unknown node id");
+      }
+      activity.flow(from->second, to->second);
+    }
+    services->define_composite(name, std::move(activity));
+  }
+  return services;
+}
+
+}  // namespace
+
+const uml::Profile& UmlBundle::profile(std::string_view name) const {
+  for (const auto& p : profiles) {
+    if (p->name() == name) return *p;
+  }
+  throw NotFoundError("bundle has no profile '" + std::string(name) + "'");
+}
+
+std::string to_xml(const UmlBundle& bundle) {
+  auto root = std::make_unique<xml::Element>("umlbundle");
+  for (const auto& profile : bundle.profiles) {
+    write_profile(*root, *profile);
+  }
+  if (bundle.classes != nullptr) write_class_model(*root, *bundle.classes);
+  if (bundle.objects != nullptr) write_object_model(*root, *bundle.objects);
+  if (bundle.services != nullptr) write_services(*root, *bundle.services);
+  return xml::Document(std::move(root)).to_string();
+}
+
+UmlBundle from_xml(std::string_view xml_text) {
+  const xml::Document doc = xml::parse(xml_text);
+  const xml::Element& root = doc.root();
+  if (root.name() != "umlbundle") {
+    throw ModelError("umlio: expected <umlbundle> root, got <" + root.name() +
+                     ">");
+  }
+  UmlBundle bundle;
+  for (const xml::Element* p : root.children_named("profile")) {
+    bundle.profiles.push_back(read_profile(*p));
+  }
+  const auto class_models = root.children_named("classmodel");
+  if (class_models.size() > 1) {
+    throw ModelError("umlio: at most one <classmodel> per bundle");
+  }
+  if (!class_models.empty()) {
+    bundle.classes = read_class_model(bundle, *class_models[0]);
+  }
+  const auto object_models = root.children_named("objectmodel");
+  if (object_models.size() > 1) {
+    throw ModelError("umlio: at most one <objectmodel> per bundle");
+  }
+  if (!object_models.empty()) {
+    if (bundle.classes == nullptr) {
+      throw ModelError("umlio: <objectmodel> requires a <classmodel>");
+    }
+    bundle.objects = read_object_model(*bundle.classes, *object_models[0]);
+  }
+  if (const xml::Element* sv = root.first_child("services")) {
+    bundle.services = read_services(*sv);
+  }
+  return bundle;
+}
+
+void save_bundle(const UmlBundle& bundle, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("umlio: cannot write file: " + path);
+  out << to_xml(bundle);
+}
+
+UmlBundle load_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("umlio: cannot read file: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return from_xml(content);
+}
+
+}  // namespace upsim::umlio

@@ -1,0 +1,75 @@
+// XML (de)serialisation of the UML layer: profiles, class diagrams, object
+// diagrams, activities and service catalogs.
+//
+// The paper's tool-chain stores models as Eclipse/Papyrus XMI; this module
+// provides the equivalent persistent form for upsim so the whole pipeline
+// can be driven from files (see examples/upsim_cli.cpp):
+//
+//   <umlbundle>
+//     <profile name="availability">
+//       <stereotype name="Component" extends="Class" abstract="true">
+//         <attribute name="MTBF" type="Real"/>
+//         <attribute name="redundantComponents" type="Integer" default="0"/>
+//       </stereotype>
+//       <stereotype name="Device" extends="Class" parent="Component"/>
+//     </profile>
+//     <classmodel name="usi_classes">
+//       <class name="C6500">
+//         <apply stereotype="availability.Device">
+//           <set name="MTBF" type="Real" value="183498"/>
+//         </apply>
+//       </class>
+//       <association name="trunk" endA="C6500" endB="C6500"/>
+//     </classmodel>
+//     <objectmodel name="usi_network">
+//       <instance name="c1" class="C6500"/>
+//       <link a="c1" b="c2" association="trunk" name="c1--c2"/>
+//     </objectmodel>
+//     <services>
+//       <atomic name="request_printing" description="..."/>
+//       <composite name="printing">
+//         <node id="0" kind="initial" name="initial"/>
+//         <node id="1" kind="action" name="request_printing"/>
+//         <flow from="0" to="1"/>
+//       </composite>
+//     </services>
+//   </umlbundle>
+//
+// Forward references are allowed (a class may name a parent defined later);
+// the loader resolves them iteratively and reports cycles.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+#include "uml/object_model.hpp"
+#include "uml/profile.hpp"
+
+namespace upsim::umlio {
+
+/// Everything one bundle file can hold, owned in dependency order so the
+/// struct can be moved around as a unit.
+struct UmlBundle {
+  std::vector<std::unique_ptr<uml::Profile>> profiles;
+  std::unique_ptr<uml::ClassModel> classes;        ///< may be null
+  std::unique_ptr<uml::ObjectModel> objects;       ///< may be null
+  std::unique_ptr<service::ServiceCatalog> services;  ///< may be null
+
+  [[nodiscard]] const uml::Profile& profile(std::string_view name) const;
+};
+
+/// Serialises a bundle (null members are simply omitted).
+[[nodiscard]] std::string to_xml(const UmlBundle& bundle);
+
+/// Parses a bundle.  Throws ParseError on syntax errors and ModelError on
+/// semantic ones (unknown references, duplicate names, cyclic inheritance,
+/// value/type mismatches...).
+[[nodiscard]] UmlBundle from_xml(std::string_view xml_text);
+
+/// File convenience wrappers.
+void save_bundle(const UmlBundle& bundle, const std::string& path);
+[[nodiscard]] UmlBundle load_bundle(const std::string& path);
+
+}  // namespace upsim::umlio

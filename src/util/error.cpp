@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace upsim::detail {
+
+void throw_invariant_failure(std::string_view expr, std::string_view file,
+                             int line) {
+  throw InvariantError("invariant violated: " + std::string(expr) + " at " +
+                       std::string(file) + ":" + std::to_string(line));
+}
+
+}  // namespace upsim::detail

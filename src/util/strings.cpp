@@ -1,0 +1,69 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace upsim::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool is_identifier(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const auto head = static_cast<unsigned char>(name.front());
+  if (std::isalpha(head) == 0 && head != '_') return false;
+  for (char c : name.substr(1)) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) == 0 && c != '_' && c != '.' && c != '-') return false;
+  }
+  return true;
+}
+
+std::string format_sig(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+}  // namespace upsim::util

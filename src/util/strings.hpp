@@ -1,0 +1,39 @@
+// Small string utilities used throughout the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::util {
+
+/// Splits `s` on `sep`, keeping empty fields.  split("a..b", '.') yields
+/// {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// True if `s` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view s,
+                             std::string_view suffix) noexcept;
+
+/// ASCII lower-casing (model identifiers are ASCII by construction).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `name` is a valid upsim identifier: [A-Za-z_][A-Za-z0-9_.-]*.
+/// Identifiers name model elements (components, services, classes).
+[[nodiscard]] bool is_identifier(std::string_view name) noexcept;
+
+/// Formats a double with `digits` significant digits (for report tables).
+[[nodiscard]] std::string format_sig(double v, int digits);
+
+}  // namespace upsim::util

@@ -1,0 +1,33 @@
+// Plain-text table rendering for the experiment report binaries.
+//
+// The benchmarks that regenerate the paper's tables print through this so
+// all reports share one format (aligned columns, `|` separators, a rule
+// under the header row — close to the paper's Table I layout).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace upsim::util {
+
+class TextTable {
+ public:
+  /// Creates a table with the given header row; every subsequent row must
+  /// have the same number of cells.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row.  Throws ModelError on column-count mismatch.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table; `indent` spaces prefix every line.
+  [[nodiscard]] std::string render(std::size_t indent = 0) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace upsim::util

@@ -1,0 +1,67 @@
+// A fixed-size work-stealing-free thread pool with a future-based submit API.
+//
+// Used by pathdisc (parallel multi-pair discovery) and depend (parallel
+// Monte-Carlo sampling).  Tasks must not block on other tasks submitted to
+// the same pool (no nested dependency support); all upsim uses are flat
+// fan-out/fan-in, which this covers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace upsim::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues `fn(args...)` and returns a future for its result.
+  template <typename Fn, typename... Args>
+  [[nodiscard]] auto submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using R = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<Fn>(fn),
+         ... a = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(f), std::move(a)...);
+        });
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace upsim::util

@@ -1,0 +1,276 @@
+#include "vpm/model_space.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::vpm {
+
+ModelSpace::ModelSpace() {
+  entities_.push_back(Entity{});  // the root: empty name, its own parent
+  live_entities_ = 1;
+}
+
+const ModelSpace::Entity& ModelSpace::entity_ref(EntityId e) const {
+  if (index(e) >= entities_.size() || !entities_[index(e)].alive) {
+    throw NotFoundError("model space: dead or unknown entity id " +
+                        std::to_string(index(e)));
+  }
+  return entities_[index(e)];
+}
+
+ModelSpace::Entity& ModelSpace::entity_ref(EntityId e) {
+  return const_cast<Entity&>(
+      static_cast<const ModelSpace*>(this)->entity_ref(e));
+}
+
+const ModelSpace::Relation& ModelSpace::relation_ref(RelationId r) const {
+  if (index(r) >= relations_.size() || !relations_[index(r)].alive) {
+    throw NotFoundError("model space: dead or unknown relation id " +
+                        std::to_string(index(r)));
+  }
+  return relations_[index(r)];
+}
+
+EntityId ModelSpace::create_entity(EntityId parent, std::string name) {
+  Entity& p = entity_ref(parent);
+  if (!util::is_identifier(name)) {
+    throw ModelError("model space: invalid entity name '" + name + "'");
+  }
+  if (p.children.contains(name)) {
+    throw ModelError("model space: '" + fqn(parent) +
+                     "' already has a child named '" + name + "'");
+  }
+  const auto id = EntityId{static_cast<std::uint32_t>(entities_.size())};
+  Entity e;
+  e.name = name;
+  e.parent = parent;
+  entities_.push_back(std::move(e));
+  entities_[index(parent)].children.emplace(std::move(name), id);
+  ++live_entities_;
+  return id;
+}
+
+EntityId ModelSpace::ensure_entity(EntityId parent, std::string name) {
+  const Entity& p = entity_ref(parent);
+  const auto it = p.children.find(name);
+  if (it != p.children.end()) return it->second;
+  return create_entity(parent, std::move(name));
+}
+
+EntityId ModelSpace::ensure_path(std::string_view dotted_fqn) {
+  EntityId cur = kRoot;
+  for (const std::string& segment : util::split(dotted_fqn, '.')) {
+    cur = ensure_entity(cur, segment);
+  }
+  return cur;
+}
+
+void ModelSpace::delete_entity(EntityId e) {
+  if (e == kRoot) throw ModelError("model space: cannot delete the root");
+  Entity& victim = entity_ref(e);
+  // Collect the subtree.
+  std::vector<EntityId> subtree;
+  std::deque<EntityId> queue{e};
+  while (!queue.empty()) {
+    const EntityId v = queue.front();
+    queue.pop_front();
+    subtree.push_back(v);
+    for (const auto& [_, c] : entities_[index(v)].children) queue.push_back(c);
+  }
+  // Kill incident relations first.
+  for (const EntityId v : subtree) {
+    Entity& ent = entities_[index(v)];
+    for (const RelationId r : ent.out) {
+      if (relations_[index(r)].alive) delete_relation(r);
+    }
+    for (const RelationId r : ent.in) {
+      if (relations_[index(r)].alive) delete_relation(r);
+    }
+  }
+  // Unhook from the parent, then mark the subtree dead.
+  entities_[index(victim.parent)].children.erase(victim.name);
+  for (const EntityId v : subtree) {
+    entities_[index(v)].alive = false;
+    --live_entities_;
+  }
+}
+
+bool ModelSpace::is_alive(EntityId e) const noexcept {
+  return index(e) < entities_.size() && entities_[index(e)].alive;
+}
+
+const std::string& ModelSpace::name(EntityId e) const {
+  return entity_ref(e).name;
+}
+
+std::string ModelSpace::fqn(EntityId e) const {
+  const Entity& ent = entity_ref(e);
+  if (e == kRoot) return "";
+  if (ent.parent == kRoot) return ent.name;
+  return fqn(ent.parent) + "." + ent.name;
+}
+
+EntityId ModelSpace::parent(EntityId e) const { return entity_ref(e).parent; }
+
+std::vector<EntityId> ModelSpace::children(EntityId e) const {
+  const Entity& ent = entity_ref(e);
+  std::vector<EntityId> out;
+  out.reserve(ent.children.size());
+  for (const auto& [_, c] : ent.children) out.push_back(c);
+  return out;
+}
+
+std::optional<EntityId> ModelSpace::child(EntityId e,
+                                          std::string_view name) const {
+  const Entity& ent = entity_ref(e);
+  const auto it = ent.children.find(name);
+  if (it == ent.children.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EntityId> ModelSpace::find(std::string_view dotted_fqn) const {
+  EntityId cur = kRoot;
+  if (dotted_fqn.empty()) return cur;
+  for (const std::string& segment : util::split(dotted_fqn, '.')) {
+    const auto next = child(cur, segment);
+    if (!next) return std::nullopt;
+    cur = *next;
+  }
+  return cur;
+}
+
+EntityId ModelSpace::get(std::string_view dotted_fqn) const {
+  const auto e = find(dotted_fqn);
+  if (!e) {
+    throw NotFoundError("model space: no entity at '" +
+                        std::string(dotted_fqn) + "'");
+  }
+  return *e;
+}
+
+void ModelSpace::set_value(EntityId e, std::string value) {
+  entity_ref(e).value = std::move(value);
+}
+
+const std::string& ModelSpace::value(EntityId e) const {
+  return entity_ref(e).value;
+}
+
+void ModelSpace::set_instance_of(EntityId instance, EntityId type) {
+  Entity& inst = entity_ref(instance);
+  (void)entity_ref(type);  // liveness check
+  if (std::find(inst.types.begin(), inst.types.end(), type) ==
+      inst.types.end()) {
+    inst.types.push_back(type);
+  }
+}
+
+const std::vector<EntityId>& ModelSpace::types_of(EntityId e) const {
+  return entity_ref(e).types;
+}
+
+bool ModelSpace::is_instance_of(EntityId e, EntityId type) const {
+  const auto& types = entity_ref(e).types;
+  return std::find(types.begin(), types.end(), type) != types.end();
+}
+
+std::vector<EntityId> ModelSpace::instances_of(EntityId type) const {
+  (void)entity_ref(type);
+  std::vector<EntityId> out;
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    const Entity& ent = entities_[i];
+    if (!ent.alive) continue;
+    if (std::find(ent.types.begin(), ent.types.end(), type) !=
+        ent.types.end()) {
+      out.push_back(EntityId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  return out;
+}
+
+RelationId ModelSpace::create_relation(std::string name, EntityId src,
+                                       EntityId trg) {
+  (void)entity_ref(src);
+  (void)entity_ref(trg);
+  if (!util::is_identifier(name)) {
+    throw ModelError("model space: invalid relation name '" + name + "'");
+  }
+  const auto id = RelationId{static_cast<std::uint32_t>(relations_.size())};
+  relations_.push_back(Relation{std::move(name), src, trg, true});
+  entities_[index(src)].out.push_back(id);
+  entities_[index(trg)].in.push_back(id);
+  ++live_relations_;
+  return id;
+}
+
+bool ModelSpace::relation_alive(RelationId r) const noexcept {
+  return index(r) < relations_.size() && relations_[index(r)].alive;
+}
+
+const std::string& ModelSpace::relation_name(RelationId r) const {
+  return relation_ref(r).name;
+}
+
+EntityId ModelSpace::source(RelationId r) const { return relation_ref(r).src; }
+
+EntityId ModelSpace::target(RelationId r) const { return relation_ref(r).trg; }
+
+std::vector<RelationId> ModelSpace::relations_from(
+    EntityId e, std::string_view name) const {
+  const Entity& ent = entity_ref(e);
+  std::vector<RelationId> out;
+  for (const RelationId r : ent.out) {
+    const Relation& rel = relations_[index(r)];
+    if (rel.alive && (name.empty() || rel.name == name)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RelationId> ModelSpace::relations_to(EntityId e,
+                                                 std::string_view name) const {
+  const Entity& ent = entity_ref(e);
+  std::vector<RelationId> out;
+  for (const RelationId r : ent.in) {
+    const Relation& rel = relations_[index(r)];
+    if (rel.alive && (name.empty() || rel.name == name)) out.push_back(r);
+  }
+  return out;
+}
+
+void ModelSpace::delete_relation(RelationId r) {
+  Relation& rel = const_cast<Relation&>(relation_ref(r));
+  rel.alive = false;
+  --live_relations_;
+}
+
+std::size_t ModelSpace::entity_count() const noexcept { return live_entities_; }
+
+std::size_t ModelSpace::relation_count() const noexcept {
+  return live_relations_;
+}
+
+void ModelSpace::dump_rec(EntityId e, std::size_t depth,
+                          std::string& out) const {
+  const Entity& ent = entities_[index(e)];
+  out += std::string(depth * 2, ' ');
+  out += e == kRoot ? "<root>" : ent.name;
+  if (!ent.value.empty()) out += " = \"" + ent.value + "\"";
+  if (!ent.types.empty()) {
+    out += " :";
+    for (const EntityId t : ent.types) out += " " + fqn(t);
+  }
+  out += "\n";
+  for (const auto& [_, c] : ent.children) dump_rec(c, depth + 1, out);
+}
+
+std::string ModelSpace::dump(EntityId e) const {
+  (void)entity_ref(e);
+  std::string out;
+  dump_rec(e, 0, out);
+  return out;
+}
+
+}  // namespace upsim::vpm

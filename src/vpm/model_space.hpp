@@ -1,0 +1,138 @@
+// A Visual-and-Precise-Metamodeling (VPM) style model space, after the
+// VIATRA2 framework the paper builds on (Sec. V-C).
+//
+// The model space is a containment tree of *entities* plus a set of typed,
+// directed *relations* between entities.  Both entities and relations can be
+// declared instances of other entities/relations ("instanceOf"), which is
+// how metamodels and models coexist in one space: metamodel elements are
+// ordinary entities that model elements point at.  Every entity has a fully
+// qualified name (FQN) formed by joining the names on its containment path
+// with '.', e.g. "uml.infrastructure.t1".
+//
+// The importers in src/transform populate a space from UML models and
+// mapping files; the path-discovery step reads and writes it; the UPSIM
+// emitter reads the merged paths back out.  Entities also carry an optional
+// string value (VPM's "value" slot) used for attribute storage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::vpm {
+
+enum class EntityId : std::uint32_t {};
+enum class RelationId : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t index(EntityId e) noexcept {
+  return static_cast<std::uint32_t>(e);
+}
+[[nodiscard]] constexpr std::uint32_t index(RelationId r) noexcept {
+  return static_cast<std::uint32_t>(r);
+}
+
+/// The root entity is always id 0 with the empty name.
+inline constexpr EntityId kRoot{0};
+
+class ModelSpace {
+ public:
+  ModelSpace();
+
+  ModelSpace(const ModelSpace&) = delete;
+  ModelSpace& operator=(const ModelSpace&) = delete;
+  ModelSpace(ModelSpace&&) = default;
+  ModelSpace& operator=(ModelSpace&&) = default;
+
+  // -- entities -------------------------------------------------------------
+  /// Creates a child entity of `parent`.  Sibling names must be unique.
+  EntityId create_entity(EntityId parent, std::string name);
+  /// Like create_entity but returns the existing child when one with this
+  /// name is already present (idempotent namespace building).
+  EntityId ensure_entity(EntityId parent, std::string name);
+  /// Resolves a dotted path under the root, creating missing segments.
+  EntityId ensure_path(std::string_view dotted_fqn);
+
+  /// Deletes `e` and its entire subtree, along with every relation incident
+  /// to a deleted entity.  The root cannot be deleted.
+  void delete_entity(EntityId e);
+
+  [[nodiscard]] bool is_alive(EntityId e) const noexcept;
+  [[nodiscard]] const std::string& name(EntityId e) const;
+  [[nodiscard]] std::string fqn(EntityId e) const;
+  [[nodiscard]] EntityId parent(EntityId e) const;
+  [[nodiscard]] std::vector<EntityId> children(EntityId e) const;
+  [[nodiscard]] std::optional<EntityId> child(EntityId e,
+                                              std::string_view name) const;
+  /// Entity at a dotted path under the root, or nullopt.
+  [[nodiscard]] std::optional<EntityId> find(std::string_view dotted_fqn) const;
+  /// Entity at a dotted path, or throws NotFoundError.
+  [[nodiscard]] EntityId get(std::string_view dotted_fqn) const;
+
+  /// VPM value slot.
+  void set_value(EntityId e, std::string value);
+  [[nodiscard]] const std::string& value(EntityId e) const;
+
+  // -- typing ---------------------------------------------------------------
+  /// Declares `instance` an instance of `type` (both are entities; a type
+  /// is any entity used as one, typically under a "metamodel" namespace).
+  void set_instance_of(EntityId instance, EntityId type);
+  [[nodiscard]] const std::vector<EntityId>& types_of(EntityId e) const;
+  /// True if `e` is declared an instance of `type` (directly).
+  [[nodiscard]] bool is_instance_of(EntityId e, EntityId type) const;
+  /// All living entities declared instances of `type`.
+  [[nodiscard]] std::vector<EntityId> instances_of(EntityId type) const;
+
+  // -- relations ------------------------------------------------------------
+  /// Creates a directed relation `src --name--> trg`.
+  RelationId create_relation(std::string name, EntityId src, EntityId trg);
+  [[nodiscard]] bool relation_alive(RelationId r) const noexcept;
+  [[nodiscard]] const std::string& relation_name(RelationId r) const;
+  [[nodiscard]] EntityId source(RelationId r) const;
+  [[nodiscard]] EntityId target(RelationId r) const;
+  /// Outgoing relations of `e`, optionally filtered by name.
+  [[nodiscard]] std::vector<RelationId> relations_from(
+      EntityId e, std::string_view name = {}) const;
+  /// Incoming relations of `e`, optionally filtered by name.
+  [[nodiscard]] std::vector<RelationId> relations_to(
+      EntityId e, std::string_view name = {}) const;
+  void delete_relation(RelationId r);
+
+  // -- statistics / debugging -------------------------------------------------
+  [[nodiscard]] std::size_t entity_count() const noexcept;  ///< living only
+  [[nodiscard]] std::size_t relation_count() const noexcept;
+  /// Indented tree dump of the subtree under `e` (for tests and debugging).
+  [[nodiscard]] std::string dump(EntityId e = kRoot) const;
+
+ private:
+  struct Entity {
+    std::string name;
+    EntityId parent{0};
+    bool alive = true;
+    std::string value;
+    std::map<std::string, EntityId, std::less<>> children;
+    std::vector<EntityId> types;
+    std::vector<RelationId> out;
+    std::vector<RelationId> in;
+  };
+  struct Relation {
+    std::string name;
+    EntityId src{0};
+    EntityId trg{0};
+    bool alive = true;
+  };
+
+  [[nodiscard]] const Entity& entity_ref(EntityId e) const;
+  [[nodiscard]] Entity& entity_ref(EntityId e);
+  [[nodiscard]] const Relation& relation_ref(RelationId r) const;
+  void dump_rec(EntityId e, std::size_t depth, std::string& out) const;
+
+  std::vector<Entity> entities_;
+  std::vector<Relation> relations_;
+  std::size_t live_entities_ = 0;
+  std::size_t live_relations_ = 0;
+};
+
+}  // namespace upsim::vpm

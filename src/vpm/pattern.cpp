@@ -1,0 +1,204 @@
+#include "vpm/pattern.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace upsim::vpm {
+
+Pattern::Pattern(std::string name) : name_(std::move(name)) {}
+
+std::size_t Pattern::var_index(std::string_view var) {
+  const auto it = var_by_name_.find(var);
+  if (it != var_by_name_.end()) return it->second;
+  const std::size_t idx = variables_.size();
+  variables_.emplace_back(var);
+  var_by_name_.emplace(std::string(var), idx);
+  return idx;
+}
+
+Pattern& Pattern::entity(std::string_view var) {
+  var_index(var);
+  return *this;
+}
+
+Pattern& Pattern::type_of(std::string_view var, std::string type_fqn) {
+  types_.push_back(TypeConstraint{var_index(var), std::move(type_fqn)});
+  return *this;
+}
+
+Pattern& Pattern::below(std::string_view var, std::string container_fqn) {
+  belows_.push_back(BelowConstraint{var_index(var), std::move(container_fqn)});
+  return *this;
+}
+
+Pattern& Pattern::named(std::string_view var, std::string local_name) {
+  names_.push_back(NameConstraint{var_index(var), std::move(local_name)});
+  return *this;
+}
+
+Pattern& Pattern::value_is(std::string_view var, std::string value) {
+  values_.push_back(ValueConstraint{var_index(var), std::move(value)});
+  return *this;
+}
+
+Pattern& Pattern::related(std::string_view src, std::string relation_name,
+                          std::string_view trg) {
+  relations_.push_back(RelationConstraint{var_index(src),
+                                          std::move(relation_name),
+                                          var_index(trg)});
+  return *this;
+}
+
+Pattern& Pattern::not_equal(std::string_view a, std::string_view b) {
+  not_equals_.push_back(NotEqualConstraint{var_index(a), var_index(b)});
+  return *this;
+}
+
+namespace {
+
+/// Collects the containment subtree below `container`.
+std::vector<EntityId> subtree_of(const ModelSpace& space, EntityId container) {
+  std::vector<EntityId> out;
+  std::deque<EntityId> queue{container};
+  while (!queue.empty()) {
+    const EntityId e = queue.front();
+    queue.pop_front();
+    for (const EntityId c : space.children(e)) {
+      out.push_back(c);
+      queue.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Pattern::enumerate(
+    const ModelSpace& space,
+    const std::function<bool(const std::vector<EntityId>&)>& on_match) const {
+  const std::size_t n = variables_.size();
+  if (n == 0) return;
+
+  // Per-variable candidate sets from the most selective generator available:
+  // named-below > type > below > full scan over the root subtree.
+  std::vector<std::vector<EntityId>> candidates(n);
+  std::vector<bool> have(n, false);
+
+  auto intersect_in = [&](std::size_t var, std::vector<EntityId> set) {
+    std::sort(set.begin(), set.end(),
+              [](EntityId a, EntityId b) { return index(a) < index(b); });
+    if (!have[var]) {
+      candidates[var] = std::move(set);
+      have[var] = true;
+      return;
+    }
+    std::vector<EntityId> merged;
+    std::set_intersection(
+        candidates[var].begin(), candidates[var].end(), set.begin(), set.end(),
+        std::back_inserter(merged),
+        [](EntityId a, EntityId b) { return index(a) < index(b); });
+    candidates[var] = std::move(merged);
+  };
+
+  for (const TypeConstraint& c : types_) {
+    const auto type = space.find(c.type_fqn);
+    if (!type) return;  // no such type -> pattern cannot match
+    intersect_in(c.var, space.instances_of(*type));
+  }
+  for (const BelowConstraint& c : belows_) {
+    const auto container = space.find(c.container_fqn);
+    if (!container) return;
+    intersect_in(c.var, subtree_of(space, *container));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!have[v]) intersect_in(v, subtree_of(space, kRoot));
+  }
+
+  // Name and value filters are cheap; prune candidate sets up front.
+  for (const NameConstraint& c : names_) {
+    auto& set = candidates[c.var];
+    std::erase_if(set, [&](EntityId e) { return space.name(e) != c.local_name; });
+  }
+  for (const ValueConstraint& c : values_) {
+    auto& set = candidates[c.var];
+    std::erase_if(set, [&](EntityId e) { return space.value(e) != c.value; });
+  }
+
+  // Backtracking over variables in declaration order.
+  std::vector<EntityId> binding(n, kRoot);
+  std::vector<bool> bound(n, false);
+
+  auto consistent = [&](std::size_t just_bound) {
+    for (const RelationConstraint& c : relations_) {
+      if (c.src != just_bound && c.trg != just_bound) continue;
+      if (!bound[c.src] || !bound[c.trg]) continue;
+      bool found = false;
+      for (const RelationId r :
+           space.relations_from(binding[c.src], c.relation_name)) {
+        if (space.target(r) == binding[c.trg]) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    for (const NotEqualConstraint& c : not_equals_) {
+      if (bound[c.a] && bound[c.b] && binding[c.a] == binding[c.b]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Returns false to abort the whole enumeration (used by match_one).
+  std::function<bool(std::size_t)> recurse = [&](std::size_t var) -> bool {
+    if (var == n) return on_match(binding);
+    for (const EntityId e : candidates[var]) {
+      binding[var] = e;
+      bound[var] = true;
+      if (consistent(var) && !recurse(var + 1)) return false;
+      bound[var] = false;
+    }
+    return true;
+  };
+  recurse(0);
+}
+
+std::vector<Binding> Pattern::match(const ModelSpace& space) const {
+  std::vector<Binding> out;
+  enumerate(space, [&](const std::vector<EntityId>& binding) {
+    Binding b;
+    for (std::size_t v = 0; v < variables_.size(); ++v) {
+      b.emplace(variables_[v], binding[v]);
+    }
+    out.push_back(std::move(b));
+    return true;
+  });
+  return out;
+}
+
+std::optional<Binding> Pattern::match_one(const ModelSpace& space) const {
+  std::optional<Binding> result;
+  enumerate(space, [&](const std::vector<EntityId>& binding) {
+    Binding b;
+    for (std::size_t v = 0; v < variables_.size(); ++v) {
+      b.emplace(variables_[v], binding[v]);
+    }
+    result = std::move(b);
+    return false;  // stop after the first match
+  });
+  return result;
+}
+
+std::size_t Pattern::count(const ModelSpace& space) const {
+  std::size_t n = 0;
+  enumerate(space, [&](const std::vector<EntityId>&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace upsim::vpm

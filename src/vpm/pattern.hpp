@@ -1,0 +1,94 @@
+// Declarative graph patterns over the VPM model space — a small analogue of
+// the VIATRA2 textual command language (VTCL) the paper uses for model
+// queries and the path-discovery step (Sec. V-C/V-D).
+//
+// A pattern declares variables and constraints; match() enumerates every
+// assignment of living entities to variables that satisfies all constraints.
+// Supported constraint forms:
+//   entity(v)                      — v may be any entity (generator of last
+//                                    resort; prefer a more selective one)
+//   type_of(v, "mm.device")        — v is declared instanceOf that entity
+//   below(v, "models.network")     — v is in the containment subtree
+//   named(v, "t1")                 — v's local name equals
+//   value_is(v, "42")              — v's value slot equals
+//   related(a, "link", b)          — a relation named "link" runs a -> b
+//   not_equal(a, b)                — injectivity between two variables
+//
+// Matching is backtracking search with candidate generation from the most
+// selective available constraint per variable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vpm/model_space.hpp"
+
+namespace upsim::vpm {
+
+/// One match: variable name -> bound entity.
+using Binding = std::map<std::string, EntityId>;
+
+class Pattern {
+ public:
+  explicit Pattern(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Declares a variable (implicitly declared by the constraint helpers as
+  /// well; explicit declaration fixes the search order).
+  Pattern& entity(std::string_view var);
+  Pattern& type_of(std::string_view var, std::string type_fqn);
+  Pattern& below(std::string_view var, std::string container_fqn);
+  Pattern& named(std::string_view var, std::string local_name);
+  Pattern& value_is(std::string_view var, std::string value);
+  Pattern& related(std::string_view src, std::string relation_name,
+                   std::string_view trg);
+  Pattern& not_equal(std::string_view a, std::string_view b);
+
+  [[nodiscard]] const std::vector<std::string>& variables() const noexcept {
+    return variables_;
+  }
+
+  /// Enumerates all matches.  Deterministic order (entity-id lexicographic
+  /// over the variable declaration order).
+  [[nodiscard]] std::vector<Binding> match(const ModelSpace& space) const;
+
+  /// First match, if any.
+  [[nodiscard]] std::optional<Binding> match_one(const ModelSpace& space) const;
+
+  /// Number of matches without materialising them beyond counting.
+  [[nodiscard]] std::size_t count(const ModelSpace& space) const;
+
+ private:
+  struct TypeConstraint { std::size_t var; std::string type_fqn; };
+  struct BelowConstraint { std::size_t var; std::string container_fqn; };
+  struct NameConstraint { std::size_t var; std::string local_name; };
+  struct ValueConstraint { std::size_t var; std::string value; };
+  struct RelationConstraint {
+    std::size_t src;
+    std::string relation_name;
+    std::size_t trg;
+  };
+  struct NotEqualConstraint { std::size_t a; std::size_t b; };
+
+  std::size_t var_index(std::string_view var);
+  void enumerate(const ModelSpace& space,
+                 const std::function<bool(const std::vector<EntityId>&)>&
+                     on_match) const;
+
+  std::string name_;
+  std::vector<std::string> variables_;
+  std::map<std::string, std::size_t, std::less<>> var_by_name_;
+  std::vector<TypeConstraint> types_;
+  std::vector<BelowConstraint> belows_;
+  std::vector<NameConstraint> names_;
+  std::vector<ValueConstraint> values_;
+  std::vector<RelationConstraint> relations_;
+  std::vector<NotEqualConstraint> not_equals_;
+};
+
+}  // namespace upsim::vpm

@@ -1,0 +1,46 @@
+#include "vpm/rules.hpp"
+
+#include "util/error.hpp"
+
+namespace upsim::vpm {
+
+std::size_t for_each_match(ModelSpace& space, const Pattern& pattern,
+                           const RuleAction& action) {
+  if (action == nullptr) throw ModelError("for_each_match: null action");
+  // Materialise all bindings before mutating.
+  const std::vector<Binding> matches = pattern.match(space);
+  std::size_t changed = 0;
+  for (const Binding& binding : matches) {
+    bool alive = true;
+    for (const auto& [_, entity] : binding) {
+      if (!space.is_alive(entity)) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    if (action(space, binding)) ++changed;
+  }
+  return changed;
+}
+
+FixpointResult run_to_fixpoint(ModelSpace& space,
+                               const std::vector<Rule>& rules,
+                               std::size_t max_rounds) {
+  FixpointResult result;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++result.rounds;
+    std::size_t changed_this_round = 0;
+    for (const Rule& rule : rules) {
+      changed_this_round += for_each_match(space, rule.pattern, rule.action);
+    }
+    result.applications += changed_this_round;
+    if (changed_this_round == 0) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;  // converged == false: guard tripped
+}
+
+}  // namespace upsim::vpm

@@ -1,0 +1,50 @@
+// Graph-transformation rules over the model space — the "machine" half of
+// VIATRA2 (Sec. V-C: "a transformation language based on graph theory
+// techniques and abstract state machines").  A rule pairs a declarative
+// pattern with an imperative action; the engine offers the two classical
+// execution modes:
+//
+//   for_each_match — one pass: enumerate all matches first, then apply the
+//     action to each binding (so mutations cannot skew the iteration);
+//   run_to_fixpoint — rounds of all rules until a full round changes
+//     nothing, with an iteration guard against non-terminating rule sets.
+//
+// Actions return whether they modified the space; a binding whose entities
+// were deleted by an earlier action in the same pass is skipped.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vpm/pattern.hpp"
+
+namespace upsim::vpm {
+
+/// Action invoked per match; returns true if it changed the model space.
+using RuleAction = std::function<bool(ModelSpace&, const Binding&)>;
+
+struct Rule {
+  Pattern pattern;
+  RuleAction action;
+};
+
+/// Matches `pattern` once, then applies `action` to every binding whose
+/// entities are all still alive at application time.  Returns the number
+/// of applications that reported a change.
+std::size_t for_each_match(ModelSpace& space, const Pattern& pattern,
+                           const RuleAction& action);
+
+struct FixpointResult {
+  std::size_t rounds = 0;
+  std::size_t applications = 0;  ///< changing applications across all rounds
+  bool converged = false;        ///< false when max_rounds cut the run
+};
+
+/// Runs the rules in order, round after round, until a full round makes no
+/// change or `max_rounds` is reached.
+FixpointResult run_to_fixpoint(ModelSpace& space,
+                               const std::vector<Rule>& rules,
+                               std::size_t max_rounds = 1000);
+
+}  // namespace upsim::vpm

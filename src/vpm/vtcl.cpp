@@ -1,0 +1,281 @@
+#include "vpm/vtcl.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace upsim::vpm {
+namespace {
+
+enum class TokenKind { Ident, Quoted, LParen, RParen, LBrace, RBrace,
+                       Comma, Semicolon, Equals, End };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;
+  std::size_t column;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) { advance(); }
+
+  [[nodiscard]] const Token& current() const noexcept { return token_; }
+
+  void advance() {
+    skip_trivia();
+    token_.line = line_;
+    token_.column = column_;
+    if (pos_ >= source_.size()) {
+      token_ = Token{TokenKind::End, "", line_, column_};
+      return;
+    }
+    const char c = source_[pos_];
+    switch (c) {
+      case '(': token_ = make(TokenKind::LParen, "("); return;
+      case ')': token_ = make(TokenKind::RParen, ")"); return;
+      case '{': token_ = make(TokenKind::LBrace, "{"); return;
+      case '}': token_ = make(TokenKind::RBrace, "}"); return;
+      case ',': token_ = make(TokenKind::Comma, ","); return;
+      case ';': token_ = make(TokenKind::Semicolon, ";"); return;
+      case '=': token_ = make(TokenKind::Equals, "="); return;
+      case '\'':
+      case '"': token_ = quoted(c); return;
+      default: break;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::string text;
+      while (pos_ < source_.size()) {
+        const char d = source_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) == 0 && d != '_' &&
+            d != '.' && d != '-') {
+          break;
+        }
+        text += consume();
+      }
+      token_ = Token{TokenKind::Ident, std::move(text), token_.line,
+                     token_.column};
+      return;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("VTCL: " + what, token_.line, token_.column);
+  }
+
+ private:
+  char consume() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Token make(TokenKind kind, std::string text) {
+    const Token t{kind, std::move(text), line_, column_};
+    consume();
+    return t;
+  }
+
+  Token quoted(char quote) {
+    const std::size_t line = line_;
+    const std::size_t column = column_;
+    consume();  // opening quote
+    std::string text;
+    while (pos_ < source_.size() && source_[pos_] != quote) {
+      text += consume();
+    }
+    if (pos_ >= source_.size()) {
+      token_.line = line;
+      token_.column = column;
+      fail("unterminated quoted reference");
+    }
+    consume();  // closing quote
+    return Token{TokenKind::Quoted, std::move(text), line, column};
+  }
+
+  void skip_trivia() {
+    for (;;) {
+      while (pos_ < source_.size() &&
+             std::isspace(static_cast<unsigned char>(source_[pos_])) != 0) {
+        consume();
+      }
+      if (pos_ + 1 < source_.size() && source_[pos_] == '/' &&
+          source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') consume();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  Token token_{TokenKind::End, "", 1, 1};
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) {}
+
+  [[nodiscard]] bool at_end() const noexcept {
+    return lexer_.current().kind == TokenKind::End;
+  }
+
+  Pattern parse_one() {
+    expect_keyword("pattern");
+    const std::string name = expect(TokenKind::Ident, "pattern name");
+    Pattern pattern(name);
+    // Parameters.
+    std::set<std::string> params;
+    expect(TokenKind::LParen, "'('");
+    if (lexer_.current().kind != TokenKind::RParen) {
+      for (;;) {
+        const std::string param = expect(TokenKind::Ident, "parameter name");
+        if (!params.insert(param).second) {
+          throw ModelError("VTCL pattern '" + name + "': duplicate parameter '" +
+                           param + "'");
+        }
+        pattern.entity(param);
+        if (lexer_.current().kind != TokenKind::Comma) break;
+        lexer_.advance();
+      }
+    }
+    expect(TokenKind::RParen, "')'");
+    expect(TokenKind::Equals, "'='");
+    expect(TokenKind::LBrace, "'{'");
+
+    std::set<std::string> constrained;
+    while (lexer_.current().kind != TokenKind::RBrace) {
+      parse_constraint(pattern, name, params, constrained);
+    }
+    expect(TokenKind::RBrace, "'}'");
+
+    for (const std::string& param : params) {
+      if (!constrained.contains(param)) {
+        throw ModelError("VTCL pattern '" + name + "': parameter '" + param +
+                         "' is never constrained (add at least entity(" +
+                         param + "))");
+      }
+    }
+    return pattern;
+  }
+
+ private:
+  void parse_constraint(Pattern& pattern, const std::string& pattern_name,
+                        const std::set<std::string>& params,
+                        std::set<std::string>& constrained) {
+    const std::string kind = expect(TokenKind::Ident, "constraint name");
+    auto var = [&](const std::string& v) {
+      if (!params.contains(v)) {
+        throw ModelError("VTCL pattern '" + pattern_name +
+                         "': undeclared variable '" + v + "'");
+      }
+      constrained.insert(v);
+      return v;
+    };
+    expect(TokenKind::LParen, "'('");
+    if (kind == "entity") {
+      const std::string v = var(expect_ref("variable"));
+      pattern.entity(v);
+    } else if (kind == "type" || kind == "below" || kind == "name" ||
+               kind == "value") {
+      const std::string v = var(expect_ref("variable"));
+      expect(TokenKind::Comma, "','");
+      const std::string ref = expect_ref("reference");
+      if (kind == "type") {
+        pattern.type_of(v, ref);
+      } else if (kind == "below") {
+        pattern.below(v, ref);
+      } else if (kind == "name") {
+        pattern.named(v, ref);
+      } else {
+        pattern.value_is(v, ref);
+      }
+    } else if (kind == "relation") {
+      const std::string src = var(expect_ref("source variable"));
+      expect(TokenKind::Comma, "','");
+      const std::string relation = expect_ref("relation name");
+      expect(TokenKind::Comma, "','");
+      const std::string trg = var(expect_ref("target variable"));
+      pattern.related(src, relation, trg);
+    } else if (kind == "neq") {
+      const std::string a = var(expect_ref("variable"));
+      expect(TokenKind::Comma, "','");
+      const std::string b = var(expect_ref("variable"));
+      pattern.not_equal(a, b);
+    } else {
+      lexer_.fail("unknown constraint '" + kind + "'");
+    }
+    expect(TokenKind::RParen, "')'");
+    expect(TokenKind::Semicolon, "';'");
+  }
+
+  std::string expect(TokenKind kind, const char* what) {
+    if (lexer_.current().kind != kind) {
+      lexer_.fail(std::string("expected ") + what + ", got '" +
+                  lexer_.current().text + "'");
+    }
+    std::string text = lexer_.current().text;
+    lexer_.advance();
+    return text;
+  }
+
+  /// An identifier or a quoted string.
+  std::string expect_ref(const char* what) {
+    const TokenKind kind = lexer_.current().kind;
+    if (kind != TokenKind::Ident && kind != TokenKind::Quoted) {
+      lexer_.fail(std::string("expected ") + what + ", got '" +
+                  lexer_.current().text + "'");
+    }
+    std::string text = lexer_.current().text;
+    lexer_.advance();
+    return text;
+  }
+
+  void expect_keyword(const char* keyword) {
+    if (lexer_.current().kind != TokenKind::Ident ||
+        lexer_.current().text != keyword) {
+      lexer_.fail(std::string("expected keyword '") + keyword + "'");
+    }
+    lexer_.advance();
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Pattern parse_pattern(std::string_view source) {
+  Parser parser(source);
+  Pattern pattern = parser.parse_one();
+  if (!parser.at_end()) {
+    throw ParseError("VTCL: trailing content after pattern definition");
+  }
+  return pattern;
+}
+
+std::vector<Pattern> parse_patterns(std::string_view source) {
+  Parser parser(source);
+  std::vector<Pattern> out;
+  std::set<std::string> names;
+  while (!parser.at_end()) {
+    out.push_back(parser.parse_one());
+    if (!names.insert(out.back().name()).second) {
+      throw ModelError("VTCL: duplicate pattern name '" + out.back().name() +
+                       "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace upsim::vpm

@@ -1,0 +1,47 @@
+// A small textual pattern language in the spirit of the VIATRA2 textual
+// command language (VTCL), which the paper uses for declarative model
+// queries and the path-discovery machinery (Sec. V-C/V-D).
+//
+// Grammar (comments run from '//' to end of line):
+//
+//   pattern      := "pattern" IDENT "(" [ IDENT { "," IDENT } ] ")"
+//                   "=" "{" { constraint ";" } "}"
+//   constraint   := "entity"   "(" VAR ")"
+//                 | "type"     "(" VAR "," REF ")"
+//                 | "below"    "(" VAR "," REF ")"
+//                 | "name"     "(" VAR "," REF ")"
+//                 | "value"    "(" VAR "," REF ")"
+//                 | "relation" "(" VAR "," IDENT "," VAR ")"
+//                 | "neq"      "(" VAR "," VAR ")"
+//   REF          := IDENT-with-dots  |  'single quoted'  |  "double quoted"
+//
+// Every parameter must be constrained by at least one constraint, and every
+// variable used in a constraint must be a declared parameter — both are
+// diagnosed with line/column information, as are all syntax errors.
+//
+// Example:
+//
+//   pattern printer_uplinks(printer, sw) = {
+//     type(printer, models.usi_classes.classes.Printer);
+//     type(sw, models.usi_classes.classes.HP2650);
+//     relation(printer, link, sw);
+//   }
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "vpm/pattern.hpp"
+
+namespace upsim::vpm {
+
+/// Parses exactly one pattern definition.  Throws upsim::ParseError on
+/// syntax errors and upsim::ModelError on semantic ones (unknown variable,
+/// unconstrained parameter, duplicate parameter).
+[[nodiscard]] Pattern parse_pattern(std::string_view source);
+
+/// Parses a whole "machine": zero or more pattern definitions.  Pattern
+/// names must be unique within one source.
+[[nodiscard]] std::vector<Pattern> parse_patterns(std::string_view source);
+
+}  // namespace upsim::vpm

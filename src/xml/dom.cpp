@@ -1,0 +1,124 @@
+#include "xml/dom.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::xml {
+
+Element::Element(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw ModelError("XML element with empty name");
+}
+
+void Element::set_attribute(std::string key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view key) const noexcept {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+const std::string& Element::required_attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  throw NotFoundError("element <" + name_ + "> lacks required attribute '" +
+                      std::string(key) + "'");
+}
+
+std::string_view Element::trimmed_text() const noexcept {
+  return util::trim(text_);
+}
+
+Element& Element::append_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::append_child(ElementPtr child) {
+  UPSIM_ASSERT(child != nullptr);
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::first_child(std::string_view name) const noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+const Element& Element::required_child(std::string_view name) const {
+  const Element* c = first_child(name);
+  if (c == nullptr) {
+    throw NotFoundError("element <" + name_ + "> lacks required child <" +
+                        std::string(name) + ">");
+  }
+  return *c;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::to_string(std::size_t indent) const {
+  const std::string pad(indent, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attributes_) {
+    out += " " + k + "=\"" + escape(v) + "\"";
+  }
+  const auto text = trimmed_text();
+  if (children_.empty() && text.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text.empty()) out += escape(text);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c->to_string(indent + 2);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+Document::Document(ElementPtr root) : root_(std::move(root)) {
+  if (root_ == nullptr) throw ModelError("XML document without root element");
+}
+
+std::string Document::to_string() const {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root_->to_string();
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace upsim::xml

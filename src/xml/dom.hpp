@@ -1,0 +1,97 @@
+// Minimal XML document object model.
+//
+// upsim reads service-mapping files (the Figure 3 format of the paper) and
+// writes UPSIM/object-diagram exports in XML.  The supported subset is:
+// elements, attributes, character data, comments (skipped), CDATA sections,
+// XML declarations (skipped), and the five predefined entities.  Namespaces
+// are treated as plain prefixes in names; DTDs and processing instructions
+// are rejected with a ParseError.  This covers everything the methodology
+// exchanges on disk while staying dependency-free.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+/// One XML element: a tag name, ordered attributes, text content and child
+/// elements.  Text is stored per-element as the concatenation of all its
+/// character data (mixed content keeps element order but not the exact
+/// interleaving — sufficient for data-oriented documents).
+class Element {
+ public:
+  explicit Element(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // -- attributes ----------------------------------------------------------
+  /// Sets (or replaces) an attribute.
+  void set_attribute(std::string key, std::string value);
+  /// Returns the attribute value or nullopt.
+  [[nodiscard]] std::optional<std::string_view> attribute(
+      std::string_view key) const noexcept;
+  /// Returns the attribute value or throws NotFoundError naming the element.
+  [[nodiscard]] const std::string& required_attribute(
+      std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  attributes() const noexcept {
+    return attributes_;
+  }
+
+  // -- text ----------------------------------------------------------------
+  void append_text(std::string_view text) { text_ += text; }
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  /// Text with surrounding whitespace removed.
+  [[nodiscard]] std::string_view trimmed_text() const noexcept;
+
+  // -- children ------------------------------------------------------------
+  /// Appends a child element and returns a reference to it.
+  Element& append_child(std::string name);
+  Element& append_child(ElementPtr child);
+  [[nodiscard]] const std::vector<ElementPtr>& children() const noexcept {
+    return children_;
+  }
+  /// First child with the given tag name, or nullptr.
+  [[nodiscard]] const Element* first_child(std::string_view name) const
+      noexcept;
+  /// First child with the given tag name, or throws NotFoundError.
+  [[nodiscard]] const Element& required_child(std::string_view name) const;
+  /// All children with the given tag name, in document order.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view name) const;
+
+  /// Serialises this element (recursively) as indented XML.
+  [[nodiscard]] std::string to_string(std::size_t indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::string text_;
+  std::vector<ElementPtr> children_;
+};
+
+/// A parsed document: exactly one root element.
+class Document {
+ public:
+  explicit Document(ElementPtr root);
+
+  [[nodiscard]] const Element& root() const noexcept { return *root_; }
+  [[nodiscard]] Element& root() noexcept { return *root_; }
+
+  /// Serialises with an XML declaration.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ElementPtr root_;
+};
+
+/// Escapes the five XML special characters in `raw`.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace upsim::xml

@@ -1,0 +1,276 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace upsim::xml {
+namespace {
+
+/// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const noexcept {
+    return eof() ? '\0' : input_[pos_];
+  }
+  [[nodiscard]] bool lookahead(std::string_view s) const noexcept {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  char advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    advance();
+  }
+
+  void expect(std::string_view s) {
+    for (char c : s) expect(c);
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())) != 0) {
+      advance();
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("XML: " + what, line_, column_);
+  }
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+bool is_name_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+bool is_name_char(char c) noexcept {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : cur_(input) {}
+
+  Document run() {
+    skip_misc();
+    if (cur_.eof() || cur_.peek() != '<') {
+      cur_.fail("expected root element");
+    }
+    ElementPtr root = parse_element();
+    skip_misc();
+    if (!cur_.eof()) cur_.fail("trailing content after root element");
+    return Document(std::move(root));
+  }
+
+ private:
+  /// Skips whitespace, comments, and the XML declaration between elements.
+  void skip_misc() {
+    for (;;) {
+      cur_.skip_whitespace();
+      if (cur_.lookahead("<!--")) {
+        skip_comment();
+      } else if (cur_.lookahead("<?")) {
+        skip_declaration();
+      } else if (cur_.lookahead("<!DOCTYPE")) {
+        cur_.fail("DTDs are not supported");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    cur_.expect("<!--");
+    while (!cur_.lookahead("-->")) {
+      if (cur_.eof()) cur_.fail("unterminated comment");
+      cur_.advance();
+    }
+    cur_.expect("-->");
+  }
+
+  void skip_declaration() {
+    cur_.expect("<?");
+    while (!cur_.lookahead("?>")) {
+      if (cur_.eof()) cur_.fail("unterminated processing instruction");
+      cur_.advance();
+    }
+    cur_.expect("?>");
+  }
+
+  std::string parse_name() {
+    if (cur_.eof() || !is_name_start(cur_.peek())) {
+      cur_.fail("expected a name");
+    }
+    std::string name;
+    while (!cur_.eof() && is_name_char(cur_.peek())) {
+      name += cur_.advance();
+    }
+    return name;
+  }
+
+  std::string parse_entity() {
+    cur_.expect('&');
+    std::string entity;
+    while (!cur_.eof() && cur_.peek() != ';') {
+      entity += cur_.advance();
+      if (entity.size() > 8) cur_.fail("unterminated entity reference");
+    }
+    cur_.expect(';');
+    if (entity == "amp") return "&";
+    if (entity == "lt") return "<";
+    if (entity == "gt") return ">";
+    if (entity == "quot") return "\"";
+    if (entity == "apos") return "'";
+    if (!entity.empty() && entity[0] == '#') {
+      // Numeric character reference; emit as UTF-8 for the ASCII range and
+      // reject the rest (model identifiers are ASCII).
+      const bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      const std::string digits = entity.substr(hex ? 2 : 1);
+      if (digits.empty()) cur_.fail("empty character reference");
+      unsigned long code = 0;
+      try {
+        code = std::stoul(digits, nullptr, hex ? 16 : 10);
+      } catch (const std::exception&) {
+        cur_.fail("bad character reference &" + entity + ";");
+      }
+      if (code == 0 || code > 0x7F) {
+        cur_.fail("non-ASCII character reference &" + entity + ";");
+      }
+      return std::string(1, static_cast<char>(code));
+    }
+    cur_.fail("unknown entity &" + entity + ";");
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = cur_.peek();
+    if (quote != '"' && quote != '\'') cur_.fail("expected quoted value");
+    cur_.advance();
+    std::string value;
+    while (!cur_.eof() && cur_.peek() != quote) {
+      if (cur_.peek() == '<') cur_.fail("'<' in attribute value");
+      if (cur_.peek() == '&') {
+        value += parse_entity();
+      } else {
+        value += cur_.advance();
+      }
+    }
+    cur_.expect(quote);
+    return value;
+  }
+
+  ElementPtr parse_element() {
+    cur_.expect('<');
+    auto element = std::make_unique<Element>(parse_name());
+    // Attributes.
+    for (;;) {
+      cur_.skip_whitespace();
+      if (cur_.eof()) cur_.fail("unterminated start tag");
+      if (cur_.peek() == '>' || cur_.lookahead("/>")) break;
+      const std::string key = parse_name();
+      if (element->attribute(key).has_value()) {
+        cur_.fail("duplicate attribute '" + key + "'");
+      }
+      cur_.skip_whitespace();
+      cur_.expect('=');
+      cur_.skip_whitespace();
+      element->set_attribute(key, parse_attribute_value());
+    }
+    if (cur_.lookahead("/>")) {
+      cur_.expect("/>");
+      return element;
+    }
+    cur_.expect('>');
+    parse_content(*element);
+    // parse_content consumed "</"; match the close tag.
+    const std::string close = parse_name();
+    if (close != element->name()) {
+      cur_.fail("mismatched close tag </" + close + "> for <" +
+                element->name() + ">");
+    }
+    cur_.skip_whitespace();
+    cur_.expect('>');
+    return element;
+  }
+
+  /// Parses element content until the matching "</" is consumed.
+  void parse_content(Element& element) {
+    for (;;) {
+      if (cur_.eof()) cur_.fail("unterminated element <" + element.name() + ">");
+      if (cur_.lookahead("</")) {
+        cur_.expect("</");
+        return;
+      }
+      if (cur_.lookahead("<!--")) {
+        skip_comment();
+      } else if (cur_.lookahead("<![CDATA[")) {
+        parse_cdata(element);
+      } else if (cur_.lookahead("<?")) {
+        skip_declaration();
+      } else if (cur_.peek() == '<') {
+        element.append_child(parse_element());
+      } else if (cur_.peek() == '&') {
+        element.append_text(parse_entity());
+      } else {
+        std::string text;
+        while (!cur_.eof() && cur_.peek() != '<' && cur_.peek() != '&') {
+          text += cur_.advance();
+        }
+        element.append_text(text);
+      }
+    }
+  }
+
+  void parse_cdata(Element& element) {
+    cur_.expect("<![CDATA[");
+    std::string text;
+    while (!cur_.lookahead("]]>")) {
+      if (cur_.eof()) cur_.fail("unterminated CDATA section");
+      text += cur_.advance();
+    }
+    cur_.expect("]]>");
+    element.append_text(text);
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+Document parse(std::string_view input) { return Parser(input).run(); }
+
+Document parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace upsim::xml

@@ -1,0 +1,19 @@
+// Recursive-descent XML parser for the subset documented in dom.hpp.
+#pragma once
+
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace upsim::xml {
+
+/// Parses `input` into a Document.  Throws upsim::ParseError with line and
+/// column information on any syntax error (unterminated tag, mismatched
+/// close tag, bad entity, duplicate attribute, trailing garbage, ...).
+[[nodiscard]] Document parse(std::string_view input);
+
+/// Reads and parses the file at `path`.  Throws upsim::ParseError if the
+/// file cannot be read.
+[[nodiscard]] Document parse_file(const std::string& path);
+
+}  // namespace upsim::xml

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/bdd_availability.hpp"
+#include "depend/reduction.hpp"
+#include "netgen/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BDD kernel
+
+TEST(BddKernel, TerminalsAndVariables) {
+  bdd::Manager m(3);
+  EXPECT_EQ(m.variable_count(), 3u);
+  const auto x0 = m.variable(0);
+  EXPECT_EQ(m.variable(0), x0);  // hash-consed
+  EXPECT_THROW((void)m.variable(3), NotFoundError);
+  EXPECT_TRUE(m.evaluate(bdd::Manager::kTrue, {false, false, false}));
+  EXPECT_FALSE(m.evaluate(bdd::Manager::kFalse, {true, true, true}));
+  EXPECT_TRUE(m.evaluate(x0, {true, false, false}));
+  EXPECT_FALSE(m.evaluate(x0, {false, true, true}));
+}
+
+TEST(BddKernel, ConnectivesMatchTruthTables) {
+  bdd::Manager m(2);
+  const auto a = m.variable(0);
+  const auto b = m.variable(1);
+  const auto f_and = m.bdd_and(a, b);
+  const auto f_or = m.bdd_or(a, b);
+  const auto f_not = m.bdd_not(a);
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      EXPECT_EQ(m.evaluate(f_and, {va, vb}), va && vb);
+      EXPECT_EQ(m.evaluate(f_or, {va, vb}), va || vb);
+      EXPECT_EQ(m.evaluate(f_not, {va, vb}), !va);
+    }
+  }
+}
+
+TEST(BddKernel, CanonicityEqualFunctionsShareOneNode) {
+  bdd::Manager m(3);
+  const auto a = m.variable(0);
+  const auto b = m.variable(1);
+  // (a & b) | (a & b) == a & b; De Morgan: !(a | b) == !a & !b.
+  EXPECT_EQ(m.bdd_or(m.bdd_and(a, b), m.bdd_and(a, b)), m.bdd_and(a, b));
+  EXPECT_EQ(m.bdd_not(m.bdd_or(a, b)),
+            m.bdd_and(m.bdd_not(a), m.bdd_not(b)));
+  // Tautology and contradiction collapse to terminals.
+  EXPECT_EQ(m.bdd_or(a, m.bdd_not(a)), bdd::Manager::kTrue);
+  EXPECT_EQ(m.bdd_and(a, m.bdd_not(a)), bdd::Manager::kFalse);
+}
+
+TEST(BddKernel, ProbabilityMatchesEnumeration) {
+  bdd::Manager m(3);
+  const auto a = m.variable(0);
+  const auto b = m.variable(1);
+  const auto c = m.variable(2);
+  // f = (a & b) | c.
+  const auto f = m.bdd_or(m.bdd_and(a, b), c);
+  const std::vector<double> p{0.9, 0.8, 0.3};
+  double expected = 0.0;
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::vector<bool> assignment{(mask & 1) != 0, (mask & 2) != 0,
+                                       (mask & 4) != 0};
+    if (!m.evaluate(f, assignment)) continue;
+    double prob = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      prob *= assignment[static_cast<std::size_t>(i)]
+                  ? p[static_cast<std::size_t>(i)]
+                  : 1.0 - p[static_cast<std::size_t>(i)];
+    }
+    expected += prob;
+  }
+  EXPECT_NEAR(m.probability(f, p), expected, 1e-12);
+  EXPECT_THROW((void)m.probability(f, {0.5}), ModelError);
+  EXPECT_THROW((void)m.probability(f, {0.5, 0.5, 1.5}), ModelError);
+}
+
+TEST(BddKernel, SizeCountsSharedNodesOnce) {
+  bdd::Manager m(2);
+  const auto a = m.variable(0);
+  const auto b = m.variable(1);
+  EXPECT_EQ(m.size(bdd::Manager::kTrue), 0u);
+  EXPECT_EQ(m.size(a), 1u);
+  EXPECT_EQ(m.size(m.bdd_and(a, b)), 2u);
+}
+
+TEST(BddKernel, RandomFormulaAgainstBruteForce) {
+  // Build random formulas over 8 variables and compare probability()
+  // against full enumeration.
+  util::Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    bdd::Manager m(8);
+    std::vector<bdd::Manager::Ref> pool;
+    for (std::size_t i = 0; i < 8; ++i) pool.push_back(m.variable(i));
+    for (int step = 0; step < 20; ++step) {
+      const auto a = pool[rng.uniform_int(0, pool.size() - 1)];
+      const auto b = pool[rng.uniform_int(0, pool.size() - 1)];
+      switch (rng.uniform_int(0, 2)) {
+        case 0: pool.push_back(m.bdd_and(a, b)); break;
+        case 1: pool.push_back(m.bdd_or(a, b)); break;
+        default: pool.push_back(m.bdd_not(a)); break;
+      }
+    }
+    const auto f = pool.back();
+    std::vector<double> p;
+    for (int i = 0; i < 8; ++i) p.push_back(rng.uniform());
+    double expected = 0.0;
+    for (int mask = 0; mask < 256; ++mask) {
+      std::vector<bool> assignment;
+      double prob = 1.0;
+      for (int i = 0; i < 8; ++i) {
+        const bool on = (mask >> i & 1) != 0;
+        assignment.push_back(on);
+        prob *= on ? p[static_cast<std::size_t>(i)]
+                   : 1.0 - p[static_cast<std::size_t>(i)];
+      }
+      if (m.evaluate(f, assignment)) expected += prob;
+    }
+    EXPECT_NEAR(m.probability(f, p), expected, 1e-9) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bdd_availability
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(BddAvailability, MatchesFactoringOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = netgen::erdos_renyi(9, 0.25, seed);
+    util::Rng rng(seed * 3 + 1);
+    depend::ReliabilityProblem p;
+    p.g = &g;
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      p.vertex_availability.push_back(0.5 + 0.5 * rng.uniform());
+    }
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      p.edge_availability.push_back(0.5 + 0.5 * rng.uniform());
+    }
+    p.terminal_pairs = {{VertexId{0}, VertexId{8}}};
+    const auto result = depend::bdd_availability(p);
+    EXPECT_NEAR(result.availability, depend::exact_availability(p), 1e-10)
+        << "seed " << seed;
+    EXPECT_GT(result.bdd_nodes, 0u);
+  }
+}
+
+TEST(BddAvailability, HandlesParallelEdgesExactly) {
+  // Two parallel links: A = v_s * v_t * (1 - q1 q2) — the IE/RBD view
+  // collapses parallels, the BDD must not.
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  g.add_edge("s", "t", "l1");
+  g.add_edge("s", "t", "l2");
+  depend::ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {0.99, 0.98};
+  p.edge_availability = {0.9, 0.8};
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const auto result = depend::bdd_availability(p);
+  EXPECT_NEAR(result.availability, 0.99 * 0.98 * (1.0 - 0.1 * 0.2), 1e-12);
+  EXPECT_NEAR(result.availability, depend::exact_availability(p), 1e-12);
+}
+
+TEST(BddAvailability, ScalesPastInclusionExclusionLimit) {
+  // campus with a 3-core mesh yields > 25 paths — beyond IE, fine for BDD.
+  netgen::CampusSpec spec;
+  spec.core = 3;
+  const Graph g = netgen::campus(spec);
+  depend::ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability.assign(g.vertex_count(), 0.98);
+  p.edge_availability.assign(g.edge_count(), 0.995);
+  p.terminal_pairs = {{g.vertex_by_name("t0"), g.vertex_by_name("srv0")}};
+  const auto result = depend::bdd_availability(p);
+  EXPECT_GT(result.paths, 25u);
+  EXPECT_NEAR(result.availability, depend::exact_availability_reduced(p),
+              1e-10);
+}
+
+TEST(BddAvailability, CaseStudyAgreesWithFactoring) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto upsim = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "bdd");
+  const auto p = depend::ReliabilityProblem::from_attributes(
+      upsim.upsim_graph, {upsim.terminal_pairs()[0]});
+  const auto result = depend::bdd_availability(p);
+  EXPECT_EQ(result.paths, 6u);
+  EXPECT_NEAR(result.availability, depend::exact_availability(p), 1e-12);
+}
+
+TEST(BddAvailability, Guards) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  depend::ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {1.0, 1.0};
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const auto disconnected = depend::bdd_availability(p);
+  EXPECT_DOUBLE_EQ(disconnected.availability, 0.0);
+  EXPECT_EQ(disconnected.paths, 0u);
+
+  p.terminal_pairs.push_back(p.terminal_pairs[0]);
+  EXPECT_THROW((void)depend::bdd_availability(p), ModelError);
+
+  const Graph ring = netgen::ring(6);
+  depend::ReliabilityProblem pr;
+  pr.g = &ring;
+  pr.vertex_availability.assign(6, 0.9);
+  pr.edge_availability.assign(6, 0.9);
+  pr.terminal_pairs = {{VertexId{0}, VertexId{3}}};
+  depend::BddOptions options;
+  options.max_paths = 1;
+  EXPECT_THROW((void)depend::bdd_availability(pr, options), Error);
+}
+
+}  // namespace
+}  // namespace upsim

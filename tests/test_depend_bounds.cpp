@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "casestudy/usi.hpp"
+#include "core/rbd_builder.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/bounds.hpp"
+#include "netgen/generators.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/rng.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+ReliabilityProblem uniform(const Graph& g, double va, double ea, VertexId s,
+                           VertexId t) {
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability.assign(g.vertex_count(), va);
+  p.edge_availability.assign(g.edge_count(), ea);
+  p.terminal_pairs = {{s, t}};
+  return p;
+}
+
+TEST(EsaryProschan, TightOnSeriesSystems) {
+  // One path, one set of singleton cuts: both bounds equal the exact value.
+  Graph g;
+  g.add_vertex("a");
+  g.add_vertex("b");
+  g.add_vertex("c");
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  const auto p =
+      uniform(g, 0.9, 0.95, g.vertex_by_name("a"), g.vertex_by_name("c"));
+  const auto bounds = esary_proschan_bounds(p);
+  const double exact = exact_availability(p);
+  EXPECT_NEAR(bounds.lower, exact, 1e-12);
+  EXPECT_NEAR(bounds.upper, exact, 1e-12);
+  EXPECT_EQ(bounds.path_sets, 1u);
+  EXPECT_EQ(bounds.cut_sets, 5u);  // 3 vertices + 2 edges, all singletons
+}
+
+TEST(EsaryProschan, TightUpperOnDisjointParallelPaths) {
+  // s/t perfect, two vertex-disjoint branches: the upper bound is exact;
+  // the lower is merely a bound.
+  Graph g;
+  for (const char* n : {"s", "x", "y", "t"}) g.add_vertex(n);
+  g.add_edge("s", "x");
+  g.add_edge("x", "t");
+  g.add_edge("s", "y");
+  g.add_edge("y", "t");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {1.0, 0.8, 0.7, 1.0};
+  p.edge_availability.assign(4, 1.0);
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const auto bounds = esary_proschan_bounds(p);
+  const double exact = exact_availability(p);
+  EXPECT_NEAR(bounds.upper, exact, 1e-12);
+  EXPECT_LE(bounds.lower, exact + 1e-12);
+}
+
+TEST(EsaryProschan, BracketExactOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = netgen::erdos_renyi(9, 0.25, seed);
+    util::Rng rng(seed * 7 + 1);
+    ReliabilityProblem p;
+    p.g = &g;
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      p.vertex_availability.push_back(0.6 + 0.4 * rng.uniform());
+    }
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      p.edge_availability.push_back(0.6 + 0.4 * rng.uniform());
+    }
+    p.terminal_pairs = {{VertexId{0}, VertexId{8}}};
+    const auto paths = pathdisc::discover(g, VertexId{0}, VertexId{8});
+    if (paths.count() > 20) continue;  // keep the cut expansion small
+    const auto bounds = esary_proschan_bounds(p);
+    const double exact = exact_availability(p);
+    EXPECT_LE(bounds.lower, exact + 1e-9) << "seed " << seed;
+    EXPECT_GE(bounds.upper + 1e-9, exact) << "seed " << seed;
+  }
+}
+
+TEST(EsaryProschan, UpperBoundEqualsRbdValue) {
+  // The paper's [20] RBD is the EP upper bound.
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "bounds");
+  const auto problem = ReliabilityProblem::from_attributes(
+      result.upsim_graph, {result.terminal_pairs()[0]});
+  const auto bounds = esary_proschan_bounds(problem);
+  const auto models = core::build_pair_models(result, 0);
+  EXPECT_NEAR(bounds.upper, models.rbd->availability(), 1e-12);
+  const double exact = exact_availability(problem);
+  EXPECT_LE(bounds.lower, exact + 1e-12);
+  EXPECT_GE(bounds.upper + 1e-12, exact);
+  EXPECT_EQ(bounds.path_sets, 6u);
+  EXPECT_GT(bounds.cut_sets, 0u);
+}
+
+TEST(EsaryProschan, DisconnectedPairIsZeroZero) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  const auto p =
+      uniform(g, 1.0, 1.0, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  const auto bounds = esary_proschan_bounds(p);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+  EXPECT_EQ(bounds.path_sets, 0u);
+}
+
+TEST(EsaryProschan, MultiPairRejected) {
+  const Graph g = netgen::ring(4);
+  auto p = uniform(g, 0.9, 0.9, VertexId{0}, VertexId{2});
+  p.terminal_pairs.push_back({VertexId{1}, VertexId{3}});
+  EXPECT_THROW((void)esary_proschan_bounds(p), ModelError);
+}
+
+}  // namespace
+}  // namespace upsim::depend

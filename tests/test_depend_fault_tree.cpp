@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "depend/fault_tree.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+TEST(FaultTree, BasicEventProbability) {
+  const FaultTreePtr e = failure_event("t1_down", 0.01);
+  EXPECT_DOUBLE_EQ(e->probability(), 0.01);
+  EXPECT_EQ(e->kind(), GateKind::Basic);
+  EXPECT_EQ(e->event_name(), "t1_down");
+  EXPECT_THROW((void)failure_event("x", 1.5), ModelError);
+}
+
+TEST(FaultTree, GateProbabilities) {
+  const auto a = failure_event("a", 0.1);
+  const auto b = failure_event("b", 0.2);
+  EXPECT_DOUBLE_EQ(and_gate({a, b})->probability(), 0.02);
+  EXPECT_NEAR(or_gate({a, b})->probability(), 1.0 - 0.9 * 0.8, 1e-12);
+  // 2-of-3: ab + ac + bc - 2abc with c = 0.3.
+  const auto c = failure_event("c", 0.3);
+  EXPECT_NEAR(k_of_n_gate(2, {a, b, c})->probability(),
+              0.1 * 0.2 + 0.1 * 0.3 + 0.2 * 0.3 - 2 * 0.1 * 0.2 * 0.3, 1e-12);
+}
+
+TEST(FaultTree, GateValidation) {
+  EXPECT_THROW((void)and_gate({}), ModelError);
+  EXPECT_THROW((void)or_gate({nullptr}), ModelError);
+  const auto a = failure_event("a", 0.1);
+  EXPECT_THROW((void)k_of_n_gate(0, {a}), ModelError);
+  EXPECT_THROW((void)k_of_n_gate(2, {a}), ModelError);
+}
+
+TEST(FaultTree, ToStringRendersStructure) {
+  const auto top = and_gate(
+      {or_gate({failure_event("a", 0.1), failure_event("b", 0.1)}),
+       failure_event("c", 0.2)});
+  EXPECT_EQ(top->to_string(), "AND(OR(a,b),c)");
+}
+
+TEST(FaultTree, FromPathsIsAndOverOrs) {
+  // Two paths sharing x: failure = (x|a) & (x|b).
+  const auto top = fault_tree_from_paths({{"x", "a"}, {"x", "b"}},
+                                         [](const std::string& name) {
+                                           return name == "x" ? 0.5 : 0.0;
+                                         });
+  EXPECT_EQ(top->kind(), GateKind::And);
+  // Under independence: P = (0.5)(0.5) = 0.25 — the dual of the RBD
+  // overestimate (true failure probability is 0.5 because x is shared).
+  EXPECT_NEAR(top->probability(), 0.25, 1e-12);
+  EXPECT_THROW(
+      (void)fault_tree_from_paths({}, [](const std::string&) { return 0.0; }),
+      ModelError);
+}
+
+TEST(FaultTree, MinimalCutSetsOfSharedComponentStructure) {
+  // (x|a) & (x|b) has minimal cut sets {x} and {a,b}.
+  const auto top = fault_tree_from_paths(
+      {{"x", "a"}, {"x", "b"}}, [](const std::string&) { return 0.1; });
+  const auto cuts = minimal_cut_sets(top);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], (CutSet{"x"}));
+  EXPECT_EQ(cuts[1], (CutSet{"a", "b"}));
+}
+
+TEST(FaultTree, AbsorptionRemovesSupersets) {
+  // OR(a, AND(a, b)) -> {a} only.
+  const auto a = failure_event("a", 0.1);
+  const auto b = failure_event("b", 0.1);
+  const auto top = or_gate({a, and_gate({a, b})});
+  const auto cuts = minimal_cut_sets(top);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], (CutSet{"a"}));
+}
+
+TEST(FaultTree, KofNCutSets) {
+  // 2-of-3(a,b,c) has cut sets {a,b}, {a,c}, {b,c}.
+  const auto top = k_of_n_gate(2, {failure_event("a", 0.1),
+                                   failure_event("b", 0.1),
+                                   failure_event("c", 0.1)});
+  const auto cuts = minimal_cut_sets(top);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), CutSet{"a", "b"}), cuts.end());
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), CutSet{"a", "c"}), cuts.end());
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), CutSet{"b", "c"}), cuts.end());
+}
+
+TEST(FaultTree, MaxOrderFiltersLargeCutSets) {
+  const auto top = fault_tree_from_paths(
+      {{"a", "b"}, {"c", "d"}}, [](const std::string&) { return 0.1; });
+  // Full cut sets: {a,c},{a,d},{b,c},{b,d} (order 2 each).
+  CutSetOptions options;
+  options.max_order = 1;
+  EXPECT_TRUE(minimal_cut_sets(top, options).empty());
+  options.max_order = 2;
+  EXPECT_EQ(minimal_cut_sets(top, options).size(), 4u);
+}
+
+TEST(FaultTree, WorkingSetGuardThrows) {
+  // 12 paths of 2 distinct components each: the AND expansion would build
+  // 2^12 cut sets; a small budget must trip.
+  std::vector<std::vector<std::string>> paths;
+  for (int i = 0; i < 12; ++i) {
+    paths.push_back({"a" + std::to_string(i), "b" + std::to_string(i)});
+  }
+  const auto top =
+      fault_tree_from_paths(paths, [](const std::string&) { return 0.1; });
+  CutSetOptions options;
+  options.max_working_sets = 100;
+  EXPECT_THROW((void)minimal_cut_sets(top, options), Error);
+}
+
+TEST(FaultTree, CutSetUpperBound) {
+  const std::vector<CutSet> cuts{{"x"}, {"a", "b"}};
+  const double bound = cut_set_upper_bound(cuts, [](const std::string& name) {
+    return name == "x" ? 0.01 : 0.1;
+  });
+  EXPECT_NEAR(bound, 0.01 + 0.1 * 0.1, 1e-12);
+}
+
+TEST(FaultTree, NullTreeRejected) {
+  EXPECT_THROW((void)minimal_cut_sets(nullptr), ModelError);
+}
+
+}  // namespace
+}  // namespace upsim::depend

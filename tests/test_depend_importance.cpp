@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/importance.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// s - m - t chain: m is a single point of failure.
+ReliabilityProblem chain_problem(Graph& g) {
+  g.add_vertex("s");
+  g.add_vertex("m");
+  g.add_vertex("t");
+  g.add_edge("s", "m", "sm");
+  g.add_edge("m", "t", "mt");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {0.99, 0.9, 0.99};
+  p.edge_availability = {0.999, 0.999};
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  return p;
+}
+
+TEST(Importance, SinglePointOfFailureDetected) {
+  Graph g;
+  const auto p = chain_problem(g);
+  const auto ranking = importance_ranking(p);
+  ASSERT_EQ(ranking.size(), 5u);  // 3 vertices + 2 edges
+  const double baseline = exact_availability(p);
+  for (const auto& record : ranking) {
+    // Every component of a pure chain is a SPOF.
+    EXPECT_TRUE(record.single_point_of_failure()) << record.component;
+    EXPECT_EQ(record.system_when_down, 0.0) << record.component;
+    // For a SPOF, RAW reaches its maximum 1/U.
+    EXPECT_NEAR(record.risk_achievement_worth, 1.0 / (1.0 - baseline), 1e-9)
+        << record.component;
+  }
+}
+
+TEST(Importance, RrwInfiniteWhenComponentIsTheOnlyRisk) {
+  // Single fallible component: perfecting it removes all residual risk.
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("m");
+  g.add_vertex("t");
+  g.add_edge("s", "m", "sm");
+  g.add_edge("m", "t", "mt");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {1.0, 0.9, 1.0};
+  p.edge_availability = {1.0, 1.0};
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  for (const auto& record : importance_ranking(p)) {
+    if (record.component == "m") {
+      EXPECT_TRUE(std::isinf(record.risk_reduction_worth));
+    } else {
+      // Perfecting an already-perfect component changes nothing.
+      EXPECT_NEAR(record.risk_reduction_worth, 1.0, 1e-12)
+          << record.component;
+      EXPECT_NEAR(record.improvement_potential, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Importance, BirnbaumOfSeriesComponent) {
+  // For a series system, B_i = product of the other availabilities.
+  Graph g;
+  const auto p = chain_problem(g);
+  const auto ranking = importance_ranking(p);
+  const auto* m = &ranking.front();
+  for (const auto& r : ranking) {
+    if (r.component == "m") m = &r;
+  }
+  ASSERT_EQ(m->component, "m");
+  EXPECT_NEAR(m->birnbaum, 0.99 * 0.99 * 0.999 * 0.999, 1e-12);
+  EXPECT_NEAR(m->system_when_up, m->birnbaum, 1e-12);
+  // The least available component has the highest improvement potential.
+  double best_ip = 0.0;
+  std::string best_name;
+  for (const auto& r : ranking) {
+    if (r.improvement_potential > best_ip) {
+      best_ip = r.improvement_potential;
+      best_name = r.component;
+    }
+  }
+  EXPECT_EQ(best_name, "m");
+}
+
+TEST(Importance, RedundantBranchesHaveLowerImportance) {
+  // s -(x|y)- t diamond: x and y individually matter far less than s or t.
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("x");
+  g.add_vertex("y");
+  g.add_vertex("t");
+  g.add_edge("s", "x");
+  g.add_edge("x", "t");
+  g.add_edge("s", "y");
+  g.add_edge("y", "t");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {0.99, 0.9, 0.9, 0.99};
+  p.edge_availability.assign(4, 1.0);
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  ImportanceOptions options;
+  options.include_edges = false;
+  const auto ranking = importance_ranking(p, options);
+  ASSERT_EQ(ranking.size(), 4u);
+  // Terminals rank first (SPOFs); the redundant x/y rank last.
+  EXPECT_TRUE(ranking[0].single_point_of_failure());
+  EXPECT_TRUE(ranking[1].single_point_of_failure());
+  EXPECT_FALSE(ranking[2].single_point_of_failure());
+  EXPECT_FALSE(ranking[3].single_point_of_failure());
+  EXPECT_TRUE(ranking[2].component == "x" || ranking[2].component == "y");
+  // RAW of a redundant branch is modest; RAW of a terminal is large.
+  EXPECT_GT(ranking[0].risk_achievement_worth,
+            ranking[2].risk_achievement_worth);
+}
+
+TEST(Importance, MeasuresAreInternallyConsistent) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("a");
+  g.add_vertex("b");
+  g.add_vertex("t");
+  g.add_edge("s", "a");
+  g.add_edge("a", "t");
+  g.add_edge("s", "b");
+  g.add_edge("b", "t");
+  g.add_edge("a", "b");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {0.95, 0.9, 0.85, 0.95};
+  p.edge_availability.assign(5, 0.98);
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const double baseline = exact_availability(p);
+  for (const auto& r : importance_ranking(p)) {
+    // A(0_i) <= A <= A(1_i); B_i in [0,1]; decomposition identity:
+    // A = a_i * A(1_i) + (1 - a_i) * A(0_i).
+    EXPECT_LE(r.system_when_down, baseline + 1e-12) << r.component;
+    EXPECT_GE(r.system_when_up + 1e-12, baseline) << r.component;
+    EXPECT_GE(r.birnbaum, -1e-12);
+    EXPECT_LE(r.birnbaum, 1.0 + 1e-12);
+    EXPECT_NEAR(baseline,
+                r.availability * r.system_when_up +
+                    (1.0 - r.availability) * r.system_when_down,
+                1e-9)
+        << r.component;
+    EXPECT_GE(r.risk_achievement_worth, 1.0 - 1e-12) << r.component;
+    EXPECT_GE(r.risk_reduction_worth, 1.0 - 1e-12) << r.component;
+  }
+}
+
+TEST(Importance, RankingIsSortedByBirnbaum) {
+  Graph g;
+  const auto p = chain_problem(g);
+  const auto ranking = importance_ranking(p);
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].birnbaum + 1e-12, ranking[i].birnbaum);
+  }
+}
+
+TEST(Importance, CaseStudyClientAndPrinterDominate) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "imp");
+  const auto problem = ReliabilityProblem::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  ImportanceOptions options;
+  options.include_edges = false;
+  const auto ranking = importance_ranking(problem, options);
+  // The fragile client (MTTR 24 h) is the top Birnbaum component; the
+  // redundant core switches land at the bottom.
+  EXPECT_EQ(ranking.front().component, "t1");
+  EXPECT_TRUE(ranking.front().single_point_of_failure());
+  const auto& last = ranking.back();
+  EXPECT_TRUE(last.component == "c1" || last.component == "c2" ||
+              last.component == "d1" || last.component == "d2")
+      << last.component;
+  EXPECT_FALSE(last.single_point_of_failure());
+}
+
+TEST(Importance, InvalidProblemRejected) {
+  ReliabilityProblem empty;
+  EXPECT_THROW((void)importance_ranking(empty), ModelError);
+}
+
+}  // namespace
+}  // namespace upsim::depend

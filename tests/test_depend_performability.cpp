@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/performability.hpp"
+#include "depend/reliability.hpp"
+#include "graph/widest_path.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// widest path
+
+TEST(WidestPath, PicksMaximumBottleneck) {
+  // s -(100)- a -(10)- t  versus  s -(50)- b -(50)- t: widest is via b.
+  Graph g;
+  for (const char* n : {"s", "a", "b", "t"}) g.add_vertex(n);
+  g.add_edge("s", "a", "sa", {{"cap", 100.0}});
+  g.add_edge("a", "t", "at", {{"cap", 10.0}});
+  g.add_edge("s", "b", "sb", {{"cap", 50.0}});
+  g.add_edge("b", "t", "bt", {{"cap", 50.0}});
+  const auto capacity = [&](EdgeId e) { return g.edge(e).attributes.at("cap"); };
+  const auto result = graph::widest_path(g, g.vertex_by_name("s"),
+                                         g.vertex_by_name("t"), capacity);
+  ASSERT_TRUE(result.reachable());
+  EXPECT_DOUBLE_EQ(result.width, 50.0);
+  EXPECT_EQ(g.vertex(result.path[1]).name, "b");
+}
+
+TEST(WidestPath, TrivialAndUnreachable) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  const auto capacity = [](EdgeId) { return 1.0; };
+  const auto trivial = graph::widest_path(g, g.vertex_by_name("s"),
+                                          g.vertex_by_name("s"), capacity);
+  ASSERT_TRUE(trivial.reachable());
+  EXPECT_TRUE(std::isinf(trivial.width));
+  const auto none = graph::widest_path(g, g.vertex_by_name("s"),
+                                       g.vertex_by_name("t"), capacity);
+  EXPECT_FALSE(none.reachable());
+}
+
+TEST(WidestPath, UsableMasksApply) {
+  Graph g;
+  for (const char* n : {"s", "a", "b", "t"}) g.add_vertex(n);
+  g.add_edge("s", "a", "sa", {{"cap", 100.0}});
+  g.add_edge("a", "t", "at", {{"cap", 100.0}});
+  g.add_edge("s", "b", "sb", {{"cap", 1.0}});
+  g.add_edge("b", "t", "bt", {{"cap", 1.0}});
+  const auto capacity = [&](EdgeId e) { return g.edge(e).attributes.at("cap"); };
+  const VertexId a = g.vertex_by_name("a");
+  const auto result = graph::widest_path(
+      g, g.vertex_by_name("s"), g.vertex_by_name("t"), capacity,
+      [&](VertexId v) { return v != a; }, nullptr);
+  ASSERT_TRUE(result.reachable());
+  EXPECT_DOUBLE_EQ(result.width, 1.0);  // forced onto the thin route
+  EXPECT_THROW((void)graph::widest_path(g, g.vertex_by_name("s"),
+                                        g.vertex_by_name("t"),
+                                        [](EdgeId) { return -1.0; }),
+               ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// performability
+
+/// Fast-but-fragile 100 Mbps branch; reliable 10 Mbps branch.
+struct TwoBranch {
+  Graph g;
+  ReliabilityProblem problem;
+
+  TwoBranch() {
+    for (const char* n : {"s", "x", "y", "t"}) g.add_vertex(n);
+    g.add_edge("s", "x", "sx", {{"throughput_mbps", 100.0}});
+    g.add_edge("x", "t", "xt", {{"throughput_mbps", 100.0}});
+    g.add_edge("s", "y", "sy", {{"throughput_mbps", 10.0}});
+    g.add_edge("y", "t", "yt", {{"throughput_mbps", 10.0}});
+    problem.g = &g;
+    problem.vertex_availability = {1.0, 0.8, 0.99, 1.0};
+    problem.edge_availability.assign(4, 1.0);
+    problem.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  }
+};
+
+TEST(Performability, ExactMatchesHandComputation) {
+  TwoBranch tb;
+  const auto result = exact_performability(tb.problem);
+  EXPECT_DOUBLE_EQ(result.nominal_throughput, 100.0);
+  // P(>=100) = P(x up) = 0.8; P(>=10) = P(x or y up) = 1 - 0.2*0.01 = 0.998.
+  ASSERT_EQ(result.distribution.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.distribution[0].first, 100.0);
+  EXPECT_NEAR(result.distribution[0].second, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(result.distribution[1].first, 10.0);
+  EXPECT_NEAR(result.distribution[1].second, 0.998, 1e-12);
+  // E[T] = 100 * 0.8 + 10 * (0.998 - 0.8) = 81.98.
+  EXPECT_NEAR(result.expected_throughput, 81.98, 1e-9);
+  EXPECT_NEAR(result.availability, 0.998, 1e-12);
+}
+
+TEST(Performability, MonteCarloMatchesExact) {
+  TwoBranch tb;
+  const auto exact = exact_performability(tb.problem);
+  const auto mc = monte_carlo_performability(tb.problem, {}, 200000, 9);
+  EXPECT_NEAR(mc.expected_throughput, exact.expected_throughput, 0.5);
+  EXPECT_NEAR(mc.availability, exact.availability, 0.005);
+  EXPECT_DOUBLE_EQ(mc.nominal_throughput, exact.nominal_throughput);
+  ASSERT_GE(mc.distribution.size(), 2u);
+  EXPECT_NEAR(mc.distribution[0].second, 0.8, 0.01);
+}
+
+TEST(Performability, EqualWidthPathsCollapseToAvailability) {
+  // When every path has the same bottleneck W, E[T] = A * W.
+  Graph g;
+  for (const char* n : {"s", "x", "y", "t"}) g.add_vertex(n);
+  for (const auto& [a, b] : std::initializer_list<std::pair<const char*, const char*>>{
+           {"s", "x"}, {"x", "t"}, {"s", "y"}, {"y", "t"}}) {
+    g.add_edge(a, b, std::string(a) + b, {{"throughput_mbps", 42.0}});
+  }
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {1.0, 0.9, 0.9, 1.0};
+  p.edge_availability.assign(4, 1.0);
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const auto result = exact_performability(p);
+  const double availability = exact_availability(p);
+  EXPECT_NEAR(result.expected_throughput, availability * 42.0, 1e-12);
+}
+
+TEST(Performability, ValidationAndGuards) {
+  TwoBranch tb;
+  auto two_pairs = tb.problem;
+  two_pairs.terminal_pairs.push_back(two_pairs.terminal_pairs[0]);
+  EXPECT_THROW((void)exact_performability(two_pairs), ModelError);
+  EXPECT_THROW((void)monte_carlo_performability(tb.problem, {}, 0, 1),
+               ModelError);
+}
+
+TEST(Performability, DisconnectedPairIsZero) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {1.0, 1.0};
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const auto result = exact_performability(p);
+  EXPECT_DOUBLE_EQ(result.expected_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(result.availability, 0.0);
+  EXPECT_TRUE(result.distribution.empty());
+}
+
+TEST(Performability, CaseStudyUsesNetworkProfileThroughput) {
+  // The Fig. 7 throughput values ride along the projection: the t1 ->
+  // printS route bottlenecks at the 100 Mbps printer link?  No — printer
+  // links serve p2; the t1 -> printS route is access (1000) + trunk
+  // (10000) + server (1000): nominal 1000 Mbps.
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "perf");
+  const auto problem = ReliabilityProblem::from_attributes(
+      result.upsim_graph, {result.terminal_pairs()[0]});
+  const auto perf = exact_performability(problem);
+  EXPECT_DOUBLE_EQ(perf.nominal_throughput, 1000.0);
+  // All six redundant paths share the same 1000 Mbps bottleneck (access +
+  // server links), so E[T] = A * 1000.
+  EXPECT_NEAR(perf.expected_throughput, perf.availability * 1000.0, 1e-9);
+  EXPECT_GT(perf.availability, 0.99);
+
+  // The send_document_list pair (printS -> p2) crosses the 100 Mbps
+  // printer access link: its nominal throughput is printer-bound.
+  const auto problem2 = ReliabilityProblem::from_attributes(
+      result.upsim_graph, {result.terminal_pairs()[2]});
+  const auto perf2 = exact_performability(problem2);
+  EXPECT_DOUBLE_EQ(perf2.nominal_throughput, 100.0);
+}
+
+}  // namespace
+}  // namespace upsim::depend

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "depend/rbd.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+TEST(Rbd, BasicBlock) {
+  const BlockPtr b = basic("t1", 0.99);
+  EXPECT_DOUBLE_EQ(b->availability(), 0.99);
+  EXPECT_EQ(b->basic_count(), 1u);
+  EXPECT_EQ(b->to_string(), "t1");
+  EXPECT_THROW((void)basic("bad", 1.5), ModelError);
+  EXPECT_THROW((void)basic("bad", -0.1), ModelError);
+}
+
+TEST(Rbd, SeriesMultiplies) {
+  const BlockPtr s = series({basic("a", 0.9), basic("b", 0.8), basic("c", 0.5)});
+  EXPECT_DOUBLE_EQ(s->availability(), 0.9 * 0.8 * 0.5);
+  EXPECT_EQ(s->basic_count(), 3u);
+  EXPECT_EQ(s->to_string(), "(a*b*c)");
+  EXPECT_THROW((void)series({}), ModelError);
+}
+
+TEST(Rbd, ParallelComplements) {
+  const BlockPtr p = parallel({basic("a", 0.9), basic("b", 0.8)});
+  EXPECT_DOUBLE_EQ(p->availability(), 1.0 - 0.1 * 0.2);
+  EXPECT_EQ(p->to_string(), "(a+b)");
+  EXPECT_THROW((void)parallel({}), ModelError);
+}
+
+TEST(Rbd, NestedComposition) {
+  // (a * (b + c)) — a classic bridge-free layout.
+  const BlockPtr block =
+      series({basic("a", 0.9), parallel({basic("b", 0.8), basic("c", 0.7)})});
+  EXPECT_DOUBLE_EQ(block->availability(), 0.9 * (1.0 - 0.2 * 0.3));
+  EXPECT_EQ(block->basic_count(), 3u);
+  EXPECT_EQ(block->to_string(), "(a*(b+c))");
+}
+
+TEST(Rbd, KofNExactDp) {
+  // 2-of-3 with distinct availabilities: P = ab + ac + bc - 2abc.
+  const double a = 0.9, b = 0.8, c = 0.7;
+  const BlockPtr block =
+      k_of_n(2, {basic("a", a), basic("b", b), basic("c", c)});
+  const double expected = a * b + a * c + b * c - 2 * a * b * c;
+  EXPECT_NEAR(block->availability(), expected, 1e-12);
+}
+
+TEST(Rbd, KofNDegenerateCases) {
+  // 1-of-n equals parallel; n-of-n equals series.
+  const std::vector<double> avail{0.9, 0.8, 0.7, 0.6};
+  auto blocks = [&] {
+    std::vector<BlockPtr> out;
+    for (std::size_t i = 0; i < avail.size(); ++i) {
+      out.push_back(basic("b" + std::to_string(i), avail[i]));
+    }
+    return out;
+  };
+  EXPECT_NEAR(k_of_n(1, blocks())->availability(),
+              parallel(blocks())->availability(), 1e-12);
+  EXPECT_NEAR(k_of_n(4, blocks())->availability(),
+              series(blocks())->availability(), 1e-12);
+  EXPECT_THROW((void)k_of_n(0, blocks()), ModelError);
+  EXPECT_THROW((void)k_of_n(5, blocks()), ModelError);
+}
+
+TEST(Rbd, FromPathsBuildsParallelOfSeries) {
+  const std::vector<std::vector<std::string>> paths{
+      {"t1", "e1", "printS"},
+      {"t1", "e2", "printS"},
+  };
+  const auto availability_of = [](const std::string& name) {
+    return name == "t1" ? 0.99 : name == "printS" ? 0.999 : 0.95;
+  };
+  const BlockPtr rbd = rbd_from_paths(paths, availability_of);
+  const double path_a = 0.99 * 0.95 * 0.999;
+  const double expected = 1.0 - (1.0 - path_a) * (1.0 - path_a);
+  EXPECT_NEAR(rbd->availability(), expected, 1e-12);
+  EXPECT_EQ(rbd->basic_count(), 6u);  // t1/printS duplicated across branches
+}
+
+TEST(Rbd, FromPathsRejectsEmpty) {
+  EXPECT_THROW((void)rbd_from_paths({}, [](const std::string&) { return 1.0; }),
+               ModelError);
+}
+
+TEST(Rbd, SharedComponentDuplicationOverestimates) {
+  // Both paths share the fragile component x (a = 0.5); true availability
+  // of the structure (x in series with a perfect parallel pair) is 0.5,
+  // but the path-RBD counts x twice: 1 - (1-0.5)^2 = 0.75.
+  const std::vector<std::vector<std::string>> paths{{"x", "a"}, {"x", "b"}};
+  const auto availability_of = [](const std::string& name) {
+    return name == "x" ? 0.5 : 1.0;
+  };
+  const BlockPtr rbd = rbd_from_paths(paths, availability_of);
+  EXPECT_NEAR(rbd->availability(), 0.75, 1e-12);  // documented overestimate
+}
+
+}  // namespace
+}  // namespace upsim::depend

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/reduction.hpp"
+#include "netgen/generators.hpp"
+#include "util/rng.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+ReliabilityProblem uniform(const Graph& g, double va, double ea, VertexId s,
+                           VertexId t) {
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability.assign(g.vertex_count(), va);
+  p.edge_availability.assign(g.edge_count(), ea);
+  p.terminal_pairs = {{s, t}};
+  return p;
+}
+
+TEST(Reduction, ChainCollapsesToSingleEdge) {
+  // s - x - y - t reduces to s - t with the chain folded into one edge.
+  Graph g;
+  for (const char* n : {"s", "x", "y", "t"}) g.add_vertex(n);
+  g.add_edge("s", "x");
+  g.add_edge("x", "y");
+  g.add_edge("y", "t");
+  const auto p =
+      uniform(g, 0.9, 0.95, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  const auto reduced = reduce(p);
+  EXPECT_EQ(reduced.graph->vertex_count(), 2u);
+  EXPECT_EQ(reduced.graph->edge_count(), 1u);
+  EXPECT_EQ(reduced.removed_vertices, 2u);
+  // Folded edge availability: 0.95 * 0.9 * 0.95 * 0.9 * 0.95.
+  EXPECT_NEAR(reduced.problem.edge_availability[0],
+              0.95 * 0.9 * 0.95 * 0.9 * 0.95, 1e-12);
+  EXPECT_NEAR(exact_availability(reduced.problem), exact_availability(p),
+              1e-12);
+}
+
+TEST(Reduction, DanglingSubtreesPruned) {
+  // A client subtree hanging off the terminal path disappears entirely.
+  Graph g;
+  for (const char* n : {"s", "m", "t", "leaf1", "leaf2", "sub"}) {
+    g.add_vertex(n);
+  }
+  g.add_edge("s", "m");
+  g.add_edge("m", "t");
+  g.add_edge("m", "sub");
+  g.add_edge("sub", "leaf1");
+  g.add_edge("sub", "leaf2");
+  const auto p =
+      uniform(g, 0.9, 0.9, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  const auto reduced = reduce(p);
+  EXPECT_EQ(reduced.graph->vertex_count(), 2u);  // s and t survive
+  EXPECT_FALSE(reduced.graph->find_vertex("sub").has_value());
+  EXPECT_NEAR(exact_availability(reduced.problem), exact_availability(p),
+              1e-12);
+}
+
+TEST(Reduction, ParallelEdgesMerged) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  g.add_edge("s", "t", "l1");
+  g.add_edge("s", "t", "l2");
+  auto p = uniform(g, 1.0, 0.9, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  const auto reduced = reduce(p);
+  EXPECT_EQ(reduced.graph->edge_count(), 1u);
+  EXPECT_EQ(reduced.merged_edges, 1u);
+  EXPECT_NEAR(reduced.problem.edge_availability[0], 1.0 - 0.1 * 0.1, 1e-12);
+}
+
+TEST(Reduction, TerminalsNeverRemoved) {
+  // Even a degree-1 terminal stays.
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("m");
+  g.add_vertex("t");
+  g.add_edge("s", "m");
+  g.add_edge("m", "t");
+  const auto p =
+      uniform(g, 0.9, 0.9, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  const auto reduced = reduce(p);
+  EXPECT_TRUE(reduced.graph->find_vertex("s").has_value());
+  EXPECT_TRUE(reduced.graph->find_vertex("t").has_value());
+  EXPECT_FALSE(reduced.graph->find_vertex("m").has_value());
+}
+
+TEST(Reduction, PendantCycleDropped) {
+  // s - t plus a cycle v=x=v hanging off x contributes nothing.
+  Graph g;
+  for (const char* n : {"s", "x", "v", "t"}) g.add_vertex(n);
+  g.add_edge("s", "x");
+  g.add_edge("x", "t");
+  g.add_edge("x", "v", "xv1");
+  g.add_edge("x", "v", "xv2");
+  const auto p =
+      uniform(g, 0.9, 0.9, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  const auto reduced = reduce(p);
+  EXPECT_FALSE(reduced.graph->find_vertex("v").has_value());
+  EXPECT_NEAR(exact_availability(reduced.problem), exact_availability(p),
+              1e-12);
+}
+
+TEST(Reduction, MultiPairKeepsAllTerminals) {
+  const Graph g = netgen::campus({});
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability.assign(g.vertex_count(), 0.95);
+  p.edge_availability.assign(g.edge_count(), 0.99);
+  p.terminal_pairs = {{g.vertex_by_name("t0"), g.vertex_by_name("srv0")},
+                      {g.vertex_by_name("t5"), g.vertex_by_name("srv0")}};
+  const auto reduced = reduce(p);
+  for (const char* name : {"t0", "t5", "srv0"}) {
+    EXPECT_TRUE(reduced.graph->find_vertex(name).has_value()) << name;
+  }
+  EXPECT_NEAR(exact_availability(reduced.problem), exact_availability(p),
+              1e-10);
+}
+
+TEST(Reduction, EquivalentOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = netgen::erdos_renyi(10, 0.2, seed);
+    util::Rng rng(seed + 100);
+    ReliabilityProblem p;
+    p.g = &g;
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      p.vertex_availability.push_back(0.5 + 0.5 * rng.uniform());
+    }
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      p.edge_availability.push_back(0.5 + 0.5 * rng.uniform());
+    }
+    p.terminal_pairs = {{VertexId{0}, VertexId{9}}};
+    EXPECT_NEAR(exact_availability_reduced(p), exact_availability(p), 1e-10)
+        << "seed " << seed;
+  }
+}
+
+TEST(Reduction, CampusCollapsesDramatically) {
+  netgen::CampusSpec spec;
+  spec.distribution = 16;
+  const Graph g = netgen::campus(spec);
+  const auto p = uniform(g, 0.98, 0.995, g.vertex_by_name("t0"),
+                         g.vertex_by_name("srv0"));
+  const auto reduced = reduce(p);
+  // 16 dual-homed distribution switches + subtrees shrink to a handful of
+  // vertices around the terminal path.
+  EXPECT_LT(reduced.graph->vertex_count(), 8u);
+  EXPECT_GT(reduced.removed_vertices, g.vertex_count() - 8);
+  // Raw factoring is exponential at this size; cross-check the reduced
+  // exact value against Monte Carlo instead.
+  const auto mc = monte_carlo_availability(p, 200000, 11);
+  EXPECT_NEAR(exact_availability(reduced.problem), mc.estimate,
+              5.0 * mc.std_error + 1e-9);
+}
+
+TEST(Reduction, EquivalentToRawFactoringOnMediumCampus) {
+  netgen::CampusSpec spec;
+  spec.distribution = 6;  // still tractable for the raw engine
+  const Graph g = netgen::campus(spec);
+  const auto p = uniform(g, 0.98, 0.995, g.vertex_by_name("t0"),
+                         g.vertex_by_name("srv0"));
+  EXPECT_NEAR(exact_availability_reduced(p), exact_availability(p), 1e-10);
+}
+
+TEST(Reduction, CaseStudyUpsimEquivalence) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "red");
+  const auto p = ReliabilityProblem::from_attributes(result.upsim_graph,
+                                                     result.terminal_pairs());
+  EXPECT_NEAR(exact_availability_reduced(p), exact_availability(p), 1e-12);
+}
+
+TEST(Reduction, DisconnectedStaysZero) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  g.add_vertex("orphan");
+  const auto p =
+      uniform(g, 0.9, 0.9, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  EXPECT_DOUBLE_EQ(exact_availability_reduced(p), 0.0);
+}
+
+}  // namespace
+}  // namespace upsim::depend

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "depend/reliability.hpp"
+#include "depend/responsiveness.hpp"
+#include "netgen/generators.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Diamond with a fast fragile branch and a slow reliable one.
+///   s -(x: fast, a=0.8)- t    latency 2ms
+///   s -(y: slow, a=0.99)- t   latency 10ms
+struct Diamond {
+  Graph g;
+  ReliabilityProblem problem;
+
+  Diamond() {
+    g.add_vertex("s", "", {{"latency_ms", 0.0}});
+    g.add_vertex("x", "", {{"latency_ms", 2.0}});
+    g.add_vertex("y", "", {{"latency_ms", 10.0}});
+    g.add_vertex("t", "", {{"latency_ms", 0.0}});
+    g.add_edge("s", "x", "sx", {{"latency_ms", 0.0}});
+    g.add_edge("x", "t", "xt", {{"latency_ms", 0.0}});
+    g.add_edge("s", "y", "sy", {{"latency_ms", 0.0}});
+    g.add_edge("y", "t", "yt", {{"latency_ms", 0.0}});
+    problem.g = &g;
+    problem.vertex_availability = {1.0, 0.8, 0.99, 1.0};
+    problem.edge_availability.assign(4, 1.0);
+    problem.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  }
+};
+
+LatencyModel zero_default_latency() {
+  LatencyModel latency;
+  latency.vertex_default_ms = 0.0;
+  latency.edge_default_ms = 0.0;
+  return latency;
+}
+
+TEST(Responsiveness, PathLatency) {
+  Diamond d;
+  const auto latency = zero_default_latency();
+  const std::vector<VertexId> fast{d.g.vertex_by_name("s"),
+                                   d.g.vertex_by_name("x"),
+                                   d.g.vertex_by_name("t")};
+  EXPECT_DOUBLE_EQ(path_latency_ms(d.g, fast, latency), 2.0);
+  EXPECT_THROW((void)path_latency_ms(d.g, {}, latency), ModelError);
+  const std::vector<VertexId> bogus{d.g.vertex_by_name("x"),
+                                    d.g.vertex_by_name("y")};
+  EXPECT_THROW((void)path_latency_ms(d.g, bogus, latency), ModelError);
+}
+
+TEST(Responsiveness, ExactMatchesHandComputation) {
+  Diamond d;
+  const auto result = exact_responsiveness(d.problem, zero_default_latency(),
+                                           {1.0, 2.0, 10.0, 100.0});
+  // Deadline 1ms: no path fits -> 0.
+  // Deadline 2ms: only the fast path (P = 0.8).
+  // Deadline 10ms+: either path works (P = 1 - 0.2*0.01 = 0.998).
+  ASSERT_EQ(result.probability.size(), 4u);
+  EXPECT_NEAR(result.probability[0], 0.0, 1e-12);
+  EXPECT_NEAR(result.probability[1], 0.8, 1e-12);
+  EXPECT_NEAR(result.probability[2], 0.998, 1e-12);
+  EXPECT_NEAR(result.probability[3], 0.998, 1e-12);
+  EXPECT_NEAR(result.availability, 0.998, 1e-12);
+  EXPECT_DOUBLE_EQ(result.best_case_ms, 2.0);
+  // Availability equals the plain reliability computation.
+  EXPECT_NEAR(result.availability, exact_availability(d.problem), 1e-12);
+}
+
+TEST(Responsiveness, MonteCarloMatchesExact) {
+  Diamond d;
+  const std::vector<double> deadlines{2.0, 10.0};
+  const auto exact =
+      exact_responsiveness(d.problem, zero_default_latency(), deadlines);
+  const auto mc = monte_carlo_responsiveness(
+      d.problem, zero_default_latency(), deadlines, 200000, 17);
+  ASSERT_EQ(mc.probability.size(), exact.probability.size());
+  for (std::size_t i = 0; i < deadlines.size(); ++i) {
+    EXPECT_NEAR(mc.probability[i], exact.probability[i], 0.005) << i;
+  }
+  EXPECT_NEAR(mc.availability, exact.availability, 0.005);
+  EXPECT_DOUBLE_EQ(mc.best_case_ms, exact.best_case_ms);
+}
+
+TEST(Responsiveness, MonotoneInDeadline) {
+  Diamond d;
+  const auto result = exact_responsiveness(
+      d.problem, zero_default_latency(), {0.5, 1.5, 2.5, 5.0, 9.0, 11.0});
+  for (std::size_t i = 1; i < result.probability.size(); ++i) {
+    EXPECT_GE(result.probability[i] + 1e-12, result.probability[i - 1]);
+  }
+  // P(T <= d) never exceeds availability.
+  for (const double p : result.probability) {
+    EXPECT_LE(p, result.availability + 1e-12);
+  }
+}
+
+TEST(Responsiveness, DeadlinesSortedInResult) {
+  Diamond d;
+  const auto result = exact_responsiveness(d.problem, zero_default_latency(),
+                                           {10.0, 2.0, 5.0});
+  EXPECT_EQ(result.deadlines_ms, (std::vector<double>{2.0, 5.0, 10.0}));
+}
+
+TEST(Responsiveness, InputValidation) {
+  Diamond d;
+  EXPECT_THROW(
+      (void)exact_responsiveness(d.problem, zero_default_latency(), {}),
+      ModelError);
+  EXPECT_THROW((void)exact_responsiveness(d.problem, zero_default_latency(),
+                                          {-1.0}),
+               ModelError);
+  EXPECT_THROW((void)monte_carlo_responsiveness(
+                   d.problem, zero_default_latency(), {1.0}, 0, 1),
+               ModelError);
+  auto two_pairs = d.problem;
+  two_pairs.terminal_pairs.push_back(two_pairs.terminal_pairs[0]);
+  EXPECT_THROW((void)exact_responsiveness(two_pairs, zero_default_latency(),
+                                          {1.0}),
+               ModelError);
+}
+
+TEST(Responsiveness, DisconnectedPairHasZeroEverything) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  ReliabilityProblem p;
+  p.g = &g;
+  p.vertex_availability = {1.0, 1.0};
+  p.terminal_pairs = {{g.vertex_by_name("s"), g.vertex_by_name("t")}};
+  const auto result =
+      exact_responsiveness(p, zero_default_latency(), {1.0, 1000.0});
+  EXPECT_DOUBLE_EQ(result.availability, 0.0);
+  EXPECT_TRUE(std::isinf(result.best_case_ms));
+  for (const double prob : result.probability) EXPECT_DOUBLE_EQ(prob, 0.0);
+}
+
+TEST(Responsiveness, DefaultLatenciesApply) {
+  // Campus without latency attributes: defaults kick in, deadline scales
+  // with hop count.
+  const auto g = netgen::campus({});
+  auto problem = ReliabilityProblem::from_attributes(
+      g, {{g.vertex_by_name("t0"), g.vertex_by_name("srv0")}});
+  LatencyModel latency;  // defaults: 0.1 ms/hop, 0.05 ms/link
+  const auto result = exact_responsiveness(problem, latency, {0.01, 100.0});
+  // Best path: t0-edge0-dist0-core-dist3-srv0 = 6 vertices + 5 links.
+  EXPECT_NEAR(result.best_case_ms, 6 * 0.1 + 5 * 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(result.probability[0], 0.0);
+  EXPECT_NEAR(result.probability[1], result.availability, 1e-12);
+}
+
+TEST(Responsiveness, ExactGuardsLargePathSets) {
+  netgen::CampusSpec spec;
+  spec.core = 4;  // path explosion through the 4-core mesh
+  const auto g = netgen::campus(spec);
+  auto problem = ReliabilityProblem::from_attributes(
+      g, {{g.vertex_by_name("t0"), g.vertex_by_name("srv0")}});
+  EXPECT_THROW(
+      (void)exact_responsiveness(problem, LatencyModel{}, {1.0}), Error);
+  // The Monte-Carlo variant handles it.
+  const auto mc =
+      monte_carlo_responsiveness(problem, LatencyModel{}, {100.0}, 20000, 3);
+  EXPECT_GT(mc.probability[0], 0.9);
+}
+
+}  // namespace
+}  // namespace upsim::depend

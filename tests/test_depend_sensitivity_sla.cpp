@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/availability.hpp"
+#include "depend/sensitivity.hpp"
+#include "depend/sla.hpp"
+#include "util/error.hpp"
+
+namespace upsim::depend {
+namespace {
+
+using graph::Graph;
+
+// ---------------------------------------------------------------------------
+// sensitivity
+
+Graph chain_with_attributes() {
+  Graph g;
+  g.add_vertex("s", "T", {{"mtbf", 1000.0}, {"mttr", 10.0}});
+  g.add_vertex("m", "T", {{"mtbf", 100.0}, {"mttr", 10.0}});
+  g.add_vertex("t", "T", {{"mtbf", 1000.0}, {"mttr", 10.0}});
+  g.add_edge("s", "m", "sm", {{"mtbf", 1e6}, {"mttr", 0.5}});
+  g.add_edge("m", "t", "mt", {{"mtbf", 1e6}, {"mttr", 0.5}});
+  return g;
+}
+
+TEST(Sensitivity, DerivativesMatchFiniteDifferences) {
+  const Graph g = chain_with_attributes();
+  const auto problem = ReliabilityProblem::from_attributes(
+      g, {{g.vertex_by_name("s"), g.vertex_by_name("t")}});
+  const auto records = sensitivity_analysis(problem);
+  ASSERT_EQ(records.size(), 5u);
+  // Check dA/dMTTR of the weakest component against a finite difference.
+  const auto* m = &records.front();
+  for (const auto& r : records) {
+    if (r.component == "m") m = &r;
+  }
+  ASSERT_EQ(m->component, "m");
+  const double h = 1e-4;
+  auto availability_with_mttr = [&](double mttr) {
+    Graph g2 = chain_with_attributes();
+    g2.vertex(g2.vertex_by_name("m")).attributes["mttr"] = mttr;
+    const auto p2 = ReliabilityProblem::from_attributes(
+        g2, {{g2.vertex_by_name("s"), g2.vertex_by_name("t")}});
+    return exact_availability(p2);
+  };
+  const double numeric =
+      (availability_with_mttr(10.0 + h) - availability_with_mttr(10.0 - h)) /
+      (2.0 * h);
+  EXPECT_NEAR(m->dA_dMTTR, numeric, 1e-8);
+  EXPECT_LT(m->dA_dMTTR, 0.0);
+  EXPECT_GT(m->dA_dMTBF, 0.0);
+  EXPECT_NEAR(m->downtime_saved_per_mttr_hour, -m->dA_dMTTR * 8760.0, 1e-12);
+}
+
+TEST(Sensitivity, WeakestSeriesComponentRanksFirst) {
+  const Graph g = chain_with_attributes();
+  const auto problem = ReliabilityProblem::from_attributes(
+      g, {{g.vertex_by_name("s"), g.vertex_by_name("t")}});
+  const auto records = sensitivity_analysis(problem);
+  // "m" (MTBF 100 h) is where an hour of MTTR buys the most.
+  EXPECT_EQ(records.front().component, "m");
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(std::abs(records[i - 1].dA_dMTTR) + 1e-15,
+              std::abs(records[i].dA_dMTTR));
+  }
+}
+
+TEST(Sensitivity, VerticesOnlyOption) {
+  const Graph g = chain_with_attributes();
+  const auto problem = ReliabilityProblem::from_attributes(
+      g, {{g.vertex_by_name("s"), g.vertex_by_name("t")}});
+  SensitivityOptions options;
+  options.include_edges = false;
+  EXPECT_EQ(sensitivity_analysis(problem, options).size(), 3u);
+}
+
+TEST(Sensitivity, CaseStudyClientMttrIsTheLever) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "sens");
+  const auto problem = ReliabilityProblem::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  SensitivityOptions options;
+  options.include_edges = false;
+  const auto records = sensitivity_analysis(problem, options);
+  // The fragile endpoints dominate every switch: for small MTTR the
+  // derivative is ~B/MTBF, so the printer (MTBF 2880 h) and the client
+  // (3000 h) are the two top levers, far ahead of the 60000+ h devices.
+  EXPECT_TRUE(records[0].component == "p2" || records[0].component == "t1");
+  EXPECT_TRUE(records[1].component == "p2" || records[1].component == "t1");
+  EXPECT_GT(records[1].downtime_saved_per_mttr_hour,
+            10.0 * records[2].downtime_saved_per_mttr_hour);
+}
+
+// ---------------------------------------------------------------------------
+// sla
+
+TEST(Sla, DowntimeConversions) {
+  EXPECT_DOUBLE_EQ(downtime_hours_per_year(1.0), 0.0);
+  EXPECT_NEAR(downtime_hours_per_year(0.99), 87.6, 1e-9);
+  EXPECT_NEAR(downtime_minutes_per_month(0.999), 43.2, 1e-9);
+  EXPECT_THROW((void)downtime_hours_per_year(1.5), ModelError);
+  EXPECT_THROW((void)downtime_minutes_per_month(-0.1), ModelError);
+}
+
+TEST(Sla, Nines) {
+  EXPECT_EQ(nines(0.0), 0);
+  EXPECT_EQ(nines(0.89), 0);
+  EXPECT_EQ(nines(0.9), 1);
+  EXPECT_EQ(nines(0.99), 2);
+  EXPECT_EQ(nines(0.999), 3);
+  EXPECT_EQ(nines(0.9999), 4);
+  EXPECT_EQ(nines(0.99999), 5);
+  EXPECT_EQ(nines(1.0), 9);
+  EXPECT_EQ(nines(0.995), 2);  // not yet three nines
+  EXPECT_THROW((void)nines(2.0), ModelError);
+}
+
+TEST(Sla, AvailabilityClass) {
+  EXPECT_EQ(availability_class(0.99), "99% (2 nines)");
+  EXPECT_EQ(availability_class(0.9), "90% (1 nine)");
+  EXPECT_NE(availability_class(0.9999).find("4 nines"), std::string::npos);
+}
+
+TEST(Sla, MeetsSla) {
+  EXPECT_TRUE(meets_sla(0.9995, 0.999));
+  EXPECT_FALSE(meets_sla(0.9985, 0.999));
+  EXPECT_TRUE(meets_sla(0.999, 0.999));
+  EXPECT_THROW((void)meets_sla(0.5, 1.5), ModelError);
+}
+
+TEST(Sla, CaseStudyPerspectiveClassification) {
+  // The t1 -> p2 printing service sits at two nines: client-bound.
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "sla");
+  const auto problem = ReliabilityProblem::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  const double a = exact_availability(problem);
+  EXPECT_EQ(nines(a), 2);
+  EXPECT_TRUE(meets_sla(a, 0.99));
+  EXPECT_FALSE(meets_sla(a, 0.999));
+  EXPECT_NEAR(downtime_hours_per_year(a), 72.76, 0.1);
+}
+
+}  // namespace
+}  // namespace upsim::depend

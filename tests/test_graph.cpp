@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace upsim::graph {
+namespace {
+
+Graph triangle_with_tail() {
+  // a - b - c - a (triangle), c - d (tail)
+  Graph g;
+  g.add_vertex("a", "T");
+  g.add_vertex("b", "T");
+  g.add_vertex("c", "T");
+  g.add_vertex("d", "T");
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("c", "a");
+  g.add_edge("c", "d");
+  return g;
+}
+
+TEST(Graph, AddAndLookupVertices) {
+  Graph g;
+  const VertexId a = g.add_vertex("a", "Switch", {{"mtbf", 100.0}});
+  EXPECT_EQ(g.vertex_count(), 1u);
+  EXPECT_EQ(g.vertex(a).name, "a");
+  EXPECT_EQ(g.vertex(a).type, "Switch");
+  EXPECT_DOUBLE_EQ(g.vertex(a).attributes.at("mtbf"), 100.0);
+  EXPECT_EQ(g.vertex_by_name("a"), a);
+  EXPECT_FALSE(g.find_vertex("zz").has_value());
+  EXPECT_THROW((void)g.vertex_by_name("zz"), NotFoundError);
+}
+
+TEST(Graph, RejectsInvalidVertices) {
+  Graph g;
+  g.add_vertex("a");
+  EXPECT_THROW(g.add_vertex("a"), ModelError);     // duplicate
+  EXPECT_THROW(g.add_vertex(""), ModelError);      // empty
+  EXPECT_THROW(g.add_vertex("1bad"), ModelError);  // not an identifier
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g;
+  const VertexId a = g.add_vertex("a");
+  g.add_vertex("b");
+  EXPECT_THROW(g.add_edge(a, a), ModelError);  // self-loop
+  EXPECT_THROW(g.add_edge("a", "zz"), NotFoundError);
+  g.add_edge("a", "b", "l1");
+  EXPECT_THROW(g.add_edge("a", "b", "l1"), ModelError);  // duplicate name
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g;
+  g.add_vertex("a");
+  g.add_vertex("b");
+  g.add_edge("a", "b");
+  g.add_edge("a", "b");
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(g.vertex_by_name("a")), 2u);
+}
+
+TEST(Graph, OppositeAndIncidence) {
+  Graph g = triangle_with_tail();
+  const VertexId c = g.vertex_by_name("c");
+  const auto& incident = g.incident_edges(c);
+  EXPECT_EQ(incident.size(), 3u);
+  for (const EdgeId e : incident) {
+    const VertexId other = g.opposite(e, c);
+    EXPECT_NE(other, c);
+  }
+  const VertexId a = g.vertex_by_name("a");
+  const EdgeId ab = g.incident_edges(a)[0];
+  EXPECT_THROW((void)g.opposite(ab, c), ModelError);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g = triangle_with_tail();
+  g.add_vertex("island");
+  EXPECT_TRUE(g.connected(g.vertex_by_name("a"), g.vertex_by_name("d")));
+  EXPECT_FALSE(g.connected(g.vertex_by_name("a"), g.vertex_by_name("island")));
+  EXPECT_TRUE(g.connected(g.vertex_by_name("a"), g.vertex_by_name("a")));
+  EXPECT_EQ(g.component_count(), 2u);
+}
+
+TEST(Graph, ReachableFrom) {
+  Graph g = triangle_with_tail();
+  g.add_vertex("island");
+  const auto reachable = g.reachable_from(g.vertex_by_name("a"));
+  EXPECT_EQ(reachable.size(), 4u);
+  const auto lonely = g.reachable_from(g.vertex_by_name("island"));
+  EXPECT_EQ(lonely.size(), 1u);
+}
+
+TEST(Graph, InducedSubgraphKeepsAttributesAndInternalEdges) {
+  Graph g = triangle_with_tail();
+  g.vertex(g.vertex_by_name("a")).attributes["mtbf"] = 7.0;
+  const std::vector<VertexId> keep{g.vertex_by_name("a"),
+                                   g.vertex_by_name("b"),
+                                   g.vertex_by_name("c")};
+  const Graph sub = g.induced_subgraph(keep);
+  EXPECT_EQ(sub.vertex_count(), 3u);
+  EXPECT_EQ(sub.edge_count(), 3u);  // the triangle; c-d dropped
+  EXPECT_DOUBLE_EQ(sub.vertex(sub.vertex_by_name("a")).attributes.at("mtbf"),
+                   7.0);
+}
+
+TEST(Graph, InducedSubgraphIgnoresDuplicates) {
+  Graph g = triangle_with_tail();
+  const VertexId a = g.vertex_by_name("a");
+  const Graph sub = g.induced_subgraph({a, a, a});
+  EXPECT_EQ(sub.vertex_count(), 1u);
+  EXPECT_EQ(sub.edge_count(), 0u);
+}
+
+TEST(Graph, DotExportContainsAllElements) {
+  Graph g = triangle_with_tail();
+  const std::string dot = g.to_dot("usi");
+  EXPECT_NE(dot.find("graph usi {"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -- \"b\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a:T\""), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '\n'),
+            static_cast<long>(2 + g.vertex_count() + g.edge_count()));
+}
+
+TEST(Graph, IdRangeChecks) {
+  Graph g = triangle_with_tail();
+  EXPECT_THROW((void)g.vertex(VertexId{99}), NotFoundError);
+  EXPECT_THROW((void)g.edge(EdgeId{99}), NotFoundError);
+  EXPECT_THROW((void)g.incident_edges(VertexId{99}), NotFoundError);
+  EXPECT_THROW((void)g.reachable_from(VertexId{99}), NotFoundError);
+}
+
+TEST(Graph, EdgeNamesAutoDerived) {
+  Graph g;
+  g.add_vertex("a");
+  g.add_vertex("b");
+  const EdgeId e = g.add_edge("a", "b");
+  EXPECT_EQ(g.edge(e).name, "a--b#0");
+}
+
+}  // namespace
+}  // namespace upsim::graph

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.hpp"
+#include "netgen/generators.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+
+namespace upsim::graph {
+namespace {
+
+Graph weighted_diamond() {
+  // s -(1)- a -(1)- t   and   s -(5)- b -(1)- t ; vertex costs zero.
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("a");
+  g.add_vertex("b");
+  g.add_vertex("t");
+  g.add_edge("s", "a", "sa", {{"latency_ms", 1.0}});
+  g.add_edge("a", "t", "at", {{"latency_ms", 1.0}});
+  g.add_edge("s", "b", "sb", {{"latency_ms", 5.0}});
+  g.add_edge("b", "t", "bt", {{"latency_ms", 1.0}});
+  return g;
+}
+
+WeightFunctions latency_weights(const Graph& g) {
+  return attribute_weights(g, "latency_ms", 0.0, "latency_ms", 1.0);
+}
+
+TEST(ShortestPath, PicksCheapestRoute) {
+  const Graph g = weighted_diamond();
+  const auto result = shortest_path(g, g.vertex_by_name("s"),
+                                    g.vertex_by_name("t"), latency_weights(g));
+  ASSERT_TRUE(result.reachable());
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+  ASSERT_EQ(result.path.size(), 3u);
+  EXPECT_EQ(g.vertex(result.path[1]).name, "a");
+}
+
+TEST(ShortestPath, VertexCostsCharged) {
+  const Graph g = weighted_diamond();
+  WeightFunctions weights = latency_weights(g);
+  weights.vertex_cost = [&g](VertexId v) {
+    return g.vertex(v).name == "a" ? 10.0 : 0.0;
+  };
+  const auto result = shortest_path(g, g.vertex_by_name("s"),
+                                    g.vertex_by_name("t"), weights);
+  // Route through a now costs 1+10+1 = 12; through b costs 6.
+  ASSERT_TRUE(result.reachable());
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_EQ(g.vertex(result.path[1]).name, "b");
+}
+
+TEST(ShortestPath, EndpointVertexCostsIncluded) {
+  Graph g;
+  g.add_vertex("s", "", {{"latency_ms", 3.0}});
+  g.add_vertex("t", "", {{"latency_ms", 4.0}});
+  g.add_edge("s", "t", "st", {{"latency_ms", 1.0}});
+  const auto weights = attribute_weights(g, "latency_ms", 0.0, "latency_ms", 0.0);
+  const auto result =
+      shortest_path(g, g.vertex_by_name("s"), g.vertex_by_name("t"), weights);
+  EXPECT_DOUBLE_EQ(result.cost, 8.0);
+}
+
+TEST(ShortestPath, SourceEqualsTarget) {
+  const Graph g = weighted_diamond();
+  const auto result = shortest_path(g, g.vertex_by_name("s"),
+                                    g.vertex_by_name("s"), latency_weights(g));
+  ASSERT_TRUE(result.reachable());
+  EXPECT_EQ(result.path.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(ShortestPath, UnreachableReturnsEmpty) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  const auto result =
+      shortest_path(g, g.vertex_by_name("s"), g.vertex_by_name("t"));
+  EXPECT_FALSE(result.reachable());
+}
+
+TEST(ShortestPath, UsableMasksRestrictSearch) {
+  const Graph g = weighted_diamond();
+  const VertexId a = g.vertex_by_name("a");
+  // Vertex a down: must route via b.
+  const auto via_b = shortest_path(
+      g, g.vertex_by_name("s"), g.vertex_by_name("t"), latency_weights(g),
+      [&](VertexId v) { return v != a; }, nullptr);
+  ASSERT_TRUE(via_b.reachable());
+  EXPECT_DOUBLE_EQ(via_b.cost, 6.0);
+  // Edge bt also down: unreachable.
+  const EdgeId bt = g.incident_edges(g.vertex_by_name("b"))[1];
+  const auto blocked = shortest_path(
+      g, g.vertex_by_name("s"), g.vertex_by_name("t"), latency_weights(g),
+      [&](VertexId v) { return v != a; }, [&](EdgeId e) { return e != bt; });
+  EXPECT_FALSE(blocked.reachable());
+  // Down terminal: unreachable immediately.
+  const auto no_source = shortest_path(
+      g, g.vertex_by_name("s"), g.vertex_by_name("t"), latency_weights(g),
+      [&](VertexId v) { return g.vertex(v).name != "s"; }, nullptr);
+  EXPECT_FALSE(no_source.reachable());
+}
+
+TEST(ShortestPath, ParallelEdgesPickCheapest) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  g.add_edge("s", "t", "slow", {{"latency_ms", 9.0}});
+  g.add_edge("s", "t", "fast", {{"latency_ms", 2.0}});
+  const auto weights = attribute_weights(g, "latency_ms", 0.0, "latency_ms", 1.0);
+  const auto result =
+      shortest_path(g, g.vertex_by_name("s"), g.vertex_by_name("t"), weights);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+}
+
+TEST(ShortestPath, NegativeWeightsRejected) {
+  const Graph g = weighted_diamond();
+  WeightFunctions weights;
+  weights.edge_cost = [](EdgeId) { return -1.0; };
+  EXPECT_THROW((void)shortest_path(g, g.vertex_by_name("s"),
+                                   g.vertex_by_name("t"), weights),
+               ModelError);
+}
+
+TEST(ShortestPath, CostNeverExceedsAnySimplePath) {
+  // Property: on random graphs, Dijkstra's cost is <= the cost of every
+  // enumerated simple path (with unit edge weights, it equals the
+  // hop-minimal path length - 1).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = netgen::erdos_renyi(10, 0.3, seed);
+    const auto sp = shortest_path(g, VertexId{0}, VertexId{9});
+    const auto all = pathdisc::discover(g, VertexId{0}, VertexId{9});
+    ASSERT_TRUE(sp.reachable());
+    EXPECT_EQ(sp.cost, static_cast<double>(all.shortest() - 1)) << seed;
+  }
+}
+
+TEST(ShortestPath, AttributeWeightsFallBackToDefaults) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  g.add_edge("s", "t");
+  const auto weights = attribute_weights(g, "latency_ms", 0.5, "latency_ms", 2.5);
+  const auto result =
+      shortest_path(g, g.vertex_by_name("s"), g.vertex_by_name("t"), weights);
+  EXPECT_DOUBLE_EQ(result.cost, 0.5 + 2.5 + 0.5);
+}
+
+}  // namespace
+}  // namespace upsim::graph

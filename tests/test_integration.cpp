@@ -1,0 +1,188 @@
+// End-to-end integration: disk-backed mapping files, the four dynamicity
+// scenarios of Sec. V-A3, and cross-layer consistency checks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "casestudy/usi.hpp"
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/reliability.hpp"
+#include "mapping/mapping.hpp"
+#include "util/error.hpp"
+
+namespace upsim {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  casestudy::UsiCaseStudy cs = casestudy::make_usi_case_study();
+  const service::CompositeService& printing() {
+    return cs.services->get_composite(casestudy::printing_service_name());
+  }
+};
+
+TEST_F(IntegrationTest, XmlMappingFileDrivesThePipeline) {
+  // Step 4 produces an XML file; steps 5-8 consume it.
+  const std::string path = ::testing::TempDir() + "/usi_mapping.xml";
+  cs.mapping_t1_p2().save(path);
+  const auto loaded = mapping::ServiceMapping::load(path);
+  std::remove(path.c_str());
+
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto from_file = generator.generate(printing(), loaded, "from_file");
+  const auto from_memory =
+      generator.generate(printing(), cs.mapping_t1_p2(), "from_memory");
+  std::set<std::string> a, b;
+  for (const auto* inst : from_file.upsim.instances()) a.insert(inst->name());
+  for (const auto* inst : from_memory.upsim.instances()) {
+    b.insert(inst->name());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(IntegrationTest, DynamicityUserMobility) {
+  // "users can be at different positions within the network but still use
+  // the same service": only the mapping changes.
+  core::UpsimGenerator generator(*cs.infrastructure);
+  std::set<std::string> seen_upsims;
+  for (const char* client : {"t1", "t3", "t7", "t12", "t15"}) {
+    const auto result = generator.generate(
+        printing(), cs.printing_mapping(client, "p2"), "mobility");
+    std::string key;
+    for (const auto* inst : result.upsim.instances()) {
+      key += inst->name() + ",";
+    }
+    seen_upsims.insert(key);
+    EXPECT_NE(result.upsim.find_instance(client), nullptr) << client;
+  }
+  // Different positions yield different perceived infrastructures (t1 and
+  // t3 share e1, so fewer distinct UPSIMs than clients is fine).
+  EXPECT_GE(seen_upsims.size(), 3u);
+}
+
+TEST_F(IntegrationTest, DynamicityServiceMigration) {
+  // "Migrating a service from one provider to another requires updating
+  // only the mapping."  Move the queue server from printS to file1.
+  core::UpsimGenerator generator(*cs.infrastructure);
+  auto migrated = cs.mapping_t1_p2();
+  for (const auto& pair : migrated.pairs()) {
+    const std::string rq =
+        pair.requester == "printS" ? "file1" : pair.requester;
+    const std::string pr = pair.provider == "printS" ? "file1" : pair.provider;
+    migrated.map(pair.atomic_service, rq, pr);
+  }
+  const auto result = generator.generate(printing(), migrated, "migrated");
+  EXPECT_NE(result.upsim.find_instance("file1"), nullptr);
+  EXPECT_EQ(result.upsim.find_instance("printS"), nullptr);
+}
+
+TEST_F(IntegrationTest, DynamicityTopologyChange) {
+  // A topology change requires a new network model (and generator) but the
+  // service description and mapping survive unchanged.
+  auto cs2 = casestudy::make_usi_case_study();
+  // New redundant uplink e1 -- d2 opens additional paths.
+  cs2.infrastructure->link("e1", "d2", "uplink_2650_3750");
+  core::UpsimGenerator before(*cs.infrastructure);
+  core::UpsimGenerator after(*cs2.infrastructure);
+  const auto mapping = cs.mapping_t1_p2();
+  const auto r_before = before.generate(printing(), mapping, "topo");
+  const auto r_after = after.generate(
+      cs2.services->get_composite(casestudy::printing_service_name()), mapping,
+      "topo");
+  EXPECT_GT(r_after.total_paths(), r_before.total_paths());
+  EXPECT_GE(r_after.upsim.instance_count(), r_before.upsim.instance_count());
+}
+
+TEST_F(IntegrationTest, DynamicityServiceSubstitution) {
+  // "substituting a service ... requires changing only the service
+  // description and mapping but not the network model."
+  auto& services = *cs.services;
+  services.define_atomic("request_direct_printing",
+                         "client spools straight to the printer");
+  const auto& direct = services.define_sequence(
+      "direct_printing", {"request_direct_printing", "send_documents"});
+  mapping::ServiceMapping m;
+  m.map("request_direct_printing", "t1", "p2");
+  m.map("send_documents", "t1", "p2");
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(direct, m, "direct");
+  EXPECT_EQ(result.upsim.find_instance("printS"), nullptr);
+  EXPECT_NE(result.upsim.find_instance("p2"), nullptr);
+}
+
+TEST_F(IntegrationTest, WhatIfComponentDegradation) {
+  // Outlook scenario: change intrinsic properties in the class description
+  // and every instance reflects it (static attributes live on the class).
+  auto cs2 = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs2.infrastructure);
+  const auto& printing2 =
+      cs2.services->get_composite(casestudy::printing_service_name());
+  const auto result =
+      generator.generate(printing2, cs2.mapping_t1_p2(), "whatif");
+  core::AnalysisOptions options;
+  options.monte_carlo_samples = 0;
+  const double healthy = core::analyze_availability(result, options).exact;
+
+  // Degrade the client class; the projection reads classifier values, so a
+  // fresh generation reflects the change without touching the instances.
+  auto* comp_class = const_cast<uml::Class*>(&cs2.classes->get_class("Comp"));
+  for (auto& app : comp_class->applications()) {
+    if (app.stereotype().find_attribute("MTBF") != nullptr) {
+      app.set("MTBF", 300.0);  // ten times worse
+    }
+  }
+  core::UpsimGenerator degraded_gen(*cs2.infrastructure);
+  const auto degraded_result =
+      degraded_gen.generate(printing2, cs2.mapping_t1_p2(), "whatif");
+  const double degraded =
+      core::analyze_availability(degraded_result, options).exact;
+  EXPECT_LT(degraded, healthy);
+}
+
+TEST_F(IntegrationTest, TwoPerspectivesRankAsExpected) {
+  // t15 -> p3 uses one fewer switch hop than t1 -> p2 only on the client
+  // side; both should be dominated by client+printer availability and land
+  // in the same ballpark.
+  core::UpsimGenerator generator(*cs.infrastructure);
+  core::AnalysisOptions options;
+  options.monte_carlo_samples = 0;
+  const auto r1 = generator.generate(printing(), cs.mapping_t1_p2(), "v1");
+  const auto a1 = core::analyze_availability(r1, options).exact;
+  const auto r2 = generator.generate(printing(), cs.mapping_t15_p3(), "v2");
+  const auto a2 = core::analyze_availability(r2, options).exact;
+  EXPECT_NEAR(a1, a2, 1e-3);
+  EXPECT_GT(a1, 0.95);
+  EXPECT_GT(a2, 0.95);
+}
+
+TEST_F(IntegrationTest, MultiServiceSharedInfrastructure) {
+  // printing and backup coexist in one model space under distinct names.
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto print_result =
+      generator.generate(printing(), cs.mapping_t1_p2(), "print_run");
+  const auto backup_result = generator.generate(
+      cs.services->get_composite("backup"), cs.backup_mapping("t1"),
+      "backup_run");
+  EXPECT_TRUE(generator.space().find("paths.print_run").has_value());
+  EXPECT_TRUE(generator.space().find("paths.backup_run").has_value());
+  // Both perspectives share the client and its uplink but diverge at the
+  // distribution layer.
+  EXPECT_NE(print_result.upsim.find_instance("t1"), nullptr);
+  EXPECT_NE(backup_result.upsim.find_instance("t1"), nullptr);
+  EXPECT_EQ(backup_result.upsim.find_instance("printS"), nullptr);
+  EXPECT_EQ(print_result.upsim.find_instance("db"), nullptr);
+}
+
+TEST_F(IntegrationTest, DotExportOfGeneratedUpsim) {
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result =
+      generator.generate(printing(), cs.mapping_t1_p2(), "dot_run");
+  const std::string dot = result.upsim_graph.to_dot("upsim");
+  EXPECT_NE(dot.find("\"t1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"printS:Server\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upsim

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "casestudy/usi.hpp"
+#include "mapping/mapping.hpp"
+#include "util/error.hpp"
+
+namespace upsim::mapping {
+namespace {
+
+TEST(ServiceMapping, MapFindReplaceErase) {
+  ServiceMapping m;
+  m.map("request_printing", "t1", "printS");
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains("request_printing"));
+  EXPECT_EQ(m.get("request_printing").requester, "t1");
+  // map() replaces: that is the cheap dynamicity path.
+  m.map("request_printing", "t15", "printS");
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.get("request_printing").requester, "t15");
+  m.erase("request_printing");
+  EXPECT_FALSE(m.contains("request_printing"));
+  EXPECT_FALSE(m.find("request_printing").has_value());
+  EXPECT_THROW((void)m.get("request_printing"), NotFoundError);
+}
+
+TEST(ServiceMapping, RejectsBadIdentifiers) {
+  ServiceMapping m;
+  EXPECT_THROW(m.map("", "a", "b"), ModelError);
+  EXPECT_THROW(m.map("s", "bad id", "b"), ModelError);
+  EXPECT_THROW(m.map("s", "a", ""), ModelError);
+}
+
+TEST(ServiceMapping, XmlRoundTrip) {
+  ServiceMapping m;
+  m.map("request_printing", "t1", "printS");
+  m.map("login_to_printer", "p2", "printS");
+  const std::string xml = m.to_xml();
+  const ServiceMapping back = ServiceMapping::from_xml(xml);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.get("request_printing").requester, "t1");
+  EXPECT_EQ(back.get("login_to_printer").provider, "printS");
+}
+
+TEST(ServiceMapping, ParsesTheFigure3AttributeForm) {
+  const ServiceMapping m = ServiceMapping::from_xml(
+      R"(<servicemapping>
+           <atomicservice id="atomic_service_1">
+             <requester id="component_a"></requester>
+             <provider id="component_b"></provider>
+           </atomicservice>
+         </servicemapping>)");
+  EXPECT_EQ(m.get("atomic_service_1").requester, "component_a");
+  EXPECT_EQ(m.get("atomic_service_1").provider, "component_b");
+}
+
+TEST(ServiceMapping, ParsesBareAtomicServiceRoot) {
+  const ServiceMapping m = ServiceMapping::from_xml(
+      R"(<atomicservice id="s1"><requester id="a"/><provider id="b"/></atomicservice>)");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ServiceMapping, ParsesTextContentForm) {
+  const ServiceMapping m = ServiceMapping::from_xml(
+      R"(<servicemapping>
+           <atomicservice id="s1">
+             <requester>a</requester><provider>b</provider>
+           </atomicservice>
+         </servicemapping>)");
+  EXPECT_EQ(m.get("s1").requester, "a");
+  EXPECT_EQ(m.get("s1").provider, "b");
+}
+
+TEST(ServiceMapping, RejectsDuplicateAtomicServiceKeys) {
+  EXPECT_THROW(ServiceMapping::from_xml(
+                   R"(<servicemapping>
+                        <atomicservice id="s1"><requester id="a"/><provider id="b"/></atomicservice>
+                        <atomicservice id="s1"><requester id="c"/><provider id="d"/></atomicservice>
+                      </servicemapping>)"),
+               ModelError);
+}
+
+TEST(ServiceMapping, RejectsMissingParts) {
+  EXPECT_THROW(ServiceMapping::from_xml("<servicemapping/>"), ModelError);
+  EXPECT_THROW(ServiceMapping::from_xml(
+                   R"(<servicemapping><atomicservice id="s1">
+                      <requester id="a"/></atomicservice></servicemapping>)"),
+               NotFoundError);
+  EXPECT_THROW(ServiceMapping::from_xml(
+                   R"(<servicemapping><atomicservice>
+                      <requester id="a"/><provider id="b"/>
+                      </atomicservice></servicemapping>)"),
+               NotFoundError);
+  EXPECT_THROW(ServiceMapping::from_xml(
+                   R"(<servicemapping><atomicservice id="s1">
+                      <requester></requester><provider id="b"/>
+                      </atomicservice></servicemapping>)"),
+               ModelError);
+}
+
+TEST(ServiceMapping, SaveAndLoadFile) {
+  ServiceMapping m;
+  m.map("s1", "a", "b");
+  const std::string path = ::testing::TempDir() + "/upsim_mapping_test.xml";
+  m.save(path);
+  const ServiceMapping back = ServiceMapping::load(path);
+  EXPECT_EQ(back.get("s1").provider, "b");
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ServiceMapping::load("/nonexistent/m.xml"), Error);
+}
+
+TEST(ServiceMapping, PairsSortedByAtomicService) {
+  ServiceMapping m;
+  m.map("zeta", "a", "b");
+  m.map("alpha", "c", "d");
+  const auto pairs = m.pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].atomic_service, "alpha");
+  EXPECT_EQ(pairs[1].atomic_service, "zeta");
+}
+
+TEST(ServiceMapping, PairsForCompositeInExecutionOrder) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  const auto mapping = cs.mapping_t1_p2();
+  const auto pairs = mapping.pairs_for(printing);
+  ASSERT_EQ(pairs.size(), 5u);
+  EXPECT_EQ(pairs[0].atomic_service, "request_printing");
+  EXPECT_EQ(pairs[4].atomic_service, "send_documents");
+  // A mapping that misses one atomic service throws.
+  ServiceMapping incomplete = mapping;
+  incomplete.erase("select_documents");
+  EXPECT_THROW((void)incomplete.pairs_for(printing), NotFoundError);
+}
+
+TEST(ServiceMapping, IgnoresIrrelevantPairs) {
+  // "Additional service mapping pairs could be listed ... they will be
+  // ignored when the corresponding atomic service is irrelevant."
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  auto mapping = cs.mapping_t1_p2();
+  mapping.map("authenticate", "t1", "db");  // not part of printing
+  const auto pairs = mapping.pairs_for(printing);
+  EXPECT_EQ(pairs.size(), 5u);
+}
+
+TEST(ServiceMapping, ValidateAgainstInfrastructure) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+
+  auto good = cs.mapping_t1_p2();
+  EXPECT_TRUE(good.validate(*cs.infrastructure, &printing).empty());
+
+  ServiceMapping bad;
+  bad.map("request_printing", "ghost", "printS");
+  bad.map("login_to_printer", "p2", "p2");
+  const auto problems = bad.validate(*cs.infrastructure, &printing);
+  // ghost requester + same-component pair + three unmapped atomics.
+  EXPECT_GE(problems.size(), 5u);
+}
+
+}  // namespace
+}  // namespace upsim::mapping

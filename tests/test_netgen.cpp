@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "netgen/generators.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "transform/projection.hpp"
+#include "util/error.hpp"
+
+namespace upsim::netgen {
+namespace {
+
+TEST(Netgen, TreeShape) {
+  const auto g = tree(15, 2);
+  EXPECT_EQ(g.vertex_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_EQ(g.component_count(), 1u);
+  EXPECT_THROW((void)tree(0), ModelError);
+  EXPECT_THROW((void)tree(5, 0), ModelError);
+}
+
+TEST(Netgen, TreeBranchingOneIsAPath) {
+  const auto g = tree(10, 1);
+  for (std::size_t v = 0; v < 10; ++v) {
+    const auto deg =
+        g.degree(graph::VertexId{static_cast<std::uint32_t>(v)});
+    EXPECT_LE(deg, 2u);
+  }
+}
+
+TEST(Netgen, RingShape) {
+  const auto g = ring(8);
+  EXPECT_EQ(g.vertex_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 8u);
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.degree(graph::VertexId{static_cast<std::uint32_t>(v)}), 2u);
+  }
+  EXPECT_THROW((void)ring(2), ModelError);
+}
+
+TEST(Netgen, GridShape) {
+  const auto g = grid(3, 4);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3u + 2u * 4u);  // 17
+  EXPECT_EQ(g.component_count(), 1u);
+  EXPECT_THROW((void)grid(0, 3), ModelError);
+}
+
+TEST(Netgen, CompleteShape) {
+  const auto g = complete(6);
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 15u);
+}
+
+TEST(Netgen, ErdosRenyiConnectedAndDeterministic) {
+  const auto a = erdos_renyi(20, 0.2, 42);
+  const auto b = erdos_renyi(20, 0.2, 42);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.component_count(), 1u);  // spanning path guarantees it
+  EXPECT_GE(a.edge_count(), 19u);
+  const auto c = erdos_renyi(20, 0.2, 43);
+  // Different seed, very likely different edge count; tolerate equality but
+  // check the graphs are generated independently of global state.
+  EXPECT_EQ(c.vertex_count(), 20u);
+  EXPECT_THROW((void)erdos_renyi(10, 1.5, 1), ModelError);
+}
+
+TEST(Netgen, ErdosRenyiDensityBounds) {
+  const auto sparse = erdos_renyi(20, 0.0, 1);
+  EXPECT_EQ(sparse.edge_count(), 19u);  // exactly the spanning path
+  const auto dense = erdos_renyi(10, 1.0, 1);
+  EXPECT_EQ(dense.edge_count(), 45u);  // complete
+}
+
+TEST(Netgen, CampusShapeAndAttributes) {
+  const CampusSpec spec;  // defaults: 2 core, 4 dist, 2 edge/dist, 3 clients
+  const auto g = campus(spec);
+  // 2 + 4 + 8 edge switches + 24 clients + 4 servers = 42.
+  EXPECT_EQ(g.vertex_count(), 42u);
+  EXPECT_EQ(g.component_count(), 1u);
+  // Every vertex/edge carries dependability attributes.
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& attrs =
+        g.vertex(graph::VertexId{static_cast<std::uint32_t>(v)}).attributes;
+    EXPECT_TRUE(attrs.contains("mtbf"));
+    EXPECT_TRUE(attrs.contains("mttr"));
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    EXPECT_TRUE(g.edge(graph::EdgeId{static_cast<std::uint32_t>(e)})
+                    .attributes.contains("mtbf"));
+  }
+  const auto endpoints = campus_endpoints(spec);
+  EXPECT_TRUE(g.find_vertex(endpoints.client).has_value());
+  EXPECT_TRUE(g.find_vertex(endpoints.server).has_value());
+}
+
+TEST(Netgen, CampusRedundancyControlsPathCount) {
+  CampusSpec redundant;
+  CampusSpec single = redundant;
+  single.redundant_uplinks = false;
+  const auto endpoints = campus_endpoints(redundant);
+  const auto paths_redundant = pathdisc::discover(
+      campus(redundant), endpoints.client, endpoints.server);
+  const auto paths_single =
+      pathdisc::discover(campus(single), endpoints.client, endpoints.server);
+  EXPECT_GT(paths_redundant.count(), paths_single.count());
+  EXPECT_EQ(paths_single.count(), 1u);  // pure tree
+}
+
+TEST(Netgen, CampusValidation) {
+  CampusSpec bad;
+  bad.core = 0;
+  EXPECT_THROW((void)campus(bad), ModelError);
+  CampusSpec no_clients;
+  no_clients.clients_per_edge = 0;
+  EXPECT_THROW((void)campus_endpoints(no_clients), ModelError);
+}
+
+TEST(Netgen, UmlCampusProjectsToSameShape) {
+  const CampusSpec spec{2, 3, 2, 2, 2, true};
+  const auto uml_net = uml_campus(spec);
+  ASSERT_NE(uml_net.infrastructure, nullptr);
+  EXPECT_TRUE(uml_net.infrastructure->validate().empty());
+  const auto projected = transform::project(*uml_net.infrastructure);
+  const auto direct = campus(spec);
+  EXPECT_EQ(projected.vertex_count(), direct.vertex_count());
+  EXPECT_EQ(projected.edge_count(), direct.edge_count());
+  // Same vertex names and degrees.
+  for (std::size_t v = 0; v < direct.vertex_count(); ++v) {
+    const auto& name =
+        direct.vertex(graph::VertexId{static_cast<std::uint32_t>(v)}).name;
+    const auto pv = projected.find_vertex(name);
+    ASSERT_TRUE(pv.has_value()) << name;
+    EXPECT_EQ(projected.degree(*pv),
+              direct.degree(graph::VertexId{static_cast<std::uint32_t>(v)}))
+        << name;
+  }
+}
+
+TEST(Netgen, UmlCampusCarriesDependabilityValues) {
+  DefaultAttributes attrs;
+  attrs.node_mtbf = 12345.0;
+  const auto uml_net = uml_campus({}, attrs);
+  const auto& t0 = uml_net.infrastructure->get_instance("t0");
+  ASSERT_TRUE(t0.stereotype_value("MTBF").has_value());
+  EXPECT_DOUBLE_EQ(t0.stereotype_value("MTBF")->as_real(), 12345.0);
+}
+
+
+TEST(Netgen, FatTreeShape) {
+  // k = 4: 4 core, 8 agg, 8 edge, 16 hosts = 36 vertices.
+  const auto g = fat_tree(4);
+  EXPECT_EQ(g.vertex_count(), 36u);
+  // Edges: core uplinks k * (k/2)*(k/2) = 16, agg-edge k * (k/2)^2 = 16,
+  // host links 16 -> 48.
+  EXPECT_EQ(g.edge_count(), 48u);
+  EXPECT_EQ(g.component_count(), 1u);
+  EXPECT_THROW((void)fat_tree(3), ModelError);
+  EXPECT_THROW((void)fat_tree(0), ModelError);
+}
+
+TEST(Netgen, FatTreeInterPodRedundancy) {
+  // Hosts in different pods have many redundant paths; same edge switch
+  // pairs have exactly one two-hop route plus longer detours.
+  const auto g = fat_tree(4);
+  const auto inter_pod = pathdisc::discover(g, "h0", "h15");
+  const auto same_edge = pathdisc::discover(g, "h0", "h1");
+  EXPECT_GT(inter_pod.count(), 4u);
+  EXPECT_GE(same_edge.count(), 1u);
+  EXPECT_EQ(same_edge.shortest(), 3u);  // h0 - edge0_0 - h1
+}
+
+}  // namespace
+}  // namespace upsim::netgen

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "graph/graph.hpp"
+#include "netgen/generators.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::pathdisc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Independent reference implementation: breadth-first path extension.
+/// Deliberately a different algorithm/traversal order than the library's
+/// DFS; results are compared as sets.
+std::set<std::vector<std::uint32_t>> reference_all_paths(const Graph& g,
+                                                         VertexId s,
+                                                         VertexId t) {
+  std::set<std::vector<std::uint32_t>> out;
+  std::queue<std::vector<VertexId>> frontier;
+  frontier.push({s});
+  while (!frontier.empty()) {
+    const auto path = frontier.front();
+    frontier.pop();
+    const VertexId last = path.back();
+    if (last == t) {
+      std::vector<std::uint32_t> ids;
+      for (const VertexId v : path) ids.push_back(graph::index(v));
+      out.insert(ids);
+      continue;
+    }
+    for (const graph::EdgeId e : g.incident_edges(last)) {
+      const VertexId next = g.opposite(e, last);
+      if (std::find(path.begin(), path.end(), next) != path.end()) continue;
+      auto extended = path;
+      extended.push_back(next);
+      frontier.push(std::move(extended));
+    }
+  }
+  return out;
+}
+
+std::set<std::vector<std::uint32_t>> as_set(const PathSet& set) {
+  std::set<std::vector<std::uint32_t>> out;
+  for (const auto& path : set.paths) {
+    std::vector<std::uint32_t> ids;
+    for (const VertexId v : path) ids.push_back(graph::index(v));
+    out.insert(ids);
+  }
+  return out;
+}
+
+TEST(PathDiscovery, TreeHasExactlyOnePath) {
+  const Graph g = netgen::tree(31, 2);
+  const auto set = discover(g, "v3", "v28");
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.shortest(), set.longest());
+  EXPECT_FALSE(set.truncated);
+}
+
+TEST(PathDiscovery, RingHasExactlyTwoPaths) {
+  const Graph g = netgen::ring(9);
+  const auto set = discover(g, "v0", "v4");
+  EXPECT_EQ(set.count(), 2u);
+  // One goes clockwise (5 vertices), one anticlockwise (6 vertices).
+  EXPECT_EQ(set.shortest(), 5u);
+  EXPECT_EQ(set.longest(), 6u);
+}
+
+TEST(PathDiscovery, CompleteGraphPathCountFormula) {
+  // #simple s-t paths in K_n = sum_{k=0}^{n-2} (n-2)!/(n-2-k)!
+  const std::size_t n = 7;
+  const Graph g = netgen::complete(n);
+  const auto set =
+      discover(g, VertexId{0}, VertexId{static_cast<std::uint32_t>(n - 1)});
+  std::size_t expected = 0;
+  std::size_t term = 1;
+  expected += term;  // k = 0
+  for (std::size_t k = 1; k <= n - 2; ++k) {
+    term *= (n - 2) - (k - 1);
+    expected += term;
+  }
+  EXPECT_EQ(set.count(), expected);  // 326 for n = 7
+}
+
+TEST(PathDiscovery, TrivialPairYieldsSingletonPath) {
+  const Graph g = netgen::ring(4);
+  const auto set = discover(g, VertexId{2}, VertexId{2});
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.paths[0], (Path{VertexId{2}}));
+}
+
+TEST(PathDiscovery, DisconnectedPairYieldsEmptySet) {
+  Graph g;
+  g.add_vertex("a");
+  g.add_vertex("b");
+  const auto set = discover(g, "a", "b");
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.truncated);
+}
+
+TEST(PathDiscovery, UnknownEndpointThrows) {
+  const Graph g = netgen::ring(4);
+  EXPECT_THROW((void)discover(g, "v0", "ghost"), NotFoundError);
+  EXPECT_THROW((void)discover(g, VertexId{0}, VertexId{99}), NotFoundError);
+}
+
+TEST(PathDiscovery, MaxPathsTruncates) {
+  const Graph g = netgen::complete(7);
+  Options options;
+  options.max_paths = 5;
+  const auto set = discover(g, VertexId{0}, VertexId{6}, options);
+  EXPECT_EQ(set.count(), 5u);
+  EXPECT_TRUE(set.truncated);
+}
+
+TEST(PathDiscovery, MaxLengthBoundsSearch) {
+  const Graph g = netgen::ring(9);
+  Options options;
+  options.max_path_length = 5;  // only the short arc fits
+  const auto set = discover(g, VertexId{0}, VertexId{4}, options);
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_TRUE(set.truncated);
+  EXPECT_EQ(set.longest(), 5u);
+}
+
+TEST(PathDiscovery, ParallelEdgesYieldDistinctTraversals) {
+  // Two parallel links a--b: both reach b, but the vertex sequence is the
+  // same, so exactly one path per distinct vertex sequence per edge choice.
+  Graph g;
+  g.add_vertex("a");
+  g.add_vertex("b");
+  g.add_edge("a", "b", "l1");
+  g.add_edge("a", "b", "l2");
+  const auto set = discover(g, "a", "b");
+  // The algorithm tracks vertices, so each parallel edge produces one
+  // traversal; both vertex sequences are (a, b).
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.paths[0], set.paths[1]);
+}
+
+TEST(PathDiscovery, ToStringUsesPaperNotation) {
+  const Graph g = netgen::tree(3, 2);
+  const auto set = discover(g, "v1", "v2");
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(to_string(g, set.paths[0]), "v1 - v0 - v2");
+  EXPECT_EQ(path_names(g, set.paths[0]),
+            (std::vector<std::string>{"v1", "v0", "v2"}));
+}
+
+TEST(PathDiscovery, MergePathVerticesIgnoresDuplicates) {
+  const Graph g = netgen::ring(6);
+  const auto s1 = discover(g, VertexId{0}, VertexId{3});
+  const auto s2 = discover(g, VertexId{1}, VertexId{2});
+  const auto merged = merge_path_vertices(g, {s1, s2});
+  std::set<std::uint32_t> unique;
+  for (const VertexId v : merged) unique.insert(graph::index(v));
+  EXPECT_EQ(unique.size(), merged.size());
+  EXPECT_EQ(merged.size(), 6u);  // both arcs cover the whole ring
+}
+
+struct AlgoCase {
+  Algorithm algorithm;
+  const char* label;
+};
+
+class AlgorithmEquivalenceTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(AlgorithmEquivalenceTest, MatchesReferenceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = netgen::erdos_renyi(10, 0.3, seed);
+    const VertexId s{0};
+    const VertexId t{9};
+    Options options;
+    options.algorithm = GetParam().algorithm;
+    const auto set = discover(g, s, t, options);
+    EXPECT_EQ(as_set(set), reference_all_paths(g, s, t)) << "seed " << seed;
+    // All discovered paths are simple and well-formed.
+    for (const auto& path : set.paths) {
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), t);
+      std::set<std::uint32_t> seen;
+      for (const VertexId v : path) {
+        EXPECT_TRUE(seen.insert(graph::index(v)).second) << "revisit";
+      }
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        bool adjacent = false;
+        for (const graph::EdgeId e : g.incident_edges(path[i])) {
+          if (g.opposite(e, path[i]) == path[i + 1]) adjacent = true;
+        }
+        EXPECT_TRUE(adjacent) << "non-adjacent hop";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothAlgorithms, AlgorithmEquivalenceTest,
+    ::testing::Values(AlgoCase{Algorithm::RecursiveDfs, "recursive"},
+                      AlgoCase{Algorithm::IterativeDfs, "iterative"}),
+    [](const ::testing::TestParamInfo<AlgoCase>& info) {
+      return info.param.label;
+    });
+
+TEST(PathDiscovery, RecursiveAndIterativeIdenticalIncludingOrder) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = netgen::erdos_renyi(11, 0.25, seed);
+    Options rec;
+    rec.algorithm = Algorithm::RecursiveDfs;
+    Options itr;
+    itr.algorithm = Algorithm::IterativeDfs;
+    const auto a = discover(g, VertexId{0}, VertexId{10}, rec);
+    const auto b = discover(g, VertexId{0}, VertexId{10}, itr);
+    EXPECT_EQ(a.paths, b.paths) << "seed " << seed;  // order included
+    EXPECT_EQ(a.nodes_expanded, b.nodes_expanded) << "seed " << seed;
+  }
+}
+
+TEST(PathDiscovery, DiscoverAllSerialAndParallelAgree) {
+  const Graph g = netgen::campus({});
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    pairs.emplace_back(g.vertex_by_name("t" + std::to_string(i)),
+                       g.vertex_by_name("srv0"));
+  }
+  const auto serial = discover_all(g, pairs);
+  util::ThreadPool pool(4);
+  const auto parallel = discover_all(g, pairs, {}, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].paths, parallel[i].paths) << "pair " << i;
+  }
+}
+
+TEST(PathDiscovery, IterativeHandlesDeepGraphs) {
+  // A 60000-vertex path would overflow the stack with naive recursion per
+  // vertex; the iterative algorithm must handle it.
+  const std::size_t n = 60000;
+  const Graph g = netgen::tree(n, 1);  // a path graph
+  Options options;
+  options.algorithm = Algorithm::IterativeDfs;
+  const auto set = discover(
+      g, VertexId{0}, VertexId{static_cast<std::uint32_t>(n - 1)}, options);
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.paths[0].size(), n);
+}
+
+TEST(PathDiscovery, NodesExpandedGrowsWithDensity) {
+  const auto sparse = discover(netgen::tree(40, 2), "v0", "v39");
+  const auto dense = discover(netgen::complete(8), VertexId{0}, VertexId{7});
+  EXPECT_LT(sparse.nodes_expanded, dense.nodes_expanded);
+}
+
+}  // namespace
+}  // namespace upsim::pathdisc

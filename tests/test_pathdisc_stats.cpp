@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "casestudy/usi.hpp"
+#include "netgen/generators.hpp"
+#include "pathdisc/stats.hpp"
+#include "transform/projection.hpp"
+
+namespace upsim::pathdisc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(PathStats, SinglePathTree) {
+  const Graph g = netgen::tree(15, 2);
+  const auto set = discover(g, "v1", "v14");
+  const auto stats = analyze(g, set);
+  EXPECT_EQ(stats.path_count, 1u);
+  EXPECT_EQ(stats.shortest, stats.longest);
+  EXPECT_DOUBLE_EQ(stats.mean_length, static_cast<double>(stats.shortest));
+  // Every vertex of the single path participates in 100% of paths.
+  for (const auto& [name, fraction] : stats.participation) {
+    EXPECT_DOUBLE_EQ(fraction, 1.0) << name;
+  }
+  EXPECT_EQ(stats.articulation_components().size(), stats.shortest);
+}
+
+TEST(PathStats, RingSplitsParticipation) {
+  const Graph g = netgen::ring(8);
+  const auto set = discover(g, VertexId{0}, VertexId{4});
+  const auto stats = analyze(g, set);
+  EXPECT_EQ(stats.path_count, 2u);
+  EXPECT_EQ(stats.shortest, 5u);
+  EXPECT_EQ(stats.longest, 5u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 5.0);
+  // Terminals on both paths; every other vertex on exactly one.
+  EXPECT_DOUBLE_EQ(stats.participation.at("v0"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.participation.at("v4"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.participation.at("v1"), 0.5);
+  EXPECT_DOUBLE_EQ(stats.participation.at("v6"), 0.5);
+  EXPECT_EQ(stats.articulation_components(),
+            (std::vector<std::string>{"v0", "v4"}));
+  EXPECT_EQ(stats.length_histogram.at(5), 2u);
+}
+
+TEST(PathStats, EmptySetYieldsZeroes) {
+  Graph g;
+  g.add_vertex("a");
+  g.add_vertex("b");
+  const auto set = discover(g, "a", "b");
+  const auto stats = analyze(g, set);
+  EXPECT_EQ(stats.path_count, 0u);
+  EXPECT_EQ(stats.shortest, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 0.0);
+  EXPECT_TRUE(stats.participation.empty());
+}
+
+TEST(PathStats, CaseStudyArticulationComponents) {
+  // For the t1 -> printS pair, the non-redundant edge of the network (t1,
+  // e1, d1, d4, printS) lies on all six paths; the redundant core does not.
+  const auto cs = casestudy::make_usi_case_study();
+  const Graph g = transform::project(*cs.infrastructure);
+  const auto set = discover(g, "t1", "printS");
+  const auto stats = analyze(g, set);
+  EXPECT_EQ(stats.path_count, 6u);
+  const auto articulation = stats.articulation_components();
+  EXPECT_EQ(articulation,
+            (std::vector<std::string>{"d1", "d4", "e1", "printS", "t1"}));
+  EXPECT_LT(stats.participation.at("c1"), 1.0);
+  EXPECT_LT(stats.participation.at("d2"), 1.0);
+  EXPECT_EQ(stats.shortest, 6u);
+  EXPECT_EQ(stats.longest, 8u);
+}
+
+TEST(PathStats, AnalyzeAllMergesPairs) {
+  const auto cs = casestudy::make_usi_case_study();
+  const Graph g = transform::project(*cs.infrastructure);
+  const auto set1 = discover(g, "t1", "printS");
+  const auto set2 = discover(g, "p2", "printS");
+  const auto stats = analyze_all(g, {set1, set2});
+  EXPECT_EQ(stats.path_count, set1.count() + set2.count());
+  // printS terminates every path of both pairs.
+  EXPECT_DOUBLE_EQ(stats.participation.at("printS"), 1.0);
+  // t1 only appears on the first pair's paths.
+  EXPECT_LT(stats.participation.at("t1"), 1.0);
+  EXPECT_GT(stats.participation.at("t1"), 0.0);
+}
+
+}  // namespace
+}  // namespace upsim::pathdisc

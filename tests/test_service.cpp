@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "service/service.hpp"
+#include "util/error.hpp"
+
+namespace upsim::service {
+namespace {
+
+ServiceCatalog catalog_with_atomics() {
+  ServiceCatalog c;
+  c.define_atomic("authenticate", "check credentials");
+  c.define_atomic("send_mail");
+  c.define_atomic("fetch_mail");
+  return c;
+}
+
+TEST(AtomicService, NamesValidated) {
+  EXPECT_NO_THROW(AtomicService("send_mail", "desc"));
+  EXPECT_THROW(AtomicService(""), ModelError);
+  EXPECT_THROW(AtomicService("bad name"), ModelError);
+}
+
+TEST(ServiceCatalog, DefineAndLookupAtomics) {
+  ServiceCatalog c = catalog_with_atomics();
+  EXPECT_EQ(c.atomic_count(), 3u);
+  EXPECT_EQ(c.get_atomic("authenticate").description(), "check credentials");
+  EXPECT_EQ(c.find_atomic("zz"), nullptr);
+  EXPECT_THROW((void)c.get_atomic("zz"), NotFoundError);
+  EXPECT_THROW(c.define_atomic("authenticate"), ModelError);
+}
+
+TEST(ServiceCatalog, SequenceComposite) {
+  // The email example of Sec. II: email = authenticate; send_mail;
+  // fetch_mail.
+  ServiceCatalog c = catalog_with_atomics();
+  const CompositeService& email =
+      c.define_sequence("email", {"authenticate", "send_mail", "fetch_mail"});
+  EXPECT_EQ(email.atomic_services(),
+            (std::vector<std::string>{"authenticate", "send_mail",
+                                      "fetch_mail"}));
+  EXPECT_TRUE(email.uses("send_mail"));
+  EXPECT_FALSE(email.uses("print"));
+  EXPECT_EQ(c.composite_count(), 1u);
+  EXPECT_EQ(&c.get_composite("email"), &email);
+}
+
+TEST(ServiceCatalog, CompositeNeedsTwoAtomics) {
+  ServiceCatalog c = catalog_with_atomics();
+  EXPECT_THROW(c.define_sequence("solo", {"authenticate"}), ModelError);
+}
+
+TEST(ServiceCatalog, CompositeRejectsUnregisteredAtomic) {
+  ServiceCatalog c = catalog_with_atomics();
+  EXPECT_THROW(c.define_sequence("bad", {"authenticate", "unknown_service"}),
+               ModelError);
+}
+
+TEST(ServiceCatalog, CompositeRejectsInvalidActivity) {
+  ServiceCatalog c = catalog_with_atomics();
+  uml::Activity broken("broken_flow");
+  const auto a1 = broken.add_action("authenticate");
+  const auto a2 = broken.add_action("send_mail");
+  broken.flow(a1, a2);  // no initial, no final
+  EXPECT_THROW(c.define_composite("broken", std::move(broken)), ModelError);
+}
+
+TEST(ServiceCatalog, ForkJoinComposite) {
+  ServiceCatalog c = catalog_with_atomics();
+  uml::Activity flow("parallel_mail");
+  const auto init = flow.add_initial();
+  const auto auth = flow.add_action("authenticate");
+  const auto fork = flow.add_fork();
+  const auto send = flow.add_action("send_mail");
+  const auto fetch = flow.add_action("fetch_mail");
+  const auto join = flow.add_join();
+  const auto fin = flow.add_final();
+  flow.flow(init, auth);
+  flow.flow(auth, fork);
+  flow.flow(fork, send);
+  flow.flow(fork, fetch);
+  flow.flow(send, join);
+  flow.flow(fetch, join);
+  flow.flow(join, fin);
+  const CompositeService& svc = c.define_composite("pmail", std::move(flow));
+  EXPECT_EQ(svc.atomic_services().size(), 3u);
+  EXPECT_EQ(svc.atomic_services().front(), "authenticate");
+}
+
+TEST(ServiceCatalog, DuplicateCompositeRejected) {
+  ServiceCatalog c = catalog_with_atomics();
+  c.define_sequence("email", {"authenticate", "send_mail"});
+  EXPECT_THROW(c.define_sequence("email", {"authenticate", "fetch_mail"}),
+               ModelError);
+}
+
+TEST(ServiceCatalog, CompositesUsing) {
+  // "an atomic service can be part of any number of composite services".
+  ServiceCatalog c = catalog_with_atomics();
+  c.define_sequence("email", {"authenticate", "send_mail", "fetch_mail"});
+  c.define_sequence("outbox", {"authenticate", "send_mail"});
+  EXPECT_EQ(c.composites_using("authenticate").size(), 2u);
+  EXPECT_EQ(c.composites_using("fetch_mail").size(), 1u);
+  EXPECT_TRUE(c.composites_using("zz").empty());
+  EXPECT_EQ(c.composites().size(), 2u);
+  EXPECT_EQ(c.atomics().size(), 3u);
+}
+
+TEST(CompositeService, ActivityAccessible) {
+  ServiceCatalog c = catalog_with_atomics();
+  const CompositeService& email =
+      c.define_sequence("email", {"authenticate", "send_mail"});
+  EXPECT_EQ(email.activity().name(), "email_flow");
+  EXPECT_TRUE(email.activity().validate().empty());
+}
+
+}  // namespace
+}  // namespace upsim::service

@@ -1,0 +1,188 @@
+// Transient availability curves and Yen's k-shortest paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/transient.hpp"
+#include "graph/k_shortest.hpp"
+#include "netgen/generators.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "transform/projection.hpp"
+#include "util/error.hpp"
+
+namespace upsim {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// transient availability
+
+TEST(Transient, ComponentClosedFormBoundaries) {
+  // A(0) = 1; A(inf) = steady state; monotone decreasing between.
+  const double mtbf = 100.0;
+  const double mttr = 10.0;
+  EXPECT_DOUBLE_EQ(depend::component_transient_availability(mtbf, mttr, 0.0),
+                   1.0);
+  const double steady = mtbf / (mtbf + mttr);
+  EXPECT_NEAR(depend::component_transient_availability(mtbf, mttr, 1e6),
+              steady, 1e-12);
+  double previous = 1.0;
+  for (const double t : {1.0, 5.0, 20.0, 100.0, 1000.0}) {
+    const double a = depend::component_transient_availability(mtbf, mttr, t);
+    EXPECT_LT(a, previous) << t;
+    EXPECT_GT(a, steady - 1e-12) << t;
+    previous = a;
+  }
+  EXPECT_THROW(
+      (void)depend::component_transient_availability(0.0, 1.0, 1.0),
+      ModelError);
+  EXPECT_THROW(
+      (void)depend::component_transient_availability(1.0, 1.0, -1.0),
+      ModelError);
+}
+
+TEST(Transient, SystemCurveDecaysToSteadyState) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "transient");
+  const auto model = depend::SimulationModel::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  const auto curve = depend::transient_availability(
+      model, {0.0, 1.0, 10.0, 100.0, 1000.0, 1e7});
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_DOUBLE_EQ(curve.front().availability, 1.0);  // fresh after service
+  // Monotone decreasing toward the steady state.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].availability, curve[i - 1].availability + 1e-12) << i;
+  }
+  const double steady =
+      depend::exact_availability(model.steady_state_problem());
+  EXPECT_NEAR(curve.back().availability, steady, 1e-9);
+  // Times come back sorted even if passed unsorted.
+  const auto unsorted = depend::transient_availability(model, {10.0, 0.0});
+  EXPECT_DOUBLE_EQ(unsorted.front().t_hours, 0.0);
+}
+
+TEST(Transient, InputValidation) {
+  const auto g = netgen::ring(4);
+  const auto model = depend::SimulationModel::from_attributes(
+      g, {{VertexId{0}, VertexId{2}}});
+  EXPECT_THROW((void)depend::transient_availability(model, {}), ModelError);
+  EXPECT_THROW((void)depend::transient_availability(model, {-1.0}),
+               ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// k-shortest paths
+
+graph::WeightFunctions unit_weights() {
+  graph::WeightFunctions w;
+  w.vertex_cost = [](VertexId) { return 0.0; };
+  w.edge_cost = [](graph::EdgeId) { return 1.0; };
+  return w;
+}
+
+TEST(KShortest, FirstEqualsDijkstra) {
+  const Graph g = netgen::erdos_renyi(10, 0.3, 3);
+  const auto single =
+      graph::k_shortest_paths(g, VertexId{0}, VertexId{9}, 1, unit_weights());
+  const auto dijkstra =
+      graph::shortest_path(g, VertexId{0}, VertexId{9}, unit_weights());
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].cost, dijkstra.cost);
+}
+
+TEST(KShortest, MatchesBruteForceRanking) {
+  // On small graphs, the k cheapest paths must equal the exhaustive path
+  // set sorted by cost.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = netgen::erdos_renyi(8, 0.3, seed);
+    const auto all = pathdisc::discover(g, VertexId{0}, VertexId{7});
+    if (all.empty()) continue;
+    std::vector<double> costs;
+    for (const auto& path : all.paths) {
+      costs.push_back(static_cast<double>(path.size() - 1));  // unit edges
+    }
+    std::sort(costs.begin(), costs.end());
+    const std::size_t k = std::min<std::size_t>(5, costs.size());
+    const auto top = graph::k_shortest_paths(g, VertexId{0}, VertexId{7}, k,
+                                             unit_weights());
+    ASSERT_EQ(top.size(), k) << "seed " << seed;
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(top[i].cost, costs[i]) << "seed " << seed << " i " << i;
+      // Loopless.
+      std::set<std::uint32_t> seen;
+      for (const VertexId v : top[i].path) {
+        EXPECT_TRUE(seen.insert(graph::index(v)).second);
+      }
+    }
+    // Sorted ascending.
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      EXPECT_LE(top[i - 1].cost, top[i].cost);
+    }
+  }
+}
+
+TEST(KShortest, ExhaustsFinitePathSets) {
+  // Ring: exactly two simple paths; asking for 10 returns 2.
+  const Graph g = netgen::ring(6);
+  const auto paths =
+      graph::k_shortest_paths(g, VertexId{0}, VertexId{3}, 10, unit_weights());
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 3.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 3.0);
+  EXPECT_NE(paths[0].path, paths[1].path);
+}
+
+TEST(KShortest, WeightedRoutesRankCorrectly) {
+  // Diamond with asymmetric costs.
+  Graph g;
+  for (const char* n : {"s", "a", "b", "t"}) g.add_vertex(n);
+  g.add_edge("s", "a", "sa", {{"w", 1.0}});
+  g.add_edge("a", "t", "at", {{"w", 1.0}});
+  g.add_edge("s", "b", "sb", {{"w", 2.0}});
+  g.add_edge("b", "t", "bt", {{"w", 2.0}});
+  const auto weights = graph::attribute_weights(g, "w", 0.0, "w", 1.0);
+  const auto paths = graph::k_shortest_paths(
+      g, g.vertex_by_name("s"), g.vertex_by_name("t"), 3, weights);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+  EXPECT_EQ(g.vertex(paths[0].path[1]).name, "a");
+  EXPECT_DOUBLE_EQ(paths[1].cost, 4.0);
+}
+
+TEST(KShortest, UnreachableAndGuards) {
+  Graph g;
+  g.add_vertex("s");
+  g.add_vertex("t");
+  EXPECT_TRUE(graph::k_shortest_paths(g, g.vertex_by_name("s"),
+                                      g.vertex_by_name("t"), 3)
+                  .empty());
+  EXPECT_THROW((void)graph::k_shortest_paths(g, g.vertex_by_name("s"),
+                                             g.vertex_by_name("t"), 0),
+               ModelError);
+}
+
+TEST(KShortest, CaseStudyTopThreeRoutes) {
+  const auto cs = casestudy::make_usi_case_study();
+  const Graph g = transform::project(*cs.infrastructure);
+  const auto weights = unit_weights();
+  const auto top = graph::k_shortest_paths(g, g.vertex_by_name("t1"),
+                                           g.vertex_by_name("printS"), 3,
+                                           weights);
+  ASSERT_EQ(top.size(), 3u);
+  // Two 5-hop routes (via c1 / via c2), then a 6-hop detour.
+  EXPECT_DOUBLE_EQ(top[0].cost, 5.0);
+  EXPECT_DOUBLE_EQ(top[1].cost, 5.0);
+  EXPECT_DOUBLE_EQ(top[2].cost, 6.0);
+}
+
+}  // namespace
+}  // namespace upsim

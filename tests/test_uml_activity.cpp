@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "uml/activity.hpp"
+#include "util/error.hpp"
+
+namespace upsim::uml {
+namespace {
+
+/// Builds the paper's Fig. 10 printing flow: a pure sequence of five
+/// atomic services.
+Activity printing_flow() {
+  Activity a("printing_flow");
+  const auto initial = a.add_initial();
+  const auto s1 = a.add_action("request_printing");
+  const auto s2 = a.add_action("login_to_printer");
+  const auto s3 = a.add_action("send_document_list");
+  const auto s4 = a.add_action("select_documents");
+  const auto s5 = a.add_action("send_documents");
+  const auto fin = a.add_final();
+  a.flow(initial, s1);
+  a.flow(s1, s2);
+  a.flow(s2, s3);
+  a.flow(s3, s4);
+  a.flow(s4, s5);
+  a.flow(s5, fin);
+  return a;
+}
+
+/// Builds the paper's Fig. 2 shape: s1 ; (s2 || s3) ; implicit join ; final.
+Activity forked_flow() {
+  Activity a("fig2");
+  const auto initial = a.add_initial();
+  const auto s1 = a.add_action("atomic_service_1");
+  const auto fork = a.add_fork();
+  const auto s2 = a.add_action("atomic_service_2");
+  const auto s3 = a.add_action("atomic_service_3");
+  const auto join = a.add_join();
+  const auto fin = a.add_final();
+  a.flow(initial, s1);
+  a.flow(s1, fork);
+  a.flow(fork, s2);
+  a.flow(fork, s3);
+  a.flow(s2, join);
+  a.flow(s3, join);
+  a.flow(join, fin);
+  return a;
+}
+
+TEST(Activity, SequentialFlowValidates) {
+  const Activity a = printing_flow();
+  EXPECT_TRUE(a.validate().empty());
+  EXPECT_EQ(a.atomic_services(),
+            (std::vector<std::string>{"request_printing", "login_to_printer",
+                                      "send_document_list", "select_documents",
+                                      "send_documents"}));
+}
+
+TEST(Activity, ForkJoinFlowValidates) {
+  const Activity a = forked_flow();
+  EXPECT_TRUE(a.validate().empty());
+  const auto services = a.atomic_services();
+  EXPECT_EQ(services.size(), 3u);
+  EXPECT_EQ(services.front(), "atomic_service_1");
+}
+
+TEST(Activity, FindAction) {
+  const Activity a = printing_flow();
+  EXPECT_TRUE(a.find_action("select_documents").has_value());
+  EXPECT_FALSE(a.find_action("bogus").has_value());
+}
+
+TEST(Activity, DuplicateActionRejected) {
+  Activity a("x");
+  a.add_action("s1");
+  EXPECT_THROW(a.add_action("s1"), ModelError);
+}
+
+TEST(Activity, SelfFlowRejected) {
+  Activity a("x");
+  const auto s = a.add_action("s1");
+  EXPECT_THROW(a.flow(s, s), ModelError);
+}
+
+TEST(Activity, MissingInitialReported) {
+  Activity a("x");
+  const auto s1 = a.add_action("s1");
+  const auto fin = a.add_final();
+  a.flow(s1, fin);
+  const auto problems = a.validate();
+  EXPECT_FALSE(problems.empty());
+  bool found = false;
+  for (const auto& p : problems) {
+    if (p.find("exactly one initial") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Activity, TwoInitialsReported) {
+  Activity a("x");
+  const auto i1 = a.add_initial();
+  const auto i2 = a.add_initial("initial2");
+  const auto s = a.add_action("s1");
+  const auto fin = a.add_final();
+  a.flow(i1, s);
+  a.flow(i2, s);
+  a.flow(s, fin);
+  bool found = false;
+  for (const auto& p : a.validate()) {
+    if (p.find("exactly one initial") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Activity, MissingFinalReported) {
+  Activity a("x");
+  const auto init = a.add_initial();
+  const auto s = a.add_action("s1");
+  a.flow(init, s);
+  bool found = false;
+  for (const auto& p : a.validate()) {
+    if (p.find("at least one final") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Activity, CycleDetected) {
+  Activity a("x");
+  const auto init = a.add_initial();
+  const auto s1 = a.add_action("s1");
+  const auto s2 = a.add_action("s2");
+  const auto fin = a.add_final();
+  a.flow(init, s1);
+  a.flow(s1, s2);
+  a.flow(s2, s1);  // cycle; also breaks the 1-in/1-out action rule
+  a.flow(s2, fin);
+  bool found = false;
+  for (const auto& p : a.validate()) {
+    if (p.find("cycle") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW((void)a.atomic_services(), ModelError);
+}
+
+TEST(Activity, UnreachableNodeReported) {
+  Activity a("x");
+  const auto init = a.add_initial();
+  const auto s1 = a.add_action("s1");
+  const auto fin = a.add_final();
+  a.flow(init, s1);
+  a.flow(s1, fin);
+  const auto orphan = a.add_action("orphan");
+  const auto fin2 = a.add_final("final2");
+  a.flow(orphan, fin2);  // orphan has in-degree 0, not on initial->final path
+  bool found = false;
+  for (const auto& p : a.validate()) {
+    if (p.find("orphan") != std::string::npos &&
+        p.find("initial->final") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Activity, DegreeRulesPerKind) {
+  Activity a("x");
+  const auto init = a.add_initial();
+  const auto fork = a.add_fork();
+  const auto s1 = a.add_action("s1");
+  const auto fin = a.add_final();
+  a.flow(init, fork);
+  a.flow(fork, s1);  // fork with only one outgoing flow: invalid
+  a.flow(s1, fin);
+  bool found = false;
+  for (const auto& p : a.validate()) {
+    if (p.find("fork") != std::string::npos &&
+        p.find("at least two") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Activity, FinalWithOutgoingFlowReported) {
+  Activity a("x");
+  const auto init = a.add_initial();
+  const auto s1 = a.add_action("s1");
+  const auto fin = a.add_final();
+  const auto s2 = a.add_action("s2");
+  const auto fin2 = a.add_final("final2");
+  a.flow(init, s1);
+  a.flow(s1, fin);
+  a.flow(fin, s2);  // invalid
+  a.flow(s2, fin2);
+  bool found = false;
+  for (const auto& p : a.validate()) {
+    if (p.find("final") != std::string::npos &&
+        p.find("outgoing") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Activity, NodeAccessors) {
+  const Activity a = printing_flow();
+  EXPECT_EQ(a.node_count(), 7u);
+  EXPECT_THROW((void)a.node(ActivityNodeId{99}), NotFoundError);
+  EXPECT_THROW((void)a.successors(ActivityNodeId{99}), NotFoundError);
+  const auto action = a.find_action("request_printing");
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(a.node(*action).kind, ActivityNodeKind::Action);
+  EXPECT_EQ(a.successors(*action).size(), 1u);
+  EXPECT_EQ(a.predecessors(*action).size(), 1u);
+}
+
+}  // namespace
+}  // namespace upsim::uml

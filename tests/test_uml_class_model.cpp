@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "uml/class_model.hpp"
+#include "util/error.hpp"
+
+namespace upsim::uml {
+namespace {
+
+/// The Fig. 6 availability profile, shared by several tests.
+struct Fixture {
+  Profile profile{"availability"};
+  Stereotype* component = nullptr;
+  Stereotype* device = nullptr;
+  Stereotype* connector = nullptr;
+
+  Fixture() {
+    component = &profile.define("Component", Metaclass::Class, nullptr, true);
+    component->declare_attribute("MTBF", ValueType::Real);
+    component->declare_attribute("MTTR", ValueType::Real);
+    component->declare_attribute("redundantComponents", ValueType::Integer,
+                                 Value(0));
+    device = &profile.define("Device", Metaclass::Class, component);
+    connector = &profile.define("Connector", Metaclass::Association);
+    connector->declare_attribute("MTBF", ValueType::Real);
+    connector->declare_attribute("MTTR", ValueType::Real);
+  }
+};
+
+TEST(ClassModel, DefineClassesAndAssociations) {
+  ClassModel m("net");
+  const Class& a = m.define_class("Switch");
+  const Class& b = m.define_class("Client");
+  const Association& link = m.define_association("access", a, b);
+  EXPECT_EQ(m.classes().size(), 2u);
+  EXPECT_EQ(m.associations().size(), 1u);
+  EXPECT_EQ(&m.get_class("Switch"), &a);
+  EXPECT_EQ(&m.get_association("access"), &link);
+  EXPECT_EQ(m.find_class("zz"), nullptr);
+  EXPECT_THROW((void)m.get_class("zz"), NotFoundError);
+  EXPECT_THROW((void)m.get_association("zz"), NotFoundError);
+}
+
+TEST(ClassModel, RejectsDuplicatesAndForeignRefs) {
+  ClassModel m("net");
+  const Class& a = m.define_class("A");
+  EXPECT_THROW(m.define_class("A"), ModelError);
+  ClassModel other("other");
+  const Class& foreign = other.define_class("B");
+  EXPECT_THROW(m.define_class("Child", &foreign), ModelError);
+  EXPECT_THROW(m.define_association("x", a, foreign), ModelError);
+  m.define_association("ok", a, a);
+  EXPECT_THROW(m.define_association("ok", a, a), ModelError);
+}
+
+TEST(ClassModel, StaticAttributesInherit) {
+  ClassModel m("net");
+  Class& base = m.define_class("Device", nullptr, true);
+  base.set_static("ports", 24);
+  Class& derived = m.define_class("Switch", &base);
+  EXPECT_EQ(derived.static_value("ports")->as_integer(), 24);
+  derived.set_static("ports", 48);
+  EXPECT_EQ(derived.static_value("ports")->as_integer(), 48);
+  EXPECT_EQ(base.static_value("ports")->as_integer(), 24);
+  EXPECT_FALSE(base.static_value("zz").has_value());
+  EXPECT_THROW(base.set_static("bad name", 1), ModelError);
+}
+
+TEST(ClassModel, IsKindOfWalksGeneralisation) {
+  ClassModel m("net");
+  Class& a = m.define_class("A", nullptr, true);
+  Class& b = m.define_class("B", &a);
+  Class& c = m.define_class("C", &b);
+  EXPECT_TRUE(c.is_kind_of(a));
+  EXPECT_TRUE(c.is_kind_of(c));
+  EXPECT_FALSE(a.is_kind_of(c));
+}
+
+TEST(StereotypeApplication, ValuesDefaultsAndMissing) {
+  Fixture f;
+  ClassModel m("net");
+  Class& cls = m.define_class("C6500");
+  StereotypeApplication& app = cls.apply(*f.device);
+  app.set("MTBF", 183498.0);
+  // MTTR missing, redundantComponents defaulted.
+  EXPECT_EQ(app.missing_values(), std::vector<std::string>{"MTTR"});
+  EXPECT_EQ(app.value("redundantComponents")->as_integer(), 0);
+  app.set("MTTR", 0.5);
+  EXPECT_TRUE(app.missing_values().empty());
+  EXPECT_DOUBLE_EQ(app.required_value("MTBF").as_real(), 183498.0);
+  EXPECT_THROW((void)app.required_value("nope"), Error);
+  // Integer is assignable to the Real-typed MTBF.
+  app.set("MTBF", 200000);
+  EXPECT_DOUBLE_EQ(app.required_value("MTBF").as_real(), 200000.0);
+  // Undeclared names and non-conforming types are rejected.
+  EXPECT_THROW(app.set("bogus", 1.0), ModelError);
+  EXPECT_THROW(app.set("MTBF", "not-a-number"), ModelError);
+}
+
+TEST(StereotypedElement, ApplicationRules) {
+  Fixture f;
+  ClassModel m("net");
+  Class& cls = m.define_class("Comp");
+  // Abstract stereotypes cannot be applied.
+  EXPECT_THROW(cls.apply(*f.component), ModelError);
+  cls.apply(*f.device);
+  // No double application.
+  EXPECT_THROW(cls.apply(*f.device), ModelError);
+  // Metaclass mismatch: Connector extends Association.
+  EXPECT_THROW(cls.apply(*f.connector), ModelError);
+  Association& assoc = m.define_association("l", cls, cls);
+  assoc.apply(*f.connector);
+  EXPECT_THROW(assoc.apply(*f.device), ModelError);
+}
+
+TEST(StereotypedElement, KindOfLookupFindsInheritedApplication) {
+  Fixture f;
+  ClassModel m("net");
+  Class& cls = m.define_class("Comp");
+  auto& app = cls.apply(*f.device);
+  app.set("MTBF", 3000.0);
+  app.set("MTTR", 24.0);
+  // Look up through the abstract parent «Component».
+  EXPECT_TRUE(cls.has_stereotype(*f.component));
+  EXPECT_NE(cls.application_kind_of(*f.component), nullptr);
+  EXPECT_EQ(cls.application_of(*f.component), nullptr);  // exact match only
+  EXPECT_DOUBLE_EQ(cls.stereotype_value("MTBF")->as_real(), 3000.0);
+  EXPECT_FALSE(cls.stereotype_value("nope").has_value());
+}
+
+TEST(Association, AdmitsConformingEndsInEitherOrder) {
+  ClassModel m("net");
+  Class& device = m.define_class("Device", nullptr, true);
+  Class& sw = m.define_class("Switch", &device);
+  Class& client = m.define_class("Client", &device);
+  Association& access = m.define_association("access", sw, client);
+  EXPECT_TRUE(access.admits(sw, client));
+  EXPECT_TRUE(access.admits(client, sw));
+  EXPECT_FALSE(access.admits(client, client));
+  // Subclasses conform.
+  Class& fancy = m.define_class("FancySwitch", &sw);
+  EXPECT_TRUE(access.admits(fancy, client));
+}
+
+TEST(ClassModel, ValidateReportsMissingMandatoryValues) {
+  Fixture f;
+  ClassModel m("net");
+  Class& cls = m.define_class("Switch");
+  cls.apply(*f.device);  // MTBF/MTTR never set
+  const auto problems = m.validate();
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_NE(problems[0].find("MTBF"), std::string::npos);
+  EXPECT_NE(problems[1].find("MTTR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upsim::uml

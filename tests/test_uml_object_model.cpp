@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "uml/object_model.hpp"
+#include "util/error.hpp"
+
+namespace upsim::uml {
+namespace {
+
+/// Minimal class model: Device (abstract) <- {Switch, Client}; one
+/// association per link kind, as in the case study.
+struct Fixture {
+  Profile profile{"availability"};
+  ClassModel classes{"net"};
+
+  Fixture() {
+    Stereotype& component =
+        profile.define("Component", Metaclass::Class, nullptr, true);
+    component.declare_attribute("MTBF", ValueType::Real);
+    component.declare_attribute("MTTR", ValueType::Real);
+    Stereotype& device = profile.define("Device", Metaclass::Class, &component);
+    Class& base = classes.define_class("Device", nullptr, true);
+    Class& sw = classes.define_class("Switch", &base);
+    auto& sw_app = sw.apply(device);
+    sw_app.set("MTBF", 100000.0);
+    sw_app.set("MTTR", 0.5);
+    Class& client = classes.define_class("Client", &base);
+    auto& cl_app = client.apply(device);
+    cl_app.set("MTBF", 3000.0);
+    cl_app.set("MTTR", 24.0);
+    classes.define_association("trunk", sw, sw);
+    classes.define_association("access", sw, client);
+  }
+};
+
+TEST(ObjectModel, InstantiateAndLookup) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  const auto& s1 = m.instantiate("s1", "Switch");
+  EXPECT_EQ(m.instance_count(), 1u);
+  EXPECT_EQ(&m.get_instance("s1"), &s1);
+  EXPECT_EQ(s1.signature(), "s1:Switch");
+  EXPECT_EQ(m.find_instance("zz"), nullptr);
+  EXPECT_THROW((void)m.get_instance("zz"), NotFoundError);
+}
+
+TEST(ObjectModel, AbstractClassCannotBeInstantiated) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  EXPECT_THROW(m.instantiate("x", "Device"), ModelError);
+}
+
+TEST(ObjectModel, DuplicateInstanceRejected) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  m.instantiate("s1", "Switch");
+  EXPECT_THROW(m.instantiate("s1", "Client"), ModelError);
+}
+
+TEST(ObjectModel, ForeignClassifierRejected) {
+  Fixture f;
+  ClassModel other("other");
+  const Class& foreign = other.define_class("Alien");
+  ObjectModel m("topo", f.classes);
+  EXPECT_THROW(m.instantiate("x", foreign), ModelError);
+}
+
+TEST(ObjectModel, LinksRespectAssociations) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  m.instantiate("s1", "Switch");
+  m.instantiate("s2", "Switch");
+  m.instantiate("t1", "Client");
+  m.link("s1", "s2", "trunk");
+  m.link("t1", "s1", "access");  // reversed end order still admitted
+  EXPECT_EQ(m.link_count(), 2u);
+  // Client-client is not admitted by any association.
+  m.instantiate("t2", "Client");
+  EXPECT_THROW(m.link("t1", "t2", "access"), ModelError);
+  // Self-links are rejected.
+  EXPECT_THROW(m.link("s1", "s1", "trunk"), ModelError);
+  // Duplicate link names are rejected.
+  EXPECT_THROW(m.link("s1", "s2", "trunk", "s1--s2"), ModelError);
+}
+
+TEST(ObjectModel, InstancesShareClassProperties) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  const auto& a = m.instantiate("s1", "Switch");
+  const auto& b = m.instantiate("s2", "Switch");
+  // "two different instances of the same class have also the same
+  // properties" (Sec. V-A1).
+  EXPECT_DOUBLE_EQ(a.stereotype_value("MTBF")->as_real(),
+                   b.stereotype_value("MTBF")->as_real());
+  EXPECT_DOUBLE_EQ(a.stereotype_value("MTTR")->as_real(), 0.5);
+  EXPECT_FALSE(a.stereotype_value("nope").has_value());
+}
+
+TEST(ObjectModel, InstancesOfAndCensus) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  m.instantiate("s1", "Switch");
+  m.instantiate("s2", "Switch");
+  m.instantiate("t1", "Client");
+  EXPECT_EQ(m.instances_of(f.classes.get_class("Switch")).size(), 2u);
+  // Device is the abstract base: everything conforms.
+  EXPECT_EQ(m.instances_of(f.classes.get_class("Device")).size(), 3u);
+  const auto census = m.census();
+  EXPECT_EQ(census.at("Switch"), 2u);
+  EXPECT_EQ(census.at("Client"), 1u);
+}
+
+TEST(ObjectModel, ValidateCleanModel) {
+  Fixture f;
+  ObjectModel m("topo", f.classes);
+  m.instantiate("s1", "Switch");
+  m.instantiate("t1", "Client");
+  m.link("s1", "t1", "access");
+  EXPECT_TRUE(m.validate().empty());
+}
+
+TEST(ObjectModel, StaticValuesReachInstances) {
+  Fixture f;
+  // Static class attribute set after instantiation is still visible (values
+  // live on the class).
+  ObjectModel m("topo", f.classes);
+  const auto& inst = m.instantiate("s1", "Switch");
+  const_cast<Class&>(f.classes.get_class("Switch")).set_static("ports", 48);
+  ASSERT_TRUE(inst.static_value("ports").has_value());
+  EXPECT_EQ(inst.static_value("ports")->as_integer(), 48);
+}
+
+TEST(ObjectModel, LinkEndpointsMustBelongToModel) {
+  Fixture f;
+  ObjectModel m1("topo1", f.classes);
+  ObjectModel m2("topo2", f.classes);
+  const auto& a = m1.instantiate("s1", "Switch");
+  const auto& foreign = m2.instantiate("s2", "Switch");
+  EXPECT_THROW(
+      m1.link(a, foreign, f.classes.get_association("trunk")), ModelError);
+}
+
+}  // namespace
+}  // namespace upsim::uml

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "uml/profile.hpp"
+#include "util/error.hpp"
+
+namespace upsim::uml {
+namespace {
+
+TEST(Value, TypesAndAccess) {
+  EXPECT_EQ(Value(1.5).type(), ValueType::Real);
+  EXPECT_EQ(Value(3).type(), ValueType::Integer);
+  EXPECT_EQ(Value("x").type(), ValueType::String);
+  EXPECT_EQ(Value(true).type(), ValueType::Boolean);
+  EXPECT_DOUBLE_EQ(Value(1.5).as_real(), 1.5);
+  EXPECT_EQ(Value(3).as_integer(), 3);
+  EXPECT_EQ(Value("x").as_string(), "x");
+  EXPECT_TRUE(Value(true).as_boolean());
+}
+
+TEST(Value, IntegerWidensToRealOnly) {
+  EXPECT_DOUBLE_EQ(Value(3).as_real(), 3.0);
+  EXPECT_THROW((void)Value(1.5).as_integer(), ModelError);
+  EXPECT_THROW((void)Value("x").as_real(), ModelError);
+  EXPECT_THROW((void)Value(1.0).as_boolean(), ModelError);
+  EXPECT_THROW((void)Value(true).as_string(), ModelError);
+}
+
+TEST(Value, Conformance) {
+  EXPECT_TRUE(Value(3).conforms_to(ValueType::Real));
+  EXPECT_TRUE(Value(3).conforms_to(ValueType::Integer));
+  EXPECT_FALSE(Value(1.5).conforms_to(ValueType::Integer));
+  EXPECT_FALSE(Value("s").conforms_to(ValueType::Real));
+}
+
+TEST(Value, TextRendering) {
+  EXPECT_EQ(Value(60000.0).to_text(), "60000");
+  EXPECT_EQ(Value(0).to_text(), "0");
+  EXPECT_EQ(Value("Cisco").to_text(), "Cisco");
+  EXPECT_EQ(Value(false).to_text(), "false");
+}
+
+TEST(Profile, DefineAndLookup) {
+  Profile p("availability");
+  Stereotype& component = p.define("Component", Metaclass::Class, nullptr,
+                                   /*is_abstract=*/true);
+  EXPECT_EQ(component.name(), "Component");
+  EXPECT_TRUE(component.is_abstract());
+  EXPECT_EQ(p.find("Component"), &component);
+  EXPECT_EQ(p.find("Nope"), nullptr);
+  EXPECT_THROW((void)p.get("Nope"), NotFoundError);
+  EXPECT_EQ(p.stereotypes().size(), 1u);
+}
+
+TEST(Profile, RejectsDuplicatesAndBadNames) {
+  Profile p("pr");
+  p.define("S", Metaclass::Class);
+  EXPECT_THROW(p.define("S", Metaclass::Class), ModelError);
+  EXPECT_THROW(p.define("bad name", Metaclass::Class), ModelError);
+  EXPECT_THROW(Profile("no good"), ModelError);
+}
+
+TEST(Profile, CrossMetaclassSpecialisationRejected) {
+  Profile p("pr");
+  Stereotype& component = p.define("Component", Metaclass::Class);
+  EXPECT_THROW(p.define("Connector", Metaclass::Association, &component),
+               ModelError);
+}
+
+TEST(Profile, ParentFromOtherProfileRejected) {
+  Profile p1("p1");
+  Profile p2("p2");
+  Stereotype& foreign = p1.define("Base", Metaclass::Class);
+  EXPECT_THROW(p2.define("Child", Metaclass::Class, &foreign), ModelError);
+}
+
+TEST(Stereotype, AttributeInheritanceAcrossGeneralisation) {
+  // The Fig. 6 shape: Component declares, Device inherits.
+  Profile p("availability");
+  Stereotype& component =
+      p.define("Component", Metaclass::Class, nullptr, true);
+  component.declare_attribute("MTBF", ValueType::Real);
+  component.declare_attribute("MTTR", ValueType::Real);
+  component.declare_attribute("redundantComponents", ValueType::Integer,
+                              Value(0));
+  Stereotype& device = p.define("Device", Metaclass::Class, &component);
+
+  EXPECT_TRUE(device.is_kind_of(component));
+  EXPECT_FALSE(component.is_kind_of(device));
+  EXPECT_NE(device.find_attribute("MTBF"), nullptr);
+  EXPECT_EQ(device.own_attributes().size(), 0u);
+  const auto effective = device.effective_attributes();
+  ASSERT_EQ(effective.size(), 3u);
+  EXPECT_EQ(effective[0].name, "MTBF");  // base-most first
+  EXPECT_TRUE(effective[2].default_value.has_value());
+}
+
+TEST(Stereotype, MultiLevelInheritance) {
+  // Fig. 7 shape: NetworkDevice <- Computer <- Client.
+  Profile p("network");
+  Stereotype& nd = p.define("NetworkDevice", Metaclass::Class, nullptr, true);
+  nd.declare_attribute("manufacturer", ValueType::String);
+  nd.declare_attribute("model", ValueType::String);
+  Stereotype& computer = p.define("Computer", Metaclass::Class, &nd, true);
+  computer.declare_attribute("processor", ValueType::String);
+  Stereotype& client = p.define("Client", Metaclass::Class, &computer);
+  EXPECT_EQ(client.effective_attributes().size(), 3u);
+  EXPECT_TRUE(client.is_kind_of(nd));
+  EXPECT_TRUE(client.is_kind_of(computer));
+  EXPECT_NE(client.find_attribute("manufacturer"), nullptr);
+  EXPECT_NE(client.find_attribute("processor"), nullptr);
+  EXPECT_EQ(client.find_attribute("bogus"), nullptr);
+}
+
+TEST(Stereotype, RejectsShadowingAndBadDefaults) {
+  Profile p("pr");
+  Stereotype& base = p.define("Base", Metaclass::Class);
+  base.declare_attribute("MTBF", ValueType::Real);
+  EXPECT_THROW(base.declare_attribute("MTBF", ValueType::Real), ModelError);
+  Stereotype& child = p.define("Child", Metaclass::Class, &base);
+  // Shadowing an inherited attribute is rejected too.
+  EXPECT_THROW(child.declare_attribute("MTBF", ValueType::Integer),
+               ModelError);
+  EXPECT_THROW(base.declare_attribute("bad", ValueType::Integer, Value(1.5)),
+               ModelError);
+  EXPECT_THROW(base.declare_attribute("bad name", ValueType::Real),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace upsim::uml

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "umlio/serialize.hpp"
+#include "util/error.hpp"
+
+namespace upsim::umlio {
+namespace {
+
+/// Packages the USI case study as a bundle (profiles borrowed by move).
+UmlBundle usi_bundle() {
+  auto cs = casestudy::make_usi_case_study();
+  UmlBundle bundle;
+  bundle.profiles.push_back(std::move(cs.availability_profile));
+  bundle.profiles.push_back(std::move(cs.network_profile));
+  bundle.classes = std::move(cs.classes);
+  bundle.objects = std::move(cs.infrastructure);
+  bundle.services = std::move(cs.services);
+  return bundle;
+}
+
+TEST(UmlIo, CaseStudyRoundTripsStructurally) {
+  const UmlBundle original = usi_bundle();
+  const std::string xml = to_xml(original);
+  const UmlBundle back = from_xml(xml);
+
+  ASSERT_EQ(back.profiles.size(), 2u);
+  EXPECT_EQ(back.profiles[0]->name(), "availability");
+  ASSERT_NE(back.classes, nullptr);
+  ASSERT_NE(back.objects, nullptr);
+  ASSERT_NE(back.services, nullptr);
+  EXPECT_EQ(back.classes->classes().size(), 7u);
+  EXPECT_EQ(back.classes->associations().size(), 7u);
+  EXPECT_EQ(back.objects->instance_count(), 32u);
+  EXPECT_EQ(back.objects->link_count(), 34u);
+  EXPECT_EQ(back.services->atomic_count(), 9u);
+  EXPECT_EQ(back.services->composite_count(), 3u);
+  EXPECT_TRUE(back.objects->validate().empty());
+
+  // A second round trip is byte-identical (canonical form).
+  EXPECT_EQ(to_xml(back), xml);
+}
+
+TEST(UmlIo, StereotypeValuesSurviveRoundTrip) {
+  const UmlBundle back = from_xml(to_xml(usi_bundle()));
+  const uml::Class& c6500 = back.classes->get_class("C6500");
+  EXPECT_DOUBLE_EQ(c6500.stereotype_value("MTBF")->as_real(), 183498.0);
+  EXPECT_DOUBLE_EQ(c6500.stereotype_value("MTTR")->as_real(), 0.5);
+  EXPECT_EQ(c6500.stereotype_value("manufacturer")->as_string(), "Cisco");
+  EXPECT_EQ(c6500.stereotype_value("redundantComponents")->as_integer(), 0);
+  const uml::Association& trunk =
+      back.classes->get_association("trunk_6500_6500");
+  EXPECT_DOUBLE_EQ(trunk.stereotype_value("MTBF")->as_real(), 500000.0);
+  EXPECT_DOUBLE_EQ(trunk.stereotype_value("throughput")->as_real(), 10000.0);
+}
+
+TEST(UmlIo, ProfileStructureSurvives) {
+  const UmlBundle back = from_xml(to_xml(usi_bundle()));
+  const uml::Profile& avail = back.profile("availability");
+  const uml::Stereotype& device = avail.get("Device");
+  ASSERT_NE(device.parent(), nullptr);
+  EXPECT_EQ(device.parent()->name(), "Component");
+  EXPECT_TRUE(avail.get("Component").is_abstract());
+  // Defaults survive.
+  const auto* decl = avail.get("Component").find_attribute("redundantComponents");
+  ASSERT_NE(decl, nullptr);
+  ASSERT_TRUE(decl->default_value.has_value());
+  EXPECT_EQ(decl->default_value->as_integer(), 0);
+  EXPECT_THROW((void)back.profile("nope"), NotFoundError);
+}
+
+TEST(UmlIo, ServicesSurviveIncludingFlow) {
+  const UmlBundle back = from_xml(to_xml(usi_bundle()));
+  const auto& printing = back.services->get_composite("printing");
+  EXPECT_EQ(printing.atomic_services(),
+            casestudy::printing_atomic_services());
+  EXPECT_TRUE(printing.activity().validate().empty());
+  EXPECT_EQ(back.services->get_atomic("request_printing").description(),
+            "client login to print server and send documents");
+}
+
+TEST(UmlIo, ReloadedBundleDrivesThePipeline) {
+  // The acid test: the reloaded model must generate the same UPSIM.
+  auto cs = casestudy::make_usi_case_study();
+  const UmlBundle back = from_xml(to_xml(usi_bundle()));
+  core::UpsimGenerator from_memory(*cs.infrastructure);
+  core::UpsimGenerator from_file(*back.objects);
+  const auto& printing_mem =
+      cs.services->get_composite(casestudy::printing_service_name());
+  const auto& printing_file = back.services->get_composite("printing");
+  const auto a =
+      from_memory.generate(printing_mem, cs.mapping_t1_p2(), "view");
+  const auto b =
+      from_file.generate(printing_file, cs.mapping_t1_p2(), "view");
+  std::set<std::string> sa, sb;
+  for (const auto* inst : a.upsim.instances()) sa.insert(inst->name());
+  for (const auto* inst : b.upsim.instances()) sb.insert(inst->name());
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.total_paths(), b.total_paths());
+}
+
+TEST(UmlIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/usi_bundle.xml";
+  save_bundle(usi_bundle(), path);
+  const UmlBundle back = load_bundle(path);
+  EXPECT_EQ(back.objects->instance_count(), 32u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_bundle("/nonexistent/bundle.xml"), Error);
+}
+
+TEST(UmlIo, ForwardParentReferencesResolve) {
+  // Child defined before parent: the loader must reorder.
+  const UmlBundle bundle = from_xml(R"(
+    <umlbundle>
+      <classmodel name="m">
+        <class name="Derived" parent="Base"/>
+        <class name="Base" abstract="true"/>
+      </classmodel>
+    </umlbundle>)");
+  const uml::Class& derived = bundle.classes->get_class("Derived");
+  ASSERT_NE(derived.parent(), nullptr);
+  EXPECT_EQ(derived.parent()->name(), "Base");
+}
+
+TEST(UmlIo, SemanticErrorsRejected) {
+  // Cyclic inheritance.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><classmodel name="m">
+      <class name="A" parent="B"/><class name="B" parent="A"/>
+    </classmodel></umlbundle>)"),
+               ModelError);
+  // Unknown parent.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><classmodel name="m">
+      <class name="A" parent="Ghost"/>
+    </classmodel></umlbundle>)"),
+               ModelError);
+  // Unqualified stereotype reference.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle>
+      <profile name="p"><stereotype name="S" extends="Class"/></profile>
+      <classmodel name="m"><class name="A"><apply stereotype="S"/></class>
+      </classmodel></umlbundle>)"),
+               ModelError);
+  // Object model without class model.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><objectmodel name="o"/></umlbundle>)"),
+               ModelError);
+  // Unknown metaclass / bad value type / bad boolean.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><profile name="p">
+      <stereotype name="S" extends="Package"/>
+    </profile></umlbundle>)"),
+               ModelError);
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><profile name="p">
+      <stereotype name="S" extends="Class">
+        <attribute name="x" type="Complex"/>
+      </stereotype>
+    </profile></umlbundle>)"),
+               ModelError);
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><profile name="p">
+      <stereotype name="S" extends="Class">
+        <attribute name="x" type="Real" default="not-a-number"/>
+      </stereotype>
+    </profile></umlbundle>)"),
+               ModelError);
+  // Two class models.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><classmodel name="a"/><classmodel name="b"/></umlbundle>)"),
+               ModelError);
+  // Wrong root element.
+  EXPECT_THROW((void)from_xml("<wrong/>"), ModelError);
+  // Unknown activity node kind.
+  EXPECT_THROW((void)from_xml(R"(
+    <umlbundle><services>
+      <atomic name="a"/><atomic name="b"/>
+      <composite name="c">
+        <node id="0" kind="decision" name="x"/>
+      </composite>
+    </services></umlbundle>)"),
+               ModelError);
+}
+
+TEST(UmlIo, EmptyBundleRoundTrips) {
+  const UmlBundle empty = from_xml("<umlbundle/>");
+  EXPECT_TRUE(empty.profiles.empty());
+  EXPECT_EQ(empty.classes, nullptr);
+  EXPECT_EQ(to_xml(empty), "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<umlbundle/>\n");
+}
+
+}  // namespace
+}  // namespace upsim::umlio

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "casestudy/usi.hpp"
+#include "transform/uml_importer.hpp"
+#include "util/error.hpp"
+#include "vpm/rules.hpp"
+#include "vpm/vtcl.hpp"
+
+namespace upsim::vpm {
+namespace {
+
+/// Imported USI model for realistic rule targets.
+struct Fixture {
+  casestudy::UsiCaseStudy cs = casestudy::make_usi_case_study();
+  ModelSpace space;
+
+  Fixture() {
+    transform::import_class_model(space, *cs.classes);
+    transform::import_object_model(space, *cs.infrastructure);
+  }
+};
+
+TEST(VpmRules, ForEachMatchAppliesOncePerMatch) {
+  Fixture f;
+  Pattern printers("printers");
+  printers.type_of("p", "models.usi_classes.classes.Printer");
+  const std::size_t changed = for_each_match(
+      f.space, printers, [](ModelSpace& space, const Binding& binding) {
+        space.set_value(binding.at("p"), "tagged");
+        return true;
+      });
+  EXPECT_EQ(changed, 3u);
+  EXPECT_EQ(f.space.value(f.space.get("models.usi_network.instances.p1")),
+            "tagged");
+  EXPECT_TRUE(
+      f.space.value(f.space.get("models.usi_network.instances.t1")).empty());
+}
+
+TEST(VpmRules, NullActionRejected) {
+  Fixture f;
+  Pattern anything("anything");
+  anything.type_of("x", "metamodel.uml.Instance");
+  EXPECT_THROW((void)for_each_match(f.space, anything, nullptr), ModelError);
+}
+
+TEST(VpmRules, DeletedBindingsAreSkipped) {
+  // An action that deletes entities must not be re-invoked on bindings
+  // whose entities died earlier in the same pass.
+  Fixture f;
+  Pattern pairs("client_pairs");
+  pairs.type_of("a", "models.usi_classes.classes.Comp")
+      .type_of("b", "models.usi_classes.classes.Comp")
+      .not_equal("a", "b");
+  std::size_t invocations = 0;
+  (void)for_each_match(f.space, pairs,
+                       [&](ModelSpace& space, const Binding& binding) {
+                         ++invocations;
+                         // Delete "a": every later binding containing it is
+                         // skipped.
+                         space.delete_entity(binding.at("a"));
+                         return true;
+                       });
+  // 13 clients; each invocation kills one, so at most 12 bindings survive
+  // long enough to run (the final client has no partner left).
+  EXPECT_LE(invocations, 12u);
+  EXPECT_GT(invocations, 0u);
+}
+
+TEST(VpmRules, FixpointPrunesDanglingChain) {
+  // The classical use: iteratively strip leaf entities.  Build a chain
+  // root -> a -> b -> c (relations), then prune relation-leaves until only
+  // the protected head remains.
+  ModelSpace space;
+  const EntityId ns = space.ensure_path("chain");
+  const EntityId a = space.create_entity(ns, "a");
+  const EntityId b = space.create_entity(ns, "b");
+  const EntityId c = space.create_entity(ns, "c");
+  space.create_relation("next", a, b);
+  space.create_relation("next", b, c);
+
+  // Rule: delete any chain entity with no outgoing "next" (a leaf).
+  Pattern leaf("leaf");
+  leaf.below("x", "chain");
+  std::vector<Rule> rules;
+  rules.push_back(Rule{leaf, [](ModelSpace& s, const Binding& binding) {
+                         const EntityId x = binding.at("x");
+                         if (!s.relations_from(x, "next").empty()) {
+                           return false;
+                         }
+                         s.delete_entity(x);
+                         return true;
+                       }});
+  const auto result = run_to_fixpoint(space, rules);
+  EXPECT_TRUE(result.converged);
+  // c, then b, then a die in successive rounds.
+  EXPECT_EQ(result.applications, 3u);
+  EXPECT_GE(result.rounds, 3u);
+  EXPECT_FALSE(space.is_alive(a));
+  EXPECT_FALSE(space.is_alive(b));
+  EXPECT_FALSE(space.is_alive(c));
+  EXPECT_TRUE(space.is_alive(ns));
+}
+
+TEST(VpmRules, FixpointGuardTripsOnNonTerminatingRules) {
+  ModelSpace space;
+  space.ensure_path("ns.x");
+  Pattern everything("everything");
+  everything.below("e", "ns");
+  std::vector<Rule> rules;
+  rules.push_back(Rule{everything, [](ModelSpace& s, const Binding& binding) {
+                         // Always reports change: never converges.
+                         s.set_value(binding.at("e"), "again");
+                         return true;
+                       }});
+  const auto result = run_to_fixpoint(space, rules, 5);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rounds, 5u);
+}
+
+TEST(VpmRules, VtclPatternDrivesARule) {
+  // The full VIATRA2 shape: textual pattern + imperative action.
+  Fixture f;
+  const Pattern pattern = parse_pattern(R"(
+    pattern client_uplinks(client, sw) = {
+      type(client, models.usi_classes.classes.Comp);
+      type(sw, models.usi_classes.classes.HP2650);
+      relation(client, link, sw);
+    })");
+  std::size_t rewired = 0;
+  (void)for_each_match(f.space, pattern,
+                       [&](ModelSpace& space, const Binding& binding) {
+                         space.create_relation("monitored_by",
+                                               binding.at("sw"),
+                                               binding.at("client"));
+                         ++rewired;
+                         return true;
+                       });
+  EXPECT_EQ(rewired, 13u);  // every client has exactly one uplink
+  const auto e1 = f.space.get("models.usi_network.instances.e1");
+  EXPECT_EQ(f.space.relations_from(e1, "monitored_by").size(), 3u);
+}
+
+TEST(VpmRules, MultipleRulesRunInOrderEachRound) {
+  ModelSpace space;
+  const EntityId ns = space.ensure_path("ns");
+  space.create_entity(ns, "seed");
+  int first_runs = 0;
+  int second_runs = 0;
+  Pattern seed("seed_pattern");
+  seed.below("x", "ns").named("x", "seed");
+  Pattern grown("grown_pattern");
+  grown.below("x", "ns").named("x", "grown");
+  std::vector<Rule> rules;
+  rules.push_back(Rule{seed, [&](ModelSpace& s, const Binding&) {
+                         ++first_runs;
+                         if (!s.find("ns.grown")) {
+                           s.ensure_path("ns.grown");
+                           return true;
+                         }
+                         return false;
+                       }});
+  rules.push_back(Rule{grown, [&](ModelSpace& s, const Binding& binding) {
+                         ++second_runs;
+                         if (s.value(binding.at("x")).empty()) {
+                           s.set_value(binding.at("x"), "done");
+                           return true;
+                         }
+                         return false;
+                       }});
+  const auto result = run_to_fixpoint(space, rules);
+  EXPECT_TRUE(result.converged);
+  // Round 1: rule 1 creates "grown", rule 2 tags it.  Round 2: no change.
+  EXPECT_EQ(result.applications, 2u);
+  EXPECT_GE(first_runs, 2);
+  EXPECT_GE(second_runs, 1);
+  EXPECT_EQ(space.value(space.get("ns.grown")), "done");
+}
+
+}  // namespace
+}  // namespace upsim::vpm
