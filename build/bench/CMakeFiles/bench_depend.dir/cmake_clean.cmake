@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depend.dir/bench_depend.cpp.o"
+  "CMakeFiles/bench_depend.dir/bench_depend.cpp.o.d"
+  "bench_depend"
+  "bench_depend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

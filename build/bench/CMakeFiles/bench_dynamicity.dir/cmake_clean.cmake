@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamicity.dir/bench_dynamicity.cpp.o"
+  "CMakeFiles/bench_dynamicity.dir/bench_dynamicity.cpp.o.d"
+  "bench_dynamicity"
+  "bench_dynamicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_discovery.dir/bench_path_discovery.cpp.o"
+  "CMakeFiles/bench_path_discovery.dir/bench_path_discovery.cpp.o.d"
+  "bench_path_discovery"
+  "bench_path_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

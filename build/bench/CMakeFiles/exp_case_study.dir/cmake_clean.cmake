@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_case_study.dir/exp_case_study.cpp.o"
+  "CMakeFiles/exp_case_study.dir/exp_case_study.cpp.o.d"
+  "exp_case_study"
+  "exp_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

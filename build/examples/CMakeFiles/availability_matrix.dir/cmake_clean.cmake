@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_matrix.dir/availability_matrix.cpp.o"
+  "CMakeFiles/availability_matrix.dir/availability_matrix.cpp.o.d"
+  "availability_matrix"
+  "availability_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_user.dir/mobile_user.cpp.o"
+  "CMakeFiles/mobile_user.dir/mobile_user.cpp.o.d"
+  "mobile_user"
+  "mobile_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_simulation.dir/monitoring_simulation.cpp.o"
+  "CMakeFiles/monitoring_simulation.dir/monitoring_simulation.cpp.o.d"
+  "monitoring_simulation"
+  "monitoring_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

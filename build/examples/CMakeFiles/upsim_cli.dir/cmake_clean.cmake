@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_cli.dir/upsim_cli.cpp.o"
+  "CMakeFiles/upsim_cli.dir/upsim_cli.cpp.o.d"
+  "upsim_cli"
+  "upsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

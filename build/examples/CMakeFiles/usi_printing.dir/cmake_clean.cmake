@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usi_printing.dir/usi_printing.cpp.o"
+  "CMakeFiles/usi_printing.dir/usi_printing.cpp.o.d"
+  "usi_printing"
+  "usi_printing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usi_printing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for usi_printing.
+# This may be replaced when dependencies are built.

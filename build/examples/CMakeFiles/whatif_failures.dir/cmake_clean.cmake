@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_failures.dir/whatif_failures.cpp.o"
+  "CMakeFiles/whatif_failures.dir/whatif_failures.cpp.o.d"
+  "whatif_failures"
+  "whatif_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/upsim_bdd.dir/bdd/bdd.cpp.o.d"
+  "libupsim_bdd.a"
+  "libupsim_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

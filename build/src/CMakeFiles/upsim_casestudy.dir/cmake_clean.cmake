@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_casestudy.dir/casestudy/usi.cpp.o"
+  "CMakeFiles/upsim_casestudy.dir/casestudy/usi.cpp.o.d"
+  "libupsim_casestudy.a"
+  "libupsim_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/upsim_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/upsim_core.dir/core/diff.cpp.o"
+  "CMakeFiles/upsim_core.dir/core/diff.cpp.o.d"
+  "CMakeFiles/upsim_core.dir/core/rbd_builder.cpp.o"
+  "CMakeFiles/upsim_core.dir/core/rbd_builder.cpp.o.d"
+  "CMakeFiles/upsim_core.dir/core/upsim_generator.cpp.o"
+  "CMakeFiles/upsim_core.dir/core/upsim_generator.cpp.o.d"
+  "libupsim_core.a"
+  "libupsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

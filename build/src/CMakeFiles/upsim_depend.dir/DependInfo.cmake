@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depend/availability.cpp" "src/CMakeFiles/upsim_depend.dir/depend/availability.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/availability.cpp.o.d"
+  "/root/repo/src/depend/bdd_availability.cpp" "src/CMakeFiles/upsim_depend.dir/depend/bdd_availability.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/bdd_availability.cpp.o.d"
+  "/root/repo/src/depend/bounds.cpp" "src/CMakeFiles/upsim_depend.dir/depend/bounds.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/bounds.cpp.o.d"
+  "/root/repo/src/depend/export.cpp" "src/CMakeFiles/upsim_depend.dir/depend/export.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/export.cpp.o.d"
+  "/root/repo/src/depend/fault_tree.cpp" "src/CMakeFiles/upsim_depend.dir/depend/fault_tree.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/fault_tree.cpp.o.d"
+  "/root/repo/src/depend/importance.cpp" "src/CMakeFiles/upsim_depend.dir/depend/importance.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/importance.cpp.o.d"
+  "/root/repo/src/depend/performability.cpp" "src/CMakeFiles/upsim_depend.dir/depend/performability.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/performability.cpp.o.d"
+  "/root/repo/src/depend/rbd.cpp" "src/CMakeFiles/upsim_depend.dir/depend/rbd.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/rbd.cpp.o.d"
+  "/root/repo/src/depend/reduction.cpp" "src/CMakeFiles/upsim_depend.dir/depend/reduction.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/reduction.cpp.o.d"
+  "/root/repo/src/depend/reliability.cpp" "src/CMakeFiles/upsim_depend.dir/depend/reliability.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/reliability.cpp.o.d"
+  "/root/repo/src/depend/responsiveness.cpp" "src/CMakeFiles/upsim_depend.dir/depend/responsiveness.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/responsiveness.cpp.o.d"
+  "/root/repo/src/depend/sensitivity.cpp" "src/CMakeFiles/upsim_depend.dir/depend/sensitivity.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/sensitivity.cpp.o.d"
+  "/root/repo/src/depend/simulator.cpp" "src/CMakeFiles/upsim_depend.dir/depend/simulator.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/simulator.cpp.o.d"
+  "/root/repo/src/depend/sla.cpp" "src/CMakeFiles/upsim_depend.dir/depend/sla.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/sla.cpp.o.d"
+  "/root/repo/src/depend/transient.cpp" "src/CMakeFiles/upsim_depend.dir/depend/transient.cpp.o" "gcc" "src/CMakeFiles/upsim_depend.dir/depend/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upsim_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_pathdisc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_depend.dir/depend/availability.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/availability.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/bdd_availability.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/bdd_availability.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/bounds.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/bounds.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/export.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/export.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/fault_tree.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/fault_tree.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/importance.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/importance.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/performability.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/performability.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/rbd.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/rbd.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/reduction.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/reduction.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/reliability.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/reliability.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/responsiveness.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/responsiveness.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/sensitivity.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/sensitivity.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/simulator.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/simulator.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/sla.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/sla.cpp.o.d"
+  "CMakeFiles/upsim_depend.dir/depend/transient.cpp.o"
+  "CMakeFiles/upsim_depend.dir/depend/transient.cpp.o.d"
+  "libupsim_depend.a"
+  "libupsim_depend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_depend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/upsim_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/upsim_graph.dir/graph/k_shortest.cpp.o"
+  "CMakeFiles/upsim_graph.dir/graph/k_shortest.cpp.o.d"
+  "CMakeFiles/upsim_graph.dir/graph/shortest_path.cpp.o"
+  "CMakeFiles/upsim_graph.dir/graph/shortest_path.cpp.o.d"
+  "CMakeFiles/upsim_graph.dir/graph/widest_path.cpp.o"
+  "CMakeFiles/upsim_graph.dir/graph/widest_path.cpp.o.d"
+  "libupsim_graph.a"
+  "libupsim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

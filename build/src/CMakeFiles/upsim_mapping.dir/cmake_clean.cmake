@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_mapping.dir/mapping/mapping.cpp.o"
+  "CMakeFiles/upsim_mapping.dir/mapping/mapping.cpp.o.d"
+  "libupsim_mapping.a"
+  "libupsim_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

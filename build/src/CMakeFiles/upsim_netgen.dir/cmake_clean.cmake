@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_netgen.dir/netgen/generators.cpp.o"
+  "CMakeFiles/upsim_netgen.dir/netgen/generators.cpp.o.d"
+  "libupsim_netgen.a"
+  "libupsim_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

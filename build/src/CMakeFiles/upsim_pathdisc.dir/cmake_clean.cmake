@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_pathdisc.dir/pathdisc/path_discovery.cpp.o"
+  "CMakeFiles/upsim_pathdisc.dir/pathdisc/path_discovery.cpp.o.d"
+  "CMakeFiles/upsim_pathdisc.dir/pathdisc/stats.cpp.o"
+  "CMakeFiles/upsim_pathdisc.dir/pathdisc/stats.cpp.o.d"
+  "libupsim_pathdisc.a"
+  "libupsim_pathdisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_pathdisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

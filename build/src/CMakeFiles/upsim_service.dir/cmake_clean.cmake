@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_service.dir/service/service.cpp.o"
+  "CMakeFiles/upsim_service.dir/service/service.cpp.o.d"
+  "libupsim_service.a"
+  "libupsim_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

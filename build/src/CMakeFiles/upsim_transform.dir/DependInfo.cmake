@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/mapping_importer.cpp" "src/CMakeFiles/upsim_transform.dir/transform/mapping_importer.cpp.o" "gcc" "src/CMakeFiles/upsim_transform.dir/transform/mapping_importer.cpp.o.d"
+  "/root/repo/src/transform/projection.cpp" "src/CMakeFiles/upsim_transform.dir/transform/projection.cpp.o" "gcc" "src/CMakeFiles/upsim_transform.dir/transform/projection.cpp.o.d"
+  "/root/repo/src/transform/space_discovery.cpp" "src/CMakeFiles/upsim_transform.dir/transform/space_discovery.cpp.o" "gcc" "src/CMakeFiles/upsim_transform.dir/transform/space_discovery.cpp.o.d"
+  "/root/repo/src/transform/uml_importer.cpp" "src/CMakeFiles/upsim_transform.dir/transform/uml_importer.cpp.o" "gcc" "src/CMakeFiles/upsim_transform.dir/transform/uml_importer.cpp.o.d"
+  "/root/repo/src/transform/upsim_emitter.cpp" "src/CMakeFiles/upsim_transform.dir/transform/upsim_emitter.cpp.o" "gcc" "src/CMakeFiles/upsim_transform.dir/transform/upsim_emitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upsim_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_vpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

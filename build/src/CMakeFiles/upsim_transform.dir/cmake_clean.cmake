@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_transform.dir/transform/mapping_importer.cpp.o"
+  "CMakeFiles/upsim_transform.dir/transform/mapping_importer.cpp.o.d"
+  "CMakeFiles/upsim_transform.dir/transform/projection.cpp.o"
+  "CMakeFiles/upsim_transform.dir/transform/projection.cpp.o.d"
+  "CMakeFiles/upsim_transform.dir/transform/space_discovery.cpp.o"
+  "CMakeFiles/upsim_transform.dir/transform/space_discovery.cpp.o.d"
+  "CMakeFiles/upsim_transform.dir/transform/uml_importer.cpp.o"
+  "CMakeFiles/upsim_transform.dir/transform/uml_importer.cpp.o.d"
+  "CMakeFiles/upsim_transform.dir/transform/upsim_emitter.cpp.o"
+  "CMakeFiles/upsim_transform.dir/transform/upsim_emitter.cpp.o.d"
+  "libupsim_transform.a"
+  "libupsim_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupsim_transform.a"
+)

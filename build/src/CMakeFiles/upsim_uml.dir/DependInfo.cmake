@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uml/activity.cpp" "src/CMakeFiles/upsim_uml.dir/uml/activity.cpp.o" "gcc" "src/CMakeFiles/upsim_uml.dir/uml/activity.cpp.o.d"
+  "/root/repo/src/uml/class_model.cpp" "src/CMakeFiles/upsim_uml.dir/uml/class_model.cpp.o" "gcc" "src/CMakeFiles/upsim_uml.dir/uml/class_model.cpp.o.d"
+  "/root/repo/src/uml/object_model.cpp" "src/CMakeFiles/upsim_uml.dir/uml/object_model.cpp.o" "gcc" "src/CMakeFiles/upsim_uml.dir/uml/object_model.cpp.o.d"
+  "/root/repo/src/uml/profile.cpp" "src/CMakeFiles/upsim_uml.dir/uml/profile.cpp.o" "gcc" "src/CMakeFiles/upsim_uml.dir/uml/profile.cpp.o.d"
+  "/root/repo/src/uml/value.cpp" "src/CMakeFiles/upsim_uml.dir/uml/value.cpp.o" "gcc" "src/CMakeFiles/upsim_uml.dir/uml/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

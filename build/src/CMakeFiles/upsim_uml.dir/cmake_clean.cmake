@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_uml.dir/uml/activity.cpp.o"
+  "CMakeFiles/upsim_uml.dir/uml/activity.cpp.o.d"
+  "CMakeFiles/upsim_uml.dir/uml/class_model.cpp.o"
+  "CMakeFiles/upsim_uml.dir/uml/class_model.cpp.o.d"
+  "CMakeFiles/upsim_uml.dir/uml/object_model.cpp.o"
+  "CMakeFiles/upsim_uml.dir/uml/object_model.cpp.o.d"
+  "CMakeFiles/upsim_uml.dir/uml/profile.cpp.o"
+  "CMakeFiles/upsim_uml.dir/uml/profile.cpp.o.d"
+  "CMakeFiles/upsim_uml.dir/uml/value.cpp.o"
+  "CMakeFiles/upsim_uml.dir/uml/value.cpp.o.d"
+  "libupsim_uml.a"
+  "libupsim_uml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_uml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_umlio.dir/umlio/serialize.cpp.o"
+  "CMakeFiles/upsim_umlio.dir/umlio/serialize.cpp.o.d"
+  "libupsim_umlio.a"
+  "libupsim_umlio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_umlio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

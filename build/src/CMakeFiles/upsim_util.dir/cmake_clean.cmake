@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_util.dir/util/error.cpp.o"
+  "CMakeFiles/upsim_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/upsim_util.dir/util/strings.cpp.o"
+  "CMakeFiles/upsim_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/upsim_util.dir/util/table.cpp.o"
+  "CMakeFiles/upsim_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/upsim_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/upsim_util.dir/util/thread_pool.cpp.o.d"
+  "libupsim_util.a"
+  "libupsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_vpm.dir/vpm/model_space.cpp.o"
+  "CMakeFiles/upsim_vpm.dir/vpm/model_space.cpp.o.d"
+  "CMakeFiles/upsim_vpm.dir/vpm/pattern.cpp.o"
+  "CMakeFiles/upsim_vpm.dir/vpm/pattern.cpp.o.d"
+  "CMakeFiles/upsim_vpm.dir/vpm/rules.cpp.o"
+  "CMakeFiles/upsim_vpm.dir/vpm/rules.cpp.o.d"
+  "CMakeFiles/upsim_vpm.dir/vpm/vtcl.cpp.o"
+  "CMakeFiles/upsim_vpm.dir/vpm/vtcl.cpp.o.d"
+  "libupsim_vpm.a"
+  "libupsim_vpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_vpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

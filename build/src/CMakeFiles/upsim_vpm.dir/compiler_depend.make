@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for upsim_vpm.
+# This may be replaced when dependencies are built.

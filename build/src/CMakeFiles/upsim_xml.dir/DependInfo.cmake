@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dom.cpp" "src/CMakeFiles/upsim_xml.dir/xml/dom.cpp.o" "gcc" "src/CMakeFiles/upsim_xml.dir/xml/dom.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/CMakeFiles/upsim_xml.dir/xml/parser.cpp.o" "gcc" "src/CMakeFiles/upsim_xml.dir/xml/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

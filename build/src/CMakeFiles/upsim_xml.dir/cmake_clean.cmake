@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsim_xml.dir/xml/dom.cpp.o"
+  "CMakeFiles/upsim_xml.dir/xml/dom.cpp.o.d"
+  "CMakeFiles/upsim_xml.dir/xml/parser.cpp.o"
+  "CMakeFiles/upsim_xml.dir/xml/parser.cpp.o.d"
+  "libupsim_xml.a"
+  "libupsim_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsim_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

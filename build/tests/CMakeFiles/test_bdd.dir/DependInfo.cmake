@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/test_bdd.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/test_bdd.dir/test_bdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upsim_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_depend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_pathdisc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_vpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_umlio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_bounds.dir/test_depend_bounds.cpp.o"
+  "CMakeFiles/test_depend_bounds.dir/test_depend_bounds.cpp.o.d"
+  "test_depend_bounds"
+  "test_depend_bounds.pdb"
+  "test_depend_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

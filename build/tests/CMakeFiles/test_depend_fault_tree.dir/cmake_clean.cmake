@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_fault_tree.dir/test_depend_fault_tree.cpp.o"
+  "CMakeFiles/test_depend_fault_tree.dir/test_depend_fault_tree.cpp.o.d"
+  "test_depend_fault_tree"
+  "test_depend_fault_tree.pdb"
+  "test_depend_fault_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_fault_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

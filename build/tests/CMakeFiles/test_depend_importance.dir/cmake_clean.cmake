@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_importance.dir/test_depend_importance.cpp.o"
+  "CMakeFiles/test_depend_importance.dir/test_depend_importance.cpp.o.d"
+  "test_depend_importance"
+  "test_depend_importance.pdb"
+  "test_depend_importance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_performability.dir/test_depend_performability.cpp.o"
+  "CMakeFiles/test_depend_performability.dir/test_depend_performability.cpp.o.d"
+  "test_depend_performability"
+  "test_depend_performability.pdb"
+  "test_depend_performability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_performability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

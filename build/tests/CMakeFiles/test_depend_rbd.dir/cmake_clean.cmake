@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_rbd.dir/test_depend_rbd.cpp.o"
+  "CMakeFiles/test_depend_rbd.dir/test_depend_rbd.cpp.o.d"
+  "test_depend_rbd"
+  "test_depend_rbd.pdb"
+  "test_depend_rbd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_reduction.dir/test_depend_reduction.cpp.o"
+  "CMakeFiles/test_depend_reduction.dir/test_depend_reduction.cpp.o.d"
+  "test_depend_reduction"
+  "test_depend_reduction.pdb"
+  "test_depend_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

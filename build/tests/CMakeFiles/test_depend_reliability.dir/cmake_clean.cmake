@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_reliability.dir/test_depend_reliability.cpp.o"
+  "CMakeFiles/test_depend_reliability.dir/test_depend_reliability.cpp.o.d"
+  "test_depend_reliability"
+  "test_depend_reliability.pdb"
+  "test_depend_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_responsiveness.dir/test_depend_responsiveness.cpp.o"
+  "CMakeFiles/test_depend_responsiveness.dir/test_depend_responsiveness.cpp.o.d"
+  "test_depend_responsiveness"
+  "test_depend_responsiveness.pdb"
+  "test_depend_responsiveness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

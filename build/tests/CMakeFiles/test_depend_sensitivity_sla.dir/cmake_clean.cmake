@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend_sensitivity_sla.dir/test_depend_sensitivity_sla.cpp.o"
+  "CMakeFiles/test_depend_sensitivity_sla.dir/test_depend_sensitivity_sla.cpp.o.d"
+  "test_depend_sensitivity_sla"
+  "test_depend_sensitivity_sla.pdb"
+  "test_depend_sensitivity_sla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend_sensitivity_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

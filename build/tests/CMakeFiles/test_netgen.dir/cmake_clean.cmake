@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netgen.dir/test_netgen.cpp.o"
+  "CMakeFiles/test_netgen.dir/test_netgen.cpp.o.d"
+  "test_netgen"
+  "test_netgen.pdb"
+  "test_netgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

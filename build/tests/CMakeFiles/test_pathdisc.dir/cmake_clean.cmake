@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathdisc.dir/test_pathdisc.cpp.o"
+  "CMakeFiles/test_pathdisc.dir/test_pathdisc.cpp.o.d"
+  "test_pathdisc"
+  "test_pathdisc.pdb"
+  "test_pathdisc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathdisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathdisc_stats.dir/test_pathdisc_stats.cpp.o"
+  "CMakeFiles/test_pathdisc_stats.dir/test_pathdisc_stats.cpp.o.d"
+  "test_pathdisc_stats"
+  "test_pathdisc_stats.pdb"
+  "test_pathdisc_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathdisc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_kshortest.dir/test_transient_kshortest.cpp.o"
+  "CMakeFiles/test_transient_kshortest.dir/test_transient_kshortest.cpp.o.d"
+  "test_transient_kshortest"
+  "test_transient_kshortest.pdb"
+  "test_transient_kshortest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_kshortest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

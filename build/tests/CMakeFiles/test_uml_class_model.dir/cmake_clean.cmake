@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uml_class_model.dir/test_uml_class_model.cpp.o"
+  "CMakeFiles/test_uml_class_model.dir/test_uml_class_model.cpp.o.d"
+  "test_uml_class_model"
+  "test_uml_class_model.pdb"
+  "test_uml_class_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uml_class_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uml_profile.dir/test_uml_profile.cpp.o"
+  "CMakeFiles/test_uml_profile.dir/test_uml_profile.cpp.o.d"
+  "test_uml_profile"
+  "test_uml_profile.pdb"
+  "test_uml_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uml_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

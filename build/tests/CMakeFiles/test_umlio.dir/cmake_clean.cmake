@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umlio.dir/test_umlio.cpp.o"
+  "CMakeFiles/test_umlio.dir/test_umlio.cpp.o.d"
+  "test_umlio"
+  "test_umlio.pdb"
+  "test_umlio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umlio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpm.dir/test_vpm.cpp.o"
+  "CMakeFiles/test_vpm.dir/test_vpm.cpp.o.d"
+  "test_vpm"
+  "test_vpm.pdb"
+  "test_vpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

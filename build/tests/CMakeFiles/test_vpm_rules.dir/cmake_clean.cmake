@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpm_rules.dir/test_vpm_rules.cpp.o"
+  "CMakeFiles/test_vpm_rules.dir/test_vpm_rules.cpp.o.d"
+  "test_vpm_rules"
+  "test_vpm_rules.pdb"
+  "test_vpm_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpm_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

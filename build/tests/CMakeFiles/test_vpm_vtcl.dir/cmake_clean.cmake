@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpm_vtcl.dir/test_vpm_vtcl.cpp.o"
+  "CMakeFiles/test_vpm_vtcl.dir/test_vpm_vtcl.cpp.o.d"
+  "test_vpm_vtcl"
+  "test_vpm_vtcl.pdb"
+  "test_vpm_vtcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpm_vtcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
