@@ -1,0 +1,85 @@
+// Shared main for every bench_* binary: runs google-benchmark as usual but
+// additionally records each case's timings into the obs registry and writes
+// them as BENCH_<binary>.json on exit (the machine-readable perf
+// trajectory; one gauge triple per case plus an iteration counter).
+//
+//   bench_pipeline                          # writes BENCH_bench_pipeline.json
+//   bench_pipeline --bench-json=out.json    # writes out.json
+//   bench_pipeline --bench-json=            # disables the JSON report
+//
+// obs stays *disabled* during measurement so the instrumentation sites in
+// the library cost nothing inside timed loops; the reporter writes through
+// Registry/MetricsSnapshot directly, which works regardless of the switch.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace {
+
+/// Console output as usual, plus one metrics record per finished run.
+class ObsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    auto& registry = upsim::obs::Registry::global();
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string base = "bench." + run.benchmark_name();
+      const double iterations = static_cast<double>(run.iterations);
+      registry.gauge(base + ".real_ms")
+          .set(run.real_accumulated_time / iterations * 1e3);
+      registry.gauge(base + ".cpu_ms")
+          .set(run.cpu_accumulated_time / iterations * 1e3);
+      registry.gauge(base + ".iterations").set(iterations);
+      for (const auto& [name, counter] : run.counters) {
+        registry.gauge(base + "." + name).set(counter.value);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Our flag first: google-benchmark rejects flags it does not know.
+  std::string json_path;
+  bool json_enabled = true;
+  {
+    const std::string prefix = "--bench-json=";
+    std::vector<char*> kept;
+    kept.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind(prefix, 0) == 0) {
+        json_path = arg.substr(prefix.size());
+        json_enabled = !json_path.empty();
+      } else {
+        kept.push_back(argv[i]);
+      }
+    }
+    argc = static_cast<int>(kept.size());
+    for (int i = 0; i < argc; ++i) argv[i] = kept[static_cast<std::size_t>(i)];
+  }
+  if (json_enabled && json_path.empty()) {
+    std::string name = argv[0];
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    json_path = "BENCH_" + name + ".json";
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ObsReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_enabled && ran > 0) {
+    upsim::obs::Registry::global().snapshot().write_json(json_path);
+    std::cerr << "wrote per-case timings to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "casestudy/usi.hpp"
 #include "core/analysis.hpp"
 #include "core/upsim_generator.hpp"
+#include "obs/obs.hpp"
 #include "depend/availability.hpp"
 #include "depend/importance.hpp"
 #include "depend/performability.hpp"
@@ -24,6 +25,7 @@
 #include "depend/sensitivity.hpp"
 #include "depend/simulator.hpp"
 #include "depend/sla.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -47,13 +49,29 @@ void header(const char* id, const char* title) {
   std::cout << "\n=== " << id << " — " << title << " ===\n";
 }
 
+/// Times the report sections back to back: lap() closes the previous
+/// window and opens the next, so one stopwatch covers the whole report.
+class SectionTimer {
+ public:
+  void section_done(const std::string& id) {
+    upsim::obs::Registry::global()
+        .gauge("exp.case_study." + id + ".ms")
+        .set(watch_.lap_millis());
+  }
+
+ private:
+  upsim::util::Stopwatch watch_;
+};
+
 }  // namespace
 
 int main() {
+  SectionTimer timer;
   const auto cs = casestudy::make_usi_case_study();
   const auto& printing =
       cs.services->get_composite(casestudy::printing_service_name());
   core::UpsimGenerator generator(*cs.infrastructure);
+  timer.section_done("setup");
 
   std::cout << "upsim case-study reproduction report\n"
             << "paper: A Model for Evaluation of User-Perceived Service "
@@ -82,6 +100,7 @@ int main() {
               << "  (link values are the documented substitution: MTBF=500000,"
                  " MTTR=0.5)\n";
   }
+  timer.section_done("E7");
 
   // -- E3 / Figs. 5 and 9 ---------------------------------------------------
   header("E3", "Figs. 5/9 infrastructure object diagram");
@@ -99,6 +118,7 @@ int main() {
               << (problems.empty() ? "clean" : util::join(problems, "; "))
               << "\n";
   }
+  timer.section_done("E3");
 
   // -- E1 / Table I ---------------------------------------------------------
   header("E1", "Table I service mapping pairs");
@@ -121,6 +141,7 @@ int main() {
     }
     std::cout << table.render(2);
   }
+  timer.section_done("E1");
 
   // -- E2 / Sec. VI-G -------------------------------------------------------
   header("E2", "Sec. VI-G path discovery for pair (t1, printS)");
@@ -139,6 +160,7 @@ int main() {
     std::cout << "  paper prints the first two paths; match: "
               << (match ? "yes" : "NO") << "\n";
   }
+  timer.section_done("E2");
 
   // -- E4 / Fig. 11 ---------------------------------------------------------
   header("E4", "Fig. 11 UPSIM for printing t1 -> p2 via printS");
@@ -149,6 +171,7 @@ int main() {
     std::cout << "  ours:  " << ours << "\n  paper: " << published
               << "\n  match: " << (ours == published ? "yes" : "NO") << "\n";
   }
+  timer.section_done("E4");
 
   // -- E5 / Fig. 12 ---------------------------------------------------------
   header("E5", "Fig. 12 UPSIM for printing t15 -> p3 (mapping-only change)");
@@ -161,6 +184,7 @@ int main() {
     std::cout << "  ours:  " << ours << "\n  paper: " << published
               << "\n  match: " << (ours == published ? "yes" : "NO") << "\n";
   }
+  timer.section_done("E5");
 
   // -- E6 / Formula 1 + Sec. VII -------------------------------------------
   header("E6", "user-perceived steady-state availability (Sec. VII)");
@@ -188,6 +212,7 @@ int main() {
            "  Formula-1 variant within ~1e-4 of exact; Monte Carlo within a\n"
            "  few standard errors of exact.\n";
   }
+  timer.section_done("E6");
 
   // -- E6b: the wider Sec. VII property suite on the t1 -> p2 UPSIM --------
   header("E6b", "component importance and repair-time sensitivity");
@@ -219,6 +244,7 @@ int main() {
                  "  redundant core switches are the only non-SPOFs and\n"
                  "  contribute negligibly.\n";
   }
+  timer.section_done("E6b");
 
   header("E6c", "SLA classification, performability and responsiveness");
   {
@@ -250,6 +276,7 @@ int main() {
               << util::format_sig(resp.probability[0], 6) << ", P(<=2ms)="
               << util::format_sig(resp.probability[2], 6) << "\n";
   }
+  timer.section_done("E6c");
 
   header("E6d", "simulated operation versus analytic steady state");
   {
@@ -273,7 +300,10 @@ int main() {
               << "  shape: the measured value converges to the analytic one "
                  "as ~1/sqrt(T).\n";
   }
+  timer.section_done("E6d");
 
-  std::cout << "\nreport complete.\n";
+  obs::Registry::global().snapshot().write_json("BENCH_case_study.json");
+  std::cout << "\nreport complete; wrote section timings to "
+               "BENCH_case_study.json\n";
   return 0;
 }

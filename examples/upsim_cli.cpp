@@ -2,13 +2,19 @@
 // the way an operator would use it.
 //
 //   upsim_cli --bundle net.xml --mapping map.xml --composite printing
-//             [--dot] [--analyze]
+//             [--dot] [--analyze] [--trace-out t.json] [--metrics-out m.json]
 //
 // `net.xml` is a umlio bundle (profiles + class model + object model +
 // services); `map.xml` is the paper's Fig. 3 service-mapping format.
 // Without arguments the tool runs a self-contained demo: it writes the USI
 // case study to a temporary bundle + mapping, then processes those files —
 // exercising the exact round trip an external user would.
+//
+// --trace-out writes a Chrome trace_event JSON of the whole run (load it in
+// chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
+// pipeline's counters/gauges/histograms as JSON.  Either flag switches the
+// obs layer on for the full run, so file parsing, every pipeline step and
+// per-pair path discovery all show up.
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -18,6 +24,7 @@
 #include "core/analysis.hpp"
 #include "core/upsim_generator.hpp"
 #include "mapping/mapping.hpp"
+#include "obs/obs.hpp"
 #include "umlio/serialize.hpp"
 #include "util/strings.hpp"
 
@@ -27,10 +34,21 @@ struct Args {
   std::string bundle_path;
   std::string mapping_path;
   std::string composite;
+  std::string trace_out;
+  std::string metrics_out;
   bool dot = false;
   bool analyze = false;
   bool demo = false;
+
+  [[nodiscard]] bool observed() const noexcept {
+    return !trace_out.empty() || !metrics_out.empty();
+  }
 };
+
+constexpr const char* kUsage =
+    "usage: upsim_cli --bundle net.xml --mapping map.xml --composite NAME\n"
+    "                 [--dot] [--analyze] [--trace-out t.json]\n"
+    "                 [--metrics-out m.json]  (no arguments runs a demo)";
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -58,17 +76,26 @@ Args parse_args(int argc, char** argv) {
       args.dot = true;
     } else if (arg == "--analyze") {
       args.analyze = true;
+    } else if (arg == "--trace-out") {
+      args.trace_out = value();
+    } else if (arg == "--metrics-out") {
+      args.metrics_out = value();
     } else {
-      throw upsim::Error("unknown argument: " + std::string(arg) +
-                         "\nusage: upsim_cli --bundle net.xml --mapping "
-                         "map.xml --composite NAME [--dot] [--analyze]");
+      throw upsim::Error("unknown argument: " + std::string(arg) + "\n" +
+                         kUsage);
     }
+  }
+  if (args.bundle_path.empty() && args.mapping_path.empty() &&
+      args.composite.empty()) {
+    // Only output/analysis flags given: run the self-contained demo, the
+    // observed USI case study being exactly the traced-run walkthrough.
+    args.demo = true;
+    args.analyze = true;
+    return args;
   }
   if (args.bundle_path.empty() || args.mapping_path.empty() ||
       args.composite.empty()) {
-    throw upsim::Error(
-        "usage: upsim_cli --bundle net.xml --mapping map.xml "
-        "--composite NAME [--dot] [--analyze]  (no arguments runs a demo)");
+    throw upsim::Error(kUsage);
   }
   return args;
 }
@@ -95,6 +122,10 @@ int main(int argc, char** argv) {
   using namespace upsim;
   try {
     Args args = parse_args(argc, argv);
+    if (args.observed()) {
+      // On before any file is read so the xml spans land in the trace.
+      obs::set_enabled(true);
+    }
     if (args.demo) {
       const auto dir = std::filesystem::temp_directory_path();
       args.bundle_path = (dir / "upsim_demo_bundle.xml").string();
@@ -131,6 +162,19 @@ int main(int argc, char** argv) {
               << " ms, merge+emit "
               << util::format_sig(result.timings.merge_emit_ms, 3) << " ms\n";
 
+    // Bounded discovery must never pass for exhaustive discovery: say so
+    // the moment any pair hit a max_paths / max_path_length limit.
+    std::size_t truncated_pairs = 0;
+    for (const auto& set : result.path_sets) {
+      if (set.truncated) ++truncated_pairs;
+    }
+    if (truncated_pairs != 0) {
+      std::cerr << "warning: path discovery truncated for " << truncated_pairs
+                << " of " << result.path_sets.size()
+                << " pairs (max_paths/max_path_length hit); path and "
+                   "availability figures are lower bounds\n";
+    }
+
     if (args.analyze) {
       core::AnalysisOptions options;
       options.monte_carlo_samples = 100000;
@@ -144,6 +188,18 @@ int main(int argc, char** argv) {
     }
     if (args.dot) {
       std::cout << "\n" << result.upsim_graph.to_dot("upsim");
+    }
+    if (!args.trace_out.empty()) {
+      obs::Tracer::global().write_chrome_json(args.trace_out);
+      std::cout << "\nwrote trace (" << obs::Tracer::global().span_count()
+                << " spans) to " << args.trace_out
+                << " — open in chrome://tracing\n";
+    }
+    if (!args.metrics_out.empty()) {
+      const auto snapshot = obs::Registry::global().snapshot();
+      snapshot.write_json(args.metrics_out);
+      std::cout << "wrote metrics to " << args.metrics_out << "\n"
+                << snapshot.to_text();
     }
     return 0;
   } catch (const std::exception& e) {

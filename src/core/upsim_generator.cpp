@@ -1,5 +1,8 @@
 #include "core/upsim_generator.hpp"
 
+#include <utility>
+
+#include "obs/obs.hpp"
 #include "transform/mapping_importer.hpp"
 #include "transform/space_discovery.hpp"
 #include "transform/uml_importer.hpp"
@@ -44,10 +47,16 @@ UpsimGenerator::UpsimGenerator(const uml::ObjectModel& infrastructure,
                      util::join(problems, "; "));
   }
   // Step 5: native import of class + object models.
-  transform::import_class_model(space_, infrastructure.class_model());
-  transform::import_object_model(space_, infrastructure);
-  graph_ = transform::project_from_space(space_, infrastructure,
-                                         options_.projection);
+  {
+    obs::ScopedSpan span("pipeline.step5_import_models", "pipeline");
+    transform::import_class_model(space_, infrastructure.class_model());
+    transform::import_object_model(space_, infrastructure);
+  }
+  {
+    obs::ScopedSpan span("pipeline.step5_project", "pipeline");
+    graph_ = transform::project_from_space(space_, infrastructure,
+                                           options_.projection);
+  }
 }
 
 UpsimResult UpsimGenerator::generate(const service::CompositeService& composite,
@@ -59,75 +68,98 @@ UpsimResult UpsimGenerator::generate(const service::CompositeService& composite,
                      composite.name() + "': " + util::join(problems, "; "));
   }
 
+  obs::ScopedSpan generate_span("pipeline.generate", "pipeline");
   util::Stopwatch watch;
   StepTimings timings;
 
   // Step 6: custom mapping import (replacing any previous run of this name).
-  transform::remove_mapping(space_, upsim_name);
-  transform::clear_paths(space_, upsim_name);
-  transform::import_mapping(space_, upsim_name, mapping, *infrastructure_);
-  timings.import_mapping_ms = watch.millis();
+  {
+    obs::ScopedSpan span("pipeline.step6_import_mapping", "pipeline");
+    transform::remove_mapping(space_, upsim_name);
+    transform::clear_paths(space_, upsim_name);
+    transform::import_mapping(space_, upsim_name, mapping, *infrastructure_);
+  }
+  timings.import_mapping_ms = watch.lap_millis();
 
   // Step 7: path discovery per pair, stored in the model space.
-  watch.reset();
   const std::vector<mapping::ServiceMappingPair> pairs =
       mapping.pairs_for(composite);
-  std::vector<std::pair<graph::VertexId, graph::VertexId>> endpoint_ids;
-  endpoint_ids.reserve(pairs.size());
-  for (const auto& pair : pairs) {
-    endpoint_ids.emplace_back(graph_.vertex_by_name(pair.requester),
-                              graph_.vertex_by_name(pair.provider));
-  }
   std::vector<pathdisc::PathSet> raw_sets;
-  if (options_.engine == DiscoveryEngine::GraphProjection) {
-    raw_sets = pathdisc::discover_all(graph_, endpoint_ids,
-                                      options_.discovery, options_.pool);
-  } else {
-    // The paper's design point: walk the "link" relations of the model
-    // space itself, then translate the name sequences back to graph ids so
-    // the rest of the pipeline is engine-agnostic.
-    const std::string instances_ns =
-        "models." + infrastructure_->name() + ".instances";
-    raw_sets.resize(pairs.size());
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      const auto in_space = transform::discover_in_space(
-          space_, instances_ns, pairs[i].requester, pairs[i].provider);
-      raw_sets[i].source = endpoint_ids[i].first;
-      raw_sets[i].target = endpoint_ids[i].second;
-      raw_sets[i].nodes_expanded = in_space.nodes_expanded;
-      raw_sets[i].paths.reserve(in_space.paths.size());
-      for (const auto& names : in_space.paths) {
-        pathdisc::Path path;
-        path.reserve(names.size());
-        for (const std::string& name : names) {
-          path.push_back(graph_.vertex_by_name(name));
+  {
+    obs::ScopedSpan span("pipeline.step7_discovery", "pipeline");
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> endpoint_ids;
+    endpoint_ids.reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      endpoint_ids.emplace_back(graph_.vertex_by_name(pair.requester),
+                                graph_.vertex_by_name(pair.provider));
+    }
+    if (options_.engine == DiscoveryEngine::GraphProjection) {
+      raw_sets = pathdisc::discover_all(graph_, endpoint_ids,
+                                        options_.discovery, options_.pool);
+    } else {
+      // The paper's design point: walk the "link" relations of the model
+      // space itself, then translate the name sequences back to graph ids
+      // so the rest of the pipeline is engine-agnostic.
+      const std::string instances_ns =
+          "models." + infrastructure_->name() + ".instances";
+      raw_sets.resize(pairs.size());
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto in_space = transform::discover_in_space(
+            space_, instances_ns, pairs[i].requester, pairs[i].provider);
+        raw_sets[i].source = endpoint_ids[i].first;
+        raw_sets[i].target = endpoint_ids[i].second;
+        raw_sets[i].nodes_expanded = in_space.nodes_expanded;
+        raw_sets[i].paths.reserve(in_space.paths.size());
+        for (const auto& names : in_space.paths) {
+          pathdisc::Path path;
+          path.reserve(names.size());
+          for (const std::string& name : names) {
+            path.push_back(graph_.vertex_by_name(name));
+          }
+          raw_sets[i].paths.push_back(std::move(path));
         }
-        raw_sets[i].paths.push_back(std::move(path));
+        // The graph engine records these inside pathdisc::discover; keep
+        // the model-space engine's metrics shape identical.
+        if (obs::enabled()) {
+          auto& registry = obs::Registry::global();
+          registry.counter("pathdisc.pairs").add(1);
+          registry.counter("pathdisc.vertices_visited")
+              .add(raw_sets[i].nodes_expanded);
+          registry.counter("pathdisc.paths_found").add(raw_sets[i].count());
+          (void)registry.counter("pathdisc.truncations");
+          registry.histogram("pathdisc.paths_per_pair")
+              .record(static_cast<double>(raw_sets[i].count()));
+          registry.histogram("pathdisc.vertices_per_pair")
+              .record(static_cast<double>(raw_sets[i].nodes_expanded));
+        }
       }
     }
-  }
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (raw_sets[i].empty()) {
-      throw ModelError("UpsimGenerator: no path between requester '" +
-                       pairs[i].requester + "' and provider '" +
-                       pairs[i].provider + "' of atomic service '" +
-                       pairs[i].atomic_service + "'");
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (raw_sets[i].empty()) {
+        throw ModelError("UpsimGenerator: no path between requester '" +
+                         pairs[i].requester + "' and provider '" +
+                         pairs[i].provider + "' of atomic service '" +
+                         pairs[i].atomic_service + "'");
+      }
+      transform::store_paths(space_, upsim_name,
+                             "pair" + std::to_string(i) + "_" +
+                                 pairs[i].atomic_service,
+                             graph_, raw_sets[i], *infrastructure_);
     }
-    transform::store_paths(space_, upsim_name,
-                           "pair" + std::to_string(i) + "_" +
-                               pairs[i].atomic_service,
-                           graph_, raw_sets[i], *infrastructure_);
   }
-  timings.discovery_ms = watch.millis();
+  timings.discovery_ms = watch.lap_millis();
 
   // Step 8: merge stored paths and emit the UPSIM object diagram.
-  watch.reset();
-  const auto stored = transform::load_paths(space_, upsim_name);
-  const auto kept = transform::merge_instances(stored);
-  uml::ObjectModel upsim =
-      transform::emit_upsim(*infrastructure_, upsim_name, kept);
-  graph::Graph upsim_graph = transform::project(upsim, options_.projection);
-  timings.merge_emit_ms = watch.millis();
+  auto [upsim, upsim_graph] = [&] {
+    obs::ScopedSpan span("pipeline.step8_merge_emit", "pipeline");
+    const auto stored = transform::load_paths(space_, upsim_name);
+    const auto kept = transform::merge_instances(stored);
+    uml::ObjectModel emitted =
+        transform::emit_upsim(*infrastructure_, upsim_name, kept);
+    graph::Graph projected = transform::project(emitted, options_.projection);
+    return std::pair{std::move(emitted), std::move(projected)};
+  }();
+  timings.merge_emit_ms = watch.lap_millis();
 
   UpsimResult result{std::move(upsim), std::move(upsim_graph), pairs,
                      std::move(raw_sets), {}, timings};

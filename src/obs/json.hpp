@@ -1,0 +1,77 @@
+// Minimal JSON support for the observability exporters: a streaming writer
+// (used by the Chrome-trace and metrics exporters) and a strict
+// recursive-descent reader (used by tests to prove the exported documents
+// are well-formed, and by tools that consume BENCH_*.json).
+//
+// The reader accepts exactly RFC 8259 JSON — objects, arrays, strings with
+// the standard escapes (\uXXXX included, surrogate pairs validated), finite
+// numbers, true/false/null — and rejects everything else with a ParseError
+// carrying line/column, mirroring src/xml's error discipline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Append-only JSON document builder.  The caller is responsible for
+/// well-formed nesting; commas and colons are inserted automatically.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Parsed JSON value (document object model for tests/tools).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Sorted by key; JSON objects are unordered per RFC 8259.
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+  /// Member access; throws upsim::NotFoundError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  Throws upsim::ParseError with position on error.
+[[nodiscard]] JsonValue json_parse(std::string_view input);
+
+}  // namespace upsim::obs

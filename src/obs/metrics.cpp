@@ -1,0 +1,367 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace upsim::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Atomic CAS-maximum / minimum over doubles (no fetch_max for floats).
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucket_of(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  const int e = std::ilogb(v);
+  const std::size_t i = static_cast<std::size_t>(e) + 1;
+  return std::min(i, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Gauge::add(double d) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(double v) noexcept {
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, v);  // min_ starts at +inf, so the first sample wins
+  atomic_max(max_, v);
+}
+
+double Histogram::Snapshot::bucket_upper_edge(std::size_t i) noexcept {
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (rank < static_cast<double>(seen) + in_bucket) {
+      const double lo =
+          std::max(min, i == 0 ? 0.0 : bucket_upper_edge(i - 1));
+      const double hi = std::min(max, bucket_upper_edge(i));
+      const double frac = (rank - static_cast<double>(seen)) / in_bucket;
+      return lo + frac * (std::max(hi, lo) - lo);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
+  auto counter_before = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : earlier.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  auto histogram_before =
+      [&](std::string_view name) -> const Histogram::Snapshot* {
+    for (const auto& h : earlier.histograms) {
+      if (h.name == name) return &h.data;
+    }
+    return nullptr;
+  };
+
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& c : counters) {
+    const std::uint64_t before = counter_before(c.name);
+    out.counters.push_back({c.name, c.value >= before ? c.value - before : 0});
+  }
+  out.gauges = gauges;  // instantaneous: the newer value is the answer
+  out.histograms.reserve(histograms.size());
+  for (const auto& h : histograms) {
+    HistogramValue d{h.name, h.data};
+    if (const auto* before = histogram_before(h.name)) {
+      d.data.count =
+          h.data.count >= before->count ? h.data.count - before->count : 0;
+      d.data.sum = h.data.sum - before->sum;
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        d.data.buckets[i] = h.data.buckets[i] >= before->buckets[i]
+                                ? h.data.buckets[i] - before->buckets[i]
+                                : 0;
+      }
+      // min/max are not invertible across windows; keep the newer extrema.
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  throw NotFoundError("MetricsSnapshot: no counter named '" +
+                      std::string(name) + "'");
+}
+
+bool MetricsSnapshot::has_counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  throw NotFoundError("MetricsSnapshot: no gauge named '" + std::string(name) +
+                      "'");
+}
+
+const Histogram::Snapshot& MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return h.data;
+  }
+  throw NotFoundError("MetricsSnapshot: no histogram named '" +
+                      std::string(name) + "'");
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& c : counters) {
+    w.key(c.name);
+    w.value(c.value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& g : gauges) {
+    w.key(g.name);
+    w.value(g.value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.data.count);
+    w.key("sum");
+    w.value(h.data.sum);
+    w.key("min");
+    w.value(h.data.min);
+    w.key("max");
+    w.value(h.data.max);
+    w.key("mean");
+    w.value(h.data.mean());
+    w.key("p50");
+    w.value(h.data.quantile(0.50));
+    w.key("p90");
+    w.value(h.data.quantile(0.90));
+    w.key("p99");
+    w.value(h.data.quantile(0.99));
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.data.buckets[i] == 0) continue;  // sparse: zeros carry no info
+      w.begin_object();
+      w.key("le");
+      w.value(Histogram::Snapshot::bucket_upper_edge(i));
+      w.key("count");
+      w.value(h.data.buckets[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::size_t width = 0;
+  for (const auto& c : counters) width = std::max(width, c.name.size());
+  for (const auto& g : gauges) width = std::max(width, g.name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+
+  auto pad = [&](const std::string& name) {
+    return name + std::string(width - name.size() + 2, ' ');
+  };
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+
+  std::string out;
+  for (const auto& c : counters) {
+    out += pad(c.name) + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    out += pad(g.name) + num(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    out += pad(h.name) + "count=" + std::to_string(h.data.count) +
+           " mean=" + num(h.data.mean()) + " p50=" + num(h.data.quantile(.5)) +
+           " p99=" + num(h.data.quantile(.99)) + " max=" + num(h.data.max) +
+           "\n";
+  }
+  return out;
+}
+
+void MetricsSnapshot::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("MetricsSnapshot: cannot open '" + path + "' for writing");
+  }
+  out << to_json() << "\n";
+  if (!out.flush()) {
+    throw Error("MetricsSnapshot: write to '" + path + "' failed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  static auto* registry = new Registry;  // leaked: see header
+  return *registry;
+}
+
+Registry::Shard& Registry::shard_for(std::string_view name) noexcept {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Shard& shard = shard_for(name);
+  const std::lock_guard lock(shard.mutex);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    it = shard.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Shard& shard = shard_for(name);
+  const std::lock_guard lock(shard.mutex);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    it = shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Shard& shard = shard_for(name);
+  const std::lock_guard lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    for (const auto& [name, c] : shard.counters) {
+      out.counters.push_back({name, c->value()});
+    }
+    for (const auto& [name, g] : shard.gauges) {
+      out.gauges.push_back({name, g->value()});
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      out.histograms.push_back({name, h->snapshot()});
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+void Registry::reset() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    for (auto& [name, c] : shard.counters) c->reset();
+    for (auto& [name, g] : shard.gauges) g->reset();
+    for (auto& [name, h] : shard.histograms) h->reset();
+  }
+}
+
+}  // namespace upsim::obs

@@ -1,0 +1,185 @@
+// Process-wide metrics: named counters, gauges and histograms behind a
+// lock-striped registry, safe to hammer from every util::ThreadPool worker.
+//
+// Design rules (kept deliberately small):
+//   - Metric objects are created on first lookup and live as long as the
+//     registry; references handed out by the registry never dangle, so call
+//     sites may cache them across Registry::reset().
+//   - All mutation is atomic (counters, gauges, histogram buckets); the only
+//     locks are the per-shard registry maps during lookup.  That makes the
+//     whole layer race-free under TSan without serialising the hot path.
+//   - `enabled()` is the master switch for the library's *self*-
+//     instrumentation (pipeline spans, pathdisc counters, thread-pool
+//     latency).  It defaults to off so untraced runs pay nothing; direct
+//     use of Registry/Counter by harness code always works regardless.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::obs {
+
+/// Master switch for built-in instrumentation sites (spans + pipeline
+/// metrics).  Off by default; the CLI/bench harnesses turn it on.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, timings, bench results).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept;  // atomic read-modify-write (CAS loop)
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative samples.  Bucket i counts
+/// samples in [2^(i-1), 2^i) (bucket 0 is [0, 1)), which gives ~2x
+/// resolution over 19 decades — plenty for latencies in microseconds and
+/// path counts alike.  All state is atomic; record() never blocks.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double v) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const noexcept {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    /// Quantile estimate by linear interpolation inside the bucket that
+    /// holds the q-th sample; exact at the recorded min/max ends.
+    [[nodiscard]] double quantile(double q) const noexcept;
+    /// Inclusive upper edge of bucket i (2^i; bucket 0 -> 1.0).
+    [[nodiscard]] static double bucket_upper_edge(std::size_t i) noexcept;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// One exported view of every metric in a registry, sorted by name.
+/// Snapshots are plain data: diffable, serialisable, comparable in tests.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Histogram::Snapshot data;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Returns this snapshot minus `earlier`: counters and histogram
+  /// count/sum/buckets subtract (clamped at 0 for robustness); gauges keep
+  /// the newer instantaneous value, as do histogram min/max (extrema are
+  /// not invertible).  Metrics absent from `earlier` pass through whole.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
+
+  /// Lookup helpers for tests/tools; throw upsim::NotFoundError if absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram::Snapshot& histogram(
+      std::string_view name) const;
+  [[nodiscard]] bool has_counter(std::string_view name) const noexcept;
+
+  /// Machine-readable export: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,mean,p50,p90,p99,buckets}}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable aligned table, one metric per line.
+  [[nodiscard]] std::string to_text() const;
+  /// Writes to_json() to `path`; throws upsim::Error on I/O failure.
+  void write_json(const std::string& path) const;
+};
+
+/// Named-metric registry.  Lookup is lock-striped over kShards maps so
+/// concurrent first-touch registration from many workers does not convoy;
+/// after lookup, mutation is lock-free on the metric itself.
+class Registry {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry used by all built-in instrumentation.
+  /// Intentionally leaked so worker threads may touch it during shutdown.
+  static Registry& global();
+
+  /// Finds or creates; the reference stays valid for the registry's life.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Consistent-enough view for reporting: each shard is locked in turn,
+  /// so metrics updated mid-snapshot may straddle, which reporting
+  /// tolerates (counters are monotone).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric in place (references stay valid).  Test isolation.
+  void reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view name) noexcept;
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace upsim::obs

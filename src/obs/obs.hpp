@@ -1,0 +1,15 @@
+// Umbrella header for the observability layer: include this from
+// instrumentation sites and harnesses.
+//
+//   obs::set_enabled(true);                       // turn instrumentation on
+//   { obs::ScopedSpan s("step", "pipeline"); ... }
+//   obs::Registry::global().counter("x").add(1);
+//   obs::Tracer::global().write_chrome_json("trace.json");
+//   obs::Registry::global().snapshot().write_json("metrics.json");
+//
+// See docs/ARCHITECTURE.md ("Observability") for the layer's design rules.
+#pragma once
+
+#include "obs/json.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

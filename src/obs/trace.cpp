@@ -1,0 +1,179 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace upsim::obs {
+
+namespace {
+
+/// Per-thread nesting level.  Depth is a property of the call stack, so a
+/// single counter per thread is correct for the (overwhelmingly common)
+/// single-tracer case and merely cosmetic when tests run private tracers.
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static auto* tracer = new Tracer;  // leaked: see header
+  return *tracer;
+}
+
+void Tracer::record(SpanRecord&& span,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  const std::lock_guard lock(mutex_);
+  const auto [it, inserted] = thread_indices_.emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(thread_indices_.size()));
+  span.thread_index = it->second;
+  span.start_us =
+      std::chrono::duration<double, std::micro>(start - epoch_).count();
+  span.duration_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::finished_spans() const {
+  std::vector<SpanRecord> out;
+  {
+    const std::lock_guard lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.thread_index != b.thread_index) {
+                return a.thread_index < b.thread_index;
+              }
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.duration_us > b.duration_us;  // outermost first
+            });
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  const std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::clear() {
+  const std::lock_guard lock(mutex_);
+  spans_.clear();
+  thread_indices_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<SpanRecord> spans = finished_spans();
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // Metadata: name the process so the tracing UI shows "upsim" not "1".
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(1);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value("upsim");
+  w.end_object();
+  w.end_object();
+  for (const SpanRecord& s : spans) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("cat");
+    w.value(s.category);
+    w.key("ph");
+    w.value("X");  // complete event: begin + duration in one record
+    w.key("ts");
+    w.value(s.start_us);
+    w.key("dur");
+    w.value(s.duration_us);
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(s.thread_index));
+    w.key("args");
+    w.begin_object();
+    w.key("depth");
+    w.value(static_cast<std::uint64_t>(s.depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  return std::move(w).str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("Tracer: cannot open '" + path + "' for writing");
+  }
+  out << to_chrome_json() << "\n";
+  if (!out.flush()) {
+    throw Error("Tracer: write to '" + path + "' failed");
+  }
+}
+
+std::string Tracer::to_text() const {
+  const std::vector<SpanRecord> spans = finished_spans();
+  std::size_t width = 0;
+  for (const SpanRecord& s : spans) {
+    width = std::max(width, s.name.size() + 2 * s.depth);
+  }
+  std::string out;
+  std::uint32_t current_thread = 0;
+  bool first = true;
+  char buf[128];
+  for (const SpanRecord& s : spans) {
+    if (first || s.thread_index != current_thread) {
+      out += "thread " + std::to_string(s.thread_index) + "\n";
+      current_thread = s.thread_index;
+      first = false;
+    }
+    const std::string label = std::string(2 * s.depth, ' ') + s.name;
+    std::snprintf(buf, sizeof buf, "  %-*s %12.3f ms  @ %.3f ms  [%s]\n",
+                  static_cast<int>(width), label.c_str(),
+                  s.duration_us / 1e3, s.start_us / 1e3, s.category.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
+                       Tracer& tracer) {
+  if (!enabled()) return;
+  tracer_ = &tracer;
+  name_ = name;
+  category_ = category;
+  depth_ = t_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  --t_depth;
+  SpanRecord span;
+  span.name = std::move(name_);
+  span.category = std::move(category_);
+  span.depth = depth_;
+  tracer_->record(std::move(span), start_, std::chrono::steady_clock::now());
+}
+
+}  // namespace upsim::obs

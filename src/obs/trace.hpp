@@ -1,0 +1,109 @@
+// RAII spans and the tracer that collects them.
+//
+// A ScopedSpan stamps its construction/destruction on the monotonic clock
+// and hands the finished record to a Tracer, which assigns a stable small
+// index to each recording thread.  Export targets:
+//   - Chrome trace_event JSON (load in chrome://tracing or Perfetto):
+//     complete events ("ph":"X") with microsecond timestamps relative to
+//     the tracer's epoch, one timeline row per thread, and
+//   - a human-readable table with per-thread nesting indentation.
+//
+// Span begin is lock-free (a clock read plus a thread-local depth bump);
+// span end takes one short tracer lock to append the record.  upsim emits
+// coarse spans (pipeline steps, per-pair discovery, file parses), so this
+// lock is uncontended in practice and keeps the design race-free —
+// test_obs proves it under TSan.
+//
+// When obs::enabled() is false a span is inert: no clock read, no lock,
+// nothing recorded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace upsim::obs {
+
+/// One finished span.  Times are microseconds since the tracer's epoch.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::uint32_t thread_index = 0;  ///< dense per-tracer thread id
+  std::uint32_t depth = 0;         ///< nesting level within its thread
+  double start_us = 0.0;
+  double duration_us = 0.0;
+
+  [[nodiscard]] double end_us() const noexcept {
+    return start_us + duration_us;
+  }
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer used by all built-in instrumentation.
+  /// Intentionally leaked so worker threads may record during shutdown.
+  static Tracer& global();
+
+  /// Finished spans sorted for rendering: by thread, then start time, then
+  /// outermost-first (longer duration breaks start ties).
+  [[nodiscard]] std::vector<SpanRecord> finished_spans() const;
+
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Drops every recorded span and restarts the epoch.  Test isolation;
+  /// spans still open across clear() record with the old epoch and simply
+  /// land in the new window (harmless for reporting).
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; throws upsim::Error on I/O failure.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Aligned per-thread table, one span per line, indented by nesting.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  friend class ScopedSpan;
+
+  /// Stamps thread index and epoch-relative times (under the lock, so a
+  /// concurrent clear() cannot race the epoch read) and stores the span.
+  void record(SpanRecord&& span, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::thread::id, std::uint32_t> thread_indices_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Times the enclosing scope and reports it to a tracer on destruction.
+/// Construct with obs disabled and the span is a no-op from start to end.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      std::string_view category = "upsim",
+                      Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< null when created with obs disabled
+  std::string name_;
+  std::string category_;
+  std::uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace upsim::obs

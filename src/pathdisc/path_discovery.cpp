@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace upsim::pathdisc {
@@ -35,6 +36,24 @@ struct Limits {
 Limits limits_of(const Options& o) {
   return Limits{o.max_path_length == 0 ? SIZE_MAX : o.max_path_length,
                 o.max_paths == 0 ? SIZE_MAX : o.max_paths};
+}
+
+/// Aggregates one finished pair into the global registry.  Counters are
+/// recorded per discover() call (one call per requester/provider pair), so
+/// they sum naturally across a pipeline run; the truncation counter is
+/// touched even when zero so exported metrics always show it — a bounded
+/// search that silently drops paths must never look exhaustive.
+void record_pair_metrics(const PathSet& out) {
+  auto& registry = obs::Registry::global();
+  registry.counter("pathdisc.pairs").add(1);
+  registry.counter("pathdisc.vertices_visited").add(out.nodes_expanded);
+  registry.counter("pathdisc.paths_found").add(out.paths.size());
+  auto& truncations = registry.counter("pathdisc.truncations");
+  if (out.truncated) truncations.add(1);
+  registry.histogram("pathdisc.paths_per_pair")
+      .record(static_cast<double>(out.paths.size()));
+  registry.histogram("pathdisc.vertices_per_pair")
+      .record(static_cast<double>(out.nodes_expanded));
 }
 
 /// Recursive DFS with on-path tracking (the paper's algorithm).
@@ -140,6 +159,7 @@ void iterative_search(const Graph& g, VertexId source, VertexId target,
 
 PathSet discover(const Graph& g, VertexId source, VertexId target,
                  const Options& options) {
+  obs::ScopedSpan span("pathdisc.discover", "pathdisc");
   // Range checks via accessors.
   (void)g.vertex(source);
   (void)g.vertex(target);
@@ -147,11 +167,15 @@ PathSet discover(const Graph& g, VertexId source, VertexId target,
   out.source = source;
   out.target = target;
   const Limits lim = limits_of(options);
-  if (lim.max_paths == 0) return out;
+  if (lim.max_paths == 0) {
+    if (obs::enabled()) record_pair_metrics(out);
+    return out;
+  }
   if (options.algorithm == Algorithm::RecursiveDfs) {
     if (source == target) {
       out.nodes_expanded = 1;
       out.paths.push_back(Path{source});
+      if (obs::enabled()) record_pair_metrics(out);
       return out;
     }
     RecursiveSearch search(g, target, lim, out);
@@ -168,6 +192,7 @@ PathSet discover(const Graph& g, VertexId source, VertexId target,
       out.truncated = false;
     }
   }
+  if (obs::enabled()) record_pair_metrics(out);
   return out;
 }
 

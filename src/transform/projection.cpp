@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "transform/uml_importer.hpp"
 #include "util/error.hpp"
 
@@ -40,6 +41,7 @@ graph::AttributeMap dependability_attributes(
 
 graph::Graph project(const uml::ObjectModel& objects,
                      const ProjectionOptions& options) {
+  obs::ScopedSpan span("transform.project", "transform");
   graph::Graph g;
   for (const uml::InstanceSpecification* inst : objects.instances()) {
     g.add_vertex(inst->name(), inst->classifier().name(),
@@ -59,6 +61,7 @@ graph::Graph project(const uml::ObjectModel& objects,
 graph::Graph project_from_space(const vpm::ModelSpace& space,
                                 const uml::ObjectModel& objects,
                                 const ProjectionOptions& options) {
+  obs::ScopedSpan span("transform.project_from_space", "transform");
   const auto instances_ns =
       space.find("models." + objects.name() + ".instances");
   if (!instances_ns) {

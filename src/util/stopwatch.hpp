@@ -20,6 +20,18 @@ class Stopwatch {
   /// Milliseconds elapsed since construction or the last reset().
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
+  /// Seconds elapsed, then restarts the window: one call replaces the
+  /// read-then-reset() pair when timing consecutive stages.
+  double lap() {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+  /// Milliseconds variant of lap().
+  double lap_millis() { return lap() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

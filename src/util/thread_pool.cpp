@@ -4,9 +4,46 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace upsim::util {
+
+namespace {
+
+/// Call-site caches into the global registry: one lookup per process, then
+/// lock-free atomics on the hot path.  References stay valid across
+/// Registry::reset() (metrics are zeroed in place, never destroyed).
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("threadpool.queue_depth");
+  return g;
+}
+
+obs::Counter& tasks_completed_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("threadpool.tasks_completed");
+  return c;
+}
+
+obs::Histogram& task_wait_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("threadpool.task_wait_us");
+  return h;
+}
+
+obs::Histogram& task_exec_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("threadpool.task_exec_us");
+  return h;
+}
+
+double micros_between(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -28,27 +65,48 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  Job entry{std::move(job), {}, obs::enabled()};
+  if (entry.timed) entry.enqueued = std::chrono::steady_clock::now();
+  std::size_t depth = 0;
   {
     const std::lock_guard lock(mutex_);
     if (stopping_) {
       throw InvariantError("ThreadPool::submit after shutdown");
     }
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(entry));
+    depth = queue_.size();
+  }
+  // Gauge write outside the pool lock: last-writer-wins is fine for an
+  // instantaneous depth reading.
+  if (obs::enabled()) {
+    queue_depth_gauge().set(static_cast<double>(depth));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    job();
+    if (job.timed) {
+      const auto started = std::chrono::steady_clock::now();
+      queue_depth_gauge().set(static_cast<double>(depth));
+      task_wait_histogram().record(micros_between(job.enqueued, started));
+      job.fn();
+      task_exec_histogram().record(
+          micros_between(started, std::chrono::steady_clock::now()));
+      tasks_completed_counter().add(1);
+    } else {
+      job.fn();
+    }
   }
 }
 

@@ -4,8 +4,15 @@
 // Monte-Carlo sampling).  Tasks must not block on other tasks submitted to
 // the same pool (no nested dependency support); all upsim uses are flat
 // fan-out/fan-in, which this covers.
+//
+// When obs::enabled(), the pool reports into the global registry:
+//   threadpool.queue_depth      gauge      tasks waiting after each move
+//   threadpool.tasks_completed  counter    tasks finished
+//   threadpool.task_wait_us     histogram  enqueue -> dequeue latency
+//   threadpool.task_exec_us     histogram  task body execution time
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -54,11 +61,18 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  struct Job {
+    std::function<void()> fn;
+    /// Valid only when `timed` (obs was enabled at enqueue time).
+    std::chrono::steady_clock::time_point enqueued{};
+    bool timed = false;
+  };
+
   void enqueue(std::function<void()> job);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace upsim::xml {
@@ -263,9 +264,17 @@ class Parser {
 
 }  // namespace
 
-Document parse(std::string_view input) { return Parser(input).run(); }
+Document parse(std::string_view input) {
+  obs::ScopedSpan span("xml.parse", "xml");
+  if (obs::enabled()) {
+    obs::Registry::global().counter("xml.bytes_parsed").add(input.size());
+    obs::Registry::global().counter("xml.documents_parsed").add(1);
+  }
+  return Parser(input).run();
+}
 
 Document parse_file(const std::string& path) {
+  obs::ScopedSpan span("xml.parse_file", "xml");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw ParseError("cannot open file: " + path);
   std::ostringstream buffer;

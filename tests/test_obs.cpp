@@ -1,0 +1,385 @@
+// The observability layer: metric aggregation under heavy thread-pool
+// concurrency, span nesting/ordering, snapshot diff, exporter
+// well-formedness (round-tripped through the obs JSON reader) and the
+// zero-overhead no-op mode.  This binary is the one the verify recipe runs
+// under -DUPSIM_SANITIZE=thread to prove the registry and tracer are
+// race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "graph/graph.hpp"
+#include "obs/obs.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::obs {
+namespace {
+
+/// Every test runs with a clean global registry/tracer and obs on;
+/// restores the default-off switch afterwards so unrelated suites in the
+/// process stay un-instrumented.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Registry::global().reset();
+    Tracer::global().clear();
+  }
+  void TearDown() override { set_enabled(false); }
+};
+
+// ---------------------------------------------------------------------------
+// counters / gauges / histograms
+
+TEST_F(ObsTest, CounterCountsAndResets) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST_F(ObsTest, HistogramBasicStatistics) {
+  Histogram h;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 100.0}) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 110.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 22.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), snap.min);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), snap.max);
+  // The median sample (3.0) lives in bucket [2,4): the estimate must land
+  // inside that bucket.
+  const double p50 = snap.quantile(0.5);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 4.0);
+}
+
+TEST_F(ObsTest, HistogramClampsNegativeAndIgnoresNan) {
+  Histogram h;
+  h.record(-5.0);  // clamped to 0
+  h.record(std::nan(""));
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  auto& registry = Registry::global();
+  Counter& a = registry.counter("stable.counter");
+  a.add(7);
+  Counter& b = registry.counter("stable.counter");
+  EXPECT_EQ(&a, &b);
+  registry.reset();  // zeroes in place, does not invalidate
+  EXPECT_EQ(a.value(), 0u);
+  a.add(1);
+  EXPECT_EQ(registry.counter("stable.counter").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// concurrency: many pool workers hammering the same names
+
+TEST_F(ObsTest, AggregationFromManyThreadPoolWorkers) {
+  auto& registry = Registry::global();
+  util::ThreadPool pool(8);
+  constexpr std::size_t kTasks = 400;
+  constexpr std::size_t kAddsPerTask = 250;
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    // First-touch registration races on purpose: every worker resolves the
+    // same names through the lock-striped maps.
+    registry.counter("conc.counter").add(kAddsPerTask);
+    registry.gauge("conc.gauge").set(static_cast<double>(i));
+    registry.histogram("conc.histogram").record(static_cast<double>(i % 16));
+  });
+  EXPECT_EQ(registry.counter("conc.counter").value(), kTasks * kAddsPerTask);
+  const auto snap = registry.histogram("conc.histogram").snapshot();
+  EXPECT_EQ(snap.count, kTasks);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 15.0);
+  const double gauge = registry.gauge("conc.gauge").value();
+  EXPECT_GE(gauge, 0.0);
+  EXPECT_LT(gauge, static_cast<double>(kTasks));
+}
+
+TEST_F(ObsTest, ThreadPoolSelfInstrumentation) {
+  auto& registry = Registry::global();
+  const auto before = registry.snapshot();
+  util::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+  const auto delta = registry.snapshot().diff(before);
+  // parallel_for chunks tasks, so at least one per worker ran through the
+  // timed path; wait and exec histograms grew by the same task count.
+  const std::uint64_t completed = delta.counter("threadpool.tasks_completed");
+  EXPECT_GT(completed, 0u);
+  EXPECT_EQ(delta.histogram("threadpool.task_wait_us").count, completed);
+  EXPECT_EQ(delta.histogram("threadpool.task_exec_us").count, completed);
+  // Queue depth was exported at least once (instantaneous, value >= 0).
+  EXPECT_GE(delta.gauge("threadpool.queue_depth"), 0.0);
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromPoolWorkers) {
+  util::ThreadPool pool(8);
+  pool.parallel_for(200, [&](std::size_t i) {
+    ScopedSpan outer("outer", "test");
+    ScopedSpan inner(i % 2 == 0 ? "inner_even" : "inner_odd", "test");
+  });
+  const auto spans = Tracer::global().finished_spans();
+  EXPECT_EQ(spans.size(), 400u);
+  // Within each thread the sort puts enclosing spans before their children.
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    if (spans[i].thread_index != spans[i + 1].thread_index) continue;
+    EXPECT_LE(spans[i].start_us, spans[i + 1].start_us + 1e-3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// spans
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+  {
+    ScopedSpan outer("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      ScopedSpan inner("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ScopedSpan sibling("sibling", "test");
+  }
+  const auto spans = Tracer::global().finished_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted for rendering: outer first (starts first), then its children in
+  // start order, all on one thread.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 1u);
+  EXPECT_EQ(spans[0].thread_index, spans[1].thread_index);
+  // Containment: inner lies inside outer on the timeline.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].end_us(), spans[0].end_us() + 1e-3);
+  EXPECT_GT(spans[0].duration_us, spans[1].duration_us);
+}
+
+TEST_F(ObsTest, TracerClearDropsSpansAndRestartsEpoch) {
+  { ScopedSpan span("before", "test"); }
+  EXPECT_EQ(Tracer::global().span_count(), 1u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+  { ScopedSpan span("after", "test"); }
+  const auto spans = Tracer::global().finished_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "after");
+}
+
+// ---------------------------------------------------------------------------
+// snapshot diff
+
+TEST_F(ObsTest, SnapshotDiffSubtractsWindows) {
+  auto& registry = Registry::global();
+  registry.counter("diff.counter").add(10);
+  registry.histogram("diff.histogram").record(4.0);
+  registry.gauge("diff.gauge").set(1.0);
+  const auto before = registry.snapshot();
+
+  registry.counter("diff.counter").add(5);
+  registry.counter("diff.fresh").add(3);
+  registry.histogram("diff.histogram").record(8.0);
+  registry.histogram("diff.histogram").record(16.0);
+  registry.gauge("diff.gauge").set(9.0);
+  const auto delta = registry.snapshot().diff(before);
+
+  EXPECT_EQ(delta.counter("diff.counter"), 5u);
+  EXPECT_EQ(delta.counter("diff.fresh"), 3u);  // absent earlier: whole value
+  EXPECT_EQ(delta.histogram("diff.histogram").count, 2u);
+  EXPECT_DOUBLE_EQ(delta.histogram("diff.histogram").sum, 24.0);
+  EXPECT_DOUBLE_EQ(delta.gauge("diff.gauge"), 9.0);  // instantaneous
+}
+
+// ---------------------------------------------------------------------------
+// exporters round-tripped through the obs JSON reader
+
+TEST_F(ObsTest, ChromeTraceJsonIsWellFormed) {
+  {
+    // Hostile span names must survive JSON escaping.
+    ScopedSpan weird("quote \" backslash \\ newline \n tab \t", "cat/1");
+    ScopedSpan nested("nested", "pipeline");
+  }
+  const std::string json = Tracer::global().to_chrome_json();
+  const JsonValue doc = json_parse(json);  // throws on malformed output
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  const auto& events = doc.at("traceEvents").array;
+  // Metadata record + 2 spans.
+  ASSERT_EQ(events.size(), 3u);
+  bool found_weird = false;
+  for (const auto& event : events) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_TRUE(event.has("name"));
+    ASSERT_TRUE(event.has("ph"));
+    if (event.at("ph").string == "X") {
+      EXPECT_TRUE(event.has("ts"));
+      EXPECT_TRUE(event.has("dur"));
+      EXPECT_TRUE(event.has("pid"));
+      EXPECT_TRUE(event.has("tid"));
+      EXPECT_GE(event.at("dur").number, 0.0);
+      if (event.at("name").string ==
+          "quote \" backslash \\ newline \n tab \t") {
+        found_weird = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_weird);
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed) {
+  auto& registry = Registry::global();
+  registry.counter("json.counter").add(3);
+  registry.gauge("json.gauge").set(2.75);
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("json.histogram").record(static_cast<double>(i));
+  }
+  const JsonValue doc = json_parse(registry.snapshot().to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("json.counter").number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("json.gauge").number, 2.75);
+  const auto& histogram = doc.at("histograms").at("json.histogram");
+  EXPECT_DOUBLE_EQ(histogram.at("count").number, 100.0);
+  EXPECT_DOUBLE_EQ(histogram.at("sum").number, 5050.0);
+  EXPECT_DOUBLE_EQ(histogram.at("min").number, 1.0);
+  EXPECT_DOUBLE_EQ(histogram.at("max").number, 100.0);
+  const double p50 = histogram.at("p50").number;
+  EXPECT_GE(p50, 32.0);  // true median 50 lives in bucket [32, 64)
+  EXPECT_LE(p50, 64.0);
+  ASSERT_TRUE(histogram.at("buckets").is_array());
+  double bucket_total = 0.0;
+  for (const auto& bucket : histogram.at("buckets").array) {
+    bucket_total += bucket.at("count").number;
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, 100.0);
+}
+
+TEST_F(ObsTest, JsonReaderRejectsMalformedDocuments) {
+  EXPECT_THROW(json_parse("{"), ParseError);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(json_parse("[1 2]"), ParseError);
+  EXPECT_THROW(json_parse("\"unterminated"), ParseError);
+  EXPECT_THROW(json_parse("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW(json_parse("01"), ParseError);
+  EXPECT_THROW(json_parse("\"bad \\x escape\""), ParseError);
+  EXPECT_THROW(json_parse("nul"), ParseError);
+}
+
+TEST_F(ObsTest, JsonReaderHandlesEscapesAndUnicode) {
+  const JsonValue v = json_parse(R"({"k":"a\n\t\"\\\u0041\u00e9"})");
+  EXPECT_EQ(v.at("k").string, "a\n\t\"\\A\xc3\xa9");
+  const JsonValue nums = json_parse("[0, -1.5, 2e3, 1.25e-2]");
+  ASSERT_EQ(nums.array.size(), 4u);
+  EXPECT_DOUBLE_EQ(nums.array[1].number, -1.5);
+  EXPECT_DOUBLE_EQ(nums.array[2].number, 2000.0);
+}
+
+// ---------------------------------------------------------------------------
+// pipeline instrumentation sites
+
+TEST_F(ObsTest, PathDiscoveryRecordsCounters) {
+  graph::Graph g;
+  const auto a = g.add_vertex("a", "T");
+  const auto b = g.add_vertex("b", "T");
+  const auto c = g.add_vertex("c", "T");
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("a", "c");
+
+  const auto before = Registry::global().snapshot();
+  const auto set = pathdisc::discover(g, a, c);
+  EXPECT_EQ(set.count(), 2u);
+  const auto delta = Registry::global().snapshot().diff(before);
+  EXPECT_EQ(delta.counter("pathdisc.pairs"), 1u);
+  EXPECT_EQ(delta.counter("pathdisc.paths_found"), 2u);
+  EXPECT_EQ(delta.counter("pathdisc.vertices_visited"), set.nodes_expanded);
+  EXPECT_EQ(delta.counter("pathdisc.truncations"), 0u);
+  (void)b;
+}
+
+TEST_F(ObsTest, PathDiscoveryCountsTruncations) {
+  graph::Graph g;
+  const auto a = g.add_vertex("a", "T");
+  const auto d = g.add_vertex("d", "T");
+  g.add_vertex("b", "T");
+  g.add_vertex("c", "T");
+  g.add_edge("a", "b");
+  g.add_edge("b", "d");
+  g.add_edge("a", "c");
+  g.add_edge("c", "d");
+
+  pathdisc::Options options;
+  options.max_paths = 1;
+  const auto before = Registry::global().snapshot();
+  const auto set = pathdisc::discover(g, a, d, options);
+  EXPECT_TRUE(set.truncated);
+  const auto delta = Registry::global().snapshot().diff(before);
+  EXPECT_EQ(delta.counter("pathdisc.truncations"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// no-op mode
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  set_enabled(false);
+  const auto before = Registry::global().snapshot();
+  const std::size_t spans_before = Tracer::global().span_count();
+
+  { ScopedSpan span("invisible", "test"); }
+  graph::Graph g;
+  const auto a = g.add_vertex("a", "T");
+  const auto b = g.add_vertex("b", "T");
+  g.add_edge("a", "b");
+  (void)pathdisc::discover(g, a, b);
+  util::ThreadPool pool(2);
+  pool.parallel_for(16, [](std::size_t) {});
+
+  EXPECT_EQ(Tracer::global().span_count(), spans_before);
+  const auto delta = Registry::global().snapshot().diff(before);
+  for (const auto& counter : delta.counters) {
+    EXPECT_EQ(counter.value, 0u) << counter.name;
+  }
+  for (const auto& histogram : delta.histograms) {
+    EXPECT_EQ(histogram.data.count, 0u) << histogram.name;
+  }
+  // Direct metric use stays live even when instrumentation is off: the
+  // bench reporters depend on that.
+  Registry::global().counter("noop.direct").add(1);
+  EXPECT_EQ(Registry::global().counter("noop.direct").value(), 1u);
+}
+
+TEST_F(ObsTest, DisabledSpanSurvivesMidScopeEnable) {
+  set_enabled(false);
+  const std::size_t before = Tracer::global().span_count();
+  {
+    ScopedSpan span("latched_off", "test");
+    set_enabled(true);  // span was constructed inert; must stay inert
+  }
+  EXPECT_EQ(Tracer::global().span_count(), before);
+}
+
+}  // namespace
+}  // namespace upsim::obs

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -198,6 +200,17 @@ TEST(Stopwatch, MeasuresNonNegativeTime) {
   EXPECT_GE(w.seconds(), 0.0);
   w.reset();
   EXPECT_GE(w.millis(), 0.0);
+}
+
+TEST(Stopwatch, LapReturnsElapsedAndRestarts) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = w.lap();
+  EXPECT_GE(first, 0.015);  // slept at least ~20ms (scheduler slack allowed)
+  // lap() restarted the window: the immediately following reading cannot
+  // include the sleep above.
+  EXPECT_LT(w.seconds(), first);
+  EXPECT_GE(w.lap_millis(), 0.0);
 }
 
 }  // namespace
