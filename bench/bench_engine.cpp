@@ -1,0 +1,218 @@
+// E10 — batch perspective serving: PerspectiveEngine vs sequential
+// UpsimGenerator::generate_batch.
+//
+// The workload is the ROADMAP scenario scaled down to bench size: one
+// campus infrastructure (netgen, Fig. 5 shape), a printing-style composite
+// of five atomic services (Table I shape — provider-side pairs repeat
+// within every perspective), and >= 100 user perspectives cycling over the
+// campus clients and printer-like servers, so pairs also repeat *across*
+// perspectives.  Reported counters:
+//
+//   qps              perspectives served per second
+//   speedup          vs. one sequential generate_batch of the same batch,
+//                    measured in the same process right before the run
+//   cache_hit_rate   fraction of pair discoveries answered by the cache
+//   perspectives     batch size
+//
+// The acceptance bar for this PR: speedup >= 2 on >= 100 perspectives with
+// 8 pool threads, engine answers being differentially tested elsewhere.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/upsim_generator.hpp"
+#include "engine/perspective_engine.hpp"
+#include "netgen/generators.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace upsim;
+
+struct ServeWorkload {
+  netgen::UmlNetwork net;
+  service::ServiceCatalog services;
+  std::vector<mapping::ServiceMapping> perspectives;
+
+  [[nodiscard]] const service::CompositeService& composite() const {
+    return services.get_composite("printing_like");
+  }
+};
+
+/// `perspectives` users print from cycling clients through cycling
+/// "printer" servers behind the campus core.
+ServeWorkload make_workload(std::size_t perspectives) {
+  netgen::CampusSpec spec;
+  spec.distribution = 4;
+  spec.edge_per_distribution = 2;
+  spec.clients_per_edge = 3;
+  spec.servers = 4;
+  ServeWorkload w{netgen::uml_campus(spec), {}, {}};
+  for (const char* atomic : {"request_print", "login", "send_list",
+                             "select", "send_documents"}) {
+    w.services.define_atomic(atomic);
+  }
+  (void)w.services.define_sequence(
+      "printing_like",
+      {"request_print", "login", "send_list", "select", "send_documents"});
+
+  const std::size_t clients =
+      spec.distribution * spec.edge_per_distribution * spec.clients_per_edge;
+  for (std::size_t u = 0; u < perspectives; ++u) {
+    const std::string client = "t" + std::to_string(u % clients);
+    const std::string frontend = "srv0";
+    const std::string printer =
+        "srv" + std::to_string(1 + u % (spec.servers - 1));
+    mapping::ServiceMapping m;
+    m.map("request_print", client, frontend);
+    m.map("login", printer, frontend);
+    m.map("send_list", frontend, printer);
+    m.map("select", printer, frontend);
+    m.map("send_documents", frontend, printer);
+    w.perspectives.push_back(std::move(m));
+  }
+  return w;
+}
+
+void BM_BatchServe_SequentialGenerator(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  core::UpsimGenerator generator(*w.net.infrastructure);
+  for (auto _ : state) {
+    auto results =
+        generator.generate_batch(w.composite(), w.perspectives, "seq");
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["perspectives"] =
+      static_cast<double>(w.perspectives.size());
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(w.perspectives.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchServe_SequentialGenerator)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_BatchServe_Engine(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+
+  // The yardstick first: one sequential generate_batch of the same batch.
+  core::UpsimGenerator generator(*w.net.infrastructure);
+  util::Stopwatch watch;
+  auto sequential =
+      generator.generate_batch(w.composite(), w.perspectives, "seq");
+  const double sequential_ms = watch.lap_millis();
+  benchmark::DoNotOptimize(sequential);
+
+  engine::EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(1));
+  // Serving mode: the returned UpsimResults are identical either way
+  // (test_engine proves structural equality), but recording every run
+  // into the shared model space is a serialized tail that exists for
+  // Step 8 interop, not for serving — BM_BatchServe_EngineRecorded below
+  // keeps it on to show that cost.
+  options.record_in_space = false;
+  engine::PerspectiveEngine engine(*w.net.infrastructure, options);
+  double engine_ms_total = 0.0;
+  for (auto _ : state) {
+    // Fresh cache every round so each iteration measures a full cold
+    // batch, not an ever-warmer steady state.
+    state.PauseTiming();
+    engine.notify_topology_changed();
+    state.ResumeTiming();
+    watch.lap_millis();
+    auto results = engine.query_batch(w.composite(), w.perspectives, "srv");
+    engine_ms_total += watch.lap_millis();
+    benchmark::DoNotOptimize(results);
+  }
+
+  const auto stats = engine.cache_stats();
+  const double engine_ms =
+      engine_ms_total / static_cast<double>(state.iterations());
+  state.counters["perspectives"] =
+      static_cast<double>(w.perspectives.size());
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["speedup"] = sequential_ms / engine_ms;
+  state.counters["cache_hit_rate"] = stats.hit_rate();
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(w.perspectives.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchServe_Engine)
+    ->Args({100, 8})
+    ->Args({100, 2})
+    ->Args({400, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchServe_EngineRecorded(benchmark::State& state) {
+  // Same cold batch, but with model-space run recording on (the default).
+  // Every perspective's Step 8 insertion serializes on the shared
+  // containment tree, so this bounds the speedup à la Amdahl — the number
+  // to watch if recorded serving ever needs to scale.
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  core::UpsimGenerator generator(*w.net.infrastructure);
+  util::Stopwatch watch;
+  auto sequential =
+      generator.generate_batch(w.composite(), w.perspectives, "seq");
+  const double sequential_ms = watch.lap_millis();
+  benchmark::DoNotOptimize(sequential);
+
+  engine::EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(1));
+  engine::PerspectiveEngine engine(*w.net.infrastructure, options);
+  double engine_ms_total = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.notify_topology_changed();
+    state.ResumeTiming();
+    watch.lap_millis();
+    auto results = engine.query_batch(w.composite(), w.perspectives, "srv");
+    engine_ms_total += watch.lap_millis();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["speedup"] =
+      sequential_ms /
+      (engine_ms_total / static_cast<double>(state.iterations()));
+  state.counters["cache_hit_rate"] = engine.cache_stats().hit_rate();
+}
+BENCHMARK(BM_BatchServe_EngineRecorded)
+    ->Args({100, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchServe_EngineWarm(benchmark::State& state) {
+  // Steady-state serving: the cache stays warm across rounds — the
+  // "millions of users, one infrastructure" regime the ROADMAP points at.
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  engine::EngineOptions options;
+  options.threads = 8;
+  options.record_in_space = false;  // pure serving mode
+  engine::PerspectiveEngine engine(*w.net.infrastructure, options);
+  for (auto _ : state) {
+    auto results = engine.query_batch(w.composite(), w.perspectives, "srv");
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["perspectives"] =
+      static_cast<double>(w.perspectives.size());
+  state.counters["cache_hit_rate"] = engine.cache_stats().hit_rate();
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(w.perspectives.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchServe_EngineWarm)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_EpochInvalidation(benchmark::State& state) {
+  // Cost of the expensive change class: full re-import + re-projection +
+  // cache eviction, the engine's notify_topology_changed.
+  const auto w = make_workload(16);
+  engine::PerspectiveEngine engine(*w.net.infrastructure);
+  auto warmup = engine.query_batch(w.composite(), w.perspectives, "w");
+  benchmark::DoNotOptimize(warmup);
+  for (auto _ : state) {
+    engine.notify_topology_changed();
+  }
+  state.counters["epoch"] = static_cast<double>(engine.epoch());
+}
+BENCHMARK(BM_EpochInvalidation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -10,22 +10,39 @@
 // case study to a temporary bundle + mapping, then processes those files —
 // exercising the exact round trip an external user would.
 //
+// Batch-serve mode replaces --mapping with a directory of mapping files —
+// one user perspective each — and serves them all concurrently through
+// engine::PerspectiveEngine (Sec. V-A3 at serving scale):
+//
+//   upsim_cli --bundle net.xml --serve mappings_dir/ --composite printing
+//             [--threads 8] [--analyze]
+//   upsim_cli --serve-demo 24          # self-contained: 24 USI perspectives
+//
+// Batch-serve prints one summary row per perspective plus throughput
+// (perspectives/s) and the path-cache hit rate.
+//
 // --trace-out writes a Chrome trace_event JSON of the whole run (load it in
 // chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
 // pipeline's counters/gauges/histograms as JSON.  Either flag switches the
 // obs layer on for the full run, so file parsing, every pipeline step and
 // per-pair path discovery all show up.
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "casestudy/usi.hpp"
 #include "core/analysis.hpp"
 #include "core/upsim_generator.hpp"
+#include "engine/perspective_engine.hpp"
 #include "mapping/mapping.hpp"
 #include "obs/obs.hpp"
 #include "umlio/serialize.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -36,6 +53,9 @@ struct Args {
   std::string composite;
   std::string trace_out;
   std::string metrics_out;
+  std::string serve_dir;
+  std::size_t serve_demo = 0;
+  std::size_t threads = 0;
   bool dot = false;
   bool analyze = false;
   bool demo = false;
@@ -43,12 +63,18 @@ struct Args {
   [[nodiscard]] bool observed() const noexcept {
     return !trace_out.empty() || !metrics_out.empty();
   }
+  [[nodiscard]] bool serving() const noexcept {
+    return !serve_dir.empty() || serve_demo != 0;
+  }
 };
 
 constexpr const char* kUsage =
     "usage: upsim_cli --bundle net.xml --mapping map.xml --composite NAME\n"
     "                 [--dot] [--analyze] [--trace-out t.json]\n"
-    "                 [--metrics-out m.json]  (no arguments runs a demo)";
+    "                 [--metrics-out m.json]  (no arguments runs a demo)\n"
+    "   or: upsim_cli --bundle net.xml --serve DIR --composite NAME\n"
+    "                 [--threads N] [--analyze]   (batch-serve mode)\n"
+    "   or: upsim_cli --serve-demo N [--threads N] (self-contained serve)";
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -80,10 +106,26 @@ Args parse_args(int argc, char** argv) {
       args.trace_out = value();
     } else if (arg == "--metrics-out") {
       args.metrics_out = value();
+    } else if (arg == "--serve") {
+      args.serve_dir = value();
+    } else if (arg == "--serve-demo") {
+      args.serve_demo = std::stoul(value());
+    } else if (arg == "--threads") {
+      args.threads = std::stoul(value());
     } else {
       throw upsim::Error("unknown argument: " + std::string(arg) + "\n" +
                          kUsage);
     }
+  }
+  if (args.serve_demo != 0) {
+    return args;
+  }
+  if (!args.serve_dir.empty()) {
+    if (args.bundle_path.empty() || args.composite.empty() ||
+        !args.mapping_path.empty()) {
+      throw upsim::Error(kUsage);
+    }
+    return args;
   }
   if (args.bundle_path.empty() && args.mapping_path.empty() &&
       args.composite.empty()) {
@@ -116,6 +158,106 @@ void write_demo_files(const std::string& bundle_path,
   mapping.save(mapping_path);
 }
 
+/// Batch-serve mode: every .xml file in `args.serve_dir` is one user
+/// perspective; all of them are served concurrently through the engine.
+int run_batch_serve(Args& args) {
+  using namespace upsim;
+  if (args.serve_demo != 0) {
+    // Self-contained: the USI bundle plus N perspectives of users printing
+    // from cycling clients to cycling printers.
+    const auto dir =
+        std::filesystem::temp_directory_path() / "upsim_demo_serve";
+    std::filesystem::remove_all(dir);  // stale perspectives from a prior run
+    std::filesystem::create_directories(dir);
+    args.bundle_path = (dir / "bundle.xml").string();
+    const auto cs = casestudy::make_usi_case_study();
+    {
+      auto bundle_cs = casestudy::make_usi_case_study();
+      umlio::UmlBundle bundle;
+      bundle.profiles.push_back(std::move(bundle_cs.availability_profile));
+      bundle.profiles.push_back(std::move(bundle_cs.network_profile));
+      bundle.classes = std::move(bundle_cs.classes);
+      bundle.objects = std::move(bundle_cs.infrastructure);
+      bundle.services = std::move(bundle_cs.services);
+      umlio::save_bundle(bundle, args.bundle_path);
+    }
+    const std::vector<std::string> clients = {"t1", "t6", "t9", "t13", "t15"};
+    const std::vector<std::string> printers = {"p1", "p2", "p3"};
+    for (std::size_t i = 0; i < args.serve_demo; ++i) {
+      const auto mapping = cs.printing_mapping(
+          clients[i % clients.size()], printers[i % printers.size()]);
+      std::ostringstream name;
+      name << "perspective_" << std::setw(4) << std::setfill('0') << i
+           << ".xml";
+      mapping.save((dir / name.str()).string());
+    }
+    args.serve_dir = dir.string();
+    args.composite = casestudy::printing_service_name();
+    std::cout << "serve-demo: wrote bundle + " << args.serve_demo
+              << " perspectives to " << dir.string() << "\n\n";
+  }
+
+  const umlio::UmlBundle bundle = umlio::load_bundle(args.bundle_path);
+  if (bundle.objects == nullptr || bundle.services == nullptr) {
+    throw Error("bundle must contain an object model and services");
+  }
+  const auto& composite = bundle.services->get_composite(args.composite);
+
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(args.serve_dir)) {
+    if (entry.path().extension() == ".xml" &&
+        entry.path().string() != args.bundle_path) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    throw Error("no .xml mapping files in " + args.serve_dir);
+  }
+  std::vector<mapping::ServiceMapping> mappings;
+  mappings.reserve(files.size());
+  for (const auto& file : files) {
+    mappings.push_back(mapping::ServiceMapping::load(file));
+  }
+
+  engine::EngineOptions options;
+  options.threads = args.threads;
+  options.record_in_space = false;  // pure serving: no model-space runs
+  engine::PerspectiveEngine engine(*bundle.objects, options);
+
+  util::Stopwatch watch;
+  const auto results = engine.query_batch(composite, mappings, "serve");
+  const double wall_ms = watch.lap_millis();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::cout << "  " << std::filesystem::path(files[i]).filename().string()
+              << ": " << results[i].upsim.instance_count() << " components, "
+              << results[i].upsim.link_count() << " links, "
+              << results[i].total_paths() << " paths";
+    if (args.analyze) {
+      core::AnalysisOptions analysis;
+      analysis.monte_carlo_samples = 0;
+      const auto report = core::analyze_availability(results[i], analysis);
+      std::cout << ", availability "
+                << util::format_sig(report.exact, 8);
+    }
+    std::cout << "\n";
+  }
+  const auto stats = engine.cache_stats();
+  std::cout << "\nserved " << results.size() << " perspectives in "
+            << util::format_sig(wall_ms, 4) << " ms ("
+            << util::format_sig(
+                   static_cast<double>(results.size()) / (wall_ms / 1e3), 4)
+            << " perspectives/s) on " << engine.pool().thread_count()
+            << " threads\n"
+            << "path cache: " << stats.hits << " hits, " << stats.misses
+            << " misses (hit rate "
+            << util::format_sig(stats.hit_rate() * 100.0, 3) << "%), "
+            << stats.size << " entries\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +267,19 @@ int main(int argc, char** argv) {
     if (args.observed()) {
       // On before any file is read so the xml spans land in the trace.
       obs::set_enabled(true);
+    }
+    if (args.serving()) {
+      const int rc = run_batch_serve(args);
+      if (!args.trace_out.empty()) {
+        obs::Tracer::global().write_chrome_json(args.trace_out);
+        std::cout << "wrote trace (" << obs::Tracer::global().span_count()
+                  << " spans) to " << args.trace_out << "\n";
+      }
+      if (!args.metrics_out.empty()) {
+        obs::Registry::global().snapshot().write_json(args.metrics_out);
+        std::cout << "wrote metrics to " << args.metrics_out << "\n";
+      }
+      return rc;
     }
     if (args.demo) {
       const auto dir = std::filesystem::temp_directory_path();

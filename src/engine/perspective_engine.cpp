@@ -1,0 +1,232 @@
+#include "engine/perspective_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "transform/mapping_importer.hpp"
+#include "transform/uml_importer.hpp"
+#include "transform/upsim_emitter.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::engine {
+
+namespace {
+
+/// Pair keys as store_paths writes them; the lexicographic order of these
+/// keys is the order load_paths reads a run back in (model-space children
+/// are name-ordered), and the engine must merge in exactly that order to
+/// stay bit-compatible with UpsimGenerator's Step 8.
+std::string pair_key(std::size_t i, const mapping::ServiceMappingPair& pair) {
+  return "pair" + std::to_string(i) + "_" + pair.atomic_service;
+}
+
+}  // namespace
+
+PerspectiveEngine::PerspectiveEngine(const uml::ObjectModel& infrastructure,
+                                     EngineOptions options)
+    : infrastructure_(&infrastructure),
+      options_(options),
+      cache_(options.cache_shards) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+  rebuild_locked(/*bump_epoch=*/false);
+}
+
+void PerspectiveEngine::rebuild_locked(bool bump_epoch) {
+  obs::ScopedSpan span("engine.rebuild", "engine");
+  const auto problems = infrastructure_->validate();
+  if (!problems.empty()) {
+    throw ModelError("PerspectiveEngine: invalid infrastructure: " +
+                     util::join(problems, "; "));
+  }
+  // A topology change is the expensive class by design (Sec. V-A3): the
+  // whole space is re-imported, Step 5 style.  Recorded runs die with it.
+  space_ = vpm::ModelSpace();
+  transform::import_class_model(space_, infrastructure_->class_model());
+  transform::import_object_model(space_, *infrastructure_);
+  graph_ = transform::project_from_space(space_, *infrastructure_,
+                                         options_.projection);
+  if (bump_epoch) {
+    const std::uint64_t now =
+        epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    cache_.evict_stale(now);
+    if (obs::enabled()) {
+      obs::Registry::global().gauge("engine.epoch").set(
+          static_cast<double>(now));
+    }
+  }
+}
+
+core::UpsimResult PerspectiveEngine::query(
+    const service::CompositeService& composite,
+    const mapping::ServiceMapping& mapping, std::string perspective_name) {
+  std::shared_lock model_lock(model_mutex_);
+  obs::ScopedSpan query_span("engine.query", "engine");
+  if (obs::enabled()) {
+    obs::Registry::global().counter("engine.queries").add(1);
+  }
+
+  const auto problems = mapping.validate(*infrastructure_, &composite);
+  if (!problems.empty()) {
+    throw ModelError("PerspectiveEngine: invalid mapping for '" +
+                     composite.name() + "': " + util::join(problems, "; "));
+  }
+
+  util::Stopwatch watch;
+  core::StepTimings timings;
+
+  // Step 7 through the cache.  Everything read here — graph_, the
+  // infrastructure, cached sets — is immutable under the shared lock.
+  const std::vector<mapping::ServiceMappingPair> pairs =
+      mapping.pairs_for(composite);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  std::vector<std::shared_ptr<const pathdisc::PathSet>> sets(pairs.size());
+  {
+    obs::ScopedSpan span("engine.step7_discovery", "engine");
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const PathQueryKey key{graph_.vertex_by_name(pairs[i].requester),
+                             graph_.vertex_by_name(pairs[i].provider),
+                             options_.discovery, epoch};
+      sets[i] = cache_.get_or_compute(key, [&] {
+        return pathdisc::discover(graph_, key.source, key.target,
+                                  options_.discovery);
+      });
+      if (sets[i]->empty()) {
+        throw ModelError("PerspectiveEngine: no path between requester '" +
+                         pairs[i].requester + "' and provider '" +
+                         pairs[i].provider + "' of atomic service '" +
+                         pairs[i].atomic_service + "'");
+      }
+    }
+  }
+  timings.discovery_ms = watch.lap_millis();
+
+  // Step 8.  The generator merges in load_paths order == lexicographic
+  // pair-key order, which differs from execution order once a run has ten
+  // or more pairs ("pair10_*" sorts before "pair2_*").
+  auto [upsim, upsim_graph, named_paths] = [&] {
+    obs::ScopedSpan span("engine.step8_merge_emit", "engine");
+    std::vector<std::vector<std::vector<std::string>>> named(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      named[i].reserve(sets[i]->paths.size());
+      for (const auto& path : sets[i]->paths) {
+        named[i].push_back(pathdisc::path_names(graph_, path));
+      }
+    }
+    std::vector<std::size_t> order(pairs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pair_key(a, pairs[a]) < pair_key(b, pairs[b]);
+    });
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> kept;
+    for (const std::size_t i : order) {
+      for (const auto& path : named[i]) {
+        for (const std::string& name : path) {
+          if (seen.insert(name).second) kept.push_back(name);
+        }
+      }
+    }
+    uml::ObjectModel emitted =
+        transform::emit_upsim(*infrastructure_, perspective_name, kept);
+    graph::Graph projected = transform::project(emitted, options_.projection);
+    return std::tuple{std::move(emitted), std::move(projected),
+                      std::move(named)};
+  }();
+  timings.merge_emit_ms = watch.lap_millis();
+
+  // The only serialized section: insert the run into the model space the
+  // way UpsimGenerator's Steps 6/7 would (replacing any previous run of
+  // this perspective name).
+  if (options_.record_in_space) {
+    obs::ScopedSpan span("engine.record_run", "engine");
+    std::lock_guard space_lock(space_mutex_);
+    transform::remove_mapping(space_, perspective_name);
+    transform::clear_paths(space_, perspective_name);
+    transform::import_mapping(space_, perspective_name, mapping,
+                              *infrastructure_);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      transform::store_paths(space_, perspective_name, pair_key(i, pairs[i]),
+                             graph_, *sets[i], *infrastructure_);
+    }
+  }
+  timings.import_mapping_ms = watch.lap_millis();
+
+  core::UpsimResult result{std::move(upsim),
+                           std::move(upsim_graph),
+                           pairs,
+                           {},
+                           std::move(named_paths),
+                           timings};
+  result.path_sets.reserve(sets.size());
+  for (const auto& set : sets) result.path_sets.push_back(*set);
+  return result;
+}
+
+std::vector<core::UpsimResult> PerspectiveEngine::query_batch(
+    const service::CompositeService& composite,
+    const std::vector<mapping::ServiceMapping>& mappings,
+    std::string_view name_prefix) {
+  obs::ScopedSpan span("engine.query_batch", "engine");
+  std::vector<std::optional<core::UpsimResult>> slots(mappings.size());
+  pool_->parallel_for(mappings.size(), [&](std::size_t i) {
+    slots[i] = query(composite, mappings[i],
+                     std::string(name_prefix) + std::to_string(i));
+  });
+  std::vector<core::UpsimResult> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+core::AvailabilityReport PerspectiveEngine::query_availability(
+    const service::CompositeService& composite,
+    const mapping::ServiceMapping& mapping, std::string perspective_name,
+    const core::AnalysisOptions& analysis) {
+  const core::UpsimResult result =
+      query(composite, mapping, std::move(perspective_name));
+  obs::ScopedSpan span("engine.availability", "engine");
+  return core::analyze_availability(result, analysis);
+}
+
+void PerspectiveEngine::notify_topology_changed() {
+  with_topology_write(nullptr);
+}
+
+void PerspectiveEngine::with_topology_write(
+    const std::function<void()>& mutate) {
+  std::unique_lock model_lock(model_mutex_);
+  if (mutate) mutate();
+  rebuild_locked(/*bump_epoch=*/true);
+}
+
+void PerspectiveEngine::notify_properties_changed() {
+  std::unique_lock model_lock(model_mutex_);
+  obs::ScopedSpan span("engine.reproject", "engine");
+  // The model-space image stores structure only; property values flow in
+  // at projection time from the class model.  So this class re-projects
+  // without re-importing — recorded runs, cache and epoch all survive
+  // (vertex ids are stable because the structure did not change).
+  graph_ = transform::project_from_space(space_, *infrastructure_,
+                                         options_.projection);
+}
+
+void PerspectiveEngine::notify_mapping_changed(
+    std::string_view perspective_name) {
+  std::shared_lock model_lock(model_mutex_);
+  std::lock_guard space_lock(space_mutex_);
+  transform::remove_mapping(space_, perspective_name);
+  transform::clear_paths(space_, perspective_name);
+}
+
+}  // namespace upsim::engine

@@ -1,0 +1,169 @@
+// PerspectiveEngine — concurrent, cache-coherent batch serving of UPSIM
+// queries (the Sec. V-A3 dynamicity argument at serving scale).
+//
+// UpsimGenerator runs perspectives sequentially because Steps 6-8 all pass
+// through the shared VPM model space, and it re-discovers every
+// (requester, provider) pair from scratch even though perspectives of one
+// infrastructure repeat pairs heavily (Table I: all five printing pairs
+// share the provider side).  The engine restructures the run so that the
+// model space stops being the bottleneck:
+//
+//   - Step 7 goes through a sharded PathSetCache keyed on
+//     (requester id, provider id, discovery options, topology epoch), so a
+//     pair shared by any number of perspectives is discovered once.
+//   - Steps 7/8 (discovery, merge, emit, project) read only immutable
+//     state — the graph projection and the infrastructure model — and run
+//     per-perspective on util::ThreadPool workers.  Only the final
+//     insertion of the run into the model space (Step 6 + path storage) is
+//     serialized, and it can be switched off entirely for pure serving.
+//   - Answers are bit-compatible with UpsimGenerator::generate — the
+//     differential tests in tests/test_engine.cpp hold the engine to that
+//     for cold, warm, post-invalidation and concurrent queries alike.
+//
+// Change classes (Sec. V-A3), served incrementally:
+//   1. topology change        -> notify_topology_changed(): re-import,
+//                                re-project, bump the epoch (all cached
+//                                path sets become unreachable, then get
+//                                evicted).  with_topology_write() does the
+//                                caller's model mutation and the rebuild
+//                                atomically w.r.t. in-flight queries.
+//   2. property-value change  -> notify_properties_changed(): re-project
+//                                attributes; paths depend on structure
+//                                only, so the cache survives.
+//   3. service change         -> no engine state involved; pass the new
+//                                composite to the next query.
+//   4. mapping change         -> nothing to invalidate: mappings are query
+//                                *inputs*.  notify_mapping_changed() drops
+//                                a recorded run from the model space.
+//
+// Thread safety: query()/query_batch()/query_availability() may be called
+// from any number of threads; the notify_*/with_topology_write() mutators
+// exclude them via a shared_mutex.  The infrastructure model must only be
+// mutated inside with_topology_write() once queries are in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "engine/path_cache.hpp"
+#include "graph/graph.hpp"
+#include "mapping/mapping.hpp"
+#include "pathdisc/path_discovery.hpp"
+#include "service/service.hpp"
+#include "transform/projection.hpp"
+#include "uml/object_model.hpp"
+#include "util/thread_pool.hpp"
+#include "vpm/model_space.hpp"
+
+namespace upsim::engine {
+
+struct EngineOptions {
+  pathdisc::Options discovery;
+  transform::ProjectionOptions projection;
+  /// Pool for query_batch fan-out.  Null: the engine owns a pool of
+  /// `threads` workers (0 = hardware concurrency).  Queries themselves
+  /// never submit nested pool tasks, so an external pool may be shared.
+  util::ThreadPool* pool = nullptr;
+  std::size_t threads = 0;
+  std::size_t cache_shards = 16;
+  /// Mirror UpsimGenerator and insert each served run into the model space
+  /// (mapping import + stored paths, replacing a previous run of the same
+  /// name).  This is the only serialized section of a query; switch it off
+  /// when serving throughput matters more than a queryable space.
+  bool record_in_space = true;
+};
+
+class PerspectiveEngine {
+ public:
+  /// Imports `infrastructure` (Step 5) into a private model space and
+  /// projects the discovery graph.  The infrastructure and its class model
+  /// must outlive the engine; an external pool must too.
+  explicit PerspectiveEngine(const uml::ObjectModel& infrastructure,
+                             EngineOptions options = {});
+
+  PerspectiveEngine(const PerspectiveEngine&) = delete;
+  PerspectiveEngine& operator=(const PerspectiveEngine&) = delete;
+
+  /// Serves one perspective: Steps 6-8 with cached discovery.  Answers are
+  /// structurally identical to UpsimGenerator::generate on the same
+  /// inputs.  Thread-safe.
+  [[nodiscard]] core::UpsimResult query(
+      const service::CompositeService& composite,
+      const mapping::ServiceMapping& mapping, std::string perspective_name);
+
+  /// Serves one perspective per mapping concurrently on the pool; results
+  /// are in input order, named `<name_prefix><index>`.  Throws the first
+  /// failure after all tasks finished.
+  [[nodiscard]] std::vector<core::UpsimResult> query_batch(
+      const service::CompositeService& composite,
+      const std::vector<mapping::ServiceMapping>& mappings,
+      std::string_view name_prefix);
+
+  /// query() followed by the full dependability analysis on the result.
+  [[nodiscard]] core::AvailabilityReport query_availability(
+      const service::CompositeService& composite,
+      const mapping::ServiceMapping& mapping, std::string perspective_name,
+      const core::AnalysisOptions& analysis = {});
+
+  // -- change classes (Sec. V-A3) -------------------------------------------
+  /// Change class 1: the infrastructure's instances/links changed.
+  /// Re-imports, re-projects, bumps the epoch and evicts stale cache
+  /// entries.  Recorded runs die with the old space (a topology change
+  /// requires re-import — the expensive class, by design).
+  void notify_topology_changed();
+
+  /// Runs `mutate` (typically mutating the caller-owned infrastructure
+  /// model) with all queries excluded, then does notify_topology_changed's
+  /// rebuild before queries resume — one atomic topology transition.
+  void with_topology_write(const std::function<void()>& mutate);
+
+  /// Change class 2: dependability/stereotype values changed but structure
+  /// did not.  Re-projects so new attribute values flow into analysis;
+  /// cached path sets (structure-only) stay valid and the epoch holds.
+  void notify_properties_changed();
+
+  /// Change class 4 bookkeeping: forget the recorded run of one
+  /// perspective (no-op when record_in_space is off or the name unknown).
+  void notify_mapping_changed(std::string_view perspective_name);
+
+  // -- introspection --------------------------------------------------------
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] util::ThreadPool& pool() noexcept { return *pool_; }
+  [[nodiscard]] const uml::ObjectModel& infrastructure() const noexcept {
+    return *infrastructure_;
+  }
+
+ private:
+  /// (Re)builds space_ + graph_ from the infrastructure.  Caller holds the
+  /// unique lock (or is the constructor).
+  void rebuild_locked(bool bump_epoch);
+
+  const uml::ObjectModel* infrastructure_;
+  EngineOptions options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+
+  /// Readers (queries) share; topology/property rebuilds are exclusive.
+  mutable std::shared_mutex model_mutex_;
+  vpm::ModelSpace space_;
+  graph::Graph graph_;
+  /// Serializes model-space run insertion among concurrent queries (taken
+  /// with model_mutex_ held shared; rebuilds exclude both).
+  std::mutex space_mutex_;
+  std::atomic<std::uint64_t> epoch_{0};
+  PathSetCache cache_;
+};
+
+}  // namespace upsim::engine

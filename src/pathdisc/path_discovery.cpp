@@ -12,6 +12,21 @@ using graph::Graph;
 using graph::VertexId;
 using graph::index;
 
+std::size_t hash_value(const Options& options) noexcept {
+  // splitmix64-style mixing of each field into the running state; the odd
+  // multipliers keep nearby values (max_paths 1 vs 2) far apart.
+  auto mix = [](std::size_t state, std::size_t v) noexcept {
+    state ^= v + 0x9E3779B97F4A7C15ULL + (state << 6) + (state >> 2);
+    state *= 0xBF58476D1CE4E5B9ULL;
+    return state ^ (state >> 31);
+  };
+  std::size_t h = 0x243F6A8885A308D3ULL;
+  h = mix(h, static_cast<std::size_t>(options.algorithm));
+  h = mix(h, options.max_path_length);
+  h = mix(h, options.max_paths);
+  return h;
+}
+
 std::size_t PathSet::shortest() const noexcept {
   std::size_t best = 0;
   for (const Path& p : paths) {

@@ -37,6 +37,24 @@ struct Options {
   /// Stop after this many paths; 0 = unbounded.  When the limit triggers,
   /// PathSet::truncated is set.
   std::size_t max_paths = 0;
+
+  /// Every field participates: two Options compare equal iff discovery is
+  /// guaranteed to produce the same PathSet on the same graph/endpoints.
+  [[nodiscard]] friend bool operator==(const Options&,
+                                       const Options&) noexcept = default;
+};
+
+/// Hashes every field of `options` (paired with operator== above) so that
+/// Options can key a hash map — the engine's path-set cache keys on it, and
+/// an Options field silently left out here would alias cache entries across
+/// different discovery configurations.
+[[nodiscard]] std::size_t hash_value(const Options& options) noexcept;
+
+/// Hasher adapter for unordered containers keyed on Options.
+struct OptionsHash {
+  [[nodiscard]] std::size_t operator()(const Options& options) const noexcept {
+    return hash_value(options);
+  }
 };
 
 /// The result of discovering one requester/provider pair.

@@ -1,0 +1,168 @@
+// Golden regression harness for the paper's published artefacts.
+//
+// test_casestudy checks the case study against ground truth compiled into
+// the library; this suite instead pins behaviour against *committed golden
+// files* under tests/golden/, so any drift — a topology edit, a discovery
+// ordering change, an emitter refactor — fails with a readable line diff
+// even if someone also "updates" the in-library constants.  The three
+// artefacts are the ones printed in the paper:
+//
+//   sec6g_paths_t1_printS.golden   the Sec. VI-G path listing (E2), in
+//                                  discovery order and paper notation
+//   fig11_upsim_t1_p2.golden       the Fig. 11 UPSIM node set (t1, p2)
+//   fig12_upsim_t15_p3.golden      the Fig. 12 UPSIM node set (t15, p3)
+//
+// To regenerate after an *intended* change, run this binary with
+// UPSIM_UPDATE_GOLDEN=1 in the environment, then review the file diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "engine/perspective_engine.hpp"
+#include "transform/projection.hpp"
+#include "util/error.hpp"
+
+#ifndef UPSIM_GOLDEN_DIR
+#error "UPSIM_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace upsim {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(UPSIM_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("golden file missing: " + path +
+                " (run with UPSIM_UPDATE_GOLDEN=1 to create it)");
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write golden file: " + path);
+  for (const auto& line : lines) out << line << "\n";
+}
+
+bool update_mode() {
+  const char* flag = std::getenv("UPSIM_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+/// Side-by-side line diff: every divergent line is shown with the golden
+/// expectation and what the code produced, so a failure reads like a
+/// review comment rather than a hex dump.
+std::string diff_lines(const std::vector<std::string>& expected,
+                       const std::vector<std::string>& actual) {
+  std::ostringstream out;
+  const std::size_t n = std::max(expected.size(), actual.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* e = i < expected.size() ? &expected[i] : nullptr;
+    const std::string* a = i < actual.size() ? &actual[i] : nullptr;
+    if (e != nullptr && a != nullptr && *e == *a) continue;
+    out << "  line " << (i + 1) << ":\n";
+    out << "    golden: " << (e != nullptr ? *e : "<missing>") << "\n";
+    out << "    actual: " << (a != nullptr ? *a : "<missing>") << "\n";
+  }
+  return out.str();
+}
+
+void expect_matches_golden(const std::string& file,
+                           const std::vector<std::string>& actual) {
+  const std::string path = golden_path(file);
+  if (update_mode()) {
+    write_lines(path, actual);
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  const auto expected = read_lines(path);
+  if (expected != actual) {
+    ADD_FAILURE() << file << " drifted from the committed golden ("
+                  << expected.size() << " golden lines, " << actual.size()
+                  << " actual):\n"
+                  << diff_lines(expected, actual)
+                  << "If the change is intended, regenerate with "
+                     "UPSIM_UPDATE_GOLDEN=1 and commit the diff.";
+  }
+}
+
+class GoldenCaseStudyTest : public ::testing::Test {
+ protected:
+  casestudy::UsiCaseStudy cs = casestudy::make_usi_case_study();
+
+  std::vector<std::string> upsim_node_lines(const core::UpsimResult& result) {
+    std::set<std::string> nodes;
+    for (const auto* inst : result.upsim.instances()) {
+      nodes.insert(inst->name());
+    }
+    return {nodes.begin(), nodes.end()};
+  }
+};
+
+TEST_F(GoldenCaseStudyTest, SecVIGPathListingMatchesGolden) {
+  const graph::Graph g = transform::project(*cs.infrastructure);
+  const auto set = pathdisc::discover(g, "t1", "printS");
+  std::vector<std::string> lines;
+  lines.reserve(set.count());
+  for (const auto& path : set.paths) {
+    lines.push_back(pathdisc::to_string(g, path));
+  }
+  expect_matches_golden("sec6g_paths_t1_printS.golden", lines);
+
+  // Independently of the file, the first two paths must stay the two the
+  // paper prints in Sec. VI-G — the golden can never be "updated" past
+  // the publication.
+  const auto& published = casestudy::expected_first_paths_t1_printS();
+  ASSERT_GE(set.count(), 2u);
+  EXPECT_EQ(pathdisc::path_names(g, set.paths[0]), published[0]);
+  EXPECT_EQ(pathdisc::path_names(g, set.paths[1]), published[1]);
+}
+
+TEST_F(GoldenCaseStudyTest, Fig11NodeSetMatchesGolden) {
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "golden_t1_p2");
+  expect_matches_golden("fig11_upsim_t1_p2.golden", upsim_node_lines(result));
+}
+
+TEST_F(GoldenCaseStudyTest, Fig12NodeSetMatchesGolden) {
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t15_p3(), "golden_t15_p3");
+  expect_matches_golden("fig12_upsim_t15_p3.golden",
+                        upsim_node_lines(result));
+}
+
+TEST_F(GoldenCaseStudyTest, EngineServesTheSameGoldenAnswers) {
+  // The golden files also gate the engine: cached/concurrent serving must
+  // never drift from the sequential pipeline the paper describes.
+  engine::PerspectiveEngine engine(*cs.infrastructure);
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  const auto r1 = engine.query(printing, cs.mapping_t1_p2(), "golden_e1");
+  expect_matches_golden("fig11_upsim_t1_p2.golden", upsim_node_lines(r1));
+  const auto r2 = engine.query(printing, cs.mapping_t15_p3(), "golden_e2");
+  expect_matches_golden("fig12_upsim_t15_p3.golden", upsim_node_lines(r2));
+}
+
+}  // namespace
+}  // namespace upsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <set>
+#include <unordered_map>
 
 #include "graph/graph.hpp"
 #include "netgen/generators.hpp"
@@ -256,6 +257,49 @@ TEST(PathDiscovery, NodesExpandedGrowsWithDensity) {
   const auto sparse = discover(netgen::tree(40, 2), "v0", "v39");
   const auto dense = discover(netgen::complete(8), VertexId{0}, VertexId{7});
   EXPECT_LT(sparse.nodes_expanded, dense.nodes_expanded);
+}
+
+TEST(PathDiscoveryOptions, EqualityCoversEveryField) {
+  const Options base{Algorithm::IterativeDfs, 5, 10};
+  EXPECT_EQ(base, base);
+  EXPECT_EQ(base, (Options{Algorithm::IterativeDfs, 5, 10}));
+  // Flipping any single field breaks equality — an Options field invisible
+  // to operator== would silently alias engine cache entries.
+  EXPECT_NE(base, (Options{Algorithm::RecursiveDfs, 5, 10}));
+  EXPECT_NE(base, (Options{Algorithm::IterativeDfs, 6, 10}));
+  EXPECT_NE(base, (Options{Algorithm::IterativeDfs, 5, 11}));
+  EXPECT_EQ(Options{}, Options{});
+}
+
+TEST(PathDiscoveryOptions, HashIsConsistentWithEquality) {
+  const Options a{Algorithm::IterativeDfs, 5, 10};
+  const Options b{Algorithm::IterativeDfs, 5, 10};
+  EXPECT_EQ(hash_value(a), hash_value(b));
+  EXPECT_EQ(OptionsHash{}(a), hash_value(a));
+
+  // Unequal options should hash apart; check every single-field flip and
+  // a swap of the two limit fields (a combine that ignored field position
+  // would collide on the swap).
+  const std::vector<Options> distinct = {
+      a,
+      {Algorithm::RecursiveDfs, 5, 10},
+      {Algorithm::IterativeDfs, 6, 10},
+      {Algorithm::IterativeDfs, 5, 11},
+      {Algorithm::IterativeDfs, 10, 5},
+      {},
+  };
+  std::set<std::size_t> hashes;
+  for (const Options& o : distinct) hashes.insert(hash_value(o));
+  EXPECT_EQ(hashes.size(), distinct.size());
+}
+
+TEST(PathDiscoveryOptions, WorksAsUnorderedMapKey) {
+  std::unordered_map<Options, int, OptionsHash> memo;
+  memo[Options{Algorithm::IterativeDfs, 0, 0}] = 1;
+  memo[Options{Algorithm::IterativeDfs, 0, 7}] = 2;
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(memo.at(Options{}), 1);
+  EXPECT_EQ(memo.at(Options{Algorithm::IterativeDfs, 0, 7}), 2);
 }
 
 }  // namespace
