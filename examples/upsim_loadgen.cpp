@@ -1,0 +1,292 @@
+// upsim_loadgen — closed-loop load generator for upsimd: N connections each
+// issue M requests back-to-back, latency is recorded per request, and the
+// run is written to BENCH_server.json (p50/p90/p99, throughput) alongside
+// the other BENCH_*.json perf artefacts.
+//
+//   upsim_loadgen                               # self-hosted USI demo
+//   upsim_loadgen --connections 8 --requests 500 --method upsim
+//   upsim_loadgen --host 10.0.0.5 --port 7777 --composite printing
+//   upsim_loadgen --out BENCH_server.json
+//
+// Without --host/--port it self-hosts: the USI case study is built
+// in-process, a server::Server starts on an ephemeral loopback port, and
+// the measurement exercises the full stack — client framing, TCP, accept/
+// dispatch, pool handoff, engine query, serialization, response framing.
+// Perspectives cycle through every (client, printer) pair of the demo so
+// the engine's path cache warms within the first round, mirroring steady-
+// state serving (one warm-up round runs untimed first).
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "engine/perspective_engine.hpp"
+#include "net/client.hpp"
+#include "obs/obs.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: upsim_loadgen [--connections N] [--requests M]\n"
+    "                     [--method upsim|paths|availability]\n"
+    "                     [--host H --port P --composite NAME]\n"
+    "                     [--server-threads N] [--out BENCH_server.json]";
+
+struct Args {
+  std::size_t connections = 8;
+  std::size_t requests = 500;  // per connection
+  std::string method = "upsim";
+  std::string host;  // empty = self-host the USI demo
+  std::uint16_t port = 0;
+  std::string composite;
+  std::size_t server_threads = 0;
+  std::string out = "BENCH_server.json";
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw upsim::Error("missing value after " + std::string(arg));
+      }
+      return argv[++i];
+    };
+    if (arg == "--connections") {
+      args.connections = std::stoul(value());
+    } else if (arg == "--requests") {
+      args.requests = std::stoul(value());
+    } else if (arg == "--method") {
+      args.method = value();
+    } else if (arg == "--host") {
+      args.host = value();
+    } else if (arg == "--port") {
+      args.port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--composite") {
+      args.composite = value();
+    } else if (arg == "--server-threads") {
+      args.server_threads = std::stoul(value());
+    } else if (arg == "--out") {
+      args.out = value();
+    } else {
+      throw upsim::Error("unknown argument: " + std::string(arg) + "\n" +
+                         kUsage);
+    }
+  }
+  if (args.connections == 0 || args.requests == 0) {
+    throw upsim::Error(kUsage);
+  }
+  if (!args.host.empty() && (args.port == 0 || args.composite.empty())) {
+    throw upsim::Error(std::string("--host needs --port and --composite\n") +
+                       kUsage);
+  }
+  if (args.method != "upsim" && args.method != "paths" &&
+      args.method != "availability") {
+    throw upsim::Error("unsupported --method '" + args.method + "'\n" +
+                       kUsage);
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upsim;
+  try {
+    const Args args = parse_args(argc, argv);
+
+    // Self-hosted mode keeps the case study and server alive for the run.
+    std::optional<casestudy::UsiCaseStudy> cs;
+    std::optional<engine::PerspectiveEngine> engine;
+    std::optional<server::Server> server;
+    std::string host = args.host;
+    std::uint16_t port = args.port;
+    std::string composite = args.composite;
+    std::vector<std::string> param_sets;  // distinct perspectives to cycle
+
+    if (host.empty()) {
+      cs.emplace(casestudy::make_usi_case_study());
+      engine::EngineOptions engine_options;
+      engine_options.threads = args.server_threads;
+      engine_options.record_in_space = false;  // pure serving
+      engine.emplace(*cs->infrastructure, engine_options);
+      server::ServerOptions server_options;
+      server_options.max_connections = args.connections + 8;
+      server.emplace(*engine, *cs->services, server_options);
+      server->start();
+      host = "127.0.0.1";
+      port = server->port();
+      composite = casestudy::printing_service_name();
+      const std::vector<std::string> clients = {"t1", "t6", "t9", "t13",
+                                                "t15"};
+      const std::vector<std::string> printers = {"p1", "p2", "p3"};
+      for (const auto& client : clients) {
+        for (const auto& printer : printers) {
+          param_sets.push_back(server::query_params_json(
+              composite, cs->printing_mapping(client, printer),
+              "load_" + client + "_" + printer));
+        }
+      }
+      std::cout << "self-hosted USI demo on 127.0.0.1:" << port << " ("
+                << engine->pool().thread_count() << " worker threads)\n";
+    } else {
+      // External server: Table I's t1 -> p2 printing perspective.
+      cs.emplace(casestudy::make_usi_case_study());
+      param_sets.push_back(
+          server::query_params_json(composite, cs->mapping_t1_p2(), "load"));
+    }
+
+    // Request payloads are pre-built once: the measured loop is pure
+    // send/receive (roundtrip_raw) plus a substring status check, so the
+    // client side stays off the profile and the numbers isolate the server.
+    std::vector<std::string> payloads;
+    payloads.reserve(param_sets.size());
+    for (std::size_t i = 0; i < param_sets.size(); ++i) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("id");
+      w.value(static_cast<std::uint64_t>(i + 1));
+      w.key("method");
+      w.value(args.method);
+      w.key("params");
+      w.raw_value(param_sets[i]);
+      w.end_object();
+      payloads.push_back(std::move(w).str());
+    }
+
+    // One connection per worker thread; each records into the shared
+    // lock-free histogram.  Closed loop: a worker's next request leaves
+    // only after its previous response arrived.
+    auto& latency =
+        obs::Registry::global().histogram("loadgen.request_latency_us");
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> completed{0};
+
+    auto run_connection = [&](std::size_t index, std::size_t requests,
+                              bool timed) {
+      net::ClientOptions client_options;
+      client_options.host = host;
+      client_options.port = port;
+      net::Client client(client_options);
+      for (std::size_t r = 0; r < requests; ++r) {
+        const std::string& payload =
+            payloads[(index + r) % payloads.size()];
+        util::Stopwatch watch;
+        try {
+          const std::string response = client.roundtrip_raw(payload);
+          if (response.find("\"status\":200") == std::string::npos) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (timed) {
+          latency.record(watch.seconds() * 1e6);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    };
+
+    // Untimed warm-up: touch every distinct perspective once so the timed
+    // window measures steady-state (warm path cache) serving.
+    run_connection(0, param_sets.size(), /*timed=*/false);
+
+    std::vector<std::thread> workers;
+    util::Stopwatch wall;
+    for (std::size_t c = 0; c < args.connections; ++c) {
+      workers.emplace_back(run_connection, c, args.requests, /*timed=*/true);
+    }
+    for (auto& worker : workers) worker.join();
+    const double wall_s = wall.seconds();
+
+    const auto snapshot = latency.snapshot();
+    const double throughput =
+        static_cast<double>(completed.load()) / wall_s;
+    std::cout << "served " << completed.load() << " requests ("
+              << errors.load() << " errors) over " << args.connections
+              << " connections in " << util::format_sig(wall_s * 1e3, 4)
+              << " ms\nthroughput " << util::format_sig(throughput, 5)
+              << " req/s; latency p50 "
+              << util::format_sig(snapshot.quantile(0.50), 4) << " us, p90 "
+              << util::format_sig(snapshot.quantile(0.90), 4) << " us, p99 "
+              << util::format_sig(snapshot.quantile(0.99), 4) << " us, max "
+              << util::format_sig(snapshot.max, 4) << " us\n";
+    if (server) {
+      const auto stats = engine->cache_stats();
+      std::cout << "server path cache: hit rate "
+                << util::format_sig(stats.hit_rate() * 100.0, 3) << "% ("
+                << stats.hits << " hits, " << stats.misses << " misses)\n";
+    }
+
+    if (!args.out.empty()) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("bench");
+      w.value("upsim_loadgen");
+      w.key("model");
+      w.value(args.host.empty() ? "usi_demo" : "external");
+      w.key("method");
+      w.value(args.method);
+      w.key("connections");
+      w.value(static_cast<std::uint64_t>(args.connections));
+      w.key("requests_per_connection");
+      w.value(static_cast<std::uint64_t>(args.requests));
+      w.key("total_requests");
+      w.value(completed.load());
+      w.key("errors");
+      w.value(errors.load());
+      w.key("wall_ms");
+      w.value(wall_s * 1e3);
+      w.key("throughput_rps");
+      w.value(throughput);
+      w.key("latency_us");
+      w.begin_object();
+      w.key("mean");
+      w.value(snapshot.mean());
+      w.key("p50");
+      w.value(snapshot.quantile(0.50));
+      w.key("p90");
+      w.value(snapshot.quantile(0.90));
+      w.key("p99");
+      w.value(snapshot.quantile(0.99));
+      w.key("min");
+      w.value(snapshot.min);
+      w.key("max");
+      w.value(snapshot.max);
+      w.end_object();
+      if (server) {
+        const auto stats = engine->cache_stats();
+        w.key("server");
+        w.begin_object();
+        w.key("worker_threads");
+        w.value(static_cast<std::uint64_t>(engine->pool().thread_count()));
+        w.key("cache_hit_rate");
+        w.value(stats.hit_rate());
+        w.end_object();
+      }
+      w.end_object();
+      const std::string doc = std::move(w).str();
+      std::FILE* f = std::fopen(args.out.c_str(), "wb");
+      if (f == nullptr) throw Error("cannot write " + args.out);
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::cout << "wrote " << args.out << "\n";
+    }
+
+    if (server) server->stop();
+    return errors.load() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "upsim_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,122 @@
+// upsim_query — one-shot client for a running upsimd: builds a request from
+// command-line arguments (and optionally a Fig. 3 mapping XML file), sends
+// it over the wire protocol, and prints the raw JSON response.
+//
+//   upsim_query --port 7777 --method health
+//   upsim_query --port 7777 --method metrics
+//   upsim_query --port 7777 --method invalidate_topology
+//   upsim_query --port 7777 --method upsim --composite printing \
+//               --mapping map.xml [--name view]
+//   upsim_query --port 7777 --method availability --composite printing \
+//               --mapping map.xml [--samples 100000]
+//
+// Instead of --mapping FILE, pairs can be given inline as repeated
+//   --map SERVICE=REQUESTER:PROVIDER
+#include <iostream>
+#include <string>
+
+#include "mapping/mapping.hpp"
+#include "net/client.hpp"
+#include "obs/json.hpp"
+#include "server/protocol.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: upsim_query [--host H] --port P --method M\n"
+    "                   [--composite NAME] [--mapping map.xml]\n"
+    "                   [--map SERVICE=REQUESTER:PROVIDER]... [--name N]\n"
+    "                   [--samples N] [--timeout-ms N]";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upsim;
+  try {
+    net::ClientOptions options;
+    std::string method;
+    std::string composite;
+    std::string mapping_path;
+    std::string name;
+    std::string samples;
+    mapping::ServiceMapping inline_mapping;
+    bool have_inline = false;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw Error("missing value after " + std::string(arg));
+        }
+        return argv[++i];
+      };
+      if (arg == "--host") {
+        options.host = value();
+      } else if (arg == "--port") {
+        options.port = static_cast<std::uint16_t>(std::stoul(value()));
+      } else if (arg == "--method") {
+        method = value();
+      } else if (arg == "--composite") {
+        composite = value();
+      } else if (arg == "--mapping") {
+        mapping_path = value();
+      } else if (arg == "--map") {
+        const std::string spec = value();
+        const auto eq = spec.find('=');
+        const auto colon = spec.find(':', eq == std::string::npos ? 0 : eq);
+        if (eq == std::string::npos || colon == std::string::npos) {
+          throw Error("--map wants SERVICE=REQUESTER:PROVIDER, got '" + spec +
+                      "'");
+        }
+        inline_mapping.map(spec.substr(0, eq),
+                           spec.substr(eq + 1, colon - eq - 1),
+                           spec.substr(colon + 1));
+        have_inline = true;
+      } else if (arg == "--name") {
+        name = value();
+      } else if (arg == "--samples") {
+        samples = value();
+      } else if (arg == "--timeout-ms") {
+        options.request_timeout_ms = static_cast<int>(std::stoul(value()));
+      } else {
+        throw Error("unknown argument: " + std::string(arg) + "\n" + kUsage);
+      }
+    }
+    if (method.empty() || options.port == 0) throw Error(kUsage);
+
+    std::string params = "{}";
+    if (method == "upsim" || method == "paths" || method == "availability") {
+      if (composite.empty() || (mapping_path.empty() && !have_inline)) {
+        throw Error("method '" + method +
+                    "' needs --composite and --mapping/--map\n" + kUsage);
+      }
+      const mapping::ServiceMapping m =
+          have_inline ? inline_mapping
+                      : mapping::ServiceMapping::load(mapping_path);
+      params = server::query_params_json(composite, m, name);
+      if (!samples.empty()) {
+        // Splice the Monte-Carlo sample count into the params object.
+        params.back() = ',';
+        params += "\"monte_carlo_samples\":" + samples + "}";
+      }
+    } else if (method == "invalidate_mapping") {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("name");
+      w.value(name);
+      w.end_object();
+      params = std::move(w).str();
+    }
+
+    net::Client client(options);
+    const std::string raw = client.call_raw(method, params);
+    std::cout << raw << "\n";
+    // Exit non-zero on protocol errors so shell pipelines can branch.
+    const auto doc = obs::json_parse(raw);
+    return static_cast<int>(doc.at("status").number) == 200 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "upsim_query: " << e.what() << "\n";
+    return 1;
+  }
+}

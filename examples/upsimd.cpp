@@ -1,0 +1,171 @@
+// upsimd — the UPSIM serving daemon: loads an infrastructure bundle, builds
+// a PerspectiveEngine, and serves the wire protocol of
+// src/server/protocol.hpp over TCP until SIGINT/SIGTERM, then drains
+// gracefully.
+//
+//   upsimd --bundle net.xml --port 7777 [--threads 8] [--record]
+//          [--max-connections 64] [--max-backlog 128]
+//          [--metrics-out m.json] [--trace-out t.json]
+//   upsimd --demo [--port 7777] ...         # self-contained USI case study
+//
+// --record switches the engine's record_in_space on (each served
+// perspective is inserted into the model space, UpsimGenerator-style); the
+// default is pure serving.  --metrics-out writes the final obs snapshot —
+// request counts by method/status, queue-wait and handling latency
+// histograms, bytes in/out — on shutdown.
+//
+// Query it with examples/upsim_query.cpp or load it with
+// examples/upsim_loadgen.cpp; docs/TUTORIAL.md §10 is the walkthrough.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "casestudy/usi.hpp"
+#include "engine/perspective_engine.hpp"
+#include "obs/obs.hpp"
+#include "server/server.hpp"
+#include "umlio/serialize.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+constexpr const char* kUsage =
+    "usage: upsimd --bundle net.xml [--port P] [--threads N] [--record]\n"
+    "              [--max-connections N] [--max-backlog N]\n"
+    "              [--metrics-out m.json] [--trace-out t.json]\n"
+    "   or: upsimd --demo [same options]      (self-contained USI bundle)";
+
+struct Args {
+  std::string bundle_path;
+  std::string metrics_out;
+  std::string trace_out;
+  upsim::server::ServerOptions server;
+  std::size_t threads = 0;
+  bool record = false;
+  bool demo = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.server.port = 7777;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw upsim::Error("missing value after " + std::string(arg));
+      }
+      return argv[++i];
+    };
+    if (arg == "--bundle") {
+      args.bundle_path = value();
+    } else if (arg == "--port") {
+      args.server.port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--threads") {
+      args.threads = std::stoul(value());
+    } else if (arg == "--record") {
+      args.record = true;
+    } else if (arg == "--max-connections") {
+      args.server.max_connections = std::stoul(value());
+    } else if (arg == "--max-backlog") {
+      args.server.max_backlog = std::stoul(value());
+    } else if (arg == "--metrics-out") {
+      args.metrics_out = value();
+    } else if (arg == "--trace-out") {
+      args.trace_out = value();
+    } else if (arg == "--demo") {
+      args.demo = true;
+    } else {
+      throw upsim::Error("unknown argument: " + std::string(arg) + "\n" +
+                         kUsage);
+    }
+  }
+  if (args.demo == !args.bundle_path.empty()) {
+    // exactly one of --demo / --bundle
+    throw upsim::Error(kUsage);
+  }
+  return args;
+}
+
+/// Writes the USI case study to a temp bundle so the demo exercises the
+/// same load path as real usage.
+std::string write_demo_bundle() {
+  const auto path =
+      std::filesystem::temp_directory_path() / "upsimd_demo_bundle.xml";
+  auto cs = upsim::casestudy::make_usi_case_study();
+  upsim::umlio::UmlBundle bundle;
+  bundle.profiles.push_back(std::move(cs.availability_profile));
+  bundle.profiles.push_back(std::move(cs.network_profile));
+  bundle.classes = std::move(cs.classes);
+  bundle.objects = std::move(cs.infrastructure);
+  bundle.services = std::move(cs.services);
+  upsim::umlio::save_bundle(bundle, path.string());
+  return path.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upsim;
+  try {
+    Args args = parse_args(argc, argv);
+    if (!args.metrics_out.empty() || !args.trace_out.empty()) {
+      obs::set_enabled(true);
+    }
+    if (args.demo && args.bundle_path.empty()) {
+      args.bundle_path = write_demo_bundle();
+      std::cout << "demo mode: wrote USI bundle to " << args.bundle_path
+                << "\n";
+    }
+
+    const umlio::UmlBundle bundle = umlio::load_bundle(args.bundle_path);
+    if (bundle.objects == nullptr || bundle.services == nullptr) {
+      throw Error("bundle must contain an object model and services");
+    }
+
+    engine::EngineOptions engine_options;
+    engine_options.threads = args.threads;
+    engine_options.record_in_space = args.record;
+    engine::PerspectiveEngine engine(*bundle.objects, engine_options);
+    server::Server server(engine, *bundle.services, args.server);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    std::cout << "upsimd: serving '" << bundle.objects->name() << "' on "
+              << args.server.host << ":" << server.port() << " ("
+              << engine.pool().thread_count() << " worker threads, "
+              << (args.record ? "recording" : "pure serving")
+              << ")\npress Ctrl-C to drain and exit\n";
+
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::cout << "upsimd: draining " << server.requests_in_flight()
+              << " in-flight request(s) across " << server.active_connections()
+              << " connection(s)\n";
+    server.stop();
+
+    const auto stats = engine.cache_stats();
+    std::cout << "upsimd: stopped; path cache " << stats.hits << " hits / "
+              << stats.misses << " misses, epoch " << engine.epoch() << "\n";
+    if (!args.trace_out.empty()) {
+      obs::Tracer::global().write_chrome_json(args.trace_out);
+      std::cout << "wrote trace to " << args.trace_out << "\n";
+    }
+    if (!args.metrics_out.empty()) {
+      obs::Registry::global().snapshot().write_json(args.metrics_out);
+      std::cout << "wrote metrics to " << args.metrics_out << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "upsimd: " << e.what() << "\n";
+    return 1;
+  }
+}

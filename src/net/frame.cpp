@@ -1,0 +1,41 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace upsim::net {
+
+void write_frame(Socket& sock, std::string_view payload) {
+  if (payload.size() > kFrameAbsoluteMax) {
+    throw NetError("net: payload of " + std::to_string(payload.size()) +
+                   " bytes does not fit a u32 length prefix");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + payload.size());
+  wire.push_back(static_cast<char>((len >> 24) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 8) & 0xFF));
+  wire.push_back(static_cast<char>(len & 0xFF));
+  wire.append(payload);
+  sock.send_all(wire.data(), wire.size());
+}
+
+std::optional<std::string> read_frame(Socket& sock,
+                                      std::size_t max_payload_bytes) {
+  unsigned char header[kFrameHeaderBytes];
+  if (!sock.recv_exact(header, sizeof header)) return std::nullopt;
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (max_payload_bytes != 0 && len > max_payload_bytes) {
+    throw FrameTooLargeError(len, max_payload_bytes);
+  }
+  std::string payload(len, '\0');
+  if (len != 0 && !sock.recv_exact(payload.data(), len)) {
+    throw NetError("net: peer closed connection before frame payload");
+  }
+  return payload;
+}
+
+}  // namespace upsim::net

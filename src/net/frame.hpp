@@ -1,0 +1,58 @@
+// Message framing for the upsimd wire protocol: every message is a 4-byte
+// big-endian payload length followed by that many bytes of UTF-8 JSON.
+//
+//   +----------------+---------------------------+
+//   | length (u32 BE)| payload (length bytes)    |
+//   +----------------+---------------------------+
+//
+// The length covers the payload only.  A reader enforces a maximum payload
+// size *before* allocating — a hostile 4 GiB length prefix costs nothing —
+// and distinguishes a clean end-of-stream at a frame boundary (the peer
+// hung up between requests) from a mid-frame close (a truncated message).
+// The framing layer knows nothing about JSON; src/server/protocol.hpp
+// defines what the payloads mean.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace upsim::net {
+
+/// Frame header size on the wire.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Hard cap implied by the u32 length field.
+inline constexpr std::size_t kFrameAbsoluteMax = 0xFFFFFFFFu;
+
+/// Announced payload length exceeded the reader's limit.  The stream is not
+/// resynchronizable past this (the payload was never read), so the
+/// connection must be closed after reporting the error.
+class FrameTooLargeError : public NetError {
+ public:
+  FrameTooLargeError(std::size_t announced, std::size_t limit)
+      : NetError("net: frame of " + std::to_string(announced) +
+                 " bytes exceeds limit of " + std::to_string(limit) +
+                 " bytes"),
+        announced_(announced) {}
+  [[nodiscard]] std::size_t announced() const noexcept { return announced_; }
+
+ private:
+  std::size_t announced_;
+};
+
+/// Sends one frame (header + payload in a single send_all call, so small
+/// messages leave in one segment).  Throws NetError/TimeoutError.
+void write_frame(Socket& sock, std::string_view payload);
+
+/// Reads one frame.  Returns nullopt on a clean end-of-stream before any
+/// header byte; throws FrameTooLargeError when the announced length exceeds
+/// `max_payload_bytes` (0 = only the u32 cap), NetError on a mid-frame
+/// close, TimeoutError when the socket's receive timeout fires.
+[[nodiscard]] std::optional<std::string> read_frame(
+    Socket& sock, std::size_t max_payload_bytes);
+
+}  // namespace upsim::net

@@ -1,0 +1,232 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace upsim::net {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+[[nodiscard]] sockaddr_in make_address(const std::string& host,
+                                       std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("net: not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+void set_timeout(int fd, int optname, int ms, const char* what) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof tv) != 0) {
+    throw NetError("net: " + errno_text(what));
+  }
+}
+
+/// poll() restarted across EINTR with the remaining budget; returns the
+/// revents of `fd` (0 on timeout).
+[[nodiscard]] short poll_one(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return pfd.revents;
+    if (rc == 0) return 0;
+    if (errno != EINTR) throw NetError("net: " + errno_text("poll"));
+  }
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the server
+    // process with SIGPIPE.
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent > 0) {
+      p += sent;
+      n -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TimeoutError("net: send timed out");
+    }
+    throw NetError("net: " + errno_text("send"));
+  }
+}
+
+std::size_t Socket::recv_some(void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TimeoutError("net: receive timed out");
+    }
+    throw NetError("net: " + errno_text("recv"));
+  }
+}
+
+bool Socket::recv_exact(void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t got = recv_some(p + done, n - done);
+    if (got == 0) {
+      if (done == 0) return false;
+      throw NetError("net: peer closed connection mid-message (" +
+                     std::to_string(done) + " of " + std::to_string(n) +
+                     " bytes)");
+    }
+    done += got;
+  }
+  return true;
+}
+
+void Socket::set_recv_timeout_ms(int ms) {
+  set_timeout(fd_, SO_RCVTIMEO, ms, "setsockopt(SO_RCVTIMEO)");
+}
+
+void Socket::set_send_timeout_ms(int ms) {
+  set_timeout(fd_, SO_SNDTIMEO, ms, "setsockopt(SO_SNDTIMEO)");
+}
+
+void Socket::set_nodelay(bool on) {
+  const int flag = on ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof flag) != 0) {
+    throw NetError("net: " + errno_text("setsockopt(TCP_NODELAY)"));
+  }
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
+  const sockaddr_in addr = make_address(host, port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw NetError("net: " + errno_text("socket"));
+
+  // Non-blocking connect + poll bounds the handshake; the socket goes back
+  // to blocking mode afterwards (per-operation timeouts take over).
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw NetError("net: " + errno_text("fcntl"));
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      throw NetError("net: connect to " + host + ":" + std::to_string(port) +
+                     " failed: " + std::strerror(errno));
+    }
+    const short revents =
+        poll_one(sock.fd(), POLLOUT, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (revents == 0) {
+      throw TimeoutError("net: connect to " + host + ":" +
+                         std::to_string(port) + " timed out after " +
+                         std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw NetError("net: " + errno_text("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      throw NetError("net: connect to " + host + ":" + std::to_string(port) +
+                     " failed: " + std::strerror(err));
+    }
+  }
+  if (::fcntl(sock.fd(), F_SETFL, flags) < 0) {
+    throw NetError("net: " + errno_text("fcntl"));
+  }
+  sock.set_nodelay(true);
+  return sock;
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port, int backlog) {
+  sockaddr_in addr = make_address(host, port);
+  sock_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock_.valid()) throw NetError("net: " + errno_text("socket"));
+  const int one = 1;
+  if (::setsockopt(sock_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) !=
+      0) {
+    throw NetError("net: " + errno_text("setsockopt(SO_REUSEADDR)"));
+  }
+  if (::bind(sock_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw NetError("net: bind to " + host + ":" + std::to_string(port) +
+                   " failed: " + std::strerror(errno));
+  }
+  if (::listen(sock_.fd(), backlog) != 0) {
+    throw NetError("net: " + errno_text("listen"));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(sock_.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw NetError("net: " + errno_text("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  if (!sock_.valid()) throw NetError("net: accept on closed listener");
+  const short revents = poll_one(sock_.fd(), POLLIN, timeout_ms);
+  if (revents == 0) return std::nullopt;
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      return std::nullopt;  // raced with a vanished client; just re-poll
+    }
+    throw NetError("net: " + errno_text("accept"));
+  }
+  Socket client(fd);
+  client.set_nodelay(true);
+  return client;
+}
+
+}  // namespace upsim::net

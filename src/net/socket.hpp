@@ -1,0 +1,115 @@
+// POSIX TCP socket wrappers for the upsimd serving stack: an RAII `Socket`
+// with send/receive timeouts, a bounded-timeout `connect_tcp`, and a
+// `Listener` that binds, listens and accepts with a poll-based timeout so
+// an accept loop can observe a stop flag.
+//
+// Scope is deliberately minimal — IPv4 over TCP on the addresses the
+// serving layer needs ("127.0.0.1", "0.0.0.0", dotted quads) — because the
+// wire protocol above it (net/frame.hpp) is transport-agnostic and nothing
+// else in upsim talks to the network.  All failures throw NetError (or the
+// TimeoutError subclass so callers can tell "slow" from "broken"), carrying
+// the errno text of the failing call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace upsim::net {
+
+/// Any socket-layer failure (connect/bind/send/receive/...).
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// A configured timeout elapsed before the operation completed.
+class TimeoutError : public NetError {
+ public:
+  explicit TimeoutError(const std::string& what) : NetError(what) {}
+};
+
+/// Move-only owner of a connected TCP socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Blocks until all `n` bytes are sent.  Throws TimeoutError when the
+  /// send timeout elapses mid-write, NetError on any other failure
+  /// (including the peer closing the connection).
+  void send_all(const void* data, std::size_t n);
+
+  /// Receives up to `n` bytes; returns 0 on orderly peer shutdown.  Throws
+  /// TimeoutError when the receive timeout elapses with nothing read.
+  [[nodiscard]] std::size_t recv_some(void* buf, std::size_t n);
+
+  /// Receives exactly `n` bytes; returns false when the peer closed before
+  /// the *first* byte (clean end-of-stream), throws NetError when it closed
+  /// mid-way (a truncated message is an error, an idle close is not).
+  [[nodiscard]] bool recv_exact(void* buf, std::size_t n);
+
+  /// 0 disables the respective timeout (block forever).
+  void set_recv_timeout_ms(int ms);
+  void set_send_timeout_ms(int ms);
+  /// Disables Nagle's algorithm — a must for small request/response frames.
+  void set_nodelay(bool on);
+
+  /// Half-closes the read side: a peer blocked sending sees EPIPE, our own
+  /// pending/future receives return end-of-stream.  Used by the server to
+  /// drain a connection (stop reading, finish writing) during shutdown.
+  void shutdown_read() noexcept;
+  /// Full shutdown (FIN both ways) without releasing the descriptor.  A
+  /// handler thread ends its connection this way so another thread holding
+  /// a reference may still call shutdown_* safely; the owner close()s
+  /// later.
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to `host:port`, waiting at most `timeout_ms` (0 = no limit) for
+/// the connection to establish.  Throws TimeoutError/NetError.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port,
+                                 int timeout_ms = 0);
+
+/// Listening TCP socket bound to `host:port`.  Port 0 binds an ephemeral
+/// port, readable back through port() — tests and the loadgen's self-hosted
+/// mode depend on that.
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port, int backlog = 128);
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+  ~Listener() = default;
+
+  /// The actually bound port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+
+  /// Waits up to `timeout_ms` for a connection; nullopt on timeout (so the
+  /// caller's loop can check its stop flag).  Throws NetError once closed.
+  [[nodiscard]] std::optional<Socket> accept(int timeout_ms);
+
+  void close() noexcept { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace upsim::net

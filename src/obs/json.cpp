@@ -107,6 +107,11 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  comma();
+  out_ += json;
+}
+
 // ---------------------------------------------------------------------------
 // Reader
 
@@ -127,9 +132,15 @@ namespace {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view input) : input_(input) {}
+  JsonParser(std::string_view input, const JsonLimits& limits)
+      : input_(input), limits_(limits) {}
 
   JsonValue parse_document() {
+    if (limits_.max_bytes != 0 && input_.size() > limits_.max_bytes) {
+      fail("document size " + std::to_string(input_.size()) +
+           " exceeds limit of " + std::to_string(limits_.max_bytes) +
+           " bytes");
+    }
     skip_ws();
     JsonValue v = parse_value();
     skip_ws();
@@ -211,7 +222,24 @@ class JsonParser {
     return v;
   }
 
+  /// Guards one level of array/object nesting; parse_object/parse_array
+  /// construct it so a hostile "[[[[..." fails with a clear error long
+  /// before the parser's own recursion could overflow the stack.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& p) : parser(p) {
+      ++parser.depth_;
+      if (parser.limits_.max_depth != 0 &&
+          parser.depth_ > parser.limits_.max_depth) {
+        parser.fail("nesting depth exceeds limit of " +
+                    std::to_string(parser.limits_.max_depth));
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    JsonParser& parser;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::Object;
@@ -236,6 +264,7 @@ class JsonParser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::Array;
@@ -361,13 +390,15 @@ class JsonParser {
   }
 
   std::string_view input_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-JsonValue json_parse(std::string_view input) {
-  return JsonParser(input).parse_document();
+JsonValue json_parse(std::string_view input, const JsonLimits& limits) {
+  return JsonParser(input, limits).parse_document();
 }
 
 }  // namespace upsim::obs

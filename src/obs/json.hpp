@@ -7,6 +7,13 @@
 // the standard escapes (\uXXXX included, surrogate pairs validated), finite
 // numbers, true/false/null — and rejects everything else with a ParseError
 // carrying line/column, mirroring src/xml's error discipline.
+//
+// Because the reader also parses *untrusted network input* (the upsimd wire
+// protocol in src/server), every parse is bounded: a nesting-depth limit
+// keeps a hostile "[[[[..." from exhausting the parser's recursion stack,
+// and a document-size limit rejects oversized payloads before any work.
+// Both default on; callers that trust their input can raise or lift them
+// through JsonLimits.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,10 @@ class JsonWriter {
   void value(int v) { value(static_cast<std::int64_t>(v)); }
   void value(bool v);
   void null();
+  /// Splices `json` — which must already be a well-formed JSON value — into
+  /// the document verbatim (comma handling as for any other value).  Lets
+  /// composed documents embed pre-serialized parts without re-parsing.
+  void raw_value(std::string_view json);
 
   [[nodiscard]] std::string str() && { return std::move(out_); }
   [[nodiscard]] const std::string& str() const& { return out_; }
@@ -70,8 +81,21 @@ struct JsonValue {
   [[nodiscard]] bool has(std::string_view key) const noexcept;
 };
 
+/// Hard bounds enforced while parsing; 0 means unlimited.  The defaults are
+/// generous for every trusted document upsim itself writes (traces, metrics,
+/// BENCH_*.json) while keeping a malicious network payload from
+/// stack-overflowing or ballooning the process.
+struct JsonLimits {
+  /// Maximum nesting depth of arrays/objects (the document root is depth 1).
+  std::size_t max_depth = 128;
+  /// Maximum document size in bytes, checked before parsing starts.
+  std::size_t max_bytes = 32u << 20;
+};
+
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
-/// garbage rejected).  Throws upsim::ParseError with position on error.
-[[nodiscard]] JsonValue json_parse(std::string_view input);
+/// garbage rejected).  Throws upsim::ParseError with position on error or
+/// when a limit is exceeded.
+[[nodiscard]] JsonValue json_parse(std::string_view input,
+                                   const JsonLimits& limits = {});
 
 }  // namespace upsim::obs

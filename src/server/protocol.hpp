@@ -1,0 +1,111 @@
+// The upsimd wire protocol: JSON request/response documents carried in
+// net/frame.hpp frames.
+//
+// Request:
+//   {"id": <u64, optional, echoed>, "method": "<name>", "params": {...}}
+//
+// Response:
+//   {"id": <echoed>, "status": 200, "result": {...}}
+//   {"id": <echoed>, "status": <code>, "error": {"code": "...",
+//                                                "message": "..."}}
+//
+// Methods (see docs/ARCHITECTURE.md for the full field-by-field spec):
+//   upsim                  generate a perspective's UPSIM (instances, links,
+//                          per-pair paths, truncation flags)
+//   paths                  the discovery part only
+//   availability           upsim + the dependability estimators
+//   invalidate_topology    change class 1: re-import, bump epoch
+//   invalidate_properties  change class 2: re-project, keep cache
+//   invalidate_mapping     change class 4: forget one recorded perspective
+//   metrics                obs registry snapshot + engine cache stats
+//   health                 liveness, epoch, connection counts
+//
+// Status codes (HTTP-flavoured so they read on sight): 200 ok,
+// 400 bad request (malformed document/params), 404 unknown name,
+// 413 frame over the size limit, 500 handler bug, 503 overloaded/draining.
+//
+// Result serialization is deliberately deterministic — fixed key order,
+// fixed float formatting, no timings or other wall-clock noise — so a
+// served response is byte-identical to serializing an in-process
+// engine::PerspectiveEngine answer (tests/test_server.cpp holds it to
+// that).  Both the server and the differential tests call these writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/analysis.hpp"
+#include "core/upsim_generator.hpp"
+#include "mapping/mapping.hpp"
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace upsim::server {
+
+inline constexpr int kStatusOk = 200;
+inline constexpr int kStatusBadRequest = 400;
+inline constexpr int kStatusNotFound = 404;
+inline constexpr int kStatusPayloadTooLarge = 413;
+inline constexpr int kStatusInternalError = 500;
+inline constexpr int kStatusUnavailable = 503;
+
+/// A request that cannot be served, carrying the protocol status and
+/// machine-readable code to respond with.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(int status, std::string code, const std::string& message)
+      : Error(message), status_(status), code_(std::move(code)) {}
+
+  [[nodiscard]] int status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  int status_;
+  std::string code_;
+};
+
+/// One parsed request envelope.
+struct Request {
+  std::uint64_t id = 0;
+  std::string method;
+  obs::JsonValue params;  ///< object; empty object when absent
+};
+
+/// Validates the envelope shape; throws ProtocolError(400) on a missing or
+/// mistyped member.  The params *content* is validated by each method.
+[[nodiscard]] Request parse_request(const obs::JsonValue& document);
+
+/// Reads params' "mapping": [{"service","requester","provider"}, ...] into
+/// a ServiceMapping; throws ProtocolError(400) on shape errors.
+[[nodiscard]] mapping::ServiceMapping mapping_from_params(
+    const obs::JsonValue& params);
+
+/// Builds the params object for upsim/paths/availability from an in-memory
+/// mapping — the client-side inverse of mapping_from_params.  Empty `name`
+/// omits the member (server default applies).
+[[nodiscard]] std::string query_params_json(
+    std::string_view composite, const mapping::ServiceMapping& mapping,
+    std::string_view name = {});
+
+/// Envelope builders.  `result_json` must be a complete JSON value.
+[[nodiscard]] std::string make_response(std::uint64_t id,
+                                        std::string_view result_json);
+[[nodiscard]] std::string make_error(std::uint64_t id, int status,
+                                     std::string_view code,
+                                     std::string_view message);
+
+/// True when any pair's discovery was cut short by a limit — surfaced as
+/// the "truncated" member of upsim/paths/availability results so bounded
+/// discovery can never silently pass for the exhaustive kind.
+[[nodiscard]] bool any_truncated(const core::UpsimResult& result);
+
+/// Result payload for `upsim` (paths_only=false) and `paths` (=true).
+[[nodiscard]] std::string upsim_result_json(const core::UpsimResult& result,
+                                            bool paths_only);
+
+/// Result payload for `availability`.
+[[nodiscard]] std::string availability_json(
+    const core::AvailabilityReport& report, const core::UpsimResult& result);
+
+}  // namespace upsim::server

@@ -1,0 +1,425 @@
+#include "server/server.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "obs/obs.hpp"
+
+namespace upsim::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+void count(const std::string& name, std::uint64_t n = 1) {
+  if (obs::enabled()) obs::Registry::global().counter(name).add(n);
+}
+
+void record(const std::string& name, double v) {
+  if (obs::enabled()) obs::Registry::global().histogram(name).record(v);
+}
+
+void gauge(const std::string& name, double v) {
+  if (obs::enabled()) obs::Registry::global().gauge(name).set(v);
+}
+
+}  // namespace
+
+Server::Server(engine::PerspectiveEngine& engine,
+               const service::ServiceCatalog& services, ServerOptions options)
+    : engine_(engine),
+      services_(services),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool : &engine.pool()) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running()) throw Error("server: already running");
+  listener_.emplace(options_.host, options_.port,
+                    static_cast<int>(options_.max_connections));
+  port_ = listener_->port();
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Drain order: refuse new work first, then stop listening, then
+  // half-close readers so in-flight requests finish and flush.
+  draining_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_->close();
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& conn : connections_) conn->sock.shutdown_read();
+  }
+  std::vector<std::unique_ptr<Connection>> doomed;
+  {
+    std::lock_guard lock(connections_mutex_);
+    doomed.swap(connections_);
+  }
+  for (const auto& conn : doomed) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+void Server::reap_connections() {
+  std::lock_guard lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (running()) {
+    std::optional<net::Socket> accepted;
+    try {
+      accepted = listener_->accept(/*timeout_ms=*/50);
+    } catch (const std::exception&) {
+      break;  // listener closed under us: shutting down
+    }
+    if (!accepted) continue;
+    reap_connections();
+
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      count("server.connections_rejected");
+      try {
+        accepted->set_send_timeout_ms(options_.write_timeout_ms);
+        net::write_frame(*accepted,
+                         make_error(0, kStatusUnavailable,
+                                    "too_many_connections",
+                                    "connection limit reached"));
+      } catch (const std::exception&) {
+        // Best effort; the close below says it all.
+      }
+      continue;
+    }
+
+    count("server.connections_accepted");
+    auto conn = std::make_unique<Connection>();
+    conn->sock = *std::move(accepted);
+    Connection* raw = conn.get();
+    gauge("server.connections_active",
+          static_cast<double>(
+              active_connections_.fetch_add(1, std::memory_order_relaxed) +
+              1));
+    conn->reader = std::thread([this, raw] { serve_connection(raw); });
+    std::lock_guard lock(connections_mutex_);
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::serve_connection(Connection* conn) {
+  try {
+    conn->sock.set_recv_timeout_ms(options_.read_timeout_ms);
+    conn->sock.set_send_timeout_ms(options_.write_timeout_ms);
+    for (;;) {
+      std::string payload;
+      try {
+        auto frame = net::read_frame(conn->sock, options_.max_request_bytes);
+        if (!frame) break;  // clean hang-up (or our drain half-close)
+        payload = *std::move(frame);
+      } catch (const net::FrameTooLargeError& e) {
+        // The oversized payload was never read, so the stream is beyond
+        // recovery: report and close.
+        write_response(conn, kStatusPayloadTooLarge,
+                       make_error(0, kStatusPayloadTooLarge,
+                                  "payload_too_large", e.what()));
+        break;
+      } catch (const net::TimeoutError&) {
+        count("server.requests_timed_out");
+        break;  // stalled or idle past the budget
+      } catch (const net::NetError&) {
+        break;  // reset mid-frame etc.; nothing to say to anyone
+      }
+      count("server.bytes_in",
+            payload.size() + net::kFrameHeaderBytes);
+
+      if (draining_.load(std::memory_order_acquire)) {
+        write_response(conn, kStatusUnavailable,
+                       make_error(0, kStatusUnavailable, "draining",
+                                  "server is shutting down"));
+        continue;
+      }
+      if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
+          options_.max_backlog) {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        write_response(conn, kStatusUnavailable,
+                       make_error(0, kStatusUnavailable, "busy",
+                                  "request backlog limit reached"));
+        continue;
+      }
+      // The worker writes the response itself *before* fulfilling the
+      // future: the client's wakeup is the very next thing after the
+      // handler, and this reader's wakeup happens off the critical path.
+      // The reader still waits before touching the socket again, so a
+      // connection has at most one request in flight and responses cannot
+      // interleave.
+      const auto enqueued = Clock::now();
+      auto fut = pool_->submit([this, conn, &payload, enqueued] {
+        record("server.queue_wait_us", us_since(enqueued));
+        auto [status, response] = handle_payload(payload);
+        bool ok = true;
+        try {
+          write_response(conn, status, response);
+        } catch (const std::exception&) {
+          ok = false;  // peer vanished or write timeout: drop the connection
+        }
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return ok;
+      });
+      if (!fut.get()) break;
+    }
+  } catch (const std::exception&) {
+    // Send-side failures (peer vanished, write timeout): drop the
+    // connection; per-request accounting already happened.
+  }
+  conn->sock.shutdown_both();
+  gauge("server.connections_active",
+        static_cast<double>(
+            active_connections_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void Server::write_response(Connection* conn, int status,
+                            std::string_view response) {
+  net::write_frame(conn->sock, response);
+  count("server.responses." + std::to_string(status));
+  count("server.bytes_out", response.size() + net::kFrameHeaderBytes);
+}
+
+std::pair<int, std::string> Server::handle_payload(std::string_view payload) {
+  obs::ScopedSpan span("server.request", "server");
+  const auto started = Clock::now();
+  std::uint64_t id = 0;
+  int status = kStatusOk;
+  std::string response;
+  try {
+    const obs::JsonValue document = obs::json_parse(
+        payload, obs::JsonLimits{/*max_depth=*/64,
+                                 /*max_bytes=*/options_.max_request_bytes});
+    const Request req = parse_request(document);
+    id = req.id;
+    count("server.requests." + req.method);
+    response = dispatch(req);
+  } catch (const ProtocolError& e) {
+    status = e.status();
+    response = make_error(id, status, e.code(), e.what());
+  } catch (const ParseError& e) {
+    status = kStatusBadRequest;
+    response = make_error(id, status, "parse_error", e.what());
+  } catch (const NotFoundError& e) {
+    status = kStatusNotFound;
+    response = make_error(id, status, "not_found", e.what());
+  } catch (const ModelError& e) {
+    status = kStatusBadRequest;
+    response = make_error(id, status, "invalid_model", e.what());
+  } catch (const std::exception& e) {
+    status = kStatusInternalError;
+    response = make_error(id, status, "internal_error", e.what());
+  }
+  record("server.handle_us", us_since(started));
+  return {status, std::move(response)};
+}
+
+std::string Server::dispatch(const Request& req) {
+  if (req.method == "upsim") {
+    return make_response(req.id, handle_query(req, /*paths_only=*/false));
+  }
+  if (req.method == "paths") {
+    return make_response(req.id, handle_query(req, /*paths_only=*/true));
+  }
+  if (req.method == "availability") {
+    return make_response(req.id, handle_availability(req));
+  }
+  if (req.method == "invalidate_topology") {
+    engine_.notify_topology_changed();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("epoch");
+    w.value(engine_.epoch());
+    w.end_object();
+    return make_response(req.id, std::move(w).str());
+  }
+  if (req.method == "invalidate_properties") {
+    engine_.notify_properties_changed();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("epoch");
+    w.value(engine_.epoch());
+    w.end_object();
+    return make_response(req.id, std::move(w).str());
+  }
+  if (req.method == "invalidate_mapping") {
+    const obs::JsonValue& params = req.params;
+    if (!params.has("name") ||
+        params.at("name").kind != obs::JsonValue::Kind::String) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "invalidate_mapping needs params 'name'");
+    }
+    engine_.notify_mapping_changed(params.at("name").string);
+    return make_response(req.id, R"({"ok":true})");
+  }
+  if (req.method == "metrics") {
+    return make_response(req.id, handle_metrics());
+  }
+  if (req.method == "health") {
+    return make_response(req.id, handle_health());
+  }
+  throw ProtocolError(kStatusBadRequest, "unknown_method",
+                      "unknown method '" + req.method + "'");
+}
+
+namespace {
+
+/// Shared params of upsim/paths/availability: composite name, mapping and
+/// the optional perspective name.
+struct QueryParams {
+  const service::CompositeService* composite;
+  mapping::ServiceMapping mapping;
+  std::string name;
+};
+
+QueryParams parse_query_params(const Request& req,
+                               const service::ServiceCatalog& services,
+                               const std::string& default_name) {
+  const obs::JsonValue& params = req.params;
+  if (!params.has("composite") ||
+      params.at("composite").kind != obs::JsonValue::Kind::String) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "params 'composite' (string) is required");
+  }
+  QueryParams q{&services.get_composite(params.at("composite").string),
+                mapping_from_params(params), default_name};
+  if (params.has("name")) {
+    if (params.at("name").kind != obs::JsonValue::Kind::String) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'name' must be a string");
+    }
+    q.name = params.at("name").string;
+  }
+  return q;
+}
+
+}  // namespace
+
+std::string Server::handle_query(const Request& req, bool paths_only) {
+  QueryParams q =
+      parse_query_params(req, services_, options_.default_perspective);
+  if (options_.response_cache_entries == 0) {
+    const core::UpsimResult result =
+        engine_.query(*q.composite, q.mapping, std::move(q.name));
+    return upsim_result_json(result, paths_only);
+  }
+
+  // The canonical params serialization doubles as the cache key; the epoch
+  // is read *before* the query so a concurrent topology bump can only key
+  // fresh data under a stale epoch (a harmless miss later), never stale
+  // data under a fresh one.
+  const std::uint64_t epoch = engine_.epoch();
+  std::string key = (paths_only ? "paths@" : "upsim@") +
+                    std::to_string(epoch) + ':' +
+                    query_params_json(q.composite->name(), q.mapping, q.name);
+  {
+    std::shared_lock lock(response_cache_mutex_);
+    const auto it = response_cache_.find(key);
+    if (it != response_cache_.end()) {
+      const std::shared_ptr<const std::string> hit = it->second;
+      lock.unlock();
+      count("server.response_cache.hits");
+      return *hit;
+    }
+  }
+  count("server.response_cache.misses");
+  const core::UpsimResult result =
+      engine_.query(*q.composite, q.mapping, std::move(q.name));
+  auto entry =
+      std::make_shared<const std::string>(upsim_result_json(result, paths_only));
+  {
+    std::unique_lock lock(response_cache_mutex_);
+    if (response_cache_.size() >= options_.response_cache_entries) {
+      response_cache_.clear();
+    }
+    response_cache_.emplace(std::move(key), entry);
+  }
+  return *entry;
+}
+
+std::string Server::handle_availability(const Request& req) {
+  QueryParams q =
+      parse_query_params(req, services_, options_.default_perspective);
+  core::AnalysisOptions analysis;
+  // Deterministic by default: the Monte-Carlo cross-check only runs when
+  // asked, with a fixed (overridable) seed.
+  analysis.monte_carlo_samples = 0;
+  const obs::JsonValue& params = req.params;
+  if (params.has("monte_carlo_samples")) {
+    analysis.monte_carlo_samples = static_cast<std::size_t>(
+        params.at("monte_carlo_samples").number);
+  }
+  if (params.has("seed")) {
+    analysis.monte_carlo_seed =
+        static_cast<std::uint64_t>(params.at("seed").number);
+  }
+  const core::UpsimResult result =
+      engine_.query(*q.composite, q.mapping, std::move(q.name));
+  return availability_json(core::analyze_availability(result, analysis),
+                           result);
+}
+
+std::string Server::handle_metrics() {
+  const engine::CacheStats stats = engine_.cache_stats();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("epoch");
+  w.value(engine_.epoch());
+  w.key("cache");
+  w.begin_object();
+  w.key("hits");
+  w.value(static_cast<std::uint64_t>(stats.hits));
+  w.key("misses");
+  w.value(static_cast<std::uint64_t>(stats.misses));
+  w.key("evictions");
+  w.value(static_cast<std::uint64_t>(stats.evictions));
+  w.key("size");
+  w.value(static_cast<std::uint64_t>(stats.size));
+  w.key("hit_rate");
+  w.value(stats.hit_rate());
+  w.end_object();
+  w.key("metrics");
+  w.raw_value(obs::Registry::global().snapshot().to_json());
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_health() {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("status");
+  w.value("ok");
+  w.key("epoch");
+  w.value(engine_.epoch());
+  w.key("active_connections");
+  w.value(static_cast<std::uint64_t>(active_connections()));
+  w.key("in_flight");
+  w.value(static_cast<std::uint64_t>(requests_in_flight()));
+  w.key("draining");
+  w.value(draining_.load(std::memory_order_acquire));
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace upsim::server

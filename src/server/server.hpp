@@ -1,0 +1,173 @@
+// upsimd's serving core: a TCP request router over a shared
+// engine::PerspectiveEngine.
+//
+// Thread model — one acceptor thread, one lightweight reader thread per
+// connection, and a shared util::ThreadPool that executes every request
+// body:
+//
+//   acceptor ──accept──▶ connection reader ──frame──▶ pool worker
+//                         (waits for completion)       (engine query +
+//                                                       response write)
+//
+// The reader/pool split keeps slow clients from pinning engine capacity
+// (a reader blocked in recv costs a ~dormant thread, not a pool slot) and
+// funnels all CPU-bound work through one pool the operator can size.  The
+// pool worker writes the response frame itself before signalling the
+// reader: the client's wakeup directly follows the handler and the
+// reader's wakeup drops off the request's critical path (worth ~one
+// context switch per request on a loaded box).  The reader does not touch
+// the socket again until the worker is done, so a connection has at most
+// one request in flight and responses never interleave; the pool's
+// in-flight count is therefore bounded by the connection limit, and
+// `max_backlog` bounds it further — past it the server replies 503
+// immediately instead of queueing (fail-fast beats unbounded queueing
+// under overload).
+//
+// Graceful shutdown (stop()): stop accepting, half-close every
+// connection's read side so no *new* requests arrive, let in-flight
+// requests finish and their responses flush, then join everything.  A
+// request that slips in during the drain gets a 503 "draining".
+//
+// Instrumentation (when obs::enabled()): counters
+// server.connections_{accepted,rejected}, server.requests.<method>,
+// server.responses.<status>, server.bytes_{in,out}; gauge
+// server.connections_active; histograms server.queue_wait_us (frame read →
+// pool worker pickup) and server.handle_us (handler execution); spans
+// server.request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/perspective_engine.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "server/protocol.hpp"
+#include "service/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with Server::port().
+  std::uint16_t port = 0;
+  std::size_t max_connections = 64;
+  /// Request frames above this are refused with 413 and the connection is
+  /// closed (the payload is unread, so the stream cannot resync).
+  std::size_t max_request_bytes = 1u << 20;
+  /// In-flight requests beyond which new ones get an immediate 503.
+  std::size_t max_backlog = 128;
+  /// Per-frame read budget; an idle or stalled connection is closed when it
+  /// elapses.  0 = wait forever.
+  int read_timeout_ms = 30000;
+  int write_timeout_ms = 5000;
+  /// Pool that executes request handlers; null = the engine's pool.
+  util::ThreadPool* pool = nullptr;
+  /// Perspective name used when a request does not send "name".
+  std::string default_perspective = "net_view";
+  /// Entries in the served-result cache for upsim/paths (0 disables).
+  /// Results are deterministic for a (method, composite, mapping, name)
+  /// tuple at a fixed engine epoch, so repeated perspectives are served
+  /// from memory — only the response envelope (the echoed id) is built per
+  /// request.  Topology invalidation bumps the epoch, which retires every
+  /// cached result; property and mapping invalidations don't change these
+  /// results' bytes (names only, no property values), so entries survive
+  /// them.  `availability` is never cached: its numbers follow property
+  /// changes that leave the epoch alone.
+  std::size_t response_cache_entries = 1024;
+};
+
+class Server {
+ public:
+  /// The engine, catalog and (optional) pool must outlive the server.
+  Server(engine::PerspectiveEngine& engine,
+         const service::ServiceCatalog& services, ServerOptions options = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  /// stop()s if still running.
+  ~Server();
+
+  /// Binds, listens and starts accepting.  Throws net::NetError (e.g. port
+  /// in use); the server is not running afterwards in that case.
+  void start();
+
+  /// Graceful shutdown as described above.  Idempotent; safe to call from
+  /// any thread except a handler's own.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t requests_in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    net::Socket sock;
+    std::thread reader;
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* conn);
+  /// Joins and drops finished connections (called from the acceptor).
+  void reap_connections();
+  /// Writes one response frame and bumps the response/byte counters.
+  /// Callers serialize access to the connection's socket (see the thread
+  /// model above); throws on send failure.
+  void write_response(Connection* conn, int status, std::string_view response);
+
+  /// Parses and dispatches one request payload; never throws — every
+  /// failure becomes an error response.  Returns (status, response payload).
+  [[nodiscard]] std::pair<int, std::string> handle_payload(
+      std::string_view payload);
+  [[nodiscard]] std::string dispatch(const Request& req);
+
+  // Method handlers (return the result JSON; throw for error responses).
+  [[nodiscard]] std::string handle_query(const Request& req, bool paths_only);
+  [[nodiscard]] std::string handle_availability(const Request& req);
+  [[nodiscard]] std::string handle_metrics();
+  [[nodiscard]] std::string handle_health();
+
+  engine::PerspectiveEngine& engine_;
+  const service::ServiceCatalog& services_;
+  ServerOptions options_;
+  util::ThreadPool* pool_;
+
+  std::optional<net::Listener> listener_;
+  std::thread acceptor_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> active_connections_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Served-result cache (see ServerOptions::response_cache_entries).  The
+  // whole map is dropped when full — the working set of perspectives is
+  // tiny next to the limit, so eviction sophistication buys nothing here.
+  std::shared_mutex response_cache_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const std::string>>
+      response_cache_;
+};
+
+}  // namespace upsim::server

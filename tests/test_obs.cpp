@@ -297,6 +297,62 @@ TEST_F(ObsTest, JsonReaderHandlesEscapesAndUnicode) {
   EXPECT_DOUBLE_EQ(nums.array[2].number, 2000.0);
 }
 
+TEST_F(ObsTest, JsonReaderEnforcesNestingDepthLimit) {
+  // A server fed "[[[[..." 10k deep must get a clean ParseError, not a
+  // stack overflow: the default limit rejects it while parsing.
+  const std::string deep_open(10000, '[');
+  EXPECT_THROW(json_parse(deep_open), ParseError);
+  std::string deep_balanced(10000, '[');
+  deep_balanced += "1";
+  deep_balanced += std::string(10000, ']');
+  EXPECT_THROW(json_parse(deep_balanced), ParseError);
+  try {
+    (void)json_parse(deep_balanced);
+    FAIL() << "depth limit not enforced";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting depth"), std::string::npos);
+  }
+
+  // Documents at or under a configured limit parse; one level past fails.
+  // Depth counts the root, so N nested arrays need max_depth >= N.
+  JsonLimits limits;
+  limits.max_depth = 4;
+  EXPECT_NO_THROW((void)json_parse("[[[[42]]]]", limits));
+  EXPECT_NO_THROW((void)json_parse(R"({"a":{"b":{"c":[1]}}})", limits));
+  EXPECT_THROW((void)json_parse("[[[[[42]]]]]", limits), ParseError);
+  limits.max_depth = 0;  // 0 = unlimited: modest nesting parses again
+  EXPECT_NO_THROW((void)json_parse("[[[[[[[[42]]]]]]]]", limits));
+}
+
+TEST_F(ObsTest, JsonReaderEnforcesDocumentSizeLimit) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_NO_THROW((void)json_parse(R"({"k":1})", limits));
+  try {
+    (void)json_parse(R"({"key":"0123456789abcdef"})", limits);
+    FAIL() << "size limit not enforced";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds limit"), std::string::npos);
+  }
+  limits.max_bytes = 0;  // 0 = unlimited
+  EXPECT_NO_THROW((void)json_parse(R"({"key":"0123456789abcdef"})", limits));
+}
+
+TEST_F(ObsTest, JsonWriterRawValueSplicesVerbatim) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.value(1);
+  w.key("embedded");
+  w.raw_value(R"({"x":[1,2]})");
+  w.key("b");
+  w.value(true);
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, R"({"a":1,"embedded":{"x":[1,2]},"b":true})");
+  EXPECT_NO_THROW((void)json_parse(doc));
+}
+
 // ---------------------------------------------------------------------------
 // pipeline instrumentation sites
 
