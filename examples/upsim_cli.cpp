@@ -21,14 +21,29 @@
 // Batch-serve prints one summary row per perspective plus throughput
 // (perspectives/s) and the path-cache hit rate.
 //
+// Check mode runs the static analyzer (src/lint) over the artefacts and
+// renders the findings instead of executing the pipeline:
+//
+//   upsim_cli --check --bundle net.xml [--mapping map.xml]
+//             [--composite NAME] [--json] [--sarif-out findings.sarif]
+//   upsim_cli --check                  # self-contained: lints the USI demo
+//
+// Exit status is 0 when the report has no errors, 2 when it does (1 stays
+// the catch-all failure code) — load failures surface as UPS000 findings
+// with the parser's line/column, so even a syntactically broken file yields
+// a rendered report rather than a bare exception.
+//
 // --trace-out writes a Chrome trace_event JSON of the whole run (load it in
 // chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
 // pipeline's counters/gauges/histograms as JSON.  Either flag switches the
 // obs layer on for the full run, so file parsing, every pipeline step and
 // per-pair path discovery all show up.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -39,6 +54,8 @@
 #include "core/analysis.hpp"
 #include "core/upsim_generator.hpp"
 #include "engine/perspective_engine.hpp"
+#include "lint/analyzer.hpp"
+#include "lint/render.hpp"
 #include "mapping/mapping.hpp"
 #include "obs/obs.hpp"
 #include "umlio/serialize.hpp"
@@ -54,11 +71,14 @@ struct Args {
   std::string trace_out;
   std::string metrics_out;
   std::string serve_dir;
+  std::string sarif_out;
   std::size_t serve_demo = 0;
   std::size_t threads = 0;
   bool dot = false;
   bool analyze = false;
   bool demo = false;
+  bool check = false;
+  bool json = false;
 
   [[nodiscard]] bool observed() const noexcept {
     return !trace_out.empty() || !metrics_out.empty();
@@ -74,7 +94,10 @@ constexpr const char* kUsage =
     "                 [--metrics-out m.json]  (no arguments runs a demo)\n"
     "   or: upsim_cli --bundle net.xml --serve DIR --composite NAME\n"
     "                 [--threads N] [--analyze]   (batch-serve mode)\n"
-    "   or: upsim_cli --serve-demo N [--threads N] (self-contained serve)";
+    "   or: upsim_cli --serve-demo N [--threads N] (self-contained serve)\n"
+    "   or: upsim_cli --check [--bundle net.xml] [--mapping map.xml]\n"
+    "                 [--composite NAME] [--json] [--sarif-out f.sarif]\n"
+    "                 (static model analysis; exit 2 on lint errors)";
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -106,6 +129,12 @@ Args parse_args(int argc, char** argv) {
       args.trace_out = value();
     } else if (arg == "--metrics-out") {
       args.metrics_out = value();
+    } else if (arg == "--check") {
+      args.check = true;
+    } else if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--sarif-out") {
+      args.sarif_out = value();
     } else if (arg == "--serve") {
       args.serve_dir = value();
     } else if (arg == "--serve-demo") {
@@ -116,6 +145,14 @@ Args parse_args(int argc, char** argv) {
       throw upsim::Error("unknown argument: " + std::string(arg) + "\n" +
                          kUsage);
     }
+  }
+  if (args.check) {
+    if (args.serving()) throw upsim::Error(kUsage);
+    if (args.bundle_path.empty()) {
+      if (!args.mapping_path.empty()) throw upsim::Error(kUsage);
+      args.demo = true;  // no artefacts: lint the self-contained USI demo
+    }
+    return args;
   }
   if (args.serve_demo != 0) {
     return args;
@@ -156,6 +193,102 @@ void write_demo_files(const std::string& bundle_path,
   bundle.services = std::move(cs.services);
   upsim::umlio::save_bundle(bundle, bundle_path);
   mapping.save(mapping_path);
+}
+
+/// Check mode: load the artefacts with source locations, run the lint
+/// analyzer, render.  Load failures become UPS000 findings (with the
+/// parser's position when it has one) so broken files still produce a
+/// report.  Exit 0 = no errors, 2 = errors.
+int run_check(Args& args) {
+  using namespace upsim;
+  if (args.demo) {
+    const auto dir = std::filesystem::temp_directory_path();
+    args.bundle_path = (dir / "upsim_demo_bundle.xml").string();
+    args.mapping_path = (dir / "upsim_demo_mapping.xml").string();
+    if (args.composite.empty()) {
+      args.composite = casestudy::printing_service_name();
+    }
+    write_demo_files(args.bundle_path, args.mapping_path);
+  }
+
+  lint::Report load_findings;
+  umlio::UmlBundle bundle;
+  umlio::BundleLocations bundle_locations;
+  bool bundle_ok = false;
+  try {
+    bundle = umlio::load_bundle(args.bundle_path, &bundle_locations);
+    bundle_ok = true;
+  } catch (const ParseError& e) {
+    load_findings.add(lint::Rule::LoadFailed, std::string("bundle: ") + e.what(),
+                      {args.bundle_path, e.line(), e.column()});
+  } catch (const Error& e) {
+    load_findings.add(lint::Rule::LoadFailed, std::string("bundle: ") + e.what(),
+                      {args.bundle_path});
+  }
+
+  mapping::ServiceMapping map;
+  mapping::MappingLocations mapping_locations;
+  bool mapping_ok = false;
+  if (!args.mapping_path.empty()) {
+    try {
+      map = mapping::ServiceMapping::load(args.mapping_path,
+                                          &mapping_locations);
+      mapping_ok = true;
+    } catch (const ParseError& e) {
+      load_findings.add(lint::Rule::LoadFailed, std::string("mapping: ") + e.what(),
+                        {args.mapping_path, e.line(), e.column()});
+    } catch (const Error& e) {
+      load_findings.add(lint::Rule::LoadFailed, std::string("mapping: ") + e.what(),
+                        {args.mapping_path});
+    }
+  }
+
+  lint::Input input;
+  input.bundle_file = args.bundle_path;
+  if (bundle_ok) {
+    input.objects = bundle.objects.get();
+    input.services = bundle.services.get();
+    input.bundle_locations = &bundle_locations;
+    if (!args.composite.empty() && bundle.services != nullptr) {
+      input.composite = bundle.services->find_composite(args.composite);
+      if (input.composite == nullptr) {
+        load_findings.add(lint::Rule::LoadFailed,
+                          "bundle defines no composite service '" +
+                              args.composite + "'",
+                          {args.bundle_path});
+      }
+    }
+  }
+  if (mapping_ok) {
+    lint::MappingInput entry;
+    entry.mapping = &map;
+    entry.file = args.mapping_path;
+    entry.locations = &mapping_locations;
+    input.mappings.push_back(std::move(entry));
+  }
+
+  lint::Report report = lint::analyze(input);
+  for (const lint::Diagnostic& d : load_findings.diagnostics()) {
+    report.add(d.rule, d.severity, d.message, d.location);
+  }
+  report.sort();
+
+  if (args.json) {
+    std::cout << lint::render_json(report) << "\n";
+  } else {
+    lint::TextOptions text;
+    text.color = isatty(STDOUT_FILENO) != 0;
+    std::cout << "checking " << args.bundle_path;
+    if (!args.mapping_path.empty()) std::cout << " + " << args.mapping_path;
+    std::cout << "\n" << lint::render_text(report, text);
+  }
+  if (!args.sarif_out.empty()) {
+    std::ofstream out(args.sarif_out, std::ios::binary);
+    if (!out) throw Error("cannot write " + args.sarif_out);
+    out << lint::render_sarif(report);
+    std::cerr << "wrote SARIF to " << args.sarif_out << "\n";
+  }
+  return report.has_errors() ? 2 : 0;
 }
 
 /// Batch-serve mode: every .xml file in `args.serve_dir` is one user
@@ -267,6 +400,9 @@ int main(int argc, char** argv) {
     if (args.observed()) {
       // On before any file is read so the xml spans land in the trace.
       obs::set_enabled(true);
+    }
+    if (args.check) {
+      return run_check(args);
     }
     if (args.serving()) {
       const int rc = run_batch_serve(args);

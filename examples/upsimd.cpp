@@ -26,6 +26,8 @@
 
 #include "casestudy/usi.hpp"
 #include "engine/perspective_engine.hpp"
+#include "lint/analyzer.hpp"
+#include "lint/render.hpp"
 #include "obs/obs.hpp"
 #include "server/server.hpp"
 #include "umlio/serialize.hpp"
@@ -124,9 +126,33 @@ int main(int argc, char** argv) {
                 << "\n";
     }
 
-    const umlio::UmlBundle bundle = umlio::load_bundle(args.bundle_path);
+    umlio::BundleLocations bundle_locations;
+    const umlio::UmlBundle bundle =
+        umlio::load_bundle(args.bundle_path, &bundle_locations);
     if (bundle.objects == nullptr || bundle.services == nullptr) {
       throw Error("bundle must contain an object model and services");
+    }
+
+    // Lint here, with the loader's source locations, rather than leaving it
+    // to the engine's location-less internal pass: errors refuse startup
+    // pointing at the offending XML, warnings go to stderr and serving
+    // proceeds.
+    {
+      lint::Input lint_input;
+      lint_input.objects = bundle.objects.get();
+      lint_input.services = bundle.services.get();
+      lint_input.bundle_file = args.bundle_path;
+      lint_input.bundle_locations = &bundle_locations;
+      const lint::Report report = lint::analyze(lint_input);
+      if (report.has_errors()) {
+        std::cerr << "upsimd: refusing to serve a broken bundle:\n"
+                  << lint::render_text(report);
+        return 1;
+      }
+      if (!report.empty()) {
+        std::cerr << "upsimd: bundle lint findings (serving anyway):\n"
+                  << lint::render_text(report);
+      }
     }
 
     engine::EngineOptions engine_options;

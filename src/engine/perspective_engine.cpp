@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "lint/analyzer.hpp"
+#include "lint/render.hpp"
 #include "obs/obs.hpp"
 #include "transform/mapping_importer.hpp"
 #include "transform/uml_importer.hpp"
@@ -48,6 +50,22 @@ void PerspectiveEngine::rebuild_locked(bool bump_epoch) {
   if (!problems.empty()) {
     throw ModelError("PerspectiveEngine: invalid infrastructure: " +
                      util::join(problems, "; "));
+  }
+  if (options_.lint_model) {
+    // Pre-flight static analysis (src/lint): reject a bundle whose queries
+    // could only fail or mislead, before any query runs.  Warnings don't
+    // block serving; analyze() counts them on the obs registry.
+    lint::Input input;
+    input.objects = infrastructure_;
+    input.mtbf_attribute = options_.projection.mtbf_attribute;
+    input.mttr_attribute = options_.projection.mttr_attribute;
+    input.require_dependability =
+        options_.projection.require_dependability_attributes;
+    const lint::Report report = lint::analyze(input);
+    if (report.has_errors()) {
+      throw ModelError("PerspectiveEngine: model lint failed:\n" +
+                       lint::render_text(report));
+    }
   }
   // A topology change is the expensive class by design (Sec. V-A3): the
   // whole space is re-imported, Step 5 style.  Recorded runs die with it.

@@ -80,6 +80,12 @@ struct EngineOptions {
   /// name).  This is the only serialized section of a query; switch it off
   /// when serving throughput matters more than a queryable space.
   bool record_in_space = true;
+  /// Run the lint analyzer over the infrastructure before accepting it
+  /// (constructor and every topology rebuild): lint errors — dangling
+  /// values, non-positive MTBF/MTTR, ... — throw ModelError up front
+  /// instead of surfacing as misleading empty answers at query time;
+  /// warnings are counted on the obs registry (lint.warnings).
+  bool lint_model = true;
 };
 
 class PerspectiveEngine {

@@ -1,0 +1,366 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "uml/class_model.hpp"
+#include "util/strings.hpp"
+
+namespace upsim::lint {
+
+namespace {
+
+/// Looks `key` up in an optional location map and stamps `file` on hits.
+SourceLocation locate(const std::string& file,
+                      const std::map<std::string, xml::Location>* positions,
+                      std::string_view key) {
+  SourceLocation loc;
+  loc.file = file;
+  if (positions != nullptr) {
+    const auto it = positions->find(std::string(key));
+    if (it != positions->end()) {
+      loc.line = it->second.line;
+      loc.column = it->second.column;
+    }
+  }
+  return loc;
+}
+
+std::string mapping_prefix(const MappingInput& input) {
+  return input.label.empty() ? std::string()
+                             : "mapping '" + input.label + "': ";
+}
+
+// ---------------------------------------------------------------------------
+// Union-find over instance indices (UPS010).  Path-halving find plus union
+// by size: the reachability verdict for every pair costs near-linear time in
+// links + queries, no DFS and no graph projection.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+// ---------------------------------------------------------------------------
+// Infrastructure rules: UPS006 parallel links, UPS007/008/009 availability
+// values, UPS011 isolated components.
+
+/// Shared dependability-value check for the class behind instances and the
+/// association behind links; `context` names what carries the value and
+/// `users` how many model elements inherit it.
+void check_dependability_values(const uml::StereotypedElement& element,
+                                const std::string& context, std::size_t users,
+                                const Input& input, SourceLocation location,
+                                Report& report) {
+  const auto mtbf = element.stereotype_value(input.mtbf_attribute);
+  const auto mttr = element.stereotype_value(input.mttr_attribute);
+  if (!mtbf || !mttr) {
+    const Severity severity =
+        input.require_dependability ? Severity::Error : Severity::Note;
+    report.add(Rule::MissingAvailability, severity,
+               context + " lacks availability values '" +
+                   input.mtbf_attribute + "'/'" + input.mttr_attribute +
+                   "' (" + std::to_string(users) + " model element(s) "
+                   "inherit them)",
+               std::move(location));
+    return;
+  }
+  const double mtbf_v = mtbf->as_real();
+  const double mttr_v = mttr->as_real();
+  for (const auto& [name, value] :
+       {std::pair<const std::string&, double>{input.mtbf_attribute, mtbf_v},
+        std::pair<const std::string&, double>{input.mttr_attribute, mttr_v}}) {
+    if (value <= 0.0) {
+      report.add(Rule::NonPositiveDependability,
+                 context + ": " + name + " = " + util::format_sig(value, 6) +
+                     " must be positive",
+                 location);
+    }
+  }
+  if (mtbf_v > 0.0 && mttr_v > 0.0 && mttr_v >= mtbf_v) {
+    report.add(Rule::ImplausibleDependability,
+               context + ": MTTR (" + util::format_sig(mttr_v, 6) +
+                   ") >= MTBF (" + util::format_sig(mtbf_v, 6) +
+                   ") — the component would spend most of its life under "
+                   "repair",
+               std::move(location));
+  }
+}
+
+void check_infrastructure(const Input& input, Report& report) {
+  const uml::ObjectModel& objects = *input.objects;
+  const auto* locs = input.bundle_locations;
+  const std::string& file = input.bundle_file;
+
+  // UPS007/008/009 once per *used* classifier and association — the paper
+  // keeps properties on classes, so one finding per class covers every
+  // instance of it.
+  std::map<std::string, std::pair<const uml::Class*, std::size_t>> classes;
+  for (const uml::InstanceSpecification* inst : objects.instances()) {
+    auto [it, inserted] =
+        classes.emplace(inst->classifier().name(),
+                        std::make_pair(&inst->classifier(), std::size_t{0}));
+    ++it->second.second;
+  }
+  for (const auto& [name, entry] : classes) {
+    check_dependability_values(
+        *entry.first, "class '" + name + "'", entry.second, input,
+        locate(file, locs != nullptr ? &locs->classes : nullptr, name),
+        report);
+  }
+  std::map<std::string, std::pair<const uml::Association*, std::size_t>>
+      associations;
+  for (const auto& link : objects.links()) {
+    auto [it, inserted] = associations.emplace(
+        link->association().name(),
+        std::make_pair(&link->association(), std::size_t{0}));
+    ++it->second.second;
+  }
+  for (const auto& [name, entry] : associations) {
+    check_dependability_values(
+        *entry.first, "association '" + name + "'", entry.second, input,
+        locate(file, locs != nullptr ? &locs->associations : nullptr, name),
+        report);
+  }
+
+  // UPS006: parallel links.  Legitimate for modelling redundant trunks, so
+  // a warning, not an error — but flagged because a duplicated <link> line
+  // is the more common cause.
+  std::map<std::pair<std::string, std::string>, const uml::Link*> seen;
+  for (const auto& link : objects.links()) {
+    auto key = std::minmax(link->end_a().name(), link->end_b().name());
+    const auto [it, inserted] =
+        seen.emplace(std::make_pair(key.first, key.second), link.get());
+    if (!inserted) {
+      report.add(Rule::ParallelLinks,
+                 "links '" + it->second->name() + "' and '" + link->name() +
+                     "' both join '" + key.first + "' and '" + key.second +
+                     "' — redundant trunk or duplicated <link>?",
+                 locate(file, locs != nullptr ? &locs->links : nullptr,
+                        link->name()));
+    }
+  }
+
+  // UPS011: isolated components.
+  std::set<std::string> linked;
+  for (const auto& link : objects.links()) {
+    linked.insert(link->end_a().name());
+    linked.insert(link->end_b().name());
+  }
+  for (const uml::InstanceSpecification* inst : objects.instances()) {
+    if (!linked.contains(inst->name())) {
+      report.add(Rule::IsolatedComponent,
+                 "component '" + inst->name() + "' has no links; no "
+                 "requester/provider pair can reach it",
+                 locate(file, locs != nullptr ? &locs->instances : nullptr,
+                        inst->name()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service-catalog rules: UPS005 unused atomics, UPS012 malformed activities.
+
+void check_services(const Input& input, Report& report) {
+  const service::ServiceCatalog& services = *input.services;
+  const auto* locs = input.bundle_locations;
+  const std::string& file = input.bundle_file;
+
+  for (const service::AtomicService* atomic : services.atomics()) {
+    if (services.composites_using(atomic->name()).empty()) {
+      report.add(Rule::UnusedAtomicService,
+                 "atomic service '" + atomic->name() +
+                     "' is referenced by no composite's activity diagram",
+                 locate(file, locs != nullptr ? &locs->atomics : nullptr,
+                        atomic->name()));
+    }
+  }
+  for (const service::CompositeService* composite : services.composites()) {
+    check_activity(composite->activity(), report,
+                   locate(file, locs != nullptr ? &locs->composites : nullptr,
+                          composite->name()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mapping rules: UPS001/002/004/010/013 per pair, UPS003 per composite
+// atomic.
+
+void check_mapping(const Input& input, const MappingInput& mapping_input,
+                   UnionFind* components,
+                   const std::map<std::string, std::size_t>& instance_index,
+                   Report& report) {
+  const mapping::ServiceMapping& mapping = *mapping_input.mapping;
+  const auto* locs = mapping_input.locations;
+  const std::string& file = mapping_input.file;
+  const std::string prefix = mapping_prefix(mapping_input);
+
+  for (const mapping::ServiceMappingPair& pair : mapping.pairs()) {
+    const auto pair_at =
+        locate(file, locs != nullptr ? &locs->pairs : nullptr,
+               pair.atomic_service);
+    if (input.services != nullptr &&
+        input.services->find_atomic(pair.atomic_service) == nullptr) {
+      report.add(Rule::UnknownAtomicService,
+                 prefix + "pair '" + pair.atomic_service +
+                     "': the service catalog defines no such atomic service",
+                 pair_at);
+    }
+    bool endpoints_known = true;
+    for (const auto& [role, id, role_locs] :
+         {std::tuple<const char*, const std::string&,
+                     const std::map<std::string, xml::Location>*>{
+              "requester", pair.requester,
+              locs != nullptr ? &locs->requesters : nullptr},
+          std::tuple<const char*, const std::string&,
+                     const std::map<std::string, xml::Location>*>{
+              "provider", pair.provider,
+              locs != nullptr ? &locs->providers : nullptr}}) {
+      if (input.objects != nullptr &&
+          input.objects->find_instance(id) == nullptr) {
+        endpoints_known = false;
+        report.add(Rule::UnknownComponent,
+                   prefix + "pair '" + pair.atomic_service + "': " + role +
+                       " '" + id + "' is not an instance of infrastructure '" +
+                       input.objects->name() + "'",
+                   locate(file, role_locs, pair.atomic_service));
+      }
+    }
+    if (pair.requester == pair.provider) {
+      report.add(Rule::SelfMappedPair,
+                 prefix + "pair '" + pair.atomic_service +
+                     "': requester and provider are both '" + pair.requester +
+                     "'",
+                 pair_at);
+    } else if (endpoints_known && components != nullptr) {
+      const std::size_t a = instance_index.at(pair.requester);
+      const std::size_t b = instance_index.at(pair.provider);
+      if (components->find(a) != components->find(b)) {
+        report.add(Rule::UnreachablePair,
+                   prefix + "pair '" + pair.atomic_service + "': requester '" +
+                       pair.requester + "' and provider '" + pair.provider +
+                       "' lie in different connected components — no path "
+                       "can ever be discovered",
+                   pair_at);
+      }
+    }
+    if (input.composite != nullptr &&
+        !input.composite->uses(pair.atomic_service)) {
+      report.add(Rule::IrrelevantPair,
+                 prefix + "pair '" + pair.atomic_service +
+                     "' is unused by composite '" + input.composite->name() +
+                     "' (allowed, but dead weight for this perspective)",
+                 pair_at);
+    }
+  }
+
+  if (input.composite != nullptr) {
+    for (const std::string& atomic : input.composite->atomic_services()) {
+      if (!mapping.contains(atomic)) {
+        report.add(Rule::UnmappedAtomicService,
+                   prefix + "composite '" + input.composite->name() +
+                       "': atomic service '" + atomic + "' has no pair",
+                   locate(file, nullptr, atomic));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_activity(const uml::Activity& activity, Report& report,
+                    const SourceLocation& location) {
+  for (const std::string& problem : activity.validate()) {
+    report.add(Rule::MalformedActivity,
+               "activity '" + activity.name() + "': " + problem, location);
+  }
+}
+
+Report analyze(const Input& input) {
+  obs::ScopedSpan span("lint.analyze", "lint");
+  Report report;
+
+  if (input.objects != nullptr) {
+    check_infrastructure(input, report);
+  }
+  if (input.services != nullptr) {
+    check_services(input, report);
+  }
+
+  // The union-find components are shared by every mapping checked against
+  // the same infrastructure.
+  std::map<std::string, std::size_t> instance_index;
+  std::optional<UnionFind> components;
+  if (input.objects != nullptr) {
+    for (const uml::InstanceSpecification* inst : input.objects->instances()) {
+      instance_index.emplace(inst->name(), instance_index.size());
+    }
+    components.emplace(instance_index.size());
+    for (const auto& link : input.objects->links()) {
+      components->unite(instance_index.at(link->end_a().name()),
+                        instance_index.at(link->end_b().name()));
+    }
+  }
+  for (const MappingInput& mapping_input : input.mappings) {
+    if (mapping_input.mapping == nullptr) continue;
+    check_mapping(input, mapping_input,
+                  components.has_value() ? &*components : nullptr,
+                  instance_index, report);
+  }
+
+  report.sort();
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("lint.runs").add(1);
+    registry.counter("lint.errors").add(report.error_count());
+    registry.counter("lint.warnings").add(report.warning_count());
+  }
+  return report;
+}
+
+Report analyze_bundle(const umlio::UmlBundle& bundle,
+                      const mapping::ServiceMapping* mapping,
+                      const service::CompositeService* composite,
+                      const Input& base) {
+  Input input = base;
+  input.objects = bundle.objects.get();
+  input.services = bundle.services.get();
+  input.composite = composite;
+  if (mapping != nullptr) {
+    input.mappings.push_back(MappingInput{mapping, "", "", nullptr});
+  }
+  return analyze(input);
+}
+
+}  // namespace upsim::lint

@@ -1,0 +1,89 @@
+// The static model analyzer: cross-layer consistency rules over a loaded
+// bundle (infrastructure object model + service catalog + service mappings),
+// run *without* executing the pipeline.
+//
+// The rules span every modeling layer the methodology exchanges on disk:
+//
+//   mapping x uml      UPS001 dangling requester/provider references,
+//                      UPS004 self-mapped pairs
+//   mapping x service  UPS002 unknown atomic services, UPS003 unmapped
+//                      atomics of the analysed composite, UPS013 pairs the
+//                      composite never uses
+//   service            UPS005 atomics no activity references,
+//                      UPS012 malformed activity diagrams
+//   uml                UPS006 parallel links, UPS011 isolated components
+//   uml x profile      UPS007 missing MTBF/MTTR, UPS008 non-positive values,
+//                      UPS009 MTTR >= MTBF
+//   uml x graph        UPS010 requester/provider in different connected
+//                      components — a union-find reachability precheck, so
+//                      the verdict costs near-linear time instead of a path
+//                      discovery run
+//
+// Analysis is read-only and needs no VPM model space, no graph projection
+// and no path discovery; a full run over the USI case study takes
+// microseconds, which is what lets the engine afford it on every bundle it
+// accepts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "mapping/mapping.hpp"
+#include "service/service.hpp"
+#include "uml/activity.hpp"
+#include "uml/object_model.hpp"
+#include "umlio/serialize.hpp"
+
+namespace upsim::lint {
+
+/// One mapping to check, with optional provenance for diagnostics.
+struct MappingInput {
+  const mapping::ServiceMapping* mapping = nullptr;
+  /// Label used in messages when several mappings are checked ("" = omit).
+  std::string label;
+  /// Artifact the mapping came from ("" = in-memory).
+  std::string file;
+  const mapping::MappingLocations* locations = nullptr;
+};
+
+/// Everything one analyzer run looks at.  Null members simply disable the
+/// rules that need them (e.g. no catalog -> no UPS002/UPS003/UPS005).
+struct Input {
+  const uml::ObjectModel* objects = nullptr;
+  const service::ServiceCatalog* services = nullptr;
+  /// The composite the mappings will be analysed against; enables
+  /// UPS003/UPS013.  Null checks mappings against the infrastructure only.
+  const service::CompositeService* composite = nullptr;
+  std::vector<MappingInput> mappings;
+
+  /// Artifact the bundle came from ("" = in-memory).
+  std::string bundle_file;
+  const umlio::BundleLocations* bundle_locations = nullptr;
+
+  /// Stereotype attribute names of the availability profile (Fig. 6); must
+  /// match the projection options the pipeline will run with.
+  std::string mtbf_attribute = "MTBF";
+  std::string mttr_attribute = "MTTR";
+  /// When false (mirroring ProjectionOptions::require_dependability_
+  /// attributes), UPS007 downgrades from error to note: the pipeline will
+  /// accept the pure topology, but the modeler should still know.
+  bool require_dependability = true;
+};
+
+/// Runs every applicable rule and returns the deterministic-ordered report.
+[[nodiscard]] Report analyze(const Input& input);
+
+/// Convenience: analyze a loaded bundle against one mapping/composite pair,
+/// the upsim_cli --check shape.  Any member of `bundle` may be null.
+[[nodiscard]] Report analyze_bundle(
+    const umlio::UmlBundle& bundle, const mapping::ServiceMapping* mapping,
+    const service::CompositeService* composite, const Input& base = {});
+
+/// UPS012 on one activity diagram (also reachable through analyze() for the
+/// catalog's composites; exposed so hand-built activities can be checked
+/// before ServiceCatalog::define_composite rejects them opaquely).
+void check_activity(const uml::Activity& activity, Report& report,
+                    const SourceLocation& location = {});
+
+}  // namespace upsim::lint

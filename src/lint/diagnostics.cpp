@@ -1,0 +1,101 @@
+#include "lint/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace upsim::lint {
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {Rule::LoadFailed, "UPS000", Severity::Error,
+       "model artifact failed to parse or load"},
+      {Rule::UnknownComponent, "UPS001", Severity::Error,
+       "mapping references a component that is not an instance of the "
+       "infrastructure"},
+      {Rule::UnknownAtomicService, "UPS002", Severity::Error,
+       "mapping references an atomic service the catalog does not define"},
+      {Rule::UnmappedAtomicService, "UPS003", Severity::Error,
+       "atomic service of the analysed composite has no mapping pair"},
+      {Rule::SelfMappedPair, "UPS004", Severity::Error,
+       "requester and provider of a pair are the same component"},
+      {Rule::UnusedAtomicService, "UPS005", Severity::Warning,
+       "atomic service is referenced by no composite's activity diagram"},
+      {Rule::ParallelLinks, "UPS006", Severity::Warning,
+       "two links join the same pair of components (parallel edge)"},
+      {Rule::MissingAvailability, "UPS007", Severity::Error,
+       "component or link class lacks availability-profile values "
+       "(MTBF/MTTR)"},
+      {Rule::NonPositiveDependability, "UPS008", Severity::Error,
+       "MTBF or MTTR value is zero or negative"},
+      {Rule::ImplausibleDependability, "UPS009", Severity::Warning,
+       "MTTR is not smaller than MTBF (component mostly under repair)"},
+      {Rule::UnreachablePair, "UPS010", Severity::Error,
+       "requester and provider lie in different connected components of the "
+       "infrastructure"},
+      {Rule::IsolatedComponent, "UPS011", Severity::Warning,
+       "component has no links, so no mapping can ever reach it"},
+      {Rule::MalformedActivity, "UPS012", Severity::Error,
+       "composite's activity diagram is not well-formed (cyclic or "
+       "structurally invalid)"},
+      {Rule::IrrelevantPair, "UPS013", Severity::Note,
+       "mapping pair is unused by the analysed composite"},
+  };
+  return rules;
+}
+
+const RuleInfo& rule_info(Rule rule) {
+  for (const RuleInfo& info : all_rules()) {
+    if (info.rule == rule) return info;
+  }
+  throw InvariantError("lint: unknown rule value " +
+                       std::to_string(static_cast<int>(rule)));
+}
+
+void Report::add(Rule rule, std::string message, SourceLocation location) {
+  add(rule, rule_info(rule).severity, std::move(message), std::move(location));
+}
+
+void Report::add(Rule rule, Severity severity, std::string message,
+                 SourceLocation location) {
+  diagnostics_.push_back(
+      Diagnostic{rule, severity, std::move(message), std::move(location)});
+}
+
+std::size_t Report::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Error;
+                    }));
+}
+
+std::size_t Report::warning_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Warning;
+                    }));
+}
+
+std::size_t Report::note_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Note;
+                    }));
+}
+
+void Report::sort() {
+  std::sort(diagnostics_.begin(), diagnostics_.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.location.file, a.location.line,
+                              a.location.column, a.rule, a.message) <
+                     std::tie(b.location.file, b.location.line,
+                              b.location.column, b.rule, b.message);
+            });
+}
+
+}  // namespace upsim::lint

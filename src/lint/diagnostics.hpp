@@ -1,0 +1,124 @@
+// Structured diagnostics for the static model analyzer (src/lint).
+//
+// The paper's methodology (Sec. V) assumes the infrastructure model, the
+// service description and the XML service mapping are mutually consistent
+// before path discovery runs; in the original Eclipse/VIATRA2 tool-chain the
+// modeling front-end enforced much of that.  upsim::lint is the from-scratch
+// equivalent: a compiler-style pass over a loaded model bundle that turns
+// silent inconsistencies (dangling mapping references, components without
+// availability values, unreachable requester/provider pairs...) into precise,
+// early, machine-readable findings instead of failures — or misleading empty
+// UPSIMs — deep inside the pipeline.
+//
+// Every finding is a Diagnostic: a stable rule code (UPS000...), a severity,
+// a human message, and the source location the loaders recorded while
+// parsing the XML (umlio::BundleLocations / mapping::MappingLocations).
+// Reports order deterministically, so the JSON and SARIF renderings are
+// byte-stable for a fixed bundle — CI diffs them across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upsim::lint {
+
+enum class Severity : std::uint8_t { Error, Warning, Note };
+
+[[nodiscard]] constexpr const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+/// Where a finding points: an artifact (file) plus a 1-based line/column.
+/// Any part may be unknown — in-memory models have no file, programmatically
+/// built elements no position.
+struct SourceLocation {
+  std::string file;        ///< empty = no backing file
+  std::size_t line = 0;    ///< 0 = unknown
+  std::size_t column = 0;
+
+  [[nodiscard]] bool has_position() const noexcept { return line != 0; }
+};
+
+/// The stable rule vocabulary.  Codes are append-only: a rule may be retired
+/// but its code is never reused, so SARIF baselines stay comparable.
+enum class Rule : std::uint8_t {
+  LoadFailed,              ///< UPS000
+  UnknownComponent,        ///< UPS001
+  UnknownAtomicService,    ///< UPS002
+  UnmappedAtomicService,   ///< UPS003
+  SelfMappedPair,          ///< UPS004
+  UnusedAtomicService,     ///< UPS005
+  ParallelLinks,           ///< UPS006
+  MissingAvailability,     ///< UPS007
+  NonPositiveDependability,///< UPS008
+  ImplausibleDependability,///< UPS009
+  UnreachablePair,         ///< UPS010
+  IsolatedComponent,       ///< UPS011
+  MalformedActivity,       ///< UPS012
+  IrrelevantPair,          ///< UPS013
+};
+
+/// Static description of one rule: its code string, default severity, and a
+/// one-line summary (used by the SARIF rules array and the docs table).
+struct RuleInfo {
+  Rule rule;
+  const char* code;       ///< "UPS001"
+  Severity severity;
+  const char* summary;
+};
+
+/// All rules, ordered by code.
+[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+
+/// Metadata for one rule; throws InvariantError for an unknown value.
+[[nodiscard]] const RuleInfo& rule_info(Rule rule);
+
+/// One finding.
+struct Diagnostic {
+  Rule rule;
+  Severity severity;
+  std::string message;
+  SourceLocation location;
+
+  [[nodiscard]] const char* code() const { return rule_info(rule).code; }
+};
+
+/// An analyzer run's findings.  Diagnostics are kept in deterministic order:
+/// by file, position, rule code, then message.
+class Report {
+ public:
+  /// Adds a finding with the rule's default severity.
+  void add(Rule rule, std::string message, SourceLocation location = {});
+  /// Adds a finding with an explicit severity (rules that escalate).
+  void add(Rule rule, Severity severity, std::string message,
+           SourceLocation location = {});
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+  [[nodiscard]] std::size_t note_count() const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept { return error_count() != 0; }
+  [[nodiscard]] bool empty() const noexcept { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return diagnostics_.size();
+  }
+
+  /// Restores the deterministic order after a batch of add()s.  analyze()
+  /// returns sorted reports; call this after adding findings by hand.
+  void sort();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace upsim::lint

@@ -1,0 +1,203 @@
+#include "lint/render.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace upsim::lint {
+
+namespace {
+
+constexpr const char* kReset = "\x1b[0m";
+
+const char* severity_color(Severity s) {
+  switch (s) {
+    case Severity::Error: return "\x1b[31;1m";    // bold red
+    case Severity::Warning: return "\x1b[35;1m";  // bold magenta
+    case Severity::Note: return "\x1b[36m";       // cyan
+  }
+  return "";
+}
+
+std::string summary_line(const Report& report) {
+  const auto plural = [](std::size_t n, const char* noun) {
+    return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+  };
+  return plural(report.error_count(), "error") + ", " +
+         plural(report.warning_count(), "warning") + ", " +
+         plural(report.note_count(), "note");
+}
+
+/// SARIF severity levels ("error"/"warning"/"note") happen to match
+/// to_string(Severity); keep the mapping explicit anyway.
+const char* sarif_level(Severity s) { return to_string(s); }
+
+}  // namespace
+
+std::string render_text(const Report& report, const TextOptions& options) {
+  if (report.empty()) return "lint: no findings\n";
+  std::string out;
+  const std::string* current_file = nullptr;
+  for (const Diagnostic& d : report.diagnostics()) {
+    // Diagnostics are file-sorted, so a change of file starts a new group.
+    if (current_file == nullptr || *current_file != d.location.file) {
+      current_file = &d.location.file;
+      out += current_file->empty() ? "(no file)" : *current_file;
+      out += ":\n";
+    }
+    out += "  ";
+    if (d.location.has_position()) {
+      out += std::to_string(d.location.line) + ":" +
+             std::to_string(d.location.column);
+    } else {
+      out += "-";
+    }
+    out += "  ";
+    if (options.color) out += severity_color(d.severity);
+    out += to_string(d.severity);
+    if (options.color) out += kReset;
+    out += d.severity == Severity::Error ? "    " : "  ";  // column align
+    out += d.code();
+    out += "  ";
+    out += d.message;
+    out += "\n";
+  }
+  out += summary_line(report) + "\n";
+  return out;
+}
+
+std::string render_json(const Report& report) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("diagnostics");
+  w.begin_array();
+  for (const Diagnostic& d : report.diagnostics()) {
+    w.begin_object();
+    w.key("code");
+    w.value(d.code());
+    w.key("severity");
+    w.value(to_string(d.severity));
+    w.key("message");
+    w.value(d.message);
+    w.key("file");
+    w.value(d.location.file);
+    w.key("line");
+    w.value(static_cast<std::uint64_t>(d.location.line));
+    w.key("column");
+    w.value(static_cast<std::uint64_t>(d.location.column));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("errors");
+  w.value(static_cast<std::uint64_t>(report.error_count()));
+  w.key("warnings");
+  w.value(static_cast<std::uint64_t>(report.warning_count()));
+  w.key("notes");
+  w.value(static_cast<std::uint64_t>(report.note_count()));
+  w.key("ok");
+  w.value(!report.has_errors());
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string render_sarif(const Report& report) {
+  // Rule indices follow all_rules() order; results reference them by
+  // ruleIndex as the spec recommends.
+  const std::vector<RuleInfo>& rules = all_rules();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("$schema");
+  w.value(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  w.key("version");
+  w.value("2.1.0");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+  w.key("tool");
+  w.begin_object();
+  w.key("driver");
+  w.begin_object();
+  w.key("name");
+  w.value("upsim-lint");
+  w.key("informationUri");
+  w.value("https://example.invalid/upsim");
+  w.key("rules");
+  w.begin_array();
+  for (const RuleInfo& info : rules) {
+    w.begin_object();
+    w.key("id");
+    w.value(info.code);
+    w.key("shortDescription");
+    w.begin_object();
+    w.key("text");
+    w.value(info.summary);
+    w.end_object();
+    w.key("defaultConfiguration");
+    w.begin_object();
+    w.key("level");
+    w.value(sarif_level(info.severity));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // driver
+  w.end_object();  // tool
+  w.key("results");
+  w.begin_array();
+  for (const Diagnostic& d : report.diagnostics()) {
+    std::size_t rule_index = 0;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].rule == d.rule) {
+        rule_index = i;
+        break;
+      }
+    }
+    w.begin_object();
+    w.key("ruleId");
+    w.value(d.code());
+    w.key("ruleIndex");
+    w.value(static_cast<std::uint64_t>(rule_index));
+    w.key("level");
+    w.value(sarif_level(d.severity));
+    w.key("message");
+    w.begin_object();
+    w.key("text");
+    w.value(d.message);
+    w.end_object();
+    if (!d.location.file.empty()) {
+      w.key("locations");
+      w.begin_array();
+      w.begin_object();
+      w.key("physicalLocation");
+      w.begin_object();
+      w.key("artifactLocation");
+      w.begin_object();
+      w.key("uri");
+      w.value(d.location.file);
+      w.end_object();
+      if (d.location.has_position()) {
+        w.key("region");
+        w.begin_object();
+        w.key("startLine");
+        w.value(static_cast<std::uint64_t>(d.location.line));
+        w.key("startColumn");
+        w.value(static_cast<std::uint64_t>(d.location.column));
+        w.end_object();
+      }
+      w.end_object();  // physicalLocation
+      w.end_object();  // location
+      w.end_array();
+    }
+    w.end_object();  // result
+  }
+  w.end_array();
+  w.end_object();  // run
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace upsim::lint

@@ -1,0 +1,42 @@
+// Renderers for lint reports: compiler-style text for humans, deterministic
+// JSON for tooling, and SARIF 2.1.0 so CI systems (GitHub code scanning and
+// friends) surface model findings natively.
+//
+// JSON and SARIF output is byte-stable for a fixed report: fixed key order,
+// no timestamps, diagnostics already deterministically ordered by Report.
+// tests/test_lint.cpp pins that property.
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostics.hpp"
+
+namespace upsim::lint {
+
+struct TextOptions {
+  /// ANSI colors (red errors, magenta warnings, cyan notes).
+  bool color = false;
+};
+
+/// Compiler-style listing grouped by file:
+///
+///   map.xml:
+///     3:14  error  UPS001  pair 'p': requester 't99' is not an instance ...
+///   (no file):
+///     -     note   UPS013  ...
+///   2 errors, 1 warning, 0 notes
+///
+/// Empty reports render a single "no findings" line.
+[[nodiscard]] std::string render_text(const Report& report,
+                                      const TextOptions& options = {});
+
+/// {"diagnostics":[{"code":...,"severity":...,"message":...,"file":...,
+///  "line":N,"column":N}...],"errors":N,"warnings":N,"notes":N,"ok":bool}
+/// — "ok" is the gate CI scripts branch on (true iff zero errors).
+[[nodiscard]] std::string render_json(const Report& report);
+
+/// SARIF 2.1.0: one run of driver "upsim-lint" with the full rule table and
+/// one result per diagnostic (region omitted when the position is unknown).
+[[nodiscard]] std::string render_sarif(const Report& report);
+
+}  // namespace upsim::lint

@@ -1,6 +1,7 @@
 #include "mapping/mapping.hpp"
 
 #include <fstream>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -121,11 +122,15 @@ void ServiceMapping::save(const std::string& path) const {
 namespace {
 
 /// Accepts <requester id="x"/> (Fig. 3) as well as <requester>x</requester>.
-std::string read_endpoint(const xml::Element& as, std::string_view role) {
+/// Returns the endpoint id and the endpoint element's source position.
+std::pair<std::string, xml::Location> read_endpoint(const xml::Element& as,
+                                                    std::string_view role) {
   const xml::Element& endpoint = as.required_child(role);
-  if (const auto id = endpoint.attribute("id")) return std::string(*id);
+  if (const auto id = endpoint.attribute("id")) {
+    return {std::string(*id), endpoint.location()};
+  }
   const auto text = endpoint.trimmed_text();
-  if (!text.empty()) return std::string(text);
+  if (!text.empty()) return {std::string(text), endpoint.location()};
   throw ModelError("mapping: <" + std::string(role) + "> of atomic service '" +
                    std::string(as.attribute("id").value_or("?")) +
                    "' has neither an id attribute nor text content");
@@ -133,7 +138,8 @@ std::string read_endpoint(const xml::Element& as, std::string_view role) {
 
 }  // namespace
 
-ServiceMapping ServiceMapping::from_xml(std::string_view raw) {
+ServiceMapping ServiceMapping::from_xml(std::string_view raw,
+                                        MappingLocations* locations) {
   const xml::Document doc = xml::parse(raw);
   const xml::Element& root = doc.root();
   // The paper's fragment shows bare <atomicservice> elements; a wrapping
@@ -156,18 +162,25 @@ ServiceMapping ServiceMapping::from_xml(std::string_view raw) {
       throw ModelError("mapping: duplicate atomic service '" + id +
                        "' (the atomic service is the unique key)");
     }
-    mapping.map(id, read_endpoint(*as, "requester"),
-                read_endpoint(*as, "provider"));
+    auto [requester, requester_at] = read_endpoint(*as, "requester");
+    auto [provider, provider_at] = read_endpoint(*as, "provider");
+    mapping.map(id, std::move(requester), std::move(provider));
+    if (locations != nullptr) {
+      locations->pairs.emplace(id, as->location());
+      locations->requesters.emplace(id, requester_at);
+      locations->providers.emplace(id, provider_at);
+    }
   }
   return mapping;
 }
 
-ServiceMapping ServiceMapping::load(const std::string& path) {
+ServiceMapping ServiceMapping::load(const std::string& path,
+                                    MappingLocations* locations) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot read mapping file: " + path);
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  return from_xml(content);
+  return from_xml(content, locations);
 }
 
 }  // namespace upsim::mapping

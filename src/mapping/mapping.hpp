@@ -27,8 +27,18 @@
 
 #include "service/service.hpp"
 #include "uml/object_model.hpp"
+#include "xml/dom.hpp"
 
 namespace upsim::mapping {
+
+/// Source positions collected while parsing a mapping file, keyed by atomic
+/// service: the <atomicservice> element itself and its requester/provider
+/// children.  Feeds lint diagnostics; mappings built in memory have none.
+struct MappingLocations {
+  std::map<std::string, xml::Location> pairs;
+  std::map<std::string, xml::Location> requesters;
+  std::map<std::string, xml::Location> providers;
+};
 
 /// One (atomic service, requester, provider) triple — a row of Table I.
 struct ServiceMappingPair {
@@ -77,8 +87,11 @@ class ServiceMapping {
   // -- XML (Fig. 3) ---------------------------------------------------------
   [[nodiscard]] std::string to_xml() const;
   void save(const std::string& path) const;
-  [[nodiscard]] static ServiceMapping from_xml(std::string_view xml);
-  [[nodiscard]] static ServiceMapping load(const std::string& path);
+  /// `locations`, when non-null, receives the source position of every pair.
+  [[nodiscard]] static ServiceMapping from_xml(
+      std::string_view xml, MappingLocations* locations = nullptr);
+  [[nodiscard]] static ServiceMapping load(
+      const std::string& path, MappingLocations* locations = nullptr);
 
  private:
   std::map<std::string, ServiceMappingPair, std::less<>> pairs_;

@@ -17,6 +17,10 @@
 //   invalidate_topology    change class 1: re-import, bump epoch
 //   invalidate_properties  change class 2: re-project, keep cache
 //   invalidate_mapping     change class 4: forget one recorded perspective
+//   validate               lint the served model (optional params
+//                          "composite" and "mapping" extend the check to a
+//                          query's inputs); result is the lint JSON report,
+//                          findings never fail the request
 //   metrics                obs registry snapshot + engine cache stats
 //   health                 liveness, epoch, connection counts
 //

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <exception>
 
+#include "lint/analyzer.hpp"
+#include "lint/render.hpp"
 #include "obs/obs.hpp"
 
 namespace upsim::server {
@@ -273,6 +275,9 @@ std::string Server::dispatch(const Request& req) {
     engine_.notify_mapping_changed(params.at("name").string);
     return make_response(req.id, R"({"ok":true})");
   }
+  if (req.method == "validate") {
+    return make_response(req.id, handle_validate(req));
+  }
   if (req.method == "metrics") {
     return make_response(req.id, handle_metrics());
   }
@@ -378,6 +383,32 @@ std::string Server::handle_availability(const Request& req) {
       engine_.query(*q.composite, q.mapping, std::move(q.name));
   return availability_json(core::analyze_availability(result, analysis),
                            result);
+}
+
+std::string Server::handle_validate(const Request& req) {
+  // Lint on demand: the served infrastructure and catalog, plus an optional
+  // composite/mapping pair from the params, checked without running a
+  // query.  Findings do not fail the request — the report *is* the 200
+  // result, and clients branch on its "ok" member.
+  lint::Input input;
+  input.objects = &engine_.infrastructure();
+  input.services = &services_;
+  const obs::JsonValue& params = req.params;
+  if (params.has("composite")) {
+    if (params.at("composite").kind != obs::JsonValue::Kind::String) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'composite' must be a string");
+    }
+    input.composite = &services_.get_composite(params.at("composite").string);
+  }
+  mapping::ServiceMapping mapping;
+  if (params.has("mapping")) {
+    mapping = mapping_from_params(params);
+    lint::MappingInput entry;
+    entry.mapping = &mapping;
+    input.mappings.push_back(std::move(entry));
+  }
+  return lint::render_json(lint::analyze(input));
 }
 
 std::string Server::handle_metrics() {

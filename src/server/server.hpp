@@ -143,6 +143,7 @@ class Server {
   // Method handlers (return the result JSON; throw for error responses).
   [[nodiscard]] std::string handle_query(const Request& req, bool paths_only);
   [[nodiscard]] std::string handle_availability(const Request& req);
+  [[nodiscard]] std::string handle_validate(const Request& req);
   [[nodiscard]] std::string handle_metrics();
   [[nodiscard]] std::string handle_health();
 

@@ -283,7 +283,8 @@ void read_applications(const UmlBundle& bundle, const xml::Element& parent,
 }
 
 std::unique_ptr<uml::ClassModel> read_class_model(const UmlBundle& bundle,
-                                                  const xml::Element& cm) {
+                                                  const xml::Element& cm,
+                                                  BundleLocations* locations) {
   auto classes =
       std::make_unique<uml::ClassModel>(cm.required_attribute("name"));
   for (const xml::Element* c :
@@ -295,6 +296,9 @@ std::unique_ptr<uml::ClassModel> read_class_model(const UmlBundle& bundle,
     uml::Class& cls =
         classes->define_class(c->required_attribute("name"), parent,
                               c->attribute("abstract") == "true");
+    if (locations != nullptr) {
+      locations->classes.emplace(cls.name(), c->location());
+    }
     for (const xml::Element* st : c->children_named("static")) {
       const uml::ValueType type = type_from(st->required_attribute("type"));
       cls.set_static(st->required_attribute("name"),
@@ -307,33 +311,49 @@ std::unique_ptr<uml::ClassModel> read_class_model(const UmlBundle& bundle,
         a->required_attribute("name"),
         classes->get_class(a->required_attribute("endA")),
         classes->get_class(a->required_attribute("endB")));
+    if (locations != nullptr) {
+      locations->associations.emplace(assoc.name(), a->location());
+    }
     read_applications(bundle, *a, assoc);
   }
   return classes;
 }
 
 std::unique_ptr<uml::ObjectModel> read_object_model(
-    const uml::ClassModel& classes, const xml::Element& om) {
+    const uml::ClassModel& classes, const xml::Element& om,
+    BundleLocations* locations) {
   auto objects = std::make_unique<uml::ObjectModel>(
       om.required_attribute("name"), classes);
   for (const xml::Element* i : om.children_named("instance")) {
-    objects->instantiate(i->required_attribute("name"),
-                         i->required_attribute("class"));
+    const auto& inst = objects->instantiate(i->required_attribute("name"),
+                                            i->required_attribute("class"));
+    if (locations != nullptr) {
+      locations->instances.emplace(inst.name(), i->location());
+    }
   }
   for (const xml::Element* l : om.children_named("link")) {
-    objects->link(l->required_attribute("a"), l->required_attribute("b"),
-                  l->required_attribute("association"),
-                  std::string(l->attribute("name").value_or("")));
+    const auto& link =
+        objects->link(l->required_attribute("a"), l->required_attribute("b"),
+                      l->required_attribute("association"),
+                      std::string(l->attribute("name").value_or("")));
+    // Keyed by the final link name so derived "a--b" names resolve too.
+    if (locations != nullptr) {
+      locations->links.emplace(link.name(), l->location());
+    }
   }
   return objects;
 }
 
-std::unique_ptr<service::ServiceCatalog> read_services(const xml::Element& sv) {
+std::unique_ptr<service::ServiceCatalog> read_services(
+    const xml::Element& sv, BundleLocations* locations) {
   auto services = std::make_unique<service::ServiceCatalog>();
   for (const xml::Element* a : sv.children_named("atomic")) {
-    services->define_atomic(
+    const auto& atomic = services->define_atomic(
         a->required_attribute("name"),
         std::string(a->attribute("description").value_or("")));
+    if (locations != nullptr) {
+      locations->atomics.emplace(atomic.name(), a->location());
+    }
   }
   for (const xml::Element* c : sv.children_named("composite")) {
     const std::string& name = c->required_attribute("name");
@@ -372,6 +392,9 @@ std::unique_ptr<service::ServiceCatalog> read_services(const xml::Element& sv) {
       activity.flow(from->second, to->second);
     }
     services->define_composite(name, std::move(activity));
+    if (locations != nullptr) {
+      locations->composites.emplace(name, c->location());
+    }
   }
   return services;
 }
@@ -396,7 +419,7 @@ std::string to_xml(const UmlBundle& bundle) {
   return xml::Document(std::move(root)).to_string();
 }
 
-UmlBundle from_xml(std::string_view xml_text) {
+UmlBundle from_xml(std::string_view xml_text, BundleLocations* locations) {
   const xml::Document doc = xml::parse(xml_text);
   const xml::Element& root = doc.root();
   if (root.name() != "umlbundle") {
@@ -412,7 +435,7 @@ UmlBundle from_xml(std::string_view xml_text) {
     throw ModelError("umlio: at most one <classmodel> per bundle");
   }
   if (!class_models.empty()) {
-    bundle.classes = read_class_model(bundle, *class_models[0]);
+    bundle.classes = read_class_model(bundle, *class_models[0], locations);
   }
   const auto object_models = root.children_named("objectmodel");
   if (object_models.size() > 1) {
@@ -422,10 +445,11 @@ UmlBundle from_xml(std::string_view xml_text) {
     if (bundle.classes == nullptr) {
       throw ModelError("umlio: <objectmodel> requires a <classmodel>");
     }
-    bundle.objects = read_object_model(*bundle.classes, *object_models[0]);
+    bundle.objects =
+        read_object_model(*bundle.classes, *object_models[0], locations);
   }
   if (const xml::Element* sv = root.first_child("services")) {
-    bundle.services = read_services(*sv);
+    bundle.services = read_services(*sv, locations);
   }
   return bundle;
 }
@@ -436,12 +460,12 @@ void save_bundle(const UmlBundle& bundle, const std::string& path) {
   out << to_xml(bundle);
 }
 
-UmlBundle load_bundle(const std::string& path) {
+UmlBundle load_bundle(const std::string& path, BundleLocations* locations) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("umlio: cannot read file: " + path);
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  return from_xml(content);
+  return from_xml(content, locations);
 }
 
 }  // namespace upsim::umlio

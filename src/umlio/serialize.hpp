@@ -39,6 +39,7 @@
 // the loader resolves them iteratively and reports cycles.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,7 @@
 #include "service/service.hpp"
 #include "uml/object_model.hpp"
 #include "uml/profile.hpp"
+#include "xml/dom.hpp"
 
 namespace upsim::umlio {
 
@@ -60,16 +62,33 @@ struct UmlBundle {
   [[nodiscard]] const uml::Profile& profile(std::string_view name) const;
 };
 
+/// Where each named model element was declared in the bundle file, keyed by
+/// its model name (links by their final — possibly derived — link name).
+/// Collected by from_xml as a side product of loading so that lint
+/// diagnostics can point back at the XML source; elements built in memory
+/// simply have no entry.
+struct BundleLocations {
+  std::map<std::string, xml::Location> classes;
+  std::map<std::string, xml::Location> associations;
+  std::map<std::string, xml::Location> instances;
+  std::map<std::string, xml::Location> links;
+  std::map<std::string, xml::Location> atomics;
+  std::map<std::string, xml::Location> composites;
+};
+
 /// Serialises a bundle (null members are simply omitted).
 [[nodiscard]] std::string to_xml(const UmlBundle& bundle);
 
 /// Parses a bundle.  Throws ParseError on syntax errors and ModelError on
 /// semantic ones (unknown references, duplicate names, cyclic inheritance,
-/// value/type mismatches...).
-[[nodiscard]] UmlBundle from_xml(std::string_view xml_text);
+/// value/type mismatches...).  `locations`, when non-null, receives the
+/// source position of every named element.
+[[nodiscard]] UmlBundle from_xml(std::string_view xml_text,
+                                 BundleLocations* locations = nullptr);
 
 /// File convenience wrappers.
 void save_bundle(const UmlBundle& bundle, const std::string& path);
-[[nodiscard]] UmlBundle load_bundle(const std::string& path);
+[[nodiscard]] UmlBundle load_bundle(const std::string& path,
+                                    BundleLocations* locations = nullptr);
 
 }  // namespace upsim::umlio

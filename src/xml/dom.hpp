@@ -17,6 +17,16 @@
 
 namespace upsim::xml {
 
+/// Source position of a parsed construct: 1-based line/column of the '<'
+/// that opened the element.  Default-constructed (0/0) means "not parsed
+/// from text" — elements built programmatically have no position.
+struct Location {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  [[nodiscard]] bool known() const noexcept { return line != 0; }
+};
+
 class Element;
 using ElementPtr = std::unique_ptr<Element>;
 
@@ -29,6 +39,13 @@ class Element {
   explicit Element(std::string name);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // -- source location -----------------------------------------------------
+  /// Where the parser saw this element's start tag; unknown (0/0) for
+  /// elements built in memory.  Loaders thread these positions into lint
+  /// diagnostics so findings point at the offending line of the input file.
+  void set_location(Location location) noexcept { location_ = location; }
+  [[nodiscard]] Location location() const noexcept { return location_; }
 
   // -- attributes ----------------------------------------------------------
   /// Sets (or replaces) an attribute.
@@ -71,6 +88,7 @@ class Element {
 
  private:
   std::string name_;
+  Location location_;
   std::vector<std::pair<std::string, std::string>> attributes_;
   std::string text_;
   std::vector<ElementPtr> children_;

@@ -187,8 +187,11 @@ class Parser {
   }
 
   ElementPtr parse_element() {
+    // Anchor the element at its '<' so diagnostics point at the start tag.
+    const Location start{cur_.line(), cur_.column()};
     cur_.expect('<');
     auto element = std::make_unique<Element>(parse_name());
+    element->set_location(start);
     // Attributes.
     for (;;) {
       cur_.skip_whitespace();

@@ -24,6 +24,7 @@
 #include "casestudy/usi.hpp"
 #include "core/analysis.hpp"
 #include "engine/perspective_engine.hpp"
+#include "mapping/mapping.hpp"
 #include "net/client.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
@@ -311,6 +312,49 @@ TEST(ServerTest, MetricsAndHealthHaveTheDocumentedShape) {
   EXPECT_EQ(health.result().at("status").string, "ok");
   EXPECT_GE(health.result().at("active_connections").number, 1.0);
   EXPECT_FALSE(health.result().at("draining").boolean);
+}
+
+TEST(ServerTest, ValidateMethodLintsOverLoopback) {
+  Stack stack;
+  net::Client client = stack.client();
+
+  // Bare validate: served infrastructure + catalog only — USI is clean.
+  const net::Response clean = client.call("validate", "{}");
+  ASSERT_TRUE(clean.ok()) << clean.error_message();
+  EXPECT_TRUE(clean.result().at("ok").boolean);
+  EXPECT_TRUE(clean.result().at("diagnostics").array.empty());
+
+  // The full query inputs (composite + mapping) are clean too.
+  const net::Response full = client.call("validate", stack.t1_p2_params());
+  ASSERT_TRUE(full.ok()) << full.error_message();
+  EXPECT_TRUE(full.result().at("ok").boolean);
+
+  // A dangling requester comes back as findings in a 200 result — lint
+  // reports, it does not fail the request.
+  mapping::ServiceMapping broken = stack.cs.mapping_t1_p2();
+  broken.map("request_printing", "ghost", "printS");
+  const net::Response findings = client.call(
+      "validate", server::query_params_json(
+                      casestudy::printing_service_name(), broken));
+  ASSERT_TRUE(findings.ok()) << findings.error_message();
+  EXPECT_FALSE(findings.result().at("ok").boolean);
+  EXPECT_GE(findings.result().at("errors").number, 1.0);
+  bool saw_dangling = false;
+  for (const auto& d : findings.result().at("diagnostics").array) {
+    if (d.at("code").string == "UPS001") {
+      saw_dangling = true;
+      EXPECT_EQ(d.at("severity").string, "error");
+      EXPECT_NE(d.at("message").string.find("ghost"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_dangling);
+
+  // An unknown composite is still a request error, mirroring the query
+  // methods' lookup semantics.
+  const net::Response missing =
+      client.call("validate", R"({"composite":"no_such_service"})");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status, 404);
 }
 
 TEST(ServerTest, ConcurrentClientsAllSucceed) {

@@ -113,6 +113,71 @@ TEST(XmlParser, ErrorsCarryLineAndColumn) {
   }
 }
 
+struct PositionedErrorCase {
+  const char* label;
+  const char* input;
+  std::size_t line;
+};
+
+class ParseErrorPositionTest
+    : public ::testing::TestWithParam<PositionedErrorCase> {};
+
+TEST_P(ParseErrorPositionTest, LineAndColumnAreRecorded) {
+  try {
+    (void)parse(GetParam().input);
+    FAIL() << GetParam().label << ": expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), GetParam().line) << GetParam().label;
+    EXPECT_GT(e.column(), 0u) << GetParam().label;
+    // The rendered message embeds the position for bare what() consumers.
+    EXPECT_NE(std::string(e.what()).find("line " +
+                                         std::to_string(GetParam().line)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParseErrorPositionTest,
+    ::testing::Values(
+        PositionedErrorCase{"unknown_entity_line2", "<a>\n&nope;</a>", 2},
+        PositionedErrorCase{"unterminated_line1", "<root", 1},
+        PositionedErrorCase{"mismatched_close_line4", "<a>\n<b>\n</b>\n</c>",
+                            4},
+        PositionedErrorCase{"second_root_line3", "<a>\n</a>\n<b/>", 3},
+        PositionedErrorCase{"bad_attr_line2", "<a>\n<b x=1/>\n</a>", 2}),
+    [](const ::testing::TestParamInfo<PositionedErrorCase>& info) {
+      return info.param.label;
+    });
+
+TEST(XmlParser, ElementsCarrySourceLocations) {
+  const auto doc = parse("<root>\n  <child a='1'/>\n  <other/>\n</root>");
+  EXPECT_TRUE(doc.root().location().known());
+  EXPECT_EQ(doc.root().location().line, 1u);
+  EXPECT_EQ(doc.root().location().column, 1u);
+  ASSERT_EQ(doc.root().children().size(), 2u);
+  // Each child is anchored at its '<', after the two-space indent.
+  EXPECT_EQ(doc.root().children()[0]->location().line, 2u);
+  EXPECT_EQ(doc.root().children()[0]->location().column, 3u);
+  EXPECT_EQ(doc.root().children()[1]->location().line, 3u);
+  EXPECT_EQ(doc.root().children()[1]->location().column, 3u);
+}
+
+TEST(XmlParser, LocationsFollowTheDeclarationLine) {
+  const auto doc = parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<root><inner/></root>");
+  EXPECT_EQ(doc.root().location().line, 2u);
+  EXPECT_EQ(doc.root().location().column, 1u);
+  EXPECT_EQ(doc.root().children()[0]->location().column, 7u);
+}
+
+TEST(XmlDom, HandBuiltElementsHaveNoLocation) {
+  const Element e("x");
+  EXPECT_FALSE(e.location().known());
+  EXPECT_EQ(e.location().line, 0u);
+  EXPECT_EQ(e.location().column, 0u);
+}
+
 TEST(XmlDom, RoundTripThroughSerialisation) {
   const char* source =
       "<servicemapping>"
