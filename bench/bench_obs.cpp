@@ -1,0 +1,98 @@
+// Observability hot-path cost: what a request pays for being traced.
+//
+// The serving stack wraps every request in spans (server.request,
+// engine.query, discovery steps), so span begin+end sits on the latency
+// path of every served query.  The per-thread span buffers exist to keep
+// that cost flat under concurrency — span end appends under a mutex only
+// its own thread touches, and the tracer's global lock is taken only by
+// the exporter.  Reported cases:
+//
+//   span_disabled        obs off: a span must cost ~nothing (the common
+//                        production configuration)
+//   span_enabled         begin+end on one thread (~100ns is the bar the
+//                        header comment of obs/trace.hpp commits to)
+//   span_enabled_traced  the same under a TraceScope — adds the id
+//                        bookkeeping a served request actually does
+//   span_contended       8 threads recording concurrently; per-thread
+//                        buffers should keep per-span cost near the
+//                        single-thread number instead of serializing
+//   histogram_record     one Histogram::record — the other per-request
+//                        obs cost (latency histograms)
+//   trace_id_roundtrip   generate + format + parse of a wire trace id
+#include <benchmark/benchmark.h>
+
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace upsim;
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(span);
+  }
+  obs::Tracer::global().clear();
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanEnabledTraced(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::TraceScope trace({obs::generate_trace_id(), 0});
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(span);
+  }
+  obs::Tracer::global().clear();
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabledTraced);
+
+// ->Threads(8): google-benchmark runs the loop body on 8 threads at once,
+// so this measures recording *contention*, the case the per-thread
+// buffers are for.
+void BM_SpanContended(benchmark::State& state) {
+  if (state.thread_index() == 0) obs::set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(span);
+  }
+  if (state.thread_index() == 0) {
+    obs::Tracer::global().clear();
+    obs::set_enabled(false);
+  }
+}
+BENCHMARK(BM_SpanContended)->Threads(8);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::set_enabled(true);
+  auto& h = obs::Registry::global().histogram("bench.latency_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e6 ? v * 1.01 : 1.0;
+  }
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TraceIdRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    const std::uint64_t id = obs::generate_trace_id();
+    benchmark::DoNotOptimize(obs::parse_trace_id(obs::format_trace_id(id)));
+  }
+}
+BENCHMARK(BM_TraceIdRoundtrip);
+
+}  // namespace

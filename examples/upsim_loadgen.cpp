@@ -1,7 +1,10 @@
 // upsim_loadgen — closed-loop load generator for upsimd: N connections each
 // issue M requests back-to-back, latency is recorded per request, and the
-// run is written to BENCH_server.json (p50/p90/p99, throughput) alongside
-// the other BENCH_*.json perf artefacts.
+// run is written to BENCH_server.json (p50/p90/p95/p99/p999, throughput,
+// cache effectiveness) alongside the other BENCH_*.json perf artefacts.
+// Cache hit rates come from the server's own `metrics` method after the
+// run, so they are per-server-lifetime truth whether the server is
+// self-hosted or external.
 //
 //   upsim_loadgen                               # self-hosted USI demo
 //   upsim_loadgen --connections 8 --requests 500 --method upsim
@@ -149,6 +152,9 @@ int main(int argc, char** argv) {
     // Request payloads are pre-built once: the measured loop is pure
     // send/receive (roundtrip_raw) plus a substring status check, so the
     // client side stays off the profile and the numbers isolate the server.
+    // Deliberately no "trace" member — a pre-built payload would repeat one
+    // id across requests; the server assigns a fresh id per request
+    // instead, so its access log and trace export stay per-request.
     std::vector<std::string> payloads;
     payloads.reserve(param_sets.size());
     for (std::size_t i = 0; i < param_sets.size(); ++i) {
@@ -217,15 +223,50 @@ int main(int argc, char** argv) {
               << " connections in " << util::format_sig(wall_s * 1e3, 4)
               << " ms\nthroughput " << util::format_sig(throughput, 5)
               << " req/s; latency p50 "
-              << util::format_sig(snapshot.quantile(0.50), 4) << " us, p90 "
-              << util::format_sig(snapshot.quantile(0.90), 4) << " us, p99 "
-              << util::format_sig(snapshot.quantile(0.99), 4) << " us, max "
+              << util::format_sig(snapshot.quantile(0.50), 4) << " us, p95 "
+              << util::format_sig(snapshot.quantile(0.95), 4) << " us, p99 "
+              << util::format_sig(snapshot.quantile(0.99), 4) << " us, p999 "
+              << util::format_sig(snapshot.quantile(0.999), 4) << " us, max "
               << util::format_sig(snapshot.max, 4) << " us\n";
-    if (server) {
-      const auto stats = engine->cache_stats();
+
+    // Cache effectiveness from the server's own `metrics` method — the
+    // same numbers whether the server is self-hosted or across the
+    // network.  Best effort: an old or unreachable server just drops the
+    // section.
+    double path_cache_hit_rate = -1.0;
+    double response_cache_hit_rate = -1.0;
+    std::uint64_t response_cache_hits = 0;
+    std::uint64_t response_cache_misses = 0;
+    try {
+      net::ClientOptions metrics_options;
+      metrics_options.host = host;
+      metrics_options.port = port;
+      net::Client metrics_client(metrics_options);
+      const net::Response resp = metrics_client.call("metrics");
+      if (resp.ok()) {
+        const obs::JsonValue& result = resp.result();
+        path_cache_hit_rate = result.at("cache").at("hit_rate").number;
+        if (result.has("response_cache")) {
+          const obs::JsonValue& rc = result.at("response_cache");
+          response_cache_hits =
+              static_cast<std::uint64_t>(rc.at("hits").number);
+          response_cache_misses =
+              static_cast<std::uint64_t>(rc.at("misses").number);
+          response_cache_hit_rate = rc.at("hit_rate").number;
+        }
+      }
+    } catch (const std::exception&) {
+      // Nothing to report; the latency numbers above stand on their own.
+    }
+    if (path_cache_hit_rate >= 0.0) {
       std::cout << "server path cache: hit rate "
-                << util::format_sig(stats.hit_rate() * 100.0, 3) << "% ("
-                << stats.hits << " hits, " << stats.misses << " misses)\n";
+                << util::format_sig(path_cache_hit_rate * 100.0, 3) << "%\n";
+    }
+    if (response_cache_hit_rate >= 0.0) {
+      std::cout << "server response cache: hit rate "
+                << util::format_sig(response_cache_hit_rate * 100.0, 3)
+                << "% (" << response_cache_hits << " hits, "
+                << response_cache_misses << " misses)\n";
     }
 
     if (!args.out.empty()) {
@@ -257,21 +298,36 @@ int main(int argc, char** argv) {
       w.value(snapshot.quantile(0.50));
       w.key("p90");
       w.value(snapshot.quantile(0.90));
+      w.key("p95");
+      w.value(snapshot.quantile(0.95));
       w.key("p99");
       w.value(snapshot.quantile(0.99));
+      w.key("p999");
+      w.value(snapshot.quantile(0.999));
       w.key("min");
       w.value(snapshot.min);
       w.key("max");
       w.value(snapshot.max);
       w.end_object();
-      if (server) {
-        const auto stats = engine->cache_stats();
+      if (server || path_cache_hit_rate >= 0.0) {
         w.key("server");
         w.begin_object();
-        w.key("worker_threads");
-        w.value(static_cast<std::uint64_t>(engine->pool().thread_count()));
-        w.key("cache_hit_rate");
-        w.value(stats.hit_rate());
+        if (server) {
+          w.key("worker_threads");
+          w.value(static_cast<std::uint64_t>(engine->pool().thread_count()));
+        }
+        if (path_cache_hit_rate >= 0.0) {
+          w.key("cache_hit_rate");
+          w.value(path_cache_hit_rate);
+        }
+        if (response_cache_hit_rate >= 0.0) {
+          w.key("response_cache_hits");
+          w.value(response_cache_hits);
+          w.key("response_cache_misses");
+          w.value(response_cache_misses);
+          w.key("response_cache_hit_rate");
+          w.value(response_cache_hit_rate);
+        }
         w.end_object();
       }
       w.end_object();

@@ -9,15 +9,21 @@
 //               --mapping map.xml [--name view]
 //   upsim_query --port 7777 --method availability --composite printing \
 //               --mapping map.xml [--samples 100000]
+//   upsim_query --port 7777 --method trace --trace-id 9f86d081884c7d65
 //
 // Instead of --mapping FILE, pairs can be given inline as repeated
 //   --map SERVICE=REQUESTER:PROVIDER
+//
+// Every request is stamped with a fresh trace id (printed to stderr) that
+// a tracing server records its spans under — feed it back through
+// `--method trace --trace-id ...` to see where the time went.
 #include <iostream>
 #include <string>
 
 #include "mapping/mapping.hpp"
 #include "net/client.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "server/protocol.hpp"
 #include "util/error.hpp"
 
@@ -27,7 +33,8 @@ constexpr const char* kUsage =
     "usage: upsim_query [--host H] --port P --method M\n"
     "                   [--composite NAME] [--mapping map.xml]\n"
     "                   [--map SERVICE=REQUESTER:PROVIDER]... [--name N]\n"
-    "                   [--samples N] [--timeout-ms N]";
+    "                   [--samples N] [--timeout-ms N]\n"
+    "                   [--trace-id HEX16]      (for --method trace)";
 
 }  // namespace
 
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
     std::string mapping_path;
     std::string name;
     std::string samples;
+    std::string trace_id;
     mapping::ServiceMapping inline_mapping;
     bool have_inline = false;
 
@@ -77,6 +85,8 @@ int main(int argc, char** argv) {
         name = value();
       } else if (arg == "--samples") {
         samples = value();
+      } else if (arg == "--trace-id") {
+        trace_id = value();
       } else if (arg == "--timeout-ms") {
         options.request_timeout_ms = static_cast<int>(std::stoul(value()));
       } else {
@@ -107,10 +117,22 @@ int main(int argc, char** argv) {
       w.value(name);
       w.end_object();
       params = std::move(w).str();
+    } else if (method == "trace") {
+      if (trace_id.empty()) {
+        throw Error("method 'trace' needs --trace-id\n" + std::string(kUsage));
+      }
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("trace");
+      w.value(trace_id);
+      w.end_object();
+      params = std::move(w).str();
     }
 
     net::Client client(options);
     const std::string raw = client.call_raw(method, params);
+    std::cerr << "trace id: " << obs::format_trace_id(client.last_trace_id())
+              << "\n";
     std::cout << raw << "\n";
     // Exit non-zero on protocol errors so shell pipelines can branch.
     const auto doc = obs::json_parse(raw);

@@ -6,13 +6,28 @@
 //   upsimd --bundle net.xml --port 7777 [--threads 8] [--record]
 //          [--max-connections 64] [--max-backlog 128]
 //          [--metrics-out m.json] [--trace-out t.json]
+//          [--prom-port P] [--access-log a.jsonl] [--slow-ms N]
 //   upsimd --demo [--port 7777] ...         # self-contained USI case study
 //
 // --record switches the engine's record_in_space on (each served
 // perspective is inserted into the model space, UpsimGenerator-style); the
 // default is pure serving.  --metrics-out writes the final obs snapshot —
 // request counts by method/status, queue-wait and handling latency
-// histograms, bytes in/out — on shutdown.
+// histograms (p50/p95/p99/p999), bytes in/out — on shutdown.
+//
+// Observability pipeline (docs/ARCHITECTURE.md "Observability"):
+//   --trace-out    writes the Chrome trace on shutdown, stitched per
+//                  *request*: each trace id gets its own timeline row, so
+//                  one request's spans line up across the threads they
+//                  ran on.
+//   --prom-port    serves GET /metrics on a second listener — the full
+//                  registry in Prometheus text exposition (format 0.0.4).
+//   --access-log   appends one JSON line per request (method, status,
+//                  bytes, trace id, queue wait, handler time, cache hit);
+//                  "-" logs to stderr.  --slow-ms N promotes requests
+//                  slower than N ms to warning records that embed their
+//                  span tree.
+// Any of these flags enables instrumentation.
 //
 // Query it with examples/upsim_query.cpp or load it with
 // examples/upsim_loadgen.cpp; docs/TUTORIAL.md §10 is the walkthrough.
@@ -21,6 +36,7 @@
 #include <csignal>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -29,6 +45,7 @@
 #include "lint/analyzer.hpp"
 #include "lint/render.hpp"
 #include "obs/obs.hpp"
+#include "server/metrics_http.hpp"
 #include "server/server.hpp"
 #include "umlio/serialize.hpp"
 
@@ -42,12 +59,17 @@ constexpr const char* kUsage =
     "usage: upsimd --bundle net.xml [--port P] [--threads N] [--record]\n"
     "              [--max-connections N] [--max-backlog N]\n"
     "              [--metrics-out m.json] [--trace-out t.json]\n"
+    "              [--prom-port P] [--access-log a.jsonl] [--slow-ms N]\n"
     "   or: upsimd --demo [same options]      (self-contained USI bundle)";
 
 struct Args {
   std::string bundle_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string access_log_path;
+  double slow_ms = 0.0;
+  std::uint16_t prom_port = 0;
+  bool prom = false;
   upsim::server::ServerOptions server;
   std::size_t threads = 0;
   bool record = false;
@@ -81,6 +103,13 @@ Args parse_args(int argc, char** argv) {
       args.metrics_out = value();
     } else if (arg == "--trace-out") {
       args.trace_out = value();
+    } else if (arg == "--prom-port") {
+      args.prom_port = static_cast<std::uint16_t>(std::stoul(value()));
+      args.prom = true;
+    } else if (arg == "--access-log") {
+      args.access_log_path = value();
+    } else if (arg == "--slow-ms") {
+      args.slow_ms = std::stod(value());
     } else if (arg == "--demo") {
       args.demo = true;
     } else {
@@ -117,7 +146,8 @@ int main(int argc, char** argv) {
   using namespace upsim;
   try {
     Args args = parse_args(argc, argv);
-    if (!args.metrics_out.empty() || !args.trace_out.empty()) {
+    if (!args.metrics_out.empty() || !args.trace_out.empty() || args.prom ||
+        !args.access_log_path.empty()) {
       obs::set_enabled(true);
     }
     if (args.demo && args.bundle_path.empty()) {
@@ -159,7 +189,31 @@ int main(int argc, char** argv) {
     engine_options.threads = args.threads;
     engine_options.record_in_space = args.record;
     engine::PerspectiveEngine engine(*bundle.objects, engine_options);
+
+    std::optional<server::AccessLog> access_log;
+    if (!args.access_log_path.empty()) {
+      server::AccessLogOptions log_options;
+      if (args.access_log_path == "-") {
+        log_options.stream = &std::cerr;
+      } else {
+        log_options.path = args.access_log_path;
+      }
+      log_options.slow_ms = args.slow_ms;
+      access_log.emplace(std::move(log_options));
+      args.server.access_log = &*access_log;
+    }
     server::Server server(engine, *bundle.services, args.server);
+
+    std::optional<server::MetricsHttpServer> prom;
+    if (args.prom) {
+      server::MetricsHttpOptions prom_options;
+      prom_options.host = args.server.host;
+      prom_options.port = args.prom_port;
+      prom.emplace(std::move(prom_options));
+      prom->start();
+      std::cout << "upsimd: Prometheus exposition on http://"
+                << args.server.host << ":" << prom->port() << "/metrics\n";
+    }
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
@@ -177,13 +231,23 @@ int main(int argc, char** argv) {
               << " in-flight request(s) across " << server.active_connections()
               << " connection(s)\n";
     server.stop();
+    if (prom) prom->stop();
 
     const auto stats = engine.cache_stats();
     std::cout << "upsimd: stopped; path cache " << stats.hits << " hits / "
-              << stats.misses << " misses, epoch " << engine.epoch() << "\n";
+              << stats.misses << " misses, response cache "
+              << server.response_cache_hits() << " hits / "
+              << server.response_cache_misses() << " misses, epoch "
+              << engine.epoch() << "\n";
+    if (access_log) {
+      std::cout << "access log: " << access_log->lines_written()
+                << " line(s) written, " << access_log->lines_dropped()
+                << " dropped\n";
+    }
     if (!args.trace_out.empty()) {
-      obs::Tracer::global().write_chrome_json(args.trace_out);
-      std::cout << "wrote trace to " << args.trace_out << "\n";
+      obs::Tracer::global().write_chrome_json(args.trace_out,
+                                              /*group_by_trace=*/true);
+      std::cout << "wrote per-request trace to " << args.trace_out << "\n";
     }
     if (!args.metrics_out.empty()) {
       obs::Registry::global().snapshot().write_json(args.metrics_out);

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace upsim::net {
 
@@ -43,7 +44,8 @@ void Client::ensure_connected() {
   sock_.set_send_timeout_ms(options_.send_timeout_ms);
 }
 
-std::string Client::build_request(std::uint64_t id, std::string_view method,
+std::string Client::build_request(std::uint64_t id, std::uint64_t trace_id,
+                                  std::string_view method,
                                   std::string_view params_json) const {
   obs::JsonWriter w;
   w.begin_object();
@@ -53,6 +55,10 @@ std::string Client::build_request(std::uint64_t id, std::string_view method,
   w.value(method);
   w.key("params");
   w.raw_value(params_json.empty() ? "{}" : params_json);
+  if (trace_id != 0) {
+    w.key("trace");
+    w.value(obs::format_trace_id(trace_id));
+  }
   w.end_object();
   return std::move(w).str();
 }
@@ -79,7 +85,9 @@ std::string Client::call_raw(std::string_view method,
                              std::uint64_t* id_out) {
   const std::uint64_t id = next_id_++;
   if (id_out != nullptr) *id_out = id;
-  const std::string payload = build_request(id, method, params_json);
+  last_trace_id_ = options_.send_trace ? obs::generate_trace_id() : 0;
+  const std::string payload =
+      build_request(id, last_trace_id_, method, params_json);
 
   int backoff_ms = options_.retry_backoff_ms;
   for (int attempt = 0;; ++attempt) {

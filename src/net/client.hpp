@@ -38,6 +38,11 @@ struct ClientOptions {
   int max_retries = 2;
   /// Flat pause between attempts, doubled per retry.
   int retry_backoff_ms = 20;
+  /// Stamp every request envelope with a fresh "trace" id so the server's
+  /// spans, access-log line, and trace export correlate back to this call.
+  /// Off, the envelope matches pre-trace clients byte for byte and the
+  /// server assigns an id of its own.
+  bool send_trace = true;
 };
 
 /// One parsed server response (see src/server/protocol.hpp for the shape).
@@ -85,9 +90,17 @@ class Client {
   [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
   void disconnect() noexcept { sock_.close(); }
 
+  /// Trace id stamped on the most recent call()/call_raw() (0 before the
+  /// first call or with options.send_trace off) — retries reuse it, so it
+  /// names the request, not the attempt.
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    return last_trace_id_;
+  }
+
  private:
   void ensure_connected();
   [[nodiscard]] std::string build_request(std::uint64_t id,
+                                          std::uint64_t trace_id,
                                           std::string_view method,
                                           std::string_view params_json) const;
   /// One send/receive exchange on the current connection; throws on any
@@ -97,6 +110,7 @@ class Client {
   ClientOptions options_;
   Socket sock_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace upsim::net

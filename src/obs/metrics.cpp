@@ -32,10 +32,20 @@ void atomic_max(std::atomic<double>& slot, double v) noexcept {
 }
 
 std::size_t bucket_of(double v) noexcept {
-  if (!(v >= 1.0)) return 0;  // also catches NaN
+  constexpr std::size_t kSub = Histogram::kSubBuckets;
+  if (!(v >= 1.0)) {  // also catches NaN (record() filters it first)
+    if (!(v > 0.0)) return 0;
+    return std::min(static_cast<std::size_t>(v * static_cast<double>(kSub)),
+                    kSub - 1);
+  }
   const int e = std::ilogb(v);
-  const std::size_t i = static_cast<std::size_t>(e) + 1;
-  return std::min(i, Histogram::kBuckets - 1);
+  if (e >= 63) return Histogram::kBuckets - 1;  // 2^63 and beyond clamp
+  // v / 2^e is in [1, 2); the fraction above 1 picks the linear slice.
+  const double scaled = std::ldexp(v, -e);
+  const std::size_t sub = std::min(
+      static_cast<std::size_t>((scaled - 1.0) * static_cast<double>(kSub)),
+      kSub - 1);
+  return kSub * (static_cast<std::size_t>(e) + 1) + sub;
 }
 
 }  // namespace
@@ -67,7 +77,14 @@ void Histogram::record(double v) noexcept {
 }
 
 double Histogram::Snapshot::bucket_upper_edge(std::size_t i) noexcept {
-  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+  constexpr std::size_t kSub = Histogram::kSubBuckets;
+  if (i < kSub) {  // linear slices of [0, 1)
+    return static_cast<double>(i + 1) / static_cast<double>(kSub);
+  }
+  const int e = static_cast<int>(i / kSub) - 1;
+  const std::size_t sub = i % kSub;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub + 1) / static_cast<double>(kSub), e);
 }
 
 double Histogram::Snapshot::quantile(double q) const noexcept {
@@ -224,8 +241,12 @@ std::string MetricsSnapshot::to_json() const {
     w.value(h.data.quantile(0.50));
     w.key("p90");
     w.value(h.data.quantile(0.90));
+    w.key("p95");
+    w.value(h.data.quantile(0.95));
     w.key("p99");
     w.value(h.data.quantile(0.99));
+    w.key("p999");
+    w.value(h.data.quantile(0.999));
     w.key("buckets");
     w.begin_array();
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
@@ -270,7 +291,9 @@ std::string MetricsSnapshot::to_text() const {
   for (const auto& h : histograms) {
     out += pad(h.name) + "count=" + std::to_string(h.data.count) +
            " mean=" + num(h.data.mean()) + " p50=" + num(h.data.quantile(.5)) +
-           " p99=" + num(h.data.quantile(.99)) + " max=" + num(h.data.max) +
+           " p95=" + num(h.data.quantile(.95)) +
+           " p99=" + num(h.data.quantile(.99)) +
+           " p999=" + num(h.data.quantile(.999)) + " max=" + num(h.data.max) +
            "\n";
   }
   return out;

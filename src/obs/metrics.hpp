@@ -61,13 +61,18 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Log2-bucketed histogram of non-negative samples.  Bucket i counts
-/// samples in [2^(i-1), 2^i) (bucket 0 is [0, 1)), which gives ~2x
-/// resolution over 19 decades — plenty for latencies in microseconds and
-/// path counts alike.  All state is atomic; record() never blocks.
+/// HDR-style histogram of non-negative samples: every power-of-two octave
+/// [2^e, 2^(e+1)) is split into kSubBuckets linear sub-buckets (and [0, 1)
+/// into kSubBuckets linear slices), so quantile estimates carry a bounded
+/// ~1/kSubBuckets relative error across 19 decades — good enough to quote
+/// p50/p95/p99/p999 latencies straight from the serving path.  All state is
+/// atomic; record() never blocks.
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
+  /// Linear sub-buckets per octave; 16 bounds quantile error at ~6%.
+  static constexpr std::size_t kSubBuckets = 16;
+  /// Octaves 2^0..2^63 plus the [0,1) range, kSubBuckets slices each.
+  static constexpr std::size_t kBuckets = kSubBuckets * 64;
 
   void record(double v) noexcept;
 
@@ -81,10 +86,13 @@ class Histogram {
     [[nodiscard]] double mean() const noexcept {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
-    /// Quantile estimate by linear interpolation inside the bucket that
-    /// holds the q-th sample; exact at the recorded min/max ends.
+    /// Quantile estimate by linear interpolation inside the sub-bucket that
+    /// holds the q-th sample; exact at the recorded min/max ends.  The
+    /// estimate is within one sub-bucket of the true sample, i.e. off by at
+    /// most a factor of (1 + 1/kSubBuckets).
     [[nodiscard]] double quantile(double q) const noexcept;
-    /// Inclusive upper edge of bucket i (2^i; bucket 0 -> 1.0).
+    /// Exclusive upper edge of sub-bucket i: (i+1)/kSubBuckets below 1.0,
+    /// then 2^e * (1 + (s+1)/kSubBuckets) for octave e, slice s.
     [[nodiscard]] static double bucket_upper_edge(std::size_t i) noexcept;
   };
 

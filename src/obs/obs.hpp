@@ -10,6 +10,7 @@
 // See docs/ARCHITECTURE.md ("Observability") for the layer's design rules.
 #pragma once
 
-#include "obs/json.hpp"     // IWYU pragma: export
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/json.hpp"        // IWYU pragma: export
+#include "obs/metrics.hpp"     // IWYU pragma: export
+#include "obs/prometheus.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"       // IWYU pragma: export

@@ -1,0 +1,68 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace upsim::obs {
+
+namespace {
+
+/// Shortest exact decimal for the dyadic bucket edges, full precision for
+/// arbitrary sums/gauges ("%.17g" keeps round-trippability; "%g"-style
+/// trailing-zero stripping keeps edges like 0.0625 tidy and byte-stable).
+std::string num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf);
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const Histogram::Snapshot& data) {
+  out += "# TYPE " + name + " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (data.buckets[i] == 0) continue;  // published buckets stay cumulative
+    cumulative += data.buckets[i];
+    out += name + "_bucket{le=\"" +
+           num(Histogram::Snapshot::bucket_upper_edge(i)) + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  out += name + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
+  out += name + "_sum " + num(data.sum) + "\n";
+  out += name + "_count " + std::to_string(data.count) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "upsim_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_metric_name(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_metric_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + num(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    append_histogram(out, prometheus_metric_name(h.name), h.data);
+  }
+  return out;
+}
+
+}  // namespace upsim::obs

@@ -1,0 +1,38 @@
+// Prometheus text exposition (format version 0.0.4) of a MetricsSnapshot.
+//
+// Rendering rules, chosen so the output is byte-stable for golden tests and
+// parses with the standard Prometheus scraper:
+//   - Metric names are prefixed "upsim_" and sanitized: every character
+//     outside [a-zA-Z0-9_:] becomes '_' (so "server.requests.upsim" scrapes
+//     as upsim_server_requests_upsim).
+//   - Counters render as "<name>_total" with a "# TYPE ... counter" header,
+//     gauges as-is with "# TYPE ... gauge".
+//   - Histograms render the cumulative-bucket form the Prometheus histogram
+//     type requires: one "<name>_bucket{le="<edge>"}" sample per *occupied*
+//     sub-bucket (edges from Histogram::Snapshot::bucket_upper_edge, counts
+//     cumulative and therefore monotone), a final le="+Inf" bucket equal to
+//     the total count, then "<name>_sum" and "<name>_count".  Skipping empty
+//     sub-buckets is valid — Prometheus only requires the published buckets
+//     to be cumulative — and keeps a 1024-bucket histogram scrapeable.
+//   - Metrics appear in snapshot order (sorted by name within each kind):
+//     counters, then gauges, then histograms.
+//
+// The renderer is deliberately free of any HTTP/server dependency; the
+// scrape endpoint that serves it lives in src/server/metrics_http.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace upsim::obs {
+
+/// "upsim_" + `name` with every character outside [a-zA-Z0-9_:] replaced
+/// by '_'.
+[[nodiscard]] std::string prometheus_metric_name(std::string_view name);
+
+/// The full exposition document for `snapshot` (ends with a newline).
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace upsim::obs

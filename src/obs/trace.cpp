@@ -1,8 +1,11 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <utility>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -17,36 +20,153 @@ namespace {
 /// single-tracer case and merely cosmetic when tests run private tracers.
 thread_local std::uint32_t t_depth = 0;
 
+/// The calling thread's trace context (see TraceScope).
+thread_local TraceContext t_context;
+
+/// splitmix64 finalizer: full-avalanche mix of a weak sequence into ids.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache of (tracer id -> this thread's log).  Entries for
+/// dead tracers linger harmlessly (the shared_ptr keeps the buffer alive,
+/// nothing drains it); a thread touches at most a handful of tracers.
+struct CachedLog {
+  std::uint64_t tracer_id;
+  std::shared_ptr<void> log;  // actually Tracer::ThreadLog
+};
+thread_local std::vector<CachedLog> t_logs;
+
 }  // namespace
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+std::uint64_t generate_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{[] {
+    const auto wall = std::chrono::system_clock::now().time_since_epoch();
+    const auto mono = std::chrono::steady_clock::now().time_since_epoch();
+    return mix64(static_cast<std::uint64_t>(wall.count()) ^
+                 mix64(static_cast<std::uint64_t>(mono.count())));
+  }()};
+  const std::uint64_t id =
+      mix64(counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
+
+std::string format_trace_id(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf, 16);
+}
+
+std::uint64_t parse_trace_id(std::string_view hex) noexcept {
+  if (hex.size() != 16) return 0;
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return value;
+}
+
+TraceContext current_trace_context() noexcept { return t_context; }
+
+TraceScope::TraceScope(TraceContext context) noexcept
+    : previous_(t_context) {
+  t_context = context;
+}
+
+TraceScope::~TraceScope() { t_context = previous_; }
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer()
+    : tracer_id_([] {
+        static std::atomic<std::uint64_t> ids{1};
+        return ids.fetch_add(1, std::memory_order_relaxed);
+      }()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
 
 Tracer& Tracer::global() {
   static auto* tracer = new Tracer;  // leaked: see header
   return *tracer;
 }
 
-void Tracer::record(SpanRecord&& span,
-                    std::chrono::steady_clock::time_point start,
-                    std::chrono::steady_clock::time_point end) {
-  const std::lock_guard lock(mutex_);
-  const auto [it, inserted] = thread_indices_.emplace(
-      std::this_thread::get_id(),
-      static_cast<std::uint32_t>(thread_indices_.size()));
-  span.thread_index = it->second;
-  span.start_us =
-      std::chrono::duration<double, std::micro>(start - epoch_).count();
-  span.duration_us =
-      std::chrono::duration<double, std::micro>(end - start).count();
-  spans_.push_back(std::move(span));
+Tracer::ThreadLog& Tracer::thread_log() {
+  for (const CachedLog& cached : t_logs) {
+    if (cached.tracer_id == tracer_id_) {
+      return *static_cast<ThreadLog*>(cached.log.get());
+    }
+  }
+  auto log = std::make_shared<ThreadLog>();
+  {
+    const std::lock_guard lock(mutex_);
+    log->thread_index = static_cast<std::uint32_t>(logs_.size());
+    logs_.push_back(log);
+  }
+  t_logs.push_back({tracer_id_, log});
+  return *log;
+}
+
+void Tracer::record(PendingSpan&& span) {
+  ThreadLog& log = thread_log();
+  // Uncontended in steady state: only this thread appends; the exporter
+  // takes the lock briefly while draining.
+  const std::lock_guard lock(log.mutex);
+  log.spans.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::drain_copy() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::chrono::steady_clock::time_point epoch;
+  {
+    const std::lock_guard lock(mutex_);
+    logs = logs_;
+    epoch = epoch_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& log : logs) {
+    const std::lock_guard lock(log->mutex);
+    out.reserve(out.size() + log->spans.size());
+    for (const PendingSpan& p : log->spans) {
+      SpanRecord r;
+      r.name = p.name;
+      r.category = p.category;
+      r.thread_index = log->thread_index;
+      r.depth = p.depth;
+      r.trace_id = p.trace_id;
+      r.span_id = p.span_id;
+      r.parent_span_id = p.parent_span_id;
+      r.start_us =
+          std::chrono::duration<double, std::micro>(p.start - epoch).count();
+      r.duration_us =
+          std::chrono::duration<double, std::micro>(p.end - p.start).count();
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
 }
 
 std::vector<SpanRecord> Tracer::finished_spans() const {
-  std::vector<SpanRecord> out;
-  {
-    const std::lock_guard lock(mutex_);
-    out = spans_;
-  }
+  std::vector<SpanRecord> out = drain_copy();
   std::sort(out.begin(), out.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
               if (a.thread_index != b.thread_index) {
@@ -58,17 +178,95 @@ std::vector<SpanRecord> Tracer::finished_spans() const {
   return out;
 }
 
+std::vector<SpanRecord> Tracer::spans_for_trace(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out = drain_copy();
+  out.erase(std::remove_if(
+                out.begin(), out.end(),
+                [&](const SpanRecord& s) { return s.trace_id != trace_id; }),
+            out.end());
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.duration_us > b.duration_us;  // outermost first
+            });
+  return out;
+}
+
 std::size_t Tracer::span_count() const {
-  const std::lock_guard lock(mutex_);
-  return spans_.size();
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    const std::lock_guard lock(mutex_);
+    logs = logs_;
+  }
+  std::size_t n = 0;
+  for (const auto& log : logs) {
+    const std::lock_guard lock(log->mutex);
+    n += log->spans.size();
+  }
+  return n;
 }
 
 void Tracer::clear() {
   const std::lock_guard lock(mutex_);
-  spans_.clear();
-  thread_indices_.clear();
+  for (const auto& log : logs_) {
+    const std::lock_guard log_lock(log->mutex);
+    log->spans.clear();
+  }
   epoch_ = std::chrono::steady_clock::now();
 }
+
+namespace {
+
+/// Shared per-event body of both Chrome exports.
+void write_chrome_event(JsonWriter& w, const SpanRecord& s, int pid) {
+  w.begin_object();
+  w.key("name");
+  w.value(s.name);
+  w.key("cat");
+  w.value(s.category);
+  w.key("ph");
+  w.value("X");  // complete event: begin + duration in one record
+  w.key("ts");
+  w.value(s.start_us);
+  w.key("dur");
+  w.value(s.duration_us);
+  w.key("pid");
+  w.value(pid);
+  w.key("tid");
+  w.value(static_cast<std::uint64_t>(s.thread_index));
+  w.key("args");
+  w.begin_object();
+  w.key("depth");
+  w.value(static_cast<std::uint64_t>(s.depth));
+  w.key("span_id");
+  w.value(s.span_id);
+  w.key("parent_span_id");
+  w.value(s.parent_span_id);
+  if (s.trace_id != 0) {
+    w.key("trace");
+    w.value(format_trace_id(s.trace_id));
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_process_name(JsonWriter& w, int pid, std::string_view name) {
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(pid);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value(name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
 
 std::string Tracer::to_chrome_json() const {
   const std::vector<SpanRecord> spans = finished_spans();
@@ -77,41 +275,45 @@ std::string Tracer::to_chrome_json() const {
   w.key("traceEvents");
   w.begin_array();
   // Metadata: name the process so the tracing UI shows "upsim" not "1".
-  w.begin_object();
-  w.key("name");
-  w.value("process_name");
-  w.key("ph");
-  w.value("M");
-  w.key("pid");
-  w.value(1);
-  w.key("args");
-  w.begin_object();
-  w.key("name");
-  w.value("upsim");
+  write_process_name(w, 1, "upsim");
+  for (const SpanRecord& s : spans) write_chrome_event(w, s, 1);
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
   w.end_object();
-  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Tracer::to_chrome_json_by_trace() const {
+  std::vector<SpanRecord> spans = drain_copy();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.duration_us > b.duration_us;
+            });
+  // One process row per distinct trace, numbered by first span start so the
+  // viewer lists requests in arrival order; untraced spans share row 0.
+  std::map<std::uint64_t, int> pids;
   for (const SpanRecord& s : spans) {
-    w.begin_object();
-    w.key("name");
-    w.value(s.name);
-    w.key("cat");
-    w.value(s.category);
-    w.key("ph");
-    w.value("X");  // complete event: begin + duration in one record
-    w.key("ts");
-    w.value(s.start_us);
-    w.key("dur");
-    w.value(s.duration_us);
-    w.key("pid");
-    w.value(1);
-    w.key("tid");
-    w.value(static_cast<std::uint64_t>(s.thread_index));
-    w.key("args");
-    w.begin_object();
-    w.key("depth");
-    w.value(static_cast<std::uint64_t>(s.depth));
-    w.end_object();
-    w.end_object();
+    if (s.trace_id != 0 && pids.find(s.trace_id) == pids.end()) {
+      pids.emplace(s.trace_id, static_cast<int>(pids.size()) + 1);
+    }
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  bool any_untraced = false;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == 0) any_untraced = true;
+  }
+  if (any_untraced) write_process_name(w, 0, "untraced");
+  for (const auto& [trace_id, pid] : pids) {
+    write_process_name(w, pid, "trace " + format_trace_id(trace_id));
+  }
+  for (const SpanRecord& s : spans) {
+    const int pid = s.trace_id == 0 ? 0 : pids.at(s.trace_id);
+    write_chrome_event(w, s, pid);
   }
   w.end_array();
   w.key("displayTimeUnit");
@@ -120,12 +322,14 @@ std::string Tracer::to_chrome_json() const {
   return std::move(w).str();
 }
 
-void Tracer::write_chrome_json(const std::string& path) const {
+void Tracer::write_chrome_json(const std::string& path,
+                               bool group_by_trace) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw Error("Tracer: cannot open '" + path + "' for writing");
   }
-  out << to_chrome_json() << "\n";
+  out << (group_by_trace ? to_chrome_json_by_trace() : to_chrome_json())
+      << "\n";
   if (!out.flush()) {
     throw Error("Tracer: write to '" + path + "' failed");
   }
@@ -140,7 +344,7 @@ std::string Tracer::to_text() const {
   std::string out;
   std::uint32_t current_thread = 0;
   bool first = true;
-  char buf[128];
+  char buf[160];
   for (const SpanRecord& s : spans) {
     if (first || s.thread_index != current_thread) {
       out += "thread " + std::to_string(s.thread_index) + "\n";
@@ -148,13 +352,18 @@ std::string Tracer::to_text() const {
       first = false;
     }
     const std::string label = std::string(2 * s.depth, ' ') + s.name;
-    std::snprintf(buf, sizeof buf, "  %-*s %12.3f ms  @ %.3f ms  [%s]\n",
-                  static_cast<int>(width), label.c_str(),
-                  s.duration_us / 1e3, s.start_us / 1e3, s.category.c_str());
+    std::snprintf(buf, sizeof buf, "  %-*s %12.3f ms  @ %.3f ms  [%s]%s%s\n",
+                  static_cast<int>(width), label.c_str(), s.duration_us / 1e3,
+                  s.start_us / 1e3, s.category.c_str(),
+                  s.trace_id != 0 ? " trace=" : "",
+                  s.trace_id != 0 ? format_trace_id(s.trace_id).c_str() : "");
     out += buf;
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
 
 ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
                        Tracer& tracer) {
@@ -163,17 +372,28 @@ ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
   name_ = name;
   category_ = category;
   depth_ = t_depth++;
+  trace_id_ = t_context.trace_id;
+  parent_span_id_ = t_context.span_id;
+  span_id_ = next_span_id();
+  t_context.span_id = span_id_;  // children parent under this span
   start_ = std::chrono::steady_clock::now();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
   --t_depth;
-  SpanRecord span;
+  t_context.span_id = parent_span_id_;
+  Tracer::PendingSpan span;
   span.name = std::move(name_);
   span.category = std::move(category_);
   span.depth = depth_;
-  tracer_->record(std::move(span), start_, std::chrono::steady_clock::now());
+  span.trace_id = trace_id_;
+  span.span_id = span_id_;
+  span.parent_span_id = parent_span_id_;
+  span.start = start_;
+  span.end = end;
+  tracer_->record(std::move(span));
 }
 
 }  // namespace upsim::obs

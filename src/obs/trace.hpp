@@ -1,18 +1,34 @@
-// RAII spans and the tracer that collects them.
+// RAII spans, request-scoped trace context, and the tracer that collects
+// finished spans.
 //
 // A ScopedSpan stamps its construction/destruction on the monotonic clock
-// and hands the finished record to a Tracer, which assigns a stable small
-// index to each recording thread.  Export targets:
-//   - Chrome trace_event JSON (load in chrome://tracing or Perfetto):
-//     complete events ("ph":"X") with microsecond timestamps relative to
-//     the tracer's epoch, one timeline row per thread, and
+// and hands the finished record to a Tracer.  Every span carries identity:
+// a process-unique span id, the span id of its enclosing span (parent), and
+// the trace id of the request it ran under — so one user request can be
+// stitched back together across threads and exported as its own timeline.
+//
+// Trace context propagates through a thread-local slot, not through
+// function signatures: a request handler installs a TraceScope around the
+// work, and every ScopedSpan constructed below it (engine query, path
+// discovery, serialization) inherits the trace id and parents itself under
+// the innermost open span.  The slot is per thread, which matches the
+// serving stack's execution model — a request body runs start-to-finish on
+// one pool worker (src/server/server.hpp).
+//
+// Export targets:
+//   - Chrome trace_event JSON (chrome://tracing or Perfetto): complete
+//     events ("ph":"X") with microsecond timestamps relative to the
+//     tracer's epoch.  to_chrome_json() keeps one timeline row per thread;
+//     to_chrome_json_by_trace() groups rows per *request* instead, so a
+//     request's spans line up even when they ran on different threads.
 //   - a human-readable table with per-thread nesting indentation.
 //
-// Span begin is lock-free (a clock read plus a thread-local depth bump);
-// span end takes one short tracer lock to append the record.  upsim emits
-// coarse spans (pipeline steps, per-pair discovery, file parses), so this
-// lock is uncontended in practice and keeps the design race-free —
-// test_obs proves it under TSan.
+// Hot-path cost: span begin is a clock read plus thread-local updates; span
+// end appends the finished record to a *per-thread* buffer guarded by a
+// per-thread mutex that only the exporter ever contends on, so concurrent
+// request handlers never serialize on a shared tracer lock
+// (bench/bench_obs.cpp holds begin+end to ~100ns).  Buffers are drained
+// under the tracer lock only on export/clear.
 //
 // When obs::enabled() is false a span is inert: no clock read, no lock,
 // nothing recorded.
@@ -20,14 +36,54 @@
 
 #include <chrono>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 namespace upsim::obs {
+
+/// Identity of the request a piece of work runs under.  trace_id 0 means
+/// "untraced"; span_id is the innermost open span (0 = no parent yet).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Process-unique, never-zero trace id: a counter seeded from the clock at
+/// first use, mixed through splitmix64 so ids from concurrent processes
+/// don't collide in practice.
+[[nodiscard]] std::uint64_t generate_trace_id() noexcept;
+
+/// The 16-lowercase-hex wire form of a trace id ("4a3f..."; exactly 16
+/// chars, zero-padded).
+[[nodiscard]] std::string format_trace_id(std::uint64_t trace_id);
+
+/// Parses the wire form back; returns 0 (= invalid/untraced) unless `hex`
+/// is exactly 16 hex digits encoding a nonzero id.
+[[nodiscard]] std::uint64_t parse_trace_id(std::string_view hex) noexcept;
+
+/// The calling thread's current trace context (all-zero outside any
+/// TraceScope).
+[[nodiscard]] TraceContext current_trace_context() noexcept;
+
+/// Installs `context` as the calling thread's trace context for the scope's
+/// lifetime and restores the previous one on destruction.  Spans created
+/// inside inherit the trace id regardless of obs::enabled() state changes.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext context) noexcept;
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
 
 /// One finished span.  Times are microseconds since the tracer's epoch.
 struct SpanRecord {
@@ -35,6 +91,9 @@ struct SpanRecord {
   std::string category;
   std::uint32_t thread_index = 0;  ///< dense per-tracer thread id
   std::uint32_t depth = 0;         ///< nesting level within its thread
+  std::uint64_t trace_id = 0;      ///< 0 = recorded outside any TraceScope
+  std::uint64_t span_id = 0;       ///< process-unique, never 0
+  std::uint64_t parent_span_id = 0;  ///< 0 = root span of its thread/trace
   double start_us = 0.0;
   double duration_us = 0.0;
 
@@ -48,6 +107,7 @@ class Tracer {
   Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
 
   /// The process-wide tracer used by all built-in instrumentation.
   /// Intentionally leaked so worker threads may record during shutdown.
@@ -57,17 +117,34 @@ class Tracer {
   /// outermost-first (longer duration breaks start ties).
   [[nodiscard]] std::vector<SpanRecord> finished_spans() const;
 
+  /// The finished spans of one request, sorted by start time (then
+  /// outermost-first) — the per-request span tree, in parent-before-child
+  /// order for same-thread spans.
+  [[nodiscard]] std::vector<SpanRecord> spans_for_trace(
+      std::uint64_t trace_id) const;
+
   [[nodiscard]] std::size_t span_count() const;
 
   /// Drops every recorded span and restarts the epoch.  Test isolation;
-  /// spans still open across clear() record with the old epoch and simply
-  /// land in the new window (harmless for reporting).
+  /// spans still open across clear() record raw times that convert against
+  /// the new epoch and simply land in the new window (harmless for
+  /// reporting).  Thread indices persist for the tracer's life.
   void clear();
 
-  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  /// Chrome trace_event JSON, one timeline row per thread:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
   [[nodiscard]] std::string to_chrome_json() const;
-  /// Writes to_chrome_json() to `path`; throws upsim::Error on I/O failure.
-  void write_chrome_json(const std::string& path) const;
+
+  /// Chrome trace_event JSON stitched per request: every distinct trace id
+  /// becomes its own process row (named after the trace id), with the
+  /// request's spans grouped under it across the threads they ran on.
+  /// Untraced spans land in a shared "untraced" process row 0.
+  [[nodiscard]] std::string to_chrome_json_by_trace() const;
+
+  /// Writes to_chrome_json() (or the by-trace variant) to `path`; throws
+  /// upsim::Error on I/O failure.
+  void write_chrome_json(const std::string& path,
+                         bool group_by_trace = false) const;
 
   /// Aligned per-thread table, one span per line, indented by nesting.
   [[nodiscard]] std::string to_text() const;
@@ -75,14 +152,40 @@ class Tracer {
  private:
   friend class ScopedSpan;
 
-  /// Stamps thread index and epoch-relative times (under the lock, so a
-  /// concurrent clear() cannot race the epoch read) and stores the span.
-  void record(SpanRecord&& span, std::chrono::steady_clock::time_point start,
-              std::chrono::steady_clock::time_point end);
+  /// A finished span as the recording thread stores it: raw clock points,
+  /// converted to epoch-relative microseconds only when drained.
+  struct PendingSpan {
+    std::string name;
+    std::string category;
+    std::uint32_t depth = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point end;
+  };
 
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
-  std::map<std::thread::id, std::uint32_t> thread_indices_;
+  /// One thread's append-only span buffer.  Its mutex is uncontended on the
+  /// hot path (only the owning thread appends); the exporter takes it
+  /// briefly while draining.
+  struct ThreadLog {
+    std::mutex mutex;
+    std::uint32_t thread_index = 0;
+    std::vector<PendingSpan> spans;
+  };
+
+  /// Finds (via a thread-local cache) or registers the calling thread's
+  /// log; registration assigns the next dense thread index.
+  [[nodiscard]] ThreadLog& thread_log();
+
+  void record(PendingSpan&& span);
+
+  /// Drains every per-thread buffer into epoch-relative SpanRecords.
+  [[nodiscard]] std::vector<SpanRecord> drain_copy() const;
+
+  const std::uint64_t tracer_id_;  ///< keys the thread-local log cache
+  mutable std::mutex mutex_;       ///< guards logs_ and epoch_
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
   std::chrono::steady_clock::time_point epoch_;
 };
 
@@ -98,11 +201,17 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// This span's process-unique id (0 when constructed inert).
+  [[nodiscard]] std::uint64_t span_id() const noexcept { return span_id_; }
+
  private:
   Tracer* tracer_ = nullptr;  ///< null when created with obs disabled
   std::string name_;
   std::string category_;
   std::uint32_t depth_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

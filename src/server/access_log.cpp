@@ -1,0 +1,127 @@
+#include "server/access_log.hpp"
+
+#include <chrono>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace upsim::server {
+
+namespace {
+
+[[nodiscard]] std::uint64_t unix_micros_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string span_tree_json(const std::vector<obs::SpanRecord>& spans) {
+  obs::JsonWriter w;
+  w.begin_array();
+  for (const obs::SpanRecord& s : spans) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("category");
+    w.value(s.category);
+    w.key("span_id");
+    w.value(s.span_id);
+    w.key("parent_span_id");
+    w.value(s.parent_span_id);
+    w.key("thread");
+    w.value(static_cast<std::uint64_t>(s.thread_index));
+    w.key("depth");
+    w.value(static_cast<std::uint64_t>(s.depth));
+    w.key("start_us");
+    w.value(s.start_us);
+    w.key("duration_us");
+    w.value(s.duration_us);
+    w.end_object();
+  }
+  w.end_array();
+  return std::move(w).str();
+}
+
+AccessLog::AccessLog(AccessLogOptions options) : options_(std::move(options)) {
+  if (!options_.path.empty()) {
+    file_.open(options_.path, std::ios::out | std::ios::app);
+    if (!file_) {
+      throw Error("access_log: cannot open '" + options_.path + "'");
+    }
+    out_ = &file_;
+  } else if (options_.stream != nullptr) {
+    out_ = options_.stream;
+  } else {
+    throw Error("access_log: need a path or a stream");
+  }
+}
+
+void AccessLog::log(const AccessRecord& record) noexcept {
+  try {
+    const bool slow = options_.slow_ms > 0.0 &&
+                      record.handle_us > options_.slow_ms * 1000.0;
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("ts_us");
+    w.value(unix_micros_now());
+    w.key("level");
+    w.value(slow ? "warn" : "info");
+    w.key("method");
+    w.value(record.method);
+    w.key("status");
+    w.value(record.status);
+    w.key("id");
+    w.value(record.id);
+    w.key("trace");
+    w.value(obs::format_trace_id(record.trace_id));
+    w.key("bytes_in");
+    w.value(static_cast<std::uint64_t>(record.bytes_in));
+    w.key("bytes_out");
+    w.value(static_cast<std::uint64_t>(record.bytes_out));
+    w.key("queue_wait_us");
+    w.value(record.queue_wait_us);
+    w.key("handle_us");
+    w.value(record.handle_us);
+    w.key("cache_hit");
+    w.value(record.cache_hit);
+    if (slow) {
+      obs::Tracer& tracer =
+          options_.tracer != nullptr ? *options_.tracer : obs::Tracer::global();
+      w.key("slow_ms");
+      w.value(options_.slow_ms);
+      w.key("spans");
+      w.raw_value(span_tree_json(tracer.spans_for_trace(record.trace_id)));
+    }
+    w.end_object();
+    std::string line = std::move(w).str();
+    line += '\n';
+
+    std::lock_guard lock(mutex_);
+    out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+    out_->flush();
+    if (out_->good()) {
+      ++lines_written_;
+    } else {
+      ++lines_dropped_;
+      out_->clear();  // keep trying; a full disk may drain
+    }
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    ++lines_dropped_;
+  }
+}
+
+std::uint64_t AccessLog::lines_written() const noexcept {
+  std::lock_guard lock(mutex_);
+  return lines_written_;
+}
+
+std::uint64_t AccessLog::lines_dropped() const noexcept {
+  std::lock_guard lock(mutex_);
+  return lines_dropped_;
+}
+
+}  // namespace upsim::server

@@ -1,0 +1,99 @@
+// Structured access and slow-query logging: one JSON line per served
+// request, written to a file or caller-supplied stream.
+//
+// The line schema (fixed key order, one object per line, newline
+// terminated — machine-parseable with any JSON-lines reader):
+//
+//   {"ts_us":<unix µs>,"level":"info","method":"upsim","status":200,
+//    "id":7,"trace":"9f86d081884c7d65","bytes_in":312,"bytes_out":5120,
+//    "queue_wait_us":12.5,"handle_us":830.2,"cache_hit":false}
+//
+// "method" is "" when the request never parsed (the 400 says why);
+// "trace" is always a real id — the server assigns one when the client
+// sent none — so every line correlates with the trace export and the
+// `trace` wire method.  bytes_* include the 4-byte frame header (they
+// are wire bytes, not payload bytes).
+//
+// Slow-query promotion: a request whose handler time exceeds `slow_ms`
+// logs at "level":"warn" and embeds its span tree (the same shape the
+// `trace` method returns) plus the threshold it tripped:
+//
+//   {... ,"level":"warn", ... ,"slow_ms":5,"spans":[{"name":...}, ...]}
+//
+// The spans come from the tracer at log time; with obs disabled the tree
+// is empty but the warn record still fires — slowness is worth a warning
+// even when nobody is tracing.
+//
+// Thread model: log() is safe from any number of pool workers.  The line
+// is formatted outside the lock; only the stream write serializes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace upsim::server {
+
+/// Everything one access-log line says about a request.  The server fills
+/// it in as the request moves through parse → dispatch → response write.
+struct AccessRecord {
+  std::string method;         ///< "" = the envelope never parsed
+  std::uint64_t id = 0;       ///< echoed request id
+  std::uint64_t trace_id = 0; ///< never 0 by the time it is logged
+  int status = 0;
+  std::size_t bytes_in = 0;   ///< request wire bytes (frame header included)
+  std::size_t bytes_out = 0;  ///< response wire bytes
+  double queue_wait_us = 0.0; ///< frame read → pool worker pickup
+  double handle_us = 0.0;     ///< parse + dispatch + serialize
+  bool cache_hit = false;     ///< served from the response cache
+};
+
+/// JSON array of one request's spans, sorted by start time — the "spans"
+/// member of a `trace` method result and of a slow-query record.  Every
+/// element carries name, category, span_id, parent_span_id, thread, depth,
+/// start_us and duration_us.
+[[nodiscard]] std::string span_tree_json(
+    const std::vector<obs::SpanRecord>& spans);
+
+struct AccessLogOptions {
+  /// File to append to; "" uses `stream` instead.
+  std::string path;
+  /// Alternative sink when `path` is empty (tests pass an ostringstream);
+  /// not owned, must outlive the log.
+  std::ostream* stream = nullptr;
+  /// Handler time (ms) beyond which a request logs as a "warn" record with
+  /// its span tree embedded; 0 disables promotion.
+  double slow_ms = 0.0;
+  /// Where slow records fetch their span tree; null = Tracer::global().
+  obs::Tracer* tracer = nullptr;
+};
+
+/// The sink.  Construction opens the file (throws upsim::Error when it
+/// cannot); log() never throws — a failed write flips a dropped-lines
+/// counter instead of taking the request down with it.
+class AccessLog {
+ public:
+  explicit AccessLog(AccessLogOptions options);
+
+  /// Formats and writes one line.  Safe from concurrent request handlers.
+  void log(const AccessRecord& record) noexcept;
+
+  [[nodiscard]] std::uint64_t lines_written() const noexcept;
+  [[nodiscard]] std::uint64_t lines_dropped() const noexcept;
+  [[nodiscard]] double slow_ms() const noexcept { return options_.slow_ms; }
+
+ private:
+  AccessLogOptions options_;
+  std::ofstream file_;
+  std::ostream* out_;  ///< &file_ or options_.stream
+  mutable std::mutex mutex_;
+  std::uint64_t lines_written_ = 0;
+  std::uint64_t lines_dropped_ = 0;
+};
+
+}  // namespace upsim::server

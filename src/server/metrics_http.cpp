@@ -1,0 +1,131 @@
+#include "server/metrics_http.hpp"
+
+#include <cstddef>
+#include <exception>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "util/error.hpp"
+
+namespace upsim::server {
+
+namespace {
+
+/// Header budget: a scrape request line plus a handful of headers.  A
+/// client still mid-headers past this is not a scraper.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+[[nodiscard]] std::string http_response(int status, std::string_view reason,
+                                        std::string_view content_type,
+                                        std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Reads until the blank line that ends the headers (the request has no
+/// body we care about).  Returns false on EOF/overflow before that.
+[[nodiscard]] bool read_request_head(net::Socket& sock, std::string& head) {
+  char buf[1024];
+  while (head.size() < kMaxRequestBytes) {
+    const std::size_t n = sock.recv_some(buf, sizeof buf);
+    if (n == 0) return false;
+    head.append(buf, n);
+    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsHttpOptions options)
+    : options_(std::move(options)) {
+  if (!options_.body) {
+    options_.body = [] {
+      return obs::render_prometheus(obs::Registry::global().snapshot());
+    };
+  }
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  if (running()) throw Error("metrics_http: already running");
+  listener_.emplace(options_.host, options_.port, /*backlog=*/8);
+  port_ = listener_->port();
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_->close();
+}
+
+void MetricsHttpServer::accept_loop() {
+  while (running()) {
+    std::optional<net::Socket> accepted;
+    try {
+      accepted = listener_->accept(/*timeout_ms=*/50);
+    } catch (const std::exception&) {
+      break;  // listener closed under us: shutting down
+    }
+    if (!accepted) continue;
+    try {
+      serve(*std::move(accepted));
+    } catch (const std::exception&) {
+      // A scraper that vanished mid-response; nothing to clean up.
+    }
+  }
+}
+
+void MetricsHttpServer::serve(net::Socket sock) {
+  sock.set_recv_timeout_ms(options_.read_timeout_ms);
+  sock.set_send_timeout_ms(options_.write_timeout_ms);
+
+  std::string head;
+  std::string response;
+  if (!read_request_head(sock, head)) {
+    response = http_response(400, "Bad Request", "text/plain",
+                             "malformed request\n");
+  } else {
+    // Request line: METHOD SP target SP version.
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view line(head.data(), line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) {
+      response = http_response(400, "Bad Request", "text/plain",
+                               "malformed request line\n");
+    } else {
+      const std::string_view method = line.substr(0, sp1);
+      const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      if (method != "GET") {
+        response = http_response(405, "Method Not Allowed", "text/plain",
+                                 "only GET is served here\n");
+      } else if (target != "/metrics") {
+        response = http_response(404, "Not Found", "text/plain",
+                                 "try /metrics\n");
+      } else {
+        response =
+            http_response(200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8",
+                          options_.body());
+        scrapes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  sock.send_all(response.data(), response.size());
+  sock.shutdown_both();
+}
+
+}  // namespace upsim::server

@@ -1,0 +1,78 @@
+// A minimal HTTP/1.1 endpoint that serves the Prometheus text exposition
+// of the global metrics registry — the scrape side of the observability
+// pipeline (upsimd --prom-port).
+//
+// Deliberately not a web server: it answers exactly one request per
+// connection ("Connection: close"), reads at most a few KB of headers,
+// and handles requests serially on its own accept thread.  A Prometheus
+// scraper polls every few seconds from one or two sources; concurrency
+// here would be machinery without a workload.  The wire protocol proper
+// (frames on the main port) stays byte-oriented and untouched — this
+// listener exists only so stock HTTP tooling (prometheus, curl) can read
+// the registry without speaking frames.
+//
+// Routes:
+//   GET /metrics  → 200, Content-Type: text/plain; version=0.0.4 — the
+//                   body comes from the snapshot callback (default: the
+//                   global registry through obs::render_prometheus)
+//   GET <other>   → 404       anything else → 405
+//   unparseable   → 400
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace upsim::server {
+
+struct MetricsHttpOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  int read_timeout_ms = 2000;
+  int write_timeout_ms = 2000;
+  /// Produces the exposition body per scrape; null = Prometheus rendering
+  /// of obs::Registry::global().snapshot().
+  std::function<std::string()> body;
+};
+
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(MetricsHttpOptions options = {});
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+  /// stop()s if still running.
+  ~MetricsHttpServer();
+
+  /// Binds and starts the accept thread; throws net::NetError (port in
+  /// use etc.), after which the server is not running.
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t scrapes_served() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve(net::Socket sock);
+
+  MetricsHttpOptions options_;
+  std::optional<net::Listener> listener_;
+  std::thread acceptor_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+};
+
+}  // namespace upsim::server

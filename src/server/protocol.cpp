@@ -1,5 +1,7 @@
 #include "server/protocol.hpp"
 
+#include "obs/trace.hpp"
+
 namespace upsim::server {
 
 namespace {
@@ -77,6 +79,14 @@ Request parse_request(const obs::JsonValue& document) {
     req.params = params;
   } else {
     req.params.kind = obs::JsonValue::Kind::Object;
+  }
+  if (document.has("trace")) {
+    const obs::JsonValue& trace = document.at("trace");
+    if (trace.kind != obs::JsonValue::Kind::String ||
+        (req.trace_id = obs::parse_trace_id(trace.string)) == 0) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "request 'trace' must be 16 hex characters");
+    }
   }
   return req;
 }

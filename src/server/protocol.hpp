@@ -2,7 +2,15 @@
 // net/frame.hpp frames.
 //
 // Request:
-//   {"id": <u64, optional, echoed>, "method": "<name>", "params": {...}}
+//   {"id": <u64, optional, echoed>, "method": "<name>", "params": {...},
+//    "trace": "<16 hex chars, optional>"}
+//
+// "trace" is the request's trace id (obs::format_trace_id form).  A server
+// runs the request under that trace context so every span it records —
+// dispatch, engine query, path discovery — carries the id, queryable back
+// through the `trace` method and stitched per request in the daemon's
+// --trace-out export.  Old clients simply omit the member; the server then
+// assigns an id of its own so access-log lines always correlate.
 //
 // Response:
 //   {"id": <echoed>, "status": 200, "result": {...}}
@@ -21,7 +29,10 @@
 //                          "composite" and "mapping" extend the check to a
 //                          query's inputs); result is the lint JSON report,
 //                          findings never fail the request
-//   metrics                obs registry snapshot + engine cache stats
+//   metrics                obs registry snapshot + engine path cache and
+//                          served-result cache stats
+//   trace                  finished spans of one trace id (params "trace"),
+//                          the per-request span tree
 //   health                 liveness, epoch, connection counts
 //
 // Status codes (HTTP-flavoured so they read on sight): 200 ok,
@@ -73,7 +84,8 @@ class ProtocolError : public Error {
 struct Request {
   std::uint64_t id = 0;
   std::string method;
-  obs::JsonValue params;  ///< object; empty object when absent
+  obs::JsonValue params;        ///< object; empty object when absent
+  std::uint64_t trace_id = 0;   ///< 0 = client sent no "trace" member
 };
 
 /// Validates the envelope shape; throws ProtocolError(400) on a missing or

@@ -150,18 +150,32 @@ void Server::serve_connection(Connection* conn) {
       count("server.bytes_in",
             payload.size() + net::kFrameHeaderBytes);
 
+      // Rejections get a line too — an access log that hides the 503s
+      // would paint a healthy picture of an overloaded server.
+      const auto log_unserved = [this, &payload](std::string_view response) {
+        if (options_.access_log == nullptr) return;
+        AccessRecord rec;
+        rec.trace_id = obs::generate_trace_id();
+        rec.status = kStatusUnavailable;
+        rec.bytes_in = payload.size() + net::kFrameHeaderBytes;
+        rec.bytes_out = response.size() + net::kFrameHeaderBytes;
+        options_.access_log->log(rec);
+      };
       if (draining_.load(std::memory_order_acquire)) {
-        write_response(conn, kStatusUnavailable,
-                       make_error(0, kStatusUnavailable, "draining",
-                                  "server is shutting down"));
+        const std::string response = make_error(
+            0, kStatusUnavailable, "draining", "server is shutting down");
+        write_response(conn, kStatusUnavailable, response);
+        log_unserved(response);
         continue;
       }
       if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
           options_.max_backlog) {
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-        write_response(conn, kStatusUnavailable,
-                       make_error(0, kStatusUnavailable, "busy",
-                                  "request backlog limit reached"));
+        const std::string response =
+            make_error(0, kStatusUnavailable, "busy",
+                       "request backlog limit reached");
+        write_response(conn, kStatusUnavailable, response);
+        log_unserved(response);
         continue;
       }
       // The worker writes the response itself *before* fulfilling the
@@ -172,8 +186,14 @@ void Server::serve_connection(Connection* conn) {
       // interleave.
       const auto enqueued = Clock::now();
       auto fut = pool_->submit([this, conn, &payload, enqueued] {
-        record("server.queue_wait_us", us_since(enqueued));
-        auto [status, response] = handle_payload(payload);
+        AccessRecord access;
+        access.queue_wait_us = us_since(enqueued);
+        // Assign a fallback trace id up front so even a request that never
+        // parses logs a real, correlatable id.
+        access.trace_id = obs::generate_trace_id();
+        access.bytes_in = payload.size() + net::kFrameHeaderBytes;
+        record("server.queue_wait_us", access.queue_wait_us);
+        auto [status, response] = handle_payload(payload, access);
         bool ok = true;
         try {
           write_response(conn, status, response);
@@ -181,6 +201,11 @@ void Server::serve_connection(Connection* conn) {
           ok = false;  // peer vanished or write timeout: drop the connection
         }
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        if (options_.access_log != nullptr) {
+          access.status = status;
+          access.bytes_out = response.size() + net::kFrameHeaderBytes;
+          options_.access_log->log(access);
+        }
         return ok;
       });
       if (!fut.get()) break;
@@ -203,8 +228,8 @@ void Server::write_response(Connection* conn, int status,
   count("server.bytes_out", response.size() + net::kFrameHeaderBytes);
 }
 
-std::pair<int, std::string> Server::handle_payload(std::string_view payload) {
-  obs::ScopedSpan span("server.request", "server");
+std::pair<int, std::string> Server::handle_payload(std::string_view payload,
+                                                   AccessRecord& access) {
   const auto started = Clock::now();
   std::uint64_t id = 0;
   int status = kStatusOk;
@@ -215,8 +240,16 @@ std::pair<int, std::string> Server::handle_payload(std::string_view payload) {
                                  /*max_bytes=*/options_.max_request_bytes});
     const Request req = parse_request(document);
     id = req.id;
+    access.id = req.id;
+    access.method = req.method;
+    if (req.trace_id != 0) access.trace_id = req.trace_id;
     count("server.requests." + req.method);
-    response = dispatch(req);
+    // Everything the handler records — this span, the engine's query and
+    // discovery spans, serialization — carries the request's trace id and
+    // parents into one per-request tree.
+    obs::TraceScope trace({access.trace_id, /*span_id=*/0});
+    obs::ScopedSpan span("server.request", "server");
+    response = dispatch(req, access);
   } catch (const ProtocolError& e) {
     status = e.status();
     response = make_error(id, status, e.code(), e.what());
@@ -233,16 +266,19 @@ std::pair<int, std::string> Server::handle_payload(std::string_view payload) {
     status = kStatusInternalError;
     response = make_error(id, status, "internal_error", e.what());
   }
-  record("server.handle_us", us_since(started));
+  access.handle_us = us_since(started);
+  record("server.handle_us", access.handle_us);
   return {status, std::move(response)};
 }
 
-std::string Server::dispatch(const Request& req) {
+std::string Server::dispatch(const Request& req, AccessRecord& access) {
   if (req.method == "upsim") {
-    return make_response(req.id, handle_query(req, /*paths_only=*/false));
+    return make_response(req.id,
+                         handle_query(req, /*paths_only=*/false, access));
   }
   if (req.method == "paths") {
-    return make_response(req.id, handle_query(req, /*paths_only=*/true));
+    return make_response(req.id,
+                         handle_query(req, /*paths_only=*/true, access));
   }
   if (req.method == "availability") {
     return make_response(req.id, handle_availability(req));
@@ -280,6 +316,9 @@ std::string Server::dispatch(const Request& req) {
   }
   if (req.method == "metrics") {
     return make_response(req.id, handle_metrics());
+  }
+  if (req.method == "trace") {
+    return make_response(req.id, handle_trace(req));
   }
   if (req.method == "health") {
     return make_response(req.id, handle_health());
@@ -321,7 +360,8 @@ QueryParams parse_query_params(const Request& req,
 
 }  // namespace
 
-std::string Server::handle_query(const Request& req, bool paths_only) {
+std::string Server::handle_query(const Request& req, bool paths_only,
+                                 AccessRecord& access) {
   QueryParams q =
       parse_query_params(req, services_, options_.default_perspective);
   if (options_.response_cache_entries == 0) {
@@ -344,10 +384,13 @@ std::string Server::handle_query(const Request& req, bool paths_only) {
     if (it != response_cache_.end()) {
       const std::shared_ptr<const std::string> hit = it->second;
       lock.unlock();
+      response_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      access.cache_hit = true;
       count("server.response_cache.hits");
       return *hit;
     }
   }
+  response_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   count("server.response_cache.misses");
   const core::UpsimResult result =
       engine_.query(*q.composite, q.mapping, std::move(q.name));
@@ -411,6 +454,32 @@ std::string Server::handle_validate(const Request& req) {
   return lint::render_json(lint::analyze(input));
 }
 
+std::string Server::handle_trace(const Request& req) {
+  const obs::JsonValue& params = req.params;
+  if (!params.has("trace") ||
+      params.at("trace").kind != obs::JsonValue::Kind::String) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "trace needs params 'trace' (16 hex characters)");
+  }
+  const std::uint64_t trace_id =
+      obs::parse_trace_id(params.at("trace").string);
+  if (trace_id == 0) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "params 'trace' must be 16 hex characters");
+  }
+  // Only *finished* spans appear, so a request can query its predecessors
+  // but never its own still-open server.request span.  With obs disabled
+  // nothing was recorded and the tree is empty.
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("trace");
+  w.value(obs::format_trace_id(trace_id));
+  w.key("spans");
+  w.raw_value(span_tree_json(obs::Tracer::global().spans_for_trace(trace_id)));
+  w.end_object();
+  return std::move(w).str();
+}
+
 std::string Server::handle_metrics() {
   const engine::CacheStats stats = engine_.cache_stats();
   obs::JsonWriter w;
@@ -429,6 +498,29 @@ std::string Server::handle_metrics() {
   w.value(static_cast<std::uint64_t>(stats.size));
   w.key("hit_rate");
   w.value(stats.hit_rate());
+  w.end_object();
+  w.key("response_cache");
+  w.begin_object();
+  {
+    const std::uint64_t hits = response_cache_hits();
+    const std::uint64_t misses = response_cache_misses();
+    std::size_t entries = 0;
+    {
+      std::shared_lock lock(response_cache_mutex_);
+      entries = response_cache_.size();
+    }
+    w.key("hits");
+    w.value(hits);
+    w.key("misses");
+    w.value(misses);
+    w.key("entries");
+    w.value(static_cast<std::uint64_t>(entries));
+    w.key("hit_rate");
+    w.value(hits + misses == 0
+                ? 0.0
+                : static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+  }
   w.end_object();
   w.key("metrics");
   w.raw_value(obs::Registry::global().snapshot().to_json());

@@ -30,10 +30,20 @@
 //
 // Instrumentation (when obs::enabled()): counters
 // server.connections_{accepted,rejected}, server.requests.<method>,
-// server.responses.<status>, server.bytes_{in,out}; gauge
-// server.connections_active; histograms server.queue_wait_us (frame read →
-// pool worker pickup) and server.handle_us (handler execution); spans
-// server.request.
+// server.responses.<status>, server.bytes_{in,out},
+// server.response_cache.{hits,misses}; gauge server.connections_active;
+// histograms server.queue_wait_us (frame read → pool worker pickup) and
+// server.handle_us (handler execution); spans server.request.
+//
+// Trace context: every request runs under an obs::TraceScope for the
+// trace id the client sent in the envelope's "trace" member (or one the
+// server generates when absent), so server.request and everything the
+// engine records beneath it stitch into one per-request tree — queryable
+// live through the `trace` method, exported per request via
+// obs::Tracer::to_chrome_json_by_trace(), and stamped on every access-log
+// line (ServerOptions::access_log).  Response-cache hit/miss counts are
+// additionally kept in always-on atomics (response_cache_hits() etc.) so
+// the `metrics` method reports cache effectiveness with obs off.
 #pragma once
 
 #include <atomic>
@@ -52,6 +62,7 @@
 #include "engine/perspective_engine.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "server/access_log.hpp"
 #include "server/protocol.hpp"
 #include "service/service.hpp"
 #include "util/thread_pool.hpp"
@@ -86,6 +97,9 @@ struct ServerOptions {
   /// them.  `availability` is never cached: its numbers follow property
   /// changes that leave the epoch alone.
   std::size_t response_cache_entries = 1024;
+  /// Structured access/slow-query log; null disables it.  Must outlive the
+  /// server (see src/server/access_log.hpp for the line schema).
+  AccessLog* access_log = nullptr;
 };
 
 class Server {
@@ -117,6 +131,14 @@ class Server {
   [[nodiscard]] std::size_t requests_in_flight() const noexcept {
     return in_flight_.load(std::memory_order_relaxed);
   }
+  /// Served-result cache effectiveness, counted whether or not obs is
+  /// enabled (the `metrics` method reports these).
+  [[nodiscard]] std::uint64_t response_cache_hits() const noexcept {
+    return response_cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t response_cache_misses() const noexcept {
+    return response_cache_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection {
@@ -135,15 +157,21 @@ class Server {
   void write_response(Connection* conn, int status, std::string_view response);
 
   /// Parses and dispatches one request payload; never throws — every
-  /// failure becomes an error response.  Returns (status, response payload).
+  /// failure becomes an error response.  Returns (status, response payload)
+  /// and fills `access` in for the access log (method, id, trace id, cache
+  /// hit, handler time).  `access.trace_id` arrives pre-set to a generated
+  /// fallback and is replaced by the client's id when the envelope carries
+  /// one; the request's spans record under whichever won.
   [[nodiscard]] std::pair<int, std::string> handle_payload(
-      std::string_view payload);
-  [[nodiscard]] std::string dispatch(const Request& req);
+      std::string_view payload, AccessRecord& access);
+  [[nodiscard]] std::string dispatch(const Request& req, AccessRecord& access);
 
   // Method handlers (return the result JSON; throw for error responses).
-  [[nodiscard]] std::string handle_query(const Request& req, bool paths_only);
+  [[nodiscard]] std::string handle_query(const Request& req, bool paths_only,
+                                         AccessRecord& access);
   [[nodiscard]] std::string handle_availability(const Request& req);
   [[nodiscard]] std::string handle_validate(const Request& req);
+  [[nodiscard]] std::string handle_trace(const Request& req);
   [[nodiscard]] std::string handle_metrics();
   [[nodiscard]] std::string handle_health();
 
@@ -169,6 +197,8 @@ class Server {
   std::shared_mutex response_cache_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const std::string>>
       response_cache_;
+  std::atomic<std::uint64_t> response_cache_hits_{0};
+  std::atomic<std::uint64_t> response_cache_misses_{0};
 };
 
 }  // namespace upsim::server

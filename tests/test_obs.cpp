@@ -9,7 +9,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "obs/obs.hpp"
@@ -435,6 +439,338 @@ TEST_F(ObsTest, DisabledSpanSurvivesMidScopeEnable) {
     set_enabled(true);  // span was constructed inert; must stay inert
   }
   EXPECT_EQ(Tracer::global().span_count(), before);
+}
+
+// ---------------------------------------------------------------------------
+// trace context
+
+TEST_F(ObsTest, TraceIdFormatAndParseRoundTrip) {
+  EXPECT_EQ(format_trace_id(0x1), "0000000000000001");
+  EXPECT_EQ(format_trace_id(0x0123456789abcdefULL), "0123456789abcdef");
+  EXPECT_EQ(parse_trace_id("0000000000000001"), 1u);
+  EXPECT_EQ(parse_trace_id("0123456789ABCDEF"), 0x0123456789abcdefULL);
+  EXPECT_EQ(parse_trace_id("0000000000000000"), 0u);  // zero = untraced
+  EXPECT_EQ(parse_trace_id("00000000000000zz"), 0u);  // not hex
+  EXPECT_EQ(parse_trace_id("abc"), 0u);               // wrong length
+  EXPECT_EQ(parse_trace_id("0123456789abcdef0"), 0u);
+
+  const std::uint64_t id = generate_trace_id();
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(parse_trace_id(format_trace_id(id)), id);
+  EXPECT_NE(generate_trace_id(), id);  // ids are unique per call
+}
+
+TEST_F(ObsTest, TraceScopeInstallsAndRestoresContext) {
+  EXPECT_FALSE(current_trace_context().active());
+  {
+    TraceScope outer({42, 0});
+    EXPECT_EQ(current_trace_context().trace_id, 42u);
+    {
+      TraceScope inner({43, 7});
+      EXPECT_EQ(current_trace_context().trace_id, 43u);
+      EXPECT_EQ(current_trace_context().span_id, 7u);
+    }
+    EXPECT_EQ(current_trace_context().trace_id, 42u);
+    EXPECT_EQ(current_trace_context().span_id, 0u);
+  }
+  EXPECT_FALSE(current_trace_context().active());
+}
+
+TEST_F(ObsTest, SpansInheritTraceIdAndParentLinks) {
+  const std::uint64_t trace = generate_trace_id();
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    TraceScope scope({trace, 0});
+    ScopedSpan outer("request", "test");
+    outer_id = outer.span_id();
+    {
+      ScopedSpan inner("step", "test");
+      inner_id = inner.span_id();
+    }
+  }
+  { ScopedSpan untraced("outside", "test"); }
+
+  const auto spans = Tracer::global().spans_for_trace(trace);
+  ASSERT_EQ(spans.size(), 2u);  // "outside" must not bleed in
+  // Sorted by start, outermost first: request then step.
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[0].span_id, outer_id);
+  EXPECT_EQ(spans[0].parent_span_id, 0u);
+  EXPECT_EQ(spans[1].name, "step");
+  EXPECT_EQ(spans[1].trace_id, trace);
+  EXPECT_EQ(spans[1].span_id, inner_id);
+  EXPECT_EQ(spans[1].parent_span_id, outer_id);
+  EXPECT_NE(outer_id, inner_id);
+
+  // The untraced span is still recorded — just not under this trace.
+  bool saw_untraced = false;
+  for (const auto& s : Tracer::global().finished_spans()) {
+    if (s.name == "outside") {
+      saw_untraced = true;
+      EXPECT_EQ(s.trace_id, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_untraced);
+}
+
+TEST_F(ObsTest, TraceContextStitchesAcrossThreads) {
+  // One logical request whose pieces run on different threads — the model
+  // of server reader → pool worker handoff.  The trace id follows the
+  // context object, not the thread.
+  const std::uint64_t trace = generate_trace_id();
+  std::uint64_t root_id = 0;
+  {
+    TraceScope scope({trace, 0});
+    ScopedSpan root("request", "test");
+    root_id = root.span_id();
+    const TraceContext ctx{trace, root.span_id()};
+    std::thread worker([ctx] {
+      TraceScope scope(ctx);
+      ScopedSpan span("worker_step", "test");
+    });
+    worker.join();
+  }
+  const auto spans = Tracer::global().spans_for_trace(trace);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_EQ(spans[1].name, "worker_step");
+  EXPECT_EQ(spans[1].parent_span_id, root_id);
+  EXPECT_NE(spans[0].thread_index, spans[1].thread_index);
+}
+
+TEST_F(ObsTest, ConcurrentTracedRequestsDoNotBleed) {
+  // 8 "requests" on 8 threads, each recording nested spans under its own
+  // trace id; every trace must come back with exactly its own 3 spans.
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerTrace = 3;
+  std::vector<std::uint64_t> traces(kThreads);
+  for (auto& t : traces) t = generate_trace_id();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&traces, i] {
+      TraceScope scope({traces[static_cast<std::size_t>(i)], 0});
+      ScopedSpan a("a", "test");
+      ScopedSpan b("b", "test");
+      ScopedSpan c("c", "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::uint64_t trace : traces) {
+    const auto spans = Tracer::global().spans_for_trace(trace);
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(kSpansPerTrace));
+    for (const auto& s : spans) EXPECT_EQ(s.trace_id, trace);
+    // a is the root; c nests deepest.
+    EXPECT_EQ(spans[0].name, "a");
+    EXPECT_EQ(spans[0].parent_span_id, 0u);
+    EXPECT_EQ(spans[2].name, "c");
+    EXPECT_EQ(spans[2].parent_span_id, spans[1].span_id);
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceByTraceGroupsRequestsIntoProcesses) {
+  const std::uint64_t t1 = generate_trace_id();
+  const std::uint64_t t2 = generate_trace_id();
+  {
+    TraceScope scope({t1, 0});
+    ScopedSpan span("first", "test");
+  }
+  {
+    TraceScope scope({t2, 0});
+    ScopedSpan span("second", "test");
+  }
+  { ScopedSpan span("untraced", "test"); }
+
+  const obs::JsonValue doc = json_parse(Tracer::global().to_chrome_json_by_trace());
+  const auto& events = doc.at("traceEvents").array;
+  // Metadata rows name each trace's process.
+  bool named_t1 = false;
+  bool named_t2 = false;
+  double pid_t1 = -1.0;
+  double pid_t2 = -1.0;
+  for (const auto& e : events) {
+    if (e.at("name").string == "process_name") {
+      const std::string& label = e.at("args").at("name").string;
+      if (label == "trace " + format_trace_id(t1)) {
+        named_t1 = true;
+        pid_t1 = e.at("pid").number;
+      }
+      if (label == "trace " + format_trace_id(t2)) {
+        named_t2 = true;
+        pid_t2 = e.at("pid").number;
+      }
+    }
+  }
+  EXPECT_TRUE(named_t1);
+  EXPECT_TRUE(named_t2);
+  EXPECT_NE(pid_t1, pid_t2);
+  // Span events land in their trace's process; untraced spans in pid 0.
+  for (const auto& e : events) {
+    if (e.at("name").string == "first") {
+      EXPECT_EQ(e.at("pid").number, pid_t1);
+    }
+    if (e.at("name").string == "second") {
+      EXPECT_EQ(e.at("pid").number, pid_t2);
+    }
+    if (e.at("name").string == "untraced") {
+      EXPECT_EQ(e.at("pid").number, 0.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// quantile histograms
+
+TEST_F(ObsTest, HistogramQuantilesTrackKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const auto snap = h.snapshot();
+  // Sub-bucketed octaves keep the relative error within one sub-bucket
+  // (factor 1 + 1/16), a far tighter promise than plain power-of-two
+  // buckets could make.
+  constexpr double kTol = 1.0 + 1.0 / Histogram::kSubBuckets;
+  EXPECT_LE(snap.quantile(0.50), 500.0 * kTol);
+  EXPECT_GE(snap.quantile(0.50), 500.0 / kTol);
+  EXPECT_LE(snap.quantile(0.95), 950.0 * kTol);
+  EXPECT_GE(snap.quantile(0.95), 950.0 / kTol);
+  EXPECT_LE(snap.quantile(0.99), 990.0 * kTol);
+  EXPECT_GE(snap.quantile(0.99), 990.0 / kTol);
+  EXPECT_LE(snap.quantile(0.999), 1000.0 * kTol);
+  EXPECT_GE(snap.quantile(0.999), 999.0 / kTol);
+}
+
+TEST_F(ObsTest, HistogramQuantileInvertsCdfWithinBucketResolution) {
+  // The property the exposition relies on: for any recorded value v,
+  // quantile(cdf(v)) lands back within v's bucket — relative error one
+  // sub-bucket above 1.0, absolute error one linear slice (1/16) below.
+  Histogram h;
+  std::vector<double> values;
+  for (double v = 0.001; v < 1.0e6; v *= 1.37) values.push_back(v);
+  for (const double v : values) h.record(v);
+  const auto snap = h.snapshot();
+  const auto n = static_cast<double>(values.size());
+  constexpr double kRel = 1.0 + 1.0 / Histogram::kSubBuckets;
+  constexpr double kAbs = 1.0 / Histogram::kSubBuckets;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // values are sorted and distinct, so the empirical CDF inverts rank i
+    // exactly under the estimator's rank = q * (count - 1) convention.
+    const double q = static_cast<double>(i) / (n - 1.0);
+    const double v = snap.quantile(q);
+    EXPECT_LE(v, values[i] * kRel + kAbs) << "i=" << i;
+    EXPECT_GE(v, values[i] / kRel - kAbs) << "i=" << i;
+  }
+}
+
+TEST_F(ObsTest, HistogramJsonExportsExtendedQuantiles) {
+  auto& h = Registry::global().histogram("export.latency");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const obs::JsonValue doc =
+      json_parse(Registry::global().snapshot().to_json());
+  ASSERT_TRUE(doc.at("histograms").is_object());
+  const obs::JsonValue& exported =
+      doc.at("histograms").at("export.latency");
+  for (const char* key : {"p50", "p90", "p95", "p99", "p999"}) {
+    ASSERT_TRUE(exported.has(key)) << key;
+  }
+  EXPECT_LE(exported.at("p50").number, exported.at("p95").number);
+  EXPECT_LE(exported.at("p95").number, exported.at("p99").number);
+  EXPECT_LE(exported.at("p99").number, exported.at("p999").number);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST_F(ObsTest, PrometheusMetricNamesAreSanitized) {
+  EXPECT_EQ(prometheus_metric_name("server.requests.upsim"),
+            "upsim_server_requests_upsim");
+  EXPECT_EQ(prometheus_metric_name("responses.503"), "upsim_responses_503");
+  EXPECT_EQ(prometheus_metric_name("weird-name!x"), "upsim_weird_name_x");
+  EXPECT_EQ(prometheus_metric_name("already_fine:ok"), "upsim_already_fine:ok");
+}
+
+TEST_F(ObsTest, PrometheusRenderingIsByteStable) {
+  // A golden scrape: every formatting decision (prefix, _total, dyadic
+  // edges, cumulative counts, key order) is pinned byte for byte.  The
+  // snapshot is hand-built — the global registry keeps names registered
+  // across tests, which would leak zero-valued metrics into the bytes.
+  Histogram h;
+  h.record(0.5);  // linear slice [0,1): bucket edge 0.5625
+  h.record(3.0);  // octave [2,4), sub-bucket 8: edge 3.125
+  MetricsSnapshot snap;
+  snap.counters.push_back({"rpc.requests", 3});
+  snap.gauges.push_back({"queue.depth", 2.5});
+  snap.histograms.push_back({"request.latency_us", h.snapshot()});
+  const std::string text = render_prometheus(snap);
+  EXPECT_EQ(text,
+            "# TYPE upsim_rpc_requests_total counter\n"
+            "upsim_rpc_requests_total 3\n"
+            "# TYPE upsim_queue_depth gauge\n"
+            "upsim_queue_depth 2.5\n"
+            "# TYPE upsim_request_latency_us histogram\n"
+            "upsim_request_latency_us_bucket{le=\"0.5625\"} 1\n"
+            "upsim_request_latency_us_bucket{le=\"3.125\"} 2\n"
+            "upsim_request_latency_us_bucket{le=\"+Inf\"} 2\n"
+            "upsim_request_latency_us_sum 3.5\n"
+            "upsim_request_latency_us_count 2\n");
+}
+
+TEST_F(ObsTest, PrometheusHistogramBucketsAreCumulativeAndMonotone) {
+  auto& h = Registry::global().histogram("spread.latency");
+  for (int i = 0; i < 1000; ++i) {
+    h.record(static_cast<double>((i * i) % 977) + 0.25);
+  }
+  const std::string text = render_prometheus(Registry::global().snapshot());
+
+  // Walk the rendered bucket lines in order; counts must never decrease
+  // and the +Inf bucket must equal _count.
+  std::uint64_t previous = 0;
+  std::uint64_t inf_count = 0;
+  std::uint64_t total = 0;
+  std::size_t bucket_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto space = line.rfind(' ');
+    if (line.find("spread_latency_bucket{le=\"+Inf\"}") != std::string::npos) {
+      inf_count = std::stoull(line.substr(space + 1));
+    } else if (line.find("spread_latency_bucket{le=") != std::string::npos) {
+      const std::uint64_t n = std::stoull(line.substr(space + 1));
+      EXPECT_GE(n, previous) << line;
+      previous = n;
+      ++bucket_lines;
+    } else if (line.find("spread_latency_count") != std::string::npos) {
+      total = std::stoull(line.substr(space + 1));
+    }
+  }
+  EXPECT_GT(bucket_lines, 10u);  // the spread really hit many buckets
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(inf_count, total);
+  EXPECT_LE(previous, inf_count);
+}
+
+TEST_F(ObsTest, PrometheusBucketEdgesMatchSnapshotEdges) {
+  // The le edges the scrape publishes are the same dyadic edges
+  // quantile() interpolates against — one source of truth.
+  Histogram h;
+  h.record(7.3);
+  MetricsSnapshot registry_snap;
+  registry_snap.histograms.push_back({"edge.check", h.snapshot()});
+  const Histogram::Snapshot& snap = registry_snap.histograms.front().data;
+  std::size_t bucket = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (snap.buckets[i] != 0) bucket = i;
+  }
+  const double edge = Histogram::Snapshot::bucket_upper_edge(bucket);
+  EXPECT_GE(edge, 7.3);
+  EXPECT_LE(Histogram::Snapshot::bucket_upper_edge(bucket - 1), 7.3);
+  char expected[64];
+  std::snprintf(expected, sizeof expected, "%.17g", edge);
+  const std::string text = render_prometheus(registry_snap);
+  EXPECT_NE(text.find("upsim_edge_check_bucket{le=\"" +
+                      std::string(expected) + "\"} 1"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -17,8 +17,10 @@
 #include <atomic>
 #include <cstring>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "casestudy/usi.hpp"
@@ -28,6 +30,9 @@
 #include "net/client.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/obs.hpp"
+#include "server/access_log.hpp"
+#include "server/metrics_http.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
 
@@ -388,6 +393,369 @@ TEST(ServerTest, ConcurrentClientsAllSucceed) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(ok_count.load(), kThreads * kRequests);
   EXPECT_EQ(failures.load(), 0);
+}
+
+/// Turns instrumentation on for a test and restores the default-off state
+/// (with a clean tracer) afterwards, so the byte-identical differential
+/// tests in this binary never see trace spillover.
+struct ObsOn {
+  ObsOn() {
+    obs::set_enabled(true);
+    obs::Tracer::global().clear();
+  }
+  ~ObsOn() { obs::set_enabled(false); }
+};
+
+/// Builds the params object for the `trace` wire method.
+std::string trace_params(std::uint64_t trace_id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("trace");
+  w.value(obs::format_trace_id(trace_id));
+  w.end_object();
+  return std::move(w).str();
+}
+
+TEST(ServerTest, TraceMethodReturnsTheRequestsSpanTree) {
+  ObsOn obs_on;
+  Stack stack;
+  net::Client client = stack.client();
+  ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());
+  const std::uint64_t trace = client.last_trace_id();
+  ASSERT_NE(trace, 0u);
+
+  const net::Response response = client.call("trace", trace_params(trace));
+  ASSERT_TRUE(response.ok()) << response.error_message();
+  EXPECT_EQ(response.result().at("trace").string,
+            obs::format_trace_id(trace));
+  const auto& spans = response.result().at("spans").array;
+  ASSERT_FALSE(spans.empty());
+
+  // The tree roots at server.request; the engine's query span (a cache
+  // miss — this was the perspective's first serve) parents directly
+  // under it, and path discovery under that.
+  double server_request_id = 0.0;
+  double engine_query_id = 0.0;
+  double engine_query_parent = -1.0;
+  bool saw_discovery = false;
+  for (const auto& s : spans) {
+    if (s.at("name").string == "server.request") {
+      EXPECT_EQ(s.at("parent_span_id").number, 0.0);
+      server_request_id = s.at("span_id").number;
+    }
+    if (s.at("name").string == "engine.query") {
+      engine_query_id = s.at("span_id").number;
+      engine_query_parent = s.at("parent_span_id").number;
+    }
+    if (s.at("name").string == "engine.step7_discovery") {
+      saw_discovery = true;
+    }
+  }
+  EXPECT_GT(server_request_id, 0.0);
+  EXPECT_GT(engine_query_id, 0.0);
+  EXPECT_EQ(engine_query_parent, server_request_id);
+  EXPECT_TRUE(saw_discovery);
+
+  // Unknown and malformed trace params are request errors.
+  EXPECT_EQ(client.call("trace", "{}").status, 400);
+  EXPECT_EQ(client.call("trace", R"({"trace":"xyz"})").status, 400);
+  // A valid id nobody recorded under is an empty tree, not an error.
+  const net::Response empty =
+      client.call("trace", trace_params(0xdeadbeefdeadbeefULL));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.result().at("spans").array.empty());
+}
+
+// The satellite contract: 8 clients hammering concurrently, every span
+// lands under the right request, no cross-request bleed — and the whole
+// binary runs under -DUPSIM_SANITIZE=thread in CI to prove the per-thread
+// span buffers race-free.
+TEST(ServerTest, TracePropagationIsPerRequestUnderConcurrentClients) {
+  ObsOn obs_on;
+  Stack stack;
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      net::Client client = stack.client();
+      const std::string params =
+          t % 2 == 0 ? stack.t1_p2_params()
+                     : server::query_params_json(
+                           casestudy::printing_service_name(),
+                           stack.cs.mapping_t15_p3(), "view15");
+      for (int r = 0; r < kRequests; ++r) {
+        try {
+          if (!client.call("upsim", params).ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const std::uint64_t trace = client.last_trace_id();
+          const net::Response tree =
+              client.call("trace", trace_params(trace));
+          if (!tree.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const auto& spans = tree.result().at("spans").array;
+          // Exactly one request ran under this id: one root span, and
+          // every other span's parent is inside the tree (a bled-in span
+          // from another request would dangle or add a second root).
+          std::unordered_set<std::uint64_t> ids;
+          for (const auto& s : spans) {
+            ids.insert(static_cast<std::uint64_t>(s.at("span_id").number));
+          }
+          int roots = 0;
+          bool closed = !spans.empty();
+          for (const auto& s : spans) {
+            const auto parent =
+                static_cast<std::uint64_t>(s.at("parent_span_id").number);
+            if (s.at("name").string == "server.request") ++roots;
+            if (parent != 0 && ids.count(parent) == 0) closed = false;
+          }
+          if (roots != 1 || !closed) failures.fetch_add(1);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServerTest, OldFormatFramesWithoutTraceAreStillServed) {
+  Stack stack;
+
+  // A client configured like a pre-trace build: no "trace" member at all.
+  net::ClientOptions legacy_options;
+  legacy_options.port = stack.server.port();
+  legacy_options.send_trace = false;
+  net::Client legacy(legacy_options);
+  const net::Response response =
+      legacy.call("upsim", stack.t1_p2_params());
+  ASSERT_TRUE(response.ok()) << response.error_message();
+  EXPECT_EQ(legacy.last_trace_id(), 0u);
+
+  // Raw old-format frame, exact envelope bytes an old client sends.
+  net::Client raw = stack.client();
+  const obs::JsonValue health = obs::json_parse(
+      raw.roundtrip_raw(R"({"id":1,"method":"health","params":{}})"));
+  EXPECT_EQ(static_cast<int>(health.at("status").number), 200);
+
+  // A well-formed trace member is accepted...
+  const obs::JsonValue traced = obs::json_parse(raw.roundtrip_raw(
+      R"({"id":2,"method":"health","trace":"0123456789abcdef"})"));
+  EXPECT_EQ(static_cast<int>(traced.at("status").number), 200);
+
+  // ...but a present-and-malformed one is a 400, not a silent ignore.
+  for (const char* bad :
+       {R"({"id":3,"method":"health","trace":"xyz"})",
+        R"({"id":4,"method":"health","trace":"0000000000000000"})",
+        R"({"id":5,"method":"health","trace":17})"}) {
+    const obs::JsonValue doc = obs::json_parse(raw.roundtrip_raw(bad));
+    EXPECT_EQ(static_cast<int>(doc.at("status").number), 400) << bad;
+    EXPECT_EQ(doc.at("error").at("code").string, "bad_request") << bad;
+  }
+}
+
+TEST(ServerTest, MetricsReportsResponseCacheEffectiveness) {
+  Stack stack;
+  net::Client client = stack.client();
+  ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());  // miss
+  ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());  // hit
+  const net::Response metrics = client.call("metrics");
+  ASSERT_TRUE(metrics.ok());
+  const obs::JsonValue& rc = metrics.result().at("response_cache");
+  EXPECT_EQ(rc.at("hits").number, 1.0);
+  EXPECT_EQ(rc.at("misses").number, 1.0);
+  EXPECT_EQ(rc.at("entries").number, 1.0);
+  EXPECT_DOUBLE_EQ(rc.at("hit_rate").number, 0.5);
+  // Path cache stats ride along in the same result (obs off — these are
+  // the always-on counters).
+  EXPECT_TRUE(metrics.result().at("cache").has("hit_rate"));
+}
+
+TEST(ServerTest, AccessLogRecordsEveryRequestAndMatchesTraceExport) {
+  ObsOn obs_on;
+  std::ostringstream sink;
+  server::AccessLogOptions log_options;
+  log_options.stream = &sink;
+  server::AccessLog access_log(log_options);
+  server::ServerOptions so;
+  so.access_log = &access_log;
+
+  std::uint64_t trace_miss = 0;
+  std::uint64_t trace_hit = 0;
+  std::uint64_t trace_health = 0;
+  {
+    Stack stack({}, so);
+    net::Client client = stack.client();
+    ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());
+    trace_miss = client.last_trace_id();
+    ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());
+    trace_hit = client.last_trace_id();
+    ASSERT_TRUE(client.call("health").ok());
+    trace_health = client.last_trace_id();
+    (void)client.roundtrip_raw("not json at all");
+    // Drain before reading the sink: the worker writes the log line after
+    // the response, so the stream is only quiescent once stop() joined.
+    stack.server.stop();
+  }
+  EXPECT_EQ(access_log.lines_written(), 4u);
+  EXPECT_EQ(access_log.lines_dropped(), 0u);
+
+  std::vector<obs::JsonValue> lines;
+  std::istringstream in(sink.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(obs::json_parse(line));
+  ASSERT_EQ(lines.size(), 4u);
+
+  for (const auto& l : lines) {
+    EXPECT_GT(l.at("ts_us").number, 0.0);
+    EXPECT_EQ(l.at("trace").string.size(), 16u);
+    EXPECT_GE(l.at("queue_wait_us").number, 0.0);
+    EXPECT_GT(l.at("handle_us").number, 0.0);
+    EXPECT_GT(l.at("bytes_out").number, 0.0);
+  }
+
+  EXPECT_EQ(lines[0].at("method").string, "upsim");
+  EXPECT_EQ(static_cast<int>(lines[0].at("status").number), 200);
+  EXPECT_FALSE(lines[0].at("cache_hit").boolean);
+  EXPECT_EQ(lines[0].at("trace").string, obs::format_trace_id(trace_miss));
+  EXPECT_EQ(lines[0].at("level").string, "info");
+
+  EXPECT_TRUE(lines[1].at("cache_hit").boolean);
+  EXPECT_EQ(lines[1].at("trace").string, obs::format_trace_id(trace_hit));
+
+  EXPECT_EQ(lines[2].at("method").string, "health");
+  EXPECT_EQ(lines[2].at("trace").string,
+            obs::format_trace_id(trace_health));
+
+  // The unparseable request still logged — server-assigned trace id,
+  // empty method, the 400 status.
+  EXPECT_EQ(lines[3].at("method").string, "");
+  EXPECT_EQ(static_cast<int>(lines[3].at("status").number), 400);
+  EXPECT_NE(obs::parse_trace_id(lines[3].at("trace").string), 0u);
+
+  // Acceptance criterion (c): every served request's access-log trace id
+  // reappears as a stitched per-request process row in the trace export.
+  const std::string chrome = obs::Tracer::global().to_chrome_json_by_trace();
+  for (const std::uint64_t trace : {trace_miss, trace_hit, trace_health}) {
+    EXPECT_NE(chrome.find("trace " + obs::format_trace_id(trace)),
+              std::string::npos);
+  }
+}
+
+TEST(ServerTest, SlowRequestsPromoteToWarnRecordsWithSpanTrees) {
+  ObsOn obs_on;
+  std::ostringstream sink;
+  server::AccessLogOptions log_options;
+  log_options.stream = &sink;
+  log_options.slow_ms = 1e-6;  // everything is "slow": promotion always on
+  server::AccessLog access_log(log_options);
+  server::ServerOptions so;
+  so.access_log = &access_log;
+  {
+    Stack stack({}, so);
+    net::Client client = stack.client();
+    ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());
+    stack.server.stop();
+  }
+  std::istringstream in(sink.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const obs::JsonValue record = obs::json_parse(line);
+  EXPECT_EQ(record.at("level").string, "warn");
+  EXPECT_DOUBLE_EQ(record.at("slow_ms").number, 1e-6);
+  const auto& spans = record.at("spans").array;
+  ASSERT_FALSE(spans.empty());
+  bool saw_request = false;
+  bool saw_engine = false;
+  for (const auto& s : spans) {
+    if (s.at("name").string == "server.request") saw_request = true;
+    if (s.at("name").string == "engine.query") saw_engine = true;
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_engine);
+}
+
+TEST(ServerTest, FastRequestsStayInfoUnderSlowThreshold) {
+  ObsOn obs_on;
+  std::ostringstream sink;
+  server::AccessLogOptions log_options;
+  log_options.stream = &sink;
+  log_options.slow_ms = 1e9;  // nothing is slow
+  server::AccessLog access_log(log_options);
+  server::ServerOptions so;
+  so.access_log = &access_log;
+  {
+    Stack stack({}, so);
+    net::Client client = stack.client();
+    ASSERT_TRUE(client.call("health").ok());
+    stack.server.stop();
+  }
+  std::istringstream in(sink.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const obs::JsonValue record = obs::json_parse(line);
+  EXPECT_EQ(record.at("level").string, "info");
+  EXPECT_FALSE(record.has("slow_ms"));
+  EXPECT_FALSE(record.has("spans"));
+}
+
+TEST(ServerTest, PrometheusEndpointServesAScrapableRegistry) {
+  ObsOn obs_on;
+  Stack stack;
+  net::Client client = stack.client();
+  ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());
+  ASSERT_TRUE(client.call("health").ok());
+
+  server::MetricsHttpServer prom;  // ephemeral port, global-registry body
+  prom.start();
+
+  const auto fetch = [&](const std::string& request) {
+    net::Socket sock = net::connect_tcp("127.0.0.1", prom.port(), 1000);
+    sock.set_recv_timeout_ms(2000);
+    sock.send_all(request.data(), request.size());
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const std::size_t n = sock.recv_some(buf, sizeof buf);
+      if (n == 0) break;  // Connection: close — EOF ends the exchange
+      out.append(buf, n);
+    }
+    return out;
+  };
+
+  const std::string response =
+      fetch("GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: */*\r\n\r\n");
+  ASSERT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  const std::string head = response.substr(0, split);
+  const std::string body = response.substr(split + 4);
+  // Content-Length must frame the body exactly.
+  const std::size_t cl = head.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  EXPECT_EQ(std::stoul(head.substr(cl + 16)), body.size());
+  // The registry made it through the renderer: request counters and the
+  // latency histogram in cumulative-bucket form.
+  EXPECT_NE(body.find("upsim_server_requests_upsim_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("upsim_server_handle_us_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(body.find("upsim_server_handle_us_count"), std::string::npos);
+
+  EXPECT_EQ(fetch("GET /nope HTTP/1.1\r\n\r\n").rfind("HTTP/1.1 404", 0),
+            0u);
+  EXPECT_EQ(
+      fetch("POST /metrics HTTP/1.1\r\n\r\n").rfind("HTTP/1.1 405", 0), 0u);
+  EXPECT_EQ(prom.scrapes_served(), 1u);
+  prom.stop();
 }
 
 TEST(ServerTest, GracefulStopDrainsInFlightRequestsThenRefuses) {

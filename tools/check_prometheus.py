@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format scrape written by upsimd --prom-port.
+
+Structural checks on the exposition format 0.0.4 that upsim's renderer
+commits to (stdlib only, no prometheus client needed):
+
+  * every sample name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every `# TYPE` line names a known type, and the samples that follow
+    belong to that family
+  * counter samples end in `_total` and are non-negative
+  * every histogram family has cumulative, monotone non-decreasing
+    `le` buckets in ascending edge order, a `+Inf` bucket, and
+    `_sum`/`_count` samples with `+Inf` == `_count`
+
+Optionally cross-checks the rest of the observability pipeline (the
+repo's acceptance criterion: one id correlates every surface):
+
+  * --access-log access.jsonl : every line is valid JSON with the
+    documented schema keys and a 16-hex trace id
+  * --trace trace.json        : every *served* (status 200) access-log
+    line's trace id appears as a stitched per-request process row
+    ("trace <id>") in the Chrome trace export
+
+Usage:
+  check_prometheus.py scrape.prom [--require NAME]...
+                      [--access-log FILE] [--trace FILE]
+
+Exits 0 when every check passes, 1 with one line per failure otherwise.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LE_RE = re.compile(r'le="([^"]+)"')
+
+ACCESS_KEYS = (
+    "ts_us", "level", "method", "status", "id", "trace",
+    "bytes_in", "bytes_out", "queue_wait_us", "handle_us", "cache_hit",
+)
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def parse_scrape(path):
+    """Returns (types: {family: type}, samples: [(name, labels, value)])."""
+    types = {}
+    samples = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4:
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                    continue
+                _, _, family, kind = parts
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    fail(f"{path}:{lineno}: unknown metric type {kind!r}")
+                types[family] = kind
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+                continue
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            if not NAME_RE.match(name):
+                fail(f"{path}:{lineno}: invalid metric name {name!r}")
+            try:
+                samples.append((name, labels, float(value)))
+            except ValueError:
+                fail(f"{path}:{lineno}: non-numeric value {value!r}")
+    return types, samples
+
+
+def family_of(name, types):
+    """Maps a sample name back to its TYPE'd family, if any."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check_scrape(path, required):
+    types, samples = parse_scrape(path)
+    if not samples:
+        fail(f"{path}: scrape contains no samples")
+
+    by_family = {}
+    for name, labels, value in samples:
+        fam = family_of(name, types)
+        if fam is None:
+            fail(f"{path}: sample {name!r} belongs to no '# TYPE' family")
+            continue
+        by_family.setdefault(fam, []).append((name, labels, value))
+
+    for fam, kind in types.items():
+        rows = by_family.get(fam, [])
+        if not rows:
+            fail(f"{path}: family {fam!r} declared but has no samples")
+            continue
+        if kind == "counter":
+            for name, _, value in rows:
+                if not name.endswith("_total"):
+                    fail(f"{path}: counter sample {name!r} lacks _total")
+                if value < 0:
+                    fail(f"{path}: counter {name!r} is negative ({value})")
+        elif kind == "histogram":
+            buckets = []
+            sums = counts = None
+            for name, labels, value in rows:
+                if name == fam + "_bucket":
+                    m = LE_RE.search(labels)
+                    if not m:
+                        fail(f"{path}: bucket of {fam!r} has no le label")
+                        continue
+                    edge = (math.inf if m.group(1) == "+Inf"
+                            else float(m.group(1)))
+                    buckets.append((edge, value))
+                elif name == fam + "_sum":
+                    sums = value
+                elif name == fam + "_count":
+                    counts = value
+            if sums is None or counts is None:
+                fail(f"{path}: histogram {fam!r} missing _sum or _count")
+                continue
+            if not buckets or buckets[-1][0] != math.inf:
+                fail(f"{path}: histogram {fam!r} has no trailing +Inf bucket")
+                continue
+            for (e1, v1), (e2, v2) in zip(buckets, buckets[1:]):
+                if e2 <= e1:
+                    fail(f"{path}: {fam!r} bucket edges not ascending "
+                         f"({e1} then {e2})")
+                if v2 < v1:
+                    fail(f"{path}: {fam!r} buckets not cumulative "
+                         f"(le={e2} count {v2} < le={e1} count {v1})")
+            if buckets[-1][1] != counts:
+                fail(f"{path}: {fam!r} +Inf bucket {buckets[-1][1]} "
+                     f"!= _count {counts}")
+
+    for want in required:
+        if not any(fam.startswith(want) for fam in types):
+            fail(f"{path}: required metric family {want!r} not exposed")
+
+
+def check_access_log(path):
+    """Parses the access log; returns the trace ids of served requests."""
+    served = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON ({e})")
+                continue
+            for key in ACCESS_KEYS:
+                if key not in rec:
+                    fail(f"{path}:{lineno}: missing key {key!r}")
+            trace = rec.get("trace", "")
+            if not re.fullmatch(r"[0-9a-f]{16}", trace):
+                fail(f"{path}:{lineno}: trace id {trace!r} is not 16 hex")
+            if rec.get("level") == "warn" and "spans" not in rec:
+                fail(f"{path}:{lineno}: warn record embeds no span tree")
+            if rec.get("status") == 200:
+                served.append(trace)
+    if not served:
+        fail(f"{path}: no served (status 200) requests logged")
+    return served
+
+
+def check_trace_correlation(trace_path, served):
+    with open(trace_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    stitched = set()
+    for ev in events:
+        if ev.get("name") == "process_name":
+            label = ev.get("args", {}).get("name", "")
+            if label.startswith("trace "):
+                stitched.add(label[len("trace "):])
+    missing = [t for t in served if t not in stitched]
+    for t in missing[:10]:
+        fail(f"{trace_path}: served trace id {t} has no stitched "
+             f"process row in the export")
+    if len(missing) > 10:
+        fail(f"{trace_path}: ...and {len(missing) - 10} more missing ids")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("scrape", help="Prometheus text-format scrape file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a metric family starts with NAME "
+                         "(repeatable)")
+    ap.add_argument("--access-log", metavar="FILE",
+                    help="structured access log (JSON lines) to validate")
+    ap.add_argument("--trace", metavar="FILE",
+                    help="Chrome trace export to correlate 200-lines against"
+                         " (needs --access-log)")
+    args = ap.parse_args()
+
+    check_scrape(args.scrape, args.require)
+    served = check_access_log(args.access_log) if args.access_log else []
+    if args.trace:
+        if not args.access_log:
+            ap.error("--trace needs --access-log")
+        check_trace_correlation(args.trace, served)
+
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        print(f"check_prometheus: FAILED ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    n = f"{args.scrape}" + (f" + {args.access_log}" if args.access_log else "")
+    print(f"check_prometheus: OK ({n})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
