@@ -2,15 +2,35 @@
 //
 // The methodology separates infrastructure model, service description and
 // mapping precisely so that each change class touches as little as
-// possible.  Expected shape: a mapping-only perspective change is orders of
-// magnitude cheaper than rebuilding and re-importing the whole model, and
-// re-import cost scales with topology size while per-perspective cost does
-// not (on tree-like networks).
+// possible.  Two families of cases:
+//
+//   - Change-class costs (the original E9 table in EXPERIMENTS.md): a
+//     mapping-only perspective change versus the naive full rebuild, and
+//     re-import cost versus topology size.
+//
+//   - Sustained churn (the scenario subsystem's headline): a campus
+//     network absorbs a continuous fail/repair event stream while serving
+//     perspective queries.  _Fine replays through the engine's
+//     reverse-index overlay invalidation, _Coarse forces the pre-index
+//     epoch flush on every event — same events, same answers, different
+//     work.  items_per_second is the sustained QPS under churn; the
+//     path_evictions_per_event counter is the eviction-granularity proof
+//     (0 in fine mode — baseline path sets survive fail AND repair —
+//     versus the whole cache per event in coarse mode).
+//
+// CI runs this with --bench-json=BENCH_dynamicity.json (bench_main's
+// writer) and archives the JSON as the perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "casestudy/usi.hpp"
 #include "core/upsim_generator.hpp"
+#include "engine/perspective_engine.hpp"
 #include "netgen/generators.hpp"
+#include "scenario/player.hpp"
+#include "service/service.hpp"
 
 namespace {
 
@@ -123,5 +143,90 @@ void BM_TopologyChange_RequiresReimport(benchmark::State& state) {
       static_cast<double>(net.infrastructure->instance_count());
 }
 BENCHMARK(BM_TopologyChange_RequiresReimport)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// --- sustained churn -------------------------------------------------------
+
+/// One iteration = one scenario event absorbed + every perspective served
+/// once.  The event stream cycles a core-switch fail/repair pair (global:
+/// every pair's answer changes, but the redundant core keeps all services
+/// up) and a far-away edge-switch pair (local: no queried pair is
+/// affected at all — the case fine-grained invalidation wins outright).
+void sustained_churn(benchmark::State& state, bool coarse) {
+  netgen::CampusSpec spec;  // defaults: 2 cores, 4 dists, 8 edges, 24 clients
+  const auto net = netgen::uml_campus(spec);
+  service::ServiceCatalog services;
+  services.define_atomic("request");
+  services.define_atomic("respond");
+  const auto& svc = services.define_sequence("echo", {"request", "respond"});
+
+  // One perspective per distribution switch: clients t0/t6/t12/t18 sit
+  // behind edge0/2/4/6 — srv0 hangs off the last distribution switch.
+  std::vector<mapping::ServiceMapping> mappings;
+  for (const char* client : {"t0", "t6", "t12", "t18"}) {
+    mapping::ServiceMapping m;
+    m.map("request", client, "srv0");
+    m.map("respond", "srv0", client);
+    mappings.push_back(std::move(m));
+  }
+
+  engine::EngineOptions engine_options;
+  engine_options.record_in_space = false;
+  engine::PerspectiveEngine engine(*net.infrastructure, engine_options);
+  scenario::PlayerOptions player_options;
+  player_options.coarse = coarse;
+  scenario::ScenarioPlayer player(engine, player_options);
+
+  // The repeating event cycle; "edge7" serves clients t21..t23, which no
+  // queried perspective touches.
+  std::vector<scenario::Event> cycle;
+  for (const char* element : {"core0", "edge7"}) {
+    scenario::Event fail;
+    fail.kind = scenario::EventKind::FailComponent;
+    fail.element = element;
+    scenario::Event repair = fail;
+    repair.kind = scenario::EventKind::RepairComponent;
+    cycle.push_back(fail);
+    cycle.push_back(repair);
+  }
+
+  // Warm every perspective so there is state worth invalidating.
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    (void)engine.query(svc, mappings[i], "churn" + std::to_string(i));
+  }
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    (void)player.apply(cycle[next]);
+    next = (next + 1) % cycle.size();
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+      auto result = engine.query(svc, mappings[i], "churn" + std::to_string(i));
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mappings.size()));
+
+  const auto stats = engine.cache_stats();
+  const auto inv = engine.invalidation_stats();
+  const double events = static_cast<double>(state.iterations());
+  state.counters["path_evictions_per_event"] =
+      events == 0.0 ? 0.0 : static_cast<double>(stats.evictions) / events;
+  state.counters["affected_pairs_per_event"] =
+      events == 0.0
+          ? 0.0
+          : static_cast<double>(player.stats().affected_keys) / events;
+  state.counters["full_flushes"] = static_cast<double>(inv.full_flushes);
+  state.counters["cache_hit_rate"] = stats.hit_rate();
+}
+
+void BM_SustainedChurn_Fine(benchmark::State& state) {
+  sustained_churn(state, /*coarse=*/false);
+}
+BENCHMARK(BM_SustainedChurn_Fine);
+
+void BM_SustainedChurn_Coarse(benchmark::State& state) {
+  sustained_churn(state, /*coarse=*/true);
+}
+BENCHMARK(BM_SustainedChurn_Coarse);
 
 }  // namespace

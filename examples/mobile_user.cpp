@@ -1,15 +1,21 @@
 // User mobility (Sec. V-A3): one person, one printing service, thirteen
-// possible positions in the campus network.  For every client position the
-// example regenerates the UPSIM with a mapping-only change and ranks the
-// positions by user-perceived availability — the per-user view a network
-// operator cannot get from system-wide availability figures.
+// possible positions in the campus network.  The walk is a scenario: each
+// position change is a `move_user` event (plus a `migrate_service` event
+// when the nearest printer changes), replayed through a ScenarioPlayer
+// that rewrites the perspective's mapping and lets a PerspectiveEngine
+// regenerate the UPSIM — a mapping-only change, nothing else invalidated.
+// For every position the example ranks the user-perceived availability —
+// the per-user view a network operator cannot get from system-wide
+// availability figures.
 #include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "casestudy/usi.hpp"
 #include "core/analysis.hpp"
-#include "core/upsim_generator.hpp"
+#include "engine/perspective_engine.hpp"
+#include "scenario/player.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -27,7 +33,12 @@ int main() {
     return "p2";
   };
 
-  core::UpsimGenerator generator(*cs.infrastructure);
+  engine::EngineOptions engine_options;
+  engine_options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, engine_options);
+  scenario::ScenarioPlayer player(engine);
+  player.register_mapping("mobility", cs.printing_mapping("t1", "p2"));
+
   core::AnalysisOptions options;
   options.monte_carlo_samples = 0;  // exact only; fast enough per position
 
@@ -39,11 +50,38 @@ int main() {
     double availability;
   };
   std::vector<Row> rows;
+  std::string at_client = "t1";
+  std::string at_printer = "p2";
+  double clock_hours = 0.0;
   for (const char* client : {"t1", "t2", "t3", "t6", "t7", "t8", "t9", "t10",
                              "t11", "t12", "t13", "t14", "t15"}) {
     const char* printer = nearest_printer(client);
-    const auto result = generator.generate(
-        printing, cs.printing_mapping(client, printer), "mobility");
+    // The walk as events: the user moves, and the print service follows
+    // when the nearest printer changes.
+    if (client != at_client) {
+      scenario::Event move;
+      move.at_hours = clock_hours;
+      move.kind = scenario::EventKind::MoveUser;
+      move.perspective = "mobility";
+      move.from = at_client;
+      move.to = client;
+      (void)player.apply(move);
+      at_client = client;
+    }
+    if (printer != at_printer) {
+      scenario::Event migrate;
+      migrate.at_hours = clock_hours;
+      migrate.kind = scenario::EventKind::MigrateService;
+      migrate.perspective = "mobility";
+      migrate.from = at_printer;
+      migrate.to = printer;
+      (void)player.apply(migrate);
+      at_printer = printer;
+    }
+    clock_hours += 1.0;
+
+    const auto result =
+        engine.query(printing, player.mapping("mobility"), "mobility");
     const auto report = core::analyze_availability(result, options);
     rows.push_back(Row{client, printer, result.upsim.instance_count(),
                        result.total_paths(), report.exact});

@@ -7,6 +7,12 @@
 // then compares the measured availability with the analytic steady-state
 // value, prints the outage log statistics, and closes with the
 // user-perceived responsiveness curve (Sec. VII's third property).
+//
+// The monitoring feed is a scenario trace: generate_failure_trace draws
+// the same alternating-renewal schedule depend::simulate would (identical
+// RNG stream), but materializes it as replayable fail/repair events —
+// the trace that drives measure_service here is the same artifact
+// upsim_scenario can replay against a live engine or a running upsimd.
 #include <algorithm>
 #include <iostream>
 
@@ -15,6 +21,7 @@
 #include "depend/reliability.hpp"
 #include "depend/responsiveness.hpp"
 #include "depend/simulator.hpp"
+#include "scenario/trace.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -27,13 +34,18 @@ int main() {
       cs.mapping_t1_p2(), "monitored");
 
   // --- ten years of simulated operation -----------------------------------
+  scenario::GeneratorOptions gen_options;
+  gen_options.horizon_hours = 10.0 * 365.0 * 24.0;
+  gen_options.seed = 2013;  // publication year
+  const auto trace =
+      scenario::generate_failure_trace(result.upsim_graph, gen_options);
+  scenario::MeasureOptions options;
+  options.horizon_hours = gen_options.horizon_hours;
+  options.warmup_hours = 24.0 * 30.0;
+  const auto sim = scenario::measure_service(
+      result.upsim_graph, result.terminal_pairs(), trace, options);
   const auto model = depend::SimulationModel::from_attributes(
       result.upsim_graph, result.terminal_pairs());
-  depend::SimulationOptions options;
-  options.horizon_hours = 10.0 * 365.0 * 24.0;
-  options.warmup_hours = 24.0 * 30.0;
-  options.seed = 2013;  // publication year
-  const auto sim = depend::simulate(model, options);
   const double analytic =
       depend::exact_availability(model.steady_state_problem());
 

@@ -1,15 +1,20 @@
 // Service migration (Sec. V-A3): moving the print-queue service from
 // printS to another server is a mapping-only edit — the network model and
 // the service description stay untouched.  The example writes the mapping
-// to the paper's XML format, edits it the way an operator would, reloads
-// it, and compares the perceived infrastructure before and after.
+// to the paper's XML format, then expresses the operator's edit as a
+// scenario event: a `migrate_service` record replayed through a
+// ScenarioPlayer, which rewrites the registered mapping (printS -> file1)
+// and tells the engine only the mapping changed — no topology or property
+// invalidation.  It then compares the perceived infrastructure before and
+// after.
 #include <iostream>
 #include <set>
 
 #include "casestudy/usi.hpp"
 #include "core/analysis.hpp"
-#include "core/upsim_generator.hpp"
+#include "engine/perspective_engine.hpp"
 #include "mapping/mapping.hpp"
+#include "scenario/player.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -27,28 +32,34 @@ int main() {
   const auto cs = casestudy::make_usi_case_study();
   const auto& printing =
       cs.services->get_composite(casestudy::printing_service_name());
-  core::UpsimGenerator generator(*cs.infrastructure);
+  engine::EngineOptions engine_options;
+  engine_options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, engine_options);
   core::AnalysisOptions analysis;
   analysis.monte_carlo_samples = 0;
 
-  // Before: the Table I mapping, serialised to the Fig. 3 XML format.
+  // Before: the Table I mapping, serialised to the Fig. 3 XML format and
+  // loaded back — the round trip a real operator change would take — then
+  // registered as the perspective the migration event rewrites.
   const auto before_mapping = cs.mapping_t1_p2();
   std::cout << "mapping file before migration:\n"
             << before_mapping.to_xml() << "\n";
-  const auto before = generator.generate(printing, before_mapping, "view");
+  scenario::ScenarioPlayer player(engine);
+  player.register_mapping(
+      "view", mapping::ServiceMapping::from_xml(before_mapping.to_xml()));
+  const auto before = engine.query(printing, player.mapping("view"), "view");
   const double a_before = core::analyze_availability(before, analysis).exact;
 
-  // Migrate: every occurrence of printS becomes file1 — a pure mapping
-  // edit, exercised through the XML round trip like a real operator change.
-  auto migrated = mapping::ServiceMapping::from_xml(before_mapping.to_xml());
-  for (const auto& pair : migrated.pairs()) {
-    const auto swap = [](const std::string& id) {
-      return id == "printS" ? std::string("file1") : id;
-    };
-    migrated.map(pair.atomic_service, swap(pair.requester),
-                 swap(pair.provider));
-  }
-  const auto after = generator.generate(printing, migrated, "view");
+  // Migrate: one scenario event; the player rewrites every occurrence of
+  // printS to file1 in the registered mapping and notifies the engine.
+  scenario::Event migrate;
+  migrate.at_hours = 0.0;
+  migrate.kind = scenario::EventKind::MigrateService;
+  migrate.perspective = "view";
+  migrate.from = "printS";
+  migrate.to = "file1";
+  (void)player.apply(migrate);
+  const auto after = engine.query(printing, player.mapping("view"), "view");
   const double a_after = core::analyze_availability(after, analysis).exact;
 
   const auto removed = [&] {

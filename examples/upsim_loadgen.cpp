@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -237,6 +238,9 @@ int main(int argc, char** argv) {
     double response_cache_hit_rate = -1.0;
     std::uint64_t response_cache_hits = 0;
     std::uint64_t response_cache_misses = 0;
+    // Invalidation-granularity counters (numbers only), keyed as served by
+    // the `metrics` method's "invalidation" section.
+    std::map<std::string, double> invalidation;
     try {
       net::ClientOptions metrics_options;
       metrics_options.host = host;
@@ -253,6 +257,14 @@ int main(int argc, char** argv) {
           response_cache_misses =
               static_cast<std::uint64_t>(rc.at("misses").number);
           response_cache_hit_rate = rc.at("hit_rate").number;
+        }
+        if (result.has("invalidation")) {
+          for (const auto& [key, value] :
+               result.at("invalidation").object) {
+            if (value.kind == obs::JsonValue::Kind::Number) {
+              invalidation[key] = value.number;
+            }
+          }
         }
       }
     } catch (const std::exception&) {
@@ -327,6 +339,15 @@ int main(int argc, char** argv) {
           w.value(response_cache_misses);
           w.key("response_cache_hit_rate");
           w.value(response_cache_hit_rate);
+        }
+        if (!invalidation.empty()) {
+          w.key("invalidation");
+          w.begin_object();
+          for (const auto& [key, value] : invalidation) {
+            w.key(key);
+            w.value(value);
+          }
+          w.end_object();
         }
         w.end_object();
       }

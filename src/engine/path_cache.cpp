@@ -34,8 +34,9 @@ PathSetCache::Shard& PathSetCache::shard_for(
 
 std::shared_ptr<const pathdisc::PathSet> PathSetCache::get_or_compute(
     const PathQueryKey& key,
-    const std::function<pathdisc::PathSet()>& compute) {
+    const std::function<pathdisc::PathSet()>& compute, bool* missed) {
   Shard& shard = shard_for(key);
+  if (missed != nullptr) *missed = false;
   {
     std::lock_guard lock(shard.mutex);
     const auto it = shard.entries.find(key);
@@ -49,6 +50,7 @@ std::shared_ptr<const pathdisc::PathSet> PathSetCache::get_or_compute(
   }
   // Miss: discover with no lock held, then publish.  If another thread
   // published first, its entry wins and ours is dropped.
+  if (missed != nullptr) *missed = true;
   auto computed = std::make_shared<const pathdisc::PathSet>(compute());
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
@@ -80,6 +82,17 @@ std::size_t PathSetCache::evict_stale(std::uint64_t current_epoch) {
         ++it;
       }
     }
+  }
+  note_evictions(evicted);
+  return evicted;
+}
+
+std::size_t PathSetCache::evict_keys(const std::vector<PathQueryKey>& keys) {
+  std::size_t evicted = 0;
+  for (const PathQueryKey& key : keys) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    evicted += shard.entries.erase(key);
   }
   note_evictions(evicted);
   return evicted;

@@ -79,10 +79,15 @@ class PathSetCache {
 
   /// Returns the cached set for `key`, or runs `compute` and caches its
   /// result.  `compute` runs without any cache lock held (see file header
-  /// for the duplicate-compute race contract).
+  /// for the duplicate-compute race contract).  When `missed` is non-null
+  /// it is set to whether *this caller* took the compute path — used by the
+  /// engine to register reverse-index dependencies exactly once per
+  /// discovery (racing duplicate computes may both report a miss; the
+  /// registration is idempotent).
   [[nodiscard]] std::shared_ptr<const pathdisc::PathSet> get_or_compute(
       const PathQueryKey& key,
-      const std::function<pathdisc::PathSet()>& compute);
+      const std::function<pathdisc::PathSet()>& compute,
+      bool* missed = nullptr);
 
   /// Lookup without compute; nullptr on miss.  Does not count into stats.
   [[nodiscard]] std::shared_ptr<const pathdisc::PathSet> find(
@@ -91,6 +96,11 @@ class PathSetCache {
   /// Drops every entry whose key epoch differs from `current_epoch`;
   /// returns how many were evicted.
   std::size_t evict_stale(std::uint64_t current_epoch);
+
+  /// Drops exactly the given keys (fine-grained invalidation via the
+  /// reverse dependency index); absent keys are ignored.  Returns how many
+  /// entries were actually evicted.
+  std::size_t evict_keys(const std::vector<PathQueryKey>& keys);
 
   /// Drops everything (counted as evictions).
   void clear();

@@ -81,6 +81,12 @@ std::optional<VertexId> Graph::find_vertex(std::string_view name) const
   return it->second;
 }
 
+std::optional<EdgeId> Graph::find_edge(std::string_view name) const noexcept {
+  const auto it = edge_by_name_.find(std::string(name));
+  if (it == edge_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
 VertexId Graph::vertex_by_name(std::string_view name) const {
   const auto v = find_vertex(name);
   if (!v) throw NotFoundError("unknown vertex: '" + std::string(name) + "'");

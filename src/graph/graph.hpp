@@ -82,6 +82,9 @@ class Graph {
       std::string_view name) const noexcept;
   /// Vertex id by name, or throws NotFoundError.
   [[nodiscard]] VertexId vertex_by_name(std::string_view name) const;
+  /// Edge id by name, or nullopt.
+  [[nodiscard]] std::optional<EdgeId> find_edge(
+      std::string_view name) const noexcept;
   /// Edges incident to `v`, in insertion order.
   [[nodiscard]] const std::vector<EdgeId>& incident_edges(VertexId v) const;
   /// The endpoint of `e` opposite to `v`.  Throws ModelError if `v` is not

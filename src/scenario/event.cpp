@@ -1,0 +1,126 @@
+#include "scenario/event.hpp"
+
+#include "util/error.hpp"
+
+namespace upsim::scenario {
+
+std::string_view kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::FailComponent:
+      return "fail_component";
+    case EventKind::RepairComponent:
+      return "repair_component";
+    case EventKind::FailLink:
+      return "fail_link";
+    case EventKind::RepairLink:
+      return "repair_link";
+    case EventKind::PropertyUpdate:
+      return "property_update";
+    case EventKind::MigrateService:
+      return "migrate_service";
+    case EventKind::MoveUser:
+      return "move_user";
+  }
+  throw Error("scenario: unhandled event kind");
+}
+
+EventKind kind_from_name(std::string_view name) {
+  if (name == "fail_component") return EventKind::FailComponent;
+  if (name == "repair_component") return EventKind::RepairComponent;
+  if (name == "fail_link") return EventKind::FailLink;
+  if (name == "repair_link") return EventKind::RepairLink;
+  if (name == "property_update") return EventKind::PropertyUpdate;
+  if (name == "migrate_service") return EventKind::MigrateService;
+  if (name == "move_user") return EventKind::MoveUser;
+  throw ParseError("scenario: unknown event kind '" + std::string(name) + "'");
+}
+
+bool Event::is_state_change() const noexcept {
+  return kind == EventKind::FailComponent ||
+         kind == EventKind::RepairComponent || kind == EventKind::FailLink ||
+         kind == EventKind::RepairLink;
+}
+
+bool Event::is_failure() const noexcept {
+  return kind == EventKind::FailComponent || kind == EventKind::FailLink;
+}
+
+bool Event::is_mapping_change() const noexcept {
+  return kind == EventKind::MigrateService || kind == EventKind::MoveUser;
+}
+
+std::string Event::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("t");
+  w.value(at_hours);
+  w.key("kind");
+  w.value(kind_name(kind));
+  if (is_state_change() || kind == EventKind::PropertyUpdate) {
+    w.key("element");
+    w.value(element);
+  }
+  if (kind == EventKind::PropertyUpdate) {
+    w.key("attribute");
+    w.value(attribute);
+    w.key("value");
+    w.value(value);
+  }
+  if (is_mapping_change()) {
+    w.key("perspective");
+    w.value(perspective);
+    w.key("from");
+    w.value(from);
+    w.key("to");
+    w.value(to);
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+namespace {
+
+const std::string& require_string(const obs::JsonValue& object,
+                                  std::string_view key) {
+  if (!object.has(key) ||
+      object.at(key).kind != obs::JsonValue::Kind::String) {
+    throw ParseError("scenario event: missing string member '" +
+                     std::string(key) + "'");
+  }
+  return object.at(key).string;
+}
+
+double require_number(const obs::JsonValue& object, std::string_view key) {
+  if (!object.has(key) ||
+      object.at(key).kind != obs::JsonValue::Kind::Number) {
+    throw ParseError("scenario event: missing number member '" +
+                     std::string(key) + "'");
+  }
+  return object.at(key).number;
+}
+
+}  // namespace
+
+Event Event::from_json(const obs::JsonValue& value) {
+  if (value.kind != obs::JsonValue::Kind::Object) {
+    throw ParseError("scenario event: expected a JSON object");
+  }
+  Event event;
+  event.at_hours = require_number(value, "t");
+  event.kind = kind_from_name(require_string(value, "kind"));
+  if (event.is_state_change() || event.kind == EventKind::PropertyUpdate) {
+    event.element = require_string(value, "element");
+  }
+  if (event.kind == EventKind::PropertyUpdate) {
+    event.attribute = require_string(value, "attribute");
+    event.value = require_number(value, "value");
+  }
+  if (event.is_mapping_change()) {
+    event.perspective = require_string(value, "perspective");
+    event.from = require_string(value, "from");
+    event.to = require_string(value, "to");
+  }
+  return event;
+}
+
+}  // namespace upsim::scenario

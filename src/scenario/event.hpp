@@ -1,0 +1,78 @@
+// Discrete-event model of the paper's Sec. V-A3 change catalogue.
+//
+// The paper evaluates user-perceived properties under *change*: components
+// and links fail and repair (topology class 1), dependability values drift
+// as monitoring feeds observations back (class 2), services migrate and
+// users move (class 4).  An Event is one timestamped occurrence of one of
+// those changes, in a form a ScenarioPlayer can replay against a live
+// PerspectiveEngine and a trace file can persist losslessly:
+//
+//   {"t":42.5,"kind":"fail_component","element":"d1"}
+//   {"t":43.1,"kind":"repair_link","element":"c1--d4#0"}
+//   {"t":50.0,"kind":"property_update","element":"e1",
+//    "attribute":"mtbf","value":90000}
+//   {"t":60.0,"kind":"migrate_service","perspective":"view",
+//    "from":"printS","to":"file1"}
+//   {"t":70.0,"kind":"move_user","perspective":"view",
+//    "from":"t1","to":"t6"}
+//
+// Timestamps are hours of scenario time (the unit of every MTBF/MTTR in
+// the model); traces are ordered by non-decreasing `t`.  Mapping events
+// (`migrate_service`, `move_user`) rewrite every occurrence of `from` to
+// `to` in the named perspective's registered mapping — a service
+// migration swaps a provider host, a user move swaps the client — exactly
+// the "mapping-only edit" of the paper's dynamicity argument.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace upsim::scenario {
+
+enum class EventKind {
+  FailComponent,
+  RepairComponent,
+  FailLink,
+  RepairLink,
+  PropertyUpdate,
+  MigrateService,
+  MoveUser,
+};
+
+/// Wire name of a kind ("fail_component", ...).
+[[nodiscard]] std::string_view kind_name(EventKind kind);
+/// Inverse of kind_name(); throws ParseError on an unknown name.
+[[nodiscard]] EventKind kind_from_name(std::string_view name);
+
+struct Event {
+  double at_hours = 0.0;
+  EventKind kind = EventKind::FailComponent;
+  /// fail_*/repair_*/property_update: the instance or link name.
+  std::string element;
+  /// property_update: graph attribute ("mtbf"/"mttr") and its new value.
+  std::string attribute;
+  double value = 0.0;
+  /// migrate_service/move_user: rewrite `perspective`'s mapping from->to.
+  std::string perspective;
+  std::string from;
+  std::string to;
+
+  /// fail_* or repair_* (an operational state change).
+  [[nodiscard]] bool is_state_change() const noexcept;
+  /// fail_component or fail_link.
+  [[nodiscard]] bool is_failure() const noexcept;
+  /// migrate_service or move_user.
+  [[nodiscard]] bool is_mapping_change() const noexcept;
+
+  /// One deterministic JSON object (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+  /// Parses one event object; throws ParseError on missing/ill-typed
+  /// members for the kind.
+  [[nodiscard]] static Event from_json(const obs::JsonValue& value);
+
+  [[nodiscard]] friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace upsim::scenario

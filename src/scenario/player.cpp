@@ -1,0 +1,105 @@
+#include "scenario/player.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace upsim::scenario {
+
+ScenarioPlayer::ScenarioPlayer(engine::PerspectiveEngine& engine,
+                               PlayerOptions options)
+    : engine_(&engine), options_(options) {}
+
+void ScenarioPlayer::register_mapping(const std::string& perspective,
+                                      mapping::ServiceMapping mapping) {
+  std::lock_guard lock(mutex_);
+  mappings_.insert_or_assign(perspective, std::move(mapping));
+}
+
+mapping::ServiceMapping ScenarioPlayer::mapping(
+    const std::string& perspective) const {
+  std::lock_guard lock(mutex_);
+  const auto it = mappings_.find(perspective);
+  if (it == mappings_.end()) {
+    throw NotFoundError("scenario: no mapping registered for perspective '" +
+                        perspective + "'");
+  }
+  return it->second;
+}
+
+engine::InvalidationReport ScenarioPlayer::apply(const Event& event) {
+  engine::InvalidationReport report;
+  if (event.is_state_change()) {
+    report = engine_->set_element_state({event.element}, !event.is_failure());
+    if (options_.coarse) {
+      // The pre-index behaviour: any topology event retires every cached
+      // path set via the epoch.  The overlay state above is identical, so
+      // served answers match the fine-grained mode byte for byte.
+      engine_->notify_topology_changed();
+      report.full_flush = true;
+    }
+  } else if (event.kind == EventKind::PropertyUpdate) {
+    report = engine_->set_property_override(event.element, event.attribute,
+                                            event.value);
+    if (options_.coarse) {
+      engine_->notify_properties_changed();
+      report.full_flush = true;
+    }
+  } else {
+    // Mapping change (migrate_service / move_user): rewrite the registered
+    // mapping — every pair endpoint equal to `from` becomes `to` — and let
+    // the engine drop the recorded run.
+    std::lock_guard lock(mutex_);
+    const auto it = mappings_.find(event.perspective);
+    if (it == mappings_.end()) {
+      throw NotFoundError(
+          "scenario: no mapping registered for perspective '" +
+          event.perspective + "'");
+    }
+    mapping::ServiceMapping rewritten;
+    for (const auto& pair : it->second.pairs()) {
+      const auto swap = [&](const std::string& id) {
+        return id == event.from ? event.to : id;
+      };
+      rewritten.map(pair.atomic_service, swap(pair.requester),
+                    swap(pair.provider));
+    }
+    it->second = std::move(rewritten);
+    engine_->notify_mapping_changed(event.perspective);
+  }
+
+  std::lock_guard lock(mutex_);
+  ++stats_.events;
+  if (event.is_state_change()) {
+    event.is_failure() ? ++stats_.failures : ++stats_.repairs;
+  } else if (event.kind == EventKind::PropertyUpdate) {
+    ++stats_.property_updates;
+  } else {
+    ++stats_.mapping_changes;
+  }
+  stats_.affected_keys += report.affected_keys;
+  if (report.full_flush) ++stats_.full_flushes;
+  return report;
+}
+
+PlayerStats ScenarioPlayer::play(const std::vector<Event>& trace) {
+  PlayerStats before = stats();
+  for (const Event& event : trace) (void)apply(event);
+  PlayerStats after = stats();
+  PlayerStats delta;
+  delta.events = after.events - before.events;
+  delta.failures = after.failures - before.failures;
+  delta.repairs = after.repairs - before.repairs;
+  delta.property_updates = after.property_updates - before.property_updates;
+  delta.mapping_changes = after.mapping_changes - before.mapping_changes;
+  delta.affected_keys = after.affected_keys - before.affected_keys;
+  delta.full_flushes = after.full_flushes - before.full_flushes;
+  return delta;
+}
+
+PlayerStats ScenarioPlayer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace upsim::scenario

@@ -1,0 +1,92 @@
+// ScenarioPlayer — replays event traces against a live PerspectiveEngine.
+//
+// The player is the bridge between a recorded/generated trace and the
+// engine's fine-grained invalidation surface:
+//
+//   fail_*/repair_*    -> engine.set_element_state() (down overlay; zero
+//                         path-cache evictions, the reverse index names
+//                         the affected pairs)
+//   property_update    -> engine.set_property_override()
+//   migrate_service /  -> rewrites the perspective's registered mapping
+//   move_user             (every occurrence of `from` becomes `to`) and
+//                         calls engine.notify_mapping_changed()
+//
+// PlayerOptions::coarse is the ablation baseline the differential tests
+// and bench_dynamicity compare against: the *same* overlay state is
+// applied, but every state event additionally forces the pre-index
+// behaviour — a full epoch flush (re-import, re-project, every cached
+// path set evicted) — and every property event a full re-projection.
+// Served answers are byte-identical in both modes; only the work differs.
+//
+// Thread safety: apply()/play() may run concurrently with engine queries
+// (the engine synchronizes internally); the player's own mapping registry
+// and statistics are guarded by a mutex, so concurrent apply() calls are
+// safe too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/perspective_engine.hpp"
+#include "mapping/mapping.hpp"
+#include "scenario/event.hpp"
+
+namespace upsim::scenario {
+
+struct PlayerOptions {
+  /// Replay with the coarse epoch-flush invalidation instead of the
+  /// fine-grained overlay accounting (the comparison baseline).
+  bool coarse = false;
+};
+
+struct PlayerStats {
+  std::uint64_t events = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t property_updates = 0;
+  std::uint64_t mapping_changes = 0;
+  /// Sum of reverse-index matches over all events.
+  std::uint64_t affected_keys = 0;
+  /// Coarse-mode epoch flushes forced by state events.
+  std::uint64_t full_flushes = 0;
+};
+
+class ScenarioPlayer {
+ public:
+  /// The engine must outlive the player.
+  explicit ScenarioPlayer(engine::PerspectiveEngine& engine,
+                          PlayerOptions options = {});
+
+  ScenarioPlayer(const ScenarioPlayer&) = delete;
+  ScenarioPlayer& operator=(const ScenarioPlayer&) = delete;
+
+  /// Registers (or replaces) the mapping that `perspective`'s mapping
+  /// events rewrite.
+  void register_mapping(const std::string& perspective,
+                        mapping::ServiceMapping mapping);
+  /// Current mapping of a registered perspective; throws NotFoundError.
+  [[nodiscard]] mapping::ServiceMapping mapping(
+      const std::string& perspective) const;
+
+  /// Applies one event; returns what it invalidated.  Mapping events for
+  /// an unregistered perspective throw NotFoundError.
+  engine::InvalidationReport apply(const Event& event);
+
+  /// Applies every event in order; returns the cumulative stats delta of
+  /// this call.
+  PlayerStats play(const std::vector<Event>& trace);
+
+  [[nodiscard]] PlayerStats stats() const;
+
+ private:
+  engine::PerspectiveEngine* engine_;
+  PlayerOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, mapping::ServiceMapping> mappings_;
+  PlayerStats stats_;
+};
+
+}  // namespace upsim::scenario

@@ -1,0 +1,272 @@
+#include "scenario/trace.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim::scenario {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::index;
+
+void write_trace(std::ostream& out, const std::vector<Event>& events) {
+  for (const Event& event : events) out << event.to_json() << '\n';
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<Event>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("scenario: cannot open trace file '" + path + "'");
+  write_trace(out, events);
+  if (!out) throw Error("scenario: failed writing trace file '" + path + "'");
+}
+
+std::vector<Event> read_trace(std::istream& in) {
+  std::vector<Event> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      events.push_back(Event::from_json(obs::json_parse(line)));
+    } catch (const ParseError& e) {
+      throw ParseError("scenario trace line " + std::to_string(line_no) +
+                       ": " + e.what());
+    }
+  }
+  return events;
+}
+
+std::vector<Event> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("scenario: cannot open trace file '" + path + "'");
+  return read_trace(in);
+}
+
+namespace {
+
+struct Rates {
+  double mtbf;
+  double mttr;
+};
+
+Rates rates_from(const graph::AttributeMap& attrs, const std::string& what) {
+  const auto mtbf = attrs.find("mtbf");
+  const auto mttr = attrs.find("mttr");
+  if (mtbf == attrs.end() || mttr == attrs.end()) {
+    throw NotFoundError(what + " lacks mtbf/mttr attributes");
+  }
+  if (!(mtbf->second > 0.0) || !(mttr->second > 0.0)) {
+    throw ModelError(what + ": MTBF and MTTR must be positive");
+  }
+  return Rates{mtbf->second, mttr->second};
+}
+
+}  // namespace
+
+std::vector<Event> generate_failure_trace(const Graph& g,
+                                          const GeneratorOptions& options) {
+  if (!(options.horizon_hours > 0.0)) {
+    throw ModelError("scenario: generator horizon must be positive");
+  }
+  const std::size_t vertices = g.vertex_count();
+  const std::size_t components = vertices + g.edge_count();
+
+  std::vector<Rates> rates;
+  rates.reserve(components);
+  std::vector<std::string> names;
+  names.reserve(components);
+  for (std::size_t v = 0; v < vertices; ++v) {
+    const auto& vertex = g.vertex(VertexId{static_cast<std::uint32_t>(v)});
+    rates.push_back(
+        rates_from(vertex.attributes, "vertex '" + vertex.name + "'"));
+    names.push_back(vertex.name);
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(EdgeId{static_cast<std::uint32_t>(e)});
+    rates.push_back(rates_from(edge.attributes, "edge '" + edge.name + "'"));
+    names.push_back(edge.name);
+  }
+
+  // The exact alternating-renewal schedule depend::simulate draws: one RNG,
+  // initial time-to-failure per component in index order, then the next
+  // sojourn immediately after each transition.  Keeping the draw order
+  // identical makes trace replay reproduce simulate() bit for bit.
+  util::Rng rng(options.seed);
+  using QueueEvent = std::pair<double, std::size_t>;
+  std::priority_queue<QueueEvent, std::vector<QueueEvent>, std::greater<>>
+      queue;
+  for (std::size_t c = 0; c < components; ++c) {
+    queue.emplace(rng.exponential(1.0 / rates[c].mtbf), c);
+  }
+
+  std::vector<bool> up(components, true);
+  std::vector<Event> events;
+  while (!queue.empty()) {
+    const auto [when, component] = queue.top();
+    queue.pop();
+    if (when >= options.horizon_hours) break;
+    up[component] = !up[component];
+    const bool is_up = up[component];
+    const double sojourn = rng.exponential(
+        1.0 / (is_up ? rates[component].mtbf : rates[component].mttr));
+    queue.emplace(when + sojourn, component);
+
+    Event event;
+    event.at_hours = when;
+    event.element = names[component];
+    if (component < vertices) {
+      event.kind = is_up ? EventKind::RepairComponent
+                         : EventKind::FailComponent;
+    } else {
+      event.kind = is_up ? EventKind::RepairLink : EventKind::FailLink;
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+namespace {
+
+bool service_up(const Graph& g, const std::vector<bool>& vertex_up,
+                const std::vector<bool>& edge_up,
+                const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  for (const auto& [s, t] : pairs) {
+    if (!vertex_up[index(s)] || !vertex_up[index(t)]) return false;
+    if (s == t) continue;
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::deque<VertexId> queue{s};
+    seen[index(s)] = true;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const EdgeId e : g.incident_edges(v)) {
+        if (!edge_up[index(e)]) continue;
+        const VertexId w = g.opposite(e, v);
+        if (seen[index(w)] || !vertex_up[index(w)]) continue;
+        if (w == t) {
+          reached = true;
+          break;
+        }
+        seen[index(w)] = true;
+        queue.push_back(w);
+      }
+    }
+    if (!reached) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+depend::SimulationResult measure_service(
+    const Graph& g,
+    const std::vector<std::pair<VertexId, VertexId>>& terminal_pairs,
+    const std::vector<Event>& trace, const MeasureOptions& options) {
+  if (!(options.horizon_hours > 0.0)) {
+    throw ModelError("scenario: measure horizon must be positive");
+  }
+  if (options.warmup_hours < 0.0 ||
+      options.warmup_hours >= options.horizon_hours) {
+    throw ModelError("scenario: warmup must be within [0, horizon)");
+  }
+  if (terminal_pairs.empty()) {
+    throw ModelError("scenario: measure needs terminal pairs");
+  }
+  for (const auto& [a, b] : terminal_pairs) {
+    (void)g.vertex(a);
+    (void)g.vertex(b);
+  }
+  std::unordered_map<std::string, std::size_t> vertex_by_name;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    vertex_by_name.emplace(
+        g.vertex(VertexId{static_cast<std::uint32_t>(v)}).name, v);
+  }
+  std::unordered_map<std::string, std::size_t> edge_by_name;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    edge_by_name.emplace(g.edge(EdgeId{static_cast<std::uint32_t>(e)}).name,
+                         e);
+  }
+
+  std::vector<bool> vertex_up(g.vertex_count(), true);
+  std::vector<bool> edge_up(g.edge_count(), true);
+
+  depend::SimulationResult result;
+  result.measured_hours = options.horizon_hours - options.warmup_hours;
+
+  bool up = true;
+  double last_change = 0.0;
+  double outage_started = 0.0;
+
+  const auto measured_span = [&](double from, double to) {
+    const double lo = std::max(from, options.warmup_hours);
+    const double hi = std::min(to, options.horizon_hours);
+    return std::max(0.0, hi - lo);
+  };
+
+  for (const Event& event : trace) {
+    if (!event.is_state_change()) continue;
+    if (event.at_hours >= options.horizon_hours) break;
+    const double now = event.at_hours;
+    ++result.component_events;
+
+    const bool is_up = !event.is_failure();
+    if (event.kind == EventKind::FailComponent ||
+        event.kind == EventKind::RepairComponent) {
+      const auto it = vertex_by_name.find(event.element);
+      if (it == vertex_by_name.end()) {
+        throw NotFoundError("scenario: unknown component '" + event.element +
+                            "' in trace");
+      }
+      vertex_up[it->second] = is_up;
+    } else {
+      const auto it = edge_by_name.find(event.element);
+      if (it == edge_by_name.end()) {
+        throw NotFoundError("scenario: unknown link '" + event.element +
+                            "' in trace");
+      }
+      edge_up[it->second] = is_up;
+    }
+
+    const bool now_up = service_up(g, vertex_up, edge_up, terminal_pairs);
+    if (now_up == up) continue;
+    if (up) {
+      result.uptime_hours += measured_span(last_change, now);
+      outage_started = now;
+    } else {
+      const double measured_outage = measured_span(outage_started, now);
+      if (measured_outage > 0.0) {
+        ++result.outages;
+        result.outage_log.push_back(depend::OutageRecord{
+            std::max(outage_started, options.warmup_hours), measured_outage});
+      }
+    }
+    up = now_up;
+    last_change = now;
+  }
+
+  if (up) {
+    result.uptime_hours += measured_span(last_change, options.horizon_hours);
+  } else {
+    const double measured_outage =
+        measured_span(outage_started, options.horizon_hours);
+    if (measured_outage > 0.0) {
+      ++result.outages;
+      result.outage_log.push_back(depend::OutageRecord{
+          std::max(outage_started, options.warmup_hours), measured_outage});
+    }
+  }
+  return result;
+}
+
+}  // namespace upsim::scenario

@@ -1,0 +1,78 @@
+// Scenario traces: JSON-lines persistence, a Poisson failure/repair
+// generator, and a trace-fold service measurement.
+//
+// A trace is a chronologically ordered vector<Event> — one JSON object per
+// line on disk (easy to grep, diff, truncate, and append from a monitoring
+// pipeline).  Blank lines are skipped; anything else must parse as one
+// event.
+//
+// generate_failure_trace() turns a projected graph's own MTBF/MTTR
+// annotations into the alternating-renewal event stream the paper's
+// monitoring substitute (depend::simulate) uses internally: every
+// component starts Up, draws an exponential time-to-failure at rate
+// 1/MTBF, then alternates with exponential repairs at rate 1/MTTR.  It
+// replicates depend::simulate's exact draw order (components indexed
+// vertices-first-then-edges against one util::Rng), so folding the
+// generated trace with measure_service() reproduces simulate()'s numbers
+// bit for bit — the property tests/test_scenario.cpp pins.  A recorded
+// trace thereby becomes a first-class substitute for the hand-rolled
+// simulation loop: generate once, replay anywhere (example binaries, the
+// ScenarioPlayer against a live engine, upsimd over the wire).
+//
+// measure_service() folds a state-change trace into the measured
+// availability of a terminal-pair service, with depend::simulate's warmup
+// clipping and horizon-closing semantics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "depend/simulator.hpp"
+#include "graph/graph.hpp"
+#include "scenario/event.hpp"
+
+namespace upsim::scenario {
+
+/// Writes one event per line (trailing newline after each).
+void write_trace(std::ostream& out, const std::vector<Event>& events);
+void write_trace_file(const std::string& path,
+                      const std::vector<Event>& events);
+
+/// Reads a JSON-lines trace; throws ParseError on malformed lines.
+[[nodiscard]] std::vector<Event> read_trace(std::istream& in);
+[[nodiscard]] std::vector<Event> read_trace_file(const std::string& path);
+
+struct GeneratorOptions {
+  /// Events strictly before the horizon are emitted.
+  double horizon_hours = 24.0 * 365.0;
+  std::uint64_t seed = 2013;
+};
+
+/// Poisson (alternating-renewal) failure/repair trace from the graph's own
+/// "mtbf"/"mttr" attributes.  Vertices become {fail,repair}_component
+/// events, edges {fail,repair}_link events.  Throws NotFoundError when an
+/// element lacks the attributes and ModelError when they are non-positive.
+[[nodiscard]] std::vector<Event> generate_failure_trace(
+    const graph::Graph& g, const GeneratorOptions& options = {});
+
+struct MeasureOptions {
+  double horizon_hours = 24.0 * 365.0;
+  /// Transient prefix excluded from measurement; [0, horizon).
+  double warmup_hours = 0.0;
+};
+
+/// Folds the state-change events of `trace` (mapping/property events are
+/// ignored) into the measured availability of the service connecting every
+/// terminal pair, exactly as depend::simulate accounts it: the service is
+/// up while every pair is connected through up vertices and links,
+/// outages/uptime are clipped to [warmup, horizon), the final interval is
+/// closed at the horizon.  Events must be time-ordered.
+[[nodiscard]] depend::SimulationResult measure_service(
+    const graph::Graph& g,
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>&
+        terminal_pairs,
+    const std::vector<Event>& trace, const MeasureOptions& options = {});
+
+}  // namespace upsim::scenario

@@ -22,9 +22,29 @@
 //                          per-pair paths, truncation flags)
 //   paths                  the discovery part only
 //   availability           upsim + the dependability estimators
-//   invalidate_topology    change class 1: re-import, bump epoch
-//   invalidate_properties  change class 2: re-project, keep cache
+//   invalidate_topology    change class 1: re-import, bump epoch.  With
+//                          params "elements" (array of instance/link
+//                          names): fine-grained — the epoch holds, only
+//                          cached discoveries and served results routed
+//                          through those elements are evicted (sound for
+//                          non-additive changes; see PerspectiveEngine)
+//   invalidate_properties  change class 2: re-project, keep cache.  With
+//                          params "elements": also reports the affected
+//                          pair count; with params "updates" ([{"element",
+//                          "attribute","value"}, ...]): applies per-element
+//                          attribute overrides first (observed MTBF/MTTR
+//                          feeding back into the model)
 //   invalidate_mapping     change class 4: forget one recorded perspective
+//   scenario_load          params "events": array of scenario events (see
+//                          src/scenario/event.hpp); replaces the server's
+//                          loaded trace, result {"loaded", "position"}
+//   scenario_step          applies the next params "count" (default 1)
+//                          loaded events — or one inline params "event" —
+//                          through the fine-grained invalidation path
+//                          (params "mode":"coarse" forces the epoch-flush
+//                          baseline); result reports applied/position/
+//                          epoch/affected_keys/path_evictions/
+//                          response_evictions/full_flush
 //   validate               lint the served model (optional params
 //                          "composite" and "mapping" extend the check to a
 //                          query's inputs); result is the lint JSON report,

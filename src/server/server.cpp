@@ -284,22 +284,16 @@ std::string Server::dispatch(const Request& req, AccessRecord& access) {
     return make_response(req.id, handle_availability(req));
   }
   if (req.method == "invalidate_topology") {
-    engine_.notify_topology_changed();
-    obs::JsonWriter w;
-    w.begin_object();
-    w.key("epoch");
-    w.value(engine_.epoch());
-    w.end_object();
-    return make_response(req.id, std::move(w).str());
+    return make_response(req.id, handle_invalidate_topology(req));
   }
   if (req.method == "invalidate_properties") {
-    engine_.notify_properties_changed();
-    obs::JsonWriter w;
-    w.begin_object();
-    w.key("epoch");
-    w.value(engine_.epoch());
-    w.end_object();
-    return make_response(req.id, std::move(w).str());
+    return make_response(req.id, handle_invalidate_properties(req));
+  }
+  if (req.method == "scenario_load") {
+    return make_response(req.id, handle_scenario_load(req));
+  }
+  if (req.method == "scenario_step") {
+    return make_response(req.id, handle_scenario_step(req));
   }
   if (req.method == "invalidate_mapping") {
     const obs::JsonValue& params = req.params;
@@ -378,6 +372,7 @@ std::string Server::handle_query(const Request& req, bool paths_only,
   std::string key = (paths_only ? "paths@" : "upsim@") +
                     std::to_string(epoch) + ':' +
                     query_params_json(q.composite->name(), q.mapping, q.name);
+  std::uint64_t version = 0;
   {
     std::shared_lock lock(response_cache_mutex_);
     const auto it = response_cache_.find(key);
@@ -389,19 +384,31 @@ std::string Server::handle_query(const Request& req, bool paths_only,
       count("server.response_cache.hits");
       return *hit;
     }
+    version = invalidation_version_;
   }
   response_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   count("server.response_cache.misses");
+  engine::QueryInfo info;
   const core::UpsimResult result =
-      engine_.query(*q.composite, q.mapping, std::move(q.name));
+      engine_.query(*q.composite, q.mapping, std::move(q.name), &info);
   auto entry =
       std::make_shared<const std::string>(upsim_result_json(result, paths_only));
   {
     std::unique_lock lock(response_cache_mutex_);
-    if (response_cache_.size() >= options_.response_cache_entries) {
-      response_cache_.clear();
+    // A fine-grained eviction between our version snapshot and here may
+    // have targeted this key's elements while the engine was computing —
+    // the bytes could predate the event.  Serve them (they were valid when
+    // computed) but never cache them.
+    if (invalidation_version_ == version) {
+      if (response_cache_.size() >= options_.response_cache_entries) {
+        response_cache_.clear();
+        response_index_.clear();
+      }
+      for (const std::string& element : info.elements) {
+        response_index_[element].insert(key);
+      }
+      response_cache_.emplace(std::move(key), entry);
     }
-    response_cache_.emplace(std::move(key), entry);
   }
   return *entry;
 }
@@ -426,6 +433,288 @@ std::string Server::handle_availability(const Request& req) {
       engine_.query(*q.composite, q.mapping, std::move(q.name));
   return availability_json(core::analyze_availability(result, analysis),
                            result);
+}
+
+namespace {
+
+/// Reads params' optional "elements" (array of element names); empty means
+/// the member was absent — the caller falls back to the coarse path.
+std::vector<std::string> elements_from_params(const obs::JsonValue& params) {
+  std::vector<std::string> elements;
+  if (!params.has("elements")) return elements;
+  const obs::JsonValue& list = params.at("elements");
+  if (!list.is_array() || list.array.empty()) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "params 'elements' must be a non-empty array");
+  }
+  elements.reserve(list.array.size());
+  for (const obs::JsonValue& item : list.array) {
+    if (item.kind != obs::JsonValue::Kind::String) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'elements' entries must be strings");
+    }
+    elements.push_back(item.string);
+  }
+  return elements;
+}
+
+std::string invalidation_result_json(std::uint64_t epoch,
+                                     const engine::InvalidationReport& report,
+                                     std::uint64_t response_evicted) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("epoch");
+  w.value(epoch);
+  w.key("affected_keys");
+  w.value(report.affected_keys);
+  w.key("path_evictions");
+  w.value(report.evicted_keys);
+  w.key("response_evictions");
+  w.value(response_evicted);
+  w.key("full_flush");
+  w.value(report.full_flush);
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace
+
+std::uint64_t Server::evict_responses_for(
+    const std::vector<std::string>& elements) {
+  std::unique_lock lock(response_cache_mutex_);
+  ++invalidation_version_;
+  std::uint64_t evicted = 0;
+  for (const std::string& element : elements) {
+    const auto bucket = response_index_.find(element);
+    if (bucket == response_index_.end()) continue;
+    for (const std::string& key : bucket->second) {
+      evicted += response_cache_.erase(key);
+    }
+    // Dead keys may linger in other elements' buckets; erasing a missing
+    // key is free, and the full clear when the cache fills resets the
+    // index, so the garbage is bounded.
+    response_index_.erase(bucket);
+  }
+  if (evicted != 0) {
+    response_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    count("server.response_cache.evictions", evicted);
+  }
+  return evicted;
+}
+
+std::string Server::handle_invalidate_topology(const Request& req) {
+  const std::vector<std::string> elements = elements_from_params(req.params);
+  if (elements.empty()) {
+    // Coarse: the epoch bump retires every cached served result (the epoch
+    // is part of the key), so the map only needs resetting, not scanning.
+    engine_.notify_topology_changed();
+    std::uint64_t retired = 0;
+    {
+      std::unique_lock lock(response_cache_mutex_);
+      ++invalidation_version_;
+      retired = response_cache_.size();
+      response_cache_.clear();
+      response_index_.clear();
+    }
+    engine::InvalidationReport report;
+    report.evicted_keys = retired;  // everything the epoch made unreachable
+    report.full_flush = true;
+    return invalidation_result_json(engine_.epoch(), report, retired);
+  }
+  const engine::InvalidationReport report =
+      engine_.notify_topology_changed(elements);
+  const std::uint64_t evicted = evict_responses_for(elements);
+  return invalidation_result_json(engine_.epoch(), report, evicted);
+}
+
+std::string Server::handle_invalidate_properties(const Request& req) {
+  const obs::JsonValue& params = req.params;
+  engine::InvalidationReport report;
+  // Optional "updates": targeted attribute overrides (observed MTBF/MTTR
+  // feeding back) applied before the re-projection notice.
+  if (params.has("updates")) {
+    const obs::JsonValue& updates = params.at("updates");
+    if (!updates.is_array()) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'updates' must be an array");
+    }
+    for (const obs::JsonValue& update : updates.array) {
+      if (!update.is_object() || !update.has("element") ||
+          update.at("element").kind != obs::JsonValue::Kind::String ||
+          !update.has("attribute") ||
+          update.at("attribute").kind != obs::JsonValue::Kind::String ||
+          !update.has("value") ||
+          update.at("value").kind != obs::JsonValue::Kind::Number) {
+        throw ProtocolError(kStatusBadRequest, "bad_request",
+                            "each update needs 'element', 'attribute' "
+                            "(strings) and 'value' (number)");
+      }
+      const engine::InvalidationReport one = engine_.set_property_override(
+          update.at("element").string, update.at("attribute").string,
+          update.at("value").number);
+      report.affected_keys += one.affected_keys;
+    }
+  }
+  const std::vector<std::string> elements = elements_from_params(params);
+  if (elements.empty() && !params.has("updates")) {
+    engine_.notify_properties_changed();
+    report.full_flush = true;
+  } else if (!elements.empty()) {
+    const engine::InvalidationReport fine =
+        engine_.notify_properties_changed(elements);
+    report.affected_keys += fine.affected_keys;
+  }
+  // Property values never appear in upsim/paths bytes (names only) and
+  // availability is uncached, so no served results need evicting.
+  return invalidation_result_json(engine_.epoch(), report, 0);
+}
+
+engine::InvalidationReport Server::apply_scenario_event(
+    const scenario::Event& event, bool coarse,
+    std::uint64_t& response_evicted) {
+  engine::InvalidationReport report;
+  if (event.is_state_change()) {
+    report =
+        engine_.set_element_state({event.element}, !event.is_failure());
+    if (coarse) {
+      engine_.notify_topology_changed();
+      report.full_flush = true;
+      std::unique_lock lock(response_cache_mutex_);
+      ++invalidation_version_;
+      response_evicted += response_cache_.size();
+      response_cache_.clear();
+      response_index_.clear();
+    } else {
+      response_evicted += evict_responses_for({event.element});
+    }
+  } else if (event.kind == scenario::EventKind::PropertyUpdate) {
+    report = engine_.set_property_override(event.element, event.attribute,
+                                           event.value);
+    if (coarse) {
+      engine_.notify_properties_changed();
+      report.full_flush = true;
+    }
+    // upsim/paths bytes carry no property values; nothing cached to evict.
+  } else {
+    // Mapping events: the mapping is a query *input* here — remote clients
+    // send the post-migration mapping with their next query, which is a
+    // different cache key, so only the engine's recorded run needs
+    // forgetting.
+    engine_.notify_mapping_changed(event.perspective);
+  }
+  return report;
+}
+
+std::string Server::handle_scenario_load(const Request& req) {
+  const obs::JsonValue& params = req.params;
+  if (!params.has("events") || !params.at("events").is_array()) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "scenario_load needs params 'events' (array)");
+  }
+  std::vector<scenario::Event> events;
+  events.reserve(params.at("events").array.size());
+  for (const obs::JsonValue& entry : params.at("events").array) {
+    try {
+      events.push_back(scenario::Event::from_json(entry));
+    } catch (const ParseError& e) {
+      throw ProtocolError(kStatusBadRequest, "bad_event", e.what());
+    }
+  }
+  std::size_t loaded = 0;
+  {
+    std::lock_guard lock(scenario_mutex_);
+    scenario_trace_ = std::move(events);
+    scenario_pos_ = 0;
+    loaded = scenario_trace_.size();
+  }
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("loaded");
+  w.value(static_cast<std::uint64_t>(loaded));
+  w.key("position");
+  w.value(static_cast<std::uint64_t>(0));
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_scenario_step(const Request& req) {
+  const obs::JsonValue& params = req.params;
+  bool coarse = false;
+  if (params.has("mode")) {
+    if (params.at("mode").kind != obs::JsonValue::Kind::String ||
+        (params.at("mode").string != "fine" &&
+         params.at("mode").string != "coarse")) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'mode' must be \"fine\" or \"coarse\"");
+    }
+    coarse = params.at("mode").string == "coarse";
+  }
+
+  engine::InvalidationReport total;
+  std::uint64_t response_evicted = 0;
+  std::uint64_t applied = 0;
+  std::size_t position = 0;
+  std::size_t loaded = 0;
+
+  if (params.has("event")) {
+    scenario::Event event;
+    try {
+      event = scenario::Event::from_json(params.at("event"));
+    } catch (const ParseError& e) {
+      throw ProtocolError(kStatusBadRequest, "bad_event", e.what());
+    }
+    total = apply_scenario_event(event, coarse, response_evicted);
+    applied = 1;
+    std::lock_guard lock(scenario_mutex_);
+    position = scenario_pos_;
+    loaded = scenario_trace_.size();
+  } else {
+    std::uint64_t want = 1;
+    if (params.has("count")) {
+      if (params.at("count").kind != obs::JsonValue::Kind::Number ||
+          params.at("count").number < 1) {
+        throw ProtocolError(kStatusBadRequest, "bad_request",
+                            "params 'count' must be a positive number");
+      }
+      want = static_cast<std::uint64_t>(params.at("count").number);
+    }
+    // Serialized: steps apply in trace order even under concurrent
+    // requests.  Engine mutators synchronize internally; queries keep
+    // flowing between events.
+    std::lock_guard lock(scenario_mutex_);
+    loaded = scenario_trace_.size();
+    while (applied < want && scenario_pos_ < scenario_trace_.size()) {
+      const engine::InvalidationReport one = apply_scenario_event(
+          scenario_trace_[scenario_pos_], coarse, response_evicted);
+      total.affected_keys += one.affected_keys;
+      total.evicted_keys += one.evicted_keys;
+      total.full_flush = total.full_flush || one.full_flush;
+      ++scenario_pos_;
+      ++applied;
+    }
+    position = scenario_pos_;
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("applied");
+  w.value(applied);
+  w.key("position");
+  w.value(static_cast<std::uint64_t>(position));
+  w.key("total");
+  w.value(static_cast<std::uint64_t>(loaded));
+  w.key("epoch");
+  w.value(engine_.epoch());
+  w.key("affected_keys");
+  w.value(total.affected_keys);
+  w.key("path_evictions");
+  w.value(total.evicted_keys);
+  w.key("response_evictions");
+  w.value(response_evicted);
+  w.key("full_flush");
+  w.value(total.full_flush);
+  w.end_object();
+  return std::move(w).str();
 }
 
 std::string Server::handle_validate(const Request& req) {
@@ -520,6 +809,37 @@ std::string Server::handle_metrics() {
                 ? 0.0
                 : static_cast<double>(hits) /
                       static_cast<double>(hits + misses));
+  }
+  w.end_object();
+  w.key("invalidation");
+  w.begin_object();
+  {
+    const engine::InvalidationStats inv = engine_.invalidation_stats();
+    std::size_t index_entries = 0;
+    {
+      std::shared_lock lock(response_cache_mutex_);
+      index_entries = response_index_.size();
+    }
+    w.key("events");
+    w.value(inv.events);
+    w.key("affected_keys");
+    w.value(inv.affected_keys);
+    w.key("path_evictions");
+    w.value(inv.evicted_keys);
+    w.key("full_flushes");
+    w.value(inv.full_flushes);
+    w.key("index_elements");
+    w.value(static_cast<std::uint64_t>(inv.index_elements));
+    w.key("index_links");
+    w.value(static_cast<std::uint64_t>(inv.index_links));
+    w.key("down_elements");
+    w.value(static_cast<std::uint64_t>(inv.down_elements));
+    w.key("property_overrides");
+    w.value(static_cast<std::uint64_t>(inv.property_overrides));
+    w.key("response_evictions");
+    w.value(response_cache_evictions());
+    w.key("response_index_elements");
+    w.value(static_cast<std::uint64_t>(index_entries));
   }
   w.end_object();
   w.key("metrics");

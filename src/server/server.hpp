@@ -56,12 +56,14 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "engine/perspective_engine.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "scenario/event.hpp"
 #include "server/access_log.hpp"
 #include "server/protocol.hpp"
 #include "service/service.hpp"
@@ -91,11 +93,15 @@ struct ServerOptions {
   /// Results are deterministic for a (method, composite, mapping, name)
   /// tuple at a fixed engine epoch, so repeated perspectives are served
   /// from memory — only the response envelope (the echoed id) is built per
-  /// request.  Topology invalidation bumps the epoch, which retires every
-  /// cached result; property and mapping invalidations don't change these
-  /// results' bytes (names only, no property values), so entries survive
-  /// them.  `availability` is never cached: its numbers follow property
-  /// changes that leave the epoch alone.
+  /// request.  Coarse topology invalidation bumps the epoch, which retires
+  /// every cached result; fine-grained events (scenario_step,
+  /// invalidate_topology with "elements") keep the epoch and instead evict
+  /// through a per-element index fed by the engine's QueryInfo, so a
+  /// failure on one branch leaves every unrelated perspective's entry hot.
+  /// Property and mapping invalidations don't change these results' bytes
+  /// (names only, no property values), so entries survive them.
+  /// `availability` is never cached: its numbers follow property changes
+  /// that leave the epoch alone.
   std::size_t response_cache_entries = 1024;
   /// Structured access/slow-query log; null disables it.  Must outlive the
   /// server (see src/server/access_log.hpp for the line schema).
@@ -139,6 +145,11 @@ class Server {
   [[nodiscard]] std::uint64_t response_cache_misses() const noexcept {
     return response_cache_misses_.load(std::memory_order_relaxed);
   }
+  /// Entries dropped by fine-grained (per-element) invalidation, as opposed
+  /// to epoch retirement.
+  [[nodiscard]] std::uint64_t response_cache_evictions() const noexcept {
+    return response_evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection {
@@ -170,10 +181,26 @@ class Server {
   [[nodiscard]] std::string handle_query(const Request& req, bool paths_only,
                                          AccessRecord& access);
   [[nodiscard]] std::string handle_availability(const Request& req);
+  [[nodiscard]] std::string handle_invalidate_topology(const Request& req);
+  [[nodiscard]] std::string handle_invalidate_properties(const Request& req);
+  [[nodiscard]] std::string handle_scenario_load(const Request& req);
+  [[nodiscard]] std::string handle_scenario_step(const Request& req);
   [[nodiscard]] std::string handle_validate(const Request& req);
   [[nodiscard]] std::string handle_trace(const Request& req);
   [[nodiscard]] std::string handle_metrics();
   [[nodiscard]] std::string handle_health();
+
+  /// Applies one scenario event through the engine's fine-grained surface
+  /// (or, when `coarse`, the epoch-flush baseline) and evicts the served
+  /// results it can influence.  Shared by scenario_step's loaded-trace and
+  /// inline-event paths.
+  engine::InvalidationReport apply_scenario_event(const scenario::Event& event,
+                                                  bool coarse,
+                                                  std::uint64_t& response_evicted);
+  /// Drops every cached served result routed through one of `elements`
+  /// (per the response index) and bumps the invalidation version so
+  /// in-flight misses keyed before the event cannot re-insert stale bytes.
+  std::uint64_t evict_responses_for(const std::vector<std::string>& elements);
 
   engine::PerspectiveEngine& engine_;
   const service::ServiceCatalog& services_;
@@ -194,11 +221,25 @@ class Server {
   // Served-result cache (see ServerOptions::response_cache_entries).  The
   // whole map is dropped when full — the working set of perspectives is
   // tiny next to the limit, so eviction sophistication buys nothing here.
+  // `response_index_` maps element names to the cached keys whose answers
+  // depend on them (from engine::QueryInfo), and `invalidation_version_`
+  // closes the stale-insert race: a miss snapshots the version before the
+  // engine query and only inserts if no fine-grained eviction ran in
+  // between.  Both live under response_cache_mutex_.
   std::shared_mutex response_cache_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const std::string>>
       response_cache_;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      response_index_;
+  std::uint64_t invalidation_version_ = 0;
   std::atomic<std::uint64_t> response_cache_hits_{0};
   std::atomic<std::uint64_t> response_cache_misses_{0};
+  std::atomic<std::uint64_t> response_evictions_{0};
+
+  // scenario_load's trace and the replay cursor scenario_step advances.
+  std::mutex scenario_mutex_;
+  std::vector<scenario::Event> scenario_trace_;
+  std::size_t scenario_pos_ = 0;
 };
 
 }  // namespace upsim::server

@@ -1,0 +1,545 @@
+// Scenario subsystem suite: event/trace serialization, the Poisson trace
+// generator's equivalence with depend::simulate, ScenarioPlayer mapping
+// rewrites, and the differential heart of the PR — fine-grained
+// reverse-index invalidation must serve byte-identical answers to the
+// coarse epoch-flush baseline (and to a fresh engine) across randomized
+// fail/repair/property sequences, cold, warm and under concurrent load.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "core/upsim_generator.hpp"
+#include "depend/simulator.hpp"
+#include "engine/perspective_engine.hpp"
+#include "scenario/player.hpp"
+#include "scenario/trace.hpp"
+#include "server/protocol.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace upsim {
+namespace {
+
+scenario::Event make_state_event(scenario::EventKind kind,
+                                 const std::string& element, double t = 0.0) {
+  scenario::Event event;
+  event.at_hours = t;
+  event.kind = kind;
+  event.element = element;
+  return event;
+}
+
+// --- event / trace serialization -------------------------------------------
+
+TEST(ScenarioEvent, JsonRoundTripAllKinds) {
+  std::vector<scenario::Event> events;
+  events.push_back(make_state_event(scenario::EventKind::FailComponent, "d1",
+                                    42.5));
+  events.push_back(make_state_event(scenario::EventKind::RepairComponent,
+                                    "d1", 43.0));
+  events.push_back(make_state_event(scenario::EventKind::FailLink,
+                                    "c1--d4#0", 50.25));
+  events.push_back(make_state_event(scenario::EventKind::RepairLink,
+                                    "c1--d4#0", 51.0));
+  scenario::Event prop;
+  prop.at_hours = 60.0;
+  prop.kind = scenario::EventKind::PropertyUpdate;
+  prop.element = "e1";
+  prop.attribute = "mtbf";
+  prop.value = 90000.0;
+  events.push_back(prop);
+  scenario::Event migrate;
+  migrate.at_hours = 70.0;
+  migrate.kind = scenario::EventKind::MigrateService;
+  migrate.perspective = "view";
+  migrate.from = "printS";
+  migrate.to = "file1";
+  events.push_back(migrate);
+  scenario::Event move = migrate;
+  move.kind = scenario::EventKind::MoveUser;
+  move.from = "t1";
+  move.to = "t6";
+  events.push_back(move);
+
+  for (const auto& event : events) {
+    const auto parsed = scenario::Event::from_json(obs::json_parse(event.to_json()));
+    EXPECT_EQ(parsed, event) << event.to_json();
+  }
+}
+
+TEST(ScenarioEvent, RejectsMalformedDocuments) {
+  // Unknown kind, missing members, mistyped members.
+  EXPECT_THROW((void)scenario::Event::from_json(
+                   obs::json_parse(R"({"t":1,"kind":"explode","element":"x"})")),
+               ParseError);
+  EXPECT_THROW((void)scenario::Event::from_json(
+                   obs::json_parse(R"({"kind":"fail_component","element":"x"})")),
+               ParseError);
+  EXPECT_THROW((void)scenario::Event::from_json(
+                   obs::json_parse(R"({"t":1,"kind":"fail_component"})")),
+               ParseError);
+  EXPECT_THROW((void)scenario::Event::from_json(obs::json_parse(
+                   R"({"t":1,"kind":"property_update","element":"x",)"
+                   R"("attribute":"mtbf","value":"high"})")),
+               ParseError);
+  EXPECT_THROW((void)scenario::Event::from_json(obs::json_parse(
+                   R"({"t":1,"kind":"move_user","perspective":"v","from":"a"})")),
+               ParseError);
+  EXPECT_THROW((void)scenario::Event::from_json(obs::json_parse("[1,2]")),
+               ParseError);
+}
+
+TEST(ScenarioTrace, StreamRoundTripAndLineErrors) {
+  std::vector<scenario::Event> events;
+  events.push_back(make_state_event(scenario::EventKind::FailComponent, "a",
+                                    1.5));
+  events.push_back(make_state_event(scenario::EventKind::RepairComponent, "a",
+                                    2.5));
+  std::ostringstream out;
+  scenario::write_trace(out, events);
+
+  std::istringstream in(out.str() + "\n   \n");  // blank lines are skipped
+  EXPECT_EQ(scenario::read_trace(in), events);
+
+  std::istringstream bad(out.str() + "{broken\n");
+  try {
+    (void)scenario::read_trace(bad);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- generator / measurement ----------------------------------------------
+
+TEST(ScenarioGenerator, DeterministicPerSeedAndOrdered) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "view");
+
+  scenario::GeneratorOptions options;
+  options.horizon_hours = 24.0 * 365.0;
+  options.seed = 7;
+  const auto a = scenario::generate_failure_trace(result.upsim_graph, options);
+  const auto b = scenario::generate_failure_trace(result.upsim_graph, options);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].at_hours, a[i].at_hours);
+  }
+  for (const auto& event : a) {
+    EXPECT_TRUE(event.is_state_change());
+    EXPECT_LT(event.at_hours, options.horizon_hours);
+  }
+
+  options.seed = 8;
+  EXPECT_NE(a, scenario::generate_failure_trace(result.upsim_graph, options));
+}
+
+TEST(ScenarioGenerator, MeasureReproducesDependSimulateExactly) {
+  // The generator replicates depend::simulate's alternating-renewal RNG
+  // stream, so replaying its trace through measure_service must land on the
+  // simulator's numbers bit for bit — outage log included.
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "view");
+
+  depend::SimulationOptions sim_options;
+  sim_options.horizon_hours = 5.0 * 365.0 * 24.0;
+  sim_options.warmup_hours = 24.0 * 30.0;
+  sim_options.seed = 2013;
+  const auto model = depend::SimulationModel::from_attributes(
+      result.upsim_graph, result.terminal_pairs());
+  const auto sim = depend::simulate(model, sim_options);
+
+  scenario::GeneratorOptions gen_options;
+  gen_options.horizon_hours = sim_options.horizon_hours;
+  gen_options.seed = sim_options.seed;
+  const auto trace =
+      scenario::generate_failure_trace(result.upsim_graph, gen_options);
+  scenario::MeasureOptions measure_options;
+  measure_options.horizon_hours = sim_options.horizon_hours;
+  measure_options.warmup_hours = sim_options.warmup_hours;
+  const auto measured = scenario::measure_service(
+      result.upsim_graph, result.terminal_pairs(), trace, measure_options);
+
+  EXPECT_EQ(measured.component_events, sim.component_events);
+  EXPECT_EQ(measured.outages, sim.outages);
+  EXPECT_DOUBLE_EQ(measured.measured_hours, sim.measured_hours);
+  EXPECT_DOUBLE_EQ(measured.uptime_hours, sim.uptime_hours);
+  EXPECT_DOUBLE_EQ(measured.availability(), sim.availability());
+  ASSERT_EQ(measured.outage_log.size(), sim.outage_log.size());
+  for (std::size_t i = 0; i < sim.outage_log.size(); ++i) {
+    EXPECT_DOUBLE_EQ(measured.outage_log[i].start_hours,
+                     sim.outage_log[i].start_hours);
+    EXPECT_DOUBLE_EQ(measured.outage_log[i].duration_hours,
+                     sim.outage_log[i].duration_hours);
+  }
+}
+
+TEST(ScenarioGenerator, RejectsBadInputs) {
+  const auto cs = casestudy::make_usi_case_study();
+  core::UpsimGenerator generator(*cs.infrastructure);
+  const auto result = generator.generate(
+      cs.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "view");
+  scenario::GeneratorOptions options;
+  options.horizon_hours = 0.0;
+  EXPECT_THROW(
+      (void)scenario::generate_failure_trace(result.upsim_graph, options),
+      ModelError);
+
+  scenario::MeasureOptions measure;
+  measure.warmup_hours = measure.horizon_hours;  // warmup must be < horizon
+  EXPECT_THROW((void)scenario::measure_service(result.upsim_graph,
+                                               result.terminal_pairs(), {},
+                                               measure),
+               ModelError);
+  EXPECT_THROW(
+      (void)scenario::measure_service(result.upsim_graph, {}, {}, {}),
+      ModelError);
+  EXPECT_THROW((void)scenario::measure_service(
+                   result.upsim_graph, result.terminal_pairs(),
+                   {make_state_event(scenario::EventKind::FailComponent,
+                                     "no_such_component")},
+                   {}),
+               NotFoundError);
+}
+
+// --- player ----------------------------------------------------------------
+
+TEST(ScenarioPlayer, MappingEventsRewriteTheRegisteredMapping) {
+  const auto cs = casestudy::make_usi_case_study();
+  engine::EngineOptions options;
+  options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, options);
+  scenario::ScenarioPlayer player(engine);
+  player.register_mapping("view", cs.mapping_t1_p2());
+
+  scenario::Event move;
+  move.kind = scenario::EventKind::MoveUser;
+  move.perspective = "view";
+  move.from = "t1";
+  move.to = "t15";
+  (void)player.apply(move);
+  scenario::Event migrate;
+  migrate.kind = scenario::EventKind::MigrateService;
+  migrate.perspective = "view";
+  migrate.from = "p2";
+  migrate.to = "p3";
+  (void)player.apply(migrate);
+
+  // Two rewrites later the mapping must equal the directly-constructed
+  // t15/p3 perspective of Sec. VI-H, pair for pair.
+  const auto rewritten = player.mapping("view");
+  const auto expected = cs.mapping_t15_p3();
+  ASSERT_EQ(rewritten.pairs().size(), expected.pairs().size());
+  for (const auto& pair : expected.pairs()) {
+    const auto got = rewritten.find(pair.atomic_service);
+    ASSERT_TRUE(got.has_value()) << pair.atomic_service;
+    EXPECT_EQ(got->requester, pair.requester);
+    EXPECT_EQ(got->provider, pair.provider);
+  }
+
+  scenario::Event unknown = move;
+  unknown.perspective = "nobody";
+  EXPECT_THROW((void)player.apply(unknown), NotFoundError);
+
+  const auto stats = player.stats();
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.mapping_changes, 2u);
+}
+
+// --- fine-grained invalidation: reports and contract ------------------------
+
+TEST(FineInvalidation, ReportsAffectedPairsAndSurvivesRepair) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  engine::EngineOptions options;
+  options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, options);
+
+  // Cold cache: nothing to affect yet.
+  auto report = engine.set_element_state({"c1"}, false);
+  EXPECT_EQ(report.affected_keys, 0u);
+  EXPECT_EQ(report.evicted_keys, 0u);
+  report = engine.set_element_state({"c1"}, true);
+
+  const auto baseline = engine.query(printing, cs.mapping_t1_p2(), "view");
+  const std::string baseline_json =
+      server::upsim_result_json(baseline, false);
+
+  // c1 sits on t1's paths (but d2/c2 provide a bypass): failing it must
+  // name the cached pairs, evict nothing (overlay semantics), and change
+  // the answer.
+  report = engine.set_element_state({"c1"}, false);
+  EXPECT_GT(report.affected_keys, 0u);
+  EXPECT_EQ(report.evicted_keys, 0u);
+  EXPECT_FALSE(report.full_flush);
+  EXPECT_TRUE(engine.element_down("c1"));
+  const auto degraded = engine.query(printing, cs.mapping_t1_p2(), "view");
+  EXPECT_NE(server::upsim_result_json(degraded, false), baseline_json);
+  EXPECT_LT(degraded.total_paths(), baseline.total_paths());
+
+  // Repair restores the baseline answer byte for byte — and the path cache
+  // was never flushed to get there.
+  const auto before = engine.cache_stats();
+  report = engine.set_element_state({"c1"}, true);
+  EXPECT_GT(report.affected_keys, 0u);
+  const auto repaired = engine.query(printing, cs.mapping_t1_p2(), "view");
+  EXPECT_EQ(server::upsim_result_json(repaired, false), baseline_json);
+  EXPECT_EQ(engine.cache_stats().evictions, before.evictions);
+  EXPECT_TRUE(engine.down_elements().empty());
+
+  // Toggling an element no cached pair routes through affects nothing.
+  report = engine.set_element_state({"backup"}, false);
+  EXPECT_EQ(report.affected_keys, 0u);
+  (void)engine.set_element_state({"backup"}, true);
+
+  EXPECT_THROW((void)engine.set_element_state({"no_such_element"}, false),
+               NotFoundError);
+
+  const auto stats = engine.invalidation_stats();
+  EXPECT_GE(stats.events, 4u);
+  EXPECT_GT(stats.index_elements, 0u);
+  EXPECT_GT(stats.index_links, 0u);
+  EXPECT_EQ(stats.full_flushes, 0u);
+}
+
+TEST(FineInvalidation, AllPathsDownIsAServableError) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  engine::EngineOptions options;
+  options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, options);
+
+  // Every t1 path crosses printS (the provider); failing it severs the
+  // perspective while the baseline discovery stays cached.
+  (void)engine.set_element_state({"printS"}, false);
+  try {
+    (void)engine.query(printing, cs.mapping_t1_p2(), "view");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("no operational path"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("failed elements"),
+              std::string::npos);
+  }
+  (void)engine.set_element_state({"printS"}, true);
+  const auto healed = engine.query(printing, cs.mapping_t1_p2(), "view");
+  EXPECT_GT(healed.total_paths(), 0u);
+}
+
+TEST(FineInvalidation, PropertyOverrideFlowsIntoAvailability) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  engine::EngineOptions options;
+  options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, options);
+
+  const auto before =
+      engine.query_availability(printing, cs.mapping_t1_p2(), "view");
+  // Observed MTBF collapse on the print server: availability must drop.
+  const auto report = engine.set_property_override("printS", "mtbf", 100.0);
+  EXPECT_GT(report.affected_keys, 0u);
+  const auto after =
+      engine.query_availability(printing, cs.mapping_t1_p2(), "view");
+  EXPECT_LT(after.exact, before.exact);
+
+  // The override also survives a property re-projection.
+  (void)engine.notify_properties_changed({"printS"});
+  const auto again =
+      engine.query_availability(printing, cs.mapping_t1_p2(), "view");
+  EXPECT_DOUBLE_EQ(again.exact, after.exact);
+
+  EXPECT_THROW(
+      (void)engine.set_property_override("no_such_element", "mtbf", 1.0),
+      NotFoundError);
+  EXPECT_EQ(engine.invalidation_stats().property_overrides, 1u);
+}
+
+// --- the differential: fine == coarse == fresh ------------------------------
+
+/// Serves every perspective on both engines and requires byte-identical
+/// JSON; severed perspectives must throw on both (a down overlay can cut
+/// every discovered path — that is an answer too, and it must agree).
+void expect_engines_agree(engine::PerspectiveEngine& fine,
+                          engine::PerspectiveEngine& coarse,
+                          const service::CompositeService& composite,
+                          const std::vector<mapping::ServiceMapping>& mappings) {
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    const std::string name = "p" + std::to_string(i);
+    std::optional<std::string> fine_json;
+    std::optional<std::string> coarse_json;
+    try {
+      fine_json = server::upsim_result_json(
+          fine.query(composite, mappings[i], name), false);
+    } catch (const ModelError&) {
+    }
+    try {
+      coarse_json = server::upsim_result_json(
+          coarse.query(composite, mappings[i], name), false);
+    } catch (const ModelError&) {
+    }
+    ASSERT_EQ(fine_json.has_value(), coarse_json.has_value())
+        << "perspective " << i
+        << ": one invalidation mode served, the other threw";
+    if (fine_json) {
+      EXPECT_EQ(*fine_json, *coarse_json) << "perspective " << i;
+    }
+  }
+}
+
+TEST(FineInvalidation, DifferentialRandomizedEventSequences) {
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  const std::vector<mapping::ServiceMapping> mappings = {
+      cs.mapping_t1_p2(), cs.mapping_t15_p3(), cs.printing_mapping("t7", "p1")};
+
+  engine::EngineOptions options;
+  options.record_in_space = false;
+  engine::PerspectiveEngine fine_engine(*cs.infrastructure, options);
+  engine::PerspectiveEngine coarse_engine(*cs.infrastructure, options);
+  scenario::ScenarioPlayer fine(fine_engine, {});
+  scenario::PlayerOptions coarse_options;
+  coarse_options.coarse = true;
+  scenario::ScenarioPlayer coarse(coarse_engine, coarse_options);
+
+  // Cold differential, then warm both caches.
+  expect_engines_agree(fine_engine, coarse_engine, printing, mappings);
+
+  // Element pool: every infrastructure instance plus every link, by name.
+  std::vector<std::string> pool;
+  for (const auto* inst : cs.infrastructure->instances()) {
+    pool.push_back(inst->name());
+  }
+  for (const auto& link : cs.infrastructure->links()) {
+    pool.push_back(link->name());
+  }
+  ASSERT_FALSE(pool.empty());
+
+  util::Rng rng(20130517);
+  std::vector<std::string> down;
+  for (int step = 0; step < 40; ++step) {
+    scenario::Event event;
+    event.at_hours = static_cast<double>(step);
+    const double roll = rng.uniform();
+    if (!down.empty() && roll < 0.35) {
+      // Repair a random down element.
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform() * static_cast<double>(down.size()));
+      const std::string element = down[std::min(idx, down.size() - 1)];
+      down.erase(down.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(idx, down.size() - 1)));
+      event.kind = scenario::EventKind::RepairComponent;
+      event.element = element;
+    } else if (roll < 0.85) {
+      // Fail a random not-yet-down element.
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform() * static_cast<double>(pool.size()));
+      const std::string& element = pool[std::min(idx, pool.size() - 1)];
+      if (std::find(down.begin(), down.end(), element) != down.end()) {
+        continue;
+      }
+      event.kind = scenario::EventKind::FailComponent;
+      event.element = element;
+      down.push_back(element);
+    } else {
+      // Drift a dependability value (does not change upsim bytes, but must
+      // not desynchronize the engines either).
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform() * static_cast<double>(pool.size()));
+      event.kind = scenario::EventKind::PropertyUpdate;
+      event.element = pool[std::min(idx, pool.size() - 1)];
+      event.attribute = "mtbf";
+      event.value = 1000.0 + 100000.0 * rng.uniform();
+    }
+    (void)fine.apply(event);
+    (void)coarse.apply(event);
+    expect_engines_agree(fine_engine, coarse_engine, printing, mappings);
+  }
+
+  // The fine engine never epoch-flushed; the coarse one did, once per
+  // state event it absorbed.
+  EXPECT_EQ(fine_engine.invalidation_stats().full_flushes, 0u);
+  EXPECT_GT(coarse_engine.invalidation_stats().full_flushes, 0u);
+  EXPECT_EQ(fine_engine.cache_stats().evictions, 0u);
+
+  // Fresh-engine cross-check: a brand-new engine with the same overlay
+  // must agree with the long-lived fine engine byte for byte.
+  engine::PerspectiveEngine fresh(*cs.infrastructure, options);
+  if (!down.empty()) (void)fresh.set_element_state(down, false);
+  expect_engines_agree(fine_engine, fresh, printing, mappings);
+}
+
+TEST(FineInvalidation, DifferentialUnderConcurrentQueries) {
+  // The TSan target: one thread replays a fail/repair trace through the
+  // fine-grained path while query threads serve perspectives.  Every
+  // served answer must be one of the two legal states (element up/down) —
+  // never a torn mix — and the end state must agree with a fresh engine.
+  const auto cs = casestudy::make_usi_case_study();
+  const auto& printing =
+      cs.services->get_composite(casestudy::printing_service_name());
+  engine::EngineOptions options;
+  options.record_in_space = false;
+  engine::PerspectiveEngine engine(*cs.infrastructure, options);
+  scenario::ScenarioPlayer player(engine);
+
+  const std::string up_json = server::upsim_result_json(
+      engine.query(printing, cs.mapping_t1_p2(), "view"), false);
+  (void)engine.set_element_state({"c1"}, false);
+  const std::string down_json = server::upsim_result_json(
+      engine.query(printing, cs.mapping_t1_p2(), "view"), false);
+  (void)engine.set_element_state({"c1"}, true);
+  ASSERT_NE(up_json, down_json);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string got = server::upsim_result_json(
+            engine.query(printing, cs.mapping_t1_p2(), "view"), false);
+        if (got != up_json && got != down_json) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 60; ++i) {
+    (void)player.apply(make_state_event(
+        (i % 2) == 0 ? scenario::EventKind::FailComponent
+                     : scenario::EventKind::RepairComponent,
+        "c1", static_cast<double>(i)));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  // 60 events, alternating: ends repaired; answers return to baseline.
+  EXPECT_EQ(server::upsim_result_json(
+                engine.query(printing, cs.mapping_t1_p2(), "view"), false),
+            up_json);
+  EXPECT_EQ(player.stats().events, 60u);
+}
+
+}  // namespace
+}  // namespace upsim

@@ -797,5 +797,182 @@ TEST(ServerTest, GracefulStopDrainsInFlightRequestsThenRefuses) {
                net::NetError);
 }
 
+TEST(ServerTest, FineInvalidationEvictsOnlyAffectedResponses) {
+  Stack stack;
+  net::Client client = stack.client();
+  const std::string a_params = stack.t1_p2_params("a");
+  const std::string b_params = server::query_params_json(
+      casestudy::printing_service_name(), stack.cs.mapping_t15_p3(), "b");
+
+  // Warm both perspectives: two misses, then two hits.
+  ASSERT_TRUE(client.call("upsim", a_params).ok());
+  ASSERT_TRUE(client.call("upsim", b_params).ok());
+  ASSERT_TRUE(client.call("upsim", a_params).ok());
+  ASSERT_TRUE(client.call("upsim", b_params).ok());
+
+  // e4 is t15's edge switch: it carries b's paths and none of a's.  A
+  // fine-grained invalidation must evict exactly b's served entry and
+  // leave the epoch alone — no full flush.
+  const net::Response health = client.call("health");
+  ASSERT_TRUE(health.ok());
+  const double epoch = health.result().at("epoch").number;
+  const net::Response invalidate =
+      client.call("invalidate_topology", R"({"elements":["e4"]})");
+  ASSERT_TRUE(invalidate.ok()) << invalidate.error_message();
+  EXPECT_FALSE(invalidate.result().at("full_flush").boolean);
+  EXPECT_EQ(invalidate.result().at("response_evictions").number, 1.0);
+  // An external topology notice (unlike the fail/repair overlay) must
+  // recompute the affected path sets — but only those.
+  EXPECT_GT(invalidate.result().at("path_evictions").number, 0.0);
+  EXPECT_GT(invalidate.result().at("affected_keys").number, 0.0);
+  EXPECT_EQ(invalidate.result().at("epoch").number, epoch);
+
+  // a is still served from cache; b recomputes.
+  ASSERT_TRUE(client.call("upsim", a_params).ok());
+  ASSERT_TRUE(client.call("upsim", b_params).ok());
+  const net::Response metrics = client.call("metrics");
+  ASSERT_TRUE(metrics.ok());
+  const obs::JsonValue& rc = metrics.result().at("response_cache");
+  EXPECT_EQ(rc.at("hits").number, 3.0);    // a, b, then a again post-evict
+  EXPECT_EQ(rc.at("misses").number, 3.0);  // a, b cold + b re-serve
+  const obs::JsonValue& inv = metrics.result().at("invalidation");
+  EXPECT_EQ(inv.at("response_evictions").number, 1.0);
+  EXPECT_EQ(inv.at("full_flushes").number, 0.0);
+  EXPECT_GT(inv.at("index_elements").number, 0.0);
+  EXPECT_EQ(inv.at("down_elements").number, 0.0);
+
+  // Mistyped elements params are a 400, not a silent coarse flush.
+  const net::Response bad =
+      client.call("invalidate_topology", R"({"elements":[1]})");
+  EXPECT_EQ(bad.status, server::kStatusBadRequest);
+}
+
+TEST(ServerTest, InvalidatePropertiesAppliesUpdatesOverTheWire) {
+  Stack stack;
+  net::Client client = stack.client();
+  const std::string params = stack.t1_p2_params("prop");
+
+  const net::Response before = client.call("availability", params);
+  ASSERT_TRUE(before.ok()) << before.error_message();
+  const double a_before = before.result().at("exact").number;
+
+  // Monitoring feeds an observed MTBF collapse of the print server back
+  // into the model; the next availability answer must reflect it.
+  const net::Response update = client.call(
+      "invalidate_properties",
+      R"({"updates":[{"element":"printS","attribute":"mtbf","value":100}]})");
+  ASSERT_TRUE(update.ok()) << update.error_message();
+  EXPECT_FALSE(update.result().at("full_flush").boolean);
+  EXPECT_EQ(update.result().at("response_evictions").number, 0.0);
+
+  const net::Response after = client.call("availability", params);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after.result().at("exact").number, a_before);
+
+  const net::Response bad = client.call(
+      "invalidate_properties", R"({"updates":[{"element":"printS"}]})");
+  EXPECT_EQ(bad.status, server::kStatusBadRequest);
+}
+
+TEST(ServerTest, ScenarioStepReplaysALoadedTraceOverLoopback) {
+  Stack stack;
+  net::Client client = stack.client();
+  const std::string params = stack.t1_p2_params("scn");
+
+  std::uint64_t id = 0;
+  const std::string baseline = client.call_raw("upsim", params, &id);
+
+  // Load a two-event trace: fail c1 (t1 keeps a bypass via d2/c2), then
+  // repair it.
+  const net::Response load = client.call(
+      "scenario_load",
+      R"({"events":[{"t":1,"kind":"fail_component","element":"c1"},)"
+      R"({"t":2,"kind":"repair_component","element":"c1"}]})");
+  ASSERT_TRUE(load.ok()) << load.error_message();
+  EXPECT_EQ(load.result().at("loaded").number, 2.0);
+  EXPECT_EQ(load.result().at("position").number, 0.0);
+
+  const net::Response step1 = client.call("scenario_step", "{}");
+  ASSERT_TRUE(step1.ok()) << step1.error_message();
+  EXPECT_EQ(step1.result().at("applied").number, 1.0);
+  EXPECT_EQ(step1.result().at("position").number, 1.0);
+  EXPECT_EQ(step1.result().at("total").number, 2.0);
+  EXPECT_FALSE(step1.result().at("full_flush").boolean);
+  EXPECT_EQ(step1.result().at("path_evictions").number, 0.0);
+
+  // Mid-scenario the served answer is the degraded overlay, byte-identical
+  // to a fresh engine with the same element down.
+  std::uint64_t degraded_id = 0;
+  const std::string degraded =
+      client.call_raw("upsim", params, &degraded_id);
+  casestudy::UsiCaseStudy cs2 = casestudy::make_usi_case_study();
+  engine::EngineOptions eo;
+  eo.record_in_space = false;
+  engine::PerspectiveEngine engine2(*cs2.infrastructure, eo);
+  (void)engine2.set_element_state({"c1"}, false);
+  const core::UpsimResult fresh = engine2.query(
+      cs2.services->get_composite(casestudy::printing_service_name()),
+      cs2.mapping_t1_p2(), "scn");
+  EXPECT_EQ(degraded,
+            server::make_response(degraded_id,
+                                  server::upsim_result_json(fresh, false)));
+  EXPECT_NE(degraded.substr(degraded.find("\"result\"")),
+            baseline.substr(baseline.find("\"result\"")));
+
+  // Repair: the trace drains and the baseline bytes come back.
+  const net::Response step2 = client.call("scenario_step", R"({"count":5})");
+  ASSERT_TRUE(step2.ok());
+  EXPECT_EQ(step2.result().at("applied").number, 1.0);
+  EXPECT_EQ(step2.result().at("position").number, 2.0);
+  std::uint64_t healed_id = 0;
+  const std::string healed = client.call_raw("upsim", params, &healed_id);
+  EXPECT_EQ(healed.substr(healed.find("\"result\"")),
+            baseline.substr(baseline.find("\"result\"")));
+
+  // Past the end: nothing to apply.
+  const net::Response drained = client.call("scenario_step", "{}");
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained.result().at("applied").number, 0.0);
+
+  // Malformed events are rejected at load time with a dedicated code.
+  const net::Response bad = client.call(
+      "scenario_load", R"({"events":[{"kind":"explode"}]})");
+  EXPECT_EQ(bad.status, server::kStatusBadRequest);
+  EXPECT_EQ(bad.error_code(), "bad_event");
+}
+
+TEST(ServerTest, ScenarioStepInlineEventAndCoarseMode) {
+  Stack stack;
+  net::Client client = stack.client();
+  ASSERT_TRUE(client.call("upsim", stack.t1_p2_params()).ok());
+  const net::Response health = client.call("health");
+  ASSERT_TRUE(health.ok());
+  const double epoch = health.result().at("epoch").number;
+
+  // Inline fine event: no epoch movement, no flush.
+  const net::Response fine = client.call(
+      "scenario_step",
+      R"({"event":{"t":0,"kind":"fail_component","element":"c1"}})");
+  ASSERT_TRUE(fine.ok()) << fine.error_message();
+  EXPECT_EQ(fine.result().at("applied").number, 1.0);
+  EXPECT_FALSE(fine.result().at("full_flush").boolean);
+  EXPECT_EQ(fine.result().at("epoch").number, epoch);
+  EXPECT_GT(fine.result().at("affected_keys").number, 0.0);
+
+  // The same repair in coarse mode forces the pre-index behaviour: a full
+  // epoch flush — same final state, different work.
+  const net::Response coarse = client.call(
+      "scenario_step",
+      R"({"mode":"coarse",)"
+      R"("event":{"t":1,"kind":"repair_component","element":"c1"}})");
+  ASSERT_TRUE(coarse.ok()) << coarse.error_message();
+  EXPECT_TRUE(coarse.result().at("full_flush").boolean);
+  EXPECT_GT(coarse.result().at("epoch").number, epoch);
+
+  const net::Response bad_mode =
+      client.call("scenario_step", R"({"mode":"sloppy"})");
+  EXPECT_EQ(bad_mode.status, server::kStatusBadRequest);
+}
+
 }  // namespace
 }  // namespace upsim
