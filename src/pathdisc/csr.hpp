@@ -1,0 +1,96 @@
+// Flat CSR projection of graph::Graph for the path-discovery hot loop.
+//
+// discover() on the generic multigraph pays for generality on every edge
+// visit: incident_edges() returns a per-vertex heap vector, opposite() loads
+// a ~100-byte attribute-carrying Edge to compare endpoints, and the on-path
+// mask is a std::vector<bool> proxy.  For the tree-like access networks the
+// paper targets, the DFS is pure pointer chasing over that layout — memory
+// bound, not compute bound.
+//
+// CsrView compiles the structure once into two contiguous arrays:
+//
+//   offsets_ : uint32[vertex_count + 1]      (CSR row starts)
+//   arcs_    : {to, edge} uint32 pairs       (two directed arcs per link)
+//
+// in the POD-adjacency style of SNIPPETS.md's RelianceGraph/DepEdge.  The
+// arcs of vertex v occupy arcs_[offsets_[v] .. offsets_[v+1]) in exactly the
+// edge-insertion order incident_edges(v) reports, so the iterative
+// explicit-stack DFS over these spans reproduces the legacy traversal
+// byte for byte: same paths, same discovery order, same nodes_expanded,
+// same truncation flags.  That equivalence is not an aspiration — the
+// randomized differential suite (tests/test_pathdisc_csr.cpp) holds
+// CsrView::discover to the generic-graph discover() as an oracle across
+// hundreds of generated topologies and option combinations, and the engine
+// keeps the oracle reachable (EngineOptions::use_csr = false) forever.
+//
+// The view is immutable after construction and holds no reference to the
+// source graph, so it is freely shared across threads (the engine rebuilds
+// it under its topology write lock and serves queries from it under the
+// shared lock).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pathdisc/path_discovery.hpp"
+
+namespace upsim::pathdisc {
+
+/// One directed half-edge of the CSR adjacency: the neighbour reached and
+/// the undirected edge id it came from.  8 bytes, trivially copyable —
+/// eight of these share a cache line.
+struct CsrArc {
+  std::uint32_t to;    ///< neighbour vertex index
+  std::uint32_t edge;  ///< originating graph::EdgeId index
+};
+static_assert(sizeof(CsrArc) == 8);
+
+class CsrView {
+ public:
+  /// An empty view (zero vertices); discover() on it returns empty sets.
+  CsrView() : offsets_(1, 0) {}
+
+  /// Projects `g`'s structure.  O(V + E); attributes and names are not
+  /// copied — the view is for traversal only.
+  explicit CsrView(const graph::Graph& g);
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return arcs_.size() / 2;
+  }
+
+  /// Arcs out of `v` in edge-insertion order.  Precondition: v < vertex_count.
+  [[nodiscard]] std::span<const CsrArc> arcs(std::uint32_t v) const noexcept {
+    return {arcs_.data() + offsets_[v],
+            arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// Enumerates all simple paths from `source` to `target` with results
+  /// byte-identical to pathdisc::discover() on the graph this view was
+  /// built from — including the per-algorithm truncation quirks, which are
+  /// mirrored faithfully rather than cleaned up (the engine caches by
+  /// Options, so the two implementations must agree per option set).  An
+  /// out-of-range id yields a well-defined empty PathSet, same as the
+  /// generic implementation.
+  [[nodiscard]] PathSet discover(graph::VertexId source,
+                                 graph::VertexId target,
+                                 const Options& options = {}) const;
+
+ private:
+  std::vector<std::uint32_t> offsets_;  ///< vertex_count + 1 row starts
+  std::vector<CsrArc> arcs_;            ///< 2 * edge_count directed arcs
+};
+
+/// Free-function spelling mirroring pathdisc::discover(graph, ...).
+[[nodiscard]] inline PathSet discover(const CsrView& view,
+                                      graph::VertexId source,
+                                      graph::VertexId target,
+                                      const Options& options = {}) {
+  return view.discover(source, target, options);
+}
+
+}  // namespace upsim::pathdisc

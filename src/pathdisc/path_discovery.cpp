@@ -41,23 +41,13 @@ std::size_t PathSet::longest() const noexcept {
   return best;
 }
 
-namespace {
+namespace detail {
 
-struct Limits {
-  std::size_t max_len;    // SIZE_MAX when unbounded
-  std::size_t max_paths;  // SIZE_MAX when unbounded
-};
-
-Limits limits_of(const Options& o) {
-  return Limits{o.max_path_length == 0 ? SIZE_MAX : o.max_path_length,
-                o.max_paths == 0 ? SIZE_MAX : o.max_paths};
-}
-
-/// Aggregates one finished pair into the global registry.  Counters are
-/// recorded per discover() call (one call per requester/provider pair), so
-/// they sum naturally across a pipeline run; the truncation counter is
-/// touched even when zero so exported metrics always show it — a bounded
-/// search that silently drops paths must never look exhaustive.
+/// Counters are recorded per discover() call (one call per
+/// requester/provider pair), so they sum naturally across a pipeline run;
+/// the truncation counter is touched even when zero so exported metrics
+/// always show it — a bounded search that silently drops paths must never
+/// look exhaustive.
 void record_pair_metrics(const PathSet& out) {
   auto& registry = obs::Registry::global();
   registry.counter("pathdisc.pairs").add(1);
@@ -70,6 +60,13 @@ void record_pair_metrics(const PathSet& out) {
   registry.histogram("pathdisc.vertices_per_pair")
       .record(static_cast<double>(out.nodes_expanded));
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::Limits;
+using detail::limits_of;
 
 /// Recursive DFS with on-path tracking (the paper's algorithm).
 class RecursiveSearch {
@@ -175,22 +172,23 @@ void iterative_search(const Graph& g, VertexId source, VertexId target,
 PathSet discover(const Graph& g, VertexId source, VertexId target,
                  const Options& options) {
   obs::ScopedSpan span("pathdisc.discover", "pathdisc");
-  // Range checks via accessors.
-  (void)g.vertex(source);
-  (void)g.vertex(target);
   PathSet out;
   out.source = source;
   out.target = target;
-  const Limits lim = limits_of(options);
-  if (lim.max_paths == 0) {
-    if (obs::enabled()) record_pair_metrics(out);
+  if (index(source) >= g.vertex_count() || index(target) >= g.vertex_count()) {
+    // An id that names no vertex can reach nothing: the answer is the
+    // well-defined empty set (see the header contract), identically on
+    // every implementation, rather than an exception from deep inside the
+    // accessor machinery.
+    if (obs::enabled()) detail::record_pair_metrics(out);
     return out;
   }
+  const Limits lim = limits_of(options);
   if (options.algorithm == Algorithm::RecursiveDfs) {
     if (source == target) {
       out.nodes_expanded = 1;
       out.paths.push_back(Path{source});
-      if (obs::enabled()) record_pair_metrics(out);
+      if (obs::enabled()) detail::record_pair_metrics(out);
       return out;
     }
     RecursiveSearch search(g, target, lim, out);
@@ -207,7 +205,7 @@ PathSet discover(const Graph& g, VertexId source, VertexId target,
       out.truncated = false;
     }
   }
-  if (obs::enabled()) record_pair_metrics(out);
+  if (obs::enabled()) detail::record_pair_metrics(out);
   return out;
 }
 

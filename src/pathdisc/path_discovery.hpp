@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -75,12 +76,18 @@ struct PathSet {
 
 /// Enumerates all simple paths from `source` to `target`.  A trivial pair
 /// (source == target) yields the single one-vertex path — the requester and
-/// provider run on the same component.  Throws NotFoundError on invalid ids.
+/// provider run on the same component.  An id outside [0, vertex_count)
+/// names no component, so nothing is reachable: the result is the
+/// well-defined empty PathSet (endpoints echoed back, no paths, zero
+/// nodes_expanded, not truncated) on every implementation — generic graph
+/// and CSR alike.  Name-based lookups still throw NotFoundError: a name
+/// miss is a modelling error, an id miss is an empty answer.
 [[nodiscard]] PathSet discover(const graph::Graph& g, graph::VertexId source,
                                graph::VertexId target,
                                const Options& options = {});
 
-/// Convenience overload resolving endpoints by name.
+/// Convenience overload resolving endpoints by name.  Throws NotFoundError
+/// when either name is unknown.
 [[nodiscard]] PathSet discover(const graph::Graph& g, std::string_view source,
                                std::string_view target,
                                const Options& options = {});
@@ -105,5 +112,27 @@ struct PathSet {
 /// Renders a path as a name vector for structural assertions in tests.
 [[nodiscard]] std::vector<std::string> path_names(const graph::Graph& g,
                                                   const Path& path);
+
+namespace detail {
+
+/// Search limits with 0-means-unbounded resolved to SIZE_MAX, shared by the
+/// generic and the CSR discovery kernels so both cut at identical depths.
+struct Limits {
+  std::size_t max_len;    // SIZE_MAX when unbounded
+  std::size_t max_paths;  // SIZE_MAX when unbounded
+};
+
+[[nodiscard]] inline Limits limits_of(const Options& o) noexcept {
+  return Limits{o.max_path_length == 0 ? SIZE_MAX : o.max_path_length,
+                o.max_paths == 0 ? SIZE_MAX : o.max_paths};
+}
+
+/// Aggregates one finished pair into the obs registry (counters +
+/// per-pair histograms).  One call per discover() call, on every
+/// implementation, so metrics stay comparable when the engine switches
+/// between the generic and the CSR kernel.
+void record_pair_metrics(const PathSet& out);
+
+}  // namespace detail
 
 }  // namespace upsim::pathdisc

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -265,6 +266,64 @@ TEST_F(EngineDifferentialTest, AvailabilityQueryMatchesAnalysisOnGenerator) {
   EXPECT_DOUBLE_EQ(got.independent_pairs, expected.independent_pairs);
   EXPECT_DOUBLE_EQ(got.rbd, expected.rbd);
   EXPECT_DOUBLE_EQ(got.exact_linear, expected.exact_linear);
+}
+
+TEST_F(EngineDifferentialTest, CsrAndGenericPathsAgreeUnderDownOverlay) {
+  // The CSR projection and the generic-graph walk must be two spellings of
+  // one function: same answers cold, from cache, and while a down overlay
+  // filters paths at serve time — through a fail/repair cycle that never
+  // rebuilds the projection.
+  engine::EngineOptions oracle_options;
+  oracle_options.use_csr = false;
+  engine::PerspectiveEngine csr_engine(*w_.net.infrastructure);
+  engine::PerspectiveEngine oracle_engine(*w_.net.infrastructure,
+                                          oracle_options);
+  util::Rng rng(47);
+  std::vector<mapping::ServiceMapping> mappings;
+  for (int i = 0; i < 8; ++i) {
+    mappings.push_back(random_mapping(rng, spec_, w_.client_count(spec_)));
+  }
+  // A down element may black out a pair entirely (every discovered path
+  // traverses it) — then query() throws.  The two engines must agree on
+  // that outcome too, with the same diagnostic.
+  auto compare_all = [&] {
+    for (const auto& m : mappings) {
+      std::optional<core::UpsimResult> csr_result;
+      std::string csr_error;
+      try {
+        csr_result = csr_engine.query(w_.composite(), m, "p");
+      } catch (const std::exception& e) {
+        csr_error = e.what();
+      }
+      std::optional<core::UpsimResult> oracle_result;
+      std::string oracle_error;
+      try {
+        oracle_result = oracle_engine.query(w_.composite(), m, "p");
+      } catch (const std::exception& e) {
+        oracle_error = e.what();
+      }
+      ASSERT_EQ(csr_result.has_value(), oracle_result.has_value())
+          << "csr: " << csr_error << " oracle: " << oracle_error;
+      if (csr_result.has_value()) {
+        expect_structurally_equal(*csr_result, *oracle_result);
+      } else {
+        EXPECT_EQ(csr_error, oracle_error);
+      }
+    }
+  };
+  compare_all();  // cold
+  compare_all();  // cached
+  for (const auto& element : {std::string("dist1"), std::string("edge0")}) {
+    (void)csr_engine.set_element_state({element}, /*up=*/false);
+    (void)oracle_engine.set_element_state({element}, /*up=*/false);
+    compare_all();  // served through the overlay filter
+    (void)csr_engine.set_element_state({element}, /*up=*/true);
+    (void)oracle_engine.set_element_state({element}, /*up=*/true);
+  }
+  compare_all();  // repaired: cache entries survive, answers still agree
+  csr_engine.notify_topology_changed();
+  oracle_engine.notify_topology_changed();
+  compare_all();  // re-projected CSR after an epoch bump
 }
 
 TEST(EngineCaseStudy, TableIPerspectiveHitsCacheWithinOneQuery) {

@@ -106,10 +106,63 @@ TEST(PathDiscovery, DisconnectedPairYieldsEmptySet) {
   EXPECT_FALSE(set.truncated);
 }
 
-TEST(PathDiscovery, UnknownEndpointThrows) {
+TEST(PathDiscovery, UnknownNameThrowsButUnknownIdIsEmpty) {
+  // A name miss is a modelling error (throws); an id outside the vertex
+  // range names no component and yields the well-defined empty set — on
+  // both algorithms, so the CSR kernel can mirror it exactly.
   const Graph g = netgen::ring(4);
   EXPECT_THROW((void)discover(g, "v0", "ghost"), NotFoundError);
-  EXPECT_THROW((void)discover(g, VertexId{0}, VertexId{99}), NotFoundError);
+  for (const auto algorithm :
+       {Algorithm::RecursiveDfs, Algorithm::IterativeDfs}) {
+    Options options;
+    options.algorithm = algorithm;
+    const auto set = discover(g, VertexId{0}, VertexId{99}, options);
+    EXPECT_EQ(set.source, VertexId{0});
+    EXPECT_EQ(set.target, VertexId{99});
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.nodes_expanded, 0u);
+    EXPECT_FALSE(set.truncated);
+    const auto reversed = discover(g, VertexId{99}, VertexId{0}, options);
+    EXPECT_TRUE(reversed.empty());
+    EXPECT_EQ(reversed.nodes_expanded, 0u);
+  }
+}
+
+TEST(PathDiscovery, EmptyGraphYieldsEmptySet) {
+  const Graph g;
+  const auto set = discover(g, VertexId{0}, VertexId{0});
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.nodes_expanded, 0u);
+  EXPECT_FALSE(set.truncated);
+}
+
+TEST(PathDiscovery, SingleVertexGraphTrivialPair) {
+  Graph g;
+  g.add_vertex("only");
+  const auto set = discover(g, VertexId{0}, VertexId{0});
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.paths[0], (Path{VertexId{0}}));
+  EXPECT_EQ(set.nodes_expanded, 1u);
+  EXPECT_FALSE(set.truncated);
+}
+
+TEST(PathDiscovery, TruncationExactlyAtTheLimit) {
+  // max_paths equal to the true path count: the search stops on recording
+  // the last path and cannot know nothing else existed, so truncated is
+  // set.  One above the true count: the search drains and truncated is
+  // cleared.  Both behaviours are part of the oracle contract the CSR
+  // kernel mirrors.
+  const Graph g = netgen::ring(9);  // any pair has exactly two paths
+  Options at;
+  at.max_paths = 2;
+  const auto exact = discover(g, VertexId{0}, VertexId{4}, at);
+  EXPECT_EQ(exact.count(), 2u);
+  EXPECT_TRUE(exact.truncated);
+  Options above;
+  above.max_paths = 3;
+  const auto drained = discover(g, VertexId{0}, VertexId{4}, above);
+  EXPECT_EQ(drained.count(), 2u);
+  EXPECT_FALSE(drained.truncated);
 }
 
 TEST(PathDiscovery, MaxPathsTruncates) {
