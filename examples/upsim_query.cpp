@@ -11,13 +11,27 @@
 //               --mapping map.xml [--samples 100000]
 //   upsim_query --port 7777 --method trace --trace-id 9f86d081884c7d65
 //
+// Registry methods (docs/ARCHITECTURE.md "Model registry"):
+//   upsim_query --port 7777 --method model_upload --model acme/net
+//               --bundle-file net.xml
+//   upsim_query --port 7777 --method model_activate --model acme/net
+//               [--version 2]
+//   upsim_query --port 7777 --method model_list
+//   upsim_query --port 7777 --method model_delete --model acme/net
+//               [--version 2]
+//
+// --model TENANT/MODEL routes *any* method at a registry model (omitted =
+// the server's default model, byte-identical to a pre-registry request).
+//
 // Instead of --mapping FILE, pairs can be given inline as repeated
 //   --map SERVICE=REQUESTER:PROVIDER
 //
 // Every request is stamped with a fresh trace id (printed to stderr) that
 // a tracing server records its spans under — feed it back through
 // `--method trace --trace-id ...` to see where the time went.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "mapping/mapping.hpp"
@@ -30,11 +44,21 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: upsim_query [--host H] --port P --method M\n"
+    "usage: upsim_query [--host H] --port P --method M [--model T/M]\n"
     "                   [--composite NAME] [--mapping map.xml]\n"
     "                   [--map SERVICE=REQUESTER:PROVIDER]... [--name N]\n"
     "                   [--samples N] [--timeout-ms N]\n"
-    "                   [--trace-id HEX16]      (for --method trace)";
+    "                   [--trace-id HEX16]      (for --method trace)\n"
+    "                   [--bundle-file f.xml]   (for --method model_upload)\n"
+    "                   [--version N]           (model_activate/model_delete)";
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw upsim::Error("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
 
 }  // namespace
 
@@ -48,6 +72,8 @@ int main(int argc, char** argv) {
     std::string name;
     std::string samples;
     std::string trace_id;
+    std::string bundle_file;
+    std::string version;
     mapping::ServiceMapping inline_mapping;
     bool have_inline = false;
 
@@ -87,6 +113,12 @@ int main(int argc, char** argv) {
         samples = value();
       } else if (arg == "--trace-id") {
         trace_id = value();
+      } else if (arg == "--model") {
+        options.model = value();
+      } else if (arg == "--bundle-file") {
+        bundle_file = value();
+      } else if (arg == "--version") {
+        version = value();
       } else if (arg == "--timeout-ms") {
         options.request_timeout_ms = static_cast<int>(std::stoul(value()));
       } else {
@@ -127,6 +159,26 @@ int main(int argc, char** argv) {
       w.value(trace_id);
       w.end_object();
       params = std::move(w).str();
+    } else if (method == "model_upload") {
+      if (bundle_file.empty()) {
+        throw Error("method 'model_upload' needs --bundle-file\n" +
+                    std::string(kUsage));
+      }
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("bundle");
+      w.value(read_file(bundle_file));
+      w.end_object();
+      params = std::move(w).str();
+    } else if (method == "model_activate" || method == "model_delete") {
+      if (!version.empty()) {
+        obs::JsonWriter w;
+        w.begin_object();
+        w.key("version");
+        w.raw_value(version);
+        w.end_object();
+        params = std::move(w).str();
+      }
     }
 
     net::Client client(options);

@@ -1,15 +1,29 @@
-// upsimd — the UPSIM serving daemon: loads an infrastructure bundle, builds
-// a PerspectiveEngine, and serves the wire protocol of
-// src/server/protocol.hpp over TCP until SIGINT/SIGTERM, then drains
-// gracefully.
+// upsimd — the UPSIM serving daemon: a multi-tenant ModelRegistry behind
+// the wire protocol of src/server/protocol.hpp, served over TCP until
+// SIGINT/SIGTERM, then drained gracefully.
 //
 //   upsimd --bundle net.xml --port 7777 [--threads 8] [--record]
 //          [--max-connections 64] [--max-backlog 128]
+//          [--max-models N] [--max-bundle-bytes N] [--max-inflight N]
 //          [--metrics-out m.json] [--trace-out t.json]
 //          [--prom-port P] [--access-log a.jsonl] [--slow-ms N]
 //   upsimd --demo [--port 7777] ...         # self-contained USI case study
+//   upsimd [--port 7777] ...                # boot empty: uploads only
 //
-// --record switches the engine's record_in_space on (each served
+// --bundle seeds the registry's *default* model (the one requests without
+// a "model" envelope member resolve to).  A bundle that fails the lint
+// gate does NOT refuse startup: upsimd boots *degraded* — `health` reports
+// non-serving, default-routed requests get 503 no_default_model — and
+// waits for a clean `model_upload`/`model_activate` to recover.  Only I/O
+// and parse failures (a bundle that is not a bundle) stay fatal.  With no
+// --bundle at all the daemon boots empty on purpose: tenants populate it
+// over the wire.
+//
+// --max-models / --max-bundle-bytes / --max-inflight set the per-tenant
+// quota (0 = unlimited): model count and bundle bytes reject uploads with
+// 403, the in-flight cap sheds queries with 429.
+//
+// --record switches the engines' record_in_space on (each served
 // perspective is inserted into the model space, UpsimGenerator-style); the
 // default is pure serving.  --metrics-out writes the final obs snapshot —
 // request counts by method/status, queue-wait and handling latency
@@ -21,30 +35,34 @@
 //                  one request's spans line up across the threads they
 //                  ran on.
 //   --prom-port    serves GET /metrics on a second listener — the full
-//                  registry in Prometheus text exposition (format 0.0.4).
+//                  registry in Prometheus text exposition (format 0.0.4),
+//                  per-model series labeled {tenant=...,model=...}.
 //   --access-log   appends one JSON line per request (method, status,
-//                  bytes, trace id, queue wait, handler time, cache hit);
-//                  "-" logs to stderr.  --slow-ms N promotes requests
-//                  slower than N ms to warning records that embed their
-//                  span tree.
+//                  bytes, trace id, queue wait, handler time, cache hit,
+//                  resolved model); "-" logs to stderr.  --slow-ms N
+//                  promotes requests slower than N ms to warning records
+//                  that embed their span tree.
 // Any of these flags enables instrumentation.
 //
 // Query it with examples/upsim_query.cpp or load it with
-// examples/upsim_loadgen.cpp; docs/TUTORIAL.md §10 is the walkthrough.
+// examples/upsim_loadgen.cpp; docs/TUTORIAL.md §10 is the walkthrough and
+// §15 the two-tenant tour.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "casestudy/usi.hpp"
-#include "engine/perspective_engine.hpp"
 #include "lint/analyzer.hpp"
 #include "lint/render.hpp"
 #include "obs/obs.hpp"
+#include "registry/model_registry.hpp"
 #include "server/metrics_http.hpp"
 #include "server/server.hpp"
 #include "umlio/serialize.hpp"
@@ -56,11 +74,12 @@ std::atomic<bool> g_stop{false};
 void on_signal(int) { g_stop.store(true); }
 
 constexpr const char* kUsage =
-    "usage: upsimd --bundle net.xml [--port P] [--threads N] [--record]\n"
-    "              [--max-connections N] [--max-backlog N]\n"
+    "usage: upsimd [--bundle net.xml | --demo] [--port P] [--threads N]\n"
+    "              [--record] [--max-connections N] [--max-backlog N]\n"
+    "              [--max-models N] [--max-bundle-bytes N] [--max-inflight N]\n"
     "              [--metrics-out m.json] [--trace-out t.json]\n"
     "              [--prom-port P] [--access-log a.jsonl] [--slow-ms N]\n"
-    "   or: upsimd --demo [same options]      (self-contained USI bundle)";
+    "(no bundle = boot empty and wait for model_upload)";
 
 struct Args {
   std::string bundle_path;
@@ -71,6 +90,7 @@ struct Args {
   std::uint16_t prom_port = 0;
   bool prom = false;
   upsim::server::ServerOptions server;
+  upsim::registry::TenantQuota quota;
   std::size_t threads = 0;
   bool record = false;
   bool demo = false;
@@ -99,6 +119,12 @@ Args parse_args(int argc, char** argv) {
       args.server.max_connections = std::stoul(value());
     } else if (arg == "--max-backlog") {
       args.server.max_backlog = std::stoul(value());
+    } else if (arg == "--max-models") {
+      args.quota.max_models = std::stoul(value());
+    } else if (arg == "--max-bundle-bytes") {
+      args.quota.max_bundle_bytes = std::stoul(value());
+    } else if (arg == "--max-inflight") {
+      args.quota.max_concurrent_requests = std::stoul(value());
     } else if (arg == "--metrics-out") {
       args.metrics_out = value();
     } else if (arg == "--trace-out") {
@@ -117,15 +143,16 @@ Args parse_args(int argc, char** argv) {
                          kUsage);
     }
   }
-  if (args.demo == !args.bundle_path.empty()) {
-    // exactly one of --demo / --bundle
-    throw upsim::Error(kUsage);
+  if (args.demo && !args.bundle_path.empty()) {
+    throw upsim::Error(std::string("--demo and --bundle are exclusive\n") +
+                       kUsage);
   }
   return args;
 }
 
 /// Writes the USI case study to a temp bundle so the demo exercises the
-/// same load path as real usage.
+/// same load path as real usage.  The path is deterministic on purpose —
+/// CI re-uploads the same file over the wire as a second tenant.
 std::string write_demo_bundle() {
   const auto path =
       std::filesystem::temp_directory_path() / "upsimd_demo_bundle.xml";
@@ -140,6 +167,51 @@ std::string write_demo_bundle() {
   return path.string();
 }
 
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw upsim::Error("cannot read bundle '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Seeds the registry's default model from the --bundle file.  Returns
+/// false (degraded boot) when the bundle fails the lint gate; rethrows
+/// everything else — a file that does not parse as a bundle is operator
+/// error, not a condition to serve through.
+bool seed_default_model(upsim::registry::ModelRegistry& registry,
+                        const std::string& path) {
+  using namespace upsim;
+  // Lint here first, with the loader's source locations, so gate failures
+  // point at the offending XML — the registry's own location-less gate
+  // would reject with bare messages.
+  umlio::BundleLocations locations;
+  const umlio::UmlBundle bundle = umlio::load_bundle(path, &locations);
+  if (bundle.objects == nullptr || bundle.services == nullptr) {
+    throw Error("bundle must contain an object model and services");
+  }
+  lint::Input lint_input;
+  lint_input.objects = bundle.objects.get();
+  lint_input.services = bundle.services.get();
+  lint_input.bundle_file = path;
+  lint_input.bundle_locations = &locations;
+  const lint::Report report = lint::analyze(lint_input);
+  if (report.has_errors()) {
+    std::cerr << "upsimd: bundle failed the lint gate; starting DEGRADED "
+                 "(no default model, health non-serving, uploads open):\n"
+              << lint::render_text(report);
+    return false;
+  }
+  if (!report.empty()) {
+    std::cerr << "upsimd: bundle lint findings (serving anyway):\n"
+              << lint::render_text(report);
+  }
+  const registry::UploadResult uploaded =
+      registry.upload(registry.default_id(), read_file(path));
+  (void)registry.activate(uploaded.id, uploaded.version);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,45 +222,25 @@ int main(int argc, char** argv) {
         !args.access_log_path.empty()) {
       obs::set_enabled(true);
     }
-    if (args.demo && args.bundle_path.empty()) {
+    if (args.demo) {
       args.bundle_path = write_demo_bundle();
       std::cout << "demo mode: wrote USI bundle to " << args.bundle_path
                 << "\n";
     }
 
-    umlio::BundleLocations bundle_locations;
-    const umlio::UmlBundle bundle =
-        umlio::load_bundle(args.bundle_path, &bundle_locations);
-    if (bundle.objects == nullptr || bundle.services == nullptr) {
-      throw Error("bundle must contain an object model and services");
-    }
+    registry::ModelRegistry::Options registry_options;
+    registry_options.engine.threads = args.threads;
+    registry_options.engine.record_in_space = args.record;
+    registry_options.quota = args.quota;
+    registry::ModelRegistry registry(std::move(registry_options));
 
-    // Lint here, with the loader's source locations, rather than leaving it
-    // to the engine's location-less internal pass: errors refuse startup
-    // pointing at the offending XML, warnings go to stderr and serving
-    // proceeds.
-    {
-      lint::Input lint_input;
-      lint_input.objects = bundle.objects.get();
-      lint_input.services = bundle.services.get();
-      lint_input.bundle_file = args.bundle_path;
-      lint_input.bundle_locations = &bundle_locations;
-      const lint::Report report = lint::analyze(lint_input);
-      if (report.has_errors()) {
-        std::cerr << "upsimd: refusing to serve a broken bundle:\n"
-                  << lint::render_text(report);
-        return 1;
-      }
-      if (!report.empty()) {
-        std::cerr << "upsimd: bundle lint findings (serving anyway):\n"
-                  << lint::render_text(report);
-      }
+    bool serving = false;
+    if (!args.bundle_path.empty()) {
+      serving = seed_default_model(registry, args.bundle_path);
+    } else {
+      std::cout << "upsimd: no --bundle; booting empty — upload models over "
+                   "the wire (model_upload + model_activate)\n";
     }
-
-    engine::EngineOptions engine_options;
-    engine_options.threads = args.threads;
-    engine_options.record_in_space = args.record;
-    engine::PerspectiveEngine engine(*bundle.objects, engine_options);
 
     std::optional<server::AccessLog> access_log;
     if (!args.access_log_path.empty()) {
@@ -202,7 +254,7 @@ int main(int argc, char** argv) {
       access_log.emplace(std::move(log_options));
       args.server.access_log = &*access_log;
     }
-    server::Server server(engine, *bundle.services, args.server);
+    server::Server server(registry, args.server);
 
     std::optional<server::MetricsHttpServer> prom;
     if (args.prom) {
@@ -218,9 +270,14 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     server.start();
-    std::cout << "upsimd: serving '" << bundle.objects->name() << "' on "
-              << args.server.host << ":" << server.port() << " ("
-              << engine.pool().thread_count() << " worker threads, "
+    if (serving) {
+      std::cout << "upsimd: serving default model '" << registry.default_id()
+                << "' on " << args.server.host << ":" << server.port();
+    } else {
+      std::cout << "upsimd: DEGRADED (no default model) on "
+                << args.server.host << ":" << server.port();
+    }
+    std::cout << " (" << registry.pool().thread_count() << " worker threads, "
               << (args.record ? "recording" : "pure serving")
               << ")\npress Ctrl-C to drain and exit\n";
 
@@ -233,12 +290,16 @@ int main(int argc, char** argv) {
     server.stop();
     if (prom) prom->stop();
 
-    const auto stats = engine.cache_stats();
-    std::cout << "upsimd: stopped; path cache " << stats.hits << " hits / "
-              << stats.misses << " misses, response cache "
-              << server.response_cache_hits() << " hits / "
-              << server.response_cache_misses() << " misses, epoch "
-              << engine.epoch() << "\n";
+    std::cout << "upsimd: stopped; " << registry.model_count()
+              << " model(s) across " << registry.tenant_count()
+              << " tenant(s), response cache " << server.response_cache_hits()
+              << " hits / " << server.response_cache_misses() << " misses";
+    if (const auto def = registry.acquire_default(); def != nullptr) {
+      const auto stats = def->engine->cache_stats();
+      std::cout << ", default path cache " << stats.hits << " hits / "
+                << stats.misses << " misses, epoch " << def->engine->epoch();
+    }
+    std::cout << "\n";
     if (access_log) {
       std::cout << "access log: " << access_log->lines_written()
                 << " line(s) written, " << access_log->lines_dropped()

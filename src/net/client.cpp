@@ -59,6 +59,10 @@ std::string Client::build_request(std::uint64_t id, std::uint64_t trace_id,
     w.key("trace");
     w.value(obs::format_trace_id(trace_id));
   }
+  if (!options_.model.empty()) {
+    w.key("model");
+    w.value(options_.model);
+  }
   w.end_object();
   return std::move(w).str();
 }

@@ -43,6 +43,10 @@ struct ClientOptions {
   /// Off, the envelope matches pre-trace clients byte for byte and the
   /// server assigns an id of its own.
   bool send_trace = true;
+  /// Route every request to this registry model ("tenant/model").  Empty
+  /// omits the envelope member entirely — the request is byte-identical to
+  /// a pre-registry client and the server serves its default model.
+  std::string model;
 };
 
 /// One parsed server response (see src/server/protocol.hpp for the shape).
@@ -95,6 +99,13 @@ class Client {
   /// names the request, not the attempt.
   [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
     return last_trace_id_;
+  }
+
+  /// Re-points subsequent requests at another model (loadgen rotates one
+  /// client across tenants this way).  "" reverts to the default model.
+  void set_model(std::string model) { options_.model = std::move(model); }
+  [[nodiscard]] const std::string& model() const noexcept {
+    return options_.model;
   }
 
  private:

@@ -18,20 +18,79 @@ std::string num(double v) {
   return std::string(buf);
 }
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string sanitize_label_key(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+/// Splits "base#k=v,k=v" into the family base and a rendered
+/// `k="v",k="v"` label body.  A name without '#', or with a malformed
+/// suffix (a pair missing '='), is one unlabeled metric — base is the
+/// whole name and the body stays empty.
+struct LabeledName {
+  std::string_view base;
+  std::string labels;  ///< rendered pairs, no braces; "" = unlabeled
+};
+
+LabeledName split_labeled_name(std::string_view raw) {
+  const auto hash = raw.find('#');
+  if (hash == std::string_view::npos || hash + 1 == raw.size()) {
+    return {raw, {}};
+  }
+  std::string body;
+  std::string_view rest = raw.substr(hash + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) return {raw, {}};
+    if (!body.empty()) body += ',';
+    body += sanitize_label_key(pair.substr(0, eq)) + "=\"" +
+            escape_label_value(pair.substr(eq + 1)) + "\"";
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return {raw.substr(0, hash), std::move(body)};
+}
+
 void append_histogram(std::string& out, const std::string& name,
+                      const std::string& labels, bool emit_type,
                       const Histogram::Snapshot& data) {
-  out += "# TYPE " + name + " histogram\n";
+  if (emit_type) out += "# TYPE " + name + " histogram\n";
+  const std::string le_prefix =
+      labels.empty() ? "_bucket{le=\"" : "_bucket{" + labels + ",le=\"";
+  const std::string block = labels.empty() ? "" : "{" + labels + "}";
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
     if (data.buckets[i] == 0) continue;  // published buckets stay cumulative
     cumulative += data.buckets[i];
-    out += name + "_bucket{le=\"" +
-           num(Histogram::Snapshot::bucket_upper_edge(i)) + "\"} " +
-           std::to_string(cumulative) + "\n";
+    out += name + le_prefix + num(Histogram::Snapshot::bucket_upper_edge(i)) +
+           "\"} " + std::to_string(cumulative) + "\n";
   }
-  out += name + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
-  out += name + "_sum " + num(data.sum) + "\n";
-  out += name + "_count " + std::to_string(data.count) + "\n";
+  out += name + le_prefix + "+Inf\"} " + std::to_string(data.count) + "\n";
+  out += name + "_sum" + block + " " + num(data.sum) + "\n";
+  out += name + "_count" + block + " " + std::to_string(data.count) + "\n";
 }
 
 }  // namespace
@@ -48,19 +107,36 @@ std::string prometheus_metric_name(std::string_view name) {
 }
 
 std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  // Snapshots are sorted by raw name and '#' sorts below [0-9A-Za-z_.], so
+  // every label set of one family is adjacent to its base: one TYPE line
+  // per family, then its samples.
   std::string out;
+  std::string_view family;
   for (const auto& c : snapshot.counters) {
-    const std::string name = prometheus_metric_name(c.name) + "_total";
-    out += "# TYPE " + name + " counter\n";
-    out += name + " " + std::to_string(c.value) + "\n";
+    const LabeledName split = split_labeled_name(c.name);
+    const std::string name = prometheus_metric_name(split.base) + "_total";
+    if (split.base != family) out += "# TYPE " + name + " counter\n";
+    family = split.base;
+    const std::string block =
+        split.labels.empty() ? "" : "{" + split.labels + "}";
+    out += name + block + " " + std::to_string(c.value) + "\n";
   }
+  family = {};
   for (const auto& g : snapshot.gauges) {
-    const std::string name = prometheus_metric_name(g.name);
-    out += "# TYPE " + name + " gauge\n";
-    out += name + " " + num(g.value) + "\n";
+    const LabeledName split = split_labeled_name(g.name);
+    const std::string name = prometheus_metric_name(split.base);
+    if (split.base != family) out += "# TYPE " + name + " gauge\n";
+    family = split.base;
+    const std::string block =
+        split.labels.empty() ? "" : "{" + split.labels + "}";
+    out += name + block + " " + num(g.value) + "\n";
   }
+  family = {};
   for (const auto& h : snapshot.histograms) {
-    append_histogram(out, prometheus_metric_name(h.name), h.data);
+    const LabeledName split = split_labeled_name(h.name);
+    append_histogram(out, prometheus_metric_name(split.base), split.labels,
+                     split.base != family, h.data);
+    family = split.base;
   }
   return out;
 }

@@ -16,6 +16,18 @@
 //     to be cumulative — and keeps a 1024-bucket histogram scrapeable.
 //   - Metrics appear in snapshot order (sorted by name within each kind):
 //     counters, then gauges, then histograms.
+//   - Labels ride in the metric *name* with a '#' suffix:
+//     "server.model.requests#tenant=acme,model=usi" renders as
+//     upsim_server_model_requests_total{tenant="acme",model="usi"}.  The
+//     registry has no label concept; this convention keeps the hot-path
+//     metric types label-free while the exposition still breaks traffic
+//     out per tenant/model.  Snapshot name order makes every label set of
+//     a family adjacent ('#' sorts below identifier characters), so one
+//     "# TYPE" header covers the family.  Histogram label sets merge the
+//     'le' label after the name labels.  Label values escape \, " and
+//     newline; a malformed suffix (a pair without '=') falls back to
+//     treating the whole name as unlabeled.  Names without '#' render
+//     byte-identically to the pre-label format.
 //
 // The renderer is deliberately free of any HTTP/server dependency; the
 // scrape endpoint that serves it lives in src/server/metrics_http.hpp.

@@ -1,0 +1,360 @@
+#include "registry/model_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lint/analyzer.hpp"
+
+namespace upsim::registry {
+
+namespace {
+
+bool valid_segment(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+  });
+}
+
+}  // namespace
+
+ModelId ModelId::parse(std::string_view id) {
+  auto slash = id.find('/');
+  if (slash == std::string_view::npos ||
+      id.find('/', slash + 1) != std::string_view::npos) {
+    throw RegistryError(400, "bad_model_id",
+                        "model id must be tenant/model, got '" +
+                            std::string(id) + "'");
+  }
+  ModelId parsed{std::string(id.substr(0, slash)),
+                 std::string(id.substr(slash + 1))};
+  if (!valid_segment(parsed.tenant) || !valid_segment(parsed.model)) {
+    throw RegistryError(400, "bad_model_id",
+                        "model id segments must be non-empty [A-Za-z0-9._-], "
+                        "got '" +
+                            std::string(id) + "'");
+  }
+  return parsed;
+}
+
+ModelRegistry::ModelRegistry() { init(); }
+
+ModelRegistry::ModelRegistry(Options options) : options_(std::move(options)) {
+  init();
+}
+
+void ModelRegistry::init() {
+  // Validate the configured default id up front so a typo fails loudly.
+  (void)ModelId::parse(options_.default_id);
+  if (options_.engine.pool != nullptr) {
+    pool_ = options_.engine.pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.engine.threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+void ModelRegistry::adopt(engine::PerspectiveEngine& engine,
+                          const service::ServiceCatalog& services) {
+  ModelId parsed = ModelId::parse(options_.default_id);
+  auto model = std::make_shared<ServingModel>();
+  model->id = options_.default_id;
+  model->version = 1;
+  model->engine = &engine;
+  model->services = &services;
+
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = models_.try_emplace(options_.default_id);
+  if (!inserted && !it->second.empty()) {
+    throw RegistryError(409, "model_exists",
+                        "default model '" + options_.default_id +
+                            "' already has versions; cannot adopt");
+  }
+  ModelEntry& entry = it->second;
+  entry.parsed = parsed;
+  entry.next_version = 2;
+  entry.active = model;
+  if (inserted) ++tenants_[parsed.tenant].model_count;
+  default_model_.store(std::move(model));
+}
+
+std::shared_ptr<ServingModel> ModelRegistry::build_locked_free(
+    ModelId parsed, std::string_view bundle_xml) {
+  auto bundle = std::make_unique<umlio::UmlBundle>(umlio::from_xml(bundle_xml));
+  if (bundle->objects == nullptr || bundle->services == nullptr) {
+    throw RegistryError(400, "incomplete_bundle",
+                        "bundle must carry an object model and services");
+  }
+
+  lint::Input input;
+  input.objects = bundle->objects.get();
+  input.services = bundle->services.get();
+  lint::Report report = lint::analyze(input);
+  if (report.has_errors()) {
+    std::string message = "bundle rejected by lint (" +
+                          std::to_string(report.error_count()) + " errors):";
+    std::size_t shown = 0;
+    for (const lint::Diagnostic& d : report.diagnostics()) {
+      if (d.severity != lint::Severity::Error) continue;
+      message += std::string(" [") + d.code() + "] " + d.message + ";";
+      if (++shown == 5) break;
+    }
+    throw RegistryError(400, "lint_failed", message);
+  }
+
+  engine::EngineOptions eopts = options_.engine;
+  eopts.pool = pool_;
+  // The registry gate just ran; no need to lint again inside the engine.
+  eopts.lint_model = false;
+
+  auto model = std::make_shared<ServingModel>();
+  model->id = parsed.full();
+  model->bundle_bytes = bundle_xml.size();
+  model->services = bundle->services.get();
+  model->lint_warnings = report.warning_count();
+  model->owned_bundle = std::move(bundle);
+  model->owned_engine = std::make_unique<engine::PerspectiveEngine>(
+      *model->owned_bundle->objects, eopts);
+  model->engine = model->owned_engine.get();
+  return model;
+}
+
+UploadResult ModelRegistry::upload(std::string_view id,
+                                   std::string_view bundle_xml) {
+  ModelId parsed = ModelId::parse(id);
+  const std::string full = parsed.full();
+  if (options_.quota.max_bundle_bytes != 0 &&
+      bundle_xml.size() > options_.quota.max_bundle_bytes) {
+    throw QuotaError(403, "bundle_too_large",
+                     "bundle of " + std::to_string(bundle_xml.size()) +
+                         " bytes exceeds the per-bundle quota of " +
+                         std::to_string(options_.quota.max_bundle_bytes));
+  }
+
+  // Reserve the version (and the model slot, quota-checked) up front so
+  // concurrent uploads serialize their bookkeeping but build in parallel.
+  std::uint64_t version = 0;
+  bool created = false;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = models_.find(full);
+    if (it == models_.end()) {
+      TenantState& tenant = tenants_[parsed.tenant];
+      if (options_.quota.max_models != 0 &&
+          tenant.model_count + 1 > options_.quota.max_models) {
+        throw QuotaError(403, "model_quota",
+                         "tenant '" + parsed.tenant + "' is at its quota of " +
+                             std::to_string(options_.quota.max_models) +
+                             " models");
+      }
+      it = models_.try_emplace(full).first;
+      it->second.parsed = parsed;
+      ++tenant.model_count;
+      created = true;
+    }
+    version = it->second.next_version++;
+  }
+
+  std::shared_ptr<ServingModel> model;
+  try {
+    model = build_locked_free(parsed, bundle_xml);
+  } catch (...) {
+    std::unique_lock lock(mutex_);
+    auto it = models_.find(full);
+    if (created && it != models_.end() && it->second.empty()) {
+      models_.erase(it);
+      --tenants_[parsed.tenant].model_count;
+    }
+    throw;
+  }
+  model->version = version;
+
+  std::unique_lock lock(mutex_);
+  models_[full].staged[version] = model;
+  return UploadResult{full, version, model->lint_warnings};
+}
+
+ActivateResult ModelRegistry::activate(std::string_view id,
+                                       std::uint64_t version) {
+  const std::string full(id);
+  ActivateResult result;
+  std::shared_ptr<ServingModel> outgoing;  // destroyed after the lock drops
+  {
+    std::unique_lock lock(mutex_);
+    auto it = models_.find(full);
+    if (it == models_.end()) {
+      throw RegistryError(404, "unknown_model", "unknown model '" + full + "'");
+    }
+    ModelEntry& entry = it->second;
+    if (version == 0) {
+      if (entry.staged.empty()) {
+        throw RegistryError(404, "no_staged_version",
+                            "model '" + full + "' has no staged version");
+      }
+      version = entry.staged.rbegin()->first;
+    }
+    auto staged_it = entry.staged.find(version);
+    if (staged_it == entry.staged.end()) {
+      throw RegistryError(404, "unknown_version",
+                          "model '" + full + "' has no staged version " +
+                              std::to_string(version));
+    }
+    std::shared_ptr<ServingModel> incoming = std::move(staged_it->second);
+    entry.staged.erase(staged_it);
+
+    if (entry.observations != nullptr) {
+      ApplyReport applied = entry.observations->apply_to(*incoming->engine);
+      result.observations_applied = applied.elements_applied;
+    }
+
+    outgoing = std::move(entry.active);
+    result.previous_version = outgoing ? outgoing->version : 0;
+    entry.active = incoming;
+    if (outgoing != nullptr) entry.retired.push_back(outgoing);
+    prune_retired_locked(entry);
+    if (full == options_.default_id) default_model_.store(incoming);
+
+    result.id = full;
+    result.version = version;
+  }
+  // `outgoing` dies here (or later, with the last in-flight query).
+  return result;
+}
+
+void ModelRegistry::erase(std::string_view id, std::uint64_t version) {
+  const std::string full(id);
+  std::shared_ptr<ServingModel> dropped;  // destroyed after the lock drops
+  std::map<std::uint64_t, std::shared_ptr<ServingModel>> dropped_staged;
+  std::unique_lock lock(mutex_);
+  auto it = models_.find(full);
+  if (it == models_.end()) {
+    throw RegistryError(404, "unknown_model", "unknown model '" + full + "'");
+  }
+  ModelEntry& entry = it->second;
+  if (version != 0) {
+    if (entry.active != nullptr && entry.active->version == version) {
+      throw RegistryError(409, "version_active",
+                          "version " + std::to_string(version) + " of '" +
+                              full + "' is active; activate another version "
+                              "or delete the whole model");
+    }
+    auto staged_it = entry.staged.find(version);
+    if (staged_it == entry.staged.end()) {
+      throw RegistryError(404, "unknown_version",
+                          "model '" + full + "' has no staged version " +
+                              std::to_string(version));
+    }
+    dropped = std::move(staged_it->second);
+    entry.staged.erase(staged_it);
+    return;
+  }
+  dropped = std::move(entry.active);
+  dropped_staged = std::move(entry.staged);
+  --tenants_[entry.parsed.tenant].model_count;
+  models_.erase(it);
+  if (full == options_.default_id) default_model_.store(nullptr);
+}
+
+std::shared_ptr<ServingModel> ModelRegistry::acquire(std::string_view id) {
+  if (id.empty()) return acquire_default();
+  std::shared_lock lock(mutex_);
+  auto it = models_.find(std::string(id));
+  return it == models_.end() ? nullptr : it->second.active;
+}
+
+std::shared_ptr<ServingModel> ModelRegistry::acquire_default() const {
+  return default_model_.load();
+}
+
+RequestTicket ModelRegistry::ticket(const std::string& tenant) {
+  const std::size_t max = options_.quota.max_concurrent_requests;
+  if (max == 0) return RequestTicket{};
+  std::shared_ptr<std::atomic<std::int64_t>> counter;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) counter = it->second.in_flight;
+  }
+  if (counter == nullptr) {
+    std::unique_lock lock(mutex_);
+    counter = tenants_[tenant].in_flight;
+  }
+  std::int64_t previous = counter->fetch_add(1, std::memory_order_relaxed);
+  if (previous >= static_cast<std::int64_t>(max)) {
+    counter->fetch_sub(1, std::memory_order_relaxed);
+    throw QuotaError(429, "too_many_requests",
+                     "tenant '" + tenant + "' is at its quota of " +
+                         std::to_string(max) + " concurrent requests");
+  }
+  return RequestTicket{std::move(counter)};
+}
+
+std::shared_ptr<ObservationStore> ModelRegistry::observations(
+    std::string_view id) {
+  const std::string full(id.empty() ? std::string_view(options_.default_id)
+                                    : id);
+  std::unique_lock lock(mutex_);
+  auto it = models_.find(full);
+  if (it == models_.end()) {
+    throw RegistryError(404, "unknown_model", "unknown model '" + full + "'");
+  }
+  if (it->second.observations == nullptr) {
+    it->second.observations = std::make_shared<ObservationStore>();
+  }
+  return it->second.observations;
+}
+
+std::size_t ModelRegistry::prune_retired_locked(ModelEntry& entry) {
+  std::erase_if(entry.retired,
+                [](const std::weak_ptr<ServingModel>& w) { return w.expired(); });
+  return entry.retired.size();
+}
+
+std::vector<ModelInfo> ModelRegistry::list() const {
+  std::shared_lock lock(mutex_);
+  std::vector<ModelInfo> out;
+  out.reserve(models_.size());
+  for (const auto& [id, entry] : models_) {
+    ModelInfo info;
+    info.id = id;
+    info.tenant = entry.parsed.tenant;
+    info.active_version = entry.active ? entry.active->version : 0;
+    info.staged_versions.reserve(entry.staged.size());
+    for (const auto& [v, model] : entry.staged) info.staged_versions.push_back(v);
+    info.draining = static_cast<std::size_t>(std::count_if(
+        entry.retired.begin(), entry.retired.end(),
+        [](const std::weak_ptr<ServingModel>& w) { return !w.expired(); }));
+    info.observations =
+        entry.observations ? entry.observations->observations() : 0;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::model_count() const {
+  std::shared_lock lock(mutex_);
+  return models_.size();
+}
+
+std::size_t ModelRegistry::tenant_count() const {
+  std::shared_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [tenant, state] : tenants_) {
+    if (state.model_count > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t ModelRegistry::draining_count() const {
+  std::shared_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, entry] : models_) {
+    n += static_cast<std::size_t>(std::count_if(
+        entry.retired.begin(), entry.retired.end(),
+        [](const std::weak_ptr<ServingModel>& w) { return !w.expired(); }));
+  }
+  return n;
+}
+
+}  // namespace upsim::registry

@@ -1,0 +1,279 @@
+// ModelRegistry — multi-tenant model serving with versioned hot-swap.
+//
+// The ROADMAP's "millions of users" shape: one daemon, many organizations,
+// many models.  A model is addressed by a `tenant/model` id; the registry
+// owns one PerspectiveEngine per *active* version of each model and moves
+// versions through a fixed lifecycle:
+//
+//   upload    parse the bundle XML, run the lint::Analyzer gate (errors
+//             reject with the rendered findings; warnings pass), build the
+//             engine — all on the calling thread, which the server runs on
+//             a pool worker so uploads never block serving — and stage the
+//             version.  Staged versions hold a built, query-ready engine.
+//   activate  atomically switch the served version.  The swap is one
+//             shared_ptr store; queries that already resolved the old
+//             version keep their refcounted handle and complete against
+//             the old engine, which is torn down when the last in-flight
+//             holder releases it (drain by refcount — no wait loop, no
+//             lock on the query side).
+//   delete    drop a staged version, or the whole model.
+//
+// Query hot path: the *default* model (old clients send no "model"
+// envelope member) is resolved through a lock-free
+// std::atomic<std::shared_ptr<ServingModel>> load; named models take one
+// shared_mutex read lock for the id lookup.  Mutations (upload bookkeeping,
+// activate, delete) take the write lock but never hold it across a bundle
+// parse or an engine build.
+//
+// Per-tenant quotas guard the shared daemon: model count and per-bundle
+// byte caps reject uploads (403-flavoured RegistryError), a concurrent
+// in-flight request cap sheds query load (429-flavoured QuotaError) via
+// RAII RequestTicket.  All engines share one util::ThreadPool — engine
+// queries never submit nested pool tasks, so N models do not mean
+// N * hardware_concurrency threads.
+//
+// Observation feedback: every model id owns one ObservationStore that
+// survives versions; report_observations folds into it and pushes
+// element-scoped overrides into the active engine, and activate() re-plays
+// the store onto the incoming engine so measured MTBF/MTTR estimates
+// persist across hot-swaps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/perspective_engine.hpp"
+#include "registry/observation.hpp"
+#include "service/service.hpp"
+#include "umlio/serialize.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upsim::registry {
+
+/// A registry operation that cannot proceed, carrying an HTTP-flavoured
+/// status (the server responds with it verbatim) and a machine code.
+class RegistryError : public Error {
+ public:
+  RegistryError(int status, std::string code, const std::string& message)
+      : Error(message), status_(status), code_(std::move(code)) {}
+
+  [[nodiscard]] int status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  int status_;
+  std::string code_;
+};
+
+/// Quota violation: 403 (model count / bundle bytes) or 429 (concurrency).
+class QuotaError : public RegistryError {
+ public:
+  using RegistryError::RegistryError;
+};
+
+/// Per-tenant limits; 0 = unlimited.
+struct TenantQuota {
+  std::size_t max_models = 0;           ///< distinct model ids per tenant
+  std::size_t max_bundle_bytes = 0;     ///< per uploaded bundle document
+  std::size_t max_concurrent_requests = 0;  ///< in-flight model requests
+};
+
+/// `tenant/model` — both segments non-empty, charset [A-Za-z0-9._-].
+struct ModelId {
+  std::string tenant;
+  std::string model;
+
+  [[nodiscard]] std::string full() const { return tenant + "/" + model; }
+  /// Throws RegistryError(400, "bad_model_id") on shape violations.
+  [[nodiscard]] static ModelId parse(std::string_view id);
+};
+
+/// One built, servable model version.  Handed to queries as
+/// shared_ptr<ServingModel>; the last holder tears the engine down — that
+/// refcount *is* the drain mechanism.
+struct ServingModel {
+  std::string id;             ///< "tenant/model"
+  std::uint64_t version = 0;  ///< 1-based, per model id
+  std::size_t bundle_bytes = 0;
+
+  /// Uploaded models own their bundle and engine; the adopted default
+  /// model points at externally owned ones (bundle_ stays null).
+  std::unique_ptr<umlio::UmlBundle> owned_bundle;
+  std::unique_ptr<engine::PerspectiveEngine> owned_engine;
+
+  engine::PerspectiveEngine* engine = nullptr;        ///< never null
+  const service::ServiceCatalog* services = nullptr;  ///< never null
+  std::size_t lint_warnings = 0;
+};
+
+/// Decrements its tenant's in-flight counter on destruction.  Default
+/// constructed = no quota enforced (counts nothing).
+class RequestTicket {
+ public:
+  RequestTicket() = default;
+  explicit RequestTicket(std::shared_ptr<std::atomic<std::int64_t>> counter)
+      : counter_(std::move(counter)) {}
+  RequestTicket(RequestTicket&&) noexcept = default;
+  RequestTicket& operator=(RequestTicket&& other) noexcept {
+    release();
+    counter_ = std::move(other.counter_);
+    return *this;
+  }
+  RequestTicket(const RequestTicket&) = delete;
+  RequestTicket& operator=(const RequestTicket&) = delete;
+  ~RequestTicket() { release(); }
+
+ private:
+  void release() {
+    if (counter_) counter_->fetch_sub(1, std::memory_order_relaxed);
+    counter_.reset();
+  }
+  std::shared_ptr<std::atomic<std::int64_t>> counter_;
+};
+
+struct UploadResult {
+  std::string id;
+  std::uint64_t version = 0;
+  std::size_t lint_warnings = 0;
+};
+
+struct ActivateResult {
+  std::string id;
+  std::uint64_t version = 0;
+  std::uint64_t previous_version = 0;  ///< 0 = nothing was active
+  /// Observation estimates re-applied onto the incoming engine.
+  std::size_t observations_applied = 0;
+};
+
+struct ModelInfo {
+  std::string id;
+  std::string tenant;
+  std::uint64_t active_version = 0;  ///< 0 = degraded (nothing active)
+  std::vector<std::uint64_t> staged_versions;
+  /// Retired version engines still held by in-flight queries.
+  std::size_t draining = 0;
+  std::uint64_t observations = 0;
+};
+
+class ModelRegistry {
+ public:
+  struct Options {
+    /// Template for every built engine; `pool` null = the registry owns a
+    /// shared pool of `engine.threads` workers that all engines use.
+    engine::EngineOptions engine;
+    /// Quota applied to every tenant.
+    TenantQuota quota;
+    /// The id old clients (no "model" member) resolve to.
+    std::string default_id = "default/default";
+  };
+
+  ModelRegistry();
+  explicit ModelRegistry(Options options);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers an externally owned engine + catalog as the already-active
+  /// version 1 of the default model (the pre-registry single-bundle shape;
+  /// Server's legacy constructor calls this).  Throws RegistryError(409)
+  /// if the default id already has versions.
+  void adopt(engine::PerspectiveEngine& engine,
+             const service::ServiceCatalog& services);
+
+  /// Parses `bundle_xml`, runs the lint gate, builds the engine, stages
+  /// the new version.  Throws ParseError/ModelError on malformed bundles,
+  /// RegistryError(400, "lint_failed") on lint errors,
+  /// RegistryError(400, "incomplete_bundle") when objects or services are
+  /// missing, QuotaError(403) on model-count/bundle-byte quota violations.
+  UploadResult upload(std::string_view id, std::string_view bundle_xml);
+
+  /// Switches the served version (0 = newest staged).  Re-applies the
+  /// model's observation store onto the incoming engine.  The outgoing
+  /// version drains via its shared_ptr refcount.  Throws
+  /// RegistryError(404) for unknown id/version.
+  ActivateResult activate(std::string_view id, std::uint64_t version = 0);
+
+  /// version > 0: drops that staged version (active versions cannot be
+  /// dropped this way — RegistryError(409, "version_active")).
+  /// version 0: drops the whole model, active version included (in-flight
+  /// holders still complete) and its observation store.
+  void erase(std::string_view id, std::uint64_t version = 0);
+
+  /// Active version of `id`; null when unknown or nothing active.
+  /// One shared-lock map lookup.
+  [[nodiscard]] std::shared_ptr<ServingModel> acquire(std::string_view id);
+
+  /// Active default model; null = degraded.  Lock-free atomic load — the
+  /// old-client hot path.
+  [[nodiscard]] std::shared_ptr<ServingModel> acquire_default() const;
+
+  /// Takes one in-flight slot for `tenant`; throws QuotaError(429) when the
+  /// tenant is at max_concurrent_requests.
+  [[nodiscard]] RequestTicket ticket(const std::string& tenant);
+
+  /// The model's observation store (created on demand; survives versions).
+  /// Throws RegistryError(404) for an unknown model id.
+  [[nodiscard]] std::shared_ptr<ObservationStore> observations(
+      std::string_view id);
+
+  [[nodiscard]] std::vector<ModelInfo> list() const;
+  [[nodiscard]] std::size_t model_count() const;
+  [[nodiscard]] std::size_t tenant_count() const;
+  /// Retired engines across all models still held by in-flight queries.
+  [[nodiscard]] std::size_t draining_count() const;
+
+  [[nodiscard]] const std::string& default_id() const noexcept {
+    return options_.default_id;
+  }
+  [[nodiscard]] util::ThreadPool& pool() noexcept { return *pool_; }
+
+ private:
+  struct ModelEntry {
+    ModelId parsed;
+    std::uint64_t next_version = 1;
+    std::map<std::uint64_t, std::shared_ptr<ServingModel>> staged;
+    std::shared_ptr<ServingModel> active;
+    std::vector<std::weak_ptr<ServingModel>> retired;
+    std::shared_ptr<ObservationStore> observations;
+
+    [[nodiscard]] bool empty() const {
+      return staged.empty() && active == nullptr;
+    }
+  };
+
+  struct TenantState {
+    std::shared_ptr<std::atomic<std::int64_t>> in_flight =
+        std::make_shared<std::atomic<std::int64_t>>(0);
+    std::size_t model_count = 0;
+  };
+
+  void init();
+
+  /// Builds a ServingModel from parsed pieces (lint gate + engine build).
+  /// No registry lock held.
+  std::shared_ptr<ServingModel> build_locked_free(ModelId parsed,
+                                                  std::string_view bundle_xml);
+
+  /// Drops dead weak_ptrs; returns live count.  Caller holds the lock.
+  static std::size_t prune_retired_locked(ModelEntry& entry);
+
+  Options options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, ModelEntry> models_;
+  std::map<std::string, TenantState> tenants_;
+
+  /// Mirror of models_[default_id].active, readable without mutex_.
+  std::atomic<std::shared_ptr<ServingModel>> default_model_;
+};
+
+}  // namespace upsim::registry

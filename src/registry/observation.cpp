@@ -1,0 +1,141 @@
+#include "registry/observation.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace upsim::registry {
+
+Estimate ObservationStore::ElementState::estimate() const {
+  Estimate e;
+  e.up_intervals = up_n;
+  e.down_intervals = down_n;
+  if (up_n > 0) e.mtbf_hours = up_total_hours / static_cast<double>(up_n);
+  if (down_n > 0) e.mttr_hours = down_total_hours / static_cast<double>(down_n);
+  return e;
+}
+
+ObservationStore::ObservationStore() : ObservationStore(Options{}) {}
+
+ObservationStore::ObservationStore(Options options)
+    : options_(std::move(options)) {}
+
+Estimate ObservationStore::observe(const std::string& element, bool failure,
+                                   double t_hours) {
+  if (element.empty()) throw ModelError("observation names no element");
+  if (t_hours < 0.0) throw ModelError("observation time must be >= 0");
+  std::lock_guard lock(mutex_);
+  ElementState& state = elements_[element];
+  if (state.ever_observed && t_hours < state.last_change_hours) {
+    throw ModelError("observations for '" + element +
+                     "' must be time-ordered (got t=" +
+                     std::to_string(t_hours) + " after t=" +
+                     std::to_string(state.last_change_hours) + ")");
+  }
+  ++observations_;
+  if (failure) {
+    if (!state.down) {
+      // Up since the last transition (or since t = 0): one MTBF sample.
+      state.up_total_hours += t_hours - state.last_change_hours;
+      ++state.up_n;
+      state.down = true;
+      state.last_change_hours = t_hours;
+    }
+    // Failure while already down: duplicate report, state only.
+  } else {
+    if (state.down) {
+      state.down_total_hours += t_hours - state.last_change_hours;
+      ++state.down_n;
+      state.down = false;
+      state.last_change_hours = t_hours;
+    } else if (!state.ever_observed) {
+      // First-ever event is a repair: the downtime start is unknown, so no
+      // interval can be measured — just anchor the clock.
+      state.last_change_hours = t_hours;
+    }
+    // Repair while already up (with history): duplicate report, ignored.
+  }
+  state.ever_observed = true;
+  return state.estimate();
+}
+
+Estimate ObservationStore::estimate(const std::string& element) const {
+  std::lock_guard lock(mutex_);
+  auto it = elements_.find(element);
+  return it == elements_.end() ? Estimate{} : it->second.estimate();
+}
+
+std::vector<std::pair<std::string, Estimate>> ObservationStore::snapshot()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, Estimate>> out;
+  out.reserve(elements_.size());
+  for (const auto& [name, state] : elements_) {
+    if (state.up_n == 0 && state.down_n == 0) continue;
+    out.emplace_back(name, state.estimate());
+  }
+  return out;
+}
+
+ApplyReport ObservationStore::apply_one_locked(
+    engine::PerspectiveEngine& engine, const std::string& element,
+    const ElementState& state) const {
+  ApplyReport report;
+  bool applied = false;
+  try {
+    if (state.up_n > 0) {
+      auto r = engine.set_property_override(
+          element, options_.mtbf_attribute,
+          state.up_total_hours / static_cast<double>(state.up_n));
+      report.affected_keys += r.affected_keys;
+      applied = true;
+    }
+    if (state.down_n > 0) {
+      auto r = engine.set_property_override(
+          element, options_.mttr_attribute,
+          state.down_total_hours / static_cast<double>(state.down_n));
+      report.affected_keys += r.affected_keys;
+      applied = true;
+    }
+  } catch (const NotFoundError&) {
+    // The active bundle does not contain this element; keep the estimate —
+    // a later version may.
+    report.elements_skipped = 1;
+    return report;
+  }
+  if (applied) report.elements_applied = 1;
+  return report;
+}
+
+ApplyReport ObservationStore::apply_to(
+    engine::PerspectiveEngine& engine,
+    const std::vector<std::string>* only) const {
+  std::lock_guard lock(mutex_);
+  ApplyReport total;
+  auto fold = [&total](const ApplyReport& one) {
+    total.elements_applied += one.elements_applied;
+    total.elements_skipped += one.elements_skipped;
+    total.affected_keys += one.affected_keys;
+  };
+  if (only != nullptr) {
+    for (const std::string& name : *only) {
+      auto it = elements_.find(name);
+      if (it == elements_.end()) continue;
+      if (it->second.up_n == 0 && it->second.down_n == 0) continue;
+      fold(apply_one_locked(engine, it->first, it->second));
+    }
+  } else {
+    for (const auto& [name, state] : elements_) {
+      if (state.up_n == 0 && state.down_n == 0) continue;
+      fold(apply_one_locked(engine, name, state));
+    }
+  }
+  return total;
+}
+
+std::uint64_t ObservationStore::observations() const {
+  std::lock_guard lock(mutex_);
+  return observations_;
+}
+
+}  // namespace upsim::registry

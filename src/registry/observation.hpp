@@ -1,0 +1,111 @@
+// Observation-driven MTBF/MTTR estimation — the Paterson & Calinescu
+// "observation-enhanced QoS analysis" loop closed over the wire.
+//
+// The paper freezes dependability attributes at model-load time; a fleet
+// does not get that luxury.  Monitoring reports discrete failure/repair
+// observations per infrastructure element; ObservationStore folds them
+// into running alternating-renewal interval estimates:
+//
+//   every element starts Up at t = 0 (scenario convention);
+//   a failure at t closes an up interval   -> one MTBF sample,
+//   a repair  at t closes a down interval  -> one MTTR sample,
+//
+// and the running estimate is the interval mean — the exponential MLE,
+// matching the generator model of scenario::generate_failure_trace, so a
+// generated trace with known rates converges onto its own parameters
+// (tests/test_registry.cpp pins the tolerance).
+//
+// Estimates flow into a live engine through the element-scoped
+// set_property_override() path: structure-only caches survive, the epoch
+// holds, and only availability answers routed through the updated elements
+// change — never a coarse flush.
+//
+// Thread safety: all members are safe to call concurrently; one mutex
+// guards the per-element table.  A store outlives model versions — the
+// registry re-applies it to every newly activated engine so estimates
+// survive hot-swaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/perspective_engine.hpp"
+
+namespace upsim::registry {
+
+/// Running estimate for one element.
+struct Estimate {
+  std::uint64_t up_intervals = 0;    ///< closed up intervals (MTBF samples)
+  std::uint64_t down_intervals = 0;  ///< closed down intervals (MTTR samples)
+  double mtbf_hours = 0.0;           ///< mean up interval; valid when up_intervals > 0
+  double mttr_hours = 0.0;           ///< mean down interval; valid when down_intervals > 0
+};
+
+/// What one apply_to() pass changed on an engine.
+struct ApplyReport {
+  std::size_t elements_applied = 0;  ///< elements with >= 1 override set
+  std::size_t elements_skipped = 0;  ///< estimates naming no engine element
+  std::uint64_t affected_keys = 0;   ///< cumulative reverse-index matches
+};
+
+class ObservationStore {
+ public:
+  /// Graph attribute names the estimates override (the projected lowercase
+  /// names, matching scenario property_update events).
+  struct Options {
+    std::string mtbf_attribute = "mtbf";
+    std::string mttr_attribute = "mttr";
+  };
+
+  ObservationStore();
+  explicit ObservationStore(Options options);
+
+  /// Folds one observation in and returns the element's estimate after it.
+  /// `t_hours` is scenario time; observations for one element must be
+  /// non-decreasing in t (throws ModelError otherwise).  A failure while
+  /// already down (or a repair while up with no history) only moves the
+  /// state — duplicate monitoring reports never fabricate intervals.
+  Estimate observe(const std::string& element, bool failure, double t_hours);
+
+  /// Estimate for one element (zero-valued when never observed).
+  [[nodiscard]] Estimate estimate(const std::string& element) const;
+
+  /// All elements with at least one closed interval, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, Estimate>> snapshot() const;
+
+  /// Pushes every usable estimate into `engine` via set_property_override.
+  /// `only` restricts the pass to those element names (null = all).
+  /// Elements the engine does not know are skipped, not an error — a newly
+  /// activated bundle may cover a different element set.
+  ApplyReport apply_to(engine::PerspectiveEngine& engine,
+                       const std::vector<std::string>* only = nullptr) const;
+
+  [[nodiscard]] std::uint64_t observations() const;
+
+ private:
+  struct ElementState {
+    bool down = false;
+    bool ever_observed = false;  ///< false: Up since t = 0 by convention
+    double last_change_hours = 0.0;
+    double up_total_hours = 0.0;
+    double down_total_hours = 0.0;
+    std::uint64_t up_n = 0;
+    std::uint64_t down_n = 0;
+
+    [[nodiscard]] Estimate estimate() const;
+  };
+
+  ApplyReport apply_one_locked(engine::PerspectiveEngine& engine,
+                               const std::string& element,
+                               const ElementState& state) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, ElementState> elements_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace upsim::registry

@@ -68,7 +68,7 @@ engine::InvalidationReport ScenarioPlayer::apply(const Event& event) {
     engine_->notify_mapping_changed(event.perspective);
   }
 
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   ++stats_.events;
   if (event.is_state_change()) {
     event.is_failure() ? ++stats_.failures : ++stats_.repairs;
@@ -79,6 +79,8 @@ engine::InvalidationReport ScenarioPlayer::apply(const Event& event) {
   }
   stats_.affected_keys += report.affected_keys;
   if (report.full_flush) ++stats_.full_flushes;
+  lock.unlock();
+  if (options_.observer) options_.observer(event);
   return report;
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -40,6 +41,11 @@ struct PlayerOptions {
   /// Replay with the coarse epoch-flush invalidation instead of the
   /// fine-grained overlay accounting (the comparison baseline).
   bool coarse = false;
+  /// Called after each successfully applied event, outside the player's
+  /// lock.  The registry's observation feed hangs off this: fail/repair
+  /// events fold into the per-element MTBF/MTTR estimators as they play.
+  /// Must not throw; must be safe from whatever threads call apply().
+  std::function<void(const Event&)> observer;
 };
 
 struct PlayerStats {

@@ -87,6 +87,10 @@ void AccessLog::log(const AccessRecord& record) noexcept {
     w.value(record.handle_us);
     w.key("cache_hit");
     w.value(record.cache_hit);
+    if (!record.model.empty()) {
+      w.key("model");
+      w.value(record.model);
+    }
     if (slow) {
       obs::Tracer& tracer =
           options_.tracer != nullptr ? *options_.tracer : obs::Tracer::global();

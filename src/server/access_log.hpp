@@ -51,6 +51,7 @@ struct AccessRecord {
   double queue_wait_us = 0.0; ///< frame read → pool worker pickup
   double handle_us = 0.0;     ///< parse + dispatch + serialize
   bool cache_hit = false;     ///< served from the response cache
+  std::string model;          ///< resolved tenant/model id; "" = none
 };
 
 /// JSON array of one request's spans, sorted by start time — the "spans"

@@ -88,6 +88,14 @@ Request parse_request(const obs::JsonValue& document) {
                           "request 'trace' must be 16 hex characters");
     }
   }
+  if (document.has("model")) {
+    const obs::JsonValue& model = document.at("model");
+    if (model.kind != obs::JsonValue::Kind::String || model.string.empty()) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "request 'model' must be a non-empty string");
+    }
+    req.model = model.string;
+  }
   return req;
 }
 

@@ -3,7 +3,15 @@
 //
 // Request:
 //   {"id": <u64, optional, echoed>, "method": "<name>", "params": {...},
-//    "trace": "<16 hex chars, optional>"}
+//    "trace": "<16 hex chars, optional>",
+//    "model": "<tenant/model, optional>"}
+//
+// "model" routes the request at the model registry: absent (every
+// pre-registry client) the request resolves to the daemon's default model
+// and the response bytes are identical to the single-model days; present,
+// it names a `tenant/model` id registered through model_upload/
+// model_activate.  An unknown id answers 404 unknown_model; a daemon with
+// no active default answers 503 no_default_model.
 //
 // "trace" is the request's trace id (obs::format_trace_id form).  A server
 // runs the request under that trace context so every span it records —
@@ -50,14 +58,38 @@
 //                          query's inputs); result is the lint JSON report,
 //                          findings never fail the request
 //   metrics                obs registry snapshot + engine path cache and
-//                          served-result cache stats
+//                          served-result cache stats (per active model)
 //   trace                  finished spans of one trace id (params "trace"),
 //                          the per-request span tree
-//   health                 liveness, epoch, connection counts
+//   health                 liveness, serving state, epoch, connection counts
+//   model_upload           params "bundle" (the umlbundle XML document as a
+//                          string): parse, lint-gate, build and stage a new
+//                          version of the envelope's "model"; result
+//                          {"model","version","lint_warnings"}
+//   model_activate         switch the envelope's "model" to params
+//                          "version" (absent/0 = newest staged); the old
+//                          version drains in-flight queries, then tears
+//                          down; result {"model","version","previous",
+//                          "observations_applied"}
+//   model_list             all registered models: id, tenant, active/staged
+//                          versions, draining engines, observation counts
+//   model_delete           drop params "version" of the envelope's "model"
+//                          (staged only), or the whole model when absent
+//   report_observations    params "observations": [{"element","kind"
+//                          ("fail"/"repair", scenario kind names accepted),
+//                          "t" hours}, ...] — folds failure/repair
+//                          intervals into the model's running MTBF/MTTR
+//                          estimators and pushes the estimates through
+//                          element-scoped property overrides (epoch holds,
+//                          unrelated cache state survives); result reports
+//                          per-element estimates and affected pairs
 //
 // Status codes (HTTP-flavoured so they read on sight): 200 ok,
-// 400 bad request (malformed document/params), 404 unknown name,
-// 413 frame over the size limit, 500 handler bug, 503 overloaded/draining.
+// 400 bad request (malformed document/params), 403 tenant quota exceeded
+// (model count / bundle bytes), 404 unknown name/model/version,
+// 409 conflict (deleting the active version), 413 frame over the size
+// limit, 429 tenant over its concurrent-request quota, 500 handler bug,
+// 503 overloaded/draining/no default model.
 //
 // Result serialization is deliberately deterministic — fixed key order,
 // fixed float formatting, no timings or other wall-clock noise — so a
@@ -80,8 +112,11 @@ namespace upsim::server {
 
 inline constexpr int kStatusOk = 200;
 inline constexpr int kStatusBadRequest = 400;
+inline constexpr int kStatusForbidden = 403;
 inline constexpr int kStatusNotFound = 404;
+inline constexpr int kStatusConflict = 409;
 inline constexpr int kStatusPayloadTooLarge = 413;
+inline constexpr int kStatusTooManyRequests = 429;
 inline constexpr int kStatusInternalError = 500;
 inline constexpr int kStatusUnavailable = 503;
 
@@ -106,6 +141,7 @@ struct Request {
   std::string method;
   obs::JsonValue params;        ///< object; empty object when absent
   std::uint64_t trace_id = 0;   ///< 0 = client sent no "trace" member
+  std::string model;            ///< "" = route to the default model
 };
 
 /// Validates the envelope shape; throws ProtocolError(400) on a missing or

@@ -34,10 +34,20 @@ void gauge(const std::string& name, double v) {
 
 Server::Server(engine::PerspectiveEngine& engine,
                const service::ServiceCatalog& services, ServerOptions options)
-    : engine_(engine),
-      services_(services),
+    : options_(std::move(options)) {
+  registry::ModelRegistry::Options ropts;
+  ropts.engine.pool = &engine.pool();  // one pool, not one more per model
+  ropts.quota = options_.default_quota;
+  owned_registry_ = std::make_unique<registry::ModelRegistry>(std::move(ropts));
+  owned_registry_->adopt(engine, services);
+  registry_ = owned_registry_.get();
+  pool_ = options_.pool != nullptr ? options_.pool : &registry_->pool();
+}
+
+Server::Server(registry::ModelRegistry& registry, ServerOptions options)
+    : registry_(&registry),
       options_(std::move(options)),
-      pool_(options_.pool != nullptr ? options_.pool : &engine.pool()) {}
+      pool_(options_.pool != nullptr ? options_.pool : &registry.pool()) {}
 
 Server::~Server() { stop(); }
 
@@ -253,6 +263,11 @@ std::pair<int, std::string> Server::handle_payload(std::string_view payload,
   } catch (const ProtocolError& e) {
     status = e.status();
     response = make_error(id, status, e.code(), e.what());
+  } catch (const registry::RegistryError& e) {
+    // Covers QuotaError too: 403 (model count / bundle bytes), 429
+    // (concurrency), 404 (unknown model/version), 409 (conflicts).
+    status = e.status();
+    response = make_error(id, status, e.code(), e.what());
   } catch (const ParseError& e) {
     status = kStatusBadRequest;
     response = make_error(id, status, "parse_error", e.what());
@@ -268,45 +283,99 @@ std::pair<int, std::string> Server::handle_payload(std::string_view payload,
   }
   access.handle_us = us_since(started);
   record("server.handle_us", access.handle_us);
+  if (!access.model.empty() && obs::enabled()) {
+    const auto slash = access.model.find('/');
+    record("server.model.handle_us#tenant=" + access.model.substr(0, slash) +
+               ",model=" + access.model.substr(slash + 1),
+           access.handle_us);
+  }
   return {status, std::move(response)};
+}
+
+Server::ModelContext Server::resolve_model(const Request& req,
+                                           AccessRecord& access) {
+  ModelContext ctx;
+  ctx.model = registry_->acquire(req.model);
+  if (ctx.model == nullptr) {
+    if (req.model.empty()) {
+      throw ProtocolError(kStatusUnavailable, "no_default_model",
+                          "no default model is active; upload and activate "
+                          "one (model_upload/model_activate)");
+    }
+    throw ProtocolError(kStatusNotFound, "unknown_model",
+                        "unknown model '" + req.model + "'");
+  }
+  const auto slash = ctx.model->id.find('/');
+  const std::string tenant = ctx.model->id.substr(0, slash);
+  ctx.ticket = registry_->ticket(tenant);
+  access.model = ctx.model->id;
+  if (obs::enabled()) {
+    count("server.model.requests#tenant=" + tenant +
+          ",model=" + ctx.model->id.substr(slash + 1));
+  }
+  return ctx;
 }
 
 std::string Server::dispatch(const Request& req, AccessRecord& access) {
   if (req.method == "upsim") {
+    const ModelContext ctx = resolve_model(req, access);
     return make_response(req.id,
-                         handle_query(req, /*paths_only=*/false, access));
+                         handle_query(ctx, req, /*paths_only=*/false, access));
   }
   if (req.method == "paths") {
+    const ModelContext ctx = resolve_model(req, access);
     return make_response(req.id,
-                         handle_query(req, /*paths_only=*/true, access));
+                         handle_query(ctx, req, /*paths_only=*/true, access));
   }
   if (req.method == "availability") {
-    return make_response(req.id, handle_availability(req));
+    const ModelContext ctx = resolve_model(req, access);
+    return make_response(req.id, handle_availability(ctx, req));
   }
   if (req.method == "invalidate_topology") {
-    return make_response(req.id, handle_invalidate_topology(req));
+    const ModelContext ctx = resolve_model(req, access);
+    return make_response(req.id, handle_invalidate_topology(ctx, req));
   }
   if (req.method == "invalidate_properties") {
-    return make_response(req.id, handle_invalidate_properties(req));
+    const ModelContext ctx = resolve_model(req, access);
+    return make_response(req.id, handle_invalidate_properties(ctx, req));
   }
   if (req.method == "scenario_load") {
     return make_response(req.id, handle_scenario_load(req));
   }
   if (req.method == "scenario_step") {
-    return make_response(req.id, handle_scenario_step(req));
+    const ModelContext ctx = resolve_model(req, access);
+    return make_response(req.id, handle_scenario_step(ctx, req));
   }
   if (req.method == "invalidate_mapping") {
+    const ModelContext ctx = resolve_model(req, access);
     const obs::JsonValue& params = req.params;
     if (!params.has("name") ||
         params.at("name").kind != obs::JsonValue::Kind::String) {
       throw ProtocolError(kStatusBadRequest, "bad_request",
                           "invalidate_mapping needs params 'name'");
     }
-    engine_.notify_mapping_changed(params.at("name").string);
+    ctx.engine().notify_mapping_changed(params.at("name").string);
     return make_response(req.id, R"({"ok":true})");
   }
   if (req.method == "validate") {
-    return make_response(req.id, handle_validate(req));
+    const ModelContext ctx = resolve_model(req, access);
+    return make_response(req.id, handle_validate(ctx, req));
+  }
+  if (req.method == "report_observations") {
+    const ModelContext ctx = resolve_model(req, access);
+    return make_response(req.id, handle_report_observations(ctx, req));
+  }
+  if (req.method == "model_upload") {
+    return make_response(req.id, handle_model_upload(req));
+  }
+  if (req.method == "model_activate") {
+    return make_response(req.id, handle_model_activate(req));
+  }
+  if (req.method == "model_list") {
+    return make_response(req.id, handle_model_list());
+  }
+  if (req.method == "model_delete") {
+    return make_response(req.id, handle_model_delete(req));
   }
   if (req.method == "metrics") {
     return make_response(req.id, handle_metrics());
@@ -354,22 +423,27 @@ QueryParams parse_query_params(const Request& req,
 
 }  // namespace
 
-std::string Server::handle_query(const Request& req, bool paths_only,
-                                 AccessRecord& access) {
+std::string Server::handle_query(const ModelContext& ctx, const Request& req,
+                                 bool paths_only, AccessRecord& access) {
   QueryParams q =
-      parse_query_params(req, services_, options_.default_perspective);
+      parse_query_params(req, ctx.services(), options_.default_perspective);
   if (options_.response_cache_entries == 0) {
     const core::UpsimResult result =
-        engine_.query(*q.composite, q.mapping, std::move(q.name));
+        ctx.engine().query(*q.composite, q.mapping, std::move(q.name));
     return upsim_result_json(result, paths_only);
   }
 
   // The canonical params serialization doubles as the cache key; the epoch
   // is read *before* the query so a concurrent topology bump can only key
   // fresh data under a stale epoch (a harmless miss later), never stale
-  // data under a fresh one.
-  const std::uint64_t epoch = engine_.epoch();
-  std::string key = (paths_only ? "paths@" : "upsim@") +
+  // data under a fresh one.  The model id *and version* prefix the key:
+  // tenants can never cross-serve bytes, and a hot-swap implicitly retires
+  // the outgoing version's entries ('#' cannot appear in an id, so one
+  // model's prefix is never a prefix of another's).
+  const std::uint64_t epoch = ctx.engine().epoch();
+  const std::string model_prefix =
+      ctx.model->id + '#' + std::to_string(ctx.model->version) + ':';
+  std::string key = model_prefix + (paths_only ? "paths@" : "upsim@") +
                     std::to_string(epoch) + ':' +
                     query_params_json(q.composite->name(), q.mapping, q.name);
   std::uint64_t version = 0;
@@ -390,7 +464,7 @@ std::string Server::handle_query(const Request& req, bool paths_only,
   count("server.response_cache.misses");
   engine::QueryInfo info;
   const core::UpsimResult result =
-      engine_.query(*q.composite, q.mapping, std::move(q.name), &info);
+      ctx.engine().query(*q.composite, q.mapping, std::move(q.name), &info);
   auto entry =
       std::make_shared<const std::string>(upsim_result_json(result, paths_only));
   {
@@ -405,7 +479,10 @@ std::string Server::handle_query(const Request& req, bool paths_only,
         response_index_.clear();
       }
       for (const std::string& element : info.elements) {
-        response_index_[element].insert(key);
+        // Index buckets are model-scoped by id (not version): events name
+        // elements of the *model*, and eviction must reach entries of any
+        // version still in the map.
+        response_index_[ctx.model->id + '\x1f' + element].insert(key);
       }
       response_cache_.emplace(std::move(key), entry);
     }
@@ -413,9 +490,10 @@ std::string Server::handle_query(const Request& req, bool paths_only,
   return *entry;
 }
 
-std::string Server::handle_availability(const Request& req) {
+std::string Server::handle_availability(const ModelContext& ctx,
+                                        const Request& req) {
   QueryParams q =
-      parse_query_params(req, services_, options_.default_perspective);
+      parse_query_params(req, ctx.services(), options_.default_perspective);
   core::AnalysisOptions analysis;
   // Deterministic by default: the Monte-Carlo cross-check only runs when
   // asked, with a fixed (overridable) seed.
@@ -430,7 +508,7 @@ std::string Server::handle_availability(const Request& req) {
         static_cast<std::uint64_t>(params.at("seed").number);
   }
   const core::UpsimResult result =
-      engine_.query(*q.composite, q.mapping, std::move(q.name));
+      ctx.engine().query(*q.composite, q.mapping, std::move(q.name));
   return availability_json(core::analyze_availability(result, analysis),
                            result);
 }
@@ -480,12 +558,12 @@ std::string invalidation_result_json(std::uint64_t epoch,
 }  // namespace
 
 std::uint64_t Server::evict_responses_for(
-    const std::vector<std::string>& elements) {
+    const std::string& model_id, const std::vector<std::string>& elements) {
   std::unique_lock lock(response_cache_mutex_);
   ++invalidation_version_;
   std::uint64_t evicted = 0;
   for (const std::string& element : elements) {
-    const auto bucket = response_index_.find(element);
+    const auto bucket = response_index_.find(model_id + '\x1f' + element);
     if (bucket == response_index_.end()) continue;
     for (const std::string& key : bucket->second) {
       evicted += response_cache_.erase(key);
@@ -502,32 +580,42 @@ std::uint64_t Server::evict_responses_for(
   return evicted;
 }
 
-std::string Server::handle_invalidate_topology(const Request& req) {
+std::uint64_t Server::flush_responses_for(const std::string& model_id) {
+  const std::string key_prefix = model_id + '#';
+  const std::string index_prefix = model_id + '\x1f';
+  std::unique_lock lock(response_cache_mutex_);
+  ++invalidation_version_;
+  const std::uint64_t retired =
+      std::erase_if(response_cache_, [&key_prefix](const auto& kv) {
+        return kv.first.starts_with(key_prefix);
+      });
+  std::erase_if(response_index_, [&index_prefix](const auto& kv) {
+    return kv.first.starts_with(index_prefix);
+  });
+  return retired;
+}
+
+std::string Server::handle_invalidate_topology(const ModelContext& ctx,
+                                               const Request& req) {
   const std::vector<std::string> elements = elements_from_params(req.params);
   if (elements.empty()) {
-    // Coarse: the epoch bump retires every cached served result (the epoch
-    // is part of the key), so the map only needs resetting, not scanning.
-    engine_.notify_topology_changed();
-    std::uint64_t retired = 0;
-    {
-      std::unique_lock lock(response_cache_mutex_);
-      ++invalidation_version_;
-      retired = response_cache_.size();
-      response_cache_.clear();
-      response_index_.clear();
-    }
+    // Coarse: the epoch bump retires every cached served result of this
+    // model (the epoch is part of the key); other models' entries stay.
+    ctx.engine().notify_topology_changed();
+    const std::uint64_t retired = flush_responses_for(ctx.model->id);
     engine::InvalidationReport report;
     report.evicted_keys = retired;  // everything the epoch made unreachable
     report.full_flush = true;
-    return invalidation_result_json(engine_.epoch(), report, retired);
+    return invalidation_result_json(ctx.engine().epoch(), report, retired);
   }
   const engine::InvalidationReport report =
-      engine_.notify_topology_changed(elements);
-  const std::uint64_t evicted = evict_responses_for(elements);
-  return invalidation_result_json(engine_.epoch(), report, evicted);
+      ctx.engine().notify_topology_changed(elements);
+  const std::uint64_t evicted = evict_responses_for(ctx.model->id, elements);
+  return invalidation_result_json(ctx.engine().epoch(), report, evicted);
 }
 
-std::string Server::handle_invalidate_properties(const Request& req) {
+std::string Server::handle_invalidate_properties(const ModelContext& ctx,
+                                                 const Request& req) {
   const obs::JsonValue& params = req.params;
   engine::InvalidationReport report;
   // Optional "updates": targeted attribute overrides (observed MTBF/MTTR
@@ -549,7 +637,7 @@ std::string Server::handle_invalidate_properties(const Request& req) {
                             "each update needs 'element', 'attribute' "
                             "(strings) and 'value' (number)");
       }
-      const engine::InvalidationReport one = engine_.set_property_override(
+      const engine::InvalidationReport one = ctx.engine().set_property_override(
           update.at("element").string, update.at("attribute").string,
           update.at("value").number);
       report.affected_keys += one.affected_keys;
@@ -557,41 +645,37 @@ std::string Server::handle_invalidate_properties(const Request& req) {
   }
   const std::vector<std::string> elements = elements_from_params(params);
   if (elements.empty() && !params.has("updates")) {
-    engine_.notify_properties_changed();
+    ctx.engine().notify_properties_changed();
     report.full_flush = true;
   } else if (!elements.empty()) {
     const engine::InvalidationReport fine =
-        engine_.notify_properties_changed(elements);
+        ctx.engine().notify_properties_changed(elements);
     report.affected_keys += fine.affected_keys;
   }
   // Property values never appear in upsim/paths bytes (names only) and
   // availability is uncached, so no served results need evicting.
-  return invalidation_result_json(engine_.epoch(), report, 0);
+  return invalidation_result_json(ctx.engine().epoch(), report, 0);
 }
 
 engine::InvalidationReport Server::apply_scenario_event(
-    const scenario::Event& event, bool coarse,
+    const ModelContext& ctx, const scenario::Event& event, bool coarse,
     std::uint64_t& response_evicted) {
   engine::InvalidationReport report;
   if (event.is_state_change()) {
     report =
-        engine_.set_element_state({event.element}, !event.is_failure());
+        ctx.engine().set_element_state({event.element}, !event.is_failure());
     if (coarse) {
-      engine_.notify_topology_changed();
+      ctx.engine().notify_topology_changed();
       report.full_flush = true;
-      std::unique_lock lock(response_cache_mutex_);
-      ++invalidation_version_;
-      response_evicted += response_cache_.size();
-      response_cache_.clear();
-      response_index_.clear();
+      response_evicted += flush_responses_for(ctx.model->id);
     } else {
-      response_evicted += evict_responses_for({event.element});
+      response_evicted += evict_responses_for(ctx.model->id, {event.element});
     }
   } else if (event.kind == scenario::EventKind::PropertyUpdate) {
-    report = engine_.set_property_override(event.element, event.attribute,
-                                           event.value);
+    report = ctx.engine().set_property_override(event.element, event.attribute,
+                                                event.value);
     if (coarse) {
-      engine_.notify_properties_changed();
+      ctx.engine().notify_properties_changed();
       report.full_flush = true;
     }
     // upsim/paths bytes carry no property values; nothing cached to evict.
@@ -600,7 +684,7 @@ engine::InvalidationReport Server::apply_scenario_event(
     // send the post-migration mapping with their next query, which is a
     // different cache key, so only the engine's recorded run needs
     // forgetting.
-    engine_.notify_mapping_changed(event.perspective);
+    ctx.engine().notify_mapping_changed(event.perspective);
   }
   return report;
 }
@@ -637,7 +721,8 @@ std::string Server::handle_scenario_load(const Request& req) {
   return std::move(w).str();
 }
 
-std::string Server::handle_scenario_step(const Request& req) {
+std::string Server::handle_scenario_step(const ModelContext& ctx,
+                                         const Request& req) {
   const obs::JsonValue& params = req.params;
   bool coarse = false;
   if (params.has("mode")) {
@@ -663,7 +748,7 @@ std::string Server::handle_scenario_step(const Request& req) {
     } catch (const ParseError& e) {
       throw ProtocolError(kStatusBadRequest, "bad_event", e.what());
     }
-    total = apply_scenario_event(event, coarse, response_evicted);
+    total = apply_scenario_event(ctx, event, coarse, response_evicted);
     applied = 1;
     std::lock_guard lock(scenario_mutex_);
     position = scenario_pos_;
@@ -685,7 +770,7 @@ std::string Server::handle_scenario_step(const Request& req) {
     loaded = scenario_trace_.size();
     while (applied < want && scenario_pos_ < scenario_trace_.size()) {
       const engine::InvalidationReport one = apply_scenario_event(
-          scenario_trace_[scenario_pos_], coarse, response_evicted);
+          ctx, scenario_trace_[scenario_pos_], coarse, response_evicted);
       total.affected_keys += one.affected_keys;
       total.evicted_keys += one.evicted_keys;
       total.full_flush = total.full_flush || one.full_flush;
@@ -704,7 +789,7 @@ std::string Server::handle_scenario_step(const Request& req) {
   w.key("total");
   w.value(static_cast<std::uint64_t>(loaded));
   w.key("epoch");
-  w.value(engine_.epoch());
+  w.value(ctx.engine().epoch());
   w.key("affected_keys");
   w.value(total.affected_keys);
   w.key("path_evictions");
@@ -717,21 +802,23 @@ std::string Server::handle_scenario_step(const Request& req) {
   return std::move(w).str();
 }
 
-std::string Server::handle_validate(const Request& req) {
+std::string Server::handle_validate(const ModelContext& ctx,
+                                    const Request& req) {
   // Lint on demand: the served infrastructure and catalog, plus an optional
   // composite/mapping pair from the params, checked without running a
   // query.  Findings do not fail the request — the report *is* the 200
   // result, and clients branch on its "ok" member.
   lint::Input input;
-  input.objects = &engine_.infrastructure();
-  input.services = &services_;
+  input.objects = &ctx.engine().infrastructure();
+  input.services = &ctx.services();
   const obs::JsonValue& params = req.params;
   if (params.has("composite")) {
     if (params.at("composite").kind != obs::JsonValue::Kind::String) {
       throw ProtocolError(kStatusBadRequest, "bad_request",
                           "params 'composite' must be a string");
     }
-    input.composite = &services_.get_composite(params.at("composite").string);
+    input.composite =
+        &ctx.services().get_composite(params.at("composite").string);
   }
   mapping::ServiceMapping mapping;
   if (params.has("mapping")) {
@@ -770,11 +857,17 @@ std::string Server::handle_trace(const Request& req) {
 }
 
 std::string Server::handle_metrics() {
-  const engine::CacheStats stats = engine_.cache_stats();
+  // The top-level epoch/cache/invalidation sections report the *default*
+  // model (zeros when degraded) so pre-registry consumers keep parsing;
+  // per-model breakouts follow under "models".
+  const std::shared_ptr<registry::ServingModel> def =
+      registry_->acquire_default();
+  const engine::CacheStats stats =
+      def != nullptr ? def->engine->cache_stats() : engine::CacheStats{};
   obs::JsonWriter w;
   w.begin_object();
   w.key("epoch");
-  w.value(engine_.epoch());
+  w.value(def != nullptr ? def->engine->epoch() : 0);
   w.key("cache");
   w.begin_object();
   w.key("hits");
@@ -814,7 +907,9 @@ std::string Server::handle_metrics() {
   w.key("invalidation");
   w.begin_object();
   {
-    const engine::InvalidationStats inv = engine_.invalidation_stats();
+    const engine::InvalidationStats inv =
+        def != nullptr ? def->engine->invalidation_stats()
+                       : engine::InvalidationStats{};
     std::size_t index_entries = 0;
     {
       std::shared_lock lock(response_cache_mutex_);
@@ -842,6 +937,42 @@ std::string Server::handle_metrics() {
     w.value(static_cast<std::uint64_t>(index_entries));
   }
   w.end_object();
+  w.key("registry");
+  w.begin_object();
+  w.key("models");
+  w.value(static_cast<std::uint64_t>(registry_->model_count()));
+  w.key("tenants");
+  w.value(static_cast<std::uint64_t>(registry_->tenant_count()));
+  w.key("draining");
+  w.value(static_cast<std::uint64_t>(registry_->draining_count()));
+  w.end_object();
+  w.key("models");
+  w.begin_array();
+  for (const registry::ModelInfo& info : registry_->list()) {
+    if (info.active_version == 0) continue;
+    const std::shared_ptr<registry::ServingModel> model =
+        registry_->acquire(info.id);
+    if (model == nullptr) continue;
+    const engine::CacheStats mstats = model->engine->cache_stats();
+    w.begin_object();
+    w.key("model");
+    w.value(info.id);
+    w.key("version");
+    w.value(model->version);
+    w.key("epoch");
+    w.value(model->engine->epoch());
+    w.key("cache");
+    w.begin_object();
+    w.key("hits");
+    w.value(static_cast<std::uint64_t>(mstats.hits));
+    w.key("misses");
+    w.value(static_cast<std::uint64_t>(mstats.misses));
+    w.key("size");
+    w.value(static_cast<std::uint64_t>(mstats.size));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
   w.key("metrics");
   w.raw_value(obs::Registry::global().snapshot().to_json());
   w.end_object();
@@ -849,18 +980,243 @@ std::string Server::handle_metrics() {
 }
 
 std::string Server::handle_health() {
+  const std::shared_ptr<registry::ServingModel> def =
+      registry_->acquire_default();
   obs::JsonWriter w;
   w.begin_object();
   w.key("status");
-  w.value("ok");
+  // "degraded": booted without (or lost) a default model — model_* methods
+  // and explicitly routed requests still serve, default-routed ones 503.
+  w.value(def != nullptr ? "ok" : "degraded");
+  w.key("serving");
+  w.value(def != nullptr);
   w.key("epoch");
-  w.value(engine_.epoch());
+  w.value(def != nullptr ? def->engine->epoch() : 0);
+  w.key("models");
+  w.value(static_cast<std::uint64_t>(registry_->model_count()));
   w.key("active_connections");
   w.value(static_cast<std::uint64_t>(active_connections()));
   w.key("in_flight");
   w.value(static_cast<std::uint64_t>(requests_in_flight()));
   w.key("draining");
   w.value(draining_.load(std::memory_order_acquire));
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_model_upload(const Request& req) {
+  if (req.model.empty()) {
+    throw ProtocolError(kStatusBadRequest, "model_required",
+                        "model_upload routes by the envelope 'model' member "
+                        "(tenant/model)");
+  }
+  const obs::JsonValue& params = req.params;
+  if (!params.has("bundle") ||
+      params.at("bundle").kind != obs::JsonValue::Kind::String) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "model_upload needs params 'bundle' (the umlbundle "
+                        "XML document as a string)");
+  }
+  const registry::UploadResult result =
+      registry_->upload(req.model, params.at("bundle").string);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("model");
+  w.value(result.id);
+  w.key("version");
+  w.value(result.version);
+  w.key("lint_warnings");
+  w.value(static_cast<std::uint64_t>(result.lint_warnings));
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_model_activate(const Request& req) {
+  if (req.model.empty()) {
+    throw ProtocolError(kStatusBadRequest, "model_required",
+                        "model_activate routes by the envelope 'model' "
+                        "member (tenant/model)");
+  }
+  std::uint64_t version = 0;
+  const obs::JsonValue& params = req.params;
+  if (params.has("version")) {
+    if (params.at("version").kind != obs::JsonValue::Kind::Number ||
+        params.at("version").number < 0) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'version' must be a non-negative number");
+    }
+    version = static_cast<std::uint64_t>(params.at("version").number);
+  }
+  const registry::ActivateResult result =
+      registry_->activate(req.model, version);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("model");
+  w.value(result.id);
+  w.key("version");
+  w.value(result.version);
+  w.key("previous");
+  w.value(result.previous_version);
+  w.key("observations_applied");
+  w.value(static_cast<std::uint64_t>(result.observations_applied));
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_model_list() {
+  const std::shared_ptr<registry::ServingModel> def =
+      registry_->acquire_default();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("default");
+  w.value(registry_->default_id());
+  w.key("serving");
+  w.value(def != nullptr);
+  w.key("models");
+  w.begin_array();
+  for (const registry::ModelInfo& info : registry_->list()) {
+    w.begin_object();
+    w.key("model");
+    w.value(info.id);
+    w.key("tenant");
+    w.value(info.tenant);
+    w.key("active_version");
+    w.value(info.active_version);
+    w.key("staged");
+    w.begin_array();
+    for (const std::uint64_t v : info.staged_versions) w.value(v);
+    w.end_array();
+    w.key("draining");
+    w.value(static_cast<std::uint64_t>(info.draining));
+    w.key("observations");
+    w.value(info.observations);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_model_delete(const Request& req) {
+  if (req.model.empty()) {
+    throw ProtocolError(kStatusBadRequest, "model_required",
+                        "model_delete routes by the envelope 'model' member "
+                        "(tenant/model)");
+  }
+  std::uint64_t version = 0;
+  const obs::JsonValue& params = req.params;
+  if (params.has("version")) {
+    if (params.at("version").kind != obs::JsonValue::Kind::Number ||
+        params.at("version").number < 1) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'version' must be a positive number");
+    }
+    version = static_cast<std::uint64_t>(params.at("version").number);
+  }
+  registry_->erase(req.model, version);
+  if (version == 0) {
+    // The whole model is gone; a future re-upload restarts version
+    // numbering, so its cached bytes must not outlive it.
+    (void)flush_responses_for(req.model);
+  }
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("model");
+  w.value(req.model);
+  w.key("deleted");
+  w.value(true);
+  w.key("version");
+  w.value(version);
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string Server::handle_report_observations(const ModelContext& ctx,
+                                               const Request& req) {
+  const obs::JsonValue& params = req.params;
+  if (!params.has("observations") || !params.at("observations").is_array() ||
+      params.at("observations").array.empty()) {
+    throw ProtocolError(kStatusBadRequest, "bad_request",
+                        "report_observations needs params 'observations' "
+                        "(non-empty array)");
+  }
+  const std::shared_ptr<registry::ObservationStore> store =
+      registry_->observations(ctx.model->id);
+
+  // Fold every observation in, tracking which elements were touched so the
+  // override pass (and the result) stays scoped to them.
+  std::set<std::string> touched;
+  std::uint64_t observed = 0;
+  for (const obs::JsonValue& entry : params.at("observations").array) {
+    if (!entry.is_object() || !entry.has("element") ||
+        entry.at("element").kind != obs::JsonValue::Kind::String ||
+        !entry.has("kind") ||
+        entry.at("kind").kind != obs::JsonValue::Kind::String ||
+        !entry.has("t") ||
+        entry.at("t").kind != obs::JsonValue::Kind::Number) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "each observation needs 'element', 'kind' "
+                          "(strings) and 't' (hours, number)");
+    }
+    const std::string& kind = entry.at("kind").string;
+    bool failure = false;
+    if (kind == "fail" || kind == "failure" || kind == "fail_component" ||
+        kind == "fail_link") {
+      failure = true;
+    } else if (kind != "repair" && kind != "repair_component" &&
+               kind != "repair_link") {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "observation 'kind' must be fail/repair (or a "
+                          "scenario state-event kind name)");
+    }
+    (void)store->observe(entry.at("element").string, failure,
+                         entry.at("t").number);
+    touched.insert(entry.at("element").string);
+    ++observed;
+  }
+
+  // Element-scoped feedback: running estimates flow in through
+  // set_property_override — the epoch holds, path/response caches survive,
+  // only availability answers routed through these elements change.
+  const std::vector<std::string> only(touched.begin(), touched.end());
+  const registry::ApplyReport applied = store->apply_to(ctx.engine(), &only);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("observed");
+  w.value(observed);
+  w.key("elements");
+  w.value(static_cast<std::uint64_t>(touched.size()));
+  w.key("applied");
+  w.value(static_cast<std::uint64_t>(applied.elements_applied));
+  w.key("skipped");
+  w.value(static_cast<std::uint64_t>(applied.elements_skipped));
+  w.key("affected_keys");
+  w.value(applied.affected_keys);
+  w.key("epoch");
+  w.value(ctx.engine().epoch());
+  w.key("estimates");
+  w.begin_array();
+  for (const std::string& element : only) {
+    const registry::Estimate est = store->estimate(element);
+    w.begin_object();
+    w.key("element");
+    w.value(element);
+    w.key("up_intervals");
+    w.value(est.up_intervals);
+    w.key("down_intervals");
+    w.value(est.down_intervals);
+    if (est.up_intervals > 0) {
+      w.key("mtbf");
+      w.value(est.mtbf_hours);
+    }
+    if (est.down_intervals > 0) {
+      w.key("mttr");
+      w.value(est.mttr_hours);
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return std::move(w).str();
 }

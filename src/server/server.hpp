@@ -1,5 +1,26 @@
-// upsimd's serving core: a TCP request router over a shared
-// engine::PerspectiveEngine.
+// upsimd's serving core: a TCP request router over a registry of
+// engine::PerspectiveEngines (one per active model version).
+//
+// Model routing — every request resolves to one registry::ServingModel
+// before its handler runs:
+//
+//   - envelope "model" absent: the registry's *default* model, acquired
+//     through a lock-free atomic shared_ptr load (the pre-registry hot
+//     path; response bytes are unchanged from the single-model days).  A
+//     daemon with no active default (degraded start, default deleted)
+//     answers 503 no_default_model but keeps serving model_* methods and
+//     health.
+//   - envelope "model" present: a shared-lock registry lookup by
+//     tenant/model id (404 unknown_model when absent), plus one
+//     per-tenant concurrency ticket (429 past the quota).
+//
+// The resolved shared_ptr rides in a ModelContext for the handler's whole
+// run, so a model_activate mid-request cannot tear the engine down under
+// it — the old version drains by refcount.  Served-result cache keys are
+// prefixed with the model id *and version*, so a hot-swap implicitly
+// retires the old version's entries and two tenants can never cross-serve
+// each other's bytes; per-element eviction goes through model-scoped
+// index buckets for the same reason.
 //
 // Thread model — one acceptor thread, one lightweight reader thread per
 // connection, and a shared util::ThreadPool that executes every request
@@ -33,7 +54,11 @@
 // server.responses.<status>, server.bytes_{in,out},
 // server.response_cache.{hits,misses}; gauge server.connections_active;
 // histograms server.queue_wait_us (frame read → pool worker pickup) and
-// server.handle_us (handler execution); spans server.request.
+// server.handle_us (handler execution); spans server.request.  Model-
+// routed requests additionally count server.model.requests and record
+// server.model.handle_us under the '#tenant=<t>,model=<m>' label-suffix
+// convention (src/obs/prometheus.hpp), so the Prometheus exposition
+// breaks traffic out per tenant and model.
 //
 // Trace context: every request runs under an obs::TraceScope for the
 // trace id the client sent in the envelope's "trace" member (or one the
@@ -63,6 +88,7 @@
 #include "engine/perspective_engine.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "registry/model_registry.hpp"
 #include "scenario/event.hpp"
 #include "server/access_log.hpp"
 #include "server/protocol.hpp"
@@ -85,8 +111,13 @@ struct ServerOptions {
   /// elapses.  0 = wait forever.
   int read_timeout_ms = 30000;
   int write_timeout_ms = 5000;
-  /// Pool that executes request handlers; null = the engine's pool.
+  /// Pool that executes request handlers; null = the registry's shared
+  /// engine pool.
   util::ThreadPool* pool = nullptr;
+  /// Per-tenant quota the legacy (engine, services) constructor configures
+  /// its internally owned registry with; ignored when an external registry
+  /// is passed (set the quota on that registry instead).
+  registry::TenantQuota default_quota;
   /// Perspective name used when a request does not send "name".
   std::string default_perspective = "net_view";
   /// Entries in the served-result cache for upsim/paths (0 disables).
@@ -110,9 +141,16 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// The engine, catalog and (optional) pool must outlive the server.
+  /// Single-model convenience: wraps an internally owned ModelRegistry and
+  /// adopts `engine`/`services` as its already-active default model, so
+  /// the pre-registry embedding keeps working unchanged.  The engine,
+  /// catalog and (optional) pool must outlive the server.
   Server(engine::PerspectiveEngine& engine,
          const service::ServiceCatalog& services, ServerOptions options = {});
+
+  /// Multi-model serving over an external registry (upsimd's shape).  The
+  /// registry and (optional) pool must outlive the server.
+  Server(registry::ModelRegistry& registry, ServerOptions options = {});
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
   /// stop()s if still running.
@@ -177,33 +215,73 @@ class Server {
       std::string_view payload, AccessRecord& access);
   [[nodiscard]] std::string dispatch(const Request& req, AccessRecord& access);
 
+  /// The model one request runs against.  Holding the shared_ptr for the
+  /// handler's lifetime is what makes hot-swap drain work: an activate
+  /// mid-request swaps the registry's pointer but cannot destroy this
+  /// engine until the context releases it.
+  struct ModelContext {
+    std::shared_ptr<registry::ServingModel> model;
+    registry::RequestTicket ticket;
+
+    [[nodiscard]] engine::PerspectiveEngine& engine() const {
+      return *model->engine;
+    }
+    [[nodiscard]] const service::ServiceCatalog& services() const {
+      return *model->services;
+    }
+  };
+
+  /// Resolves the request's model (default or envelope-named), takes the
+  /// tenant's concurrency ticket and stamps access/metrics.  Throws
+  /// ProtocolError 503 (no default), 404 (unknown id) or QuotaError 429.
+  [[nodiscard]] ModelContext resolve_model(const Request& req,
+                                           AccessRecord& access);
+
   // Method handlers (return the result JSON; throw for error responses).
-  [[nodiscard]] std::string handle_query(const Request& req, bool paths_only,
+  [[nodiscard]] std::string handle_query(const ModelContext& ctx,
+                                         const Request& req, bool paths_only,
                                          AccessRecord& access);
-  [[nodiscard]] std::string handle_availability(const Request& req);
-  [[nodiscard]] std::string handle_invalidate_topology(const Request& req);
-  [[nodiscard]] std::string handle_invalidate_properties(const Request& req);
+  [[nodiscard]] std::string handle_availability(const ModelContext& ctx,
+                                                const Request& req);
+  [[nodiscard]] std::string handle_invalidate_topology(const ModelContext& ctx,
+                                                       const Request& req);
+  [[nodiscard]] std::string handle_invalidate_properties(
+      const ModelContext& ctx, const Request& req);
   [[nodiscard]] std::string handle_scenario_load(const Request& req);
-  [[nodiscard]] std::string handle_scenario_step(const Request& req);
-  [[nodiscard]] std::string handle_validate(const Request& req);
+  [[nodiscard]] std::string handle_scenario_step(const ModelContext& ctx,
+                                                 const Request& req);
+  [[nodiscard]] std::string handle_validate(const ModelContext& ctx,
+                                            const Request& req);
   [[nodiscard]] std::string handle_trace(const Request& req);
   [[nodiscard]] std::string handle_metrics();
   [[nodiscard]] std::string handle_health();
+  [[nodiscard]] std::string handle_model_upload(const Request& req);
+  [[nodiscard]] std::string handle_model_activate(const Request& req);
+  [[nodiscard]] std::string handle_model_list();
+  [[nodiscard]] std::string handle_model_delete(const Request& req);
+  [[nodiscard]] std::string handle_report_observations(const ModelContext& ctx,
+                                                       const Request& req);
 
-  /// Applies one scenario event through the engine's fine-grained surface
-  /// (or, when `coarse`, the epoch-flush baseline) and evicts the served
-  /// results it can influence.  Shared by scenario_step's loaded-trace and
-  /// inline-event paths.
-  engine::InvalidationReport apply_scenario_event(const scenario::Event& event,
+  /// Applies one scenario event through the model's fine-grained engine
+  /// surface (or, when `coarse`, the epoch-flush baseline) and evicts the
+  /// served results it can influence.  Shared by scenario_step's
+  /// loaded-trace and inline-event paths.
+  engine::InvalidationReport apply_scenario_event(const ModelContext& ctx,
+                                                  const scenario::Event& event,
                                                   bool coarse,
                                                   std::uint64_t& response_evicted);
-  /// Drops every cached served result routed through one of `elements`
-  /// (per the response index) and bumps the invalidation version so
-  /// in-flight misses keyed before the event cannot re-insert stale bytes.
-  std::uint64_t evict_responses_for(const std::vector<std::string>& elements);
+  /// Drops every cached served result of `model_id` routed through one of
+  /// `elements` (per the model-scoped response index) and bumps the
+  /// invalidation version so in-flight misses keyed before the event
+  /// cannot re-insert stale bytes.
+  std::uint64_t evict_responses_for(const std::string& model_id,
+                                    const std::vector<std::string>& elements);
+  /// Drops every cached served result and index bucket of `model_id`
+  /// (coarse flush / model deletion); other models' entries stay hot.
+  std::uint64_t flush_responses_for(const std::string& model_id);
 
-  engine::PerspectiveEngine& engine_;
-  const service::ServiceCatalog& services_;
+  registry::ModelRegistry* registry_;
+  std::unique_ptr<registry::ModelRegistry> owned_registry_;
   ServerOptions options_;
   util::ThreadPool* pool_;
 

@@ -1,0 +1,368 @@
+// ModelRegistry + ObservationStore suite: the multi-tenant lifecycle
+// (upload -> lint gate -> build -> activate -> drain -> delete), per-tenant
+// quotas, and the observation-driven MTBF/MTTR estimators.
+//
+// The drain contract is exercised the way the server exercises it: a
+// query-side shared_ptr<ServingModel> held across an activate() keeps the
+// old engine alive and queryable; releasing it is what retires the
+// version.  The estimator convergence test feeds a generated
+// alternating-renewal trace with known rates back through the store and
+// expects the exponential-MLE estimates to land on them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "casestudy/usi.hpp"
+#include "core/analysis.hpp"
+#include "graph/graph.hpp"
+#include "registry/model_registry.hpp"
+#include "registry/observation.hpp"
+#include "scenario/trace.hpp"
+#include "umlio/serialize.hpp"
+#include "util/error.hpp"
+
+namespace upsim {
+namespace {
+
+/// The USI case study as bundle XML — built once, uploads are cheap copies.
+const std::string& usi_xml() {
+  static const std::string xml = [] {
+    auto cs = casestudy::make_usi_case_study();
+    umlio::UmlBundle bundle;
+    bundle.profiles.push_back(std::move(cs.availability_profile));
+    bundle.profiles.push_back(std::move(cs.network_profile));
+    bundle.classes = std::move(cs.classes);
+    bundle.objects = std::move(cs.infrastructure);
+    bundle.services = std::move(cs.services);
+    return umlio::to_xml(bundle);
+  }();
+  return xml;
+}
+
+/// Availability of the Table I t1 -> p2 printing perspective on `engine`.
+double printing_availability(engine::PerspectiveEngine& engine,
+                             const service::ServiceCatalog& services) {
+  const auto cs = casestudy::make_usi_case_study();
+  const core::UpsimResult result = engine.query(
+      services.get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), "avail");
+  core::AnalysisOptions options;
+  options.monte_carlo_samples = 0;
+  return core::analyze_availability(result, options).exact;
+}
+
+TEST(ModelIdTest, ParsesTenantSlashModel) {
+  const registry::ModelId id = registry::ModelId::parse("acme/net-v2.1");
+  EXPECT_EQ(id.tenant, "acme");
+  EXPECT_EQ(id.model, "net-v2.1");
+  EXPECT_EQ(id.full(), "acme/net-v2.1");
+}
+
+TEST(ModelIdTest, RejectsMalformedIds) {
+  for (const char* bad : {"", "acme", "acme/", "/net", "a/b/c", "ac me/net",
+                          "acme/net!", "acme\t/net"}) {
+    try {
+      (void)registry::ModelId::parse(bad);
+      FAIL() << "parsed '" << bad << "'";
+    } catch (const registry::RegistryError& e) {
+      EXPECT_EQ(e.status(), 400) << bad;
+      EXPECT_EQ(e.code(), "bad_model_id") << bad;
+    }
+  }
+}
+
+TEST(RegistryTest, UploadActivateServesQueries) {
+  registry::ModelRegistry registry;
+  EXPECT_EQ(registry.acquire_default(), nullptr);  // boots degraded
+
+  const registry::UploadResult up = registry.upload("acme/usi", usi_xml());
+  EXPECT_EQ(up.id, "acme/usi");
+  EXPECT_EQ(up.version, 1u);
+  // Staged, not served yet.
+  EXPECT_EQ(registry.acquire("acme/usi"), nullptr);
+
+  const registry::ActivateResult act = registry.activate("acme/usi");
+  EXPECT_EQ(act.version, 1u);
+  EXPECT_EQ(act.previous_version, 0u);
+
+  const std::shared_ptr<registry::ServingModel> model =
+      registry.acquire("acme/usi");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->version, 1u);
+  const double availability =
+      printing_availability(*model->engine, *model->services);
+  EXPECT_GT(availability, 0.9);
+  EXPECT_LT(availability, 1.0);
+
+  // The default id is untouched by tenant uploads.
+  EXPECT_EQ(registry.acquire_default(), nullptr);
+  EXPECT_EQ(registry.model_count(), 1u);
+  EXPECT_EQ(registry.tenant_count(), 1u);
+}
+
+TEST(RegistryTest, LintGateRejectsBrokenBundleAndRollsBack) {
+  // A negative MTBF parses fine but trips UPS008 (non-positive
+  // dependability) — exactly the class of model the gate exists for.
+  std::string broken = usi_xml();
+  const std::size_t pos = broken.find("183498");
+  ASSERT_NE(pos, std::string::npos);
+  broken.replace(pos, 6, "-18349");
+
+  registry::ModelRegistry registry;
+  try {
+    (void)registry.upload("acme/broken", broken);
+    FAIL() << "lint gate did not fire";
+  } catch (const registry::RegistryError& e) {
+    EXPECT_EQ(e.status(), 400);
+    EXPECT_EQ(e.code(), "lint_failed");
+    EXPECT_NE(std::string(e.what()).find("UPS008"), std::string::npos)
+        << e.what();
+  }
+  // The failed upload left nothing behind.
+  EXPECT_EQ(registry.model_count(), 0u);
+  EXPECT_EQ(registry.tenant_count(), 0u);
+
+  // Not-a-bundle documents fail before the gate with their own code.
+  EXPECT_THROW((void)registry.upload("acme/empty",
+                                     "<umlbundle></umlbundle>"),
+               registry::RegistryError);
+}
+
+TEST(RegistryTest, HotSwapDrainsTheOldVersionByRefcount) {
+  registry::ModelRegistry registry;
+  (void)registry.upload("acme/usi", usi_xml());
+  (void)registry.activate("acme/usi");
+
+  // An in-flight query holds the active version across the swap.
+  std::shared_ptr<registry::ServingModel> in_flight =
+      registry.acquire("acme/usi");
+  ASSERT_NE(in_flight, nullptr);
+
+  const registry::UploadResult v2 = registry.upload("acme/usi", usi_xml());
+  EXPECT_EQ(v2.version, 2u);
+  const registry::ActivateResult act = registry.activate("acme/usi", 2);
+  EXPECT_EQ(act.version, 2u);
+  EXPECT_EQ(act.previous_version, 1u);
+
+  // New resolutions get v2; the old engine is still alive and answering
+  // for its holder — that IS the drain.
+  const std::shared_ptr<registry::ServingModel> fresh =
+      registry.acquire("acme/usi");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->version, 2u);
+  EXPECT_EQ(registry.draining_count(), 1u);
+  EXPECT_GT(printing_availability(*in_flight->engine, *in_flight->services),
+            0.9);
+
+  in_flight.reset();  // last holder releases -> old engine tears down
+  EXPECT_EQ(registry.draining_count(), 0u);
+
+  const std::vector<registry::ModelInfo> models = registry.list();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].active_version, 2u);
+  EXPECT_TRUE(models[0].staged_versions.empty());
+  EXPECT_EQ(models[0].draining, 0u);
+}
+
+TEST(RegistryTest, EraseSemantics) {
+  registry::ModelRegistry registry;
+  (void)registry.upload("acme/usi", usi_xml());
+  (void)registry.activate("acme/usi");
+  (void)registry.upload("acme/usi", usi_xml());  // staged v2
+
+  // The active version cannot be dropped version-wise.
+  try {
+    registry.erase("acme/usi", 1);
+    FAIL() << "erased the active version";
+  } catch (const registry::RegistryError& e) {
+    EXPECT_EQ(e.status(), 409);
+    EXPECT_EQ(e.code(), "version_active");
+  }
+  registry.erase("acme/usi", 2);  // staged versions drop fine
+  EXPECT_THROW(registry.erase("acme/usi", 2), registry::RegistryError);
+
+  registry.erase("acme/usi");  // whole model, active version included
+  EXPECT_EQ(registry.model_count(), 0u);
+  EXPECT_EQ(registry.acquire("acme/usi"), nullptr);
+  EXPECT_THROW(registry.erase("acme/usi"), registry::RegistryError);
+}
+
+TEST(RegistryTest, ModelCountAndBundleByteQuotas) {
+  registry::ModelRegistry::Options options;
+  options.quota.max_models = 1;
+  registry::ModelRegistry registry(std::move(options));
+  (void)registry.upload("acme/first", usi_xml());
+  try {
+    (void)registry.upload("acme/second", usi_xml());
+    FAIL() << "model quota did not fire";
+  } catch (const registry::QuotaError& e) {
+    EXPECT_EQ(e.status(), 403);
+    EXPECT_EQ(e.code(), "model_quota");
+  }
+  // A new version of an existing model is not a new model.
+  EXPECT_EQ(registry.upload("acme/first", usi_xml()).version, 2u);
+  // Another tenant has its own allowance.
+  EXPECT_EQ(registry.upload("globex/first", usi_xml()).version, 1u);
+
+  registry::ModelRegistry::Options small;
+  small.quota.max_bundle_bytes = 64;
+  registry::ModelRegistry tiny(std::move(small));
+  try {
+    (void)tiny.upload("acme/big", usi_xml());
+    FAIL() << "bundle byte quota did not fire";
+  } catch (const registry::QuotaError& e) {
+    EXPECT_EQ(e.status(), 403);
+    EXPECT_EQ(e.code(), "bundle_too_large");
+  }
+}
+
+TEST(RegistryTest, ConcurrencyQuotaShedsWith429) {
+  registry::ModelRegistry::Options options;
+  options.quota.max_concurrent_requests = 1;
+  registry::ModelRegistry registry(std::move(options));
+
+  registry::RequestTicket held = registry.ticket("acme");
+  try {
+    (void)registry.ticket("acme");
+    FAIL() << "concurrency quota did not fire";
+  } catch (const registry::QuotaError& e) {
+    EXPECT_EQ(e.status(), 429);
+    EXPECT_EQ(e.code(), "too_many_requests");
+  }
+  // Independent tenants do not contend.
+  EXPECT_NO_THROW((void)registry.ticket("globex"));
+  // RAII release frees the slot.
+  held = registry::RequestTicket();
+  EXPECT_NO_THROW((void)registry.ticket("acme"));
+}
+
+TEST(ObservationStoreTest, AlternatingRenewalStateMachine) {
+  registry::ObservationStore store;
+
+  // Elements are Up from t = 0 by convention: the first failure closes the
+  // first up interval.
+  registry::Estimate e = store.observe("x", /*failure=*/true, 100.0);
+  EXPECT_EQ(e.up_intervals, 1u);
+  EXPECT_DOUBLE_EQ(e.mtbf_hours, 100.0);
+  EXPECT_EQ(e.down_intervals, 0u);
+
+  // Duplicate failure while already down: state-only no-op.
+  e = store.observe("x", true, 100.5);
+  EXPECT_EQ(e.up_intervals, 1u);
+  EXPECT_EQ(e.down_intervals, 0u);
+
+  e = store.observe("x", /*failure=*/false, 101.5);
+  EXPECT_EQ(e.down_intervals, 1u);
+  EXPECT_DOUBLE_EQ(e.mttr_hours, 1.5);
+
+  // Second cycle: means average over the closed intervals.
+  (void)store.observe("x", true, 300.0);   // up 101.5 -> 300 = 198.5
+  e = store.observe("x", false, 302.0);    // down 2.0
+  EXPECT_EQ(e.up_intervals, 2u);
+  EXPECT_DOUBLE_EQ(e.mtbf_hours, (100.0 + 198.5) / 2.0);
+  EXPECT_DOUBLE_EQ(e.mttr_hours, (1.5 + 2.0) / 2.0);
+
+  // A first-ever *repair* only anchors the clock — no interval is invented
+  // for time the element was never watched.
+  registry::Estimate y = store.observe("y", false, 50.0);
+  EXPECT_EQ(y.up_intervals, 0u);
+  EXPECT_EQ(y.down_intervals, 0u);
+  y = store.observe("y", true, 80.0);
+  EXPECT_EQ(y.up_intervals, 1u);
+  EXPECT_DOUBLE_EQ(y.mtbf_hours, 30.0);
+
+  // Time cannot run backwards per element.
+  EXPECT_THROW((void)store.observe("x", true, 100.0), ModelError);
+
+  const auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);  // sorted: x then y
+  EXPECT_EQ(snapshot[0].first, "x");
+  EXPECT_EQ(snapshot[1].first, "y");
+  EXPECT_EQ(store.observations(), 7u);
+}
+
+TEST(ObservationStoreTest, ConvergesOnGeneratedTraceWithKnownRates) {
+  // A three-element graph with small, known MTBF/MTTR generates thousands
+  // of alternating-renewal cycles over a 20-year horizon; the running
+  // estimates must converge to the generator's own rates.
+  graph::Graph g;
+  const auto a = g.add_vertex("a", "node", {{"mtbf", 120.0}, {"mttr", 6.0}});
+  const auto b = g.add_vertex("b", "node", {{"mtbf", 350.0}, {"mttr", 12.0}});
+  (void)g.add_edge(a, b, "ab", {{"mtbf", 500.0}, {"mttr", 3.0}});
+
+  scenario::GeneratorOptions options;
+  options.horizon_hours = 20.0 * 365.0 * 24.0;
+  options.seed = 2013;
+  const std::vector<scenario::Event> trace =
+      scenario::generate_failure_trace(g, options);
+  ASSERT_GT(trace.size(), 2000u);
+
+  registry::ObservationStore store;
+  for (const scenario::Event& event : trace) {
+    (void)store.observe(event.element, event.is_failure(), event.at_hours);
+  }
+
+  const auto expect_near_rel = [&](const char* element, double mtbf,
+                                   double mttr) {
+    const registry::Estimate e = store.estimate(element);
+    EXPECT_GT(e.up_intervals, 100u) << element;
+    EXPECT_NEAR(e.mtbf_hours, mtbf, 0.15 * mtbf) << element;
+    EXPECT_NEAR(e.mttr_hours, mttr, 0.15 * mttr) << element;
+  };
+  expect_near_rel("a", 120.0, 6.0);
+  expect_near_rel("b", 350.0, 12.0);
+  expect_near_rel("ab", 500.0, 3.0);
+}
+
+TEST(RegistryTest, ObservationsShiftAvailabilityWithoutEpochFlush) {
+  registry::ModelRegistry registry;
+  (void)registry.upload("acme/usi", usi_xml());
+  (void)registry.activate("acme/usi");
+  const std::shared_ptr<registry::ServingModel> model =
+      registry.acquire("acme/usi");
+  ASSERT_NE(model, nullptr);
+
+  const double before =
+      printing_availability(*model->engine, *model->services);
+  const std::uint64_t epoch_before = model->engine->epoch();
+
+  // Feed a catastrophic measured history for the print server: failing
+  // every ~50 h instead of the modeled tens of thousands.
+  const std::shared_ptr<registry::ObservationStore> store =
+      registry.observations("acme/usi");
+  double t = 0.0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    t += 50.0;
+    (void)store->observe("printS", true, t);
+    t += 2.0;
+    (void)store->observe("printS", false, t);
+  }
+  (void)store->observe("ghost_element", true, 10.0);  // unknown to the model
+
+  const registry::ApplyReport report = store->apply_to(*model->engine);
+  EXPECT_EQ(report.elements_applied, 1u);
+  EXPECT_EQ(report.elements_skipped, 1u);  // ghost_element
+
+  // Element-scoped override: availability answers shift, the epoch (and
+  // with it every unrelated cached path set) stays put.
+  const double after = printing_availability(*model->engine, *model->services);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(model->engine->epoch(), epoch_before);
+
+  // activate() re-plays the store onto the incoming engine: the measured
+  // reality survives a hot-swap to a fresh bundle.
+  (void)registry.upload("acme/usi", usi_xml());
+  const registry::ActivateResult swapped = registry.activate("acme/usi");
+  EXPECT_EQ(swapped.observations_applied, 1u);
+  const std::shared_ptr<registry::ServingModel> fresh =
+      registry.acquire("acme/usi");
+  ASSERT_NE(fresh, nullptr);
+  const double carried =
+      printing_availability(*fresh->engine, *fresh->services);
+  EXPECT_NEAR(carried, after, 1e-12);
+}
+
+}  // namespace
+}  // namespace upsim

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <sstream>
@@ -31,10 +32,12 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/obs.hpp"
+#include "registry/model_registry.hpp"
 #include "server/access_log.hpp"
 #include "server/metrics_http.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "umlio/serialize.hpp"
 
 namespace upsim {
 namespace {
@@ -972,6 +975,372 @@ TEST(ServerTest, ScenarioStepInlineEventAndCoarseMode) {
   const net::Response bad_mode =
       client.call("scenario_step", R"({"mode":"sloppy"})");
   EXPECT_EQ(bad_mode.status, server::kStatusBadRequest);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant registry serving: the Server(registry) shape upsimd boots.
+// ---------------------------------------------------------------------------
+
+/// The USI case study serialised as bundle XML — v1 of every model these
+/// tests upload over the wire.
+const std::string& usi_xml() {
+  static const std::string xml = [] {
+    auto cs = casestudy::make_usi_case_study();
+    umlio::UmlBundle bundle;
+    bundle.profiles.push_back(std::move(cs.availability_profile));
+    bundle.profiles.push_back(std::move(cs.network_profile));
+    bundle.classes = std::move(cs.classes);
+    bundle.objects = std::move(cs.infrastructure);
+    bundle.services = std::move(cs.services);
+    return umlio::to_xml(bundle);
+  }();
+  return xml;
+}
+
+/// v1 plus a second uplink dual-homing edge switch e1 onto d2.  The extra
+/// link changes the t1 -> p2 path set, so v1/v2 upsim responses are
+/// byte-distinguishable — exactly what the hot-swap test needs.
+const std::string& usi_v2_xml() {
+  static const std::string xml = [] {
+    umlio::UmlBundle bundle = umlio::from_xml(usi_xml());
+    bundle.objects->link("e1", "d2", "uplink_2650_3750");
+    return umlio::to_xml(bundle);
+  }();
+  return xml;
+}
+
+/// Table I t1 -> p2 printing query params, independent of any Stack.
+std::string usi_query_params(const char* name = "view") {
+  const auto cs = casestudy::make_usi_case_study();
+  return server::query_params_json(casestudy::printing_service_name(),
+                                   cs.mapping_t1_p2(), name);
+}
+
+/// model_upload params embedding `xml` as the JSON-escaped "bundle" member.
+std::string bundle_params(const std::string& xml) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bundle");
+  w.value(xml);
+  w.end_object();
+  return std::move(w).str();
+}
+
+/// The expected side of the differential contract for a routed model: a
+/// fresh engine built from `bundle_xml` alone, serialised with the same
+/// protocol writers the server uses.
+std::string expected_upsim_payload(const std::string& bundle_xml,
+                                   const std::string& name) {
+  const umlio::UmlBundle bundle = umlio::from_xml(bundle_xml);
+  engine::EngineOptions eo;
+  eo.record_in_space = false;
+  eo.threads = 2;
+  engine::PerspectiveEngine engine(*bundle.objects, eo);
+  const auto cs = casestudy::make_usi_case_study();
+  const core::UpsimResult result = engine.query(
+      bundle.services->get_composite(casestudy::printing_service_name()),
+      cs.mapping_t1_p2(), name);
+  return server::upsim_result_json(result, /*paths_only=*/false);
+}
+
+/// upsimd's multi-model shape: a server over an external ModelRegistry that
+/// boots empty (degraded) and is populated over the wire.
+struct RegistryStack {
+  registry::ModelRegistry registry;
+  server::Server server;
+
+  explicit RegistryStack(registry::TenantQuota quota = {})
+      : registry([&] {
+          registry::ModelRegistry::Options options;
+          options.engine.record_in_space = false;
+          options.engine.threads = 2;
+          options.quota = quota;
+          return options;
+        }()),
+        server(registry) {
+    server.start();
+  }
+
+  /// A client whose requests carry the "model" envelope member (empty =
+  /// default-model routing, the pre-registry wire shape).
+  [[nodiscard]] net::Client client(const std::string& model = "",
+                                   int request_timeout_ms = 10000) const {
+    net::ClientOptions options;
+    options.port = server.port();
+    options.request_timeout_ms = request_timeout_ms;
+    options.model = model;
+    return net::Client(options);
+  }
+};
+
+TEST(RegistryServerTest, DegradedBootServes503AndRecoversOverTheWire) {
+  RegistryStack stack;
+  net::Client client = stack.client();
+
+  // No active default: the daemon is up but degraded, and default-routed
+  // queries shed with 503 instead of crashing or refusing connections.
+  const net::Response degraded = client.call("health");
+  ASSERT_TRUE(degraded.ok()) << degraded.error_message();
+  EXPECT_EQ(degraded.result().at("status").string, "degraded");
+  EXPECT_FALSE(degraded.result().at("serving").boolean);
+
+  const net::Response refused = client.call("upsim", usi_query_params());
+  EXPECT_EQ(refused.status, server::kStatusUnavailable);
+  EXPECT_EQ(refused.error_code(), "no_default_model");
+
+  // model_upload must name a model; an unknown routed model is 404.
+  const net::Response anonymous =
+      client.call("model_upload", bundle_params(usi_xml()));
+  EXPECT_EQ(anonymous.status, server::kStatusBadRequest);
+  EXPECT_EQ(anonymous.error_code(), "model_required");
+
+  net::Client ghost = stack.client("acme/ghost");
+  const net::Response unknown = ghost.call("upsim", usi_query_params());
+  EXPECT_EQ(unknown.status, server::kStatusNotFound);
+  EXPECT_EQ(unknown.error_code(), "unknown_model");
+
+  // Upload + activate the default id over the wire: full recovery without
+  // a restart.
+  net::Client admin = stack.client(stack.registry.default_id());
+  const net::Response up =
+      admin.call("model_upload", bundle_params(usi_xml()));
+  ASSERT_TRUE(up.ok()) << up.error_message();
+  EXPECT_EQ(up.result().at("version").number, 1.0);
+  ASSERT_TRUE(admin.call("model_activate").ok());
+
+  const net::Response healthy = client.call("health");
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.result().at("status").string, "ok");
+  EXPECT_TRUE(healthy.result().at("serving").boolean);
+
+  const net::Response served = client.call("upsim", usi_query_params());
+  ASSERT_TRUE(served.ok()) << served.error_message();
+  EXPECT_GT(served.result().at("total_paths").number, 0.0);
+}
+
+TEST(RegistryServerTest, ModelLifecycleAndQuotasOverTheWire) {
+  registry::TenantQuota quota;
+  quota.max_models = 1;
+  RegistryStack stack(quota);
+
+  net::Client acme = stack.client("acme/usi");
+  ASSERT_TRUE(acme.call("model_upload", bundle_params(usi_xml())).ok());
+  const net::Response act = acme.call("model_activate");
+  ASSERT_TRUE(act.ok()) << act.error_message();
+  EXPECT_EQ(act.result().at("version").number, 1.0);
+
+  // The routed model serves queries even though no default is active, and
+  // its bytes match a fresh engine built from the same bundle.
+  std::uint64_t id = 0;
+  const std::string raw = acme.call_raw("upsim", usi_query_params(), &id);
+  EXPECT_EQ(raw, server::make_response(
+                     id, expected_upsim_payload(usi_xml(), "view")));
+
+  const net::Response list = stack.client().call("model_list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_FALSE(list.result().at("serving").boolean);
+  ASSERT_EQ(list.result().at("models").array.size(), 1u);
+  const obs::JsonValue& entry = list.result().at("models").array.front();
+  EXPECT_EQ(entry.at("model").string, "acme/usi");
+  EXPECT_EQ(entry.at("tenant").string, "acme");
+  EXPECT_EQ(entry.at("active_version").number, 1.0);
+
+  // Same tenant, second model id: over quota -> 403 on the wire.
+  net::Client second = stack.client("acme/other");
+  const net::Response denied =
+      second.call("model_upload", bundle_params(usi_xml()));
+  EXPECT_EQ(denied.status, server::kStatusForbidden);
+  EXPECT_EQ(denied.error_code(), "model_quota");
+
+  // The active version refuses deletion (409); dropping the whole model
+  // works and subsequent routed queries answer 404.
+  const net::Response held = acme.call("model_delete", R"({"version":1})");
+  EXPECT_EQ(held.status, server::kStatusConflict);
+  EXPECT_EQ(held.error_code(), "version_active");
+  ASSERT_TRUE(acme.call("model_delete").ok());
+  EXPECT_EQ(acme.call("upsim", usi_query_params()).status,
+            server::kStatusNotFound);
+}
+
+// The hot-swap correctness contract, under real concurrency (this binary
+// runs under TSan in CI): while reader threads hammer a routed
+// perspective, v2 is uploaded and activated.  Every response must be
+// byte-identical to ONE whole version — never a half-switched mix — a
+// thread that has seen v2 never sees v1 again, every in-flight v1 request
+// completes (zero failures), and the drained v1 engine is torn down once
+// its refcount releases.
+TEST(RegistryServerTest, HotSwapUnderConcurrentQueriesIsAtomicPerVersion) {
+  RegistryStack stack;
+  const std::string id = "acme/swap";
+  net::Client admin = stack.client(id);
+  ASSERT_TRUE(admin.call("model_upload", bundle_params(usi_xml())).ok());
+  ASSERT_TRUE(admin.call("model_activate").ok());
+
+  const std::string params = usi_query_params("swap");
+  const std::string v1_payload = expected_upsim_payload(usi_xml(), "swap");
+  const std::string v2_payload =
+      expected_upsim_payload(usi_v2_xml(), "swap");
+  ASSERT_NE(v1_payload, v2_payload);  // dual-homing e1 must change paths
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> v1_seen{0};
+  std::atomic<std::uint64_t> v2_seen{0};
+  std::atomic<std::uint64_t> torn{0};
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    readers.emplace_back([&] {
+      net::Client client = stack.client(id);
+      bool saw_v2 = false;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t rid = 0;
+        const std::string raw = client.call_raw("upsim", params, &rid);
+        if (raw == server::make_response(rid, v1_payload)) {
+          v1_seen.fetch_add(1, std::memory_order_relaxed);
+          if (saw_v2) torn.fetch_add(1, std::memory_order_relaxed);
+        } else if (raw == server::make_response(rid, v2_payload)) {
+          v2_seen.fetch_add(1, std::memory_order_relaxed);
+          saw_v2 = true;
+        } else {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Let v1 serve for a while, then swap under load.
+  while (completed.load(std::memory_order_relaxed) < 8) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(
+      admin.call("model_upload", bundle_params(usi_v2_xml())).ok());
+  const net::Response swapped = admin.call("model_activate");
+  ASSERT_TRUE(swapped.ok()) << swapped.error_message();
+  EXPECT_EQ(swapped.result().at("version").number, 2.0);
+  EXPECT_EQ(swapped.result().at("previous").number, 1.0);
+
+  // At most one request per thread was in flight when activate returned;
+  // eight more completions guarantee post-swap requests ran.
+  const std::uint64_t at_swap = completed.load(std::memory_order_relaxed);
+  while (completed.load(std::memory_order_relaxed) < at_swap + 8) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);     // never a half-switched response
+  EXPECT_GT(v1_seen.load(), 0u);  // the old version really served
+  EXPECT_GT(v2_seen.load(), 0u);  // the swap really landed under load
+
+  // A fresh request now serves v2 bytes exactly.
+  std::uint64_t rid = 0;
+  const std::string raw = admin.call_raw("upsim", params, &rid);
+  EXPECT_EQ(raw, server::make_response(rid, v2_payload));
+
+  // With every in-flight v1 handle released, the old engine drains away.
+  for (int i = 0; i < 500 && stack.registry.draining_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(stack.registry.draining_count(), 0u);
+}
+
+TEST(ServerTest, ReportObservationsShiftsAvailabilityWithoutEpochFlush) {
+  Stack stack;
+  net::Client client = stack.client();
+  const std::string params = stack.t1_p2_params("obs");
+
+  // Warm the served-result cache and take the baselines.
+  ASSERT_TRUE(client.call("upsim", params).ok());
+  std::uint64_t id1 = 0;
+  const std::string cached_before = client.call_raw("upsim", params, &id1);
+  const std::uint64_t hits_before = stack.server.response_cache_hits();
+  EXPECT_GT(hits_before, 0u);
+
+  const net::Response avail_before = client.call("availability", params);
+  ASSERT_TRUE(avail_before.ok()) << avail_before.error_message();
+  const double a_before = avail_before.result().at("exact").number;
+
+  const net::Response health_before = client.call("health");
+  ASSERT_TRUE(health_before.ok());
+  const double epoch = health_before.result().at("epoch").number;
+
+  // Twenty observed 50h-up / 2h-down cycles on the print server (a far
+  // worse MTBF/MTTR than the modelled values), plus one event for an
+  // element the model does not know — skipped, not fatal.
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("observations");
+  w.begin_array();
+  double t = 0.0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    t += 50.0;
+    w.begin_object();
+    w.key("element");
+    w.value("printS");
+    w.key("kind");
+    w.value("fail");
+    w.key("t");
+    w.value(t);
+    w.end_object();
+    t += 2.0;
+    w.begin_object();
+    w.key("element");
+    w.value("printS");
+    w.key("kind");
+    w.value("repair");
+    w.key("t");
+    w.value(t);
+    w.end_object();
+  }
+  w.begin_object();
+  w.key("element");
+  w.value("ghost_element");
+  w.key("kind");
+  w.value("fail");
+  w.key("t");
+  w.value(t + 1.0);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  const net::Response report =
+      client.call("report_observations", std::move(w).str());
+  ASSERT_TRUE(report.ok()) << report.error_message();
+  EXPECT_EQ(report.result().at("observed").number, 41.0);
+  EXPECT_EQ(report.result().at("applied").number, 1.0);
+  EXPECT_EQ(report.result().at("skipped").number, 1.0);
+  EXPECT_EQ(report.result().at("epoch").number, epoch);
+  bool found = false;
+  for (const obs::JsonValue& e : report.result().at("estimates").array) {
+    if (e.at("element").string != "printS") continue;
+    found = true;
+    EXPECT_EQ(e.at("up_intervals").number, 20.0);
+    EXPECT_EQ(e.at("down_intervals").number, 20.0);
+    EXPECT_NEAR(e.at("mtbf").number, 50.0, 1e-9);
+    EXPECT_NEAR(e.at("mttr").number, 2.0, 1e-9);
+  }
+  EXPECT_TRUE(found);
+
+  // Availability followed the worse estimates...
+  const net::Response avail_after = client.call("availability", params);
+  ASSERT_TRUE(avail_after.ok());
+  EXPECT_LT(avail_after.result().at("exact").number, a_before);
+
+  // ...while the epoch and the served-result cache did not move: the
+  // perspective re-serves straight from cache, byte-identical modulo the
+  // echoed id.
+  const net::Response health_after = client.call("health");
+  ASSERT_TRUE(health_after.ok());
+  EXPECT_EQ(health_after.result().at("epoch").number, epoch);
+  std::uint64_t id2 = 0;
+  const std::string cached_after = client.call_raw("upsim", params, &id2);
+  EXPECT_GT(stack.server.response_cache_hits(), hits_before);
+  EXPECT_EQ(cached_before.substr(cached_before.find("\"result\"")),
+            cached_after.substr(cached_after.find("\"result\"")));
 }
 
 }  // namespace

@@ -10,7 +10,9 @@ commits to (stdlib only, no prometheus client needed):
   * counter samples end in `_total` and are non-negative
   * every histogram family has cumulative, monotone non-decreasing
     `le` buckets in ascending edge order, a `+Inf` bucket, and
-    `_sum`/`_count` samples with `+Inf` == `_count`
+    `_sum`/`_count` samples with `+Inf` == `_count` — checked per
+    label-set, so one family broken out by {tenant,model} is validated
+    as N independent bucket series
 
 Optionally cross-checks the rest of the observability pipeline (the
 repo's acceptance criterion: one id correlates every surface):
@@ -23,6 +25,7 @@ repo's acceptance criterion: one id correlates every surface):
 
 Usage:
   check_prometheus.py scrape.prom [--require NAME]...
+                      [--require-label KEY=VALUE]...
                       [--access-log FILE] [--trace FILE]
 
 Exits 0 when every check passes, 1 with one line per failure otherwise.
@@ -37,6 +40,21 @@ import sys
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
 LE_RE = re.compile(r'le="([^"]+)"')
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def label_pairs(labels):
+    """`{a="x",b="y"}` -> [("a", "x"), ("b", "y")] (empty for no labels)."""
+    return LABEL_PAIR_RE.findall(labels) if labels else []
+
+
+def series_key(labels):
+    """The label-set minus `le`: identifies one bucket series within a
+    histogram family that is broken out by e.g. {tenant,model}."""
+    pairs = [(k, v) for k, v in label_pairs(labels) if k != "le"]
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
 
 ACCESS_KEYS = (
     "ts_us", "level", "method", "status", "id", "trace",
@@ -96,7 +114,7 @@ def family_of(name, types):
     return None
 
 
-def check_scrape(path, required):
+def check_scrape(path, required, required_labels=()):
     types, samples = parse_scrape(path)
     if not samples:
         fail(f"{path}: scrape contains no samples")
@@ -121,9 +139,13 @@ def check_scrape(path, required):
                 if value < 0:
                     fail(f"{path}: counter {name!r} is negative ({value})")
         elif kind == "histogram":
-            buckets = []
-            sums = counts = None
+            # One family may carry many bucket series (per-tenant/model
+            # label-sets); each series is validated independently.
+            series = {}
             for name, labels, value in rows:
+                s = series.setdefault(series_key(labels),
+                                      {"buckets": [], "sum": None,
+                                       "count": None})
                 if name == fam + "_bucket":
                     m = LE_RE.search(labels)
                     if not m:
@@ -131,31 +153,41 @@ def check_scrape(path, required):
                         continue
                     edge = (math.inf if m.group(1) == "+Inf"
                             else float(m.group(1)))
-                    buckets.append((edge, value))
+                    s["buckets"].append((edge, value))
                 elif name == fam + "_sum":
-                    sums = value
+                    s["sum"] = value
                 elif name == fam + "_count":
-                    counts = value
-            if sums is None or counts is None:
-                fail(f"{path}: histogram {fam!r} missing _sum or _count")
-                continue
-            if not buckets or buckets[-1][0] != math.inf:
-                fail(f"{path}: histogram {fam!r} has no trailing +Inf bucket")
-                continue
-            for (e1, v1), (e2, v2) in zip(buckets, buckets[1:]):
-                if e2 <= e1:
-                    fail(f"{path}: {fam!r} bucket edges not ascending "
-                         f"({e1} then {e2})")
-                if v2 < v1:
-                    fail(f"{path}: {fam!r} buckets not cumulative "
-                         f"(le={e2} count {v2} < le={e1} count {v1})")
-            if buckets[-1][1] != counts:
-                fail(f"{path}: {fam!r} +Inf bucket {buckets[-1][1]} "
-                     f"!= _count {counts}")
+                    s["count"] = value
+            for key, s in series.items():
+                who = f"{fam}{key}"
+                buckets = s["buckets"]
+                if s["sum"] is None or s["count"] is None:
+                    fail(f"{path}: histogram {who!r} missing _sum or _count")
+                    continue
+                if not buckets or buckets[-1][0] != math.inf:
+                    fail(f"{path}: histogram {who!r} has no trailing "
+                         f"+Inf bucket")
+                    continue
+                for (e1, v1), (e2, v2) in zip(buckets, buckets[1:]):
+                    if e2 <= e1:
+                        fail(f"{path}: {who!r} bucket edges not ascending "
+                             f"({e1} then {e2})")
+                    if v2 < v1:
+                        fail(f"{path}: {who!r} buckets not cumulative "
+                             f"(le={e2} count {v2} < le={e1} count {v1})")
+                if buckets[-1][1] != s["count"]:
+                    fail(f"{path}: {who!r} +Inf bucket {buckets[-1][1]} "
+                         f"!= _count {s['count']}")
 
     for want in required:
         if not any(fam.startswith(want) for fam in types):
             fail(f"{path}: required metric family {want!r} not exposed")
+
+    for want in required_labels:
+        key, _, value = want.partition("=")
+        if not any((key, value) in label_pairs(labels)
+                   for _, labels, _ in samples):
+            fail(f'{path}: no sample carries label {key}="{value}"')
 
 
 def check_access_log(path):
@@ -211,6 +243,10 @@ def main():
                     metavar="NAME",
                     help="fail unless a metric family starts with NAME "
                          "(repeatable)")
+    ap.add_argument("--require-label", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="fail unless some sample carries the label pair "
+                         "(repeatable; e.g. tenant=acme)")
     ap.add_argument("--access-log", metavar="FILE",
                     help="structured access log (JSON lines) to validate")
     ap.add_argument("--trace", metavar="FILE",
@@ -218,7 +254,7 @@ def main():
                          " (needs --access-log)")
     args = ap.parse_args()
 
-    check_scrape(args.scrape, args.require)
+    check_scrape(args.scrape, args.require, args.require_label)
     served = check_access_log(args.access_log) if args.access_log else []
     if args.trace:
         if not args.access_log:
