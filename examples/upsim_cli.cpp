@@ -28,6 +28,15 @@
 //             [--composite NAME] [--json] [--sarif-out findings.sarif]
 //   upsim_cli --check                  # self-contained: lints the USI demo
 //
+// --semantic adds the second analysis layer (lint::SemanticAnalyzer):
+// single-point-of-failure and bridge findings (UPS100/101), min-cut
+// redundancy (UPS102), availability bounds against --slo (UPS103), and a
+// truncation forecast against --max-paths/--max-path-length (UPS104).
+// --scenario trace.jsonl lints a scenario trace (UPS2xx) against the
+// bundle.  --baseline f.json suppresses previously accepted findings by
+// fingerprint; --update-baseline (re)writes that file from the current
+// findings, so CI fails only on *new* findings.
+//
 // Exit status is 0 when the report has no errors, 2 when it does (1 stays
 // the catch-all failure code) — load failures surface as UPS000 findings
 // with the parser's line/column, so even a syntactically broken file yields
@@ -55,9 +64,12 @@
 #include "core/upsim_generator.hpp"
 #include "engine/perspective_engine.hpp"
 #include "lint/analyzer.hpp"
+#include "lint/baseline.hpp"
 #include "lint/render.hpp"
+#include "lint/semantic.hpp"
 #include "mapping/mapping.hpp"
 #include "obs/obs.hpp"
+#include "scenario/trace.hpp"
 #include "umlio/serialize.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -72,13 +84,20 @@ struct Args {
   std::string metrics_out;
   std::string serve_dir;
   std::string sarif_out;
+  std::string scenario_path;
+  std::string baseline_path;
   std::size_t serve_demo = 0;
   std::size_t threads = 0;
+  double slo = 0.0;
+  std::size_t max_paths = 0;
+  std::size_t max_path_length = 0;
   bool dot = false;
   bool analyze = false;
   bool demo = false;
   bool check = false;
   bool json = false;
+  bool semantic = false;
+  bool update_baseline = false;
 
   [[nodiscard]] bool observed() const noexcept {
     return !trace_out.empty() || !metrics_out.empty();
@@ -97,6 +116,9 @@ constexpr const char* kUsage =
     "   or: upsim_cli --serve-demo N [--threads N] (self-contained serve)\n"
     "   or: upsim_cli --check [--bundle net.xml] [--mapping map.xml]\n"
     "                 [--composite NAME] [--json] [--sarif-out f.sarif]\n"
+    "                 [--semantic] [--slo A] [--max-paths N]\n"
+    "                 [--max-path-length N] [--scenario trace.jsonl]\n"
+    "                 [--baseline f.json] [--update-baseline]\n"
     "                 (static model analysis; exit 2 on lint errors)";
 
 Args parse_args(int argc, char** argv) {
@@ -135,6 +157,24 @@ Args parse_args(int argc, char** argv) {
       args.json = true;
     } else if (arg == "--sarif-out") {
       args.sarif_out = value();
+    } else if (arg == "--semantic") {
+      args.semantic = true;
+    } else if (arg == "--slo") {
+      args.slo = std::stod(value());
+      args.semantic = true;
+    } else if (arg == "--max-paths") {
+      args.max_paths = std::stoul(value());
+      args.semantic = true;
+    } else if (arg == "--max-path-length") {
+      args.max_path_length = std::stoul(value());
+      args.semantic = true;
+    } else if (arg == "--scenario") {
+      args.scenario_path = value();
+      args.semantic = true;
+    } else if (arg == "--baseline") {
+      args.baseline_path = value();
+    } else if (arg == "--update-baseline") {
+      args.update_baseline = true;
     } else if (arg == "--serve") {
       args.serve_dir = value();
     } else if (arg == "--serve-demo") {
@@ -153,6 +193,13 @@ Args parse_args(int argc, char** argv) {
       args.demo = true;  // no artefacts: lint the self-contained USI demo
     }
     return args;
+  }
+  if (args.semantic || args.update_baseline || !args.baseline_path.empty() ||
+      !args.scenario_path.empty()) {
+    throw upsim::Error(
+        "--semantic/--slo/--max-paths/--max-path-length/--scenario/"
+        "--baseline/--update-baseline require --check\n" +
+        std::string(kUsage));
   }
   if (args.serve_demo != 0) {
     return args;
@@ -271,7 +318,63 @@ int run_check(Args& args) {
   for (const lint::Diagnostic& d : load_findings.diagnostics()) {
     report.add(d.rule, d.severity, d.message, d.location);
   }
+
+  if (args.semantic) {
+    std::vector<scenario::Event> trace;
+    bool trace_ok = false;
+    if (!args.scenario_path.empty()) {
+      try {
+        trace = scenario::read_trace_file(args.scenario_path);
+        trace_ok = true;
+      } catch (const ParseError& e) {
+        report.add(lint::Rule::LoadFailed,
+                   std::string("scenario: ") + e.what(),
+                   {args.scenario_path, e.line(), e.column()});
+      } catch (const Error& e) {
+        report.add(lint::Rule::LoadFailed,
+                   std::string("scenario: ") + e.what(),
+                   {args.scenario_path});
+      }
+    }
+    if (bundle_ok) {
+      lint::SemanticOptions sem_options;
+      sem_options.availability_slo = args.slo;
+      sem_options.discovery.max_paths = args.max_paths;
+      sem_options.discovery.max_path_length = args.max_path_length;
+      lint::SemanticInput sem_input;
+      sem_input.objects = bundle.objects.get();
+      sem_input.mappings = input.mappings;
+      sem_input.bundle_file = args.bundle_path;
+      sem_input.bundle_locations = &bundle_locations;
+      if (trace_ok) {
+        sem_input.trace = &trace;
+        sem_input.trace_file = args.scenario_path;
+      }
+      const lint::Report semantic =
+          lint::analyze_semantic(sem_input, sem_options);
+      for (const lint::Diagnostic& d : semantic.diagnostics()) {
+        report.add(d.rule, d.severity, d.message, d.location);
+      }
+    }
+  }
   report.sort();
+
+  if (args.update_baseline) {
+    // Accept the current findings: CI keeps failing on anything new.
+    const std::string path = args.baseline_path.empty()
+                                 ? ".upsim-lint-baseline.json"
+                                 : args.baseline_path;
+    const lint::Baseline accepted = lint::baseline_of(report);
+    lint::save_baseline(accepted, path);
+    std::cerr << "wrote " << accepted.size() << " fingerprint(s) to " << path
+              << "\n";
+  }
+  std::size_t suppressed = 0;
+  if (!args.baseline_path.empty() && !args.update_baseline) {
+    report =
+        lint::apply_baseline(report, lint::load_baseline(args.baseline_path),
+                             &suppressed);
+  }
 
   if (args.json) {
     std::cout << lint::render_json(report) << "\n";
@@ -280,7 +383,12 @@ int run_check(Args& args) {
     text.color = isatty(STDOUT_FILENO) != 0;
     std::cout << "checking " << args.bundle_path;
     if (!args.mapping_path.empty()) std::cout << " + " << args.mapping_path;
+    if (!args.scenario_path.empty()) std::cout << " + " << args.scenario_path;
     std::cout << "\n" << lint::render_text(report, text);
+    if (suppressed != 0) {
+      std::cout << suppressed << " finding(s) suppressed by baseline "
+                << args.baseline_path << "\n";
+    }
   }
   if (!args.sarif_out.empty()) {
     std::ofstream out(args.sarif_out, std::ios::binary);

@@ -61,6 +61,7 @@
 #include "casestudy/usi.hpp"
 #include "lint/analyzer.hpp"
 #include "lint/render.hpp"
+#include "lint/semantic.hpp"
 #include "obs/obs.hpp"
 #include "registry/model_registry.hpp"
 #include "server/metrics_http.hpp"
@@ -205,6 +206,18 @@ bool seed_default_model(upsim::registry::ModelRegistry& registry,
   if (!report.empty()) {
     std::cerr << "upsimd: bundle lint findings (serving anyway):\n"
               << lint::render_text(report);
+  }
+  // Semantic pass, infrastructure mode: purely informational at boot —
+  // single points of failure in the served topology are worth a log line,
+  // never a degraded start.
+  lint::SemanticInput sem_input;
+  sem_input.objects = bundle.objects.get();
+  sem_input.bundle_file = path;
+  sem_input.bundle_locations = &locations;
+  const lint::Report semantic = lint::analyze_semantic(sem_input);
+  if (!semantic.empty()) {
+    std::cerr << "upsimd: semantic lint findings (informational):\n"
+              << lint::render_text(semantic);
   }
   const registry::UploadResult uploaded =
       registry.upload(registry.default_id(), read_file(path));

@@ -1,0 +1,109 @@
+#include "lint/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace upsim::lint {
+
+bool Baseline::contains(std::string_view fp) const {
+  return std::binary_search(fingerprints.begin(), fingerprints.end(), fp);
+}
+
+Baseline baseline_from_fingerprints(std::vector<std::string> fingerprints) {
+  std::sort(fingerprints.begin(), fingerprints.end());
+  fingerprints.erase(
+      std::unique(fingerprints.begin(), fingerprints.end()),
+      fingerprints.end());
+  return Baseline{std::move(fingerprints)};
+}
+
+Baseline baseline_of(const Report& report) {
+  std::vector<std::string> fps;
+  fps.reserve(report.size());
+  for (const Diagnostic& d : report.diagnostics()) {
+    fps.push_back(fingerprint(d));
+  }
+  return baseline_from_fingerprints(std::move(fps));
+}
+
+Baseline baseline_from_json(std::string_view text) {
+  const obs::JsonValue doc = obs::json_parse(text);
+  if (!doc.is_object() || !doc.has("fingerprints")) {
+    throw ParseError("lint baseline: expected an object with a "
+                     "'fingerprints' array");
+  }
+  if (doc.has("version") && doc.at("version").number != 1.0) {
+    throw ParseError("lint baseline: unsupported version");
+  }
+  const obs::JsonValue& fps = doc.at("fingerprints");
+  if (!fps.is_array()) {
+    throw ParseError("lint baseline: 'fingerprints' must be an array");
+  }
+  std::vector<std::string> out;
+  out.reserve(fps.array.size());
+  for (const obs::JsonValue& fp : fps.array) {
+    if (fp.kind != obs::JsonValue::Kind::String) {
+      throw ParseError("lint baseline: fingerprints must be strings");
+    }
+    out.push_back(fp.string);
+  }
+  return baseline_from_fingerprints(std::move(out));
+}
+
+std::string to_json(const Baseline& baseline) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("version");
+  w.value(std::uint64_t{1});
+  w.key("fingerprints");
+  w.begin_array();
+  for (const std::string& fp : baseline.fingerprints) {
+    w.value(fp);
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("lint baseline '" + path + "': cannot open");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return baseline_from_json(text.str());
+  } catch (const ParseError& e) {
+    throw ParseError("lint baseline '" + path + "': " + e.what());
+  }
+}
+
+void save_baseline(const Baseline& baseline, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParseError("lint baseline '" + path + "': cannot write");
+  }
+  out << to_json(baseline) << "\n";
+}
+
+Report apply_baseline(const Report& report, const Baseline& baseline,
+                      std::size_t* suppressed) {
+  Report out;
+  std::size_t absorbed = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (baseline.contains(fingerprint(d))) {
+      ++absorbed;
+      continue;
+    }
+    out.add(d.rule, d.severity, d.message, d.location);
+  }
+  if (suppressed != nullptr) *suppressed = absorbed;
+  return out;
+}
+
+}  // namespace upsim::lint

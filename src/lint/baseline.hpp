@@ -1,0 +1,60 @@
+// Lint baseline files: accepted findings, listed by fingerprint.
+//
+// A baseline (conventionally `.upsim-lint-baseline.json`, committed next to
+// the model it blesses) lets CI fail only on *new* findings: existing ones
+// are acknowledged by their stable fingerprint (lint::fingerprint — rule,
+// artifact and message, independent of line/column), so reformatting the
+// XML never invalidates the file, while any new rule hit or message change
+// surfaces immediately.  The same fingerprints ride the SARIF output as
+// `partialFingerprints`, so a baseline can be grown straight from a scan.
+//
+//   {"version":1,"fingerprints":["0c6a1...","9f3e2..."]}
+//
+// upsim_cli --baseline applies one; --update-baseline writes one; the
+// registry accepts fingerprints on model_upload for wire-side suppression.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace upsim::lint {
+
+struct Baseline {
+  std::vector<std::string> fingerprints;  ///< sorted, unique
+
+  [[nodiscard]] bool contains(std::string_view fp) const;
+  [[nodiscard]] bool empty() const noexcept { return fingerprints.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return fingerprints.size();
+  }
+};
+
+/// Builds a baseline accepting every finding of `report`.
+[[nodiscard]] Baseline baseline_of(const Report& report);
+
+/// Normalizes (sorts, dedups) a fingerprint list into a baseline.
+[[nodiscard]] Baseline baseline_from_fingerprints(
+    std::vector<std::string> fingerprints);
+
+/// Parses the JSON form; throws ParseError on malformed input or an
+/// unsupported version.
+[[nodiscard]] Baseline baseline_from_json(std::string_view text);
+
+/// Deterministic JSON, schema above (no trailing newline).
+[[nodiscard]] std::string to_json(const Baseline& baseline);
+
+/// File conveniences; load throws ParseError when the file cannot be read.
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+void save_baseline(const Baseline& baseline, const std::string& path);
+
+/// The report minus baselined findings, order preserved.  `suppressed`
+/// (optional) receives how many findings the baseline absorbed.
+[[nodiscard]] Report apply_baseline(const Report& report,
+                                    const Baseline& baseline,
+                                    std::size_t* suppressed = nullptr);
+
+}  // namespace upsim::lint

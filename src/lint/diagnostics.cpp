@@ -1,57 +1,41 @@
 #include "lint/diagnostics.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <tuple>
 
 #include "util/error.hpp"
 
 namespace upsim::lint {
 
-const std::vector<RuleInfo>& all_rules() {
-  static const std::vector<RuleInfo> rules = {
-      {Rule::LoadFailed, "UPS000", Severity::Error,
-       "model artifact failed to parse or load"},
-      {Rule::UnknownComponent, "UPS001", Severity::Error,
-       "mapping references a component that is not an instance of the "
-       "infrastructure"},
-      {Rule::UnknownAtomicService, "UPS002", Severity::Error,
-       "mapping references an atomic service the catalog does not define"},
-      {Rule::UnmappedAtomicService, "UPS003", Severity::Error,
-       "atomic service of the analysed composite has no mapping pair"},
-      {Rule::SelfMappedPair, "UPS004", Severity::Error,
-       "requester and provider of a pair are the same component"},
-      {Rule::UnusedAtomicService, "UPS005", Severity::Warning,
-       "atomic service is referenced by no composite's activity diagram"},
-      {Rule::ParallelLinks, "UPS006", Severity::Warning,
-       "two links join the same pair of components (parallel edge)"},
-      {Rule::MissingAvailability, "UPS007", Severity::Error,
-       "component or link class lacks availability-profile values "
-       "(MTBF/MTTR)"},
-      {Rule::NonPositiveDependability, "UPS008", Severity::Error,
-       "MTBF or MTTR value is zero or negative"},
-      {Rule::ImplausibleDependability, "UPS009", Severity::Warning,
-       "MTTR is not smaller than MTBF (component mostly under repair)"},
-      {Rule::UnreachablePair, "UPS010", Severity::Error,
-       "requester and provider lie in different connected components of the "
-       "infrastructure"},
-      {Rule::IsolatedComponent, "UPS011", Severity::Warning,
-       "component has no links, so no mapping can ever reach it"},
-      {Rule::MalformedActivity, "UPS012", Severity::Error,
-       "composite's activity diagram is not well-formed (cyclic or "
-       "structurally invalid)"},
-      {Rule::IrrelevantPair, "UPS013", Severity::Note,
-       "mapping pair is unused by the analysed composite"},
-  };
-  return rules;
-}
+std::span<const RuleInfo> all_rules() noexcept { return kRules; }
 
 const RuleInfo& rule_info(Rule rule) {
-  for (const RuleInfo& info : all_rules()) {
+  for (const RuleInfo& info : kRules) {
     if (info.rule == rule) return info;
   }
   throw InvariantError("lint: unknown rule value " +
                        std::to_string(static_cast<int>(rule)));
+}
+
+std::string fingerprint(const Diagnostic& d) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::string_view text) {
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+    h ^= 0x1f;  // field separator, cannot occur in the inputs
+    h *= 1099511628211ull;
+  };
+  mix(d.code());
+  mix(d.location.file);
+  mix(d.message);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(h >> (4 * i)) & 0xf];
+  }
+  return out;
 }
 
 void Report::add(Rule rule, std::string message, SourceLocation location) {

@@ -10,6 +10,12 @@
 // early, machine-readable findings instead of failures — or misleading empty
 // UPSIMs — deep inside the pipeline.
 //
+// Two passes share this vocabulary.  The syntactic pass (analyzer.hpp,
+// UPS0xx) checks well-formedness; the semantic pass (semantic.hpp, UPS1xx
+// quantitative/graph-theoretic and UPS2xx scenario-trace rules) computes
+// cut-sets, availability bounds and path-count forecasts over the projected
+// infrastructure graph.
+//
 // Every finding is a Diagnostic: a stable rule code (UPS000...), a severity,
 // a human message, and the source location the loaders recorded while
 // parsing the XML (umlio::BundleLocations / mapping::MappingLocations).
@@ -17,8 +23,10 @@
 // byte-stable for a fixed bundle — CI diffs them across runs.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,7 +56,9 @@ struct SourceLocation {
 };
 
 /// The stable rule vocabulary.  Codes are append-only: a rule may be retired
-/// but its code is never reused, so SARIF baselines stay comparable.
+/// but its code is never reused, so SARIF baselines stay comparable.  The
+/// numeric families are UPS0xx syntactic, UPS1xx quantitative (graph
+/// structure over the projected infrastructure), UPS2xx scenario-trace.
 enum class Rule : std::uint8_t {
   LoadFailed,              ///< UPS000
   UnknownComponent,        ///< UPS001
@@ -64,19 +74,128 @@ enum class Rule : std::uint8_t {
   IsolatedComponent,       ///< UPS011
   MalformedActivity,       ///< UPS012
   IrrelevantPair,          ///< UPS013
+  SinglePointOfFailure,    ///< UPS100
+  BridgeLink,              ///< UPS101
+  LowMinCut,               ///< UPS102
+  AvailabilityBelowSlo,    ///< UPS103
+  PredictedTruncation,     ///< UPS104
+  TraceUnknownElement,     ///< UPS200
+  TraceRedundantTransition,///< UPS201
+  TraceNonMonotonicTime,   ///< UPS202
+  TraceUnmappedTarget,     ///< UPS203
 };
 
-/// Static description of one rule: its code string, default severity, and a
-/// one-line summary (used by the SARIF rules array and the docs table).
+/// Static description of one rule: its code string, SARIF rule name, default
+/// severity, a one-line summary, and a help URI.  This table is the single
+/// source of truth consumed by all renderers and mirrored by the rule table
+/// in docs/ARCHITECTURE.md (a test asserts they match).
 struct RuleInfo {
   Rule rule;
   const char* code;       ///< "UPS001"
+  const char* name;       ///< SARIF rule.name, e.g. "UnknownComponent"
   Severity severity;
   const char* summary;
+  const char* help_uri;   ///< anchor into the published rule docs
 };
 
+inline constexpr std::array<RuleInfo, 23> kRules = {{
+    {Rule::LoadFailed, "UPS000", "LoadFailed", Severity::Error,
+     "model artifact failed to parse or load",
+     "https://example.invalid/upsim/lint#ups000"},
+    {Rule::UnknownComponent, "UPS001", "UnknownComponent", Severity::Error,
+     "mapping references a component that is not an instance of the "
+     "infrastructure",
+     "https://example.invalid/upsim/lint#ups001"},
+    {Rule::UnknownAtomicService, "UPS002", "UnknownAtomicService",
+     Severity::Error,
+     "mapping references an atomic service the catalog does not define",
+     "https://example.invalid/upsim/lint#ups002"},
+    {Rule::UnmappedAtomicService, "UPS003", "UnmappedAtomicService",
+     Severity::Error,
+     "atomic service of the analysed composite has no mapping pair",
+     "https://example.invalid/upsim/lint#ups003"},
+    {Rule::SelfMappedPair, "UPS004", "SelfMappedPair", Severity::Error,
+     "requester and provider of a pair are the same component",
+     "https://example.invalid/upsim/lint#ups004"},
+    {Rule::UnusedAtomicService, "UPS005", "UnusedAtomicService",
+     Severity::Warning,
+     "atomic service is referenced by no composite's activity diagram",
+     "https://example.invalid/upsim/lint#ups005"},
+    {Rule::ParallelLinks, "UPS006", "ParallelLinks", Severity::Warning,
+     "two links join the same pair of components (parallel edge)",
+     "https://example.invalid/upsim/lint#ups006"},
+    {Rule::MissingAvailability, "UPS007", "MissingAvailability",
+     Severity::Error,
+     "component or link class lacks availability-profile values "
+     "(MTBF/MTTR)",
+     "https://example.invalid/upsim/lint#ups007"},
+    {Rule::NonPositiveDependability, "UPS008", "NonPositiveDependability",
+     Severity::Error, "MTBF or MTTR value is zero or negative",
+     "https://example.invalid/upsim/lint#ups008"},
+    {Rule::ImplausibleDependability, "UPS009", "ImplausibleDependability",
+     Severity::Warning,
+     "MTTR is not smaller than MTBF (component mostly under repair)",
+     "https://example.invalid/upsim/lint#ups009"},
+    {Rule::UnreachablePair, "UPS010", "UnreachablePair", Severity::Error,
+     "requester and provider lie in different connected components of the "
+     "infrastructure",
+     "https://example.invalid/upsim/lint#ups010"},
+    {Rule::IsolatedComponent, "UPS011", "IsolatedComponent", Severity::Warning,
+     "component has no links, so no mapping can ever reach it",
+     "https://example.invalid/upsim/lint#ups011"},
+    {Rule::MalformedActivity, "UPS012", "MalformedActivity", Severity::Error,
+     "composite's activity diagram is not well-formed (cyclic or "
+     "structurally invalid)",
+     "https://example.invalid/upsim/lint#ups012"},
+    {Rule::IrrelevantPair, "UPS013", "IrrelevantPair", Severity::Note,
+     "mapping pair is unused by the analysed composite",
+     "https://example.invalid/upsim/lint#ups013"},
+    {Rule::SinglePointOfFailure, "UPS100", "SinglePointOfFailure",
+     Severity::Note,
+     "component is an articulation point lying on every path of a mapped "
+     "requester/provider pair",
+     "https://example.invalid/upsim/lint#ups100"},
+    {Rule::BridgeLink, "UPS101", "BridgeLink", Severity::Note,
+     "link is a bridge lying on every path of a mapped requester/provider "
+     "pair",
+     "https://example.invalid/upsim/lint#ups101"},
+    {Rule::LowMinCut, "UPS102", "LowMinCut", Severity::Note,
+     "minimum link cut between a mapped requester/provider pair is at or "
+     "below the redundancy threshold",
+     "https://example.invalid/upsim/lint#ups102"},
+    {Rule::AvailabilityBelowSlo, "UPS103", "AvailabilityBelowSlo",
+     Severity::Warning,
+     "structural availability upper bound of a mapped pair falls below the "
+     "configured SLO",
+     "https://example.invalid/upsim/lint#ups103"},
+    {Rule::PredictedTruncation, "UPS104", "PredictedTruncation",
+     Severity::Warning,
+     "path discovery for a mapped pair would hit the configured truncation "
+     "limits",
+     "https://example.invalid/upsim/lint#ups104"},
+    {Rule::TraceUnknownElement, "UPS200", "TraceUnknownElement",
+     Severity::Error,
+     "scenario event references an element the infrastructure does not "
+     "define",
+     "https://example.invalid/upsim/lint#ups200"},
+    {Rule::TraceRedundantTransition, "UPS201", "TraceRedundantTransition",
+     Severity::Warning,
+     "scenario fails an element that is already down or repairs one that is "
+     "already up",
+     "https://example.invalid/upsim/lint#ups201"},
+    {Rule::TraceNonMonotonicTime, "UPS202", "TraceNonMonotonicTime",
+     Severity::Error,
+     "scenario event timestamps are not non-decreasing",
+     "https://example.invalid/upsim/lint#ups202"},
+    {Rule::TraceUnmappedTarget, "UPS203", "TraceUnmappedTarget",
+     Severity::Error,
+     "scenario migration targets an element outside the mapped "
+     "infrastructure",
+     "https://example.invalid/upsim/lint#ups203"},
+}};
+
 /// All rules, ordered by code.
-[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+[[nodiscard]] std::span<const RuleInfo> all_rules() noexcept;
 
 /// Metadata for one rule; throws InvariantError for an unknown value.
 [[nodiscard]] const RuleInfo& rule_info(Rule rule);
@@ -90,6 +209,12 @@ struct Diagnostic {
 
   [[nodiscard]] const char* code() const { return rule_info(rule).code; }
 };
+
+/// Stable 16-hex-digit fingerprint of a finding: FNV-1a 64 over rule code,
+/// artifact and message (separator-delimited).  Line/column are deliberately
+/// excluded so unrelated edits that shift positions do not invalidate
+/// baselines or SARIF dedup (`partialFingerprints`).
+[[nodiscard]] std::string fingerprint(const Diagnostic& d);
 
 /// An analyzer run's findings.  Diagnostics are kept in deterministic order:
 /// by file, position, rule code, then message.

@@ -86,6 +86,8 @@ std::string render_json(const Report& report) {
     w.value(static_cast<std::uint64_t>(d.location.line));
     w.key("column");
     w.value(static_cast<std::uint64_t>(d.location.column));
+    w.key("fingerprint");
+    w.value(fingerprint(d));
     w.end_object();
   }
   w.end_array();
@@ -102,9 +104,20 @@ std::string render_json(const Report& report) {
 }
 
 std::string render_sarif(const Report& report) {
-  // Rule indices follow all_rules() order; results reference them by
-  // ruleIndex as the spec recommends.
-  const std::vector<RuleInfo>& rules = all_rules();
+  // The rules array carries only rules that actually fired (GitHub
+  // code-scanning treats the array as the run's alert vocabulary; a stable,
+  // minimal array keeps dedup across runs clean).  Indices follow
+  // all_rules() order; results reference them by ruleIndex as the spec
+  // recommends.
+  std::vector<RuleInfo> rules;
+  for (const RuleInfo& info : all_rules()) {
+    for (const Diagnostic& d : report.diagnostics()) {
+      if (d.rule == info.rule) {
+        rules.push_back(info);
+        break;
+      }
+    }
+  }
   obs::JsonWriter w;
   w.begin_object();
   w.key("$schema");
@@ -122,6 +135,8 @@ std::string render_sarif(const Report& report) {
   w.begin_object();
   w.key("name");
   w.value("upsim-lint");
+  w.key("version");
+  w.value("1.0.0");
   w.key("informationUri");
   w.value("https://example.invalid/upsim");
   w.key("rules");
@@ -130,11 +145,15 @@ std::string render_sarif(const Report& report) {
     w.begin_object();
     w.key("id");
     w.value(info.code);
+    w.key("name");
+    w.value(info.name);
     w.key("shortDescription");
     w.begin_object();
     w.key("text");
     w.value(info.summary);
     w.end_object();
+    w.key("helpUri");
+    w.value(info.help_uri);
     w.key("defaultConfiguration");
     w.begin_object();
     w.key("level");
@@ -191,6 +210,11 @@ std::string render_sarif(const Report& report) {
       w.end_object();  // location
       w.end_array();
     }
+    w.key("partialFingerprints");
+    w.begin_object();
+    w.key("upsimFingerprint/v1");
+    w.value(fingerprint(d));
+    w.end_object();
     w.end_object();  // result
   }
   w.end_array();

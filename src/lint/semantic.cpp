@@ -1,0 +1,432 @@
+#include "lint/semantic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "pathdisc/csr.hpp"
+#include "pathdisc/forecast.hpp"
+#include "pathdisc/stats.hpp"
+#include "transform/projection.hpp"
+
+namespace upsim::lint {
+
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+/// Looks `key` up in an optional location map and stamps `file` on hits
+/// (same shape as the syntactic analyzer's helper).
+SourceLocation locate(const std::string& file,
+                      const std::map<std::string, xml::Location>* positions,
+                      std::string_view key) {
+  SourceLocation loc;
+  loc.file = file;
+  if (positions != nullptr) {
+    const auto it = positions->find(std::string(key));
+    if (it != positions->end()) {
+      loc.line = it->second.line;
+      loc.column = it->second.column;
+    }
+  }
+  return loc;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// One resolved mapping pair: both endpoints exist in the projected graph.
+/// Unresolvable pairs are the syntactic pass's findings (UPS001/UPS004),
+/// not re-reported here.
+struct PairRef {
+  std::string name;  ///< "label:atomic" or "atomic"
+  std::string requester;
+  std::string provider;
+  VertexId s;
+  VertexId t;
+  SourceLocation location;
+};
+
+std::string pair_phrase(const PairRef& p) {
+  return "'" + p.name + "' (" + p.requester + " -> " + p.provider + ")";
+}
+
+/// "pairs 'a' (x -> y), 'b' (z -> w) and 3 more" — bounded message body.
+std::string pair_list(const std::vector<const PairRef*>& pairs) {
+  constexpr std::size_t kMax = 8;
+  std::string out;
+  const std::size_t shown = std::min(pairs.size(), kMax);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) out += ", ";
+    out += pair_phrase(*pairs[i]);
+  }
+  if (pairs.size() > kMax) {
+    out += " and " + std::to_string(pairs.size() - kMax) + " more";
+  }
+  return out;
+}
+
+/// Availability mtbf/(mtbf+mttr) of a projected element, when its
+/// attributes are present and positive; nullopt = treat as perfect (the
+/// syntactic pass owns missing/implausible-value findings).
+std::optional<double> availability_of(const graph::AttributeMap& attrs) {
+  const auto mtbf = attrs.find("mtbf");
+  const auto mttr = attrs.find("mttr");
+  if (mtbf == attrs.end() || mttr == attrs.end()) return std::nullopt;
+  if (mtbf->second <= 0.0 || mttr->second < 0.0) return std::nullopt;
+  return mtbf->second / (mtbf->second + mttr->second);
+}
+
+struct TraceContext {
+  const graph::Graph* graph = nullptr;
+  const std::vector<MappingInput>* mappings = nullptr;
+  std::string file;
+};
+
+std::string event_prefix(std::size_t ordinal, const scenario::Event& e) {
+  return "event #" + std::to_string(ordinal) + " (t=" + fmt(e.at_hours) +
+         "): " + std::string(scenario::kind_name(e.kind)) + " ";
+}
+
+void check_trace(const std::vector<scenario::Event>& trace,
+                 const TraceContext& ctx, Report& report) {
+  const graph::Graph* g = ctx.graph;
+  // Operational state per element name, for UPS201.  Everything starts up.
+  std::unordered_map<std::string, bool> down;
+  double previous_t = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const scenario::Event& e = trace[i];
+    const std::size_t ordinal = i + 1;
+    SourceLocation loc;
+    loc.file = ctx.file;
+    loc.line = ordinal;  // 1-based event ordinal, not a byte-exact line
+    if (i > 0 && e.at_hours < previous_t) {
+      report.add(Rule::TraceNonMonotonicTime,
+                 event_prefix(ordinal, e) + "timestamp decreases (previous "
+                     "event at t=" + fmt(previous_t) + ")",
+                 loc);
+    }
+    previous_t = std::max(previous_t, e.at_hours);
+
+    if (e.is_state_change() || e.kind == scenario::EventKind::PropertyUpdate) {
+      const bool wants_component =
+          e.kind == scenario::EventKind::FailComponent ||
+          e.kind == scenario::EventKind::RepairComponent;
+      const bool wants_link = e.kind == scenario::EventKind::FailLink ||
+                              e.kind == scenario::EventKind::RepairLink;
+      bool known = true;
+      if (g != nullptr) {
+        const bool is_vertex = g->find_vertex(e.element).has_value();
+        const bool is_edge = g->find_edge(e.element).has_value();
+        if (wants_component) {
+          known = is_vertex;
+        } else if (wants_link) {
+          known = is_edge;
+        } else {
+          known = is_vertex || is_edge;
+        }
+        if (!known) {
+          report.add(Rule::TraceUnknownElement,
+                     event_prefix(ordinal, e) + "references unknown " +
+                         (wants_component ? "component '"
+                          : wants_link    ? "link '"
+                                          : "element '") +
+                         e.element + "'",
+                     loc);
+        }
+      }
+      if (known && e.is_state_change()) {
+        const bool was_down = down[e.element];
+        if (e.is_failure()) {
+          if (was_down) {
+            report.add(Rule::TraceRedundantTransition,
+                       event_prefix(ordinal, e) + "'" + e.element +
+                           "' is already down",
+                       loc);
+          }
+          down[e.element] = true;
+        } else {
+          if (!was_down) {
+            report.add(Rule::TraceRedundantTransition,
+                       event_prefix(ordinal, e) + "'" + e.element +
+                           "' is already up",
+                       loc);
+          }
+          down[e.element] = false;
+        }
+      }
+    } else if (e.is_mapping_change()) {
+      if (g != nullptr) {
+        if (!g->find_vertex(e.to).has_value()) {
+          report.add(Rule::TraceUnmappedTarget,
+                     event_prefix(ordinal, e) + "target '" + e.to +
+                         "' is not an instance of the infrastructure",
+                     loc);
+        }
+        if (!g->find_vertex(e.from).has_value()) {
+          report.add(Rule::TraceUnknownElement,
+                     event_prefix(ordinal, e) + "references unknown "
+                         "component '" + e.from + "'",
+                     loc);
+        }
+      }
+      if (ctx.mappings != nullptr) {
+        for (const MappingInput& m : *ctx.mappings) {
+          if (m.mapping == nullptr || m.label != e.perspective) continue;
+          bool referenced = false;
+          for (const auto& pair : m.mapping->pairs()) {
+            if (pair.requester == e.from || pair.provider == e.from) {
+              referenced = true;
+              break;
+            }
+          }
+          if (!referenced) {
+            report.add(Rule::TraceUnmappedTarget,
+                       event_prefix(ordinal, e) + "rewrites '" + e.from +
+                           "' but perspective '" + e.perspective +
+                           "' maps nothing to it",
+                       loc);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SemanticAnalyzer::SemanticAnalyzer(SemanticOptions options)
+    : options_(std::move(options)) {}
+
+Report SemanticAnalyzer::analyze(const SemanticInput& input) const {
+  obs::ScopedSpan span("lint.semantic", "lint");
+  Report report;
+  graph::Graph g;
+  if (input.objects != nullptr) {
+    transform::ProjectionOptions popts;
+    popts.mtbf_attribute = options_.mtbf_attribute;
+    popts.mttr_attribute = options_.mttr_attribute;
+    // The semantic pass analyses whatever topology there is; missing
+    // dependability values are the syntactic pass's UPS007.
+    popts.require_dependability_attributes = false;
+    g = transform::project(*input.objects, popts);
+  }
+
+  const auto instance_location = [&](std::string_view name) {
+    return locate(input.bundle_file,
+                  input.bundle_locations != nullptr
+                      ? &input.bundle_locations->instances
+                      : nullptr,
+                  name);
+  };
+  const auto link_location = [&](std::string_view name) {
+    return locate(input.bundle_file,
+                  input.bundle_locations != nullptr
+                      ? &input.bundle_locations->links
+                      : nullptr,
+                  name);
+  };
+
+  if (input.objects != nullptr && g.vertex_count() > 0) {
+    const pathdisc::Connectivity conn = pathdisc::connectivity(g);
+
+    // Resolve mapped pairs; dangling or self-mapped pairs are UPS001/UPS004
+    // territory and silently skipped here.
+    std::vector<PairRef> pairs;
+    for (const MappingInput& m : input.mappings) {
+      if (m.mapping == nullptr) continue;
+      for (const auto& pair : m.mapping->pairs()) {
+        const auto s = g.find_vertex(pair.requester);
+        const auto t = g.find_vertex(pair.provider);
+        if (!s || !t || *s == *t) continue;
+        PairRef ref;
+        ref.name = m.label.empty() ? pair.atomic_service
+                                   : m.label + ":" + pair.atomic_service;
+        ref.requester = pair.requester;
+        ref.provider = pair.provider;
+        ref.s = *s;
+        ref.t = *t;
+        ref.location =
+            locate(m.file,
+                   m.locations != nullptr ? &m.locations->pairs : nullptr,
+                   pair.atomic_service);
+        pairs.push_back(std::move(ref));
+      }
+    }
+    // Pairs across connected components have no paths at all (UPS010);
+    // cut-set statements about them would be vacuous.
+    std::vector<const PairRef*> connected;
+    for (const PairRef& p : pairs) {
+      if (conn.component[graph::index(p.s)] ==
+          conn.component[graph::index(p.t)]) {
+        connected.push_back(&p);
+      }
+    }
+
+    if (input.mappings.empty()) {
+      // Infrastructure mode: no pairs to scope by — report the graph's
+      // articulation skeleton itself (the registry upload gate's view).
+      for (const VertexId v : conn.articulation_points) {
+        report.add(Rule::SinglePointOfFailure,
+                   "component '" + g.vertex(v).name +
+                       "' is an articulation point: its failure splits the "
+                       "infrastructure",
+                   instance_location(g.vertex(v).name));
+      }
+      for (const EdgeId e : conn.bridges) {
+        report.add(Rule::BridgeLink,
+                   "link '" + g.edge(e).name +
+                       "' is a bridge: its failure splits the infrastructure",
+                   link_location(g.edge(e).name));
+      }
+    } else {
+      for (const VertexId v : conn.articulation_points) {
+        std::vector<const PairRef*> affected;
+        for (const PairRef* p : connected) {
+          if (pathdisc::separates(g, v, p->s, p->t)) affected.push_back(p);
+        }
+        if (affected.empty()) continue;
+        report.add(Rule::SinglePointOfFailure,
+                   "component '" + g.vertex(v).name +
+                       "' is a single point of failure: every path of " +
+                       pair_list(affected) + " crosses it",
+                   instance_location(g.vertex(v).name));
+      }
+      for (const EdgeId e : conn.bridges) {
+        std::vector<const PairRef*> affected;
+        for (const PairRef* p : connected) {
+          if (pathdisc::separates_edge(g, e, p->s, p->t)) affected.push_back(p);
+        }
+        if (affected.empty()) continue;
+        report.add(Rule::BridgeLink,
+                   "link '" + g.edge(e).name +
+                       "' is a bridge: every path of " + pair_list(affected) +
+                       " crosses it",
+                   link_location(g.edge(e).name));
+      }
+    }
+
+    if (options_.min_cut_threshold > 0) {
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> cut_cache;
+      for (const PairRef* p : connected) {
+        const auto key = std::make_pair(graph::index(p->s), graph::index(p->t));
+        auto it = cut_cache.find(key);
+        if (it == cut_cache.end()) {
+          it = cut_cache
+                   .emplace(key, pathdisc::edge_connectivity(
+                                     g, p->s, p->t,
+                                     options_.min_cut_threshold + 1))
+                   .first;
+        }
+        const std::size_t cut = it->second;
+        if (cut == 0 || cut > options_.min_cut_threshold) continue;
+        report.add(Rule::LowMinCut,
+                   "pair " + pair_phrase(*p) + ": minimum link cut is " +
+                       std::to_string(cut) + " (threshold " +
+                       std::to_string(options_.min_cut_threshold) +
+                       ") — " + std::to_string(cut) +
+                       " link failure(s) can sever the pair",
+                   p->location);
+      }
+    }
+
+    if (options_.availability_slo > 0.0) {
+      for (const PairRef* p : connected) {
+        // Series cut-set: the endpoints, every articulation point and every
+        // bridge separating the pair.  All of them sit on every path, so
+        // the product of their availabilities bounds the pair's
+        // availability from above — whatever the redundant paths do.
+        double bound = 1.0;
+        std::size_t elements = 0;
+        const auto fold = [&bound, &elements](const graph::AttributeMap& a) {
+          if (const auto availability = availability_of(a)) {
+            bound *= *availability;
+            ++elements;
+          }
+        };
+        fold(g.vertex(p->s).attributes);
+        fold(g.vertex(p->t).attributes);
+        for (const VertexId v : conn.articulation_points) {
+          if (pathdisc::separates(g, v, p->s, p->t)) {
+            fold(g.vertex(v).attributes);
+          }
+        }
+        for (const EdgeId e : conn.bridges) {
+          if (pathdisc::separates_edge(g, e, p->s, p->t)) {
+            fold(g.edge(e).attributes);
+          }
+        }
+        if (bound < options_.availability_slo) {
+          report.add(Rule::AvailabilityBelowSlo,
+                     "pair " + pair_phrase(*p) +
+                         ": structural availability upper bound " +
+                         fmt(bound) + " (series cut-set of " +
+                         std::to_string(elements) +
+                         " elements) is below the SLO " +
+                         fmt(options_.availability_slo),
+                     p->location);
+        }
+      }
+    }
+
+    if (options_.discovery.max_paths != 0 ||
+        options_.discovery.max_path_length != 0) {
+      const pathdisc::CsrView view(g);
+      for (const PairRef& p : pairs) {
+        const pathdisc::PathForecast fc =
+            pathdisc::forecast(view, p.s, p.t, options_.discovery);
+        if (!fc.would_truncate) continue;
+        std::string limits;
+        if (options_.discovery.max_paths != 0) {
+          limits += "max_paths=" + std::to_string(options_.discovery.max_paths);
+        }
+        if (options_.discovery.max_path_length != 0) {
+          if (!limits.empty()) limits += ", ";
+          limits += "max_path_length=" +
+                    std::to_string(options_.discovery.max_path_length);
+        }
+        report.add(Rule::PredictedTruncation,
+                   "pair " + pair_phrase(p) + ": discovery under " + limits +
+                       " would truncate (forecast: " +
+                       std::to_string(fc.paths) + " paths, " +
+                       std::to_string(fc.nodes_expanded) +
+                       " nodes expanded) — results will be a lower bound",
+                   p.location);
+      }
+    }
+  }
+
+  if (input.trace != nullptr) {
+    TraceContext ctx;
+    ctx.graph = input.objects != nullptr ? &g : nullptr;
+    ctx.mappings = &input.mappings;
+    ctx.file = input.trace_file;
+    check_trace(*input.trace, ctx, report);
+  }
+
+  report.sort();
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("lint.semantic_runs").add(1);
+    registry.counter("lint.semantic_errors").add(report.error_count());
+    registry.counter("lint.semantic_warnings").add(report.warning_count());
+  }
+  return report;
+}
+
+Report analyze_semantic(const SemanticInput& input,
+                        const SemanticOptions& options) {
+  return SemanticAnalyzer(options).analyze(input);
+}
+
+}  // namespace upsim::lint

@@ -1,0 +1,144 @@
+#include "pathdisc/forecast.hpp"
+
+#include <vector>
+
+namespace upsim::pathdisc {
+
+using graph::VertexId;
+using graph::index;
+using detail::Limits;
+using detail::limits_of;
+
+namespace {
+
+/// Count-only port of csr.cpp's iterative_search_csr: `depth` stands in for
+/// path.size(), `out.paths` for the result list.  Control flow — and with it
+/// every truncation decision and nodes_expanded increment — is unchanged.
+void iterative_forecast(const CsrView& view, VertexId source, VertexId target,
+                        const Limits& lim, PathForecast& out) {
+  struct Frame {
+    std::uint32_t v;
+    std::uint32_t next_arc;
+  };
+  std::vector<char> on_path(view.vertex_count(), 0);
+  std::size_t depth = 1;  // the source is on the path
+  std::vector<Frame> stack;
+  stack.reserve(64);
+  stack.push_back(Frame{index(source), 0});
+  on_path[index(source)] = 1;
+  ++out.nodes_expanded;
+  if (source == target) {
+    out.paths = 1;
+    if (out.paths >= lim.max_paths) out.would_truncate = true;
+    return;
+  }
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::span<const CsrArc> incident = view.arcs(frame.v);
+    const bool depth_cut = depth >= lim.max_len;
+    if (depth_cut && frame.next_arc < incident.size()) {
+      out.would_truncate = true;
+    }
+    if (depth_cut || frame.next_arc >= incident.size()) {
+      on_path[frame.v] = 0;
+      --depth;
+      stack.pop_back();
+      continue;
+    }
+    const CsrArc arc = incident[frame.next_arc++];
+    if (on_path[arc.to] != 0) continue;
+    ++out.nodes_expanded;
+    if (VertexId{arc.to} == target) {
+      ++out.paths;
+      if (out.paths >= lim.max_paths) {
+        out.would_truncate = true;
+        return;
+      }
+      continue;
+    }
+    on_path[arc.to] = 1;
+    ++depth;
+    stack.push_back(Frame{arc.to, 0});
+  }
+}
+
+/// Count-only port of csr.cpp's RecursiveCsrSearch, with the same recursion
+/// structure so the per-algorithm truncation quirks carry over.
+class RecursiveForecast {
+ public:
+  RecursiveForecast(const CsrView& view, VertexId target, const Limits& lim,
+                    PathForecast& out)
+      : view_(view), target_(index(target)), lim_(lim), out_(out),
+        on_path_(view.vertex_count(), 0) {}
+
+  void run(VertexId source) {
+    depth_ = 1;
+    on_path_[index(source)] = 1;
+    visit(index(source));
+  }
+
+ private:
+  void visit(std::uint32_t v) {
+    ++out_.nodes_expanded;
+    if (v == target_) {
+      ++out_.paths;
+      if (out_.paths >= lim_.max_paths) out_.would_truncate = true;
+      return;
+    }
+    if (depth_ >= lim_.max_len) {
+      out_.would_truncate = true;  // a longer path may have existed
+      return;
+    }
+    for (const CsrArc arc : view_.arcs(v)) {
+      if (out_.would_truncate && out_.paths >= lim_.max_paths) return;
+      if (on_path_[arc.to] != 0) continue;
+      on_path_[arc.to] = 1;
+      ++depth_;
+      visit(arc.to);
+      --depth_;
+      on_path_[arc.to] = 0;
+    }
+  }
+
+  const CsrView& view_;
+  std::uint32_t target_;
+  Limits lim_;
+  PathForecast& out_;
+  std::vector<char> on_path_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+PathForecast forecast(const CsrView& view, VertexId source, VertexId target,
+                      const Options& options) {
+  PathForecast out;
+  if (index(source) >= view.vertex_count() ||
+      index(target) >= view.vertex_count()) {
+    return out;  // unknown id: the empty answer, never truncated
+  }
+  const Limits lim = limits_of(options);
+  if (options.algorithm == Algorithm::RecursiveDfs) {
+    if (source == target) {
+      // discover()'s recursive source==target shortcut returns before the
+      // truncation logic runs, so it never sets the flag.
+      out.nodes_expanded = 1;
+      out.paths = 1;
+      return out;
+    }
+    RecursiveForecast search(view, target, lim, out);
+    search.run(source);
+    if (out.paths < lim.max_paths && options.max_path_length == 0) {
+      out.would_truncate = false;
+    }
+  } else {
+    iterative_forecast(view, source, target, lim, out);
+    if (out.paths < lim.max_paths && options.max_path_length == 0) {
+      out.would_truncate = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace upsim::pathdisc

@@ -1,0 +1,39 @@
+// Count-only truncation forecast for path discovery.
+//
+// The semantic lint (UPS104) wants to warn *before* a query truncates: "with
+// your configured limits, discovery on this pair will hit max_paths / the
+// depth cut and silently return a lower bound".  The only way to promise
+// that exactly is to run the same search and throw away the paths:
+// forecast() mirrors both discovery kernels (csr.cpp's iterative and
+// recursive ports) line for line, replacing the path vector with a depth
+// counter and the result list with a counter, including the per-algorithm
+// truncation quirks at exact limits and the post-search normalization.  The
+// contract — forecast().would_truncate == discover().truncated, and equal
+// paths / nodes_expanded counts — is held by a randomized differential test
+// (tests/test_lint_semantic.cpp) in the style of the CSR oracle suite.
+//
+// Cost is bounded by the cost of the discovery it predicts (strictly less:
+// no path materialization), so running it at lint time is safe wherever
+// running the query would have been.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "pathdisc/csr.hpp"
+#include "pathdisc/path_discovery.hpp"
+
+namespace upsim::pathdisc {
+
+struct PathForecast {
+  std::size_t paths = 0;           ///< paths discovery would record
+  std::size_t nodes_expanded = 0;  ///< identical to PathSet::nodes_expanded
+  bool would_truncate = false;     ///< discover() would set truncated
+};
+
+/// Predicts discover(view, source, target, options) without materializing
+/// paths.  Out-of-range ids forecast the empty answer, like discover().
+[[nodiscard]] PathForecast forecast(const CsrView& view,
+                                    graph::VertexId source,
+                                    graph::VertexId target,
+                                    const Options& options = {});
+
+}  // namespace upsim::pathdisc

@@ -1,6 +1,9 @@
 #include "pathdisc/stats.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
 
 namespace upsim::pathdisc {
 
@@ -45,6 +48,194 @@ PathSetStats analyze_all(const graph::Graph& g,
 
 PathSetStats analyze(const graph::Graph& g, const PathSet& set) {
   return analyze_all(g, {set});
+}
+
+bool Connectivity::is_articulation(graph::VertexId v) const {
+  return std::binary_search(articulation_points.begin(),
+                            articulation_points.end(), v);
+}
+
+bool Connectivity::is_bridge(graph::EdgeId e) const {
+  return std::binary_search(bridges.begin(), bridges.end(), e);
+}
+
+Connectivity connectivity(const graph::Graph& g) {
+  using graph::EdgeId;
+  using graph::VertexId;
+  constexpr std::uint32_t kUnvisited =
+      std::numeric_limits<std::uint32_t>::max();
+  constexpr std::uint32_t kNoEdge = std::numeric_limits<std::uint32_t>::max();
+  const std::size_t n = g.vertex_count();
+  Connectivity out;
+  out.component.assign(n, 0);
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<char> articulation(n, 0);
+  std::vector<char> bridge(g.edge_count(), 0);
+  // Explicit-stack Tarjan lowlink DFS.  Each frame remembers the edge it was
+  // entered through (not the parent vertex), so parallel edges correctly act
+  // as back edges and never produce bridges.
+  struct Frame {
+    std::uint32_t v;
+    std::uint32_t entry_edge;  ///< kNoEdge for the DFS root
+    std::uint32_t tree_children = 0;
+    std::size_t next = 0;  ///< next incident-edge position to scan
+  };
+  std::vector<Frame> stack;
+  std::uint32_t timer = 0;
+  std::uint32_t components = 0;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    const std::uint32_t comp_id = components++;
+    disc[root] = low[root] = timer++;
+    out.component[root] = comp_id;
+    stack.push_back(Frame{root, kNoEdge});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const std::vector<EdgeId>& incident = g.incident_edges(VertexId{f.v});
+      if (f.next < incident.size()) {
+        const EdgeId e = incident[f.next++];
+        if (graph::index(e) == f.entry_edge) continue;  // the tree edge itself
+        const std::uint32_t w = graph::index(g.opposite(e, VertexId{f.v}));
+        if (disc[w] == kUnvisited) {
+          ++f.tree_children;
+          disc[w] = low[w] = timer++;
+          out.component[w] = comp_id;
+          stack.push_back(Frame{w, graph::index(e)});
+        } else {
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.v] = std::min(low[parent.v], low[done.v]);
+          if (low[done.v] > disc[parent.v]) bridge[done.entry_edge] = 1;
+          if (parent.entry_edge != kNoEdge && low[done.v] >= disc[parent.v]) {
+            articulation[parent.v] = 1;
+          }
+        } else if (done.tree_children >= 2) {
+          articulation[done.v] = 1;  // DFS root splitting >= 2 subtrees
+        }
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (articulation[v] != 0) out.articulation_points.push_back(VertexId{v});
+  }
+  for (std::uint32_t e = 0; e < bridge.size(); ++e) {
+    if (bridge[e] != 0) out.bridges.push_back(EdgeId{e});
+  }
+  return out;
+}
+
+bool separates(const graph::Graph& g, graph::VertexId cut, graph::VertexId s,
+               graph::VertexId t) {
+  if (s == t || cut == s || cut == t) return false;
+  std::vector<char> seen(g.vertex_count(), 0);
+  seen[graph::index(s)] = 1;
+  seen[graph::index(cut)] = 1;  // pretend the cut vertex is gone
+  std::deque<graph::VertexId> queue{s};
+  while (!queue.empty()) {
+    const graph::VertexId v = queue.front();
+    queue.pop_front();
+    for (const graph::EdgeId e : g.incident_edges(v)) {
+      const graph::VertexId w = g.opposite(e, v);
+      if (seen[graph::index(w)] != 0) continue;
+      if (w == t) return false;
+      seen[graph::index(w)] = 1;
+      queue.push_back(w);
+    }
+  }
+  return true;
+}
+
+bool separates_edge(const graph::Graph& g, graph::EdgeId cut,
+                    graph::VertexId s, graph::VertexId t) {
+  if (s == t) return false;
+  std::vector<char> seen(g.vertex_count(), 0);
+  seen[graph::index(s)] = 1;
+  std::deque<graph::VertexId> queue{s};
+  while (!queue.empty()) {
+    const graph::VertexId v = queue.front();
+    queue.pop_front();
+    for (const graph::EdgeId e : g.incident_edges(v)) {
+      if (e == cut) continue;
+      const graph::VertexId w = g.opposite(e, v);
+      if (seen[graph::index(w)] != 0) continue;
+      if (w == t) return false;
+      seen[graph::index(w)] = 1;
+      queue.push_back(w);
+    }
+  }
+  return true;
+}
+
+std::size_t edge_connectivity(const graph::Graph& g, graph::VertexId s,
+                              graph::VertexId t, std::size_t cap) {
+  using graph::EdgeId;
+  if (s == t || cap == 0) return cap;
+  const std::size_t n = g.vertex_count();
+  const std::size_t m = g.edge_count();
+  // Unit-capacity max-flow over the undirected graph: edge e becomes the
+  // residual arc pair 2e (a->b) and 2e+1 (b->a), each starting at capacity
+  // 1; pushing along one direction frees the other (arc ^ 1).
+  std::vector<std::uint32_t> capacity(2 * m, 1);
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    const graph::Edge& edge = g.edge(EdgeId{e});
+    if (edge.a == edge.b) {  // self-loops never carry s-t flow
+      capacity[2 * e] = capacity[2 * e + 1] = 0;
+      continue;
+    }
+    adjacency[graph::index(edge.a)].push_back(2 * e);
+    adjacency[graph::index(edge.b)].push_back(2 * e + 1);
+  }
+  const auto arc_head = [&g](std::uint32_t arc) {
+    const graph::Edge& edge = g.edge(EdgeId{arc >> 1});
+    return graph::index((arc & 1u) == 0 ? edge.b : edge.a);
+  };
+  const auto arc_tail = [&g](std::uint32_t arc) {
+    const graph::Edge& edge = g.edge(EdgeId{arc >> 1});
+    return graph::index((arc & 1u) == 0 ? edge.a : edge.b);
+  };
+  const std::uint32_t source = graph::index(s);
+  const std::uint32_t target = graph::index(t);
+  std::vector<std::uint32_t> parent_arc(n, 0);
+  std::vector<char> seen(n, 0);
+  std::size_t flow = 0;
+  while (flow < cap) {
+    std::fill(seen.begin(), seen.end(), 0);
+    seen[source] = 1;
+    std::deque<std::uint32_t> queue{source};
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const std::uint32_t v = queue.front();
+      queue.pop_front();
+      for (const std::uint32_t arc : adjacency[v]) {
+        if (capacity[arc] == 0) continue;
+        const std::uint32_t w = arc_head(arc);
+        if (seen[w] != 0) continue;
+        seen[w] = 1;
+        parent_arc[w] = arc;
+        if (w == target) {
+          reached = true;
+          break;
+        }
+        queue.push_back(w);
+      }
+    }
+    if (!reached) break;
+    for (std::uint32_t v = target; v != source;) {
+      const std::uint32_t arc = parent_arc[v];
+      --capacity[arc];
+      ++capacity[arc ^ 1u];
+      v = arc_tail(arc);
+    }
+    ++flow;
+  }
+  return flow;
 }
 
 }  // namespace upsim::pathdisc

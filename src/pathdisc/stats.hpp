@@ -37,4 +37,38 @@ struct PathSetStats {
 [[nodiscard]] PathSetStats analyze_all(const graph::Graph& g,
                                        const std::vector<PathSet>& sets);
 
+/// Whole-graph structural connectivity: the biconnected-component skeleton
+/// (Tarjan articulation points and bridges, one iterative DFS) plus the
+/// connected-component id of every vertex.  This is the machinery behind the
+/// semantic lint's SPOF rules and the planned zone decomposition (ROADMAP
+/// item 3): an articulation point is exactly a vertex whose removal splits a
+/// component, a bridge an edge doing the same.
+struct Connectivity {
+  std::vector<graph::VertexId> articulation_points;  ///< ascending by index
+  std::vector<graph::EdgeId> bridges;                ///< ascending by index
+  std::vector<std::uint32_t> component;  ///< per-vertex component id
+
+  [[nodiscard]] bool is_articulation(graph::VertexId v) const;
+  [[nodiscard]] bool is_bridge(graph::EdgeId e) const;
+};
+
+[[nodiscard]] Connectivity connectivity(const graph::Graph& g);
+
+/// True when removing vertex `cut` disconnects `s` from `t` (BFS around the
+/// cut).  Trivially false when cut is s or t, or s == t.
+[[nodiscard]] bool separates(const graph::Graph& g, graph::VertexId cut,
+                             graph::VertexId s, graph::VertexId t);
+
+/// True when removing edge `cut` disconnects `s` from `t`.
+[[nodiscard]] bool separates_edge(const graph::Graph& g, graph::EdgeId cut,
+                                  graph::VertexId s, graph::VertexId t);
+
+/// Number of link-disjoint s→t paths (Menger: the minimum edge cut), as
+/// unit-capacity max-flow with shortest augmenting paths, stopping early at
+/// `cap`.  Returns cap for s == t.
+[[nodiscard]] std::size_t edge_connectivity(const graph::Graph& g,
+                                            graph::VertexId s,
+                                            graph::VertexId t,
+                                            std::size_t cap);
+
 }  // namespace upsim::pathdisc

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "lint/analyzer.hpp"
+#include "lint/baseline.hpp"
+#include "lint/semantic.hpp"
 
 namespace upsim::registry {
 
@@ -80,7 +82,8 @@ void ModelRegistry::adopt(engine::PerspectiveEngine& engine,
 }
 
 std::shared_ptr<ServingModel> ModelRegistry::build_locked_free(
-    ModelId parsed, std::string_view bundle_xml) {
+    ModelId parsed, std::string_view bundle_xml,
+    const UploadOptions& upload_options) {
   auto bundle = std::make_unique<umlio::UmlBundle>(umlio::from_xml(bundle_xml));
   if (bundle->objects == nullptr || bundle->services == nullptr) {
     throw RegistryError(400, "incomplete_bundle",
@@ -103,6 +106,33 @@ std::shared_ptr<ServingModel> ModelRegistry::build_locked_free(
     throw RegistryError(400, "lint_failed", message);
   }
 
+  // Semantic pass, infrastructure mode: no mappings exist at upload time,
+  // so the graph's own articulation skeleton is what there is to judge.
+  lint::SemanticOptions sem_options;
+  sem_options.mtbf_attribute = options_.engine.projection.mtbf_attribute;
+  sem_options.mttr_attribute = options_.engine.projection.mttr_attribute;
+  lint::SemanticInput sem_input;
+  sem_input.objects = bundle->objects.get();
+  lint::Report semantic = lint::analyze_semantic(sem_input, sem_options);
+  std::size_t semantic_suppressed = 0;
+  if (!upload_options.baseline_fingerprints.empty()) {
+    semantic = lint::apply_baseline(
+        semantic,
+        lint::baseline_from_fingerprints(upload_options.baseline_fingerprints),
+        &semantic_suppressed);
+  }
+  if (options_.quota.strict_semantic && !semantic.empty()) {
+    std::string message = "bundle rejected by semantic lint (" +
+                          std::to_string(semantic.size()) +
+                          " unsuppressed findings):";
+    std::size_t shown = 0;
+    for (const lint::Diagnostic& d : semantic.diagnostics()) {
+      message += std::string(" [") + d.code() + "] " + d.message + ";";
+      if (++shown == 5) break;
+    }
+    throw RegistryError(400, "semantic_lint_failed", message);
+  }
+
   engine::EngineOptions eopts = options_.engine;
   eopts.pool = pool_;
   // The registry gate just ran; no need to lint again inside the engine.
@@ -113,6 +143,8 @@ std::shared_ptr<ServingModel> ModelRegistry::build_locked_free(
   model->bundle_bytes = bundle_xml.size();
   model->services = bundle->services.get();
   model->lint_warnings = report.warning_count();
+  model->semantic_findings = semantic.diagnostics();
+  model->semantic_suppressed = semantic_suppressed;
   model->owned_bundle = std::move(bundle);
   model->owned_engine = std::make_unique<engine::PerspectiveEngine>(
       *model->owned_bundle->objects, eopts);
@@ -121,7 +153,8 @@ std::shared_ptr<ServingModel> ModelRegistry::build_locked_free(
 }
 
 UploadResult ModelRegistry::upload(std::string_view id,
-                                   std::string_view bundle_xml) {
+                                   std::string_view bundle_xml,
+                                   const UploadOptions& upload_options) {
   ModelId parsed = ModelId::parse(id);
   const std::string full = parsed.full();
   if (options_.quota.max_bundle_bytes != 0 &&
@@ -158,7 +191,7 @@ UploadResult ModelRegistry::upload(std::string_view id,
 
   std::shared_ptr<ServingModel> model;
   try {
-    model = build_locked_free(parsed, bundle_xml);
+    model = build_locked_free(parsed, bundle_xml, upload_options);
   } catch (...) {
     std::unique_lock lock(mutex_);
     auto it = models_.find(full);
@@ -172,7 +205,8 @@ UploadResult ModelRegistry::upload(std::string_view id,
 
   std::unique_lock lock(mutex_);
   models_[full].staged[version] = model;
-  return UploadResult{full, version, model->lint_warnings};
+  return UploadResult{full, version, model->lint_warnings,
+                      model->semantic_findings, model->semantic_suppressed};
 }
 
 ActivateResult ModelRegistry::activate(std::string_view id,

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "engine/perspective_engine.hpp"
+#include "lint/diagnostics.hpp"
 #include "registry/observation.hpp"
 #include "service/service.hpp"
 #include "umlio/serialize.hpp"
@@ -83,6 +84,10 @@ struct TenantQuota {
   std::size_t max_models = 0;           ///< distinct model ids per tenant
   std::size_t max_bundle_bytes = 0;     ///< per uploaded bundle document
   std::size_t max_concurrent_requests = 0;  ///< in-flight model requests
+  /// When true, semantic lint findings (UPS1xx infrastructure mode) that no
+  /// baseline fingerprint suppresses promote from upload warnings to a
+  /// RegistryError(400, "semantic_lint_failed") rejection.
+  bool strict_semantic = false;
 };
 
 /// `tenant/model` — both segments non-empty, charset [A-Za-z0-9._-].
@@ -111,6 +116,10 @@ struct ServingModel {
   engine::PerspectiveEngine* engine = nullptr;        ///< never null
   const service::ServiceCatalog* services = nullptr;  ///< never null
   std::size_t lint_warnings = 0;
+  /// Semantic pass findings (infrastructure mode) that survived the
+  /// upload's baseline suppression; ride model_upload responses.
+  std::vector<lint::Diagnostic> semantic_findings;
+  std::size_t semantic_suppressed = 0;
 };
 
 /// Decrements its tenant's in-flight counter on destruction.  Default
@@ -142,6 +151,15 @@ struct UploadResult {
   std::string id;
   std::uint64_t version = 0;
   std::size_t lint_warnings = 0;
+  std::vector<lint::Diagnostic> semantic_findings;
+  std::size_t semantic_suppressed = 0;
+};
+
+/// Caller-supplied knobs for one upload.
+struct UploadOptions {
+  /// Baseline fingerprints (lint::fingerprint) suppressing known semantic
+  /// findings — the wire-side spelling of `.upsim-lint-baseline.json`.
+  std::vector<std::string> baseline_fingerprints;
 };
 
 struct ActivateResult {
@@ -187,12 +205,17 @@ class ModelRegistry {
   void adopt(engine::PerspectiveEngine& engine,
              const service::ServiceCatalog& services);
 
-  /// Parses `bundle_xml`, runs the lint gate, builds the engine, stages
-  /// the new version.  Throws ParseError/ModelError on malformed bundles,
+  /// Parses `bundle_xml`, runs the lint gate (syntactic, then the semantic
+  /// pass in infrastructure mode), builds the engine, stages the new
+  /// version.  Semantic findings not absorbed by the upload's baseline
+  /// fingerprints ride the result as warnings — or reject with
+  /// RegistryError(400, "semantic_lint_failed") under a strict_semantic
+  /// quota.  Throws ParseError/ModelError on malformed bundles,
   /// RegistryError(400, "lint_failed") on lint errors,
   /// RegistryError(400, "incomplete_bundle") when objects or services are
   /// missing, QuotaError(403) on model-count/bundle-byte quota violations.
-  UploadResult upload(std::string_view id, std::string_view bundle_xml);
+  UploadResult upload(std::string_view id, std::string_view bundle_xml,
+                      const UploadOptions& upload_options = {});
 
   /// Switches the served version (0 = newest staged).  Re-applies the
   /// model's observation store onto the incoming engine.  The outgoing
@@ -256,10 +279,11 @@ class ModelRegistry {
 
   void init();
 
-  /// Builds a ServingModel from parsed pieces (lint gate + engine build).
+  /// Builds a ServingModel from parsed pieces (lint gates + engine build).
   /// No registry lock held.
-  std::shared_ptr<ServingModel> build_locked_free(ModelId parsed,
-                                                  std::string_view bundle_xml);
+  std::shared_ptr<ServingModel> build_locked_free(
+      ModelId parsed, std::string_view bundle_xml,
+      const UploadOptions& upload_options);
 
   /// Drops dead weak_ptrs; returns live count.  Caller holds the lock.
   static std::size_t prune_retired_locked(ModelEntry& entry);

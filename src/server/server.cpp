@@ -5,6 +5,7 @@
 
 #include "lint/analyzer.hpp"
 #include "lint/render.hpp"
+#include "lint/semantic.hpp"
 #include "obs/obs.hpp"
 
 namespace upsim::server {
@@ -827,7 +828,43 @@ std::string Server::handle_validate(const ModelContext& ctx,
     entry.mapping = &mapping;
     input.mappings.push_back(std::move(entry));
   }
-  return lint::render_json(lint::analyze(input));
+  // "level" selects the analysis depth: "syntax" (the default — response
+  // bytes unchanged for old clients) or "semantic", which appends the
+  // SemanticAnalyzer's graph-theoretic findings (optionally judged against
+  // a numeric "slo" param, UPS103).
+  std::string level = "syntax";
+  if (params.has("level")) {
+    if (params.at("level").kind != obs::JsonValue::Kind::String) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'level' must be a string");
+    }
+    level = params.at("level").string;
+    if (level != "syntax" && level != "semantic") {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'level' must be 'syntax' or 'semantic'");
+    }
+  }
+  lint::Report report = lint::analyze(input);
+  if (level == "semantic") {
+    lint::SemanticOptions sem_options;
+    if (params.has("slo")) {
+      if (params.at("slo").kind != obs::JsonValue::Kind::Number) {
+        throw ProtocolError(kStatusBadRequest, "bad_request",
+                            "params 'slo' must be a number");
+      }
+      sem_options.availability_slo = params.at("slo").number;
+    }
+    lint::SemanticInput sem_input;
+    sem_input.objects = input.objects;
+    sem_input.mappings = input.mappings;
+    const lint::Report semantic =
+        lint::analyze_semantic(sem_input, sem_options);
+    for (const lint::Diagnostic& d : semantic.diagnostics()) {
+      report.add(d.rule, d.severity, d.message, d.location);
+    }
+    report.sort();
+  }
+  return lint::render_json(report);
 }
 
 std::string Server::handle_trace(const Request& req) {
@@ -1017,8 +1054,26 @@ std::string Server::handle_model_upload(const Request& req) {
                         "model_upload needs params 'bundle' (the umlbundle "
                         "XML document as a string)");
   }
-  const registry::UploadResult result =
-      registry_->upload(req.model, params.at("bundle").string);
+  registry::UploadOptions upload_options;
+  if (params.has("baseline")) {
+    // Wire-side baseline: known semantic findings, by fingerprint.
+    const obs::JsonValue& baseline = params.at("baseline");
+    if (!baseline.is_array()) {
+      throw ProtocolError(kStatusBadRequest, "bad_request",
+                          "params 'baseline' must be an array of fingerprint "
+                          "strings");
+    }
+    for (const obs::JsonValue& fp : baseline.array) {
+      if (fp.kind != obs::JsonValue::Kind::String) {
+        throw ProtocolError(kStatusBadRequest, "bad_request",
+                            "params 'baseline' must be an array of "
+                            "fingerprint strings");
+      }
+      upload_options.baseline_fingerprints.push_back(fp.string);
+    }
+  }
+  const registry::UploadResult result = registry_->upload(
+      req.model, params.at("bundle").string, upload_options);
   obs::JsonWriter w;
   w.begin_object();
   w.key("model");
@@ -1027,6 +1082,23 @@ std::string Server::handle_model_upload(const Request& req) {
   w.value(result.version);
   w.key("lint_warnings");
   w.value(static_cast<std::uint64_t>(result.lint_warnings));
+  w.key("semantic_findings");
+  w.begin_array();
+  for (const lint::Diagnostic& d : result.semantic_findings) {
+    w.begin_object();
+    w.key("code");
+    w.value(d.code());
+    w.key("severity");
+    w.value(lint::to_string(d.severity));
+    w.key("message");
+    w.value(d.message);
+    w.key("fingerprint");
+    w.value(lint::fingerprint(d));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("semantic_suppressed");
+  w.value(static_cast<std::uint64_t>(result.semantic_suppressed));
   w.end_object();
   return std::move(w).str();
 }

@@ -99,17 +99,30 @@ struct Fixture {
 }
 
 TEST(LintRules, RuleTableIsStableAndComplete) {
-  const auto& rules = all_rules();
-  ASSERT_EQ(rules.size(), 14u);
+  const auto rules = all_rules();
+  // Three stable families: UPS0xx syntactic (dense), UPS1xx semantic
+  // graph-theoretic, UPS2xx scenario-trace lint.  Append-only vocabulary.
+  const std::vector<std::string> expected = {
+      "UPS000", "UPS001", "UPS002", "UPS003", "UPS004", "UPS005", "UPS006",
+      "UPS007", "UPS008", "UPS009", "UPS010", "UPS011", "UPS012", "UPS013",
+      "UPS100", "UPS101", "UPS102", "UPS103", "UPS104",
+      "UPS200", "UPS201", "UPS202", "UPS203"};
+  ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(rules[i].code,
-              "UPS" + std::string(i < 10 ? "00" : "0") + std::to_string(i))
-        << "codes must be dense and ordered (append-only vocabulary)";
+    EXPECT_EQ(std::string_view(rules[i].code), expected[i])
+        << "codes must be ordered (append-only vocabulary)";
     EXPECT_EQ(rule_info(rules[i].rule).code, rules[i].code);
+    EXPECT_NE(std::string_view(rules[i].name), "");
     EXPECT_NE(std::string_view(rules[i].summary), "");
+    EXPECT_NE(std::string(rules[i].help_uri).find("#ups"), std::string::npos)
+        << "every rule must carry a help URI anchor";
   }
   EXPECT_EQ(std::string_view(rule_info(Rule::LoadFailed).code), "UPS000");
   EXPECT_EQ(std::string_view(rule_info(Rule::IrrelevantPair).code), "UPS013");
+  EXPECT_EQ(std::string_view(rule_info(Rule::SinglePointOfFailure).code),
+            "UPS100");
+  EXPECT_EQ(std::string_view(rule_info(Rule::TraceUnmappedTarget).code),
+            "UPS203");
 }
 
 TEST(LintAnalyzer, CleanFixtureHasNoFindings) {
@@ -550,8 +563,20 @@ TEST(LintRender, SarifCarriesRuleAndRegion) {
   EXPECT_NE(sarif.find("\"uri\":\"map.xml\""), std::string::npos);
   EXPECT_NE(sarif.find("\"startLine\":3"), std::string::npos);
   EXPECT_NE(sarif.find("\"startColumn\":5"), std::string::npos);
-  // Every rule is described up front, findings or not.
-  EXPECT_NE(sarif.find("\"id\":\"UPS012\""), std::string::npos);
+  // Fired rules carry full metadata in the rules array...
+  EXPECT_NE(sarif.find("\"id\":\"UPS001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"UnknownComponent\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"helpUri\":\"https://example.invalid/upsim/"
+                       "lint#ups001\""),
+            std::string::npos);
+  // ...unfired rules stay out of it (fired-only rules array).
+  EXPECT_EQ(sarif.find("\"id\":\"UPS012\""), std::string::npos);
+  // Every result carries the stable fingerprint used for baselining.
+  const std::string expected_pf = "\"partialFingerprints\":{\"upsimFingerprint/"
+                                  "v1\":\"" +
+                                  fingerprint(report.diagnostics().front()) +
+                                  "\"}";
+  EXPECT_NE(sarif.find(expected_pf), std::string::npos);
 }
 
 TEST(LintRender, JsonMirrorsTheGate) {

@@ -27,6 +27,8 @@
 #include "casestudy/usi.hpp"
 #include "core/analysis.hpp"
 #include "engine/perspective_engine.hpp"
+#include "lint/diagnostics.hpp"
+#include "lint/semantic.hpp"
 #include "mapping/mapping.hpp"
 #include "net/client.hpp"
 #include "net/frame.hpp"
@@ -363,6 +365,56 @@ TEST(ServerTest, ValidateMethodLintsOverLoopback) {
       client.call("validate", R"({"composite":"no_such_service"})");
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(missing.status, 404);
+}
+
+TEST(ServerTest, ValidateSemanticLevelRunsTheSecondPass) {
+  Stack stack;
+  net::Client client = stack.client();
+
+  // The default level stays byte-identical to an explicit "syntax" — old
+  // clients see no change from the semantic pass existing.
+  std::uint64_t id = 0;
+  const std::string bare = client.call_raw("validate", "{}", &id);
+  const std::string syntax =
+      client.call_raw("validate", R"({"level":"syntax"})", &id);
+  EXPECT_EQ(bare.substr(bare.find(',')), syntax.substr(syntax.find(',')))
+      << "default level drifted (ignoring the request-id echo)";
+
+  // Semantic on the served infrastructure alone: infrastructure mode —
+  // the USI topology's articulation points come back as notes, still ok.
+  const net::Response semantic =
+      client.call("validate", R"({"level":"semantic"})");
+  ASSERT_TRUE(semantic.ok()) << semantic.error_message();
+  EXPECT_TRUE(semantic.result().at("ok").boolean);
+  bool saw_spof = false;
+  for (const auto& d : semantic.result().at("diagnostics").array) {
+    if (d.at("code").string == "UPS100") {
+      saw_spof = true;
+      EXPECT_EQ(d.at("severity").string, "note");
+      EXPECT_FALSE(d.at("fingerprint").string.empty());
+    }
+  }
+  EXPECT_TRUE(saw_spof);
+
+  // With the full query inputs and an unreachable SLO the UPS103 warning
+  // joins the findings; "ok" still gates on errors only.
+  std::string params = stack.t1_p2_params();
+  params.insert(1, R"("level":"semantic","slo":0.9999,)");
+  const net::Response slo = client.call("validate", params);
+  ASSERT_TRUE(slo.ok()) << slo.error_message();
+  EXPECT_TRUE(slo.result().at("ok").boolean);
+  bool saw_slo = false;
+  for (const auto& d : slo.result().at("diagnostics").array) {
+    if (d.at("code").string == "UPS103") {
+      saw_slo = true;
+      EXPECT_EQ(d.at("severity").string, "warning");
+    }
+  }
+  EXPECT_TRUE(saw_slo);
+
+  // An unknown level is a request error.
+  const net::Response bad = client.call("validate", R"({"level":"deep"})");
+  EXPECT_EQ(bad.status, server::kStatusBadRequest);
 }
 
 TEST(ServerTest, ConcurrentClientsAllSucceed) {
@@ -1160,6 +1212,111 @@ TEST(RegistryServerTest, ModelLifecycleAndQuotasOverTheWire) {
   ASSERT_TRUE(acme.call("model_delete").ok());
   EXPECT_EQ(acme.call("upsim", usi_query_params()).status,
             server::kStatusNotFound);
+}
+
+/// model_upload params embedding the bundle plus a "baseline" fingerprint
+/// array for wire-side suppression.
+std::string bundle_params_with_baseline(
+    const std::string& xml, const std::vector<std::string>& fingerprints) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bundle");
+  w.value(xml);
+  w.key("baseline");
+  w.begin_array();
+  for (const std::string& fp : fingerprints) w.value(fp);
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+/// What the registry's infrastructure-mode semantic pass finds in `xml`,
+/// as baseline fingerprints — computed in-process, the expected side of
+/// the wire differential.
+std::vector<std::string> semantic_fingerprints_of(const std::string& xml) {
+  const umlio::UmlBundle bundle = umlio::from_xml(xml);
+  lint::SemanticInput in;
+  in.objects = bundle.objects.get();
+  const lint::Report report = lint::analyze_semantic(in);
+  std::vector<std::string> fingerprints;
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    fingerprints.push_back(lint::fingerprint(d));
+  }
+  return fingerprints;
+}
+
+TEST(RegistryServerTest, UploadCarriesSemanticFindingsAndBaselineSuppresses) {
+  RegistryStack stack;
+  net::Client acme = stack.client("acme/usi");
+
+  // The USI infrastructure has real articulation points, so an upload's
+  // semantic findings are non-empty — warnings on the response, not a
+  // rejection (the default quota is not strict).
+  const net::Response up = acme.call("model_upload", bundle_params(usi_xml()));
+  ASSERT_TRUE(up.ok()) << up.error_message();
+  const auto& findings = up.result().at("semantic_findings").array;
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(up.result().at("semantic_suppressed").number, 0.0);
+  std::vector<std::string> fingerprints;
+  bool saw_spof = false;
+  for (const auto& f : findings) {
+    EXPECT_FALSE(f.at("severity").string.empty());
+    EXPECT_FALSE(f.at("message").string.empty());
+    ASSERT_EQ(f.at("fingerprint").string.size(), 16u);
+    fingerprints.push_back(f.at("fingerprint").string);
+    if (f.at("code").string == "UPS100") saw_spof = true;
+  }
+  EXPECT_TRUE(saw_spof);
+  EXPECT_EQ(fingerprints, semantic_fingerprints_of(usi_xml()))
+      << "wire fingerprints must match an in-process semantic run";
+
+  // Re-upload with every finding baselined: v2 stages with zero remaining
+  // findings and the suppression count on the response.
+  const net::Response blessed = acme.call(
+      "model_upload", bundle_params_with_baseline(usi_xml(), fingerprints));
+  ASSERT_TRUE(blessed.ok()) << blessed.error_message();
+  EXPECT_EQ(blessed.result().at("version").number, 2.0);
+  EXPECT_TRUE(blessed.result().at("semantic_findings").array.empty());
+  EXPECT_EQ(blessed.result().at("semantic_suppressed").number,
+            static_cast<double>(fingerprints.size()));
+
+  // A malformed baseline member is a request error, not a crash.
+  const net::Response bad =
+      acme.call("model_upload", R"({"bundle":"x","baseline":[1]})");
+  EXPECT_EQ(bad.status, server::kStatusBadRequest);
+}
+
+TEST(RegistryServerTest, StrictSemanticQuotaGatesUploadsUnlessBaselined) {
+  registry::TenantQuota quota;
+  quota.strict_semantic = true;
+  RegistryStack stack(quota);
+  net::Client acme = stack.client("acme/usi");
+
+  // Under a strict quota the semantic findings promote to a 400 rejection
+  // naming the rule codes.
+  const net::Response denied =
+      acme.call("model_upload", bundle_params(usi_xml()));
+  EXPECT_EQ(denied.status, server::kStatusBadRequest);
+  EXPECT_EQ(denied.error_code(), "semantic_lint_failed");
+  EXPECT_NE(denied.error_message().find("UPS100"), std::string::npos);
+
+  // The same bundle with its findings baselined passes the strict gate,
+  // and the model serves.
+  const net::Response blessed = acme.call(
+      "model_upload", bundle_params_with_baseline(
+                          usi_xml(), semantic_fingerprints_of(usi_xml())));
+  ASSERT_TRUE(blessed.ok()) << blessed.error_message();
+  ASSERT_TRUE(acme.call("model_activate").ok());
+  const net::Response served = acme.call("upsim", usi_query_params());
+  ASSERT_TRUE(served.ok()) << served.error_message();
+
+  // A *partial* baseline still fails: one unsuppressed finding is enough.
+  std::vector<std::string> partial = semantic_fingerprints_of(usi_xml());
+  partial.pop_back();
+  const net::Response still_denied = acme.call(
+      "model_upload", bundle_params_with_baseline(usi_xml(), partial));
+  EXPECT_EQ(still_denied.status, server::kStatusBadRequest);
+  EXPECT_EQ(still_denied.error_code(), "semantic_lint_failed");
 }
 
 // The hot-swap correctness contract, under real concurrency (this binary

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate a SARIF 2.1.0 file written by upsim_cli --check --sarif-out.
+
+Structural checks on the SARIF essentials the lint renderer commits to
+(stdlib only, no jsonschema needed):
+
+  * version is "2.1.0" and a $schema URI is present
+  * exactly the members the renderer writes: runs -> tool.driver with
+    name/version and a rules array
+  * every rule has a stable id (UPSnnn), a PascalCase name, a
+    shortDescription and an absolute helpUri
+  * the rules array is fired-only and duplicate-free: every result's
+    ruleId appears in it, every rule id is used by some result, and
+    each result's ruleIndex points at its own rule
+  * every result has level (error|warning|note), message.text, a
+    physicalLocation whose region (when present) has positive
+    startLine/startColumn, and a partialFingerprints object carrying
+    the 16-hex "upsimFingerprint/v1" member the baseline workflow keys
+    on
+
+Optional gates for CI:
+
+  * --max-errors N   : fail when more than N results have level error
+  * --require-rule R : fail unless rule R fired (planted-finding check)
+  * --forbid-rule R  : fail if rule R fired
+
+Usage:
+  check_sarif.py file.sarif [--max-errors N]
+                 [--require-rule UPSnnn]... [--forbid-rule UPSnnn]...
+
+Exits 0 when every check passes, 1 with one line per failure otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+RULE_ID_RE = re.compile(r"^UPS\d{3}$")
+NAME_RE = re.compile(r"^[A-Z][A-Za-z0-9]*$")
+FINGERPRINT_RE = re.compile(r"^[0-9a-f]{16}$")
+LEVELS = {"error", "warning", "note"}
+
+
+def check(sarif, failures):
+    if sarif.get("version") != "2.1.0":
+        failures.append(f"version is {sarif.get('version')!r}, want '2.1.0'")
+    if not str(sarif.get("$schema", "")).startswith("http"):
+        failures.append("$schema missing or not a URI")
+    runs = sarif.get("runs")
+    if not isinstance(runs, list) or not runs:
+        failures.append("runs must be a non-empty array")
+        return
+
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            failures.append(f"{where}: tool.driver.name missing")
+        if not driver.get("version"):
+            failures.append(f"{where}: tool.driver.version missing")
+
+        rules = driver.get("rules")
+        if not isinstance(rules, list):
+            failures.append(f"{where}: tool.driver.rules must be an array")
+            rules = []
+        rule_ids = []
+        for i, rule in enumerate(rules):
+            rid = rule.get("id", "")
+            if not RULE_ID_RE.match(rid):
+                failures.append(f"{where}.rules[{i}]: bad id {rid!r}")
+            if not NAME_RE.match(rule.get("name", "")):
+                failures.append(
+                    f"{where}.rules[{i}] ({rid}): bad name "
+                    f"{rule.get('name')!r}"
+                )
+            if not rule.get("shortDescription", {}).get("text"):
+                failures.append(
+                    f"{where}.rules[{i}] ({rid}): shortDescription.text "
+                    "missing"
+                )
+            if not str(rule.get("helpUri", "")).startswith("https://"):
+                failures.append(
+                    f"{where}.rules[{i}] ({rid}): helpUri missing or not "
+                    "absolute"
+                )
+            rule_ids.append(rid)
+        if len(set(rule_ids)) != len(rule_ids):
+            failures.append(f"{where}: duplicate rule ids")
+
+        results = run.get("results")
+        if not isinstance(results, list):
+            failures.append(f"{where}: results must be an array")
+            results = []
+        fired = set()
+        for i, result in enumerate(results):
+            rwhere = f"{where}.results[{i}]"
+            rid = result.get("ruleId", "")
+            fired.add(rid)
+            if rid not in rule_ids:
+                failures.append(
+                    f"{rwhere}: ruleId {rid!r} not in the rules array"
+                )
+            index = result.get("ruleIndex")
+            if (
+                not isinstance(index, int)
+                or not 0 <= index < len(rule_ids)
+                or rule_ids[index] != rid
+            ):
+                failures.append(
+                    f"{rwhere}: ruleIndex {index!r} does not point at {rid}"
+                )
+            if result.get("level") not in LEVELS:
+                failures.append(
+                    f"{rwhere}: level {result.get('level')!r} not in "
+                    f"{sorted(LEVELS)}"
+                )
+            if not result.get("message", {}).get("text"):
+                failures.append(f"{rwhere}: message.text missing")
+            for loc in result.get("locations", []):
+                physical = loc.get("physicalLocation", {})
+                if not physical.get("artifactLocation", {}).get("uri"):
+                    failures.append(
+                        f"{rwhere}: physicalLocation without an "
+                        "artifactLocation.uri"
+                    )
+                region = physical.get("region")
+                if region is not None:
+                    for key in ("startLine", "startColumn"):
+                        value = region.get(key)
+                        if not isinstance(value, int) or value < 1:
+                            failures.append(
+                                f"{rwhere}: region.{key} = {value!r}, want "
+                                "a positive integer"
+                            )
+            fingerprint = result.get("partialFingerprints", {}).get(
+                "upsimFingerprint/v1"
+            )
+            if not isinstance(fingerprint, str) or not FINGERPRINT_RE.match(
+                fingerprint
+            ):
+                failures.append(
+                    f"{rwhere}: partialFingerprints['upsimFingerprint/v1'] "
+                    f"= {fingerprint!r}, want 16 lowercase hex chars"
+                )
+        unused = set(rule_ids) - fired
+        if unused:
+            failures.append(
+                f"{where}: rules array is not fired-only, unused: "
+                f"{sorted(unused)}"
+            )
+    return
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sarif", help="SARIF file to validate")
+    parser.add_argument("--max-errors", type=int, default=None)
+    parser.add_argument("--require-rule", action="append", default=[])
+    parser.add_argument("--forbid-rule", action="append", default=[])
+    args = parser.parse_args()
+
+    failures = []
+    try:
+        with open(args.sarif, encoding="utf-8") as handle:
+            sarif = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: {args.sarif}: {error}", file=sys.stderr)
+        return 1
+
+    check(sarif, failures)
+
+    fired = {
+        result.get("ruleId")
+        for run in sarif.get("runs", []) or []
+        for result in run.get("results", []) or []
+    }
+    error_count = sum(
+        1
+        for run in sarif.get("runs", []) or []
+        for result in run.get("results", []) or []
+        if result.get("level") == "error"
+    )
+    if args.max_errors is not None and error_count > args.max_errors:
+        failures.append(
+            f"{error_count} error-level results, --max-errors {args.max_errors}"
+        )
+    for rule in args.require_rule:
+        if rule not in fired:
+            failures.append(f"--require-rule {rule}: rule did not fire")
+    for rule in args.forbid_rule:
+        if rule in fired:
+            failures.append(f"--forbid-rule {rule}: rule fired")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    results = sum(len(run.get("results", [])) for run in sarif["runs"])
+    print(f"ok: {args.sarif}: {results} result(s), {error_count} error(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
